@@ -1,0 +1,104 @@
+"""Shared workload builders for the benchmark suite.
+
+Each experiment file (``bench_*.py``) regenerates one figure or claim
+of the paper; the builders here keep the platforms consistent across
+them.  See DESIGN.md's experiment index (E1-E10) and EXPERIMENTS.md
+for the mapping to the paper.
+"""
+
+from __future__ import annotations
+
+import random
+import typing as _t
+
+from repro.core import (
+    Campaign,
+    FaultSpace,
+)
+from repro.faults import FaultDescriptor, FaultKind, Persistence, SRAM_SEU
+from repro.kernel import Simulator, simtime
+from repro.platforms import airbag
+
+#: The stuck-high sensor fault used by strategy experiments.
+STUCK_HIGH = FaultDescriptor(
+    name="sensor_stuck_high",
+    kind=FaultKind.STUCK_VALUE,
+    persistence=Persistence.PERMANENT,
+    params={"value": 4.5},
+    rate_per_hour=2e-7,
+)
+
+#: Mostly-benign fault classes that pad the fault space — realistic
+#: small drifts and a stuck-at-nominal, none of which can push a
+#: channel over the deploy threshold on their own.
+BENIGN_CATALOG = [
+    FaultDescriptor(
+        name="sensor_stuck_nominal",
+        kind=FaultKind.STUCK_VALUE,
+        persistence=Persistence.PERMANENT,
+        params={"value": 2.6},
+        rate_per_hour=1e-7,
+    ),
+    FaultDescriptor(
+        name="sensor_offset_small",
+        kind=FaultKind.OFFSET_DRIFT,
+        persistence=Persistence.PERMANENT,
+        params={"offset": 0.1},
+        rate_per_hour=3e-7,
+    ),
+    FaultDescriptor(
+        name="sensor_gain_small",
+        kind=FaultKind.GAIN_DRIFT,
+        persistence=Persistence.PERMANENT,
+        params={"gain": 1.03},
+        rate_per_hour=2e-7,
+    ),
+]
+
+AIRBAG_DURATION = simtime.ms(60)
+
+
+def airbag_campaign(seed: int = 7) -> Campaign:
+    return Campaign(
+        platform_factory=airbag.build_normal_operation,
+        observe=airbag.observe,
+        classifier=airbag.normal_operation_classifier(),
+        duration=AIRBAG_DURATION,
+        seed=seed,
+    )
+
+
+def airbag_space(
+    time_bins: int = 2, padded: bool = False
+) -> FaultSpace:
+    """The CAPS fault space.
+
+    ``padded=True`` adds the benign catalog, growing the space so that
+    the one hazardous combination (both sensors stuck high) becomes a
+    genuine needle in a haystack — the configuration the strategy
+    comparison (E5) needs.
+    """
+    descriptors = [SRAM_SEU.with_rate(5e-7), STUCK_HIGH]
+    if padded:
+        descriptors += BENIGN_CATALOG
+    probe = Simulator()
+    return FaultSpace(
+        airbag.build_normal_operation(probe),
+        descriptors,
+        window_start=simtime.ms(5),
+        window_end=simtime.ms(30),
+        time_bins=time_bins,
+    )
+
+
+def adder_vectors(circuit) -> _t.Callable[[random.Random], dict]:
+    """Random input vectors for an 8-bit adder-style circuit."""
+    from repro.gate import GateSimulator
+
+    def source(rng: random.Random) -> dict:
+        inputs: dict = {}
+        inputs.update(GateSimulator.pack(circuit.buses["a"], rng.randrange(256)))
+        inputs.update(GateSimulator.pack(circuit.buses["b"], rng.randrange(256)))
+        return inputs
+
+    return source

@@ -1,0 +1,104 @@
+"""E11 (ablation) — what each protection mechanism buys.
+
+DESIGN.md calls for ablation benches on the design choices.  The CAPS
+platform stacks four mechanisms against a spurious deployment:
+
+* **dual-channel redundancy** (both sensors must agree and exceed),
+* the **cross-channel plausibility band**,
+* **N-sample debounce**,
+* **ECC** on the threshold parameter memory.
+
+Each variant disables one mechanism; the same 120-run two-fault
+campaign (seeded identically) runs against every variant, and the
+hazardous/SDC counts show what the mechanism was absorbing.  This is
+the quantitative what-if analysis the paper says VPs enable ("enabling
+what-if analysis of the system when errors are present", Sec. 3.4).
+"""
+
+import pytest
+
+from repro.core import (
+    Campaign,
+    FaultSpace,
+    Outcome,
+    RandomStrategy,
+)
+from repro.faults import SRAM_SEU
+from repro.kernel import Simulator, simtime
+from repro.platforms import airbag
+
+from _workloads import BENIGN_CATALOG, STUCK_HIGH
+
+DURATION = simtime.ms(60)
+RUNS = 120
+
+VARIANTS = {
+    "full_protection": {},
+    "no_plausibility": {"plausibility_band": 1 << 20},
+    "no_debounce": {"debounce_samples": 1},
+    "single_channel": {"dual_channel": False},
+    "no_ecc": {"ecc_params": False},
+}
+
+
+def factory_for(variant: str):
+    options = VARIANTS[variant]
+
+    def factory(sim: Simulator):
+        return airbag.AirbagPlatform(sim, crash_at=None, **options)
+
+    return factory
+
+
+def run_campaign(variant: str):
+    factory = factory_for(variant)
+    campaign = Campaign(
+        platform_factory=factory,
+        observe=airbag.observe,
+        classifier=airbag.normal_operation_classifier(),
+        duration=DURATION,
+        seed=99,
+    )
+    probe = Simulator()
+    space = FaultSpace(
+        factory(probe),
+        [SRAM_SEU.with_rate(5e-7), STUCK_HIGH] + BENIGN_CATALOG,
+        window_start=simtime.ms(5),
+        window_end=simtime.ms(30),
+        time_bins=2,
+    )
+    strategy = RandomStrategy(space, faults_per_scenario=2)
+    return campaign.run(strategy, runs=RUNS)
+
+
+@pytest.mark.parametrize("variant", list(VARIANTS))
+def test_ablation_variant(benchmark, variant):
+    result = benchmark.pedantic(
+        run_campaign, args=(variant,), rounds=1, iterations=1
+    )
+    histogram = result.outcome_histogram()
+    benchmark.extra_info["outcomes"] = {
+        outcome.name: count for outcome, count in histogram.items() if count
+    }
+
+
+def test_ablation_shape(benchmark):
+    """Removing any mechanism must not *reduce* dangerous outcomes;
+    removing redundancy must clearly increase them."""
+    dangerous = {}
+    for variant in VARIANTS:
+        result = run_campaign(variant)
+        dangerous[variant] = len(result.dangerous())
+    benchmark.pedantic(
+        run_campaign, args=("full_protection",), rounds=1, iterations=1
+    )
+    benchmark.extra_info["dangerous_runs"] = dangerous
+
+    baseline = dangerous["full_protection"]
+    assert all(count >= baseline for count in dangerous.values())
+    # A single channel turns every stuck-high sensor fault into a
+    # potential deployment: the strongest mechanism by far.
+    assert dangerous["single_channel"] > baseline
+    # Without the plausibility band, a disagreeing double-high pair
+    # that the band used to reject now fires.
+    assert dangerous["no_plausibility"] >= baseline

@@ -1,0 +1,155 @@
+"""E3 — simulation speed across abstraction levels.
+
+Regenerates the claim behind Sec. 2.3/3.4: raising the abstraction
+level buys orders of magnitude of simulation speed, which is what
+makes VP-scale stress testing feasible at all.  One fixed workload —
+summing 256 bytes out of a memory — is executed at four levels:
+
+1. **gate level** — a registered 8-bit adder netlist, clocked per add;
+2. **ISS** — the vp16 core running the summation loop from memory;
+3. **TLM-LT** — loosely-timed transactions against the memory model;
+4. **TLM-LT + DMI** — direct memory interface, the fastest legal path.
+
+The benchmark table is the result: the same computation, descending
+orders of magnitude of cost as abstraction rises.
+"""
+
+import pytest
+
+from repro.gate import GateSimulator, registered_adder
+from repro.hw import Memory, Vp16Cpu, assemble
+from repro.kernel import Module, Simulator
+from repro.tlm import GenericPayload, InitiatorSocket, Router
+
+DATA = bytes((7 * i + 3) & 0xFF for i in range(256))
+EXPECTED = sum(DATA) & 0xFF
+
+
+# -- level 1: gate ----------------------------------------------------------
+
+def gate_level_sum() -> int:
+    circuit = registered_adder(8)
+    sim = GateSimulator(circuit.netlist)
+    accumulator = 0
+    for byte in DATA:
+        inputs = {}
+        inputs.update(GateSimulator.pack(circuit.buses["a"], accumulator))
+        inputs.update(GateSimulator.pack(circuit.buses["b"], byte))
+        sim.step(inputs)   # latch inputs
+        sim.step(inputs)   # latch sum
+        outputs = sim.evaluate(inputs)
+        accumulator = GateSimulator.unpack(circuit.buses["out"], outputs)
+    return accumulator
+
+
+# -- level 2: ISS -----------------------------------------------------------
+
+SUM_PROGRAM = """
+        ldi  r1, 0x100     ; data base
+        ldi  r2, 0         ; index
+        ldi  r3, 256       ; count
+        ldi  r4, 0         ; accumulator
+    loop:
+        add  r5, r1, r2
+        ldb  r6, r5, 0
+        add  r4, r4, r6
+        addi r2, r2, 1
+        bne  r2, r3, loop
+        andi r4, r4, 0xff
+        halt
+"""
+
+
+def iss_sum() -> int:
+    sim = Simulator()
+    top = Module("top", sim=sim)
+    router = Router("bus", parent=top, hop_latency=2)
+    mem = Memory("mem", parent=top, size=4096, read_latency=4, write_latency=4)
+    router.map_target(0x0, 4096, mem.tsock)
+    cpu = Vp16Cpu("cpu", parent=top, clock_period=10, quantum=100_000)
+    cpu.isock.bind(router.tsock)
+    program = assemble(SUM_PROGRAM)
+    mem.load(0, program.image)
+    mem.load(0x100, DATA)
+    cpu.start(pc=0)
+    sim.run()
+    return cpu.regs[4]
+
+
+# -- level 3: TLM loosely timed -----------------------------------------------
+
+def tlm_lt_sum() -> int:
+    sim = Simulator()
+    top = Module("top", sim=sim)
+    router = Router("bus", parent=top, hop_latency=2)
+    mem = Memory("mem", parent=top, size=4096)
+    router.map_target(0x0, 4096, mem.tsock)
+    isock = InitiatorSocket(top, "isock")
+    isock.bind(router.tsock)
+    mem.load(0x100, DATA)
+    accumulator = 0
+    for i in range(256):
+        payload = GenericPayload.read(0x100 + i, 1)
+        isock.b_transport(payload, 0)
+        accumulator = (accumulator + payload.data[0]) & 0xFF
+    return accumulator
+
+
+# -- level 4: TLM + DMI ----------------------------------------------------------
+
+def tlm_dmi_sum() -> int:
+    sim = Simulator()
+    top = Module("top", sim=sim)
+    router = Router("bus", parent=top, hop_latency=2)
+    mem = Memory("mem", parent=top, size=4096)
+    router.map_target(0x0, 4096, mem.tsock)
+    isock = InitiatorSocket(top, "isock")
+    isock.bind(router.tsock)
+    mem.load(0x100, DATA)
+    region = isock.get_dmi(GenericPayload.read(0x100, 1))
+    accumulator = 0
+    for i in range(256):
+        accumulator = (
+            accumulator + region.store[0x100 - region.start + i]
+        ) & 0xFF
+    return accumulator
+
+
+LEVELS = {
+    "gate": gate_level_sum,
+    "iss": iss_sum,
+    "tlm_lt": tlm_lt_sum,
+    "tlm_dmi": tlm_dmi_sum,
+}
+
+
+@pytest.mark.parametrize("level", list(LEVELS))
+def test_abstraction_level(benchmark, level):
+    result = benchmark(LEVELS[level])
+    assert result == EXPECTED
+
+
+def test_speedup_shape(benchmark):
+    """The headline comparison: measured in-process, asserted as shape."""
+    import time
+
+    def measure(fn, repeats=3):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            assert fn() == EXPECTED
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    timings = {name: measure(fn) for name, fn in LEVELS.items()}
+    benchmark(tlm_dmi_sum)  # headline series for the table
+    speedups = {
+        name: round(timings["gate"] / elapsed, 1)
+        for name, elapsed in timings.items()
+    }
+    benchmark.extra_info["speedup_vs_gate"] = speedups
+    # Paper shape: each abstraction step buys significant speed; TLM is
+    # orders of magnitude above gate level.
+    assert timings["gate"] > timings["iss"] > timings["tlm_lt"]
+    assert timings["tlm_lt"] >= timings["tlm_dmi"]
+    assert timings["gate"] / timings["tlm_lt"] > 10

@@ -1,0 +1,83 @@
+"""E1 (Fig. 2) — mission-profile flow through the supply chain.
+
+Regenerates the paper's Fig. 2 pipeline: an OEM vehicle profile is
+refined to a Tier-1 ECU profile and a semiconductor-level profile,
+fault/error descriptions are derived at every level, and a stressor
+specification is produced.  The benchmark measures the whole
+formalisation pipeline; ``extra_info`` records the derived-rate shape
+the paper's Sec. 3.2 example predicts (vibration accelerates wiring
+faults far more than temperature accelerates SEUs).
+"""
+
+import pytest
+
+from repro.faults import STANDARD_CATALOG, catalog_by_name
+from repro.mission import (
+    ProfileTransfer,
+    derive_descriptors,
+    derive_stressor_spec,
+    standard_passenger_car_profile,
+)
+
+TIER1_TRANSFER = ProfileTransfer(
+    component_name="steering_ecu",
+    temperature_rise_c=25.0,
+    vibration_amplification=2.5,
+    emi_shielding=0.7,
+)
+CHIP_TRANSFER = ProfileTransfer(
+    component_name="mcu",
+    temperature_rise_c=15.0,
+    vibration_amplification=1.0,
+    emi_shielding=0.5,
+)
+
+
+def full_pipeline():
+    oem = standard_passenger_car_profile()
+    tier1 = oem.refine(TIER1_TRANSFER)
+    chip = tier1.refine(CHIP_TRANSFER)
+    specs = [
+        derive_stressor_spec(profile, STANDARD_CATALOG, special_boost=10.0)
+        for profile in (oem, tier1, chip)
+    ]
+    return specs
+
+
+def test_fig2_pipeline(benchmark):
+    specs = benchmark(full_pipeline)
+    oem_spec, tier1_spec, chip_spec = specs
+
+    base = catalog_by_name()
+    tier1_rates = {d.name: d.rate_per_hour for d in tier1_spec.descriptors}
+
+    wiring_acceleration = (
+        tier1_rates["sensor_open_load"] / base["sensor_open_load"].rate_per_hour
+    )
+    seu_acceleration = tier1_rates["sram_seu"] / base["sram_seu"].rate_per_hour
+
+    # Shape (Sec. 3.2): mounting-point vibration drives wiring faults
+    # much harder than the thermal profile drives SEUs.
+    assert wiring_acceleration > 3 * seu_acceleration
+    # Rates only grow as the profile moves into harsher local contexts.
+    assert tier1_spec.total_rate_per_hour > oem_spec.total_rate_per_hour
+    # The special operating state is over-sampled but still normalised.
+    weights = {w.state.name: w.weight for w in tier1_spec.state_weights}
+    assert weights["curbstone_steering"] > 0.01  # boosted over 1% share
+    assert sum(weights.values()) == pytest.approx(1.0)
+
+    benchmark.extra_info["wiring_acceleration_tier1"] = round(
+        wiring_acceleration, 1
+    )
+    benchmark.extra_info["seu_acceleration_tier1"] = round(seu_acceleration, 2)
+    benchmark.extra_info["total_rate_oem"] = f"{oem_spec.total_rate_per_hour:.2e}"
+    benchmark.extra_info["total_rate_chip"] = (
+        f"{chip_spec.total_rate_per_hour:.2e}"
+    )
+
+
+def test_fig2_derivation_only(benchmark):
+    """The descriptor-derivation step alone (per-level cost)."""
+    tier1 = standard_passenger_car_profile().refine(TIER1_TRANSFER)
+    derived = benchmark(derive_descriptors, tier1, STANDARD_CATALOG)
+    assert len(derived) == len(STANDARD_CATALOG)

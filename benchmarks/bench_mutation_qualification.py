@@ -1,0 +1,189 @@
+"""E7 — mutation analysis: cost, score, and the schema optimisation.
+
+Regenerates the Sec. 2.4 claims:
+
+* the **mutation score separates testbenches that coverage cannot** —
+  a coverage-chasing testbench and a checking testbench drive the same
+  statements, yet their scores differ widely;
+* mutant **schemata** amortise compilation: qualifying through one
+  switchable schema beats regenerating/compiling mutants per run ([21]).
+
+The DUT is the CAN receive-path validation model also used by the
+``testbench_qualification`` example.
+"""
+
+from repro.hw import ecc
+from repro.mutation import (
+    MutantSchema,
+    generate_mutants,
+    run_mutation_analysis,
+)
+
+
+def validate_frame(data, expected_counter):
+    if len(data) != 4:
+        return None, expected_counter
+    body = data[:3]
+    crc = data[3]
+    if ecc.crc8(body) != crc:
+        return None, expected_counter
+    counter = body[0] & 15
+    if counter != expected_counter:
+        return None, (counter + 1) & 15
+    speed = body[1] + body[2] * 256
+    if speed > 10000:
+        return None, (counter + 1) & 15
+    return speed, (counter + 1) & 15
+
+
+def make_frame(speed, counter):
+    body = bytes([counter & 15, speed & 0xFF, (speed >> 8) & 0xFF])
+    return body + bytes([ecc.crc8(body)])
+
+
+def weak_testbench(dut) -> bool:
+    dut(b"\x00\x01", 0)
+    corrupted = bytearray(make_frame(1234, 0))
+    corrupted[1] ^= 0x40
+    dut(bytes(corrupted), 0)
+    dut(make_frame(1234, 3), 0)
+    dut(make_frame(10001, 0), 0)
+    speed, _ = dut(make_frame(1234, 0), 0)
+    return speed != 1234
+
+
+def strong_testbench(dut) -> bool:
+    for frame, counter, expected, expected_next in (
+        (make_frame(1234, 0), 0, 1234, 1),
+        (make_frame(0, 5), 5, 0, 6),
+        (make_frame(10000, 15), 15, 10000, 0),
+    ):
+        speed, next_counter = dut(frame, counter)
+        if speed != expected or next_counter != expected_next:
+            return True
+    corrupted = bytearray(make_frame(1234, 0))
+    corrupted[1] ^= 0x40
+    if dut(bytes(corrupted), 0)[0] is not None:
+        return True
+    if dut(make_frame(1234, 3), 0)[0] is not None:
+        return True
+    if dut(make_frame(10001, 0), 0)[0] is not None:
+        return True
+    if dut(b"\x00\x01", 0)[0] is not None:
+        return True
+    return False
+
+
+def test_mutant_generation_cost(benchmark):
+    mutants = benchmark(generate_mutants, validate_frame)
+    assert len(mutants) > 40
+    benchmark.extra_info["mutants"] = len(mutants)
+
+
+def test_qualification_separates_testbenches(benchmark):
+    weak = run_mutation_analysis(validate_frame, weak_testbench)
+    strong = benchmark(
+        run_mutation_analysis, validate_frame, strong_testbench
+    )
+    benchmark.extra_info["weak_score"] = round(weak.score, 3)
+    benchmark.extra_info["strong_score"] = round(strong.score, 3)
+    benchmark.extra_info["weak_survivors"] = len(weak.survivors)
+    # Paper shape: the strong testbench's mutation score is clearly
+    # higher even though both drive every statement of the DUT.
+    assert strong.score > weak.score + 0.1
+    assert weak.survivors
+
+
+def test_schema_amortises_compilation(benchmark):
+    schema = MutantSchema(validate_frame)  # one-time build
+
+    def qualify_through_schema():
+        return schema.qualify(strong_testbench)
+
+    result = benchmark(qualify_through_schema)
+    # Same verdicts, compilation paid once.
+    direct = run_mutation_analysis(validate_frame, strong_testbench)
+    assert result.score == direct.score
+    benchmark.extra_info["score"] = round(result.score, 3)
+
+
+def test_schema_speedup_shape(benchmark):
+    import time
+
+    def timed(fn, repeats=3):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    schema = MutantSchema(validate_frame)
+    per_run_regeneration = timed(
+        lambda: run_mutation_analysis(validate_frame, strong_testbench)
+    )
+    through_schema = timed(lambda: schema.qualify(strong_testbench))
+    benchmark(lambda: schema.qualify(strong_testbench))
+    speedup = per_run_regeneration / through_schema
+    benchmark.extra_info["schema_speedup"] = round(speedup, 1)
+    # Shape ([21]): schema execution beats regeneration-per-campaign.
+    assert speedup > 1.5
+
+
+# ---------------------------------------------------------------------------
+# Binary mutation on the ISS (refs [22], [30]) — the XEMU-style flow
+# ---------------------------------------------------------------------------
+
+from repro.hw import Memory, Vp16Cpu, assemble  # noqa: E402
+from repro.kernel import Module, Simulator  # noqa: E402
+from repro.mutation import BinaryMutationEngine  # noqa: E402
+from repro.tlm import Router  # noqa: E402
+
+_SUM_PROGRAM = assemble(
+    """
+        ldi  r1, 0
+        ldi  r2, 10
+    loop:
+        add  r1, r1, r2
+        addi r2, r2, -1
+        bne  r2, r0, loop
+        halt
+    """
+)
+_SUM_EXPECTED = sum(range(1, 11))
+
+
+def _run_binary(image):
+    sim = Simulator()
+    top = Module("top", sim=sim)
+    router = Router("bus", parent=top, hop_latency=2)
+    mem = Memory("mem", parent=top, size=4096, read_latency=2, write_latency=2)
+    router.map_target(0x0, 4096, mem.tsock)
+    cpu = Vp16Cpu("cpu", parent=top, clock_period=10, max_instructions=5_000)
+    cpu.isock.bind(router.tsock)
+    mem.load(0, image)
+    cpu.start(pc=0)
+    sim.run(until=10_000_000)
+    return cpu
+
+
+def _binary_testbench(image) -> bool:
+    cpu = _run_binary(image)
+    return (
+        not cpu.halted
+        or cpu.trap_cause is not None
+        or cpu.regs[1] != _SUM_EXPECTED
+    )
+
+
+def test_binary_mutation_qualification(benchmark):
+    """Whole-binary qualification on the ISS: each mutant boots a fresh
+    platform — the cost profile of emulator-based mutation testing."""
+    engine = BinaryMutationEngine(_SUM_PROGRAM.image, _binary_testbench)
+
+    result = benchmark.pedantic(engine.qualify, rounds=1, iterations=1)
+    benchmark.extra_info["mutants"] = result.total
+    benchmark.extra_info["score"] = round(result.score, 3)
+    # A result-checking testbench with an instruction budget kills
+    # essentially everything (runaway mutants hit the budget trap).
+    assert result.score > 0.9

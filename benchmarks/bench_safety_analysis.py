@@ -1,0 +1,174 @@
+"""E8 — classical safety analyses at scale (Sec. 2.1).
+
+Benchmarks the three traditional methods the paper builds on, plus the
+simulation bridge it calls for:
+
+* **FTA** — minimal-cut-set extraction and top-event probability on a
+  parametric redundant architecture (n channel groups with voters);
+* **FMEDA** — ISO 26262 metric computation over a generated worksheet;
+* **FPTC** — fixpoint over a chain-with-feedback component graph;
+* **FT synthesis from simulation** (ref [8]) — campaign records in,
+  quantified fault tree out.
+"""
+
+import pytest
+
+from repro.safety import (
+    AndGate,
+    Asil,
+    BasicEvent,
+    FailureMode,
+    FaultTree,
+    Fmeda,
+    FptcComponent,
+    FptcModel,
+    KofNGate,
+    OrGate,
+    Rule,
+)
+
+
+def redundant_tree(groups: int) -> FaultTree:
+    """OR over *groups* 2-of-3 voted channel triples."""
+    branches = []
+    for g in range(groups):
+        events = [
+            BasicEvent(f"ch{g}_{i}", 1e-4 * (1 + i)) for i in range(3)
+        ]
+        branches.append(KofNGate(f"vote{g}", 2, events))
+    return FaultTree(OrGate("top", branches))
+
+
+@pytest.mark.parametrize("groups", [2, 4, 8])
+def test_fta_cut_sets(benchmark, groups):
+    tree = redundant_tree(groups)
+    cut_sets = benchmark(tree.minimal_cut_sets)
+    # Each voted triple contributes its 3 double-fault combinations.
+    assert len(cut_sets) == 3 * groups
+    assert all(len(cs) == 2 for cs in cut_sets)
+
+
+def test_fta_probability_and_importance(benchmark):
+    tree = redundant_tree(4)
+
+    def analyse():
+        return tree.top_event_probability(), tree.importance_ranking()
+
+    probability, ranking = benchmark(analyse)
+    assert 0 < probability < 1e-5
+    # No single points of failure in a fully voted design.
+    assert tree.single_points_of_failure() == []
+    benchmark.extra_info["top_probability"] = f"{probability:.3e}"
+
+
+def generated_fmeda(modes: int) -> Fmeda:
+    fmeda = Fmeda("generated")
+    for index in range(modes):
+        fmeda.add(
+            FailureMode(
+                component=f"part{index % 16}",
+                mode=f"mode{index}",
+                rate_per_hour=1e-9 * (1 + index % 7),
+                safe_fraction=0.3 if index % 3 else 0.0,
+                diagnostic_coverage=0.99 if index % 2 else 0.90,
+                latent_coverage=0.9,
+            )
+        )
+    return fmeda
+
+
+def test_fmeda_metrics(benchmark):
+    fmeda = generated_fmeda(300)
+
+    def metrics():
+        return fmeda.spfm, fmeda.lfm, fmeda.pmhf, fmeda.achieved_asil()
+
+    spfm, lfm, pmhf, asil = benchmark(metrics)
+    assert 0.9 < spfm <= 1.0
+    assert asil in (Asil.QM, Asil.B, Asil.C, Asil.D)
+    benchmark.extra_info["spfm"] = round(spfm, 4)
+    benchmark.extra_info["pmhf_per_hour"] = f"{pmhf:.2e}"
+    benchmark.extra_info["asil"] = asil.name
+
+
+def chain_model(length: int) -> FptcModel:
+    model = FptcModel()
+    model.add_component(
+        FptcComponent(
+            "source", inputs=[], outputs=["out"], source_tokens=("value",)
+        )
+    )
+    previous = "source"
+    for index in range(length):
+        name = f"stage{index}"
+        rules = []
+        if index == length // 2:
+            # One mid-chain corrector turns value errors into delays.
+            rules = [
+                Rule({"in": "value"}, {"out": "late"}),
+                Rule({"in": "_"}, {"out": "*"}),
+            ]
+        model.add_component(
+            FptcComponent(name, inputs=["in"], outputs=["out"], rules=rules)
+        )
+        model.connect(previous, "out", name, "in")
+        previous = name
+    return model
+
+
+@pytest.mark.parametrize("length", [10, 40])
+def test_fptc_fixpoint(benchmark, length):
+    model = chain_model(length)
+    result = benchmark(model.solve)
+    final = result[f"stage{length - 1}"]["out"]
+    # The corrector transformed the value failure into a timing one.
+    assert "late" in final
+    assert "value" not in final
+
+
+def test_ft_synthesis_from_campaign(benchmark):
+    """Ref [8]: fault trees created from simulation results."""
+    from repro.core import (
+        CampaignResult,
+        ErrorScenario,
+        Outcome,
+        PlannedInjection,
+        RunRecord,
+        synthesize_fault_tree,
+    )
+    from repro.faults import FaultDescriptor, FaultKind
+
+    descriptors = {
+        f"fault{i}": FaultDescriptor(
+            name=f"fault{i}", kind=FaultKind.BIT_FLIP,
+            rate_per_hour=1e-7 * (i + 1),
+        )
+        for i in range(6)
+    }
+
+    result = CampaignResult(duration=1000)
+    # Synthesize 60 records: some hazardous pairs, some benign.
+    for index in range(60):
+        a = descriptors[f"fault{index % 6}"]
+        b = descriptors[f"fault{(index + 1) % 6}"]
+        scenario = ErrorScenario(
+            f"s{index}",
+            [
+                PlannedInjection(10, f"t{index % 6}", a),
+                PlannedInjection(20, f"t{(index + 1) % 6}", b),
+            ],
+        )
+        outcome = Outcome.HAZARDOUS if index % 6 == 0 else Outcome.MASKED
+        result.append(
+            RunRecord(index, scenario, outcome, [], {}, 2)
+        )
+
+    tree = benchmark(
+        synthesize_fault_tree, result, descriptors, 8000.0
+    )
+    assert tree is not None
+    assert tree.minimal_cut_sets()
+    benchmark.extra_info["cut_sets"] = len(tree.minimal_cut_sets())
+    benchmark.extra_info["top_probability"] = (
+        f"{tree.top_event_probability():.3e}"
+    )

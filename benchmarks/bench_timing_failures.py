@@ -1,0 +1,145 @@
+"""E9 — "The right value at the wrong time can still be an error."
+
+Regenerates the Sec. 3.4 timing criterion on the ACC platform: faults
+are swept over two classes —
+
+* **value-class** (sensor front-end drifts, CAN corruption) and
+* **timing-class** (error-correction overhead injected into the RTOS
+  control task, modeling retries/recovery).
+
+The benchmark records how the classifier splits outcomes: the
+timing-class faults produce deadline misses and late braking with
+*correct* final values, a failure mode invisible to any purely
+value-based check — the reason VP safety evaluation must simulate time
+and concurrency (kernel + RTOS substrates, not instruction counting).
+"""
+
+import pytest
+
+from repro.core import (
+    Campaign,
+    ErrorScenario,
+    Outcome,
+    PlannedInjection,
+)
+from repro.faults import (
+    CAN_BIT_CORRUPTION,
+    RECOVERY_OVERHEAD,
+    SENSOR_OFFSET_DRIFT,
+)
+from repro.kernel import simtime
+from repro.platforms import acc
+
+
+def make_campaign(seed=3) -> Campaign:
+    return Campaign(
+        platform_factory=acc.build_acc,
+        observe=acc.observe,
+        classifier=acc.acc_classifier(),
+        duration=acc.DEFAULT_DURATION,
+        seed=seed,
+    )
+
+
+def overhead_scenario(repeats: int, extra: int) -> ErrorScenario:
+    return ErrorScenario(
+        "overheads",
+        [
+            PlannedInjection(
+                simtime.ms(40 + 20 * i),
+                "acc.actuator_ecu.os.sched",
+                RECOVERY_OVERHEAD.with_params(task="control", extra=extra),
+            )
+            for i in range(repeats)
+        ],
+    )
+
+
+def test_timing_fault_run(benchmark):
+    campaign = make_campaign()
+    campaign.golden()
+    scenario = overhead_scenario(repeats=10, extra=simtime.ms(18))
+
+    outcome, labels, obs, _ = benchmark(
+        campaign.execute_scenario, scenario, 1
+    )
+    # The value is right (full braking) but the deadlines are not.
+    assert outcome is Outcome.TIMING_FAILURE
+    assert obs["final_pressure"] == campaign.golden()["final_pressure"]
+    assert obs["deadline_misses"] > 0
+    benchmark.extra_info["deadline_misses"] = obs["deadline_misses"]
+    benchmark.extra_info["worst_response_us"] = (
+        obs["worst_control_response"] // 1000
+    )
+
+
+@pytest.mark.parametrize("extra_ms", [5, 18, 40])
+def test_overhead_severity_sweep(benchmark, extra_ms):
+    """Overhead below the deadline slack is absorbed; above, it fails."""
+    campaign = make_campaign()
+    campaign.golden()
+    scenario = overhead_scenario(repeats=10, extra=simtime.ms(extra_ms))
+    outcome, labels, obs, _ = benchmark(
+        campaign.execute_scenario, scenario, 1
+    )
+    benchmark.extra_info["outcome"] = outcome.name
+    if extra_ms == 5:
+        # 2 ms wcet + 5 ms extra < 15 ms deadline: absorbed.
+        assert outcome in (Outcome.NO_EFFECT, Outcome.MASKED)
+    else:
+        assert outcome is Outcome.TIMING_FAILURE
+
+
+def test_value_vs_timing_split(benchmark):
+    """The headline table: outcome classes per fault class."""
+    campaign = make_campaign()
+    campaign.golden()
+
+    value_class = [
+        ErrorScenario(
+            "drift",
+            [
+                PlannedInjection(
+                    simtime.ms(30), "acc.sensor_ecu.radar.frontend",
+                    SENSOR_OFFSET_DRIFT.with_params(offset=-15.0),
+                )
+            ],
+        ),
+        ErrorScenario(
+            "wire",
+            [
+                PlannedInjection(
+                    simtime.ms(90), "acc.can0.wire", CAN_BIT_CORRUPTION
+                )
+            ],
+        ),
+    ]
+    timing_class = [
+        overhead_scenario(repeats=8, extra=simtime.ms(17)),
+        overhead_scenario(repeats=12, extra=simtime.ms(25)),
+    ]
+
+    def classify_all():
+        outcomes = {}
+        for index, scenario in enumerate(value_class + timing_class):
+            outcome, *_ = campaign.execute_scenario(scenario, run_seed=index)
+            outcomes[f"{scenario.name}_{index}"] = outcome
+        return outcomes
+
+    outcomes = benchmark(classify_all)
+    benchmark.extra_info["outcomes"] = {
+        name: outcome.name for name, outcome in outcomes.items()
+    }
+    timing_outcomes = [
+        outcome
+        for name, outcome in outcomes.items()
+        if name.startswith("overheads")
+    ]
+    # Shape: every timing-class fault lands in TIMING_FAILURE, and no
+    # value-class fault does.
+    assert all(o is Outcome.TIMING_FAILURE for o in timing_outcomes)
+    assert all(
+        o is not Outcome.TIMING_FAILURE
+        for name, o in outcomes.items()
+        if not name.startswith("overheads")
+    )

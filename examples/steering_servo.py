@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Steering servo: mission-profile-driven stress testing (Fig. 2).
+
+The paper's Sec. 3.2 walkthrough, end to end:
+
+1. start from the OEM-level mission profile of a passenger car;
+2. refine it down the supply chain (Tier-1 steering ECU in the engine
+   bay: hotter, much more vibration);
+3. derive fault/error descriptions — the vibration stress raises the
+   open-load / short-to-ground rates, exactly the example in the text;
+4. build the stressor specification with the operating states,
+   over-sampling the special "steering against a curbstone" state;
+5. run the campaign per operating state — the same fault mix produces
+   visibly different outcome distributions per state (the stalled
+   curbstone state masks sensor faults that the driving states expose
+   as silent deviations), which is exactly why mission profiles must
+   parameterise the stress tests.
+
+Run:  python examples/steering_servo.py
+"""
+
+import random
+
+from repro.core import (
+    Campaign,
+    FaultSpace,
+    RandomStrategy,
+    summarize,
+)
+from repro.faults import STANDARD_CATALOG, catalog_for_target
+from repro.kernel import Simulator, simtime
+from repro.mission import (
+    ProfileTransfer,
+    derive_stressor_spec,
+    standard_passenger_car_profile,
+)
+from repro.platforms import steering
+
+
+def derive() -> tuple:
+    print("== mission profile refinement (OEM -> Tier1 -> component) ==")
+    oem = standard_passenger_car_profile()
+    print(
+        f"  OEM   : vib {oem.vibration.grms:.1f} g, "
+        f"mean temp {oem.temperature.mean:.0f} C, "
+        f"EMI {oem.emi.field_v_per_m:.0f} V/m"
+    )
+    tier1 = oem.refine(
+        ProfileTransfer(
+            component_name="steering_ecu",
+            temperature_rise_c=25.0,
+            vibration_amplification=2.5,  # column bracket resonance
+            emi_shielding=0.7,
+        )
+    )
+    print(
+        f"  Tier1 : vib {tier1.vibration.grms:.1f} g, "
+        f"mean temp {tier1.temperature.mean:.0f} C, "
+        f"EMI {tier1.emi.field_v_per_m:.0f} V/m"
+    )
+
+    spec = derive_stressor_spec(
+        tier1,
+        catalog_for_target("analog"),
+        target_kinds=["analog"],
+        special_boost=10.0,
+    )
+    print("\n== derived fault/error descriptions (rates per hour) ==")
+    base = {d.name: d for d in STANDARD_CATALOG}
+    for descriptor in spec.descriptors:
+        ratio = descriptor.rate_per_hour / base[descriptor.name].rate_per_hour
+        print(
+            f"  {descriptor.name:<24} {descriptor.rate_per_hour:.2e} "
+            f"({ratio:5.1f}x catalog base)"
+        )
+    print(
+        "\n  note the vibration-driven wiring faults (open load, short "
+        "to ground)\n  accelerated far beyond the thermally driven ones "
+        "— the Sec. 3.2 example."
+    )
+    return tier1, spec
+
+
+def campaign_per_state(spec) -> None:
+    print("\n== error-effect simulation per operating state ==")
+    rng = random.Random(3)
+    for weight in spec.state_weights:
+        state = weight.state
+        factory = steering.build_steering(state)
+        campaign = Campaign(
+            platform_factory=factory,
+            observe=steering.observe,
+            classifier=steering.steering_classifier(),
+            duration=steering.DEFAULT_DURATION,
+            seed=rng.randrange(2**31),
+        )
+        probe = Simulator()
+        space = FaultSpace(
+            factory(probe),
+            spec.descriptors,
+            window_start=simtime.ms(20),
+            window_end=simtime.ms(200),
+            time_bins=2,
+        )
+        strategy = RandomStrategy(
+            space, faults_per_scenario=1, rate_weighted=True, spec=spec
+        )
+        result = campaign.run(strategy, runs=25)
+        histogram = result.outcome_histogram()
+        marker = "  <- special state" if state.special else ""
+        print(
+            f"  {state.name:<22} (sample weight {weight.weight:.2f}, "
+            f"servo load {state.loads.get('servo_load', 0.0):4.1f})"
+            f"{marker}"
+        )
+        parts = ", ".join(
+            f"{outcome.name}={count}"
+            for outcome, count in histogram.items()
+            if count
+        )
+        print(f"      {parts}")
+
+
+def main() -> None:
+    tier1, spec = derive()
+    campaign_per_state(spec)
+    print(
+        "\nexpected faults over the component's operating life: "
+        f"{spec.expected_faults(hours=tier1.operating_hours):.4f}"
+    )
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

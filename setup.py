@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` falls back to the legacy setup.py develop path when
+PEP 517 builds are unavailable (this offline environment lacks
+``wheel``).  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""vpsafe — safety evaluation of automotive electronics using virtual
+prototypes.
+
+A reproduction of the framework envisioned by Oetjens et al.,
+"Safety Evaluation of Automotive Electronics Using Virtual Prototypes:
+State of the Art and Research Challenges" (DAC 2014).
+
+Subpackages
+-----------
+``repro.kernel``    SystemC-like discrete-event simulation kernel
+``repro.tlm``       TLM-2.0-style transaction-level modeling
+``repro.hw``        hardware models (memory, CPU/ISS, CAN, sensors, ...)
+``repro.gate``      gate-level netlists, simulation, fault campaigns
+``repro.sw``        RTOS scheduling + AUTOSAR-flavoured layers
+``repro.uvm``       UVM-style testbench library
+``repro.faults``    formalized fault descriptors
+``repro.mission``   mission profiles, rate models, derivation (Fig. 2)
+``repro.safety``    FTA, FMEDA/ISO 26262 metrics, FPTC
+``repro.mutation``  mutation analysis for testbench qualification
+``repro.symbolic``  lite symbolic execution for stimulus generation
+``repro.analog``    timed-dataflow analog front-end modeling
+``repro.stats``     campaign statistics
+``repro.core``      the error-effect simulation framework (Fig. 3)
+"""
+
+__version__ = "1.0.0"

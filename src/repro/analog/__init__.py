@@ -1,0 +1,29 @@
+"""Analog/AMS-lite: timed-dataflow modeling (substrate S12)."""
+
+from .tdf import (
+    Adder,
+    Comparator,
+    Delay,
+    Gain,
+    LowPass,
+    Offset,
+    Quantizer,
+    Saturation,
+    Source,
+    TdfBlock,
+    TdfGraph,
+)
+
+__all__ = [
+    "Adder",
+    "Comparator",
+    "Delay",
+    "Gain",
+    "LowPass",
+    "Offset",
+    "Quantizer",
+    "Saturation",
+    "Source",
+    "TdfBlock",
+    "TdfGraph",
+]

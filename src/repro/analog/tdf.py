@@ -1,0 +1,349 @@
+"""Timed-dataflow (TDF) analog modeling, SystemC-AMS style.
+
+Sec. 3.3: "Digital based methodologies have to be extended towards AMS
+(Analogue Mixed Signal) designs", citing the SystemC-AMS work of Li et
+al. [37].  This module is the AMS extension of this framework: static
+single-rate dataflow graphs whose blocks process one sample per
+timestep, embedded into the discrete-event kernel as a clocked process
+— exactly the SystemC-AMS TDF model of computation.
+
+Every block output passes through an :class:`~repro.hw.sensors.AnalogFault`
+stage and each block registers an ``"analog"`` injection point, so TDF
+front-ends participate in fault campaigns with the same descriptors as
+plain sensors (offset/gain drift, stuck, open, noise).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..hw.sensors import AnalogFault, AnalogInjectionPoint
+from ..kernel import Module
+
+
+class TdfBlock:
+    """One dataflow block: named inputs -> named outputs, one sample at
+    a time.
+
+    Subclasses implement :meth:`processing`; state (for filters,
+    delays) lives on the instance.
+    """
+
+    inputs: _t.Tuple[str, ...] = ("in",)
+    outputs: _t.Tuple[str, ...] = ("out",)
+
+    def __init__(self, name: str, rng=None):
+        self.name = name
+        self.fault = AnalogFault()
+        self.rng = rng
+        self.samples_processed = 0
+
+    def processing(
+        self, inputs: _t.Dict[str, float], time: int
+    ) -> _t.Dict[str, float]:
+        raise NotImplementedError
+
+    def _apply_fault(self, value: float) -> float:
+        fault = self.fault
+        if fault.open_circuit:
+            return 0.0
+        if fault.stuck_value is not None:
+            return fault.stuck_value
+        value = value * fault.gain + fault.offset
+        if fault.noise_sigma:
+            rng = self.rng if self.rng is not None else fault.noise_rng
+            if rng is None:
+                raise RuntimeError(
+                    f"block {self.name!r}: noise fault armed but no rng"
+                )
+            value += rng.gauss(0.0, fault.noise_sigma)
+        return value
+
+    def execute(
+        self, inputs: _t.Dict[str, float], time: int
+    ) -> _t.Dict[str, float]:
+        self.samples_processed += 1
+        produced = self.processing(inputs, time)
+        return {
+            port: self._apply_fault(value)
+            for port, value in produced.items()
+        }
+
+    def reset(self) -> None:
+        """Clear internal state; overridden by stateful blocks."""
+
+
+# ---------------------------------------------------------------------------
+# The standard block library
+# ---------------------------------------------------------------------------
+
+class Source(TdfBlock):
+    """Signal source: ``fn(time_units) -> float``."""
+
+    inputs = ()
+
+    def __init__(self, name: str, fn: _t.Callable[[int], float]):
+        super().__init__(name)
+        self.fn = fn
+
+    def processing(self, inputs, time):
+        return {"out": self.fn(time)}
+
+
+class Gain(TdfBlock):
+    def __init__(self, name: str, k: float):
+        super().__init__(name)
+        self.k = k
+
+    def processing(self, inputs, time):
+        return {"out": inputs["in"] * self.k}
+
+
+class Offset(TdfBlock):
+    def __init__(self, name: str, bias: float):
+        super().__init__(name)
+        self.bias = bias
+
+    def processing(self, inputs, time):
+        return {"out": inputs["in"] + self.bias}
+
+
+class Adder(TdfBlock):
+    inputs = ("a", "b")
+
+    def processing(self, inputs, time):
+        return {"out": inputs["a"] + inputs["b"]}
+
+
+class LowPass(TdfBlock):
+    """First-order IIR low-pass: y += alpha * (x - y)."""
+
+    def __init__(self, name: str, alpha: float):
+        super().__init__(name)
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0,1]")
+        self.alpha = alpha
+        self.state = 0.0
+
+    def processing(self, inputs, time):
+        self.state += self.alpha * (inputs["in"] - self.state)
+        return {"out": self.state}
+
+    def reset(self):
+        self.state = 0.0
+
+
+class Saturation(TdfBlock):
+    def __init__(self, name: str, low: float, high: float):
+        super().__init__(name)
+        if high < low:
+            raise ValueError("empty saturation range")
+        self.low = low
+        self.high = high
+
+    def processing(self, inputs, time):
+        return {"out": min(max(inputs["in"], self.low), self.high)}
+
+
+class Comparator(TdfBlock):
+    """Threshold detector with hysteresis; output is 0.0 / 1.0."""
+
+    def __init__(self, name: str, threshold: float, hysteresis: float = 0.0):
+        super().__init__(name)
+        self.threshold = threshold
+        self.hysteresis = hysteresis
+        self.state = 0.0
+
+    def processing(self, inputs, time):
+        value = inputs["in"]
+        if self.state > 0.5:
+            if value < self.threshold - self.hysteresis:
+                self.state = 0.0
+        else:
+            if value > self.threshold:
+                self.state = 1.0
+        return {"out": self.state}
+
+    def reset(self):
+        self.state = 0.0
+
+
+class Delay(TdfBlock):
+    """One-sample delay (z^-1); breaks dataflow cycles.
+
+    The graph latches the delay's input *after* the whole step has
+    executed, so the output at step n is the driving value computed at
+    step n-1 even when the driver runs later in the schedule.
+    """
+
+    sequential = True
+
+    def __init__(self, name: str, initial: float = 0.0):
+        super().__init__(name)
+        self.initial = initial
+        self.state = initial
+
+    def processing(self, inputs, time):
+        return {"out": self.state}
+
+    def latch(self, value: float) -> None:
+        self.state = value
+
+    def reset(self):
+        self.state = self.initial
+
+
+class Quantizer(TdfBlock):
+    """ADC-style quantizer to *bits* over [vmin, vmax]."""
+
+    def __init__(self, name: str, bits: int, vmin: float, vmax: float):
+        super().__init__(name)
+        if vmax <= vmin or not 1 <= bits <= 24:
+            raise ValueError("bad quantizer configuration")
+        self.bits = bits
+        self.vmin = vmin
+        self.vmax = vmax
+
+    def processing(self, inputs, time):
+        value = min(max(inputs["in"], self.vmin), self.vmax)
+        levels = (1 << self.bits) - 1
+        code = round((value - self.vmin) / (self.vmax - self.vmin) * levels)
+        return {"out": self.vmin + code / levels * (self.vmax - self.vmin)}
+
+
+# ---------------------------------------------------------------------------
+# The graph
+# ---------------------------------------------------------------------------
+
+class TdfGraph(Module):
+    """A single-rate dataflow graph clocked by the DES kernel.
+
+    Blocks execute in topological order each *timestep*; ``Delay``
+    blocks are sequential (their output is last cycle's input) and so
+    may close feedback loops.  Output samples of watched ports are
+    recorded in :attr:`traces`.
+    """
+
+    def __init__(self, name: str, parent: Module, timestep: int):
+        super().__init__(name, parent=parent)
+        if timestep <= 0:
+            raise ValueError("timestep must be positive")
+        self.timestep = timestep
+        self.blocks: _t.Dict[str, TdfBlock] = {}
+        #: (src_block, src_port) feeding (dst_block, dst_port)
+        self._wires: _t.Dict[_t.Tuple[str, str], _t.Tuple[str, str]] = {}
+        self._order: _t.Optional[_t.List[TdfBlock]] = None
+        self.values: _t.Dict[_t.Tuple[str, str], float] = {}
+        self.traces: _t.Dict[_t.Tuple[str, str], _t.List[float]] = {}
+        self.samples = 0
+        self.process(self._run(), name="tdf")
+
+    def add(self, block: TdfBlock) -> TdfBlock:
+        if block.name in self.blocks:
+            raise ValueError(f"duplicate block {block.name!r}")
+        self.blocks[block.name] = block
+        self._order = None
+        self.register_injection_point(
+            block.name,
+            AnalogInjectionPoint(
+                f"{self.full_name}.{block.name}", block.fault
+            ),
+        )
+        return block
+
+    def connect(
+        self, src: str, dst: str,
+        src_port: str = "out", dst_port: str = "in",
+    ) -> None:
+        """Wire ``src.src_port`` to ``dst.dst_port``."""
+        source = self.blocks[src]
+        sink = self.blocks[dst]
+        if src_port not in source.outputs:
+            raise ValueError(f"{src}: no output {src_port!r}")
+        if dst_port not in sink.inputs:
+            raise ValueError(f"{dst}: no input {dst_port!r}")
+        key = (dst, dst_port)
+        if key in self._wires:
+            raise ValueError(f"{dst}.{dst_port} already driven")
+        self._wires[key] = (src, src_port)
+        self._order = None
+
+    def watch(self, block: str, port: str = "out") -> None:
+        """Record every sample of ``block.port`` into :attr:`traces`."""
+        self.traces[(block, port)] = []
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule(self) -> _t.List[TdfBlock]:
+        if self._order is not None:
+            return self._order
+        for (dst, dst_port) in [
+            (name, port)
+            for name, block in self.blocks.items()
+            for port in block.inputs
+        ]:
+            if (dst, dst_port) not in self._wires:
+                raise ValueError(f"unconnected input {dst}.{dst_port}")
+        order: _t.List[TdfBlock] = []
+        ready: _t.Set[str] = {
+            name
+            for name, block in self.blocks.items()
+            if getattr(block, "sequential", False) or not block.inputs
+        }
+        order.extend(
+            self.blocks[name] for name in sorted(ready)
+        )
+        remaining = [
+            block for name, block in sorted(self.blocks.items())
+            if name not in ready
+        ]
+        while remaining:
+            progress = False
+            still = []
+            for block in remaining:
+                feeders = {
+                    self._wires[(block.name, port)][0]
+                    for port in block.inputs
+                }
+                if feeders <= ready:
+                    order.append(block)
+                    ready.add(block.name)
+                    progress = True
+                else:
+                    still.append(block)
+            if not progress:
+                raise ValueError(
+                    "dataflow cycle without a Delay block: "
+                    f"{[b.name for b in still]}"
+                )
+            remaining = still
+        self._order = order
+        return order
+
+    def _run(self):
+        while True:
+            yield self.timestep
+            self.step()
+
+    def step(self) -> None:
+        """Execute one sample of the whole graph."""
+        order = self._schedule()
+        for block in order:
+            inputs = {
+                port: self.values.get(self._wires[(block.name, port)], 0.0)
+                for port in block.inputs
+            }
+            outputs = block.execute(inputs, self.sim.now)
+            for port, value in outputs.items():
+                self.values[(block.name, port)] = value
+                trace = self.traces.get((block.name, port))
+                if trace is not None:
+                    trace.append(value)
+        for block in order:
+            if getattr(block, "sequential", False):
+                source = self._wires[(block.name, block.inputs[0])]
+                block.latch(self.values.get(source, 0.0))
+        self.samples += 1
+
+    def value_of(self, block: str, port: str = "out") -> float:
+        return self.values.get((block, port), 0.0)

@@ -1,0 +1,210 @@
+"""The closed-loop stress-test campaign (Fig. 3).
+
+One :class:`Campaign` object owns the loop the paper draws: build a
+fresh virtual prototype, let the strategy pick an error scenario, arm
+the stressor, simulate, observe, classify against the golden run,
+update coverage, feed the outcome back to the strategy — and repeat.
+"Repeated stress tests enable a quantitative evaluation, e.g. to
+determine the safety integrity level" (Sec. 3.4): the campaign result
+carries exactly those quantities (failure probabilities with exact
+confidence intervals, measured diagnostic coverage per fault class).
+"""
+
+from __future__ import annotations
+
+import random
+import typing as _t
+
+from ..kernel import Module, Simulator
+from ..stats import WeightedRateEstimator, clopper_pearson
+from .classification import Classifier, Outcome, RunObservation
+from .coverage import FaultSpaceCoverage
+from .scenario import ErrorScenario, FaultSpace
+from .strategies import Strategy
+from .stressor import Stressor
+
+#: Builds a fresh platform into the given simulator; returns its root.
+PlatformFactory = _t.Callable[[Simulator], Module]
+#: Collects probe values after a run.
+ObserveFn = _t.Callable[[Module], RunObservation]
+
+
+class RunRecord(_t.NamedTuple):
+    """Everything retained about one campaign run."""
+
+    index: int
+    scenario: ErrorScenario
+    outcome: Outcome
+    matched_rules: _t.List[str]
+    observation: RunObservation
+    injections_applied: int
+
+
+class CampaignResult:
+    """Aggregated campaign outcome."""
+
+    def __init__(self, duration: int):
+        self.duration = duration
+        self.records: _t.List[RunRecord] = []
+        self._estimators: _t.Dict[Outcome, WeightedRateEstimator] = {}
+
+    def append(self, record: RunRecord) -> None:
+        self.records.append(record)
+        for outcome in Outcome:
+            estimator = self._estimators.setdefault(
+                outcome, WeightedRateEstimator()
+            )
+            estimator.record(
+                record.scenario.sampling_weight or 1.0,
+                record.outcome is outcome,
+            )
+
+    @property
+    def runs(self) -> int:
+        return len(self.records)
+
+    def count(self, outcome: Outcome) -> int:
+        return sum(1 for r in self.records if r.outcome is outcome)
+
+    def outcome_histogram(self) -> _t.Dict[Outcome, int]:
+        return {outcome: self.count(outcome) for outcome in Outcome}
+
+    def probability(self, outcome: Outcome) -> float:
+        """Importance-weighted probability of *outcome* per run."""
+        estimator = self._estimators.get(outcome)
+        if estimator is None or estimator.n == 0:
+            raise ValueError("no runs recorded")
+        return estimator.estimate
+
+    def confidence_interval(self, outcome: Outcome, confidence: float = 0.95):
+        """Exact (unweighted) binomial CI on the outcome frequency."""
+        return clopper_pearson(self.count(outcome), self.runs, confidence)
+
+    def first_run_with(self, outcome: Outcome) -> _t.Optional[int]:
+        """1-based index of the first run with *outcome* (cost metric)."""
+        for record in self.records:
+            if record.outcome is outcome:
+                return record.index + 1
+        return None
+
+    def failures(self) -> _t.List[RunRecord]:
+        return [r for r in self.records if r.outcome.is_failure]
+
+    def dangerous(self) -> _t.List[RunRecord]:
+        return [r for r in self.records if r.outcome.is_dangerous]
+
+    def diagnostic_coverage_by_descriptor(self) -> _t.Dict[str, float]:
+        """Measured DC per fault class: of the runs where this
+        descriptor caused *any* effect, the fraction handled safely
+        (masked or detected).  This is the number that replaces the
+        FMEDA expert estimate (see ``Fmeda.set_measured_coverage``)."""
+        effects: _t.Dict[str, int] = {}
+        handled: _t.Dict[str, int] = {}
+        for record in self.records:
+            if record.outcome is Outcome.NO_EFFECT:
+                continue
+            for name in {
+                inj.descriptor.name for inj in record.scenario.injections
+            }:
+                effects[name] = effects.get(name, 0) + 1
+                if record.outcome in (Outcome.MASKED, Outcome.DETECTED_SAFE):
+                    handled[name] = handled.get(name, 0) + 1
+        return {
+            name: handled.get(name, 0) / count
+            for name, count in effects.items()
+        }
+
+    def report(self) -> _t.Dict[str, _t.Any]:
+        histogram = self.outcome_histogram()
+        return {
+            "runs": self.runs,
+            "outcomes": {o.name: n for o, n in histogram.items()},
+            "failure_runs": len(self.failures()),
+            "dangerous_runs": len(self.dangerous()),
+        }
+
+
+class Campaign:
+    """The Fig. 3 loop, parameterised by platform, probes, and strategy."""
+
+    def __init__(
+        self,
+        platform_factory: PlatformFactory,
+        observe: ObserveFn,
+        classifier: Classifier,
+        duration: int,
+        seed: int = 0,
+    ):
+        if duration <= 0:
+            raise ValueError("campaign run duration must be positive")
+        self.platform_factory = platform_factory
+        self.observe = observe
+        self.classifier = classifier
+        self.duration = duration
+        self.seed = seed
+        self._golden: _t.Optional[RunObservation] = None
+
+    # -- golden reference -----------------------------------------------------
+
+    def golden(self) -> RunObservation:
+        """The fault-free reference observation (cached).
+
+        Platforms must be deterministic without faults, so one golden
+        run serves the whole campaign.
+        """
+        if self._golden is None:
+            sim = Simulator()
+            root = self.platform_factory(sim)
+            sim.run(until=self.duration)
+            self._golden = self.observe(root)
+        return self._golden
+
+    # -- single run -------------------------------------------------------------
+
+    def execute_scenario(
+        self, scenario: ErrorScenario, run_seed: int
+    ) -> _t.Tuple[Outcome, _t.List[str], RunObservation, int]:
+        """Run one scenario on a fresh platform; classify it."""
+        sim = Simulator()
+        root = self.platform_factory(sim)
+        stressor = Stressor(
+            "stressor", parent=root, platform_root=root,
+            rng=random.Random(run_seed),
+        )
+        stressor.arm(scenario)
+        sim.run(until=self.duration)
+        observation = self.observe(root)
+        outcome, matched = self.classifier.classify(observation, self.golden())
+        return outcome, matched, observation, len(stressor.applied)
+
+    # -- the loop -----------------------------------------------------------------
+
+    def run(
+        self,
+        strategy: Strategy,
+        runs: int,
+        coverage: _t.Optional[FaultSpaceCoverage] = None,
+        stop_on: _t.Optional[Outcome] = None,
+    ) -> CampaignResult:
+        """Execute *runs* iterations of the closed loop.
+
+        ``stop_on`` ends the campaign early once an outcome at least
+        that severe occurs (used by "time to first hazard" metrics).
+        """
+        result = CampaignResult(self.duration)
+        rng = random.Random(self.seed)
+        for index in range(runs):
+            scenario = strategy.next_scenario(rng)
+            outcome, matched, observation, applied = self.execute_scenario(
+                scenario, run_seed=rng.randrange(2**31)
+            )
+            record = RunRecord(
+                index, scenario, outcome, matched, observation, applied
+            )
+            result.append(record)
+            if coverage is not None:
+                coverage.record(scenario, outcome)
+            strategy.feedback(scenario, outcome)
+            if stop_on is not None and outcome >= stop_on:
+                break
+        return result

@@ -1,0 +1,126 @@
+"""Fault-space coverage: "intelligent coverage models ... to measure
+the completeness of the error effect simulation" (Sec. 3.4, Fig. 3).
+
+The model tracks, per (target × descriptor × time-bin) cell of the
+:class:`~repro.core.scenario.FaultSpace`:
+
+* how often the cell was injected,
+* which outcomes resulted,
+
+and reports structural closure (fraction of cells exercised) plus
+outcome-weighted views (e.g. cells whose behaviour is still unknown vs
+cells already shown benign).  Strategies consume :meth:`least_covered`
+to steer scenario generation toward closure.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing as _t
+
+from .classification import Outcome
+from .scenario import ErrorScenario, FaultSpace
+
+
+class CellStats:
+    __slots__ = ("hits", "outcomes")
+
+    def __init__(self):
+        self.hits = 0
+        self.outcomes: _t.Counter = collections.Counter()
+
+    def record(self, outcome: Outcome) -> None:
+        self.hits += 1
+        self.outcomes[outcome] += 1
+
+    @property
+    def worst(self) -> _t.Optional[Outcome]:
+        return max(self.outcomes) if self.outcomes else None
+
+
+class FaultSpaceCoverage:
+    """Coverage bookkeeping over one fault space."""
+
+    def __init__(self, space: FaultSpace):
+        self.space = space
+        self._cells: _t.Dict[_t.Tuple[str, str, int], CellStats] = {}
+        self.runs_recorded = 0
+
+    # -- recording ----------------------------------------------------------
+
+    def record(self, scenario: ErrorScenario, outcome: Outcome) -> None:
+        """Attribute *outcome* to every cell the scenario touched."""
+        self.runs_recorded += 1
+        for injection in scenario.injections:
+            key = (
+                injection.target_path,
+                injection.descriptor.name,
+                self.space.time_bin_of(injection.time),
+            )
+            self._cells.setdefault(key, CellStats()).record(outcome)
+
+    # -- metrics --------------------------------------------------------------
+
+    @property
+    def cells_hit(self) -> int:
+        return len(self._cells)
+
+    @property
+    def closure(self) -> float:
+        """Fraction of fault-space cells exercised at least once."""
+        return self.cells_hit / self.space.bin_count
+
+    def pair_closure(self) -> float:
+        """Closure ignoring the time axis."""
+        pairs_hit = {key[:2] for key in self._cells}
+        return len(pairs_hit) / len(self.space.pairs)
+
+    def outcome_histogram(self) -> _t.Counter:
+        histogram: _t.Counter = collections.Counter()
+        for stats in self._cells.values():
+            histogram.update(stats.outcomes)
+        return histogram
+
+    def cells_with_outcome(self, outcome: Outcome) -> _t.List[_t.Tuple[str, str, int]]:
+        return [
+            key
+            for key, stats in self._cells.items()
+            if outcome in stats.outcomes
+        ]
+
+    def hits_of(self, target: str, descriptor_name: str, time_bin: int) -> int:
+        stats = self._cells.get((target, descriptor_name, time_bin))
+        return stats.hits if stats else 0
+
+    # -- guidance ---------------------------------------------------------------
+
+    def least_covered(
+        self, count: int = 1
+    ) -> _t.List[_t.Tuple[_t.Tuple[str, _t.Any], int]]:
+        """The *count* least-hit (pair, time_bin) combinations.
+
+        Returns [((target, descriptor), time_bin), ...] sorted by hit
+        count ascending, unexercised cells first in deterministic pair
+        order.
+        """
+        ranked: _t.List[_t.Tuple[int, int, _t.Tuple, int]] = []
+        for pair_pos, (path, descriptor) in enumerate(self.space.pairs):
+            for time_bin in range(self.space.time_bins):
+                hits = self.hits_of(path, descriptor.name, time_bin)
+                ranked.append(
+                    (hits, pair_pos * self.space.time_bins + time_bin,
+                     (path, descriptor), time_bin)
+                )
+        ranked.sort(key=lambda row: (row[0], row[1]))
+        return [(row[2], row[3]) for row in ranked[:count]]
+
+    def report(self) -> _t.Dict[str, _t.Any]:
+        histogram = self.outcome_histogram()
+        return {
+            "runs": self.runs_recorded,
+            "cells_hit": self.cells_hit,
+            "total_cells": self.space.bin_count,
+            "closure": self.closure,
+            "pair_closure": self.pair_closure(),
+            "outcomes": {o.name: histogram.get(o, 0) for o in Outcome},
+        }

@@ -1,0 +1,187 @@
+"""Deriving coverage models from safety requirements (Sec. 3.4).
+
+"It has to be investigated how coverage models can be systematically
+derived from safety requirements and Mission Profiles. Then, the
+strategy of error injection and stimuli generation should be geared
+towards coverage closure."
+
+This module implements one systematic derivation:
+
+* a :class:`SafetyRequirement` names the protected function, the fault
+  kinds it must tolerate, and the operating states it applies in;
+* :func:`derive_coverage_goals` intersects the requirements with a
+  platform's fault space, yielding :class:`CoverageGoal` rows — the
+  fault-space cells that *must* be exercised (and with which minimum
+  outcome expectations) before the requirement counts as verified;
+* :class:`RequirementCoverage` tracks campaign results against the
+  goals and reports per-requirement verification status, giving the
+  "coverage closure" target that strategies steer toward.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import fnmatch
+import typing as _t
+
+from ..faults import FaultKind
+from .classification import Outcome
+from .coverage import FaultSpaceCoverage
+from .scenario import FaultSpace
+
+
+@dataclasses.dataclass(frozen=True)
+class SafetyRequirement:
+    """One derived safety requirement.
+
+    Parameters
+    ----------
+    target_glob:
+        Injection-point paths this requirement protects (glob).
+    fault_kinds:
+        The fault classes that must be handled.
+    max_acceptable:
+        The worst outcome this requirement tolerates for a *single*
+        covered fault (e.g. DETECTED_SAFE for an ASIL-D goal: single
+        faults may be detected but must never propagate).
+    min_injections:
+        How many injections per matching cell the verification needs.
+    """
+
+    name: str
+    statement: str
+    target_glob: str
+    fault_kinds: _t.FrozenSet[FaultKind]
+    max_acceptable: Outcome = Outcome.DETECTED_SAFE
+    min_injections: int = 1
+
+    def __post_init__(self):
+        if self.min_injections < 1:
+            raise ValueError(f"{self.name}: min_injections must be >= 1")
+
+
+@dataclasses.dataclass(frozen=True)
+class CoverageGoal:
+    """One cell a requirement obliges the campaign to exercise."""
+
+    requirement: str
+    target_path: str
+    descriptor_name: str
+    time_bin: int
+    max_acceptable: Outcome
+    min_injections: int
+
+
+def derive_coverage_goals(
+    requirements: _t.Sequence[SafetyRequirement],
+    space: FaultSpace,
+) -> _t.List[CoverageGoal]:
+    """Intersect requirements with the platform fault space."""
+    goals: _t.List[CoverageGoal] = []
+    for requirement in requirements:
+        matched = False
+        for path, descriptor in space.pairs:
+            if descriptor.kind not in requirement.fault_kinds:
+                continue
+            if not fnmatch.fnmatch(path, requirement.target_glob):
+                continue
+            matched = True
+            for time_bin in range(space.time_bins):
+                goals.append(
+                    CoverageGoal(
+                        requirement=requirement.name,
+                        target_path=path,
+                        descriptor_name=descriptor.name,
+                        time_bin=time_bin,
+                        max_acceptable=requirement.max_acceptable,
+                        min_injections=requirement.min_injections,
+                    )
+                )
+        if not matched:
+            raise ValueError(
+                f"requirement {requirement.name!r} matches nothing in the "
+                "fault space — wrong glob, missing descriptor kind, or "
+                "missing injection point"
+            )
+    return goals
+
+
+class GoalStatus(_t.NamedTuple):
+    goal: CoverageGoal
+    injections: int
+    worst_outcome: _t.Optional[Outcome]
+    covered: bool   # exercised often enough
+    satisfied: bool  # covered AND nothing worse than acceptable
+
+
+class RequirementCoverage:
+    """Tracks goals against a campaign's fault-space coverage."""
+
+    def __init__(
+        self,
+        goals: _t.Sequence[CoverageGoal],
+        coverage: FaultSpaceCoverage,
+    ):
+        if not goals:
+            raise ValueError("no coverage goals")
+        self.goals = list(goals)
+        self.coverage = coverage
+
+    def statuses(self) -> _t.List[GoalStatus]:
+        statuses: _t.List[GoalStatus] = []
+        for goal in self.goals:
+            key = (goal.target_path, goal.descriptor_name, goal.time_bin)
+            stats = self.coverage._cells.get(key)
+            injections = stats.hits if stats else 0
+            worst = stats.worst if stats else None
+            covered = injections >= goal.min_injections
+            satisfied = covered and (
+                worst is None or worst <= goal.max_acceptable
+            )
+            statuses.append(
+                GoalStatus(goal, injections, worst, covered, satisfied)
+            )
+        return statuses
+
+    def requirement_report(self) -> _t.Dict[str, _t.Dict[str, _t.Any]]:
+        """Per requirement: goal counts, closure, violations."""
+        report: _t.Dict[str, _t.Dict[str, _t.Any]] = {}
+        for status in self.statuses():
+            entry = report.setdefault(
+                status.goal.requirement,
+                {"goals": 0, "covered": 0, "satisfied": 0, "violations": []},
+            )
+            entry["goals"] += 1
+            entry["covered"] += int(status.covered)
+            entry["satisfied"] += int(status.satisfied)
+            if status.covered and not status.satisfied:
+                entry["violations"].append(
+                    f"{status.goal.target_path}/"
+                    f"{status.goal.descriptor_name}"
+                    f"@bin{status.goal.time_bin}"
+                    f" -> {status.worst_outcome.name}"
+                )
+        for entry in report.values():
+            entry["closure"] = (
+                entry["covered"] / entry["goals"] if entry["goals"] else 0.0
+            )
+            entry["verified"] = (
+                entry["satisfied"] == entry["goals"] and entry["goals"] > 0
+            )
+        return report
+
+    def open_goals(self) -> _t.List[CoverageGoal]:
+        """Goals not yet exercised enough — the closure worklist a
+        coverage-guided strategy should consume next."""
+        return [
+            status.goal for status in self.statuses() if not status.covered
+        ]
+
+    @property
+    def closure(self) -> float:
+        statuses = self.statuses()
+        return sum(s.covered for s in statuses) / len(statuses)
+
+    @property
+    def all_verified(self) -> bool:
+        return all(s.satisfied for s in self.statuses())

@@ -1,0 +1,167 @@
+"""Error scenarios and the fault space.
+
+An :class:`ErrorScenario` is one run's worth of planned injections —
+which descriptors, on which targets, at which times, under which
+operating state.  The :class:`FaultSpace` is the universe those
+scenarios are drawn from: the cartesian structure (injection points ×
+applicable descriptors × time bins) that the coverage model measures
+and the injection strategies sample.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import typing as _t
+
+from ..faults import FaultDescriptor
+from ..kernel import Module
+from ..mission import OperatingState
+
+
+@dataclasses.dataclass(frozen=True)
+class PlannedInjection:
+    """One (time, target, descriptor) triple of a scenario."""
+
+    time: int
+    target_path: str
+    descriptor: FaultDescriptor
+
+    def __post_init__(self):
+        if self.time < 0:
+            raise ValueError("injection time must be non-negative")
+
+
+@dataclasses.dataclass
+class ErrorScenario:
+    """A complete error scenario for one simulation run.
+
+    ``sampling_weight`` records the importance-sampling correction
+    p_true / p_sampled when a strategy over-samples this scenario class
+    (special operating states, suspected weak spots); the rate
+    estimators divide it back out.
+    """
+
+    name: str
+    injections: _t.List[PlannedInjection]
+    operating_state: _t.Optional[OperatingState] = None
+    sampling_weight: float = 1.0
+
+    @property
+    def fault_count(self) -> int:
+        return len(self.injections)
+
+    def bins(self) -> _t.List[_t.Tuple[str, str]]:
+        """The (target, descriptor) coverage bins this scenario hits."""
+        return [
+            (inj.target_path, inj.descriptor.name)
+            for inj in self.injections
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ErrorScenario({self.name!r}, {self.fault_count} faults, "
+            f"state={self.operating_state.name if self.operating_state else None})"
+        )
+
+
+class FaultSpace:
+    """The sampleable universe of single injections.
+
+    Built from a platform's injection points and a descriptor list:
+    every (point, descriptor) pair where the descriptor is applicable
+    to the point's kind, crossed with ``time_bins`` equal slices of the
+    injection window ``[window_start, window_end)``.
+    """
+
+    def __init__(
+        self,
+        root: Module,
+        descriptors: _t.Sequence[FaultDescriptor],
+        window_start: int,
+        window_end: int,
+        time_bins: int = 4,
+        exclude_paths: _t.Iterable[str] = (),
+    ):
+        if window_end <= window_start:
+            raise ValueError("empty injection window")
+        if time_bins < 1:
+            raise ValueError("need at least one time bin")
+        self.window_start = window_start
+        self.window_end = window_end
+        self.time_bins = time_bins
+        excluded = set(exclude_paths)
+        self.points: _t.Dict[str, _t.Any] = {
+            path: point
+            for path, point in sorted(root.all_injection_points().items())
+            if path not in excluded
+        }
+        if not self.points:
+            raise ValueError("platform exposes no injection points")
+        self.descriptors = list(descriptors)
+        #: All applicable (target_path, descriptor) pairs.
+        self.pairs: _t.List[_t.Tuple[str, FaultDescriptor]] = [
+            (path, descriptor)
+            for path, point in self.points.items()
+            for descriptor in self.descriptors
+            if descriptor.applicable_to(point.kind)
+        ]
+        if not self.pairs:
+            raise ValueError(
+                "no descriptor applies to any platform injection point"
+            )
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def bin_count(self) -> int:
+        """Total (pair × time-bin) coverage bins."""
+        return len(self.pairs) * self.time_bins
+
+    def time_bin_of(self, time: int) -> int:
+        span = self.window_end - self.window_start
+        index = (time - self.window_start) * self.time_bins // span
+        return min(max(index, 0), self.time_bins - 1)
+
+    def time_in_bin(self, bin_index: int, rng: random.Random) -> int:
+        span = self.window_end - self.window_start
+        low = self.window_start + bin_index * span // self.time_bins
+        high = self.window_start + (bin_index + 1) * span // self.time_bins
+        return rng.randrange(low, max(high, low + 1))
+
+    # -- sampling ------------------------------------------------------------
+
+    def sample_injection(
+        self,
+        rng: random.Random,
+        rate_weighted: bool = False,
+        pair: _t.Optional[_t.Tuple[str, FaultDescriptor]] = None,
+        time_bin: _t.Optional[int] = None,
+    ) -> PlannedInjection:
+        """Draw one planned injection.
+
+        ``rate_weighted`` biases descriptor choice by derived rates
+        (realistic mix); otherwise uniform over pairs (exploratory
+        mix).  A specific *pair* and/or *time_bin* pins those axes —
+        the hook coverage-guided strategies use.
+        """
+        if pair is None:
+            if rate_weighted:
+                weights = [d.rate_per_hour for _, d in self.pairs]
+                if sum(weights) <= 0:
+                    pair = rng.choice(self.pairs)
+                else:
+                    pair = rng.choices(self.pairs, weights=weights, k=1)[0]
+            else:
+                pair = rng.choice(self.pairs)
+        if time_bin is None:
+            time_bin = rng.randrange(self.time_bins)
+        time = self.time_in_bin(time_bin, rng)
+        return PlannedInjection(time, pair[0], pair[1])
+
+    def pair_index(self) -> _t.Dict[_t.Tuple[str, str], int]:
+        """(target, descriptor-name) -> position, for coverage arrays."""
+        return {
+            (path, descriptor.name): i
+            for i, (path, descriptor) in enumerate(self.pairs)
+        }

@@ -1,0 +1,333 @@
+"""Injection strategies: how scenarios are chosen run after run.
+
+Sec. 3.4's central argument: "Standard Monte-Carlo techniques may fail
+to identify the critical error effects ... a systematic approach is
+required that stresses the system at its possible weak spots."  Three
+strategies implement the spectrum the benchmark E5 compares:
+
+* :class:`RandomStrategy` — plain Monte Carlo over the fault space
+  (optionally rate-weighted toward the realistic fault mix).
+* :class:`CoverageGuidedStrategy` — aims at structural closure: always
+  injects into the least-covered fault-space cells.
+* :class:`WeakSpotStrategy` — adaptive: scores every cell by the
+  severity of the outcomes it has produced, preferentially re-samples
+  and *combines* promising cells into multi-fault scenarios — the
+  systematic search for scenarios that defeat layered protection.
+
+All strategies draw operating states from an optional
+:class:`~repro.mission.StressorSpec` (with importance weights recorded
+on the scenario) and are fed back each run via :meth:`feedback`.
+"""
+
+from __future__ import annotations
+
+import collections
+import random
+import typing as _t
+
+from ..mission import StressorSpec
+from .classification import Outcome
+from .coverage import FaultSpaceCoverage
+from .scenario import ErrorScenario, FaultSpace, PlannedInjection
+
+
+class Strategy:
+    """Base class: produce scenarios, learn from outcomes."""
+
+    def __init__(
+        self,
+        space: FaultSpace,
+        faults_per_scenario: int = 1,
+        spec: _t.Optional[StressorSpec] = None,
+    ):
+        if faults_per_scenario < 1:
+            raise ValueError("need at least one fault per scenario")
+        self.space = space
+        self.faults_per_scenario = faults_per_scenario
+        self.spec = spec
+        self.scenario_count = 0
+
+    # -- operating-state sampling ---------------------------------------
+
+    def _draw_state(self, rng: random.Random):
+        """Returns (state, importance_weight) or (None, 1.0)."""
+        if self.spec is None or not self.spec.state_weights:
+            return None, 1.0
+        weights = [w.weight for w in self.spec.state_weights]
+        chosen = rng.choices(self.spec.state_weights, weights=weights, k=1)[0]
+        true_probability = chosen.state.fraction
+        sampled_probability = chosen.weight
+        if sampled_probability <= 0:
+            return chosen.state, 1.0
+        return chosen.state, true_probability / sampled_probability
+
+    def next_scenario(self, rng: random.Random) -> ErrorScenario:
+        raise NotImplementedError
+
+    def feedback(self, scenario: ErrorScenario, outcome: Outcome) -> None:
+        """Called after each run; default: no learning."""
+
+
+class RandomStrategy(Strategy):
+    """Monte Carlo sampling of the fault space."""
+
+    def __init__(
+        self,
+        space: FaultSpace,
+        faults_per_scenario: int = 1,
+        spec: _t.Optional[StressorSpec] = None,
+        rate_weighted: bool = False,
+    ):
+        super().__init__(space, faults_per_scenario, spec)
+        self.rate_weighted = rate_weighted
+
+    def next_scenario(self, rng: random.Random) -> ErrorScenario:
+        self.scenario_count += 1
+        state, weight = self._draw_state(rng)
+        injections = [
+            self.space.sample_injection(rng, rate_weighted=self.rate_weighted)
+            for _ in range(self.faults_per_scenario)
+        ]
+        return ErrorScenario(
+            name=f"random-{self.scenario_count}",
+            injections=injections,
+            operating_state=state,
+            sampling_weight=weight,
+        )
+
+
+class CoverageGuidedStrategy(Strategy):
+    """Steers injections toward unexercised fault-space cells."""
+
+    def __init__(
+        self,
+        space: FaultSpace,
+        coverage: FaultSpaceCoverage,
+        faults_per_scenario: int = 1,
+        spec: _t.Optional[StressorSpec] = None,
+    ):
+        super().__init__(space, faults_per_scenario, spec)
+        self.coverage = coverage
+
+    def next_scenario(self, rng: random.Random) -> ErrorScenario:
+        self.scenario_count += 1
+        state, weight = self._draw_state(rng)
+        targets = self.coverage.least_covered(self.faults_per_scenario)
+        injections = [
+            self.space.sample_injection(rng, pair=pair, time_bin=time_bin)
+            for pair, time_bin in targets
+        ]
+        return ErrorScenario(
+            name=f"covguided-{self.scenario_count}",
+            injections=injections,
+            operating_state=state,
+            sampling_weight=weight,
+        )
+
+
+class WeakSpotStrategy(Strategy):
+    """Systematic weak-spot identification, then multi-fault escalation.
+
+    Phase 1 — **probing**: every fault-space cell is exercised once
+    with a *single*-fault scenario, so the outcome is unambiguously
+    attributable to that cell (multi-fault runs would co-credit
+    innocent cells).  Outcomes feed a per-cell severity score.
+
+    Phase 2 — **combination**: scenarios combine ``faults_per_scenario``
+    *distinct* cells, the first chosen as the current top scorer and
+    the rest sampled score-weighted — probing whether faults that the
+    protection handles individually defeat it jointly (the
+    layered-redundancy bypass of Sec. 3.4).  An ``exploration``
+    fraction of runs keeps issuing random probes so late-manifesting
+    weak spots still surface.
+    """
+
+    #: Score increment per observed outcome.
+    SCORE_BY_OUTCOME = {
+        Outcome.NO_EFFECT: 0.0,
+        Outcome.MASKED: 1.0,
+        Outcome.DETECTED_SAFE: 2.0,
+        Outcome.TIMING_FAILURE: 4.0,
+        Outcome.SDC: 6.0,
+        Outcome.HAZARDOUS: 8.0,
+    }
+
+    def __init__(
+        self,
+        space: FaultSpace,
+        faults_per_scenario: int = 2,
+        spec: _t.Optional[StressorSpec] = None,
+        exploration: float = 0.2,
+        static_hints: _t.Optional[_t.Mapping[_t.Tuple[str, str], float]] = None,
+    ):
+        super().__init__(space, faults_per_scenario, spec)
+        if not 0 <= exploration <= 1:
+            raise ValueError("exploration out of [0,1]")
+        self.exploration = exploration
+        self._scores: _t.Dict[_t.Tuple[str, str, int], float] = (
+            collections.defaultdict(float)
+        )
+        # Phase-1 probe queue: every cell once, in deterministic order.
+        self._probe_queue: _t.List[_t.Tuple[_t.Tuple, int]] = [
+            (pair, time_bin)
+            for pair in space.pairs
+            for time_bin in range(space.time_bins)
+        ]
+        # Static hints: architectural analysis can pre-score cells
+        # (e.g. every pair touching an unprotected point) and skip
+        # their probes.
+        if static_hints:
+            for (path, descriptor_name), score in static_hints.items():
+                for time_bin in range(space.time_bins):
+                    self._scores[(path, descriptor_name, time_bin)] = score
+            self._probe_queue = [
+                (pair, time_bin)
+                for pair, time_bin in self._probe_queue
+                if (pair[0], pair[1].name) not in static_hints
+            ]
+
+    def _cell_key(self, pair, time_bin):
+        path, descriptor = pair
+        return (path, descriptor.name, time_bin)
+
+    def _pair_scores(self) -> _t.Dict[_t.Tuple[str, str], float]:
+        """Per-pair score: the best bin of that (target, descriptor)."""
+        scores: _t.Dict[_t.Tuple[str, str], float] = {}
+        for pair in self.space.pairs:
+            key = (pair[0], pair[1].name)
+            scores[key] = max(
+                self._scores[self._cell_key(pair, time_bin)]
+                for time_bin in range(self.space.time_bins)
+            )
+        return scores
+
+    def _best_bin(self, pair, rng: random.Random) -> int:
+        bins = list(range(self.space.time_bins))
+        best = max(
+            self._scores[self._cell_key(pair, b)] for b in bins
+        )
+        candidates = [
+            b for b in bins
+            if self._scores[self._cell_key(pair, b)] == best
+        ]
+        return rng.choice(candidates)
+
+    def _probe(self, rng: random.Random, state, weight) -> ErrorScenario:
+        if self._probe_queue:
+            pair, time_bin = self._probe_queue.pop(0)
+            injection = self.space.sample_injection(
+                rng, pair=pair, time_bin=time_bin
+            )
+        else:
+            injection = self.space.sample_injection(rng)
+        return ErrorScenario(
+            name=f"weakspot-probe-{self.scenario_count}",
+            injections=[injection],
+            operating_state=state,
+            sampling_weight=weight,
+        )
+
+    def _combine(self, rng: random.Random, state, weight) -> ErrorScenario:
+        pair_scores = self._pair_scores()
+        ranked = sorted(pair_scores.items(), key=lambda kv: -kv[1])
+        top_key = ranked[0][0]
+        by_key = {(p[0], p[1].name): p for p in self.space.pairs}
+        chosen = [by_key[top_key]]
+        remaining = [key for key, _ in ranked[1:]]
+        weights = [pair_scores[key] + 1e-6 for key in remaining]
+        while remaining and len(chosen) < self.faults_per_scenario:
+            picked = rng.choices(
+                range(len(remaining)), weights=weights, k=1
+            )[0]
+            chosen.append(by_key[remaining.pop(picked)])
+            weights.pop(picked)
+        injections = [
+            self.space.sample_injection(
+                rng, pair=pair, time_bin=self._best_bin(pair, rng)
+            )
+            for pair in chosen
+        ]
+        return ErrorScenario(
+            name=f"weakspot-combine-{self.scenario_count}",
+            injections=injections,
+            operating_state=state,
+            sampling_weight=weight,
+        )
+
+    def next_scenario(self, rng: random.Random) -> ErrorScenario:
+        self.scenario_count += 1
+        state, weight = self._draw_state(rng)
+        if self._probe_queue or rng.random() < self.exploration:
+            return self._probe(rng, state, weight)
+        return self._combine(rng, state, weight)
+
+    def feedback(self, scenario: ErrorScenario, outcome: Outcome) -> None:
+        # Only single-fault scenarios are attributable: crediting every
+        # member of a multi-fault scenario would reinforce innocent
+        # cells that merely co-occurred with an effective one.
+        if len(scenario.injections) != 1:
+            return
+        increment = self.SCORE_BY_OUTCOME[outcome]
+        injection = scenario.injections[0]
+        key = (
+            injection.target_path,
+            injection.descriptor.name,
+            self.space.time_bin_of(injection.time),
+        )
+        self._scores[key] += increment
+
+    def top_cells(self, count: int = 5) -> _t.List[_t.Tuple[_t.Tuple[str, str, int], float]]:
+        """The current highest-scoring cells — the found weak spots."""
+        ranked = sorted(self._scores.items(), key=lambda kv: -kv[1])
+        return ranked[:count]
+
+
+class RequirementGuidedStrategy(Strategy):
+    """Closes the coverage goals derived from safety requirements.
+
+    This is the paper's full sentence made executable: "coverage models
+    ... systematically derived from safety requirements and Mission
+    Profiles.  Then, the strategy of error injection ... should be
+    geared towards coverage closure" (Sec. 3.4).  Each scenario pins
+    the next open :class:`~repro.core.requirements.CoverageGoal`
+    (single-fault, so the outcome verdict attributes to the goal); once
+    every goal is closed the strategy falls back to exploratory
+    sampling.
+    """
+
+    def __init__(
+        self,
+        space: FaultSpace,
+        tracker,
+        spec: _t.Optional[StressorSpec] = None,
+    ):
+        super().__init__(space, faults_per_scenario=1, spec=spec)
+        self.tracker = tracker
+        self._by_key = {
+            (pair[0], pair[1].name): pair for pair in space.pairs
+        }
+
+    @property
+    def closed(self) -> bool:
+        return not self.tracker.open_goals()
+
+    def next_scenario(self, rng: random.Random) -> ErrorScenario:
+        self.scenario_count += 1
+        state, weight = self._draw_state(rng)
+        open_goals = self.tracker.open_goals()
+        if open_goals:
+            goal = open_goals[0]
+            pair = self._by_key[(goal.target_path, goal.descriptor_name)]
+            injection = self.space.sample_injection(
+                rng, pair=pair, time_bin=goal.time_bin
+            )
+            name = f"reqguided-{self.scenario_count}-{goal.requirement}"
+        else:
+            injection = self.space.sample_injection(rng)
+            name = f"reqguided-explore-{self.scenario_count}"
+        return ErrorScenario(
+            name=name,
+            injections=[injection],
+            operating_state=state,
+            sampling_weight=weight,
+        )

@@ -1,0 +1,93 @@
+"""The stressor: scenario execution inside the testbench.
+
+Fig. 3's loop has the stressor "introduce different errors according to
+its error scenarios via the injectors for each simulation".  The
+:class:`Stressor` is a testbench component (usable standalone or inside
+a UVM environment) that owns the platform's injection points, takes one
+:class:`~repro.core.scenario.ErrorScenario` per run, and performs each
+planned injection at its scheduled time.
+"""
+
+from __future__ import annotations
+
+import random
+import typing as _t
+
+from ..kernel import Module
+from .injector import AppliedInjection, apply_fault
+from .scenario import ErrorScenario
+
+
+class Stressor(Module):
+    """Executes error scenarios against a platform.
+
+    Parameters
+    ----------
+    platform_root:
+        The module whose subtree is searched for injection points.
+    rng:
+        Source for completing under-specified descriptor parameters
+        (which address, which bit...).  Pass a seeded instance for
+        reproducible campaigns.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        parent: Module,
+        platform_root: Module,
+        rng: _t.Optional[random.Random] = None,
+    ):
+        super().__init__(name, parent=parent)
+        self.platform_root = platform_root
+        self.rng = rng if rng is not None else random.Random(0)
+        self.applied: _t.List[AppliedInjection] = []
+        self.errors: _t.List[str] = []
+        self.scenario: _t.Optional[ErrorScenario] = None
+
+    def arm(self, scenario: ErrorScenario) -> None:
+        """Schedule every injection of *scenario*.
+
+        Must be called before the simulation reaches the injection
+        times; each injection gets its own kernel process so scenarios
+        may overlap injections arbitrarily.
+        """
+        self.scenario = scenario
+        points = self.platform_root.all_injection_points()
+        for index, planned in enumerate(scenario.injections):
+            point = points.get(planned.target_path)
+            if point is None:
+                raise KeyError(
+                    f"scenario {scenario.name!r} targets unknown "
+                    f"injection point {planned.target_path!r}"
+                )
+            self.process(
+                self._inject_at(planned, point),
+                name=f"inject{index}",
+            )
+
+    def _inject_at(self, planned, point):
+        delay = planned.time - self.sim.now
+        if delay > 0:
+            yield delay
+        try:
+            record = apply_fault(
+                planned.descriptor,
+                planned.target_path,
+                point,
+                self.sim,
+                self.rng,
+            )
+        except Exception as exc:  # noqa: BLE001 - recorded, not fatal
+            self.errors.append(
+                f"{planned.target_path}/{planned.descriptor.name}: {exc}"
+            )
+            return
+        self.applied.append(record)
+
+    def report(self) -> _t.Dict[str, _t.Any]:
+        return {
+            "scenario": self.scenario.name if self.scenario else None,
+            "applied": len(self.applied),
+            "errors": list(self.errors),
+        }

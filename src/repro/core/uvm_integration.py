@@ -1,0 +1,184 @@
+"""Stressor and classification as UVM testbench components.
+
+Sec. 3.3's proposal is specifically *UVM-shaped*: the stressor is "an
+additional component of the testbench for fault/error evaluation", and
+"methodologies for fault/error classification and fault-error-failure
+analysis are required at the monitoring side of the testbench".  This
+module packages the campaign machinery in exactly those roles so it
+drops into any :mod:`repro.uvm` environment:
+
+* :class:`UvmStressor` — a component owning the injector plumbing; arm
+  it with an :class:`~repro.core.scenario.ErrorScenario` before (or
+  during) the run phase;
+* :class:`FaultClassifierComponent` — a monitor-side component that
+  collects observations in ``extract_phase`` and classifies them in
+  ``check_phase``/``report_phase`` against a golden observation.
+"""
+
+from __future__ import annotations
+
+import random
+import typing as _t
+
+from ..kernel import Module
+from ..uvm import UvmComponent
+from .classification import Classifier, Outcome, RunObservation
+from .scenario import ErrorScenario
+from .stressor import Stressor
+
+
+class UvmStressor(UvmComponent):
+    """The paper's stressor as a UVM testbench component.
+
+    Scenarios may be armed any time before their first injection time;
+    typically the test arms one scenario after elaboration.  Factory
+    overrides can swap a nominal (never-arming) stressor for an
+    error-injecting one without touching the environment.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        parent,
+        platform_root: Module,
+        rng: _t.Optional[random.Random] = None,
+    ):
+        super().__init__(name, parent=parent)
+        self._impl = Stressor(
+            "impl", parent=self, platform_root=platform_root, rng=rng
+        )
+        self.pending: _t.List[ErrorScenario] = []
+
+    def arm(self, scenario: ErrorScenario) -> None:
+        self.pending.append(scenario)
+
+    def run_phase(self):
+        for scenario in self.pending:
+            self._impl.arm(scenario)
+        self.pending = []
+        return None  # injections run as their own processes
+
+    @property
+    def applied(self):
+        return self._impl.applied
+
+    @property
+    def injection_errors(self) -> _t.List[str]:
+        return self._impl.errors
+
+    def check_phase(self) -> None:
+        if self._impl.errors:
+            raise AssertionError(
+                f"stressor {self.full_name}: injection errors "
+                f"{self._impl.errors}"
+            )
+
+    def report_phase(self) -> _t.Dict[str, _t.Any]:
+        return self._impl.report()
+
+
+class FaultClassifierComponent(UvmComponent):
+    """Monitor-side fault-error-failure classification.
+
+    Parameters
+    ----------
+    observe:
+        ``fn(platform_root) -> RunObservation`` — the probe set.
+    classifier:
+        The severity-rule classifier.
+    golden:
+        The fault-free reference observation (from a prior golden run).
+    fail_at:
+        ``check_phase`` raises when the classified outcome is at least
+        this severe (``None`` disables — campaign mode reads the
+        outcome from the report instead).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        parent,
+        platform_root: Module,
+        observe: _t.Callable[[Module], RunObservation],
+        classifier: Classifier,
+        golden: RunObservation,
+        fail_at: _t.Optional[Outcome] = Outcome.SDC,
+    ):
+        super().__init__(name, parent=parent)
+        self.platform_root = platform_root
+        self.observe = observe
+        self.classifier = classifier
+        self.golden = golden
+        self.fail_at = fail_at
+        self.observation: _t.Optional[RunObservation] = None
+        self.outcome: _t.Optional[Outcome] = None
+        self.matched_rules: _t.List[str] = []
+
+    def extract_phase(self) -> None:
+        self.observation = self.observe(self.platform_root)
+        self.outcome, self.matched_rules = self.classifier.classify(
+            self.observation, self.golden
+        )
+
+    def check_phase(self) -> None:
+        if self.outcome is None:
+            raise AssertionError(
+                f"{self.full_name}: extract_phase did not run"
+            )
+        if self.fail_at is not None and self.outcome >= self.fail_at:
+            raise AssertionError(
+                f"{self.full_name}: run classified {self.outcome.name} "
+                f"({', '.join(self.matched_rules)})"
+            )
+
+    def report_phase(self) -> _t.Dict[str, _t.Any]:
+        return {
+            # NO_EFFECT is falsy (IntEnum 0): test identity, not truth.
+            "outcome": self.outcome.name if self.outcome is not None else None,
+            "rules": list(self.matched_rules),
+        }
+
+
+class FaultAnalysisEnv(UvmComponent):
+    """A ready-made environment bundling stressor + classifier around a
+    platform, for single-scenario UVM tests.
+
+    The campaign loop (:class:`~repro.core.campaign.Campaign`) remains
+    the tool for bulk statistics; this environment is the interactive /
+    regression face of the same machinery: one scenario, one verdict,
+    standard UVM phasing.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        platform_root: Module,
+        observe,
+        classifier: Classifier,
+        golden: RunObservation,
+        fail_at: _t.Optional[Outcome] = Outcome.SDC,
+        rng: _t.Optional[random.Random] = None,
+    ):
+        super().__init__(name, sim=platform_root.sim)
+        self.platform_root = platform_root
+        self._observe = observe
+        self._classifier = classifier
+        self._golden = golden
+        self._fail_at = fail_at
+        self._rng = rng
+        self.stressor: _t.Optional[UvmStressor] = None
+        self.classifier_component: _t.Optional[FaultClassifierComponent] = None
+
+    def build_phase(self) -> None:
+        self.stressor = UvmStressor(
+            "stressor", self, self.platform_root, rng=self._rng
+        )
+        self.classifier_component = FaultClassifierComponent(
+            "classifier",
+            self,
+            self.platform_root,
+            self._observe,
+            self._classifier,
+            self._golden,
+            fail_at=self._fail_at,
+        )

@@ -1,0 +1,187 @@
+"""A catalog of standard automotive fault descriptors.
+
+Base rates follow the usual orders of magnitude from reliability
+handbooks (SEU rates in FIT per Mbit, wiring faults dominated by
+vibration exposure); the mission-profile derivation
+(:mod:`repro.mission.derivation`) rescales them for a concrete vehicle
+context, which is why every entry here carries a *base* rate.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from .models import FaultDescriptor, FaultKind, Persistence
+
+#: 1 FIT = 1 failure per 1e9 device hours.
+FIT = 1e-9 * 3600 / 3600  # per hour: 1e-9
+
+
+def fit(value: float) -> float:
+    """Convert FIT to failures/hour."""
+    return value * 1e-9
+
+
+# --- digital hardware --------------------------------------------------------
+
+SRAM_SEU = FaultDescriptor(
+    name="sram_seu",
+    kind=FaultKind.BIT_FLIP,
+    persistence=Persistence.TRANSIENT,
+    params={},
+    rate_per_hour=fit(700.0),  # per Mbit, sea level, nominal
+)
+
+REGISTER_SEU = FaultDescriptor(
+    name="register_seu",
+    kind=FaultKind.BIT_FLIP,
+    persistence=Persistence.TRANSIENT,
+    rate_per_hour=fit(50.0),
+)
+
+REGISTER_STUCK = FaultDescriptor(
+    name="register_stuck_bit",
+    kind=FaultKind.STUCK_AT,
+    persistence=Persistence.PERMANENT,
+    params={"level": 1},
+    rate_per_hour=fit(2.0),
+)
+
+CPU_GPR_SEU = FaultDescriptor(
+    name="cpu_gpr_seu",
+    kind=FaultKind.BIT_FLIP,
+    persistence=Persistence.TRANSIENT,
+    rate_per_hour=fit(30.0),
+)
+
+# --- wiring / analog ---------------------------------------------------------
+
+SENSOR_OPEN_LOAD = FaultDescriptor(
+    name="sensor_open_load",
+    kind=FaultKind.OPEN_CIRCUIT,
+    persistence=Persistence.PERMANENT,
+    rate_per_hour=fit(20.0),
+)
+
+SENSOR_SHORT_TO_GROUND = FaultDescriptor(
+    name="sensor_short_to_ground",
+    kind=FaultKind.SHORT_TO_GROUND,
+    persistence=Persistence.PERMANENT,
+    rate_per_hour=fit(15.0),
+)
+
+SENSOR_OFFSET_DRIFT = FaultDescriptor(
+    name="sensor_offset_drift",
+    kind=FaultKind.OFFSET_DRIFT,
+    persistence=Persistence.PERMANENT,
+    params={"offset": 0.5},
+    rate_per_hour=fit(40.0),
+)
+
+SENSOR_GAIN_DRIFT = FaultDescriptor(
+    name="sensor_gain_drift",
+    kind=FaultKind.GAIN_DRIFT,
+    persistence=Persistence.PERMANENT,
+    params={"gain": 1.2},
+    rate_per_hour=fit(25.0),
+)
+
+SENSOR_STUCK = FaultDescriptor(
+    name="sensor_stuck_value",
+    kind=FaultKind.STUCK_VALUE,
+    persistence=Persistence.PERMANENT,
+    params={"value": 2.5},
+    rate_per_hour=fit(30.0),
+)
+
+EMI_NOISE_BURST = FaultDescriptor(
+    name="emi_noise_burst",
+    kind=FaultKind.NOISE_BURST,
+    persistence=Persistence.INTERMITTENT,
+    duration=5_000_000,  # 5 ms burst
+    params={"sigma": 0.4},
+    rate_per_hour=fit(100.0),
+)
+
+# --- communication ------------------------------------------------------------
+
+CAN_BIT_CORRUPTION = FaultDescriptor(
+    name="can_bit_corruption",
+    kind=FaultKind.MESSAGE_CORRUPTION,
+    persistence=Persistence.TRANSIENT,
+    params={"bits": 1},
+    rate_per_hour=fit(200.0),
+)
+
+CAN_FRAME_DROP = FaultDescriptor(
+    name="can_frame_drop",
+    kind=FaultKind.MESSAGE_DROP,
+    persistence=Persistence.TRANSIENT,
+    rate_per_hour=fit(50.0),
+)
+
+CAN_MASQUERADE = FaultDescriptor(
+    name="can_masquerade",
+    kind=FaultKind.MESSAGE_MASQUERADE,
+    persistence=Persistence.TRANSIENT,
+    params={"bits": 2},
+    rate_per_hour=fit(0.5),  # corruption colliding with a valid CRC
+)
+
+CAN_BUS_OFF_WINDOW = FaultDescriptor(
+    name="can_bus_disturbance",
+    kind=FaultKind.MESSAGE_DROP,
+    persistence=Persistence.INTERMITTENT,
+    duration=20_000_000,  # 20 ms outage
+    rate_per_hour=fit(10.0),
+)
+
+# --- software / timing ----------------------------------------------------------
+
+RECOVERY_OVERHEAD = FaultDescriptor(
+    name="recovery_overhead",
+    kind=FaultKind.EXECUTION_OVERHEAD,
+    persistence=Persistence.TRANSIENT,
+    params={"extra": 200_000},  # 0.2 ms of retry work
+    rate_per_hour=fit(80.0),
+)
+
+TASK_KILL = FaultDescriptor(
+    name="task_kill",
+    kind=FaultKind.TASK_KILL,
+    persistence=Persistence.PERMANENT,
+    rate_per_hour=fit(5.0),
+)
+
+
+STANDARD_CATALOG: _t.Tuple[FaultDescriptor, ...] = (
+    SRAM_SEU,
+    REGISTER_SEU,
+    REGISTER_STUCK,
+    CPU_GPR_SEU,
+    SENSOR_OPEN_LOAD,
+    SENSOR_SHORT_TO_GROUND,
+    SENSOR_OFFSET_DRIFT,
+    SENSOR_GAIN_DRIFT,
+    SENSOR_STUCK,
+    EMI_NOISE_BURST,
+    CAN_BIT_CORRUPTION,
+    CAN_FRAME_DROP,
+    CAN_MASQUERADE,
+    CAN_BUS_OFF_WINDOW,
+    RECOVERY_OVERHEAD,
+    TASK_KILL,
+)
+
+
+def catalog_by_name() -> _t.Dict[str, FaultDescriptor]:
+    return {descriptor.name: descriptor for descriptor in STANDARD_CATALOG}
+
+
+def catalog_for_target(target_kind: str) -> _t.List[FaultDescriptor]:
+    """All standard descriptors applicable to an injection-point kind."""
+    return [
+        descriptor
+        for descriptor in STANDARD_CATALOG
+        if descriptor.applicable_to(target_kind)
+    ]

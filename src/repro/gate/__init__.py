@@ -1,0 +1,39 @@
+"""Gate-level substrate (S4): netlists, simulation, fault campaigns."""
+
+from .builder import (
+    Circuit,
+    alu,
+    comparator,
+    full_adder,
+    majority_voter,
+    registered_adder,
+    ripple_adder,
+)
+from .faults import (
+    FaultSite,
+    InjectionOutcome,
+    WordErrorProfile,
+    enumerate_sites,
+    run_seu_campaign,
+)
+from .netlist import Gate, GateType, Netlist
+from .simulator import GateSimulator
+
+__all__ = [
+    "Circuit",
+    "alu",
+    "comparator",
+    "full_adder",
+    "majority_voter",
+    "registered_adder",
+    "ripple_adder",
+    "FaultSite",
+    "InjectionOutcome",
+    "WordErrorProfile",
+    "enumerate_sites",
+    "run_seu_campaign",
+    "Gate",
+    "GateType",
+    "Netlist",
+    "GateSimulator",
+]

@@ -1,0 +1,133 @@
+"""Synthesized reference circuits.
+
+Hand-rolled structural generators for the circuits the experiments
+inject into: ripple-carry adders, comparators, majority voters, a small
+ALU, and a registered (pipelined) adder.  Every function returns the
+:class:`~repro.gate.netlist.Netlist` plus the relevant buses so tests
+and campaigns can drive them by integer value.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from .netlist import GateType, Netlist
+
+
+class Circuit(_t.NamedTuple):
+    """A built netlist plus its named buses (little-endian net lists)."""
+
+    netlist: Netlist
+    buses: _t.Dict[str, _t.List[str]]
+
+
+def full_adder(
+    netlist: Netlist, a: str, b: str, carry_in: str
+) -> _t.Tuple[str, str]:
+    """Add one bit column; returns (sum, carry_out) nets."""
+    axb = netlist.XOR(a, b)
+    total = netlist.XOR(axb, carry_in)
+    carry = netlist.OR(netlist.AND(a, b), netlist.AND(axb, carry_in))
+    return total, carry
+
+
+def ripple_adder(width: int, name: str = "adder") -> Circuit:
+    """A *width*-bit ripple-carry adder: a + b + cin -> sum, cout."""
+    if width < 1:
+        raise ValueError("width must be positive")
+    netlist = Netlist(name)
+    a = netlist.add_inputs("a", width)
+    b = netlist.add_inputs("b", width)
+    cin = netlist.add_input("cin")
+    carry = cin
+    sums: _t.List[str] = []
+    for i in range(width):
+        total, carry = full_adder(netlist, a[i], b[i], carry)
+        sums.append(total)
+    for net in sums:
+        netlist.mark_output(net)
+    netlist.mark_output(carry)
+    return Circuit(netlist, {"a": a, "b": b, "cin": [cin], "sum": sums, "cout": [carry]})
+
+
+def comparator(width: int, name: str = "cmp") -> Circuit:
+    """Equality comparator: eq = (a == b)."""
+    netlist = Netlist(name)
+    a = netlist.add_inputs("a", width)
+    b = netlist.add_inputs("b", width)
+    bits = [netlist.add_gate(GateType.XNOR, (a[i], b[i])) for i in range(width)]
+    eq = bits[0] if width == 1 else netlist.AND(*bits)
+    netlist.mark_output(eq)
+    return Circuit(netlist, {"a": a, "b": b, "eq": [eq]})
+
+
+def majority_voter(width: int, name: str = "voter") -> Circuit:
+    """Bitwise 2-of-3 majority over three *width*-bit buses."""
+    netlist = Netlist(name)
+    a = netlist.add_inputs("a", width)
+    b = netlist.add_inputs("b", width)
+    c = netlist.add_inputs("c", width)
+    out: _t.List[str] = []
+    for i in range(width):
+        ab = netlist.AND(a[i], b[i])
+        ac = netlist.AND(a[i], c[i])
+        bc = netlist.AND(b[i], c[i])
+        out.append(netlist.OR(ab, ac, bc))
+    for net in out:
+        netlist.mark_output(net)
+    return Circuit(netlist, {"a": a, "b": b, "c": c, "out": out})
+
+
+def alu(width: int, name: str = "alu") -> Circuit:
+    """A small ALU: op selects among ADD, AND, OR, XOR (2-bit opcode).
+
+    op = 00 -> a + b, 01 -> a & b, 10 -> a | b, 11 -> a ^ b
+    """
+    netlist = Netlist(name)
+    a = netlist.add_inputs("a", width)
+    b = netlist.add_inputs("b", width)
+    op = netlist.add_inputs("op", 2)
+    # Datapaths.
+    carry = netlist.add_gate(GateType.XOR, (op[0], op[0]))  # constant 0
+    add_bits: _t.List[str] = []
+    for i in range(width):
+        total, carry = full_adder(netlist, a[i], b[i], carry)
+        add_bits.append(total)
+    and_bits = [netlist.AND(a[i], b[i]) for i in range(width)]
+    or_bits = [netlist.OR(a[i], b[i]) for i in range(width)]
+    xor_bits = [netlist.XOR(a[i], b[i]) for i in range(width)]
+    # Select: mux tree on (op1, op0).
+    out: _t.List[str] = []
+    for i in range(width):
+        low = netlist.MUX(op[0], add_bits[i], and_bits[i])
+        high = netlist.MUX(op[0], or_bits[i], xor_bits[i])
+        out.append(netlist.MUX(op[1], low, high))
+    for net in out:
+        netlist.mark_output(net)
+    return Circuit(netlist, {"a": a, "b": b, "op": op, "out": out})
+
+
+def registered_adder(width: int, name: str = "regadder") -> Circuit:
+    """Adder with input and output registers (a 3-stage datapath).
+
+    Gives the SEU campaigns state elements to hit: flips in the input
+    registers, the combinational cloud, and the output register behave
+    differently — the layering the cross-layer analysis must capture.
+    """
+    netlist = Netlist(name)
+    a = netlist.add_inputs("a", width)
+    b = netlist.add_inputs("b", width)
+    a_reg = [netlist.DFF(a[i], f"areg{i}") for i in range(width)]
+    b_reg = [netlist.DFF(b[i], f"breg{i}") for i in range(width)]
+    carry = netlist.XOR(a_reg[0], a_reg[0])  # constant 0
+    sums: _t.List[str] = []
+    for i in range(width):
+        total, carry = full_adder(netlist, a_reg[i], b_reg[i], carry)
+        sums.append(total)
+    out_reg = [netlist.DFF(sums[i], f"sreg{i}") for i in range(width)]
+    for net in out_reg:
+        netlist.mark_output(net)
+    return Circuit(
+        netlist,
+        {"a": a, "b": b, "areg": a_reg, "breg": b_reg, "sum": sums, "out": out_reg},
+    )

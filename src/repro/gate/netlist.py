@@ -1,0 +1,223 @@
+"""Gate-level netlists.
+
+Section 2.2 of the paper grounds fault injection at the gate level —
+"errors can be injected as bit value flips ... during logic simulation
+at the gate or register transfer level" — and Sec. 3.4 requires
+*cross-layer* analysis relating those low-level faults to the abstract
+fault models used in TLM campaigns.  This module is the data structure
+both rest on: a flat, bit-level netlist of primitive gates and D
+flip-flops.
+
+Nets are single bits identified by name; multi-bit buses are plain
+Python lists of net names (see :mod:`repro.gate.builder`).
+"""
+
+from __future__ import annotations
+
+import enum
+import typing as _t
+
+
+class GateType(enum.Enum):
+    AND = "and"
+    OR = "or"
+    NOT = "not"
+    XOR = "xor"
+    NAND = "nand"
+    NOR = "nor"
+    XNOR = "xnor"
+    BUF = "buf"
+    MUX = "mux"  # inputs: (select, a, b) -> b when select else a
+    DFF = "dff"  # inputs: (d,) ; clocked state element
+
+
+#: Evaluation functions for combinational gate types.
+_EVAL: _t.Dict[GateType, _t.Callable[..., int]] = {
+    GateType.AND: lambda *ins: int(all(ins)),
+    GateType.OR: lambda *ins: int(any(ins)),
+    GateType.NOT: lambda a: 1 - a,
+    GateType.XOR: lambda *ins: _xor(ins),
+    GateType.NAND: lambda *ins: 1 - int(all(ins)),
+    GateType.NOR: lambda *ins: 1 - int(any(ins)),
+    GateType.XNOR: lambda *ins: 1 - _xor(ins),
+    GateType.BUF: lambda a: a,
+    GateType.MUX: lambda select, a, b: b if select else a,
+}
+
+
+def _xor(ins: _t.Sequence[int]) -> int:
+    acc = 0
+    for value in ins:
+        acc ^= value
+    return acc
+
+
+class Gate:
+    """One primitive gate: inputs (net names) -> one output net."""
+
+    __slots__ = ("gate_type", "inputs", "output", "name")
+
+    def __init__(
+        self,
+        gate_type: GateType,
+        inputs: _t.Sequence[str],
+        output: str,
+        name: str = "",
+    ):
+        arity = {
+            GateType.NOT: 1,
+            GateType.BUF: 1,
+            GateType.DFF: 1,
+            GateType.MUX: 3,
+        }
+        expected = arity.get(gate_type)
+        if expected is not None and len(inputs) != expected:
+            raise ValueError(
+                f"{gate_type.value} expects {expected} inputs, "
+                f"got {len(inputs)}"
+            )
+        if expected is None and len(inputs) < 2:
+            raise ValueError(f"{gate_type.value} expects at least 2 inputs")
+        self.gate_type = gate_type
+        self.inputs = tuple(inputs)
+        self.output = output
+        self.name = name or f"{gate_type.value}:{output}"
+
+    def evaluate(self, values: _t.Sequence[int]) -> int:
+        return _EVAL[self.gate_type](*values)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Gate({self.name})"
+
+
+class Netlist:
+    """A named collection of gates, primary inputs, and primary outputs."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.inputs: _t.List[str] = []
+        self.outputs: _t.List[str] = []
+        self.gates: _t.List[Gate] = []
+        self._net_driver: _t.Dict[str, Gate] = {}
+        self._net_counter = 0
+
+    # -- construction -----------------------------------------------------
+
+    def add_input(self, net: str) -> str:
+        if net in self._net_driver or net in self.inputs:
+            raise ValueError(f"net {net!r} already driven")
+        self.inputs.append(net)
+        return net
+
+    def add_inputs(self, prefix: str, width: int) -> _t.List[str]:
+        """A little-endian input bus: ``prefix0`` is the LSB."""
+        return [self.add_input(f"{prefix}{i}") for i in range(width)]
+
+    def mark_output(self, net: str) -> str:
+        self.outputs.append(net)
+        return net
+
+    def fresh_net(self, hint: str = "n") -> str:
+        self._net_counter += 1
+        return f"_{hint}{self._net_counter}"
+
+    def add_gate(
+        self,
+        gate_type: GateType,
+        inputs: _t.Sequence[str],
+        output: _t.Optional[str] = None,
+        name: str = "",
+    ) -> str:
+        """Add a gate; returns its output net (fresh when not given)."""
+        if output is None:
+            output = self.fresh_net(gate_type.value)
+        if output in self._net_driver or output in self.inputs:
+            raise ValueError(f"net {output!r} already driven")
+        gate = Gate(gate_type, inputs, output, name)
+        self.gates.append(gate)
+        self._net_driver[output] = gate
+        return output
+
+    # convenience wrappers -------------------------------------------------
+
+    def AND(self, *ins: str) -> str:
+        return self.add_gate(GateType.AND, ins)
+
+    def OR(self, *ins: str) -> str:
+        return self.add_gate(GateType.OR, ins)
+
+    def NOT(self, a: str) -> str:
+        return self.add_gate(GateType.NOT, (a,))
+
+    def XOR(self, *ins: str) -> str:
+        return self.add_gate(GateType.XOR, ins)
+
+    def MUX(self, select: str, a: str, b: str) -> str:
+        return self.add_gate(GateType.MUX, (select, a, b))
+
+    def DFF(self, d: str, output: _t.Optional[str] = None) -> str:
+        return self.add_gate(GateType.DFF, (d,), output)
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def nets(self) -> _t.List[str]:
+        """All nets: primary inputs plus every gate output."""
+        return list(self.inputs) + [g.output for g in self.gates]
+
+    @property
+    def flops(self) -> _t.List[Gate]:
+        return [g for g in self.gates if g.gate_type is GateType.DFF]
+
+    @property
+    def combinational(self) -> _t.List[Gate]:
+        return [g for g in self.gates if g.gate_type is not GateType.DFF]
+
+    def driver_of(self, net: str) -> _t.Optional[Gate]:
+        return self._net_driver.get(net)
+
+    def validate(self) -> None:
+        """Check every referenced net is driven and outputs exist."""
+        driven = set(self.inputs) | set(self._net_driver)
+        for gate in self.gates:
+            for net in gate.inputs:
+                if net not in driven:
+                    raise ValueError(
+                        f"gate {gate.name!r} reads undriven net {net!r}"
+                    )
+        for net in self.outputs:
+            if net not in driven:
+                raise ValueError(f"primary output {net!r} is undriven")
+
+    def levelize(self) -> _t.List[Gate]:
+        """Topologically order combinational gates (DFF outputs and
+        primary inputs are sources).  Raises on combinational loops."""
+        order: _t.List[Gate] = []
+        ready = set(self.inputs) | {f.output for f in self.flops}
+        remaining = list(self.combinational)
+        while remaining:
+            progress = False
+            still: _t.List[Gate] = []
+            for gate in remaining:
+                if all(net in ready for net in gate.inputs):
+                    order.append(gate)
+                    ready.add(gate.output)
+                    progress = True
+                else:
+                    still.append(gate)
+            if not progress:
+                raise ValueError(
+                    f"combinational loop involving "
+                    f"{[g.name for g in still[:5]]}"
+                )
+            remaining = still
+        return order
+
+    def stats(self) -> _t.Dict[str, int]:
+        return {
+            "inputs": len(self.inputs),
+            "outputs": len(self.outputs),
+            "gates": len(self.combinational),
+            "flops": len(self.flops),
+            "nets": len(self.nets),
+        }

@@ -1,0 +1,135 @@
+"""Gate-level simulation with fault support.
+
+The simulator levelizes the netlist once and then evaluates it cycle by
+cycle — the "cycle-accurate gate level" reference point of the
+abstraction-speed experiment (E3) and the ground truth of the
+cross-layer accuracy experiment (E6).
+
+Fault hooks:
+
+* **stuck-at** faults pin a net to 0/1 for as long as they are armed
+  (permanent/intermittent hardware defects);
+* **SEU** upsets flip a value transiently: a combinational net for the
+  current evaluation, or a flip-flop's stored state (the classic soft
+  error in a memory element).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from .netlist import Gate, GateType, Netlist
+
+
+class GateSimulator:
+    """Evaluate a :class:`Netlist` one clock cycle at a time."""
+
+    def __init__(self, netlist: Netlist):
+        netlist.validate()
+        self.netlist = netlist
+        self._order: _t.List[Gate] = netlist.levelize()
+        #: Current net values (all nets; undefined nets read 0).
+        self.values: _t.Dict[str, int] = {net: 0 for net in netlist.nets}
+        #: DFF state, keyed by the flop's output net.
+        self.state: _t.Dict[str, int] = {
+            flop.output: 0 for flop in netlist.flops
+        }
+        self._stuck: _t.Dict[str, int] = {}
+        self._pending_seu: _t.Set[str] = set()
+        self.cycles = 0
+        self.evaluations = 0  # gate evaluations (the work metric)
+
+    # -- fault control ------------------------------------------------------
+
+    def set_stuck(self, net: str, level: int) -> None:
+        """Arm a stuck-at fault on *net*."""
+        self._check_net(net)
+        self._stuck[net] = 1 if level else 0
+
+    def clear_stuck(self, net: _t.Optional[str] = None) -> None:
+        if net is None:
+            self._stuck.clear()
+        else:
+            self._stuck.pop(net, None)
+
+    def inject_seu(self, net: str) -> None:
+        """Schedule a single-event upset on *net*.
+
+        For a flip-flop output the stored state flips immediately; for a
+        combinational net the flip applies during the next evaluation.
+        """
+        self._check_net(net)
+        if net in self.state:
+            self.state[net] ^= 1
+        else:
+            self._pending_seu.add(net)
+
+    def _check_net(self, net: str) -> None:
+        if net not in self.values:
+            raise KeyError(f"unknown net {net!r}")
+
+    # -- evaluation ---------------------------------------------------------
+
+    def _apply_net_faults(self, net: str, value: int) -> int:
+        if net in self._pending_seu:
+            value ^= 1
+        if net in self._stuck:
+            value = self._stuck[net]
+        return value
+
+    def evaluate(self, inputs: _t.Dict[str, int]) -> _t.Dict[str, int]:
+        """Settle the combinational logic for the given primary inputs.
+
+        Returns the primary output values.  DFF state is *not* advanced —
+        call :meth:`clock` for that.
+        """
+        values = self.values
+        for net in self.netlist.inputs:
+            raw = inputs.get(net, 0) & 1
+            values[net] = self._apply_net_faults(net, raw)
+        for flop_net, flop_value in self.state.items():
+            values[flop_net] = self._apply_net_faults(flop_net, flop_value)
+        for gate in self._order:
+            raw = gate.evaluate([values[n] for n in gate.inputs])
+            values[gate.output] = self._apply_net_faults(gate.output, raw)
+            self.evaluations += 1
+        self._pending_seu.clear()
+        return {net: values[net] for net in self.netlist.outputs}
+
+    def clock(self) -> None:
+        """Latch every DFF's input into its state (rising edge)."""
+        next_state = {
+            flop.output: self.values[flop.inputs[0]] & 1
+            for flop in self.netlist.flops
+        }
+        self.state.update(next_state)
+        self.cycles += 1
+
+    def step(self, inputs: _t.Dict[str, int]) -> _t.Dict[str, int]:
+        """One full cycle: evaluate then clock; returns the outputs
+        *before* the clock edge (Mealy view)."""
+        outputs = self.evaluate(inputs)
+        self.clock()
+        return outputs
+
+    def reset(self) -> None:
+        for net in self.state:
+            self.state[net] = 0
+        for net in self.values:
+            self.values[net] = 0
+        self._pending_seu.clear()
+
+    # -- bus helpers -----------------------------------------------------------
+
+    @staticmethod
+    def pack(bus: _t.Sequence[str], value: int) -> _t.Dict[str, int]:
+        """Spread an integer over a little-endian bus as input values."""
+        return {net: (value >> i) & 1 for i, net in enumerate(bus)}
+
+    @staticmethod
+    def unpack(bus: _t.Sequence[str], values: _t.Dict[str, int]) -> int:
+        """Collect a little-endian bus back into an integer."""
+        word = 0
+        for i, net in enumerate(bus):
+            word |= (values[net] & 1) << i
+        return word

@@ -1,0 +1,64 @@
+"""Hardware component models of the virtual prototype (substrate S3)."""
+
+from . import ecc
+from .actuators import BrakeActuator, ServoMotor, Squib
+from .can import CanBus, CanFrame, CanNode, CanWireInjectionPoint
+from .cpu import Vp16Cpu, assemble, disassemble
+from .lockstep import LockstepCpuPair
+from .memory import EccMemory, Memory, MemoryInjectionPoint
+from .protection import (
+    CrcChecker,
+    LockstepChecker,
+    RangeChecker,
+    RateChecker,
+    TmrVoter,
+)
+from .registers import Field, Register, RegisterFile, RegisterInjectionPoint
+from .sensors import (
+    AdcSensor,
+    AnalogFault,
+    AnalogInjectionPoint,
+    constant,
+    crash_pulse,
+    piecewise,
+    ramp,
+    sine,
+)
+from .watchdog import KICK_KEY, Watchdog
+
+__all__ = [
+    "ecc",
+    "BrakeActuator",
+    "ServoMotor",
+    "Squib",
+    "CanBus",
+    "CanFrame",
+    "CanNode",
+    "CanWireInjectionPoint",
+    "Vp16Cpu",
+    "assemble",
+    "disassemble",
+    "LockstepCpuPair",
+    "EccMemory",
+    "Memory",
+    "MemoryInjectionPoint",
+    "CrcChecker",
+    "LockstepChecker",
+    "RangeChecker",
+    "RateChecker",
+    "TmrVoter",
+    "Field",
+    "Register",
+    "RegisterFile",
+    "RegisterInjectionPoint",
+    "AdcSensor",
+    "AnalogFault",
+    "AnalogInjectionPoint",
+    "constant",
+    "crash_pulse",
+    "piecewise",
+    "ramp",
+    "sine",
+    "KICK_KEY",
+    "Watchdog",
+]

@@ -1,0 +1,258 @@
+"""CAN bus model.
+
+Automotive ECUs interact over CAN; the paper's system-level scenarios
+(CAPS, Sec. 1) hinge on faults in one component propagating — or being
+contained — across this network.  The model is transaction-level but
+protocol-faithful where it matters for safety evaluation:
+
+* **Arbitration** — among nodes with pending frames at bus idle, the
+  lowest identifier wins (bitwise-dominant arbitration outcome).
+* **CRC-15** — every frame carries the real CAN CRC over its header and
+  payload bits; receivers recompute it.  Wire-level fault injection that
+  corrupts payload bits is therefore *detected* unless the injector also
+  forges the CRC (the rare undetectable case the paper's "lucky guess"
+  discussion worries about).
+* **Error handling** — a CRC mismatch discards the frame at all
+  receivers and triggers retransmission, up to a retry limit; transmit
+  error counters drive a simplified bus-off state.
+
+The wire is an injection point (kind ``"can_wire"``): interceptors see
+each frame in flight and may flip payload bits, forge the CRC, drop the
+frame, or delay it.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..kernel import Module
+from . import ecc
+
+
+class CanFrame:
+    """A classical CAN data frame (11-bit identifier, 0–8 data bytes)."""
+
+    __slots__ = ("can_id", "data", "crc", "timestamp", "meta")
+
+    MAX_DATA = 8
+
+    def __init__(self, can_id: int, data: _t.Union[bytes, bytearray]):
+        if not 0 <= can_id < (1 << 11):
+            raise ValueError(f"CAN id out of 11-bit range: {can_id:#x}")
+        if len(data) > self.MAX_DATA:
+            raise ValueError(f"CAN payload too long: {len(data)} bytes")
+        self.can_id = can_id
+        self.data = bytearray(data)
+        self.crc = self.compute_crc()
+        self.timestamp: _t.Optional[int] = None
+        #: Free-form side data (injection audit, sequence counters).
+        self.meta: dict = {}
+
+    # -- protocol helpers ---------------------------------------------------
+
+    def header_and_payload_bits(self) -> _t.List[int]:
+        """The bit sequence covered by the CAN CRC (id, DLC, data)."""
+        bits: _t.List[int] = []
+        for i in reversed(range(11)):
+            bits.append((self.can_id >> i) & 1)
+        dlc = len(self.data)
+        for i in reversed(range(4)):
+            bits.append((dlc >> i) & 1)
+        for byte in self.data:
+            for i in reversed(range(8)):
+                bits.append((byte >> i) & 1)
+        return bits
+
+    def compute_crc(self) -> int:
+        return ecc.crc15(self.header_and_payload_bits())
+
+    def refresh_crc(self) -> None:
+        """Recompute the CRC after *legitimate* payload changes."""
+        self.crc = self.compute_crc()
+
+    @property
+    def crc_ok(self) -> bool:
+        return self.crc == self.compute_crc()
+
+    @property
+    def bit_length(self) -> int:
+        """Approximate frame length on the wire (no stuffing modeled)."""
+        # SOF + id(11) + RTR/IDE/r0 (3) + DLC(4) + data + CRC(15) +
+        # delimiter/ACK/EOF (~11)
+        return 1 + 11 + 3 + 4 + 8 * len(self.data) + 15 + 11
+
+    def clone(self) -> "CanFrame":
+        copy = CanFrame(self.can_id, bytes(self.data))
+        copy.crc = self.crc
+        copy.timestamp = self.timestamp
+        copy.meta = dict(self.meta)
+        return copy
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"CanFrame(id={self.can_id:#x}, data={bytes(self.data).hex()})"
+
+
+class CanWireInjectionPoint:
+    """Injector-facing handle on the bus wire."""
+
+    def __init__(self, bus: "CanBus"):
+        self.name = f"{bus.full_name}.wire"
+        self.kind = "can_wire"
+        self._bus = bus
+
+    def add_interceptor(self, fn) -> None:
+        """Register ``fn(frame) -> frame | None`` (None drops the frame)."""
+        self._bus.wire_interceptors.append(fn)
+
+    def remove_interceptor(self, fn) -> None:
+        try:
+            self._bus.wire_interceptors.remove(fn)
+        except ValueError:
+            pass
+
+    def clear(self) -> None:
+        self._bus.wire_interceptors.clear()
+
+
+class CanNode(Module):
+    """A CAN controller attached to one bus.
+
+    Applications either subscribe callbacks (``on_receive``) or poll the
+    ``rx_queue``.  ``send`` enqueues; delivery order and timing are the
+    bus's business.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        parent: Module,
+        bus: "CanBus",
+        accept: _t.Optional[_t.Callable[[int], bool]] = None,
+    ):
+        super().__init__(name, parent=parent)
+        self.bus = bus
+        self.accept = accept  # id filter; None accepts everything
+        self.tx_queue: _t.List[CanFrame] = []
+        self.rx_queue: _t.List[CanFrame] = []
+        self.on_receive: _t.List[_t.Callable[[CanFrame], None]] = []
+        self.rx_event = self.event("rx")
+        self.tx_error_counter = 0
+        self.bus_off = False
+        self.frames_sent = 0
+        self.frames_received = 0
+        bus.attach(self)
+
+    def send(self, frame: CanFrame) -> None:
+        """Queue *frame* for transmission (no-op when bus-off)."""
+        if self.bus_off:
+            return
+        self.tx_queue.append(frame)
+        self.bus.pending.notify(0)
+
+    def _deliver(self, frame: CanFrame) -> None:
+        if self.accept is not None and not self.accept(frame.can_id):
+            return
+        self.frames_received += 1
+        self.rx_queue.append(frame)
+        for callback in self.on_receive:
+            callback(frame)
+        self.rx_event.notify(0)
+
+    def _record_tx_error(self, bus_off_threshold: int) -> None:
+        self.tx_error_counter += 8  # CAN TEC increment on TX error
+        if self.tx_error_counter >= bus_off_threshold:
+            self.bus_off = True
+            self.tx_queue.clear()
+
+    def _record_tx_success(self) -> None:
+        self.frames_sent += 1
+        if self.tx_error_counter:
+            self.tx_error_counter = max(0, self.tx_error_counter - 1)
+
+
+class CanBus(Module):
+    """The shared medium plus the arbitration/transmission process."""
+
+    def __init__(
+        self,
+        name: str,
+        parent: Module,
+        bit_time: int = 2000,  # 2 us/bit = 500 kbit/s at 1 ns units
+        max_retries: int = 5,
+        bus_off_threshold: int = 256,
+    ):
+        super().__init__(name, parent=parent)
+        self.bit_time = bit_time
+        self.max_retries = max_retries
+        self.bus_off_threshold = bus_off_threshold
+        self.nodes: _t.List[CanNode] = []
+        self.pending = self.event("pending")
+        self.wire_interceptors: _t.List[_t.Callable] = []
+        self.frames_delivered = 0
+        self.crc_errors_detected = 0
+        self.frames_dropped = 0
+        self.retransmissions = 0
+        self.arbitration_rounds = 0
+        self.register_injection_point("wire", CanWireInjectionPoint(self))
+        self.process(self._run(), name="mac")
+
+    def attach(self, node: CanNode) -> None:
+        self.nodes.append(node)
+
+    # -- arbitration + transmission loop ------------------------------------
+
+    def _contenders(self) -> _t.List[CanNode]:
+        return [n for n in self.nodes if n.tx_queue and not n.bus_off]
+
+    def _run(self):
+        while True:
+            contenders = self._contenders()
+            if not contenders:
+                yield self.pending
+                continue
+            # Lowest identifier wins arbitration (dominant bits win).
+            winner = min(contenders, key=lambda n: n.tx_queue[0].can_id)
+            self.arbitration_rounds += 1
+            frame = winner.tx_queue[0]
+            retries = frame.meta.get("retries", 0)
+
+            on_wire = frame.clone()
+            dropped = False
+            for interceptor in self.wire_interceptors:
+                result = interceptor(on_wire)
+                if result is None:
+                    dropped = True
+                    break
+                on_wire = result
+            yield on_wire.bit_length * self.bit_time
+
+            if dropped:
+                # The frame vanished (e.g. open wire): transmitter sees a
+                # missing ACK and retries.
+                self.frames_dropped += 1
+                self._handle_tx_failure(winner, frame, retries)
+                continue
+            if not on_wire.crc_ok:
+                # Receivers detect the corruption and flag an error frame.
+                self.crc_errors_detected += 1
+                self._handle_tx_failure(winner, frame, retries)
+                continue
+            winner.tx_queue.pop(0)
+            winner._record_tx_success()
+            on_wire.timestamp = self.sim.now
+            self.frames_delivered += 1
+            for node in self.nodes:
+                if node is not winner:
+                    node._deliver(on_wire.clone())
+
+    def _handle_tx_failure(
+        self, winner: CanNode, frame: CanFrame, retries: int
+    ) -> None:
+        winner._record_tx_error(self.bus_off_threshold)
+        if winner.bus_off:
+            return
+        if retries + 1 > self.max_retries:
+            winner.tx_queue.pop(0)
+            return
+        frame.meta["retries"] = retries + 1
+        self.retransmissions += 1

@@ -1,0 +1,31 @@
+"""The vp16 embedded core: ISA, assembler, and instruction-set simulator."""
+
+from .assembler import AssemblyError, Program, assemble
+from .disasm import disassemble, format_instruction
+from .isa import (
+    CYCLE_COST,
+    IllegalInstruction,
+    Instruction,
+    Op,
+    decode,
+    encode,
+    sign_extend,
+)
+from .iss import CpuInjectionPoint, Vp16Cpu
+
+__all__ = [
+    "AssemblyError",
+    "Program",
+    "assemble",
+    "disassemble",
+    "format_instruction",
+    "CYCLE_COST",
+    "IllegalInstruction",
+    "Instruction",
+    "Op",
+    "decode",
+    "encode",
+    "sign_extend",
+    "CpuInjectionPoint",
+    "Vp16Cpu",
+]

@@ -1,0 +1,210 @@
+"""Two-pass assembler for the vp16 ISA.
+
+Accepts the textual syntax the examples and benchmarks use::
+
+    ; read sensor, clamp, write actuator
+    start:
+        ldi   r1, 0x40          ; base address via lui/ori for >12 bit
+        ld    r2, r1, 0         ; r2 = mem[r1 + 0]
+        blt   r2, r3, ok
+        jmp   start
+    ok:
+        halt
+
+    table: .word 1, 2, 3
+
+Directives: ``.org <addr>`` (byte address), ``.word <v, ...>``.
+Labels may be used anywhere an immediate is expected; branch/jump
+immediates are converted to PC-relative instruction counts
+automatically.
+"""
+
+from __future__ import annotations
+
+import re
+import typing as _t
+
+from .isa import (
+    IMM_MAX,
+    IMM_MIN,
+    INSTRUCTION_BYTES,
+    Instruction,
+    Op,
+    encode,
+)
+
+_BRANCH_OPS = {Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.JMP, Op.JAL}
+
+#: operand signature per mnemonic: r=register, i=immediate/label
+_SIGNATURES: _t.Dict[Op, str] = {
+    Op.NOP: "", Op.HALT: "",
+    Op.LDI: "ri", Op.LUI: "ri", Op.MOV: "rr",
+    Op.ADD: "rrr", Op.SUB: "rrr", Op.AND: "rrr", Op.OR: "rrr",
+    Op.XOR: "rrr", Op.SLL: "rrr", Op.SRL: "rrr", Op.MUL: "rrr",
+    Op.SLT: "rrr", Op.SLTU: "rrr",
+    Op.ADDI: "rri", Op.ANDI: "rri", Op.ORI: "rri", Op.XORI: "rri",
+    Op.SLLI: "rri", Op.SRLI: "rri",
+    Op.LD: "rri", Op.LDB: "rri",
+    Op.ST: "rri",   # st rbase, rsrc, imm
+    Op.STB: "rri",
+    Op.BEQ: "rri", Op.BNE: "rri", Op.BLT: "rri", Op.BGE: "rri",
+    Op.JMP: "i", Op.JAL: "ri", Op.JR: "r",
+    Op.CSRR: "ri",
+}
+
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+class AssemblyError(Exception):
+    """Syntax or semantic error, annotated with the source line."""
+
+    def __init__(self, line_no: int, message: str):
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+class Program(_t.NamedTuple):
+    """Assembled output."""
+
+    image: bytes           # flat byte image starting at `origin`
+    origin: int
+    labels: _t.Dict[str, int]   # label -> byte address
+    listing: _t.List[str]       # one line per emitted word (diagnostics)
+
+
+def _parse_register(token: str, line_no: int) -> int:
+    match = re.fullmatch(r"[rR](\d{1,2})", token)
+    if not match or not 0 <= int(match.group(1)) <= 15:
+        raise AssemblyError(line_no, f"expected register, got {token!r}")
+    return int(match.group(1))
+
+
+def _parse_int(token: str) -> _t.Optional[int]:
+    try:
+        return int(token, 0)
+    except ValueError:
+        return None
+
+
+def assemble(source: str, origin: int = 0) -> Program:
+    """Assemble *source* into a :class:`Program`.
+
+    Raises :class:`AssemblyError` with the offending line number on any
+    syntax problem, unknown mnemonic, undefined label, or out-of-range
+    immediate.
+    """
+    # ---- pass 1: tokenize, assign addresses, collect labels -------------
+    items: _t.List[_t.Tuple[int, int, str, _t.List[str]]] = []
+    labels: _t.Dict[str, int] = {}
+    address = origin
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split(";")[0].split("#")[0].strip()
+        if not line:
+            continue
+        while ":" in line:
+            label, _, rest = line.partition(":")
+            label = label.strip()
+            if not _LABEL_RE.match(label):
+                raise AssemblyError(line_no, f"bad label {label!r}")
+            if label in labels:
+                raise AssemblyError(line_no, f"duplicate label {label!r}")
+            labels[label] = address
+            line = rest.strip()
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = (
+            [p.strip() for p in parts[1].split(",")] if len(parts) > 1 else []
+        )
+        if mnemonic == ".org":
+            value = _parse_int(operands[0]) if operands else None
+            if value is None or value < address:
+                raise AssemblyError(line_no, ".org needs a forward address")
+            address = value
+            items.append((line_no, address, ".org", operands))
+            continue
+        items.append((line_no, address, mnemonic, operands))
+        if mnemonic == ".word":
+            address += INSTRUCTION_BYTES * len(operands)
+        else:
+            address += INSTRUCTION_BYTES
+
+    # ---- pass 2: emit -----------------------------------------------------
+    image = bytearray(address - origin)
+    listing: _t.List[str] = []
+
+    def resolve(token: str, line_no: int) -> int:
+        value = _parse_int(token)
+        if value is not None:
+            return value
+        if token in labels:
+            return labels[token]
+        raise AssemblyError(line_no, f"undefined symbol {token!r}")
+
+    def emit(addr: int, word: int, text: str) -> None:
+        offset = addr - origin
+        image[offset : offset + 4] = word.to_bytes(4, "little")
+        listing.append(f"{addr:#06x}: {word:#010x}  {text}")
+
+    for line_no, addr, mnemonic, operands in items:
+        if mnemonic == ".org":
+            continue
+        if mnemonic == ".word":
+            for i, token in enumerate(operands):
+                value = resolve(token, line_no) & 0xFFFFFFFF
+                emit(addr + 4 * i, value, f".word {token}")
+            continue
+        try:
+            op = Op[mnemonic.upper()]
+        except KeyError:
+            raise AssemblyError(line_no, f"unknown mnemonic {mnemonic!r}")
+        signature = _SIGNATURES[op]
+        if len(operands) != len(signature):
+            raise AssemblyError(
+                line_no,
+                f"{mnemonic} expects {len(signature)} operands, "
+                f"got {len(operands)}",
+            )
+        regs: _t.List[int] = []
+        imm = 0
+        for kind, token in zip(signature, operands):
+            if kind == "r":
+                regs.append(_parse_register(token, line_no))
+            else:
+                imm = resolve(token, line_no)
+                if op in _BRANCH_OPS and token in labels:
+                    # PC-relative, in instruction units, from *this* pc.
+                    delta_bytes = imm - addr
+                    if delta_bytes % INSTRUCTION_BYTES:
+                        raise AssemblyError(line_no, "misaligned branch target")
+                    imm = delta_bytes // INSTRUCTION_BYTES
+        if not IMM_MIN <= imm <= IMM_MAX:
+            raise AssemblyError(
+                line_no, f"immediate {imm} out of range for {mnemonic}"
+            )
+        rd = rs1 = rs2 = 0
+        reg_iter = iter(regs)
+        reg_fields = [f for f in signature if f == "r"]
+        if op is Op.ST or op is Op.STB:
+            # st base, src, imm -> rs1=base, rs2=src
+            rs1 = next(reg_iter)
+            rs2 = next(reg_iter)
+        elif op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE):
+            rs1 = next(reg_iter)
+            rs2 = next(reg_iter)
+        elif op is Op.JR:
+            rs1 = next(reg_iter)
+        elif len(reg_fields) == 1:
+            rd = next(reg_iter)
+        elif len(reg_fields) == 2:
+            rd = next(reg_iter)
+            rs1 = next(reg_iter)
+        elif len(reg_fields) == 3:
+            rd = next(reg_iter)
+            rs1 = next(reg_iter)
+            rs2 = next(reg_iter)
+        word = encode(Instruction(op, rd, rs1, rs2, imm))
+        emit(addr, word, f"{mnemonic} {', '.join(operands)}")
+
+    return Program(bytes(image), origin, labels, listing)

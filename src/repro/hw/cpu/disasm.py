@@ -1,0 +1,127 @@
+"""Disassembler for vp16 — the inverse of the assembler.
+
+Produces assembler-compatible text: ``assemble(disassemble(image))``
+reproduces the exact image (verified by property test), which makes it
+usable both for debugging campaign traces ("what instruction did the
+bit flip land on?") and as a mutation surface.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from .isa import IllegalInstruction, Instruction, Op, decode, encode
+
+#: Which encoding fields each mnemonic actually prints: fields not in
+#: the set are don't-cares the assembler will emit as zero.
+_PRINTED_FIELDS: _t.Dict[Op, _t.FrozenSet[str]] = {
+    Op.NOP: frozenset(),
+    Op.HALT: frozenset(),
+    Op.LDI: frozenset({"rd", "imm"}),
+    Op.LUI: frozenset({"rd", "imm"}),
+    Op.CSRR: frozenset({"rd", "imm"}),
+    Op.MOV: frozenset({"rd", "rs1"}),
+    Op.ADD: frozenset({"rd", "rs1", "rs2"}),
+    Op.SUB: frozenset({"rd", "rs1", "rs2"}),
+    Op.AND: frozenset({"rd", "rs1", "rs2"}),
+    Op.OR: frozenset({"rd", "rs1", "rs2"}),
+    Op.XOR: frozenset({"rd", "rs1", "rs2"}),
+    Op.SLL: frozenset({"rd", "rs1", "rs2"}),
+    Op.SRL: frozenset({"rd", "rs1", "rs2"}),
+    Op.MUL: frozenset({"rd", "rs1", "rs2"}),
+    Op.SLT: frozenset({"rd", "rs1", "rs2"}),
+    Op.SLTU: frozenset({"rd", "rs1", "rs2"}),
+    Op.ADDI: frozenset({"rd", "rs1", "imm"}),
+    Op.ANDI: frozenset({"rd", "rs1", "imm"}),
+    Op.ORI: frozenset({"rd", "rs1", "imm"}),
+    Op.XORI: frozenset({"rd", "rs1", "imm"}),
+    Op.SLLI: frozenset({"rd", "rs1", "imm"}),
+    Op.SRLI: frozenset({"rd", "rs1", "imm"}),
+    Op.LD: frozenset({"rd", "rs1", "imm"}),
+    Op.LDB: frozenset({"rd", "rs1", "imm"}),
+    Op.ST: frozenset({"rs1", "rs2", "imm"}),
+    Op.STB: frozenset({"rs1", "rs2", "imm"}),
+    Op.BEQ: frozenset({"rs1", "rs2", "imm"}),
+    Op.BNE: frozenset({"rs1", "rs2", "imm"}),
+    Op.BLT: frozenset({"rs1", "rs2", "imm"}),
+    Op.BGE: frozenset({"rs1", "rs2", "imm"}),
+    Op.JMP: frozenset({"imm"}),
+    Op.JAL: frozenset({"rd", "imm"}),
+    Op.JR: frozenset({"rs1"}),
+}
+
+
+def _canonical(instr: Instruction) -> Instruction:
+    """The instruction with unprinted fields zeroed."""
+    printed = _PRINTED_FIELDS[instr.op]
+    return Instruction(
+        instr.op,
+        instr.rd if "rd" in printed else 0,
+        instr.rs1 if "rs1" in printed else 0,
+        instr.rs2 if "rs2" in printed else 0,
+        instr.imm if "imm" in printed else 0,
+    )
+
+
+def format_instruction(instr: Instruction) -> str:
+    """One line of assembler syntax for a decoded instruction."""
+    op = instr.op
+    mnemonic = op.name.lower()
+    if op in (Op.NOP, Op.HALT):
+        return mnemonic
+    if op in (Op.LDI, Op.LUI, Op.CSRR):
+        return f"{mnemonic} r{instr.rd}, {instr.imm}"
+    if op is Op.MOV:
+        return f"{mnemonic} r{instr.rd}, r{instr.rs1}"
+    if op in (
+        Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR,
+        Op.SLL, Op.SRL, Op.MUL, Op.SLT, Op.SLTU,
+    ):
+        return f"{mnemonic} r{instr.rd}, r{instr.rs1}, r{instr.rs2}"
+    if op in (Op.ADDI, Op.ANDI, Op.ORI, Op.XORI, Op.SLLI, Op.SRLI):
+        return f"{mnemonic} r{instr.rd}, r{instr.rs1}, {instr.imm}"
+    if op in (Op.LD, Op.LDB):
+        return f"{mnemonic} r{instr.rd}, r{instr.rs1}, {instr.imm}"
+    if op in (Op.ST, Op.STB):
+        return f"{mnemonic} r{instr.rs1}, r{instr.rs2}, {instr.imm}"
+    if op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE):
+        return f"{mnemonic} r{instr.rs1}, r{instr.rs2}, {instr.imm}"
+    if op is Op.JMP:
+        return f"{mnemonic} {instr.imm}"
+    if op is Op.JAL:
+        return f"{mnemonic} r{instr.rd}, {instr.imm}"
+    if op is Op.JR:
+        return f"{mnemonic} r{instr.rs1}"
+    raise AssertionError(f"unhandled opcode {op}")  # pragma: no cover
+
+
+def disassemble(
+    image: _t.Union[bytes, bytearray],
+    origin: int = 0,
+    with_addresses: bool = False,
+) -> str:
+    """Disassemble a flat image (length must be word-aligned).
+
+    Unknown opcodes render as ``.word 0x...`` so any image round-trips.
+    """
+    if len(image) % 4:
+        raise ValueError("image length must be a multiple of 4")
+    lines: _t.List[str] = []
+    for offset in range(0, len(image), 4):
+        word = int.from_bytes(image[offset : offset + 4], "little")
+        try:
+            instr = decode(word)
+            # Words with set don't-care bits (e.g. a NOP with nonzero
+            # operand fields) cannot round-trip through mnemonics —
+            # the mnemonic only encodes the printed fields.  Keep such
+            # words as raw data.
+            if encode(_canonical(instr)) == word:
+                text = format_instruction(instr)
+            else:
+                text = f".word {word:#010x}"
+        except IllegalInstruction:
+            text = f".word {word:#010x}"
+        if with_addresses:
+            text = f"{origin + offset:#06x}:  {text}"
+        lines.append(text)
+    return "\n".join(lines)

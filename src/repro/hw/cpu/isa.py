@@ -1,0 +1,146 @@
+"""Instruction set architecture of the embedded core (``vp16`` — a
+deliberately small 32-bit RISC).
+
+The virtual prototype needs a processor that executes real software so
+stress tests can observe fault *propagation through software* — the
+paper's point that VP-based safety evaluation must cover "ECUs with the
+integrated software" (Sec. 3.4).  The ISA is register-register with 16
+GPRs and a fixed 32-bit encoding:
+
+    [31:24] opcode  [23:20] rd  [19:16] rs1  [15:12] rs2  [11:0] imm12
+
+``imm12`` is sign-extended.  Branches are PC-relative in instruction
+units.  ``r0`` reads as zero and ignores writes (RISC convention, keeps
+the assembler simple).
+"""
+
+from __future__ import annotations
+
+import enum
+import typing as _t
+
+WORD_MASK = 0xFFFFFFFF
+NUM_REGS = 16
+INSTRUCTION_BYTES = 4
+IMM_BITS = 12
+IMM_MIN = -(1 << (IMM_BITS - 1))
+IMM_MAX = (1 << (IMM_BITS - 1)) - 1
+
+
+class Op(enum.IntEnum):
+    """Opcodes.  Values are stable — they are the binary encoding."""
+
+    NOP = 0x00
+    HALT = 0x01
+    LDI = 0x02   # rd = imm
+    LUI = 0x03   # rd = imm << 12 (build large constants with LDI+LUI... via OR)
+    MOV = 0x04   # rd = rs1
+    ADD = 0x10   # rd = rs1 + rs2
+    SUB = 0x11
+    AND = 0x12
+    OR = 0x13
+    XOR = 0x14
+    SLL = 0x15   # rd = rs1 << (rs2 & 31)
+    SRL = 0x16   # rd = rs1 >> (rs2 & 31), logical
+    ADDI = 0x17  # rd = rs1 + imm
+    ANDI = 0x18
+    ORI = 0x19
+    XORI = 0x1A
+    SLLI = 0x1B  # rd = rs1 << imm
+    SRLI = 0x1C
+    MUL = 0x1D   # rd = (rs1 * rs2) low 32
+    SLT = 0x1E   # rd = 1 if signed rs1 < rs2 else 0
+    SLTU = 0x1F  # unsigned compare
+    LD = 0x20    # rd = mem32[rs1 + imm]
+    ST = 0x21    # mem32[rs1 + imm] = rs2
+    LDB = 0x22   # rd = mem8[rs1 + imm] (zero extended)
+    STB = 0x23   # mem8[rs1 + imm] = rs2 & 0xff
+    BEQ = 0x30   # if rs1 == rs2: pc += imm (in instructions)
+    BNE = 0x31
+    BLT = 0x32   # signed
+    BGE = 0x33   # signed
+    JMP = 0x34   # pc += imm
+    JAL = 0x35   # rd = pc + 4; pc += imm
+    JR = 0x36    # pc = rs1
+    CSRR = 0x40  # rd = csr[imm] (cycle counter etc.)
+
+
+#: Base cycle cost per opcode (memory ops add bus latency on top).
+CYCLE_COST: _t.Dict[Op, int] = {
+    Op.NOP: 1, Op.HALT: 1, Op.LDI: 1, Op.LUI: 1, Op.MOV: 1,
+    Op.ADD: 1, Op.SUB: 1, Op.AND: 1, Op.OR: 1, Op.XOR: 1,
+    Op.SLL: 1, Op.SRL: 1, Op.ADDI: 1, Op.ANDI: 1, Op.ORI: 1,
+    Op.XORI: 1, Op.SLLI: 1, Op.SRLI: 1, Op.MUL: 3, Op.SLT: 1,
+    Op.SLTU: 1, Op.LD: 2, Op.ST: 2, Op.LDB: 2, Op.STB: 2,
+    Op.BEQ: 2, Op.BNE: 2, Op.BLT: 2, Op.BGE: 2, Op.JMP: 2,
+    Op.JAL: 2, Op.JR: 2, Op.CSRR: 1,
+}
+
+
+class Instruction(_t.NamedTuple):
+    """A decoded instruction."""
+
+    op: Op
+    rd: int
+    rs1: int
+    rs2: int
+    imm: int  # sign-extended
+
+    def __str__(self) -> str:  # pragma: no cover - diagnostics
+        return (
+            f"{self.op.name} rd=r{self.rd} rs1=r{self.rs1} "
+            f"rs2=r{self.rs2} imm={self.imm}"
+        )
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Interpret the low *bits* of *value* as a signed integer."""
+    mask = (1 << bits) - 1
+    value &= mask
+    sign = 1 << (bits - 1)
+    return (value ^ sign) - sign
+
+
+def encode(instr: Instruction) -> int:
+    """Encode to the 32-bit binary form."""
+    if not IMM_MIN <= instr.imm <= IMM_MAX:
+        raise ValueError(f"immediate {instr.imm} out of 12-bit range")
+    for reg in (instr.rd, instr.rs1, instr.rs2):
+        if not 0 <= reg < NUM_REGS:
+            raise ValueError(f"register index out of range: {reg}")
+    return (
+        (int(instr.op) << 24)
+        | (instr.rd << 20)
+        | (instr.rs1 << 16)
+        | (instr.rs2 << 12)
+        | (instr.imm & ((1 << IMM_BITS) - 1))
+    )
+
+
+class IllegalInstruction(Exception):
+    """Raised by decode on an unknown opcode.
+
+    Fault campaigns care about this: a bit flip in instruction memory
+    frequently lands here, and a real core takes an illegal-instruction
+    trap — a *detected* error.
+    """
+
+    def __init__(self, word: int):
+        super().__init__(f"illegal instruction word {word:#010x}")
+        self.word = word
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit instruction word."""
+    opcode = (word >> 24) & 0xFF
+    try:
+        op = Op(opcode)
+    except ValueError:
+        raise IllegalInstruction(word) from None
+    return Instruction(
+        op=op,
+        rd=(word >> 20) & 0xF,
+        rs1=(word >> 16) & 0xF,
+        rs2=(word >> 12) & 0xF,
+        imm=sign_extend(word, IMM_BITS),
+    )

@@ -1,0 +1,312 @@
+"""Instruction-set simulator for the vp16 core.
+
+The ISS is a loosely-timed TLM initiator: it fetches and accesses data
+through its initiator socket, accumulates instruction and bus latency in
+a quantum keeper, and only synchronises with the kernel at quantum
+boundaries — the simulation-performance pattern Sec. 3.4 of the paper
+prescribes for running "a vast amount of instructions" of application
+software.
+
+Fault behaviour built in:
+
+* The register bank and PC are an injection point (bit flips, stuck
+  bits are applied by ``repro.core.injector.CpuInjector``).
+* Illegal instructions and bus errors take a *trap*: if a trap vector
+  is configured the core jumps there (software can run a recovery
+  handler); otherwise the core halts with a recorded trap cause.  Both
+  outcomes are visible to the campaign classifier as detected errors.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ...kernel import Module, QuantumKeeper
+from ...tlm import GenericPayload, InitiatorSocket
+from .isa import (
+    CYCLE_COST,
+    INSTRUCTION_BYTES,
+    IllegalInstruction,
+    Instruction,
+    NUM_REGS,
+    Op,
+    WORD_MASK,
+    decode,
+)
+
+
+def _signed(value: int) -> int:
+    value &= WORD_MASK
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+class CpuInjectionPoint:
+    """Bit-level access to the architectural state (regs + PC)."""
+
+    def __init__(self, cpu: "Vp16Cpu"):
+        self.name = f"{cpu.full_name}.arch"
+        self.kind = "cpu"
+        self._cpu = cpu
+
+    @property
+    def num_regs(self) -> int:
+        return NUM_REGS
+
+    def flip_reg(self, index: int, bit: int) -> None:
+        if index == 0:
+            return  # r0 is hardwired zero
+        self._cpu.regs[index] ^= 1 << bit
+        self._cpu.regs[index] &= WORD_MASK
+
+    def flip_pc(self, bit: int) -> None:
+        self._cpu.pc ^= 1 << bit
+        self._cpu.pc &= WORD_MASK
+
+    def peek_reg(self, index: int) -> int:
+        return self._cpu.regs[index]
+
+    def poke_reg(self, index: int, value: int) -> None:
+        if index:
+            self._cpu.regs[index] = value & WORD_MASK
+
+
+class Vp16Cpu(Module):
+    """The embedded core of an ECU model.
+
+    Parameters
+    ----------
+    clock_period:
+        Kernel time units per cycle (e.g. 10 => 100 MHz at 1 ns units).
+    trap_vector:
+        Byte address of the software trap handler, or ``None`` to halt
+        on traps.
+    quantum:
+        Temporal-decoupling quantum; ``None`` uses the global quantum.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        parent: Module,
+        clock_period: int = 10,
+        trap_vector: _t.Optional[int] = None,
+        quantum: _t.Optional[int] = None,
+        max_instructions: _t.Optional[int] = None,
+    ):
+        super().__init__(name, parent=parent)
+        self.clock_period = clock_period
+        self.trap_vector = trap_vector
+        self.max_instructions = max_instructions
+        self.isock = InitiatorSocket(self, "isock")
+        self.qk = QuantumKeeper(self.sim, quantum)
+        self.regs = [0] * NUM_REGS
+        self.pc = 0
+        self.halted = False
+        self.trap_cause: _t.Optional[str] = None
+        self.trap_count = 0
+        self.instructions_retired = 0
+        #: Notified (delta) when the core halts.
+        self.halt_event = self.event("halt")
+        self.register_injection_point("arch", CpuInjectionPoint(self))
+        self._proc = None
+
+    # -- control ----------------------------------------------------------
+
+    def reset(self, pc: int = 0) -> None:
+        self.regs = [0] * NUM_REGS
+        self.pc = pc
+        self.halted = False
+        self.trap_cause = None
+        self.instructions_retired = 0
+        self.qk.reset()
+
+    def start(self, pc: _t.Optional[int] = None) -> None:
+        """Spawn the execution process (call once after binding)."""
+        if pc is not None:
+            self.pc = pc
+        self._proc = self.process(self._run(), name="exec")
+
+    # -- bus helpers ---------------------------------------------------------
+
+    def _read_word(self, address: int) -> _t.Tuple[_t.Optional[int], int]:
+        payload = GenericPayload.read(address, 4)
+        delay = self.isock.b_transport(payload, 0)
+        if not payload.ok:
+            return None, delay
+        return payload.word, delay
+
+    def _read_byte(self, address: int) -> _t.Tuple[_t.Optional[int], int]:
+        payload = GenericPayload.read(address, 1)
+        delay = self.isock.b_transport(payload, 0)
+        if not payload.ok:
+            return None, delay
+        return payload.data[0], delay
+
+    def _write(self, address: int, data: bytes) -> _t.Tuple[bool, int]:
+        payload = GenericPayload.write(address, data)
+        delay = self.isock.b_transport(payload, 0)
+        return payload.ok, delay
+
+    # -- trap handling ---------------------------------------------------------
+
+    def _trap(self, cause: str) -> None:
+        self.trap_count += 1
+        self.trap_cause = cause
+        if self.trap_vector is not None:
+            # r15 doubles as the exception link register.
+            self.regs[15] = self.pc & WORD_MASK
+            self.pc = self.trap_vector
+        else:
+            self._halt()
+
+    def _halt(self) -> None:
+        self.halted = True
+        self.halt_event.notify(0)
+
+    # -- the execution loop ------------------------------------------------
+
+    def _run(self):
+        while not self.halted:
+            if (
+                self.max_instructions is not None
+                and self.instructions_retired >= self.max_instructions
+            ):
+                self._trap("instruction_budget")
+                if self.halted:
+                    break
+            word, fetch_delay = self._read_word(self.pc)
+            self.qk.inc(fetch_delay)
+            if word is None:
+                self._trap("fetch_bus_error")
+                if self.halted:
+                    break
+                continue
+            try:
+                instr = decode(word)
+            except IllegalInstruction:
+                self._trap("illegal_instruction")
+                if self.halted:
+                    break
+                continue
+            bus_delay = self._execute(instr)
+            self.qk.inc(
+                CYCLE_COST[instr.op] * self.clock_period + bus_delay
+            )
+            self.instructions_retired += 1
+            self.regs[0] = 0  # r0 stays hardwired
+            if self.qk.need_sync():
+                yield self.qk.sync()
+        if self.qk.local_offset:
+            yield self.qk.sync()
+
+    def _execute(self, instr: Instruction) -> int:
+        """Execute one decoded instruction; returns extra bus delay."""
+        op = instr.op
+        regs = self.regs
+        rd, rs1, rs2, imm = instr.rd, instr.rs1, instr.rs2, instr.imm
+        next_pc = (self.pc + INSTRUCTION_BYTES) & WORD_MASK
+        delay = 0
+
+        if op is Op.NOP:
+            pass
+        elif op is Op.HALT:
+            self._halt()
+            return 0
+        elif op is Op.LDI:
+            regs[rd] = imm & WORD_MASK
+        elif op is Op.LUI:
+            regs[rd] = (imm << 12) & WORD_MASK
+        elif op is Op.MOV:
+            regs[rd] = regs[rs1]
+        elif op is Op.ADD:
+            regs[rd] = (regs[rs1] + regs[rs2]) & WORD_MASK
+        elif op is Op.SUB:
+            regs[rd] = (regs[rs1] - regs[rs2]) & WORD_MASK
+        elif op is Op.AND:
+            regs[rd] = regs[rs1] & regs[rs2]
+        elif op is Op.OR:
+            regs[rd] = regs[rs1] | regs[rs2]
+        elif op is Op.XOR:
+            regs[rd] = regs[rs1] ^ regs[rs2]
+        elif op is Op.SLL:
+            regs[rd] = (regs[rs1] << (regs[rs2] & 31)) & WORD_MASK
+        elif op is Op.SRL:
+            regs[rd] = (regs[rs1] & WORD_MASK) >> (regs[rs2] & 31)
+        elif op is Op.ADDI:
+            regs[rd] = (regs[rs1] + imm) & WORD_MASK
+        elif op is Op.ANDI:
+            regs[rd] = regs[rs1] & (imm & WORD_MASK)
+        elif op is Op.ORI:
+            regs[rd] = regs[rs1] | (imm & WORD_MASK)
+        elif op is Op.XORI:
+            regs[rd] = regs[rs1] ^ (imm & WORD_MASK)
+        elif op is Op.SLLI:
+            regs[rd] = (regs[rs1] << (imm & 31)) & WORD_MASK
+        elif op is Op.SRLI:
+            regs[rd] = (regs[rs1] & WORD_MASK) >> (imm & 31)
+        elif op is Op.MUL:
+            regs[rd] = (regs[rs1] * regs[rs2]) & WORD_MASK
+        elif op is Op.SLT:
+            regs[rd] = int(_signed(regs[rs1]) < _signed(regs[rs2]))
+        elif op is Op.SLTU:
+            regs[rd] = int((regs[rs1] & WORD_MASK) < (regs[rs2] & WORD_MASK))
+        elif op is Op.LD:
+            value, delay = self._read_word((regs[rs1] + imm) & WORD_MASK)
+            if value is None:
+                self._trap("load_bus_error")
+                return delay
+            regs[rd] = value
+        elif op is Op.LDB:
+            value, delay = self._read_byte((regs[rs1] + imm) & WORD_MASK)
+            if value is None:
+                self._trap("load_bus_error")
+                return delay
+            regs[rd] = value
+        elif op is Op.ST:
+            ok, delay = self._write(
+                (regs[rs1] + imm) & WORD_MASK,
+                regs[rs2].to_bytes(4, "little"),
+            )
+            if not ok:
+                self._trap("store_bus_error")
+                return delay
+        elif op is Op.STB:
+            ok, delay = self._write(
+                (regs[rs1] + imm) & WORD_MASK,
+                bytes([regs[rs2] & 0xFF]),
+            )
+            if not ok:
+                self._trap("store_bus_error")
+                return delay
+        elif op is Op.BEQ:
+            if regs[rs1] == regs[rs2]:
+                next_pc = (self.pc + imm * INSTRUCTION_BYTES) & WORD_MASK
+        elif op is Op.BNE:
+            if regs[rs1] != regs[rs2]:
+                next_pc = (self.pc + imm * INSTRUCTION_BYTES) & WORD_MASK
+        elif op is Op.BLT:
+            if _signed(regs[rs1]) < _signed(regs[rs2]):
+                next_pc = (self.pc + imm * INSTRUCTION_BYTES) & WORD_MASK
+        elif op is Op.BGE:
+            if _signed(regs[rs1]) >= _signed(regs[rs2]):
+                next_pc = (self.pc + imm * INSTRUCTION_BYTES) & WORD_MASK
+        elif op is Op.JMP:
+            next_pc = (self.pc + imm * INSTRUCTION_BYTES) & WORD_MASK
+        elif op is Op.JAL:
+            regs[rd] = next_pc
+            next_pc = (self.pc + imm * INSTRUCTION_BYTES) & WORD_MASK
+        elif op is Op.JR:
+            next_pc = regs[rs1] & WORD_MASK
+        elif op is Op.CSRR:
+            if imm == 0:
+                regs[rd] = self.instructions_retired & WORD_MASK
+            elif imm == 1:
+                regs[rd] = self.qk.local_time & WORD_MASK
+            else:
+                regs[rd] = 0
+        else:  # pragma: no cover - decode guarantees coverage
+            self._trap("illegal_instruction")
+            return 0
+
+        self.pc = next_pc
+        return delay

@@ -1,0 +1,127 @@
+"""Error-correcting and error-detecting codes.
+
+Protection mechanisms are central to the paper's stress-test story: the
+interesting (rare) failures are those that *bypass* ECC, parity, CRC and
+voters.  This module provides the codes the hardware models use:
+
+* :func:`hamming_encode` / :func:`hamming_decode` — SEC-DED Hamming code
+  over a single data byte (8 data bits, 4 parity bits + overall parity,
+  13 bits total).  Corrects any single bit flip, detects double flips.
+* :func:`parity_bit` — even parity over arbitrary-width words.
+* :func:`crc15` — the CAN bus CRC-15 polynomial, bit-accurate.
+* :func:`crc8` — SAE J1850 CRC-8 used by the sensor message models.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+# Positions 1..13 (1-indexed); powers of two are parity bits.
+_TOTAL_BITS = 13
+_PARITY_POSITIONS = (1, 2, 4, 8)
+_DATA_POSITIONS = tuple(
+    p for p in range(1, _TOTAL_BITS) if p not in _PARITY_POSITIONS
+)  # eight positions for the data byte
+_OVERALL_POSITION = _TOTAL_BITS  # appended overall parity for DED
+
+
+def hamming_encode(byte: int) -> int:
+    """Encode one data byte into a 13-bit SEC-DED codeword."""
+    if not 0 <= byte <= 0xFF:
+        raise ValueError(f"data byte out of range: {byte}")
+    bits = [0] * (_TOTAL_BITS + 1)  # 1-indexed
+    for i, pos in enumerate(_DATA_POSITIONS):
+        bits[pos] = (byte >> i) & 1
+    for parity_pos in _PARITY_POSITIONS:
+        acc = 0
+        for pos in range(1, _OVERALL_POSITION):
+            if pos != parity_pos and (pos & parity_pos):
+                acc ^= bits[pos]
+        bits[parity_pos] = acc
+    bits[_OVERALL_POSITION] = 0
+    bits[_OVERALL_POSITION] = sum(bits[1:]) & 1  # even overall parity
+    word = 0
+    for pos in range(1, _TOTAL_BITS + 1):
+        word |= bits[pos] << (pos - 1)
+    return word
+
+
+class DecodeResult(_t.NamedTuple):
+    """Outcome of a SEC-DED decode."""
+
+    data: int
+    corrected: bool  # a single-bit error was corrected
+    uncorrectable: bool  # a double-bit error was detected
+
+
+def hamming_decode(word: int) -> DecodeResult:
+    """Decode a 13-bit codeword, correcting single-bit errors.
+
+    For an uncorrectable (double) error the returned data is the best
+    effort extraction and must not be trusted — exactly like a real
+    SEC-DED memory, which flags the access instead.
+    """
+    if not 0 <= word < (1 << _TOTAL_BITS):
+        raise ValueError(f"codeword out of range: {word:#x}")
+    bits = [0] * (_TOTAL_BITS + 1)
+    for pos in range(1, _TOTAL_BITS + 1):
+        bits[pos] = (word >> (pos - 1)) & 1
+    syndrome = 0
+    for parity_pos in _PARITY_POSITIONS:
+        acc = 0
+        for pos in range(1, _OVERALL_POSITION):
+            if pos & parity_pos:
+                acc ^= bits[pos]
+        if acc:
+            syndrome |= parity_pos
+    overall = sum(bits[1:]) & 1  # zero when parity consistent
+
+    corrected = False
+    uncorrectable = False
+    if syndrome and overall:
+        # Single-bit error at position `syndrome` (may be a parity bit).
+        if syndrome <= _TOTAL_BITS:
+            bits[syndrome] ^= 1
+        corrected = True
+    elif syndrome and not overall:
+        uncorrectable = True
+    elif not syndrome and overall:
+        # Overall parity bit itself flipped; data unharmed.
+        corrected = True
+
+    data = 0
+    for i, pos in enumerate(_DATA_POSITIONS):
+        data |= bits[pos] << i
+    return DecodeResult(data, corrected, uncorrectable)
+
+
+def parity_bit(value: int, width: int = 8) -> int:
+    """Even-parity bit over the low *width* bits of *value*."""
+    acc = 0
+    for i in range(width):
+        acc ^= (value >> i) & 1
+    return acc
+
+
+def crc15(bits: _t.Sequence[int]) -> int:
+    """CAN CRC-15 (polynomial 0x4599) over a bit sequence (MSB first)."""
+    crc = 0
+    for bit in bits:
+        crc_next = ((crc >> 14) & 1) ^ (bit & 1)
+        crc = (crc << 1) & 0x7FFF
+        if crc_next:
+            crc ^= 0x4599
+    return crc
+
+
+def crc8(data: _t.Iterable[int]) -> int:
+    """SAE J1850 CRC-8 (polynomial 0x1D, init 0xFF, xorout 0xFF)."""
+    crc = 0xFF
+    for byte in data:
+        crc ^= byte & 0xFF
+        for _ in range(8):
+            if crc & 0x80:
+                crc = ((crc << 1) ^ 0x1D) & 0xFF
+            else:
+                crc = (crc << 1) & 0xFF
+    return crc ^ 0xFF

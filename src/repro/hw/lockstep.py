@@ -1,0 +1,110 @@
+"""Dual-core lockstep execution.
+
+Safety MCUs (the kind automotive ASIL-D designs use) run two identical
+cores on the same instruction stream and compare their outputs every
+cycle; any divergence traps before a corrupted value can leave the
+chip.  :class:`LockstepCpuPair` builds that arrangement from two vp16
+cores:
+
+* both cores run the same image from *private copies* of memory (so a
+  memory fault hits one channel, like a real dual-bus lockstep);
+* a checker process compares the full architectural state (PC + GPRs)
+  every ``compare_interval``;
+* on divergence the pair halts both cores and raises its
+  ``mismatch_event`` — a *detected* error for the campaign classifier;
+* the classic blind spot is preserved: a common-mode fault (the same
+  corruption injected into both cores) passes undetected.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..kernel import Module
+from ..tlm import InitiatorSocket, Router
+from .cpu import Vp16Cpu
+from .memory import Memory
+from .protection import LockstepChecker
+
+
+class LockstepCpuPair(Module):
+    """Two vp16 cores in lockstep with a state comparator."""
+
+    def __init__(
+        self,
+        name: str,
+        parent: Module,
+        image: bytes,
+        mem_size: int = 4096,
+        compare_interval: int = 10_000,
+        clock_period: int = 10,
+        max_instructions: _t.Optional[int] = 100_000,
+    ):
+        super().__init__(name, parent=parent)
+        self.compare_interval = compare_interval
+        self.checker = LockstepChecker("checker", parent=self)
+        self.halted_on_mismatch = False
+        self.mismatch_time: _t.Optional[int] = None
+        self.cores: _t.List[Vp16Cpu] = []
+        self.memories: _t.List[Memory] = []
+        for channel in ("a", "b"):
+            router = Router(f"bus_{channel}", parent=self, hop_latency=2)
+            memory = Memory(
+                f"mem_{channel}", parent=self, size=mem_size,
+                read_latency=4, write_latency=4,
+            )
+            memory.load(0, image)
+            router.map_target(0x0, mem_size, memory.tsock)
+            core = Vp16Cpu(
+                f"core_{channel}", parent=self,
+                clock_period=clock_period,
+                max_instructions=max_instructions,
+            )
+            core.isock.bind(router.tsock)
+            self.cores.append(core)
+            self.memories.append(memory)
+        self.mismatch_event = self.event("mismatch")
+        self.process(self._compare_loop(), name="compare")
+
+    def start(self, pc: int = 0) -> None:
+        for core in self.cores:
+            core.start(pc=pc)
+
+    # -- state comparison -----------------------------------------------------
+
+    def _architectural_fingerprint(self, core: Vp16Cpu) -> int:
+        fingerprint = core.pc
+        for value in core.regs:
+            fingerprint = (fingerprint * 0x100000001B3 + value) & (2**64 - 1)
+        return fingerprint
+
+    def _compare_loop(self):
+        core_a, core_b = self.cores
+        while True:
+            yield self.compare_interval
+            agree = self.checker.compare(
+                self._architectural_fingerprint(core_a),
+                self._architectural_fingerprint(core_b),
+            )
+            if not agree:
+                self.halted_on_mismatch = True
+                self.mismatch_time = self.sim.now
+                self.mismatch_event.notify(0)
+                for core in self.cores:
+                    core._halt()
+                return
+            if all(core.halted for core in self.cores):
+                return
+
+    # -- results ------------------------------------------------------------------
+
+    @property
+    def both_halted_cleanly(self) -> bool:
+        return (
+            all(core.halted for core in self.cores)
+            and not self.halted_on_mismatch
+        )
+
+    def result_register(self, index: int) -> _t.Tuple[int, int]:
+        """(channel A, channel B) values of GPR *index*."""
+        return (self.cores[0].regs[index], self.cores[1].regs[index])

@@ -1,0 +1,36 @@
+"""SystemC-like discrete-event simulation kernel (substrate S1).
+
+The kernel provides the execution semantics every virtual prototype in
+this framework runs on: generator-based processes, immediate/delta/timed
+event notification, delta-cycle signal update, hierarchical modules with
+fault-injection points, and TLM-2.0-style temporal decoupling.
+"""
+
+from . import simtime
+from .events import AllOf, AnyOf, Event, Timeout
+from .module import Module
+from .process import Process, ProcessError
+from .quantum import GlobalQuantum, QuantumKeeper
+from .scheduler import Simulator
+from .signal import Clock, Signal, SignalBase, Wire
+from .trace import Change, Tracer
+
+__all__ = [
+    "simtime",
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Timeout",
+    "Module",
+    "Process",
+    "ProcessError",
+    "GlobalQuantum",
+    "QuantumKeeper",
+    "Simulator",
+    "Clock",
+    "Signal",
+    "SignalBase",
+    "Wire",
+    "Change",
+    "Tracer",
+]

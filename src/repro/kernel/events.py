@@ -1,0 +1,126 @@
+"""Events and wait conditions for the discrete-event kernel.
+
+An :class:`Event` is the fundamental synchronisation primitive, modelled
+after SystemC's ``sc_event``: processes suspend on it, and a notification
+resumes every waiting process.  Notification comes in three flavours,
+mirroring the SystemC semantics:
+
+* ``notify()`` — *immediate*: waiters become runnable in the current
+  evaluation phase;
+* ``notify(0)`` — *delta*: waiters run in the next delta cycle, after the
+  current evaluation phase drains (this is how signal updates wake
+  sensitive processes);
+* ``notify(delay)`` — *timed*: waiters run ``delay`` time units later.
+
+Composite wait conditions (:class:`AnyOf`, :class:`AllOf`) let a process
+wait for the first or for all of a set of events, and :class:`Timeout`
+suspends for a fixed duration.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .scheduler import Simulator
+
+
+class Event:
+    """A notifiable synchronisation point.
+
+    Events are created against a :class:`~repro.kernel.scheduler.Simulator`
+    (directly or lazily through the module hierarchy) and carry an optional
+    name for diagnostics.
+    """
+
+    __slots__ = ("sim", "name", "_waiters", "_pending_kind")
+
+    def __init__(self, sim: "Simulator", name: str = "event"):
+        self.sim = sim
+        self.name = name
+        self._waiters: list = []  # Process objects suspended on this event
+        # Kind of pending notification, used to collapse multiple notify
+        # calls within one delta (immediate > delta > timed), as in SystemC.
+        self._pending_kind: _t.Optional[str] = None
+
+    # -- notification -------------------------------------------------
+
+    def notify(self, delay: _t.Optional[int] = None) -> None:
+        """Notify the event.
+
+        ``delay is None`` requests immediate notification, ``0`` a delta
+        notification, and a positive integer a timed notification that
+        many kernel time units in the future.
+        """
+        if delay is None:
+            self.sim._notify_immediate(self)
+        elif delay == 0:
+            self.sim._notify_delta(self)
+        elif delay > 0:
+            self.sim._notify_timed(self, delay)
+        else:
+            raise ValueError(f"negative notify delay: {delay}")
+
+    def _add_waiter(self, process) -> None:
+        self._waiters.append(process)
+
+    def _remove_waiter(self, process) -> None:
+        try:
+            self._waiters.remove(process)
+        except ValueError:
+            pass
+
+    def _take_waiters(self) -> list:
+        waiters, self._waiters = self._waiters, []
+        return waiters
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"Event({self.name!r}, waiters={len(self._waiters)})"
+
+
+class Timeout:
+    """Wait condition: suspend for a fixed number of time units.
+
+    Processes usually write ``yield Timeout(n)`` or the shorthand
+    ``yield n`` (a bare integer is promoted to a :class:`Timeout`).
+    """
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: int):
+        if duration < 0:
+            raise ValueError(f"negative timeout: {duration}")
+        self.duration = int(duration)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Timeout({self.duration})"
+
+
+class AnyOf:
+    """Wait condition: resume when the *first* of several events fires.
+
+    The value delivered back into the generator is the :class:`Event`
+    that fired, so a process can dispatch on it::
+
+        fired = yield AnyOf(done_evt, error_evt)
+        if fired is error_evt:
+            ...
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, *events: Event):
+        if not events:
+            raise ValueError("AnyOf requires at least one event")
+        self.events = tuple(events)
+
+
+class AllOf:
+    """Wait condition: resume only when *all* given events have fired."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, *events: Event):
+        if not events:
+            raise ValueError("AllOf requires at least one event")
+        self.events = tuple(events)

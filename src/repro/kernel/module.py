@@ -1,0 +1,124 @@
+"""Hierarchical modules.
+
+:class:`Module` gives virtual-prototype components a SystemC-like
+structure: a dotted hierarchical name, parent/child links, convenience
+constructors for events/signals/processes, and — crucial for this
+framework — a registry of *injection points* that fault injectors can
+discover without the model code being modified (Sec. 3.3 of the paper:
+"errors need to be injected into the DUT, but the design should not be
+changed").
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from .events import Event
+from .process import Process
+from .scheduler import Simulator
+from .signal import Signal, Wire
+
+
+class Module:
+    """Base class for every structural component of a virtual prototype.
+
+    Subclasses build their children and spawn their behaviour processes
+    in ``__init__`` (an ``elaborate``-style split is unnecessary in
+    Python; construction order gives elaboration order).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        parent: _t.Optional["Module"] = None,
+        sim: _t.Optional[Simulator] = None,
+    ):
+        if parent is None and sim is None:
+            raise ValueError(
+                f"module {name!r} needs either a parent or a simulator"
+            )
+        self.basename = name
+        self.parent = parent
+        self.sim: Simulator = sim if sim is not None else parent.sim
+        self.children: list = []
+        self._injection_points: dict = {}
+        if parent is not None:
+            parent.children.append(self)
+
+    # -- naming ----------------------------------------------------------
+
+    @property
+    def full_name(self) -> str:
+        """Dotted hierarchical name, e.g. ``'top.ecu0.cpu'``."""
+        if self.parent is None:
+            return self.basename
+        return f"{self.parent.full_name}.{self.basename}"
+
+    def find(self, path: str) -> "Module":
+        """Resolve a child by relative dotted *path*.
+
+        >>> top.find("ecu0.cpu")        # doctest: +SKIP
+        """
+        module = self
+        for part in path.split("."):
+            for child in module.children:
+                if child.basename == part:
+                    module = child
+                    break
+            else:
+                raise KeyError(
+                    f"{module.full_name!r} has no child {part!r}"
+                )
+        return module
+
+    def walk(self) -> _t.Iterator["Module"]:
+        """Depth-first iteration over this module and all descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    # -- construction helpers ---------------------------------------------
+
+    def event(self, name: str) -> Event:
+        return Event(self.sim, f"{self.full_name}.{name}")
+
+    def signal(self, name: str, initial=None) -> Signal:
+        return Signal(self.sim, f"{self.full_name}.{name}", initial)
+
+    def wire(self, name: str, initial: bool = False) -> Wire:
+        return Wire(self.sim, f"{self.full_name}.{name}", initial)
+
+    def process(self, generator: _t.Generator, name: str = "proc") -> Process:
+        """Spawn *generator* as a process owned by this module."""
+        return self.sim.spawn(generator, name=f"{self.full_name}.{name}")
+
+    # -- injection points ---------------------------------------------------
+
+    def register_injection_point(self, name: str, point) -> None:
+        """Expose *point* (an injector-compatible object) under *name*.
+
+        Components register their corruptible state here during
+        construction; the stressor discovers them by walking the module
+        tree, so fault campaigns never need design edits.
+        """
+        if name in self._injection_points:
+            raise ValueError(
+                f"{self.full_name!r} already has injection point {name!r}"
+            )
+        self._injection_points[name] = point
+
+    @property
+    def injection_points(self) -> dict:
+        """Mapping of locally registered injection-point names."""
+        return dict(self._injection_points)
+
+    def all_injection_points(self) -> dict:
+        """All injection points in this subtree, keyed by full path."""
+        points: dict = {}
+        for module in self.walk():
+            for name, point in module._injection_points.items():
+                points[f"{module.full_name}.{name}"] = point
+        return points
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}({self.full_name!r})"

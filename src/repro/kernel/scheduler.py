@@ -1,0 +1,249 @@
+"""The discrete-event simulator core.
+
+The :class:`Simulator` implements the SystemC-style scheduling loop:
+
+1. **Evaluation phase** — run every runnable process until the runnable
+   queue drains.  Immediate notifications feed the same phase.
+2. **Update phase** — commit primitive-channel (signal) writes; each
+   value change produces delta notifications.
+3. **Delta notification phase** — wake processes sensitive to the delta
+   events; if any woke up, loop back to step 1 within the same time.
+4. **Time advance** — pop the earliest timed notification(s) from the
+   event wheel and repeat.
+
+Ordering is fully deterministic: processes resume in FIFO order within a
+phase, and the event wheel breaks time ties with a monotonically
+increasing sequence number.  Deterministic scheduling is essential here —
+fault-injection campaigns must replay exactly under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing as _t
+from collections import deque
+
+from . import simtime
+from .events import Event
+from .process import FINISHED, KILLED, Process, ProcessError
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from .signal import SignalBase
+
+
+class SimulationFinished(Exception):
+    """Raised internally to unwind when a stop is requested."""
+
+
+class Simulator:
+    """A discrete-event simulation kernel instance.
+
+    Typical standalone use::
+
+        sim = Simulator()
+
+        def blinker():
+            while True:
+                yield 10          # wait 10 time units
+                print("tick", sim.now)
+
+        sim.spawn(blinker(), name="blinker")
+        sim.run(until=100)
+    """
+
+    def __init__(self):
+        #: Current simulation time in kernel units.
+        self.now: int = 0
+        #: Delta-cycle counter within the current timestamp (diagnostics).
+        self.delta_count: int = 0
+        self._runnable: deque = deque()
+        self._wheel: list = []  # heap of (time, seq, kind, payload)
+        self._seq = 0
+        self._delta_events: list = []  # events with pending delta notification
+        self._delta_resumes: list = []  # processes to resume next delta
+        self._update_queue: list = []  # signals with pending writes
+        self._processes: list = []
+        self._stop_requested = False
+        self._errors: list = []
+        #: Hooks invoked as fn(sim) after every delta cycle (tracing).
+        self.delta_hooks: list = []
+
+    # ------------------------------------------------------------------
+    # Process management
+    # ------------------------------------------------------------------
+
+    def spawn(self, generator: _t.Generator, name: str = "proc") -> Process:
+        """Register *generator* as a process, runnable at the current time."""
+        process = Process(self, generator, name)
+        self._processes.append(process)
+        self._runnable.append(process)
+        return process
+
+    def event(self, name: str = "event") -> Event:
+        """Create a fresh :class:`Event` bound to this simulator."""
+        return Event(self, name)
+
+    def timeout_event(self, delay: int, name: str = "timeout") -> Event:
+        """An event that fires once, *delay* units from now.
+
+        Useful inside ``AnyOf`` to wait for "X or a deadline"::
+
+            fired = yield AnyOf(done, sim.timeout_event(1000))
+        """
+        event = Event(self, name)
+        event.notify(delay)
+        return event
+
+    # ------------------------------------------------------------------
+    # Notification plumbing (called by Event / Signal / Process)
+    # ------------------------------------------------------------------
+
+    def _notify_immediate(self, event: Event) -> None:
+        for process in event._take_waiters():
+            if process._event_fired(event):
+                self._runnable.append(process)
+
+    def _notify_delta(self, event: Event) -> None:
+        if event._pending_kind != "delta":
+            event._pending_kind = "delta"
+            self._delta_events.append(event)
+
+    def _notify_timed(self, event: Event, delay: int) -> None:
+        self._seq += 1
+        heapq.heappush(
+            self._wheel, (self.now + delay, self._seq, "event", event)
+        )
+
+    def _schedule_delta_resume(self, process: Process) -> None:
+        self._delta_resumes.append(process)
+
+    def _schedule_timed_resume(self, process: Process, delay: int) -> None:
+        self._seq += 1
+        heapq.heappush(
+            self._wheel, (self.now + delay, self._seq, "process", process)
+        )
+
+    def _request_update(self, signal: "SignalBase") -> None:
+        if not signal._update_pending:
+            signal._update_pending = True
+            self._update_queue.append(signal)
+
+    def _report_process_error(self, error: ProcessError) -> None:
+        self._errors.append(error)
+        self._stop_requested = True
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return at the next phase boundary."""
+        self._stop_requested = True
+
+    def run(self, until: _t.Optional[int] = None) -> int:
+        """Run the simulation.
+
+        ``until`` is an absolute time horizon; simulation stops *before*
+        executing anything scheduled later than it and ``self.now`` is
+        left clamped at the horizon.  With ``until=None`` the simulation
+        runs until no activity remains.  Returns the final time.
+
+        Raises :class:`~repro.kernel.process.ProcessError` if any process
+        body raised.
+        """
+        horizon = simtime.TIME_MAX if until is None else until
+        try:
+            while not self._stop_requested:
+                self._delta_cycle()
+                if self._stop_requested:
+                    break
+                if self._runnable or self._delta_resumes or self._delta_events:
+                    continue
+                if not self._advance_time(horizon):
+                    break
+        finally:
+            if self._errors:
+                error = self._errors[0]
+                self._errors = []
+                self._stop_requested = False
+                raise error
+        self._stop_requested = False
+        if until is not None and self.now < until and not self._errors:
+            # No activity left before the horizon: clamp time forward so
+            # callers observe the requested duration.
+            self.now = until
+        return self.now
+
+    def _delta_cycle(self) -> None:
+        # Evaluation phase.
+        while self._runnable:
+            process = self._runnable.popleft()
+            if process.state in (FINISHED, KILLED):
+                continue
+            process._step()
+            if self._stop_requested:
+                return
+        # Update phase.
+        updates, self._update_queue = self._update_queue, []
+        for signal in updates:
+            signal._perform_update()
+        # Delta notification phase.
+        events, self._delta_events = self._delta_events, []
+        resumes, self._delta_resumes = self._delta_resumes, []
+        for event in events:
+            event._pending_kind = None
+            for process in event._take_waiters():
+                if process._event_fired(event):
+                    self._runnable.append(process)
+        for process in resumes:
+            if process.state not in (FINISHED, KILLED):
+                self._runnable.append(process)
+        self.delta_count += 1
+        for hook in self.delta_hooks:
+            hook(self)
+
+    def _advance_time(self, horizon: int) -> bool:
+        """Pop the next timestamp from the wheel.  False when exhausted."""
+        while self._wheel:
+            when, _seq, kind, payload = self._wheel[0]
+            if when > horizon:
+                self.now = horizon
+                return False
+            break
+        if not self._wheel:
+            return False
+        when = self._wheel[0][0]
+        self.now = when
+        self.delta_count = 0
+        while self._wheel and self._wheel[0][0] == when:
+            _when, _seq, kind, payload = heapq.heappop(self._wheel)
+            if kind == "event":
+                payload._pending_kind = None
+                for process in payload._take_waiters():
+                    if process._event_fired(payload):
+                        self._runnable.append(process)
+            else:  # kind == "process"
+                if payload.state not in (FINISHED, KILLED):
+                    self._runnable.append(payload)
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def pending_activity(self) -> bool:
+        """True when any work remains (runnable, delta, or timed)."""
+        return bool(
+            self._runnable
+            or self._delta_resumes
+            or self._delta_events
+            or self._update_queue
+            or self._wheel
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Simulator(now={simtime.format_time(self.now)}, "
+            f"processes={len(self._processes)})"
+        )

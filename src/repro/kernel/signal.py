@@ -1,0 +1,152 @@
+"""Primitive channels: signals with delta-cycle update semantics.
+
+A :class:`Signal` behaves like SystemC's ``sc_signal``: writes are staged
+and only become visible in the update phase of the current delta cycle,
+so all processes in one evaluation phase observe a consistent snapshot.
+Every committed change notifies the signal's ``changed`` event with delta
+semantics, waking sensitive processes in the next delta cycle.
+
+:class:`Wire` adds edge events for boolean signals, which clocked models
+(gate-level DFFs, the watchdog) rely on.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from .events import Event
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from .scheduler import Simulator
+
+T = _t.TypeVar("T")
+
+
+class SignalBase:
+    """Shared staging/update machinery for primitive channels."""
+
+    def __init__(self, sim: "Simulator", name: str, initial: _t.Any):
+        self.sim = sim
+        self.name = name
+        self._current = initial
+        self._next = initial
+        self._update_pending = False
+        #: Delta-notified whenever the committed value changes.
+        self.changed = Event(sim, f"{name}.changed")
+        #: Observers invoked as fn(signal, old, new) on committed changes.
+        self.observers: list = []
+        #: Number of committed value changes (activity metric).
+        self.change_count = 0
+
+    # -- reading/writing ------------------------------------------------
+
+    def read(self):
+        """Current committed value."""
+        return self._current
+
+    def write(self, value) -> None:
+        """Stage *value*; it commits at the next update phase."""
+        self._next = value
+        self.sim._request_update(self)
+
+    #: ``signal.value`` is sugar for read/write.
+    @property
+    def value(self):
+        return self.read()
+
+    @value.setter
+    def value(self, new_value) -> None:
+        self.write(new_value)
+
+    def force(self, value) -> None:
+        """Immediately overwrite the committed value (fault injection).
+
+        Unlike :meth:`write` this bypasses the update phase, notifying
+        sensitive processes as if the change had just been committed.
+        Injectors use this to model upsets that do not originate from a
+        driving process.
+        """
+        old = self._current
+        self._current = value
+        self._next = value
+        if old != value:
+            self._announce(old, value)
+
+    # -- kernel interface ------------------------------------------------
+
+    def _perform_update(self) -> None:
+        self._update_pending = False
+        old = self._current
+        if self._next != old:
+            self._current = self._next
+            self._announce(old, self._current)
+
+    def _announce(self, old, new) -> None:
+        self.change_count += 1
+        self.changed.notify(0)
+        for observer in self.observers:
+            observer(self, old, new)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}({self.name!r}={self._current!r})"
+
+
+class Signal(SignalBase, _t.Generic[T]):
+    """A typed value-holding signal (``sc_signal<T>`` equivalent)."""
+
+
+class Wire(SignalBase):
+    """A boolean signal with dedicated edge events.
+
+    ``posedge`` / ``negedge`` fire (delta) when the committed value
+    transitions 0→1 / 1→0 respectively.
+    """
+
+    def __init__(self, sim: "Simulator", name: str, initial: bool = False):
+        super().__init__(sim, name, bool(initial))
+        self.posedge = Event(sim, f"{name}.posedge")
+        self.negedge = Event(sim, f"{name}.negedge")
+
+    def write(self, value) -> None:
+        super().write(bool(value))
+
+    def _announce(self, old, new) -> None:
+        super()._announce(old, new)
+        if new and not old:
+            self.posedge.notify(0)
+        elif old and not new:
+            self.negedge.notify(0)
+
+
+class Clock(Wire):
+    """A free-running clock wire.
+
+    The clock toggles with the given *period* (a 50% duty cycle), driven
+    by an internal process spawned on construction.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        period: int,
+        start_high: bool = False,
+    ):
+        if period < 2:
+            raise ValueError("clock period must be at least 2 time units")
+        super().__init__(sim, name, start_high)
+        self.period = period
+        self._proc = sim.spawn(self._toggle(), name=f"{name}.driver")
+
+    def _toggle(self):
+        half = self.period // 2
+        other = self.period - half
+        while True:
+            yield half
+            self.write(not self.read())
+            yield other
+            self.write(not self.read())
+
+    def stop(self) -> None:
+        """Halt the clock driver (used when tearing down a platform)."""
+        self._proc.kill()

@@ -1,0 +1,72 @@
+"""Simulation time representation.
+
+The kernel keeps time as a plain integer number of *time units*.  Like
+SystemC's ``sc_time`` with a fixed resolution, this avoids any floating
+point drift during long campaigns and makes event ordering exactly
+reproducible.  The canonical resolution is one nanosecond; the helpers
+below convert human-friendly quantities into kernel units.
+
+Example::
+
+    from repro.kernel import simtime as st
+
+    deadline = st.ms(5)          # 5 milliseconds in kernel units
+    st.format_time(deadline)     # '5ms'
+"""
+
+from __future__ import annotations
+
+# One kernel time unit equals one nanosecond.
+NS_PER_UNIT = 1
+
+#: Largest representable time; used as an "infinite" horizon.
+TIME_MAX = 2**63 - 1
+
+
+def ns(value: float) -> int:
+    """Convert *value* nanoseconds to kernel time units."""
+    return round(value * NS_PER_UNIT)
+
+
+def us(value: float) -> int:
+    """Convert *value* microseconds to kernel time units."""
+    return round(value * 1_000 * NS_PER_UNIT)
+
+
+def ms(value: float) -> int:
+    """Convert *value* milliseconds to kernel time units."""
+    return round(value * 1_000_000 * NS_PER_UNIT)
+
+
+def s(value: float) -> int:
+    """Convert *value* seconds to kernel time units."""
+    return round(value * 1_000_000_000 * NS_PER_UNIT)
+
+
+def to_seconds(units: int) -> float:
+    """Convert kernel time units back to seconds."""
+    return units / (1_000_000_000 * NS_PER_UNIT)
+
+
+_SCALES = (
+    (1_000_000_000, "s"),
+    (1_000_000, "ms"),
+    (1_000, "us"),
+    (1, "ns"),
+)
+
+
+def format_time(units: int) -> str:
+    """Render kernel time units as the shortest exact human string.
+
+    >>> format_time(5_000_000)
+    '5ms'
+    >>> format_time(1500)
+    '1500ns'
+    """
+    if units == 0:
+        return "0ns"
+    for scale, suffix in _SCALES:
+        if units % scale == 0:
+            return f"{units // scale}{suffix}"
+    return f"{units}ns"

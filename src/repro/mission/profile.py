@@ -1,0 +1,232 @@
+"""Mission profiles.
+
+A Mission Profile "defines the application-specific context refined for
+a system or a component ... expressed as a set of relevant environmental
+stresses, functional loads and operating conditions" (Sec. 3.2).  After
+formalization it is "passed down from the OEM to the semiconductor
+manufacturer" (Fig. 2) — modelled here as successive :meth:`refine`
+steps through :class:`ProfileTransfer` functions (mounting-point
+vibration amplification, in-housing temperature rise, duty-cycle
+scaling).
+
+The profile's two halves:
+
+* **environmental stresses** — temperature histogram, vibration level,
+  EMI exposure — drive the *failure-rate* derivation
+  (:mod:`repro.mission.rates`);
+* **operating states** — normal driving, high-load special cases such
+  as "steering against a curbstone", degraded modes — drive *scenario
+  selection*: which loads are applied while errors are injected.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing as _t
+
+
+class SupplyChainLevel(enum.Enum):
+    """Where in the OEM -> Tier1 -> semiconductor flow a profile lives."""
+
+    OEM = "oem"
+    TIER1 = "tier1"
+    SEMICONDUCTOR = "semiconductor"
+
+    def next_level(self) -> "SupplyChainLevel":
+        order = [
+            SupplyChainLevel.OEM,
+            SupplyChainLevel.TIER1,
+            SupplyChainLevel.SEMICONDUCTOR,
+        ]
+        index = order.index(self)
+        if index + 1 >= len(order):
+            raise ValueError("semiconductor is the last refinement level")
+        return order[index + 1]
+
+
+@dataclasses.dataclass(frozen=True)
+class TemperatureProfile:
+    """Histogram: operating temperature (°C) -> fraction of lifetime."""
+
+    histogram: _t.Mapping[float, float]
+
+    def __post_init__(self):
+        total = sum(self.histogram.values())
+        if not 0.999 <= total <= 1.001:
+            raise ValueError(f"temperature fractions sum to {total}, not 1")
+
+    def shifted(self, delta_c: float) -> "TemperatureProfile":
+        """The same distribution shifted by *delta_c* (housing rise)."""
+        return TemperatureProfile(
+            {temp + delta_c: frac for temp, frac in self.histogram.items()}
+        )
+
+    @property
+    def mean(self) -> float:
+        return sum(t * f for t, f in self.histogram.items())
+
+
+@dataclasses.dataclass(frozen=True)
+class VibrationProfile:
+    """Broadband vibration exposure at a mounting location."""
+
+    grms: float  # root-mean-square acceleration, in g
+
+    def __post_init__(self):
+        if self.grms < 0:
+            raise ValueError("negative vibration level")
+
+    def amplified(self, factor: float) -> "VibrationProfile":
+        return VibrationProfile(self.grms * factor)
+
+
+@dataclasses.dataclass(frozen=True)
+class EmiProfile:
+    """Electromagnetic disturbance exposure."""
+
+    field_v_per_m: float
+
+    def __post_init__(self):
+        if self.field_v_per_m < 0:
+            raise ValueError("negative field strength")
+
+
+@dataclasses.dataclass(frozen=True)
+class OperatingState:
+    """One operating condition with its functional loads.
+
+    ``loads`` maps load names to engineering values (e.g.
+    ``{"servo_load": 15.0, "bus_utilization": 0.7}``); ``special``
+    flags the malfunction / special-use-case states the paper calls
+    out ("the high load for the servo motor when steering against a
+    curbstone").
+    """
+
+    name: str
+    fraction: float  # of operating time
+    loads: _t.Mapping[str, float] = dataclasses.field(default_factory=dict)
+    special: bool = False
+
+    def __post_init__(self):
+        if not 0 <= self.fraction <= 1:
+            raise ValueError(f"state {self.name!r}: bad fraction")
+
+
+@dataclasses.dataclass(frozen=True)
+class MissionProfile:
+    """The complete formalized mission profile of one component."""
+
+    name: str
+    level: SupplyChainLevel
+    lifetime_hours: float
+    operating_hours: float
+    temperature: TemperatureProfile
+    vibration: VibrationProfile
+    emi: EmiProfile
+    states: _t.Tuple[OperatingState, ...]
+
+    def __post_init__(self):
+        if self.operating_hours > self.lifetime_hours:
+            raise ValueError("operating hours exceed lifetime")
+        total = sum(state.fraction for state in self.states)
+        if self.states and not 0.999 <= total <= 1.001:
+            raise ValueError(
+                f"operating state fractions sum to {total}, not 1"
+            )
+        names = [s.name for s in self.states]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate operating state names")
+
+    def state(self, name: str) -> OperatingState:
+        for state in self.states:
+            if state.name == name:
+                return state
+        raise KeyError(f"no operating state {name!r}")
+
+    @property
+    def special_states(self) -> _t.List[OperatingState]:
+        return [s for s in self.states if s.special]
+
+    def hours_in(self, state_name: str) -> float:
+        return self.operating_hours * self.state(state_name).fraction
+
+    def refine(self, transfer: "ProfileTransfer") -> "MissionProfile":
+        """Push the profile one supply-chain level down (Fig. 2)."""
+        return MissionProfile(
+            name=f"{self.name}/{transfer.component_name}",
+            level=self.level.next_level(),
+            lifetime_hours=self.lifetime_hours,
+            operating_hours=self.operating_hours * transfer.duty_cycle,
+            temperature=self.temperature.shifted(transfer.temperature_rise_c),
+            vibration=self.vibration.amplified(
+                transfer.vibration_amplification
+            ),
+            emi=EmiProfile(self.emi.field_v_per_m * transfer.emi_shielding),
+            states=self.states,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ProfileTransfer:
+    """How stresses transform between supply-chain levels.
+
+    A Tier-1's ECU housing warms the board (``temperature_rise_c``),
+    the bracket resonates (``vibration_amplification`` > 1) or isolates
+    (< 1), the enclosure shields EMI (``emi_shielding`` < 1), and the
+    component may only be powered a fraction of vehicle operation
+    (``duty_cycle``).
+    """
+
+    component_name: str
+    temperature_rise_c: float = 0.0
+    vibration_amplification: float = 1.0
+    emi_shielding: float = 1.0
+    duty_cycle: float = 1.0
+
+    def __post_init__(self):
+        if self.vibration_amplification < 0:
+            raise ValueError("negative vibration amplification")
+        if not 0 < self.duty_cycle <= 1:
+            raise ValueError("duty cycle must be in (0, 1]")
+        if self.emi_shielding < 0:
+            raise ValueError("negative EMI shielding factor")
+
+
+def standard_passenger_car_profile() -> MissionProfile:
+    """The OEM-level reference profile used by examples and benches.
+
+    15-year vehicle life, 8000 operating hours, ZVEI-style temperature
+    mix, with the paper's "steering against a curbstone" special state.
+    """
+    return MissionProfile(
+        name="passenger_car",
+        level=SupplyChainLevel.OEM,
+        lifetime_hours=15 * 365 * 24,
+        operating_hours=8000.0,
+        temperature=TemperatureProfile(
+            {-20.0: 0.05, 23.0: 0.60, 60.0: 0.25, 85.0: 0.10}
+        ),
+        vibration=VibrationProfile(grms=1.5),
+        emi=EmiProfile(field_v_per_m=30.0),
+        states=(
+            OperatingState("parked_ignition_on", 0.05),
+            OperatingState(
+                "city_driving", 0.45,
+                loads={"servo_load": 4.0, "bus_utilization": 0.5},
+            ),
+            OperatingState(
+                "highway_driving", 0.40,
+                loads={"servo_load": 2.0, "bus_utilization": 0.3},
+            ),
+            OperatingState(
+                "parking_maneuver", 0.09,
+                loads={"servo_load": 8.0, "bus_utilization": 0.6},
+            ),
+            OperatingState(
+                "curbstone_steering", 0.01,
+                loads={"servo_load": 15.0, "bus_utilization": 0.6},
+                special=True,
+            ),
+        ),
+    )

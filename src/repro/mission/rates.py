@@ -1,0 +1,113 @@
+"""Failure-rate models: environmental stress -> fault occurrence rate.
+
+Sec. 3.2: "An environmental stress, e.g., could describe vibration
+loads for components according to their specific mounting point.  Based
+on this vibration load, a probability of errors due to wiring, such as
+open load or short to ground, should be derived."
+
+The models here are the standard reliability-engineering forms:
+
+* **Arrhenius** temperature acceleration for semiconductor and drift
+  mechanisms;
+* a **Basquin-style power law** for vibration-driven wiring/fatigue
+  faults (open load, short to ground);
+* a **quadratic field model** for EMI-induced disturbances.
+
+All functions return multiplicative *acceleration factors* applied to a
+descriptor's base rate, or the rescaled rate directly.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+
+from .profile import EmiProfile, TemperatureProfile, VibrationProfile
+
+BOLTZMANN_EV = 8.617333262e-5  # eV/K
+
+#: Reference conditions the catalog base rates are quoted at.
+REFERENCE_TEMPERATURE_C = 55.0
+REFERENCE_VIBRATION_GRMS = 1.0
+REFERENCE_EMI_V_PER_M = 10.0
+
+
+def arrhenius_factor(
+    use_temp_c: float,
+    ref_temp_c: float = REFERENCE_TEMPERATURE_C,
+    activation_energy_ev: float = 0.7,
+) -> float:
+    """Acceleration of a thermally activated mechanism at *use_temp_c*
+    relative to *ref_temp_c*."""
+    use_k = use_temp_c + 273.15
+    ref_k = ref_temp_c + 273.15
+    if use_k <= 0 or ref_k <= 0:
+        raise ValueError("temperature below absolute zero")
+    return math.exp(
+        (activation_energy_ev / BOLTZMANN_EV) * (1 / ref_k - 1 / use_k)
+    )
+
+
+def temperature_factor(
+    profile: TemperatureProfile,
+    activation_energy_ev: float = 0.7,
+) -> float:
+    """Lifetime-weighted Arrhenius factor over a temperature histogram."""
+    return sum(
+        fraction
+        * arrhenius_factor(temp, activation_energy_ev=activation_energy_ev)
+        for temp, fraction in profile.histogram.items()
+    )
+
+
+def vibration_factor(
+    profile: VibrationProfile,
+    exponent: float = 2.5,
+    reference_grms: float = REFERENCE_VIBRATION_GRMS,
+) -> float:
+    """Basquin-style power-law acceleration for wiring/fatigue faults.
+
+    Doubling the vibration level multiplies the wiring fault rate by
+    ``2**exponent`` (~5.7 at the default exponent), which is why the
+    mounting point matters so much.
+    """
+    if reference_grms <= 0:
+        raise ValueError("reference vibration must be positive")
+    return (profile.grms / reference_grms) ** exponent
+
+
+def emi_factor(
+    profile: EmiProfile,
+    reference_v_per_m: float = REFERENCE_EMI_V_PER_M,
+) -> float:
+    """Quadratic field-strength scaling of EMI-induced disturbances."""
+    if reference_v_per_m <= 0:
+        raise ValueError("reference field must be positive")
+    return (profile.field_v_per_m / reference_v_per_m) ** 2
+
+
+def expected_events(rate_per_hour: float, hours: float) -> float:
+    """Expected fault occurrences over an exposure time (Poisson mean)."""
+    if rate_per_hour < 0 or hours < 0:
+        raise ValueError("negative rate or exposure")
+    return rate_per_hour * hours
+
+
+def probability_of_at_least_one(
+    rate_per_hour: float, hours: float
+) -> float:
+    """P(>=1 event) under a Poisson process: 1 - exp(-λt)."""
+    return 1.0 - math.exp(-expected_events(rate_per_hour, hours))
+
+
+def mission_scaling_factors(
+    temperature: TemperatureProfile,
+    vibration: VibrationProfile,
+    emi: EmiProfile,
+) -> _t.Dict[str, float]:
+    """All three acceleration factors for a profile, keyed by stress."""
+    return {
+        "temperature": temperature_factor(temperature),
+        "vibration": vibration_factor(vibration),
+        "emi": emi_factor(emi),
+    }

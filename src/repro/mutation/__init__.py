@@ -1,0 +1,41 @@
+"""Mutation analysis for testbench qualification (substrate S10)."""
+
+from .binary import (
+    BinaryMutation,
+    BinaryMutationEngine,
+    BinaryMutationResult,
+    apply_mutation,
+    enumerate_binary_mutations,
+)
+from .engine import (
+    Mutant,
+    MutantSchema,
+    MutationResult,
+    Testbench,
+    generate_mutants,
+    run_mutation_analysis,
+)
+from .operators import (
+    DEFAULT_OPERATORS,
+    MutationSite,
+    apply_site,
+    collect_sites,
+)
+
+__all__ = [
+    "BinaryMutation",
+    "BinaryMutationEngine",
+    "BinaryMutationResult",
+    "apply_mutation",
+    "enumerate_binary_mutations",
+    "Mutant",
+    "MutantSchema",
+    "MutationResult",
+    "Testbench",
+    "generate_mutants",
+    "run_mutation_analysis",
+    "DEFAULT_OPERATORS",
+    "MutationSite",
+    "apply_site",
+    "collect_sites",
+]

@@ -1,0 +1,216 @@
+"""The mutation-analysis engine: testbench qualification by fault
+seeding.
+
+Workflow (Sec. 2.4): seed one mutation into the DUT model, re-run the
+testbench, and check whether it *kills* (detects) the mutant.  The
+**mutation score** — killed / total — "provides an advanced metric to
+assess a testbench's quality compared with coverage based metrics";
+survivors point at behaviour the testbench never checks.
+
+The engine mutates plain Python functions (the behavioural models this
+framework's DUTs are written as): it re-parses the function source,
+applies one operator per mutant, and compiles each mutant in the
+original function's globals.  The *mutant schema* option compiles all
+mutants in one pass and switches between them at call time — the
+standard trick for amortising compilation cost ([21]), measured by the
+E7 benchmark.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+import typing as _t
+
+from .operators import (
+    DEFAULT_OPERATORS,
+    MutationSite,
+    apply_site,
+    collect_sites,
+)
+
+
+class Mutant:
+    """One seeded fault: a compiled variant of the original function."""
+
+    def __init__(self, site: MutationSite, fn: _t.Callable):
+        self.site = site
+        self.fn = fn
+        self.killed: _t.Optional[bool] = None
+        self.kill_reason: str = ""
+
+    def __repr__(self) -> str:  # pragma: no cover
+        status = {True: "killed", False: "SURVIVED", None: "untested"}[
+            self.killed
+        ]
+        return f"Mutant({self.site.operator}, {self.site.description}, {status})"
+
+
+def _function_tree(fn: _t.Callable) -> ast.Module:
+    source = textwrap.dedent(inspect.getsource(fn))
+    tree = ast.parse(source)
+    # Strip decorators: re-decorating a mutant usually double-wraps it.
+    fn_def = tree.body[0]
+    if isinstance(fn_def, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        fn_def.decorator_list = []
+    return tree
+
+
+def _compile_tree(tree: ast.Module, fn: _t.Callable) -> _t.Callable:
+    code = compile(tree, filename=f"<mutant:{fn.__name__}>", mode="exec")
+    namespace: _t.Dict[str, _t.Any] = dict(fn.__globals__)
+    exec(code, namespace)  # noqa: S102 - deliberate: mutants are code
+    return namespace[fn.__name__]
+
+
+def generate_mutants(
+    fn: _t.Callable,
+    operators: _t.Sequence[str] = DEFAULT_OPERATORS,
+) -> _t.List[Mutant]:
+    """All first-order mutants of *fn* under the given operators."""
+    tree = _function_tree(fn)
+    sites = collect_sites(tree, operators)
+    mutants: _t.List[Mutant] = []
+    for site in sites:
+        mutated = apply_site(_function_tree(fn), operators, site.index)
+        try:
+            mutant_fn = _compile_tree(mutated, fn)
+        except SyntaxError:
+            continue  # stillborn mutant (rare; e.g. deleted lone body)
+        mutants.append(Mutant(site, mutant_fn))
+    return mutants
+
+
+class MutationResult:
+    """Outcome of one qualification run."""
+
+    def __init__(self, function_name: str):
+        self.function_name = function_name
+        self.mutants: _t.List[Mutant] = []
+        self.baseline_ok = False
+
+    @property
+    def total(self) -> int:
+        return len(self.mutants)
+
+    @property
+    def killed(self) -> _t.List[Mutant]:
+        return [m for m in self.mutants if m.killed]
+
+    @property
+    def survivors(self) -> _t.List[Mutant]:
+        return [m for m in self.mutants if m.killed is False]
+
+    @property
+    def score(self) -> float:
+        """Mutation score: killed / total (1.0 for an empty set)."""
+        if not self.mutants:
+            return 1.0
+        return len(self.killed) / self.total
+
+    def by_operator(self) -> _t.Dict[str, _t.Tuple[int, int]]:
+        """operator -> (killed, total)."""
+        stats: _t.Dict[str, _t.List[int]] = {}
+        for mutant in self.mutants:
+            entry = stats.setdefault(mutant.site.operator, [0, 0])
+            entry[1] += 1
+            if mutant.killed:
+                entry[0] += 1
+        return {op: (k, t) for op, (k, t) in stats.items()}
+
+    def report(self) -> _t.Dict[str, _t.Any]:
+        return {
+            "function": self.function_name,
+            "mutants": self.total,
+            "killed": len(self.killed),
+            "survived": len(self.survivors),
+            "score": self.score,
+            "by_operator": self.by_operator(),
+            "survivor_sites": [
+                m.site.description for m in self.survivors
+            ],
+        }
+
+
+#: A testbench: returns True when it FAILS the DUT (i.e. detects the
+#: fault).  Raising AssertionError counts as detection too.
+Testbench = _t.Callable[[_t.Callable], bool]
+
+
+def run_mutation_analysis(
+    fn: _t.Callable,
+    testbench: Testbench,
+    operators: _t.Sequence[str] = DEFAULT_OPERATORS,
+    mutants: _t.Optional[_t.List[Mutant]] = None,
+) -> MutationResult:
+    """Qualify *testbench* against the mutants of *fn*.
+
+    The baseline (unmutated function) must pass — a testbench that
+    flags the original cannot qualify anything.
+    """
+    result = MutationResult(fn.__name__)
+    baseline_detects = _detects(testbench, fn)
+    result.baseline_ok = not baseline_detects
+    if baseline_detects:
+        raise ValueError(
+            f"testbench rejects the unmutated {fn.__name__!r}; "
+            "fix the testbench or the model first"
+        )
+    result.mutants = (
+        mutants if mutants is not None else generate_mutants(fn, operators)
+    )
+    for mutant in result.mutants:
+        mutant.killed = _detects(testbench, mutant.fn)
+    return result
+
+
+def _detects(testbench: Testbench, fn: _t.Callable) -> bool:
+    try:
+        return bool(testbench(fn))
+    except AssertionError:
+        return True
+    except Exception:
+        # A crashing DUT is conspicuously broken: counts as killed.
+        return True
+
+
+class MutantSchema:
+    """All mutants behind one switchable callable (mutant schemata).
+
+    Instead of one compile per mutant, the schema compiles once and
+    selects the active mutant by index at call time; index ``None``
+    runs the original.  The speedup is what benchmark E7 measures.
+    """
+
+    def __init__(
+        self,
+        fn: _t.Callable,
+        operators: _t.Sequence[str] = DEFAULT_OPERATORS,
+    ):
+        self.original = fn
+        self.mutants = generate_mutants(fn, operators)
+        self.active: _t.Optional[int] = None
+
+    def select(self, index: _t.Optional[int]) -> None:
+        if index is not None and not 0 <= index < len(self.mutants):
+            raise IndexError(f"no mutant {index}")
+        self.active = index
+
+    def __call__(self, *args, **kwargs):
+        if self.active is None:
+            return self.original(*args, **kwargs)
+        return self.mutants[self.active].fn(*args, **kwargs)
+
+    def qualify(self, testbench: Testbench) -> MutationResult:
+        """Run the testbench against every mutant through the schema."""
+        result = MutationResult(self.original.__name__)
+        if _detects(testbench, self.original):
+            raise ValueError("testbench rejects the original")
+        result.baseline_ok = True
+        result.mutants = self.mutants
+        for index, mutant in enumerate(self.mutants):
+            self.select(index)
+            mutant.killed = _detects(testbench, self)
+        self.select(None)
+        return result

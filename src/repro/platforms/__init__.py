@@ -1,0 +1,7 @@
+"""Ready-made automotive virtual prototypes used by the examples,
+tests, and benchmarks: the CAPS airbag system, a distributed adaptive
+cruise control, and an electric power steering unit."""
+
+from . import acc, airbag, steering
+
+__all__ = ["acc", "airbag", "steering"]

@@ -1,0 +1,253 @@
+"""Adaptive cruise control (ACC) virtual prototype.
+
+A two-ECU distributed system over CAN — the paper's archetype of "new
+functions ... realized by the interaction of several electronic
+components" (Sec. 1):
+
+* **Sensor ECU** — radar distance + wheel speed channels, an RTOS with
+  a 10 ms `sense` task that publishes an E2E-protected (CRC + alive
+  counter) CAN frame.
+* **Actuator ECU** — an RTOS with a 20 ms `control` task that
+  validates the message (CRC, counter, freshness), computes a brake
+  demand from time-to-collision, and drives the brake actuator.
+
+The timing dimension is the point of this platform ("the right value
+at the wrong time can still be an error", Sec. 3.4): error-correction
+overheads injected into the tasks, CAN retransmissions, and stale
+signals all surface as *timing* failures distinct from value failures.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..core import Classifier, Outcome
+from ..hw import AdcSensor, BrakeActuator, CanBus, CanFrame, CanNode, CrcChecker
+from ..hw.sensors import piecewise
+from ..kernel import Module, Simulator, simtime
+from ..sw import ComSignal, Rte, Rtos, Runnable, Task, map_runnable
+from ..tlm import GenericPayload
+
+ACC_CAN_ID = 0x120
+SENSE_PERIOD = simtime.ms(10)
+CONTROL_PERIOD = simtime.ms(20)
+CONTROL_DEADLINE = simtime.ms(15)
+SIGNAL_TIMEOUT = simtime.ms(50)
+
+#: Distance (m) below which full braking is demanded.
+CRITICAL_DISTANCE = 20.0
+#: Distance above which no braking is needed.
+FREE_DISTANCE = 80.0
+
+
+def closing_scenario(duration: int) -> _t.Callable[[int], float]:
+    """Lead vehicle closes in from 100 m to 10 m over *duration*."""
+    steps = 20
+    segments = [
+        (duration * i // steps, 100.0 - 90.0 * i / (steps - 1))
+        for i in range(steps)
+    ]
+    return piecewise(segments)
+
+
+class SensorEcu(Module):
+    """Measures and broadcasts distance + speed."""
+
+    def __init__(
+        self, name: str, parent: Module, bus: CanBus, duration: int
+    ):
+        super().__init__(name, parent=parent)
+        self.radar = AdcSensor(
+            "radar", parent=self,
+            source=closing_scenario(duration),
+            period=simtime.ms(5),
+            vmin=0.0, vmax=120.0, bits=12,
+        )
+        self.speed = AdcSensor(
+            "speed", parent=self,
+            source=lambda now: 30.0,  # m/s ego speed
+            period=simtime.ms(5),
+            vmin=0.0, vmax=60.0, bits=12,
+        )
+        self.node = CanNode("can", parent=self, bus=bus)
+        self.rtos = Rtos("os", parent=self)
+        self._counter = 0
+        self.frames_published = 0
+        sense = Task(
+            "sense", priority=5, wcet=simtime.ms(1),
+            period=SENSE_PERIOD, deadline=SENSE_PERIOD,
+            body=self._sense_job,
+        )
+        self.rtos.add_task(sense)
+        self.rtos.start()
+
+    def _sense_job(self, job) -> None:
+        distance_m = self.radar.code_to_volts(self.radar.output.read())
+        speed_ms = self.speed.code_to_volts(self.speed.output.read())
+        payload = bytes(
+            [
+                int(min(max(distance_m, 0), 120) * 2) & 0xFF,  # 0.5 m units
+                int(min(max(speed_ms, 0), 60) * 4) & 0xFF,     # 0.25 m/s units
+            ]
+        )
+        protected = CrcChecker.protect(payload, self._counter)
+        self._counter = (self._counter + 1) & 0xF
+        self.node.send(CanFrame(ACC_CAN_ID, protected))
+        self.frames_published += 1
+
+
+class ActuatorEcu(Module):
+    """Validates messages and commands the brake."""
+
+    def __init__(self, name: str, parent: Module, bus: CanBus):
+        super().__init__(name, parent=parent)
+        self.node = CanNode(
+            "can", parent=self, bus=bus,
+            accept=lambda can_id: can_id == ACC_CAN_ID,
+        )
+        self.brake = BrakeActuator("brake", parent=self)
+        self.rtos = Rtos("os", parent=self)
+        self.rte = Rte(self.sim)
+        self.rte.define("distance", initial=100.0, timeout=SIGNAL_TIMEOUT)
+        self.rte.define("speed", initial=0.0, timeout=SIGNAL_TIMEOUT)
+        self.checker = CrcChecker("e2e")
+        self.stale_cycles = 0
+        self.brake_crossings: _t.List[int] = []
+        self.node.on_receive.append(self._on_frame)
+        control = Runnable("control", self._control_job)
+        map_runnable(
+            self.rtos, self.rte, control,
+            priority=5, wcet=simtime.ms(2),
+            period=CONTROL_PERIOD, deadline=CONTROL_DEADLINE,
+        )
+        self.rtos.start()
+
+    def _on_frame(self, frame: CanFrame) -> None:
+        payload = self.checker.check(bytes(frame.data))
+        if payload is None or len(payload) != 2:
+            return  # rejected: corruption or stale counter
+        self.rte.write("distance", payload[0] / 2.0)
+        self.rte.write("speed", payload[1] / 4.0)
+
+    def _demand_for(self, distance: float) -> float:
+        if distance >= FREE_DISTANCE:
+            return 0.0
+        if distance <= CRITICAL_DISTANCE:
+            return 100.0
+        span = FREE_DISTANCE - CRITICAL_DISTANCE
+        return (FREE_DISTANCE - distance) / span * 100.0
+
+    def _control_job(self, runnable) -> None:
+        distance, fresh = self.rte.read("distance")
+        if not fresh:
+            self.stale_cycles += 1
+            # Degraded mode: hold last demand, do not release brakes.
+            return
+        demand = self._demand_for(distance)
+        previous = self.brake.demand
+        self.brake.tsock.deliver(
+            GenericPayload.write_word(0x0, int(demand * 100)), 0
+        )
+        if previous < 30.0 <= demand:
+            self.brake_crossings.append(self.sim.now)
+
+
+class AccPlatform(Module):
+    """Both ECUs on one CAN bus."""
+
+    def __init__(self, sim: Simulator, duration: int, name: str = "acc"):
+        super().__init__(name, sim=sim)
+        self.duration = duration
+        self.bus = CanBus("can0", parent=self, bit_time=2000)
+        self.sensor_ecu = SensorEcu(
+            "sensor_ecu", parent=self, bus=self.bus, duration=duration
+        )
+        self.actuator_ecu = ActuatorEcu(
+            "actuator_ecu", parent=self, bus=self.bus
+        )
+
+
+DEFAULT_DURATION = simtime.ms(600)
+
+
+def build_acc(sim: Simulator) -> AccPlatform:
+    return AccPlatform(sim, duration=DEFAULT_DURATION)
+
+
+def observe(root: Module) -> dict:
+    platform = root
+    actuator = platform.actuator_ecu
+    control_task = actuator.rtos.task("control")
+    return {
+        "final_pressure": round(actuator.brake.pressure, 1),
+        "braked_hard": actuator.brake.pressure >= 60.0,
+        "brake_crossing": (
+            actuator.brake_crossings[0] if actuator.brake_crossings else None
+        ),
+        "deadline_misses": (
+            platform.sensor_ecu.rtos.total_deadline_misses
+            + actuator.rtos.total_deadline_misses
+        ),
+        "stale_cycles": actuator.stale_cycles,
+        "crc_rejects": (
+            actuator.checker.crc_failures + actuator.checker.counter_failures
+        ),
+        "bus_retransmissions": platform.bus.retransmissions,
+        "bus_crc_errors": platform.bus.crc_errors_detected,
+        "worst_control_response": control_task.worst_response_time,
+    }
+
+
+def acc_classifier(crossing_slack: int = simtime.ms(60)) -> Classifier:
+    """Hazard: the vehicle never brakes while closing on the lead car.
+
+    Timing: braking happens but late, or deadlines are missed.  Value:
+    wrong final pressure.  Detected: E2E rejections / stale handling.
+    Masked: CAN retransmissions absorbing wire corruption.
+    """
+    classifier = Classifier()
+    classifier.add_rule(
+        Outcome.HAZARDOUS,
+        lambda f, g: not f.get("braked_hard"),
+        "hazard:no_braking",
+    )
+    classifier.add_rule(
+        Outcome.TIMING_FAILURE,
+        lambda f, g: (
+            f.get("brake_crossing") is not None
+            and g.get("brake_crossing") is not None
+            and f["brake_crossing"] > g["brake_crossing"] + crossing_slack
+        ),
+        "timing:late_braking",
+    )
+    classifier.add_rule(
+        Outcome.TIMING_FAILURE,
+        lambda f, g: (f.get("deadline_misses") or 0)
+        > (g.get("deadline_misses") or 0),
+        "timing:deadline_miss",
+    )
+    classifier.add_rule(
+        Outcome.SDC,
+        lambda f, g: abs(
+            (f.get("final_pressure") or 0) - (g.get("final_pressure") or 0)
+        ) > 5.0 and f.get("braked_hard"),
+        "value:final_pressure",
+    )
+    classifier.add_rule(
+        Outcome.DETECTED_SAFE,
+        lambda f, g: (f.get("crc_rejects") or 0) > (g.get("crc_rejects") or 0),
+        "detected:e2e",
+    )
+    classifier.add_rule(
+        Outcome.DETECTED_SAFE,
+        lambda f, g: (f.get("stale_cycles") or 0)
+        > (g.get("stale_cycles") or 0),
+        "detected:stale",
+    )
+    classifier.add_rule(
+        Outcome.MASKED,
+        lambda f, g: (f.get("bus_retransmissions") or 0)
+        > (g.get("bus_retransmissions") or 0),
+        "masked:can_retransmission",
+    )
+    return classifier

@@ -1,0 +1,62 @@
+"""Classical safety analysis (substrate S9): FTA, FMEDA, FPTC."""
+
+from .fmeda import ASIL_TARGETS, Asil, FailureMode, Fmeda
+from .iso26262 import (
+    Controllability,
+    Exposure,
+    Hazard,
+    SafetyGoal,
+    Severity,
+    classify_asil,
+    decomposition_options,
+    hara,
+    valid_decomposition,
+)
+from .fptc import (
+    FAILURE_CLASSES,
+    NO_FAILURE,
+    WILDCARD,
+    Connection,
+    FptcComponent,
+    FptcModel,
+    Rule,
+)
+from .fta import (
+    AndGate,
+    BasicEvent,
+    FaultTree,
+    Gate,
+    KofNGate,
+    Node,
+    OrGate,
+)
+
+__all__ = [
+    "ASIL_TARGETS",
+    "Asil",
+    "FailureMode",
+    "Fmeda",
+    "Controllability",
+    "Exposure",
+    "Hazard",
+    "SafetyGoal",
+    "Severity",
+    "classify_asil",
+    "decomposition_options",
+    "hara",
+    "valid_decomposition",
+    "FAILURE_CLASSES",
+    "NO_FAILURE",
+    "WILDCARD",
+    "Connection",
+    "FptcComponent",
+    "FptcModel",
+    "Rule",
+    "AndGate",
+    "BasicEvent",
+    "FaultTree",
+    "Gate",
+    "KofNGate",
+    "Node",
+    "OrGate",
+]

@@ -1,0 +1,200 @@
+"""FMEDA — Failure Modes, Effects, and Diagnostic Analysis.
+
+The second classical method the paper starts from (Sec. 2.1), carried
+through to the ISO 26262 hardware architectural metrics:
+
+* **SPFM** (single-point fault metric) — fraction of the safety-related
+  failure rate that is *not* a single-point or residual fault;
+* **LFM** (latent fault metric) — fraction of the remaining rate whose
+  latent (multiple-point, undetected) share is controlled;
+* **PMHF** — probabilistic metric for random hardware failures, the
+  residual dangerous failure rate per hour.
+
+A key output of the error-effect simulation is *measured* diagnostic
+coverage per failure mode (how often injections of that mode were
+detected) — replacing the expert guess the paper says traditional
+FMEDA relies on.  :meth:`Fmeda.set_measured_coverage` is that bridge.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing as _t
+
+
+class Asil(enum.Enum):
+    """Automotive Safety Integrity Levels (QM = no safety requirement)."""
+
+    QM = 0
+    A = 1
+    B = 2
+    C = 3
+    D = 4
+
+
+#: ISO 26262-5 target values per ASIL: (SPFM, LFM, PMHF per hour).
+ASIL_TARGETS: _t.Dict[Asil, _t.Tuple[float, float, float]] = {
+    Asil.B: (0.90, 0.60, 1e-7),
+    Asil.C: (0.97, 0.80, 1e-7),
+    Asil.D: (0.99, 0.90, 1e-8),
+}
+
+
+@dataclasses.dataclass
+class FailureMode:
+    """One row of the FMEDA worksheet.
+
+    Parameters
+    ----------
+    rate_per_hour:
+        Raw failure rate λ of this mode.
+    safety_related:
+        Modes of parts not in the safety path are excluded from the
+        metrics' numerators but kept for documentation.
+    safe_fraction:
+        Fraction of occurrences that are intrinsically safe (cannot
+        violate the safety goal even undetected).
+    diagnostic_coverage:
+        Fraction of the dangerous share caught by a safety mechanism
+        (0..1).  May be an expert estimate or measured by injection.
+    latent_coverage:
+        Fraction of multiple-point faults revealed by tests/driver
+        perception before they can combine with a second fault.
+    """
+
+    component: str
+    mode: str
+    rate_per_hour: float
+    safety_related: bool = True
+    safe_fraction: float = 0.0
+    diagnostic_coverage: float = 0.0
+    latent_coverage: float = 0.0
+
+    def __post_init__(self):
+        if self.rate_per_hour < 0:
+            raise ValueError(f"{self.key}: negative rate")
+        for field in ("safe_fraction", "diagnostic_coverage", "latent_coverage"):
+            value = getattr(self, field)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{self.key}: {field} out of [0,1]")
+
+    @property
+    def key(self) -> str:
+        return f"{self.component}/{self.mode}"
+
+    # -- rate decomposition (ISO 26262-5 Annex) ---------------------------
+
+    @property
+    def dangerous_rate(self) -> float:
+        return self.rate_per_hour * (1.0 - self.safe_fraction)
+
+    @property
+    def residual_rate(self) -> float:
+        """Dangerous and undetected: the single-point/residual share."""
+        return self.dangerous_rate * (1.0 - self.diagnostic_coverage)
+
+    @property
+    def detected_dangerous_rate(self) -> float:
+        return self.dangerous_rate * self.diagnostic_coverage
+
+    @property
+    def latent_rate(self) -> float:
+        """Detected-dangerous faults that stay latent (not revealed)."""
+        return self.detected_dangerous_rate * (1.0 - self.latent_coverage)
+
+
+class Fmeda:
+    """The worksheet plus metric computation."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._modes: _t.Dict[str, FailureMode] = {}
+
+    def add(self, mode: FailureMode) -> FailureMode:
+        if mode.key in self._modes:
+            raise ValueError(f"duplicate failure mode {mode.key!r}")
+        self._modes[mode.key] = mode
+        return mode
+
+    def mode(self, key: str) -> FailureMode:
+        return self._modes[key]
+
+    @property
+    def modes(self) -> _t.List[FailureMode]:
+        return list(self._modes.values())
+
+    def set_measured_coverage(self, key: str, coverage: float) -> None:
+        """Install a diagnostic coverage *measured* by error-effect
+        simulation, replacing the expert estimate."""
+        if not 0.0 <= coverage <= 1.0:
+            raise ValueError("coverage out of [0,1]")
+        self._modes[key].diagnostic_coverage = coverage
+
+    # -- metrics ------------------------------------------------------------
+
+    def _safety_related(self) -> _t.List[FailureMode]:
+        return [m for m in self._modes.values() if m.safety_related]
+
+    @property
+    def total_rate(self) -> float:
+        return sum(m.rate_per_hour for m in self._safety_related())
+
+    @property
+    def spfm(self) -> float:
+        """Single-point fault metric: 1 - λ_residual / λ_total."""
+        total = self.total_rate
+        if total == 0:
+            return 1.0
+        residual = sum(m.residual_rate for m in self._safety_related())
+        return 1.0 - residual / total
+
+    @property
+    def lfm(self) -> float:
+        """Latent fault metric: 1 - λ_latent / (λ_total - λ_residual)."""
+        total = self.total_rate
+        residual = sum(m.residual_rate for m in self._safety_related())
+        denominator = total - residual
+        if denominator <= 0:
+            return 1.0
+        latent = sum(m.latent_rate for m in self._safety_related())
+        return 1.0 - latent / denominator
+
+    @property
+    def pmhf(self) -> float:
+        """Residual dangerous failure rate per hour (first-order PMHF)."""
+        return sum(m.residual_rate for m in self._safety_related())
+
+    def achieved_asil(self) -> Asil:
+        """Highest ASIL whose three targets are all met."""
+        achieved = Asil.QM
+        for asil in (Asil.B, Asil.C, Asil.D):
+            spfm_target, lfm_target, pmhf_target = ASIL_TARGETS[asil]
+            if (
+                self.spfm >= spfm_target
+                and self.lfm >= lfm_target
+                and self.pmhf <= pmhf_target
+            ):
+                achieved = asil
+        return achieved
+
+    def meets(self, asil: Asil) -> bool:
+        if asil in (Asil.QM, Asil.A):
+            return True  # no quantitative hardware targets
+        spfm_target, lfm_target, pmhf_target = ASIL_TARGETS[asil]
+        return (
+            self.spfm >= spfm_target
+            and self.lfm >= lfm_target
+            and self.pmhf <= pmhf_target
+        )
+
+    def report(self) -> _t.Dict[str, _t.Any]:
+        return {
+            "name": self.name,
+            "modes": len(self._modes),
+            "total_rate_per_hour": self.total_rate,
+            "spfm": self.spfm,
+            "lfm": self.lfm,
+            "pmhf_per_hour": self.pmhf,
+            "achieved_asil": self.achieved_asil().name,
+        }

@@ -1,0 +1,183 @@
+"""Fault Propagation and Transformation Calculus (FPTC).
+
+Wallace's FPTC [4] "allows the determination of the system failure
+behavior based on information about the failure behavior of components
+and their interconnections" (Sec. 2.1).  Components declare rules that
+map failure classes on their inputs to failure classes on their
+outputs; the system behaviour is the least fixpoint of propagating
+token sets around the (possibly cyclic) component graph.
+
+Failure classes follow the usual FPTC vocabulary:
+
+* ``"*"``     — no failure (the normal token; always present)
+* ``"value"`` — wrong value, right time
+* ``"early"`` / ``"late"`` — timing failures
+* ``"omission"`` / ``"commission"`` — missing / spurious service
+
+Rules are written per output as ``(pattern, result)`` pairs: the
+pattern maps input-port names to a token (or ``"_"`` wildcard matching
+anything); the first matching rule wins per input-token combination.
+A component with no matching rule *propagates* value/timing tokens
+unchanged through every output (the FPTC default for an untransforming
+component).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing as _t
+
+NO_FAILURE = "*"
+WILDCARD = "_"
+
+FAILURE_CLASSES = ("*", "value", "early", "late", "omission", "commission")
+
+
+@dataclasses.dataclass(frozen=True)
+class Rule:
+    """``pattern`` (input port -> token or wildcard) -> output tokens."""
+
+    pattern: _t.Mapping[str, str]
+    outputs: _t.Mapping[str, str]  # output port -> emitted token
+
+    def matches(self, combination: _t.Mapping[str, str]) -> bool:
+        for port, token in self.pattern.items():
+            if token == WILDCARD:
+                continue
+            if combination.get(port) != token:
+                return False
+        return True
+
+
+class FptcComponent:
+    """One component with declared failure behaviour."""
+
+    def __init__(
+        self,
+        name: str,
+        inputs: _t.Sequence[str],
+        outputs: _t.Sequence[str],
+        rules: _t.Sequence[Rule] = (),
+        source_tokens: _t.Iterable[str] = (),
+    ):
+        self.name = name
+        self.inputs = list(inputs)
+        self.outputs = list(outputs)
+        self.rules = list(rules)
+        #: Failure tokens this component *introduces* (fault sources).
+        self.source_tokens = set(source_tokens) | {NO_FAILURE}
+        for rule in self.rules:
+            for port in rule.pattern:
+                if port not in self.inputs:
+                    raise ValueError(
+                        f"{name}: rule pattern uses unknown input {port!r}"
+                    )
+            for port in rule.outputs:
+                if port not in self.outputs:
+                    raise ValueError(
+                        f"{name}: rule emits on unknown output {port!r}"
+                    )
+
+    def transform(
+        self, input_tokens: _t.Mapping[str, _t.Set[str]]
+    ) -> _t.Dict[str, _t.Set[str]]:
+        """Output token sets for the given input token sets."""
+        result: _t.Dict[str, _t.Set[str]] = {
+            port: set(self.source_tokens) for port in self.outputs
+        }
+        if not self.inputs:
+            return result
+        domains = [
+            sorted(input_tokens.get(port, {NO_FAILURE}) or {NO_FAILURE})
+            for port in self.inputs
+        ]
+        for combo_values in itertools.product(*domains):
+            combination = dict(zip(self.inputs, combo_values))
+            matched = False
+            for rule in self.rules:
+                if rule.matches(combination):
+                    for port, token in rule.outputs.items():
+                        result[port].add(token)
+                    matched = True
+                    break
+            if not matched:
+                # Default: propagate any incoming failure to all outputs.
+                for token in combo_values:
+                    if token != NO_FAILURE:
+                        for port in self.outputs:
+                            result[port].add(token)
+        return result
+
+
+@dataclasses.dataclass(frozen=True)
+class Connection:
+    src_component: str
+    src_port: str
+    dst_component: str
+    dst_port: str
+
+
+class FptcModel:
+    """The component graph plus fixpoint analysis."""
+
+    def __init__(self):
+        self._components: _t.Dict[str, FptcComponent] = {}
+        self._connections: _t.List[Connection] = []
+
+    def add_component(self, component: FptcComponent) -> FptcComponent:
+        if component.name in self._components:
+            raise ValueError(f"duplicate component {component.name!r}")
+        self._components[component.name] = component
+        return component
+
+    def connect(
+        self, src: str, src_port: str, dst: str, dst_port: str
+    ) -> None:
+        src_comp = self._components[src]
+        dst_comp = self._components[dst]
+        if src_port not in src_comp.outputs:
+            raise ValueError(f"{src}: no output {src_port!r}")
+        if dst_port not in dst_comp.inputs:
+            raise ValueError(f"{dst}: no input {dst_port!r}")
+        self._connections.append(Connection(src, src_port, dst, dst_port))
+
+    def solve(self, max_iterations: int = 100) -> _t.Dict[str, _t.Dict[str, _t.Set[str]]]:
+        """Least fixpoint of token propagation.
+
+        Returns ``{component: {output_port: tokens}}``.  The lattice of
+        token sets is finite and transform is monotone (tokens are only
+        ever added), so iteration terminates; *max_iterations* is a
+        safety valve.
+        """
+        outputs: _t.Dict[str, _t.Dict[str, _t.Set[str]]] = {
+            name: {port: {NO_FAILURE} for port in comp.outputs}
+            for name, comp in self._components.items()
+        }
+        for _ in range(max_iterations):
+            changed = False
+            for name, component in self._components.items():
+                input_tokens: _t.Dict[str, _t.Set[str]] = {
+                    port: {NO_FAILURE} for port in component.inputs
+                }
+                for conn in self._connections:
+                    if conn.dst_component != name:
+                        continue
+                    input_tokens[conn.dst_port] |= outputs[
+                        conn.src_component
+                    ][conn.src_port]
+                new_outputs = component.transform(input_tokens)
+                for port, tokens in new_outputs.items():
+                    if not tokens <= outputs[name][port]:
+                        outputs[name][port] |= tokens
+                        changed = True
+            if not changed:
+                return outputs
+        raise RuntimeError("FPTC fixpoint did not converge")
+
+    def failures_at(
+        self, component: str, port: str
+    ) -> _t.Set[str]:
+        """Failure classes (excluding ``*``) reaching an output port."""
+        tokens = self.solve()[component][port]
+        return {t for t in tokens if t != NO_FAILURE}

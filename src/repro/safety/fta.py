@@ -1,0 +1,189 @@
+"""Fault tree analysis.
+
+FTA is one of the two "well known dependability analysis methods" the
+paper starts from (Sec. 2.1).  This module implements the standard
+machinery: a gate/event tree, minimal cut set extraction (MOCUS-style
+expansion with absorption), top-event probability (exact
+inclusion–exclusion for small cut-set families, rare-event sum
+otherwise), and Fussell–Vesely importance.
+
+It is used both standalone (benchmark E8) and as the output format of
+the error-effect simulation's fault-tree synthesis (ref [8] — FTs
+created *from simulation results*, see :mod:`repro.core.report`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing as _t
+
+
+class Node:
+    """Base class of fault-tree nodes."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def cut_sets(self) -> _t.List[_t.FrozenSet[str]]:
+        raise NotImplementedError
+
+
+class BasicEvent(Node):
+    """A leaf: a component fault with an occurrence probability."""
+
+    def __init__(self, name: str, probability: float):
+        super().__init__(name)
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"{name!r}: probability out of [0,1]")
+        self.probability = probability
+
+    def cut_sets(self) -> _t.List[_t.FrozenSet[str]]:
+        return [frozenset({self.name})]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"BasicEvent({self.name!r}, p={self.probability})"
+
+
+class Gate(Node):
+    def __init__(self, name: str, children: _t.Sequence[Node]):
+        super().__init__(name)
+        if not children:
+            raise ValueError(f"gate {name!r} needs children")
+        self.children = list(children)
+
+
+class OrGate(Gate):
+    """Fails when any child fails."""
+
+    def cut_sets(self) -> _t.List[_t.FrozenSet[str]]:
+        sets: _t.List[_t.FrozenSet[str]] = []
+        for child in self.children:
+            sets.extend(child.cut_sets())
+        return _minimize(sets)
+
+
+class AndGate(Gate):
+    """Fails only when all children fail."""
+
+    def cut_sets(self) -> _t.List[_t.FrozenSet[str]]:
+        product: _t.List[_t.FrozenSet[str]] = [frozenset()]
+        for child in self.children:
+            child_sets = child.cut_sets()
+            product = [
+                existing | new
+                for existing in product
+                for new in child_sets
+            ]
+        return _minimize(product)
+
+
+class KofNGate(Gate):
+    """Fails when at least *k* of the children fail (voting gate)."""
+
+    def __init__(self, name: str, k: int, children: _t.Sequence[Node]):
+        super().__init__(name, children)
+        if not 1 <= k <= len(children):
+            raise ValueError(f"gate {name!r}: k={k} out of range")
+        self.k = k
+
+    def cut_sets(self) -> _t.List[_t.FrozenSet[str]]:
+        sets: _t.List[_t.FrozenSet[str]] = []
+        for combo in itertools.combinations(self.children, self.k):
+            sets.extend(AndGate("_tmp", combo).cut_sets())
+        return _minimize(sets)
+
+
+def _minimize(
+    sets: _t.Sequence[_t.FrozenSet[str]],
+) -> _t.List[_t.FrozenSet[str]]:
+    """Remove duplicates and non-minimal (absorbed) cut sets."""
+    unique = sorted(set(sets), key=lambda s: (len(s), sorted(s)))
+    minimal: _t.List[_t.FrozenSet[str]] = []
+    for candidate in unique:
+        if not any(kept <= candidate for kept in minimal):
+            minimal.append(candidate)
+    return minimal
+
+
+class FaultTree:
+    """A complete tree with analysis entry points."""
+
+    def __init__(self, top: Node):
+        self.top = top
+        self._basic_events: _t.Dict[str, BasicEvent] = {}
+        self._collect(top)
+
+    def _collect(self, node: Node) -> None:
+        if isinstance(node, BasicEvent):
+            existing = self._basic_events.get(node.name)
+            if existing is not None and existing is not node:
+                if existing.probability != node.probability:
+                    raise ValueError(
+                        f"basic event {node.name!r} appears with two "
+                        "different probabilities"
+                    )
+            self._basic_events[node.name] = node
+        elif isinstance(node, Gate):
+            for child in node.children:
+                self._collect(child)
+
+    @property
+    def basic_events(self) -> _t.Dict[str, BasicEvent]:
+        return dict(self._basic_events)
+
+    def minimal_cut_sets(self) -> _t.List[_t.FrozenSet[str]]:
+        return self.top.cut_sets()
+
+    def _cut_set_probability(self, cut_set: _t.FrozenSet[str]) -> float:
+        probability = 1.0
+        for name in cut_set:
+            probability *= self._basic_events[name].probability
+        return probability
+
+    def top_event_probability(self, exact_limit: int = 16) -> float:
+        """P(top event), via inclusion–exclusion when the number of
+        minimal cut sets is at most *exact_limit*, else the rare-event
+        upper bound (sum of cut-set probabilities, clamped)."""
+        cut_sets = self.minimal_cut_sets()
+        if not cut_sets:
+            return 0.0
+        if len(cut_sets) <= exact_limit:
+            total = 0.0
+            for size in range(1, len(cut_sets) + 1):
+                sign = 1.0 if size % 2 else -1.0
+                for combo in itertools.combinations(cut_sets, size):
+                    union: _t.FrozenSet[str] = frozenset().union(*combo)
+                    total += sign * self._cut_set_probability(union)
+            return min(max(total, 0.0), 1.0)
+        return min(
+            sum(self._cut_set_probability(cs) for cs in cut_sets), 1.0
+        )
+
+    def single_points_of_failure(self) -> _t.List[str]:
+        """Basic events that alone cause the top event (1-element MCS)."""
+        return sorted(
+            next(iter(cs)) for cs in self.minimal_cut_sets() if len(cs) == 1
+        )
+
+    def fussell_vesely(self, event_name: str) -> float:
+        """Fraction of top-event probability flowing through *event*."""
+        if event_name not in self._basic_events:
+            raise KeyError(f"unknown basic event {event_name!r}")
+        total = self.top_event_probability()
+        if total == 0.0:
+            return 0.0
+        containing = [
+            cs for cs in self.minimal_cut_sets() if event_name in cs
+        ]
+        contribution = sum(
+            self._cut_set_probability(cs) for cs in containing
+        )
+        return min(contribution / total, 1.0)
+
+    def importance_ranking(self) -> _t.List[_t.Tuple[str, float]]:
+        """All basic events ranked by Fussell–Vesely importance."""
+        ranking = [
+            (name, self.fussell_vesely(name))
+            for name in self._basic_events
+        ]
+        return sorted(ranking, key=lambda pair: (-pair[1], pair[0]))

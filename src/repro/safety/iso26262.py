@@ -1,0 +1,155 @@
+"""ISO 26262 concept-phase machinery: HARA and ASIL decomposition.
+
+The paper's methodology plugs into a surrounding ISO 26262 process —
+safety goals come from hazard analysis and risk assessment (HARA), and
+the quantitative targets the FMEDA metrics are checked against depend
+on the ASIL assigned there.  This module provides that context:
+
+* :func:`classify_asil` — the standard S×E×C determination table;
+* :class:`Hazard` / :func:`hara` — a minimal HARA worksheet producing
+  safety goals with ASILs;
+* :func:`decomposition_options` — ISO 26262-9 ASIL decomposition
+  (ASIL D → C(D)+A(D) / B(D)+B(D) / D(D)+QM(D), etc.) for allocating a
+  goal onto redundant elements, which is exactly what the redundant
+  sensor channels of the CAPS platform implement.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing as _t
+
+from .fmeda import Asil
+
+
+class Severity(enum.IntEnum):
+    """S: severity of harm (ISO 26262-3)."""
+
+    S0 = 0  # no injuries
+    S1 = 1  # light/moderate injuries
+    S2 = 2  # severe injuries, survival probable
+    S3 = 3  # life-threatening/fatal injuries
+
+
+class Exposure(enum.IntEnum):
+    """E: probability of the operational situation."""
+
+    E0 = 0  # incredible
+    E1 = 1  # very low
+    E2 = 2  # low
+    E3 = 3  # medium
+    E4 = 4  # high
+
+
+class Controllability(enum.IntEnum):
+    """C: controllability by the driver."""
+
+    C0 = 0  # controllable in general
+    C1 = 1  # simply controllable
+    C2 = 2  # normally controllable
+    C3 = 3  # difficult/uncontrollable
+
+
+def classify_asil(
+    severity: Severity,
+    exposure: Exposure,
+    controllability: Controllability,
+) -> Asil:
+    """The ISO 26262-3 risk-graph determination.
+
+    Any S0/E0/C0 parameter yields QM.  Otherwise the standard table:
+    the index S + E + C decides, from 7 upward mapping to A..D.
+    """
+    if severity is Severity.S0:
+        return Asil.QM
+    if exposure is Exposure.E0:
+        return Asil.QM
+    if controllability is Controllability.C0:
+        return Asil.QM
+    index = int(severity) + int(exposure) + int(controllability)
+    # S1..3 + E1..4 + C1..3: index in [3, 10]; ASIL A starts at 7.
+    if index <= 6:
+        return Asil.QM
+    return {7: Asil.A, 8: Asil.B, 9: Asil.C, 10: Asil.D}[index]
+
+
+@dataclasses.dataclass(frozen=True)
+class Hazard:
+    """One HARA row: a hazardous event in an operational situation."""
+
+    name: str
+    situation: str
+    severity: Severity
+    exposure: Exposure
+    controllability: Controllability
+
+    @property
+    def asil(self) -> Asil:
+        return classify_asil(self.severity, self.exposure, self.controllability)
+
+
+@dataclasses.dataclass(frozen=True)
+class SafetyGoal:
+    """A top-level safety requirement derived from a hazard."""
+
+    name: str
+    hazard: Hazard
+    statement: str
+
+    @property
+    def asil(self) -> Asil:
+        return self.hazard.asil
+
+
+def hara(
+    hazards: _t.Sequence[Hazard],
+    goal_statements: _t.Mapping[str, str],
+) -> _t.List[SafetyGoal]:
+    """Produce safety goals: one per hazard above QM.
+
+    ``goal_statements`` maps hazard names to the goal wording; hazards
+    classified QM need no safety goal.
+    """
+    goals: _t.List[SafetyGoal] = []
+    for hazard in hazards:
+        if hazard.asil is Asil.QM:
+            continue
+        statement = goal_statements.get(hazard.name)
+        if statement is None:
+            raise KeyError(
+                f"hazard {hazard.name!r} (ASIL {hazard.asil.name}) "
+                "needs a safety goal statement"
+            )
+        goals.append(SafetyGoal(f"SG_{hazard.name}", hazard, statement))
+    return goals
+
+
+#: ISO 26262-9 decomposition schemes per original ASIL: each option is
+#: the pair of ASILs the requirement may be decomposed onto, provided
+#: the two elements are sufficiently independent.
+_DECOMPOSITIONS: _t.Dict[Asil, _t.Tuple[_t.Tuple[Asil, Asil], ...]] = {
+    Asil.D: ((Asil.C, Asil.A), (Asil.B, Asil.B), (Asil.D, Asil.QM)),
+    Asil.C: ((Asil.B, Asil.A), (Asil.C, Asil.QM)),
+    Asil.B: ((Asil.A, Asil.A), (Asil.B, Asil.QM)),
+    Asil.A: ((Asil.A, Asil.QM),),
+}
+
+
+def decomposition_options(asil: Asil) -> _t.List[_t.Tuple[Asil, Asil]]:
+    """The permitted decompositions of *asil* onto two independent
+    elements.  QM cannot be decomposed (nothing to decompose)."""
+    if asil is Asil.QM:
+        return []
+    return list(_DECOMPOSITIONS[asil])
+
+
+def valid_decomposition(
+    original: Asil, element_a: Asil, element_b: Asil
+) -> bool:
+    """Whether (a, b) is a permitted decomposition of *original*."""
+    options = decomposition_options(original)
+    return (element_a, element_b) in options or (
+        element_b,
+        element_a,
+    ) in options

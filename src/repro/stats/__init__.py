@@ -1,0 +1,19 @@
+"""Campaign statistics (substrate S13)."""
+
+from .estimators import (
+    ConfidenceInterval,
+    WeightedRateEstimator,
+    clopper_pearson,
+    failure_rate_per_hour,
+    required_runs,
+    rule_of_three,
+)
+
+__all__ = [
+    "ConfidenceInterval",
+    "WeightedRateEstimator",
+    "clopper_pearson",
+    "failure_rate_per_hour",
+    "required_runs",
+    "rule_of_three",
+]

@@ -1,0 +1,132 @@
+"""Statistical estimators for fault-injection campaigns.
+
+Sec. 3.4: "Standard Monte-Carlo techniques may fail to identify the
+critical error effects leading to system failure because failure
+probabilities are extremely low."  Quantifying that — how tight is the
+estimate a campaign of N runs gives, and how many runs would be needed —
+requires exact small-sample machinery:
+
+* :func:`clopper_pearson` — exact binomial confidence interval, valid
+  even with zero observed failures;
+* :func:`rule_of_three` — the classic 3/N upper bound for zero events;
+* :func:`required_runs` — how many Monte-Carlo runs are needed to see a
+  failure of probability p with given confidence (the "lucky guess"
+  cost);
+* :class:`WeightedRateEstimator` — importance-sampling correction for
+  campaigns that over-sample special operating states.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+
+from scipy import stats as _scipy_stats
+
+
+class ConfidenceInterval(_t.NamedTuple):
+    low: float
+    high: float
+    confidence: float
+
+
+def clopper_pearson(
+    successes: int, trials: int, confidence: float = 0.95
+) -> ConfidenceInterval:
+    """Exact binomial CI on a proportion."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes out of range")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence out of (0,1)")
+    alpha = 1 - confidence
+    if successes == 0:
+        low = 0.0
+    else:
+        low = _scipy_stats.beta.ppf(alpha / 2, successes, trials - successes + 1)
+    if successes == trials:
+        high = 1.0
+    else:
+        high = _scipy_stats.beta.ppf(
+            1 - alpha / 2, successes + 1, trials - successes
+        )
+    return ConfidenceInterval(float(low), float(high), confidence)
+
+
+def rule_of_three(trials: int, confidence: float = 0.95) -> float:
+    """Upper bound on p when zero failures were observed in N trials."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    return -math.log(1 - confidence) / trials
+
+
+def required_runs(probability: float, confidence: float = 0.95) -> int:
+    """Monte-Carlo runs needed to observe >=1 event of probability *p*
+    with the given confidence: n = ln(1-c)/ln(1-p)."""
+    if not 0 < probability < 1:
+        raise ValueError("probability out of (0,1)")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence out of (0,1)")
+    return math.ceil(math.log(1 - confidence) / math.log(1 - probability))
+
+
+class WeightedRateEstimator:
+    """Importance-sampling estimate of a failure probability.
+
+    Campaigns that boost rare operating states sample scenario i with
+    probability q_i instead of its true probability p_i; each observed
+    outcome is weighted by w_i = p_i / q_i.  The estimator accumulates
+    (weight, failed) observations and reports the weighted failure
+    probability with a normal-approximation standard error.
+    """
+
+    def __init__(self):
+        self._weights: _t.List[float] = []
+        self._failures: _t.List[float] = []
+
+    def record(self, weight: float, failed: bool) -> None:
+        if weight <= 0:
+            raise ValueError("weights must be positive")
+        self._weights.append(weight)
+        self._failures.append(weight if failed else 0.0)
+
+    @property
+    def n(self) -> int:
+        return len(self._weights)
+
+    @property
+    def estimate(self) -> float:
+        if not self._weights:
+            raise ValueError("no observations")
+        return sum(self._failures) / sum(self._weights)
+
+    @property
+    def standard_error(self) -> float:
+        if self.n < 2:
+            return float("inf")
+        mean_weight = sum(self._weights) / self.n
+        estimate = self.estimate
+        residuals = [
+            (f - estimate * w) for f, w in zip(self._failures, self._weights)
+        ]
+        variance = sum(r * r for r in residuals) / (self.n - 1)
+        return math.sqrt(variance / self.n) / mean_weight
+
+    def interval(self, confidence: float = 0.95) -> ConfidenceInterval:
+        z = float(_scipy_stats.norm.ppf(0.5 + confidence / 2))
+        spread = z * self.standard_error
+        return ConfidenceInterval(
+            max(self.estimate - spread, 0.0),
+            min(self.estimate + spread, 1.0),
+            confidence,
+        )
+
+
+def failure_rate_per_hour(
+    failure_probability_per_run: float, simulated_hours_per_run: float
+) -> float:
+    """Convert a per-run failure probability into a rate per hour."""
+    if simulated_hours_per_run <= 0:
+        raise ValueError("simulated time must be positive")
+    return failure_probability_per_run / simulated_hours_per_run

@@ -1,0 +1,22 @@
+"""Software substrate (S5): RTOS scheduling and AUTOSAR-style layers."""
+
+from .autosar import (
+    AliveSupervision,
+    ComSignal,
+    Rte,
+    Runnable,
+    map_runnable,
+)
+from .rtos import Job, Rtos, RtosInjectionPoint, Task
+
+__all__ = [
+    "AliveSupervision",
+    "ComSignal",
+    "Rte",
+    "Runnable",
+    "map_runnable",
+    "Job",
+    "Rtos",
+    "RtosInjectionPoint",
+    "Task",
+]

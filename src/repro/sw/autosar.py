@@ -1,0 +1,177 @@
+"""AUTOSAR-flavoured application layer.
+
+The paper's testbench-qualification and error-effect sections both name
+AUTOSAR software stacks as the thing under test (Secs. 2.4, 3.3).  This
+module models the slice of AUTOSAR that matters for safety evaluation:
+
+* **COM signals** (:class:`ComSignal`) — typed, timestamped data
+  elements with *staleness* detection: a reader can tell that a value,
+  while plausible, has not been refreshed within its timeout (a pure
+  timing fault).
+* **Runnables** (:class:`Runnable`) — application functions mapped onto
+  RTOS tasks; each execution is checkpointed.
+* **Alive supervision** (:class:`AliveSupervision`) — WdgM-style
+  monitoring that a runnable executes the expected number of times per
+  supervision window, catching crashed, starved, or runaway software.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..kernel import Module
+from .rtos import Job, Rtos, Task
+
+
+class ComSignal:
+    """A COM data element with freshness tracking."""
+
+    def __init__(self, name: str, initial=0, timeout: _t.Optional[int] = None):
+        self.name = name
+        self.value = initial
+        self.timeout = timeout
+        self.last_update: _t.Optional[int] = None
+        self.updates = 0
+
+    def write(self, value, now: int) -> None:
+        self.value = value
+        self.last_update = now
+        self.updates += 1
+
+    def read(self, now: int) -> _t.Tuple[_t.Any, bool]:
+        """Returns (value, fresh).  ``fresh`` is False when the signal
+        was never written or exceeded its timeout."""
+        if self.last_update is None:
+            return self.value, False
+        if self.timeout is not None and now - self.last_update > self.timeout:
+            return self.value, False
+        return self.value, True
+
+
+class Rte:
+    """A minimal run-time environment: the signal broker."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._signals: _t.Dict[str, ComSignal] = {}
+
+    def define(
+        self, name: str, initial=0, timeout: _t.Optional[int] = None
+    ) -> ComSignal:
+        if name in self._signals:
+            raise ValueError(f"signal {name!r} already defined")
+        signal = ComSignal(name, initial, timeout)
+        self._signals[name] = signal
+        return signal
+
+    def write(self, name: str, value) -> None:
+        self._signals[name].write(value, self.sim.now)
+
+    def read(self, name: str) -> _t.Tuple[_t.Any, bool]:
+        return self._signals[name].read(self.sim.now)
+
+    def signal(self, name: str) -> ComSignal:
+        return self._signals[name]
+
+
+class Runnable:
+    """An application function mapped onto an RTOS task."""
+
+    def __init__(self, name: str, fn: _t.Callable[["Runnable"], None]):
+        self.name = name
+        self.fn = fn
+        self.executions = 0
+        self.checkpoints: _t.List[int] = []
+        self._rte: _t.Optional[Rte] = None
+
+    def bind(self, rte: Rte) -> None:
+        self._rte = rte
+
+    @property
+    def rte(self) -> Rte:
+        if self._rte is None:
+            raise RuntimeError(f"runnable {self.name!r} not bound to an RTE")
+        return self._rte
+
+    def __call__(self, job: Job) -> None:
+        self.executions += 1
+        self.checkpoints.append(self.rte.sim.now)
+        self.fn(self)
+
+
+class AliveSupervision(Module):
+    """WdgM alive supervision of one runnable.
+
+    Every ``window`` time units the supervisor compares the number of
+    checkpoints reached against ``[min_count, max_count]``; violations
+    are counted and notified.  ``failed`` latches after
+    ``failed_threshold`` consecutive bad windows, which a platform
+    typically wires to a reset or a safe-state transition.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        parent: Module,
+        runnable: Runnable,
+        window: int,
+        min_count: int,
+        max_count: int,
+        failed_threshold: int = 1,
+    ):
+        super().__init__(name, parent=parent)
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if min_count > max_count:
+            raise ValueError("min_count must not exceed max_count")
+        self.runnable = runnable
+        self.window = window
+        self.min_count = min_count
+        self.max_count = max_count
+        self.failed_threshold = failed_threshold
+        self.violations = 0
+        self.windows_checked = 0
+        self.failed = False
+        self._consecutive_bad = 0
+        self._last_seen = 0
+        self.violation_event = self.event("violation")
+        self.process(self._supervise(), name="supervise")
+
+    def _supervise(self):
+        while True:
+            yield self.window
+            count = self.runnable.executions - self._last_seen
+            self._last_seen = self.runnable.executions
+            self.windows_checked += 1
+            if self.min_count <= count <= self.max_count:
+                self._consecutive_bad = 0
+                continue
+            self.violations += 1
+            self._consecutive_bad += 1
+            self.violation_event.notify(0)
+            if self._consecutive_bad >= self.failed_threshold:
+                self.failed = True
+
+
+def map_runnable(
+    rtos: Rtos,
+    rte: Rte,
+    runnable: Runnable,
+    priority: int,
+    wcet: int,
+    period: _t.Optional[int] = None,
+    deadline: _t.Optional[int] = None,
+    offset: int = 0,
+) -> Task:
+    """Bind *runnable* to the RTE and schedule it as an RTOS task."""
+    runnable.bind(rte)
+    task = Task(
+        name=runnable.name,
+        priority=priority,
+        wcet=wcet,
+        deadline=deadline,
+        period=period,
+        offset=offset,
+        body=runnable,
+    )
+    return rtos.add_task(task)

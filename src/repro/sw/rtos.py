@@ -1,0 +1,297 @@
+"""Preemptive real-time operating system model.
+
+Automotive applications "require the execution of several concurrent
+tasks that exhibit hard and soft real-time constraints" (Sec. 3.4), and
+the error-effect criterion is explicitly temporal: *"The right value at
+the wrong time can still be an error."*  This RTOS model provides the
+substrate for that analysis: fixed-priority preemptive scheduling of
+periodic and sporadic tasks on one CPU, with per-job response-time and
+deadline bookkeeping.
+
+Execution here is *timing-level*: a task body is a Python callable run
+at job completion, while the job's CPU demand is an explicit duration.
+(Running compiled vp16 code on the ISS is the other, slower option; the
+adaptive-cruise example combines both.)  Fault campaigns stretch job
+demands via :meth:`Rtos.add_overhead` — modeling error-correction and
+recovery delays — and the deadline-miss counters feed the
+timing-failure classification.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..kernel import AnyOf, Module
+
+
+class Job:
+    """One activation of a task."""
+
+    __slots__ = (
+        "task",
+        "release_time",
+        "absolute_deadline",
+        "remaining",
+        "start_time",
+        "finish_time",
+    )
+
+    def __init__(self, task: "Task", release_time: int):
+        self.task = task
+        self.release_time = release_time
+        self.absolute_deadline = release_time + task.deadline
+        self.remaining = task.wcet
+        self.start_time: _t.Optional[int] = None
+        self.finish_time: _t.Optional[int] = None
+
+    @property
+    def response_time(self) -> _t.Optional[int]:
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.release_time
+
+    @property
+    def missed_deadline(self) -> bool:
+        return (
+            self.finish_time is not None
+            and self.finish_time > self.absolute_deadline
+        )
+
+
+class Task:
+    """A schedulable entity.
+
+    Parameters
+    ----------
+    priority:
+        Larger numbers preempt smaller ones.
+    wcet:
+        CPU demand per job, in kernel time units.
+    deadline:
+        Relative deadline; defaults to the period for periodic tasks.
+    period:
+        ``None`` makes the task sporadic (activated via
+        :meth:`Rtos.trigger`).
+    body:
+        Optional ``fn(job)`` executed when the job completes — the
+        functional payload (reads sensors, commands actuators).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        priority: int,
+        wcet: int,
+        deadline: _t.Optional[int] = None,
+        period: _t.Optional[int] = None,
+        offset: int = 0,
+        body: _t.Optional[_t.Callable[[Job], None]] = None,
+    ):
+        if wcet <= 0:
+            raise ValueError(f"task {name!r}: wcet must be positive")
+        if period is not None and period <= 0:
+            raise ValueError(f"task {name!r}: period must be positive")
+        if deadline is None:
+            if period is None:
+                raise ValueError(
+                    f"task {name!r}: sporadic tasks need an explicit deadline"
+                )
+            deadline = period
+        if deadline <= 0:
+            raise ValueError(f"task {name!r}: deadline must be positive")
+        self.name = name
+        self.priority = priority
+        self.wcet = wcet
+        self.deadline = deadline
+        self.period = period
+        self.offset = offset
+        self.body = body
+        self.jobs: _t.List[Job] = []
+        self.deadline_misses = 0
+        self.activations = 0
+        #: Set by the fault injector: a killed task stops activating.
+        self.killed = False
+
+    @property
+    def completed_jobs(self) -> _t.List[Job]:
+        return [j for j in self.jobs if j.finish_time is not None]
+
+    @property
+    def worst_response_time(self) -> _t.Optional[int]:
+        times = [j.response_time for j in self.completed_jobs]
+        return max(times) if times else None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Task({self.name!r}, prio={self.priority})"
+
+
+class RtosInjectionPoint:
+    """Injector-facing handle on a scheduler (kind ``"rtos"``)."""
+
+    def __init__(self, rtos: "Rtos"):
+        self.name = f"{rtos.full_name}.sched"
+        self.kind = "rtos"
+        self._rtos = rtos
+
+    @property
+    def task_names(self) -> _t.List[str]:
+        return [task.name for task in self._rtos.tasks]
+
+    def add_overhead(self, task_name: str, extra: int) -> None:
+        self._rtos.add_overhead(task_name, extra)
+
+    def kill_task(self, task_name: str) -> None:
+        self._rtos.task(task_name).killed = True
+
+    def revive_task(self, task_name: str) -> None:
+        self._rtos.task(task_name).killed = False
+
+
+class Rtos(Module):
+    """Fixed-priority preemptive scheduler on a single CPU.
+
+    The scheduler is exact for this model class: it recomputes the
+    running job whenever a release or completion occurs, so preemption
+    points land on precise kernel timestamps.
+    """
+
+    def __init__(self, name: str, parent: Module):
+        super().__init__(name, parent=parent)
+        self.tasks: _t.List[Task] = []
+        self._ready: _t.List[Job] = []
+        self._release_event = self.event("release")
+        self._started = False
+        #: Extra demand injected into the *next* job(s) of a task,
+        #: modeling error-recovery overhead (E9).
+        self._pending_overhead: _t.Dict[str, int] = {}
+        self.context_switches = 0
+        self.idle_time = 0
+        self.busy_time = 0
+        self.register_injection_point("sched", RtosInjectionPoint(self))
+
+    # -- configuration ---------------------------------------------------
+
+    def add_task(self, task: Task) -> Task:
+        if self._started:
+            raise RuntimeError("cannot add tasks after start()")
+        if any(existing.name == task.name for existing in self.tasks):
+            raise ValueError(f"duplicate task name {task.name!r}")
+        self.tasks.append(task)
+        return task
+
+    def task(self, name: str) -> Task:
+        for task in self.tasks:
+            if task.name == name:
+                return task
+        raise KeyError(f"no task named {name!r}")
+
+    def start(self) -> None:
+        """Spawn the release generators and the scheduler."""
+        if self._started:
+            raise RuntimeError("already started")
+        self._started = True
+        for task in self.tasks:
+            if task.period is not None:
+                self.process(
+                    self._periodic_release(task), name=f"release.{task.name}"
+                )
+        self.process(self._schedule(), name="scheduler")
+
+    # -- activation ---------------------------------------------------------
+
+    def trigger(self, task_name: str) -> Job:
+        """Activate a sporadic task now."""
+        task = self.task(task_name)
+        return self._release(task)
+
+    def add_overhead(self, task_name: str, extra: int) -> None:
+        """Inflate the demand of *task_name*'s next job by *extra*.
+
+        This is the injector hook: an error-correction retry, a
+        re-read after a CRC failure, or a recovery routine all appear
+        to the scheduler as extra demand.
+        """
+        if extra < 0:
+            raise ValueError("overhead must be non-negative")
+        self._pending_overhead[task_name] = (
+            self._pending_overhead.get(task_name, 0) + extra
+        )
+
+    def _release(self, task: Task) -> _t.Optional[Job]:
+        if task.killed:
+            return None
+        job = Job(task, self.sim.now)
+        extra = self._pending_overhead.pop(task.name, 0)
+        job.remaining += extra
+        task.jobs.append(job)
+        task.activations += 1
+        self._ready.append(job)
+        self._release_event.notify(0)
+        return job
+
+    def _periodic_release(self, task: Task):
+        if task.offset:
+            yield task.offset
+        while True:
+            self._release(task)
+            yield task.period
+
+    # -- the scheduler ---------------------------------------------------------
+
+    def _pick(self) -> _t.Optional[Job]:
+        if not self._ready:
+            return None
+        # Highest priority; FIFO among equals (list order is release order).
+        return max(self._ready, key=lambda job: job.task.priority)
+
+    def _schedule(self):
+        current: _t.Optional[Job] = None
+        while True:
+            job = self._pick()
+            if job is None:
+                idle_started = self.sim.now
+                yield self._release_event
+                self.idle_time += self.sim.now - idle_started
+                continue
+            if job is not current:
+                self.context_switches += 1
+                current = job
+                if job.start_time is None:
+                    job.start_time = self.sim.now
+            # Run until the job finishes or a new release preempts.
+            slice_started = self.sim.now
+            fired = yield AnyOf(
+                self._release_event,
+                self.sim.timeout_event(job.remaining, "slice"),
+            )
+            elapsed = self.sim.now - slice_started
+            self.busy_time += elapsed
+            job.remaining -= elapsed
+            if job.remaining <= 0:
+                self._complete(job)
+                current = None
+
+    def _complete(self, job: Job) -> None:
+        job.finish_time = self.sim.now
+        self._ready.remove(job)
+        if job.missed_deadline:
+            job.task.deadline_misses += 1
+        if job.task.body is not None:
+            job.task.body(job)
+
+    # -- analysis -------------------------------------------------------------
+
+    @property
+    def total_deadline_misses(self) -> int:
+        return sum(task.deadline_misses for task in self.tasks)
+
+    def utilization(self) -> float:
+        """Static utilization of the periodic task set (wcet/period)."""
+        return sum(
+            task.wcet / task.period
+            for task in self.tasks
+            if task.period is not None
+        )
+
+    def response_time_summary(self) -> _t.Dict[str, _t.Optional[int]]:
+        return {task.name: task.worst_response_time for task in self.tasks}

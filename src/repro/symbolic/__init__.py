@@ -1,0 +1,26 @@
+"""Lite symbolic execution for protection-bypassing stimuli (S11)."""
+
+from .engine import (
+    ConcreteContext,
+    PathResult,
+    SymbolicContext,
+    SymbolicEngine,
+    random_search,
+)
+from .expr import Constraint, LinExpr, NonLinearError, Var
+from .solver import Unsatisfiable, satisfiable, solve
+
+__all__ = [
+    "ConcreteContext",
+    "PathResult",
+    "SymbolicContext",
+    "SymbolicEngine",
+    "random_search",
+    "Constraint",
+    "LinExpr",
+    "NonLinearError",
+    "Var",
+    "Unsatisfiable",
+    "satisfiable",
+    "solve",
+]

@@ -1,0 +1,189 @@
+"""Path exploration: symbolic execution of guarded decision logic.
+
+Sec. 3.4: "For errors that are hard to propagate, formal approaches
+such as symbolic execution might be necessary to generate stimuli to
+bypass the protection mechanisms."  The engine explores every feasible
+path of a *guard program* — a Python function written against the
+symbolic API — and solves for concrete inputs reaching a requested
+outcome (e.g. the actuator-commanding branch behind three plausibility
+checks).
+
+A guard program takes a context and returns a label::
+
+    def program(ctx):
+        a = ctx.var("sensor_a")
+        b = ctx.var("sensor_b")
+        if ctx.branch(a - b <= 50):          # plausibility
+            if ctx.branch(a >= 2000):        # threshold
+                return "fire"
+            return "idle"
+        return "reject"
+
+``ctx.branch(constraint)`` returns the direction the current path
+takes and records the constraint (or its negation).  The same program
+runs concretely via :class:`ConcreteContext` — the bridge to random
+search, which the E10 benchmark compares against.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from .expr import Constraint, LinExpr, Var
+from .solver import Domain, satisfiable, solve
+
+
+class PathResult(_t.NamedTuple):
+    """One explored feasible path."""
+
+    outcome: _t.Any
+    constraints: _t.List[Constraint]
+    witness: _t.Dict[str, int]
+
+
+class _PathAborted(Exception):
+    """Internal: the forced decision prefix became infeasible."""
+
+
+class SymbolicContext:
+    """Execution context handed to the guard program."""
+
+    def __init__(
+        self,
+        domains: _t.Mapping[str, Domain],
+        prefix: _t.List[bool],
+        eager_prune: bool = True,
+    ):
+        self.domains = dict(domains)
+        self._prefix = prefix
+        self._depth = 0
+        self.constraints: _t.List[Constraint] = []
+        self.decisions: _t.List[bool] = []
+        self.eager_prune = eager_prune
+
+    def var(self, name: str) -> LinExpr:
+        if name not in self.domains:
+            raise KeyError(f"no domain declared for variable {name!r}")
+        return Var(name)
+
+    def branch(self, constraint: Constraint) -> bool:
+        """Take a branch on *constraint*; returns the direction."""
+        if self._depth < len(self._prefix):
+            direction = self._prefix[self._depth]
+        else:
+            direction = True
+            # Prefer a feasible direction when defaulting.
+            if self.eager_prune and not satisfiable(
+                self.constraints + [constraint], self.domains
+            ):
+                direction = False
+        self._depth += 1
+        chosen = constraint if direction else constraint.negate()
+        self.constraints.append(chosen)
+        self.decisions.append(direction)
+        if self.eager_prune and self._depth >= len(self._prefix):
+            if not satisfiable(self.constraints, self.domains):
+                raise _PathAborted()
+        return direction
+
+
+class ConcreteContext:
+    """Runs the same guard program on concrete integer inputs."""
+
+    def __init__(self, values: _t.Mapping[str, int]):
+        self.values = dict(values)
+
+    def var(self, name: str) -> LinExpr:
+        return LinExpr(constant=self.values[name])
+
+    def branch(self, constraint: Constraint) -> bool:
+        return constraint.holds({})
+
+
+class SymbolicEngine:
+    """DFS over the guard program's branch decisions."""
+
+    def __init__(self, domains: _t.Mapping[str, Domain]):
+        for name, (low, high) in domains.items():
+            if low > high:
+                raise ValueError(f"empty domain for {name!r}")
+        self.domains = dict(domains)
+        self.paths_explored = 0
+        self.paths_infeasible = 0
+
+    def explore(
+        self,
+        program: _t.Callable,
+        max_paths: int = 1024,
+    ) -> _t.List[PathResult]:
+        """All feasible paths with witnesses, DFS order."""
+        results: _t.List[PathResult] = []
+        stack: _t.List[_t.List[bool]] = [[]]
+        visited: _t.Set[_t.Tuple[bool, ...]] = set()
+        while stack and self.paths_explored < max_paths:
+            prefix = stack.pop()
+            context = SymbolicContext(self.domains, prefix)
+            try:
+                outcome = program(context)
+            except _PathAborted:
+                self.paths_infeasible += 1
+                # Still enqueue flips of the decisions made before the
+                # abort so sibling paths get explored.
+                self._enqueue_flips(context, prefix, stack, visited)
+                continue
+            self.paths_explored += 1
+            witness = solve(context.constraints, self.domains)
+            if witness is not None:
+                results.append(
+                    PathResult(outcome, list(context.constraints), witness)
+                )
+            else:
+                self.paths_infeasible += 1
+            self._enqueue_flips(context, prefix, stack, visited)
+        return results
+
+    def _enqueue_flips(self, context, prefix, stack, visited) -> None:
+        # Flip each decision made beyond the forced prefix.
+        for index in range(len(prefix), len(context.decisions)):
+            flipped = context.decisions[:index] + [
+                not context.decisions[index]
+            ]
+            key = tuple(flipped)
+            if key not in visited:
+                visited.add(key)
+                stack.append(flipped)
+
+    def find_input(
+        self,
+        program: _t.Callable,
+        target_outcome: _t.Any,
+        max_paths: int = 1024,
+    ) -> _t.Optional[_t.Dict[str, int]]:
+        """Concrete inputs steering the program to *target_outcome*."""
+        for path in self.explore(program, max_paths):
+            if path.outcome == target_outcome:
+                assert program(ConcreteContext(path.witness)) == target_outcome
+                return path.witness
+        return None
+
+
+def random_search(
+    program: _t.Callable,
+    domains: _t.Mapping[str, Domain],
+    target_outcome: _t.Any,
+    rng,
+    attempts: int = 10_000,
+) -> _t.Tuple[_t.Optional[_t.Dict[str, int]], int]:
+    """The Monte-Carlo baseline: random inputs until the target hits.
+
+    Returns (witness or None, attempts used) — the cost metric E10
+    compares against the symbolic path count.
+    """
+    for attempt in range(1, attempts + 1):
+        values = {
+            name: rng.randint(low, high)
+            for name, (low, high) in domains.items()
+        }
+        if program(ConcreteContext(values)) == target_outcome:
+            return values, attempt
+    return None, attempts

@@ -1,0 +1,202 @@
+"""Symbolic integer expressions and constraints.
+
+The lite symbolic layer the stimulus generator (Sec. 3.4, refs
+[41, 42]) is built on.  Expressions are integer-valued and *linear* —
+sums of scaled variables plus constants — which covers the protection
+logic this framework models (range checks, rate checks, comparisons,
+redundancy arithmetic) while keeping the solver exact and fast.
+
+Build expressions with normal Python operators on :class:`Var`::
+
+    a, b = Var("a"), Var("b")
+    constraint = (2 * a - b + 3) <= 100
+
+Comparisons produce :class:`Constraint` objects rather than booleans;
+use them with :class:`~repro.symbolic.engine.SymbolicEngine.branch`.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+
+class NonLinearError(TypeError):
+    """Raised when an operation would leave the linear fragment."""
+
+
+class LinExpr:
+    """A linear integer expression: sum(coef * var) + const."""
+
+    __slots__ = ("coefficients", "constant")
+
+    def __init__(
+        self,
+        coefficients: _t.Optional[_t.Dict[str, int]] = None,
+        constant: int = 0,
+    ):
+        self.coefficients = dict(coefficients or {})
+        self.constant = constant
+
+    # -- construction ----------------------------------------------------
+
+    @staticmethod
+    def _coerce(value) -> "LinExpr":
+        if isinstance(value, LinExpr):
+            return value
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise NonLinearError(
+                f"cannot use {value!r} in a symbolic expression"
+            )
+        return LinExpr(constant=value)
+
+    def _combine(self, other, sign: int) -> "LinExpr":
+        other = self._coerce(other)
+        coefficients = dict(self.coefficients)
+        for name, coef in other.coefficients.items():
+            coefficients[name] = coefficients.get(name, 0) + sign * coef
+            if coefficients[name] == 0:
+                del coefficients[name]
+        return LinExpr(coefficients, self.constant + sign * other.constant)
+
+    def __add__(self, other) -> "LinExpr":
+        return self._combine(other, 1)
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "LinExpr":
+        return self._combine(other, -1)
+
+    def __rsub__(self, other) -> "LinExpr":
+        return self._coerce(other)._combine(self, -1)
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr(
+            {name: -coef for name, coef in self.coefficients.items()},
+            -self.constant,
+        )
+
+    def __mul__(self, other) -> "LinExpr":
+        if isinstance(other, LinExpr):
+            if other.coefficients and self.coefficients:
+                raise NonLinearError("product of two symbolic expressions")
+            if not other.coefficients:
+                other = other.constant
+            else:
+                self, other = other, self.constant  # type: ignore[assignment]
+        if not isinstance(other, int) or isinstance(other, bool):
+            raise NonLinearError(f"cannot scale by {other!r}")
+        return LinExpr(
+            {name: coef * other for name, coef in self.coefficients.items()
+             if coef * other != 0},
+            self.constant * other,
+        )
+
+    __rmul__ = __mul__
+
+    # -- comparisons -> constraints ------------------------------------------
+
+    def __le__(self, other) -> "Constraint":
+        return Constraint(self - other, "<=")
+
+    def __lt__(self, other) -> "Constraint":
+        return Constraint(self - other, "<")
+
+    def __ge__(self, other) -> "Constraint":
+        return Constraint(self - other, ">=")
+
+    def __gt__(self, other) -> "Constraint":
+        return Constraint(self - other, ">")
+
+    def eq(self, other) -> "Constraint":
+        """Equality constraint (named method: ``==`` keeps identity)."""
+        return Constraint(self - other, "==")
+
+    def ne(self, other) -> "Constraint":
+        return Constraint(self - other, "!=")
+
+    # -- evaluation ------------------------------------------------------------
+
+    def evaluate(self, env: _t.Mapping[str, int]) -> int:
+        return self.constant + sum(
+            coef * env[name] for name, coef in self.coefficients.items()
+        )
+
+    @property
+    def variables(self) -> _t.Set[str]:
+        return set(self.coefficients)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        parts = [
+            f"{coef}*{name}" for name, coef in sorted(self.coefficients.items())
+        ]
+        parts.append(str(self.constant))
+        return " + ".join(parts)
+
+
+def Var(name: str) -> LinExpr:
+    """A fresh symbolic integer variable."""
+    return LinExpr({name: 1})
+
+
+#: Normalised comparison operators: ``expr OP 0``.
+_OPS = ("<=", "<", ">=", ">", "==", "!=")
+
+
+class Constraint:
+    """``expr OP 0`` over a linear expression."""
+
+    __slots__ = ("expr", "op")
+
+    def __init__(self, expr: LinExpr, op: str):
+        if op not in _OPS:
+            raise ValueError(f"unknown operator {op!r}")
+        self.expr = expr
+        self.op = op
+
+    def negate(self) -> "Constraint":
+        opposites = {
+            "<=": ">", "<": ">=", ">=": "<", ">": "<=",
+            "==": "!=", "!=": "==",
+        }
+        return Constraint(self.expr, opposites[self.op])
+
+    def holds(self, env: _t.Mapping[str, int]) -> bool:
+        value = self.expr.evaluate(env)
+        return {
+            "<=": value <= 0,
+            "<": value < 0,
+            ">=": value >= 0,
+            ">": value > 0,
+            "==": value == 0,
+            "!=": value != 0,
+        }[self.op]
+
+    @property
+    def variables(self) -> _t.Set[str]:
+        return self.expr.variables
+
+    def canonical_le(self) -> _t.List[_t.Tuple[_t.Dict[str, int], int]]:
+        """Rewrite as a list of ``sum(coef*var) + c <= 0`` rows.
+
+        ``<`` tightens by 1 (integers); ``==`` yields two rows; ``!=``
+        yields none (handled only at full assignments).
+        """
+        coefficients = self.expr.coefficients
+        constant = self.expr.constant
+        if self.op == "<=":
+            return [(dict(coefficients), constant)]
+        if self.op == "<":
+            return [(dict(coefficients), constant + 1)]
+        if self.op == ">=":
+            return [({n: -c for n, c in coefficients.items()}, -constant)]
+        if self.op == ">":
+            return [({n: -c for n, c in coefficients.items()}, -constant + 1)]
+        if self.op == "==":
+            return [
+                (dict(coefficients), constant),
+                ({n: -c for n, c in coefficients.items()}, -constant),
+            ]
+        return []  # "!="
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"({self.expr!r} {self.op} 0)"

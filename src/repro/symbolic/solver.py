@@ -1,0 +1,139 @@
+"""An exact solver for conjunctions of linear integer constraints over
+bounded domains.
+
+Interval (bounds) propagation to a fixpoint, then branch-and-prune
+search splitting the widest domain.  Domains in this framework are
+small and physical — ADC codes, counter values, payload bytes — so the
+combination is fast and complete.  ``!=`` constraints are checked at
+full assignments and used to shave singleton domains.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from .expr import Constraint
+
+Domain = _t.Tuple[int, int]  # inclusive [low, high]
+
+
+class Unsatisfiable(Exception):
+    """No assignment within the domains satisfies the constraints."""
+
+
+def _propagate(
+    rows: _t.Sequence[_t.Tuple[_t.Dict[str, int], int]],
+    domains: _t.Dict[str, Domain],
+) -> _t.Dict[str, Domain]:
+    """Tighten domains against ``sum(coef*var) + c <= 0`` rows."""
+    domains = dict(domains)
+    changed = True
+    iterations = 0
+    while changed:
+        changed = False
+        iterations += 1
+        if iterations > 10_000:  # pragma: no cover - pathological guard
+            break
+        for coefficients, constant in rows:
+            # For each variable: coef*x <= -c - min(rest)
+            rest_min_total = constant
+            mins: _t.Dict[str, int] = {}
+            for name, coef in coefficients.items():
+                low, high = domains[name]
+                term_min = min(coef * low, coef * high)
+                mins[name] = term_min
+                rest_min_total += term_min
+            for name, coef in coefficients.items():
+                low, high = domains[name]
+                rest = rest_min_total - mins[name]
+                # coef * x <= -rest
+                bound = -rest
+                if coef > 0:
+                    # x <= floor(bound / coef)
+                    new_high = bound // coef
+                    if new_high < high:
+                        high = new_high
+                        changed = True
+                else:
+                    # coef < 0: x >= ceil(bound / coef); for Python's
+                    # floor division, ceil(a/b) == -((-a) // b).
+                    new_low = -((-bound) // coef)
+                    if new_low > low:
+                        low = new_low
+                        changed = True
+                if low > high:
+                    raise Unsatisfiable()
+                domains[name] = (low, high)
+    return domains
+
+
+def _check_full(
+    constraints: _t.Sequence[Constraint], env: _t.Mapping[str, int]
+) -> bool:
+    return all(constraint.holds(env) for constraint in constraints)
+
+
+def solve(
+    constraints: _t.Sequence[Constraint],
+    domains: _t.Mapping[str, Domain],
+    max_nodes: int = 100_000,
+) -> _t.Optional[_t.Dict[str, int]]:
+    """A satisfying assignment, or None.
+
+    *domains* must cover every variable used by the constraints.
+    """
+    for constraint in constraints:
+        missing = constraint.variables - set(domains)
+        if missing:
+            raise KeyError(f"no domain for variables {sorted(missing)}")
+    for name, (low, high) in domains.items():
+        if low > high:
+            return None
+    rows: _t.List[_t.Tuple[_t.Dict[str, int], int]] = []
+    for constraint in constraints:
+        rows.extend(constraint.canonical_le())
+    # Constant rows (no variables) are feasibility checks.
+    for coefficients, constant in rows:
+        if not coefficients and constant > 0:
+            return None
+    rows = [r for r in rows if r[0]]
+
+    budget = [max_nodes]
+
+    def search(current: _t.Dict[str, Domain]) -> _t.Optional[_t.Dict[str, int]]:
+        if budget[0] <= 0:
+            return None
+        budget[0] -= 1
+        try:
+            current = _propagate(rows, current)
+        except Unsatisfiable:
+            return None
+        # Pick the widest unassigned variable.
+        widest: _t.Optional[str] = None
+        widest_span = 0
+        for name, (low, high) in current.items():
+            span = high - low
+            if span > widest_span:
+                widest_span = span
+                widest = name
+        if widest is None:
+            env = {name: low for name, (low, _high) in current.items()}
+            return env if _check_full(constraints, env) else None
+        low, high = current[widest]
+        mid = (low + high) // 2
+        for half in (((low, mid)), ((mid + 1, high))):
+            branched = dict(current)
+            branched[widest] = half
+            found = search(branched)
+            if found is not None:
+                return found
+        return None
+
+    return search(dict(domains))
+
+
+def satisfiable(
+    constraints: _t.Sequence[Constraint],
+    domains: _t.Mapping[str, Domain],
+) -> bool:
+    return solve(constraints, domains) is not None

@@ -1,0 +1,17 @@
+"""Transaction-level modeling layer (substrate S2), TLM-2.0 style."""
+
+from .payload import Command, GenericPayload, Response
+from .router import MapEntry, Router
+from .sockets import DmiRegion, InitiatorSocket, SimpleTarget, TargetSocket
+
+__all__ = [
+    "Command",
+    "GenericPayload",
+    "Response",
+    "MapEntry",
+    "Router",
+    "DmiRegion",
+    "InitiatorSocket",
+    "SimpleTarget",
+    "TargetSocket",
+]

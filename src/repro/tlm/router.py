@@ -1,0 +1,132 @@
+"""Address-decoding interconnect.
+
+The :class:`Router` is the bus fabric of the virtual prototype: it owns
+an address map of ``(base, size) -> TargetSocket`` entries, decodes each
+inbound transaction, rebases the address, adds a per-hop latency, and
+forwards.  Unmapped accesses complete with ``ADDRESS_ERROR`` — which the
+error-effect classification treats as a *detected* fault, because real
+buses raise precise aborts for them.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..kernel import Module
+from .payload import GenericPayload, Response
+from .sockets import DmiRegion, TargetSocket
+
+
+class MapEntry:
+    __slots__ = ("base", "size", "socket", "name")
+
+    def __init__(self, base: int, size: int, socket: TargetSocket, name: str):
+        self.base = base
+        self.size = size
+        self.socket = socket
+        self.name = name
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+
+class Router(Module):
+    """A latency-annotated, address-decoding bus model.
+
+    The router is itself a TLM target (exposes ``tsock``), so routers
+    nest: an ECU-local bus can hang off a vehicle-level backbone.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        parent: Module,
+        hop_latency: int = 10,
+    ):
+        super().__init__(name, parent=parent)
+        self.hop_latency = hop_latency
+        self._map: _t.List[MapEntry] = []
+        self.tsock = TargetSocket(self, "tsock", self)
+        self.decode_errors = 0
+        self.forwarded = 0
+
+    # -- construction -----------------------------------------------------
+
+    def map_target(
+        self, base: int, size: int, socket: TargetSocket, name: str = ""
+    ) -> None:
+        """Map ``[base, base+size)`` to *socket*; overlaps are rejected."""
+        if size <= 0:
+            raise ValueError("mapping size must be positive")
+        entry = MapEntry(base, size, socket, name or socket.owner.full_name)
+        for existing in self._map:
+            if entry.base < existing.end and existing.base < entry.end:
+                raise ValueError(
+                    f"mapping {entry.name!r} [{base:#x},{base + size:#x}) "
+                    f"overlaps {existing.name!r}"
+                )
+        self._map.append(entry)
+        self._map.sort(key=lambda e: e.base)
+
+    def decode(self, address: int) -> _t.Optional[MapEntry]:
+        for entry in self._map:
+            if entry.contains(address):
+                return entry
+        return None
+
+    @property
+    def address_map(self) -> _t.List[_t.Tuple[int, int, str]]:
+        """The (base, size, name) rows of the decode table."""
+        return [(e.base, e.size, e.name) for e in self._map]
+
+    # -- TLM target interface ------------------------------------------------
+
+    def b_transport(self, payload: GenericPayload, delay: int) -> int:
+        entry = self.decode(payload.address)
+        if entry is None or not entry.contains(
+            payload.address + max(len(payload.data), 1) - 1
+        ):
+            self.decode_errors += 1
+            payload.set_error(Response.ADDRESS_ERROR)
+            return delay + self.hop_latency
+        self.forwarded += 1
+        original = payload.address
+        payload.address -= entry.base
+        try:
+            return entry.socket.deliver(payload, delay + self.hop_latency)
+        finally:
+            payload.address = original
+
+    def at_latency(self, payload: GenericPayload) -> _t.Tuple[int, int]:
+        entry = self.decode(payload.address)
+        if entry is None:
+            return (self.hop_latency, 0)
+        original = payload.address
+        payload.address -= entry.base
+        try:
+            accept, resp = entry.socket.at_latency(payload)
+        finally:
+            payload.address = original
+        return (accept + self.hop_latency, resp)
+
+    def get_dmi(self, payload: GenericPayload) -> _t.Optional[DmiRegion]:
+        entry = self.decode(payload.address)
+        if entry is None:
+            return None
+        rebased = payload.clone()
+        rebased.address -= entry.base
+        region = entry.socket.dmi(rebased)
+        if region is None:
+            return None
+        # Translate the grant back into the initiator's address space.
+        return DmiRegion(
+            region.start + entry.base,
+            min(region.end + entry.base, entry.end),
+            region.store,
+            region.read_latency,
+            region.write_latency,
+        )

@@ -1,0 +1,167 @@
+"""Initiator/target sockets and transport interfaces.
+
+Two timing styles are supported, mirroring TLM-2.0 coding styles:
+
+* **Loosely timed (LT)** — ``b_transport(payload, delay) -> delay``: a
+  plain synchronous call chain from initiator through interconnect to
+  target.  The returned *delay* is the accumulated transaction latency;
+  the initiator accounts for it in its quantum keeper.  This is the fast
+  path that makes long mission-profile campaigns feasible (Sec. 3.4).
+
+* **Approximately timed (AT)** — ``at_transport(payload)``: a generator
+  the initiator drives with ``yield from``; request and response phases
+  each consume kernel time, so contention and interleaving are visible.
+
+Sockets also carry *interceptor* chains — the hook the paper's injector
+concept (Sec. 3.3) plugs into: a fault injector registers a callable
+that may corrupt the payload without any change to initiator or target
+model code.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..kernel import Module
+from .payload import GenericPayload, Response
+
+
+class DmiRegion:
+    """A direct-memory-interface grant.
+
+    Exposes the target's backing store for a address range so initiators
+    can bypass transport calls entirely (the biggest LT speed lever).
+    """
+
+    __slots__ = ("start", "end", "store", "read_latency", "write_latency")
+
+    def __init__(
+        self,
+        start: int,
+        end: int,
+        store: bytearray,
+        read_latency: int = 0,
+        write_latency: int = 0,
+    ):
+        if end <= start:
+            raise ValueError("empty DMI region")
+        self.start = start
+        self.end = end
+        self.store = store
+        self.read_latency = read_latency
+        self.write_latency = write_latency
+
+    def contains(self, address: int, length: int = 1) -> bool:
+        return self.start <= address and address + length <= self.end
+
+
+class TargetSocket:
+    """The target-side binding point.
+
+    The owning model passes itself as *target*; it must implement
+    ``b_transport(payload, delay) -> int`` and may implement
+    ``at_latency(payload) -> (accept_delay, response_delay)`` and
+    ``get_dmi(payload) -> DmiRegion | None``.
+    """
+
+    def __init__(self, owner: Module, name: str, target):
+        self.owner = owner
+        self.name = name
+        self.target = target
+        #: Callables fn(payload) applied to every inbound transaction.
+        self.interceptors: list = []
+        self.transaction_count = 0
+
+    def deliver(self, payload: GenericPayload, delay: int) -> int:
+        """Run interceptors then the target's blocking transport."""
+        self.transaction_count += 1
+        for interceptor in self.interceptors:
+            interceptor(payload)
+        return self.target.b_transport(payload, delay)
+
+    def dmi(self, payload: GenericPayload) -> _t.Optional[DmiRegion]:
+        get_dmi = getattr(self.target, "get_dmi", None)
+        if get_dmi is None:
+            return None
+        return get_dmi(payload)
+
+    def at_latency(self, payload: GenericPayload) -> _t.Tuple[int, int]:
+        fn = getattr(self.target, "at_latency", None)
+        if fn is None:
+            return (0, 0)
+        return fn(payload)
+
+
+class InitiatorSocket:
+    """The initiator-side binding point.
+
+    Bound to exactly one :class:`TargetSocket` (typically a router's).
+    """
+
+    def __init__(self, owner: Module, name: str):
+        self.owner = owner
+        self.name = name
+        self._peer: _t.Optional[TargetSocket] = None
+        #: Callables fn(payload) applied to every outbound transaction
+        #: before it leaves the initiator (external-fault injection).
+        self.interceptors: list = []
+
+    def bind(self, peer: TargetSocket) -> None:
+        if self._peer is not None:
+            raise RuntimeError(
+                f"socket {self.owner.full_name}.{self.name} already bound"
+            )
+        self._peer = peer
+
+    @property
+    def bound(self) -> bool:
+        return self._peer is not None
+
+    # -- loosely timed ----------------------------------------------------
+
+    def b_transport(self, payload: GenericPayload, delay: int = 0) -> int:
+        """Forward *payload*; returns the accumulated latency."""
+        if self._peer is None:
+            raise RuntimeError(
+                f"socket {self.owner.full_name}.{self.name} is unbound"
+            )
+        for interceptor in self.interceptors:
+            interceptor(payload)
+        return self._peer.deliver(payload, delay)
+
+    def get_dmi(self, payload: GenericPayload) -> _t.Optional[DmiRegion]:
+        """Request a DMI grant for the payload's address."""
+        if self._peer is None:
+            raise RuntimeError("unbound socket")
+        return self._peer.dmi(payload)
+
+    # -- approximately timed ------------------------------------------------
+
+    def at_transport(self, payload: GenericPayload):
+        """Generator: two-phase transaction with explicit kernel waits.
+
+        Drive with ``yield from socket.at_transport(payload)`` inside a
+        process.  Request-accept and response latencies come from the
+        target's ``at_latency`` hook, so bus and target occupancy show up
+        on the kernel timeline (contention-accurate, slower).
+        """
+        if self._peer is None:
+            raise RuntimeError("unbound socket")
+        for interceptor in self.interceptors:
+            interceptor(payload)
+        accept_delay, response_delay = self._peer.at_latency(payload)
+        if accept_delay:
+            yield accept_delay
+        self._peer.deliver(payload, 0)
+        if response_delay:
+            yield response_delay
+        if payload.response is Response.INCOMPLETE:
+            payload.set_error(Response.GENERIC_ERROR)
+
+
+class SimpleTarget:
+    """Mixin giving targets a bound :class:`TargetSocket` in one line."""
+
+    def make_target_socket(self, owner: Module, name: str = "tsock") -> TargetSocket:
+        socket = TargetSocket(owner, name, self)
+        return socket

@@ -1,0 +1,47 @@
+"""UVM-style testbench library (substrate S6)."""
+
+from .agent import AnalysisPort, UvmAgent, UvmDriver, UvmMonitor
+from .can_agent import (
+    BabblingDriver,
+    CanAgent,
+    CanDriver,
+    CanFrameItem,
+    CanRxMonitor,
+    PeriodicBroadcastSequence,
+)
+from .component import PhaseRunner, UvmComponent, run_test
+from .config_db import ConfigDb, config_db
+from .coverage import Bin, Covergroup, Coverpoint, Cross, range_bins
+from .factory import UvmFactory, factory
+from .scoreboard import Mismatch, UvmScoreboard
+from .sequence import Sequence, SequenceItem, Sequencer
+
+__all__ = [
+    "AnalysisPort",
+    "BabblingDriver",
+    "CanAgent",
+    "CanDriver",
+    "CanFrameItem",
+    "CanRxMonitor",
+    "PeriodicBroadcastSequence",
+    "UvmAgent",
+    "UvmDriver",
+    "UvmMonitor",
+    "PhaseRunner",
+    "UvmComponent",
+    "run_test",
+    "ConfigDb",
+    "config_db",
+    "Bin",
+    "Covergroup",
+    "Coverpoint",
+    "Cross",
+    "range_bins",
+    "UvmFactory",
+    "factory",
+    "Mismatch",
+    "UvmScoreboard",
+    "Sequence",
+    "SequenceItem",
+    "Sequencer",
+]

@@ -1,0 +1,92 @@
+"""Drivers, monitors, agents, and analysis ports.
+
+An *agent* bundles the three per-interface roles: the sequencer
+(stimulus arbitration), the driver (sequence items -> DUT pin/socket
+activity), and the monitor (DUT activity -> analysis items).  Monitors
+publish through :class:`AnalysisPort`, to which scoreboards and
+coverage collectors subscribe — the paper additionally hangs the
+fault-error-failure classifier there (Sec. 3.3: "methodologies for
+fault/error classification ... are required at the monitoring side of
+the testbench").
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from .component import UvmComponent
+from .sequence import SequenceItem, Sequencer
+
+
+class AnalysisPort:
+    """Broadcast port: every written item reaches all subscribers."""
+
+    def __init__(self, name: str = "ap"):
+        self.name = name
+        self._subscribers: _t.List[_t.Callable[[SequenceItem], None]] = []
+        self.items_written = 0
+
+    def connect(self, subscriber: _t.Callable[[SequenceItem], None]) -> None:
+        self._subscribers.append(subscriber)
+
+    def write(self, item) -> None:
+        self.items_written += 1
+        for subscriber in self._subscribers:
+            subscriber(item)
+
+
+class UvmDriver(UvmComponent):
+    """Pulls items from a sequencer and drives the DUT.
+
+    Subclasses override :meth:`drive_item`, a generator converting one
+    item into DUT activity (socket calls, signal wiggles, waits).
+    """
+
+    def __init__(self, name: str, parent):
+        super().__init__(name, parent=parent)
+        self.sequencer: _t.Optional[Sequencer] = None
+        self.items_driven = 0
+
+    def drive_item(self, item: SequenceItem) -> _t.Generator:
+        raise NotImplementedError
+
+    def run_phase(self):
+        if self.sequencer is None:
+            raise RuntimeError(f"driver {self.full_name!r} has no sequencer")
+        while True:
+            item = yield from self.sequencer.get_next_item()
+            yield from self.drive_item(item)
+            self.items_driven += 1
+            self.sequencer.item_done()
+
+
+class UvmMonitor(UvmComponent):
+    """Observes DUT activity and publishes analysis items."""
+
+    def __init__(self, name: str, parent):
+        super().__init__(name, parent=parent)
+        self.analysis_port = AnalysisPort(f"{name}.ap")
+
+
+class UvmAgent(UvmComponent):
+    """Sequencer + driver + monitor for one interface.
+
+    Subclasses override :meth:`build_phase` to construct their concrete
+    driver/monitor types (usually through the factory) and
+    :meth:`connect_phase` to bind them to the DUT.
+    """
+
+    def __init__(self, name: str, parent, active: bool = True):
+        super().__init__(name, parent=parent)
+        self.active = active
+        self.sequencer: _t.Optional[Sequencer] = None
+        self.driver: _t.Optional[UvmDriver] = None
+        self.monitor: _t.Optional[UvmMonitor] = None
+
+    def build_phase(self) -> None:
+        if self.active and self.sequencer is None:
+            self.sequencer = Sequencer(self.sim, f"{self.full_name}.sequencer")
+
+    def connect_phase(self) -> None:
+        if self.active and self.driver is not None:
+            self.driver.sequencer = self.sequencer

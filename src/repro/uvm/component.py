@@ -1,0 +1,126 @@
+"""UVM-style component hierarchy and phasing.
+
+The paper builds its fault-analysis methodology on UVM testbenches
+(Sec. 3.3): reusable agents, monitors, and scoreboards around a DUT,
+extended with a *stressor* and *injectors*.  This module provides the
+component base and the phase engine; the concrete testbench roles live
+in sibling modules.
+
+Phases, in order (mirroring UVM's common phases):
+
+1. ``build_phase``    — construct children (top-down).
+2. ``connect_phase``  — bind ports/sockets (bottom-up).
+3. ``run_phase``      — optional generator, spawned as a kernel
+   process; all run phases execute concurrently in simulated time.
+4. ``extract_phase``  — collect results (bottom-up).
+5. ``check_phase``    — self-checks; failures raise (bottom-up).
+6. ``report_phase``   — produce a report dict (bottom-up).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..kernel import Module, Simulator
+
+
+class UvmComponent(Module):
+    """Base class for every testbench component."""
+
+    def __init__(self, name: str, parent=None, sim=None):
+        super().__init__(name, parent=parent, sim=sim)
+        self._run_process = None
+
+    # -- phase hooks (override as needed) -----------------------------------
+
+    def build_phase(self) -> None:
+        """Construct child components."""
+
+    def connect_phase(self) -> None:
+        """Bind ports, sockets, and analysis connections."""
+
+    def run_phase(self) -> _t.Optional[_t.Generator]:
+        """Return a generator to be run as this component's process."""
+        return None
+
+    def extract_phase(self) -> None:
+        """Collect data from the DUT and testbench after run."""
+
+    def check_phase(self) -> None:
+        """Raise on inconsistencies."""
+
+    def report_phase(self) -> _t.Dict[str, _t.Any]:
+        """Return this component's report contribution."""
+        return {}
+
+    # -- traversal helpers ------------------------------------------------------
+
+    def uvm_children(self) -> _t.List["UvmComponent"]:
+        return [c for c in self.children if isinstance(c, UvmComponent)]
+
+
+class PhaseRunner:
+    """Executes the UVM phase schedule on a component tree."""
+
+    def __init__(self, top: UvmComponent):
+        self.top = top
+        self.sim: Simulator = top.sim
+        self.reports: _t.Dict[str, _t.Dict] = {}
+
+    def _top_down(self) -> _t.Iterator[UvmComponent]:
+        stack = [self.top]
+        while stack:
+            component = stack.pop(0)
+            yield component
+            stack = component.uvm_children() + stack
+
+    def _bottom_up(self) -> _t.Iterator[UvmComponent]:
+        return reversed(list(self._top_down()))
+
+    def elaborate(self) -> None:
+        """Run build (top-down, re-walking for freshly built children)
+        and connect (bottom-up)."""
+        built: _t.Set[int] = set()
+        # Building creates new children, so iterate to a fixpoint.
+        while True:
+            pending = [
+                c for c in self._top_down() if id(c) not in built
+            ]
+            if not pending:
+                break
+            for component in pending:
+                component.build_phase()
+                built.add(id(component))
+        for component in self._bottom_up():
+            component.connect_phase()
+
+    def start_run_phases(self) -> None:
+        for component in self._top_down():
+            body = component.run_phase()
+            if body is not None:
+                component._run_process = component.process(
+                    body, name="run_phase"
+                )
+
+    def finish(self) -> _t.Dict[str, _t.Dict]:
+        """Extract, check, and report; returns reports by full name."""
+        for component in self._bottom_up():
+            component.extract_phase()
+        for component in self._bottom_up():
+            component.check_phase()
+        for component in self._bottom_up():
+            report = component.report_phase()
+            if report:
+                self.reports[component.full_name] = report
+        return self.reports
+
+
+def run_test(
+    top: UvmComponent, duration: _t.Optional[int] = None
+) -> _t.Dict[str, _t.Dict]:
+    """The ``run_test()`` entry point: elaborate, simulate, report."""
+    runner = PhaseRunner(top)
+    runner.elaborate()
+    runner.start_run_phases()
+    top.sim.run(until=duration)
+    return runner.finish()

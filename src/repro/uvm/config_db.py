@@ -1,0 +1,51 @@
+"""Hierarchical configuration database (``uvm_config_db`` equivalent).
+
+Entries are keyed by (path glob, field name); lookups resolve against a
+component's full hierarchical name, most-specific (longest glob) match
+winning.  The stress-test campaigns use this to parameterise stressors
+per environment instance without plumbing constructor arguments.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import typing as _t
+
+
+class ConfigDb:
+    """A (glob path, field) -> value store."""
+
+    def __init__(self):
+        self._entries: _t.List[_t.Tuple[str, str, _t.Any]] = []
+
+    def set(self, path_glob: str, field: str, value: _t.Any) -> None:
+        self._entries.append((path_glob, field, value))
+
+    def get(
+        self, path: str, field: str, default: _t.Any = None
+    ) -> _t.Any:
+        """Most-specific match for (path, field); *default* if none."""
+        best: _t.Optional[_t.Tuple[int, int, _t.Any]] = None
+        for index, (glob, entry_field, value) in enumerate(self._entries):
+            if entry_field != field:
+                continue
+            if not fnmatch.fnmatch(path, glob):
+                continue
+            specificity = len(glob.replace("*", ""))
+            candidate = (specificity, index, value)
+            if best is None or candidate[:2] >= best[:2]:
+                best = candidate
+        if best is None:
+            return default
+        return best[2]
+
+    def exists(self, path: str, field: str) -> bool:
+        sentinel = object()
+        return self.get(path, field, sentinel) is not sentinel
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+#: The default database, like UVM's singleton.
+config_db = ConfigDb()

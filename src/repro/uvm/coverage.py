@@ -1,0 +1,191 @@
+"""Functional coverage: covergroups, coverpoints, bins, crosses.
+
+Sec. 3.4 makes coverage the steering wheel of error-effect simulation:
+"intelligent coverage models are required to measure the completeness
+of the error effect simulation", and injection strategy "should be
+geared towards coverage closure".  These are plain-Python equivalents
+of SystemVerilog covergroups, shared by functional testbenches and the
+fault-space coverage model in :mod:`repro.core.coverage`.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+
+class Bin:
+    """One named bin: an explicit value set or an inclusive range."""
+
+    def __init__(
+        self,
+        name: str,
+        values: _t.Optional[_t.Iterable] = None,
+        low: _t.Optional[float] = None,
+        high: _t.Optional[float] = None,
+    ):
+        if values is None and low is None and high is None:
+            raise ValueError(f"bin {name!r} needs values or a range")
+        self.name = name
+        self.values = frozenset(values) if values is not None else None
+        self.low = low
+        self.high = high
+        self.hits = 0
+
+    def matches(self, value) -> bool:
+        if self.values is not None:
+            return value in self.values
+        if self.low is not None and value < self.low:
+            return False
+        if self.high is not None and value > self.high:
+            return False
+        return True
+
+    @property
+    def covered(self) -> bool:
+        return self.hits > 0
+
+
+class Coverpoint:
+    """Samples one expression into bins."""
+
+    def __init__(
+        self,
+        name: str,
+        bins: _t.Sequence[Bin],
+        extract: _t.Optional[_t.Callable[[_t.Any], _t.Any]] = None,
+    ):
+        if not bins:
+            raise ValueError(f"coverpoint {name!r} needs bins")
+        names = [b.name for b in bins]
+        if len(set(names)) != len(names):
+            raise ValueError(f"coverpoint {name!r} has duplicate bin names")
+        self.name = name
+        self.bins = list(bins)
+        self.extract = extract
+        self.samples = 0
+        self.misses = 0  # samples matching no bin
+
+    def sample(self, subject) -> None:
+        value = self.extract(subject) if self.extract else subject
+        self.samples += 1
+        hit_any = False
+        for bin_ in self.bins:
+            if bin_.matches(value):
+                bin_.hits += 1
+                hit_any = True
+        if not hit_any:
+            self.misses += 1
+
+    @property
+    def coverage(self) -> float:
+        covered = sum(1 for b in self.bins if b.covered)
+        return covered / len(self.bins)
+
+    def uncovered_bins(self) -> _t.List[str]:
+        return [b.name for b in self.bins if not b.covered]
+
+
+class Cross:
+    """Cross coverage of two or more coverpoints.
+
+    Tracks which *tuples of bin names* have been hit together.  The
+    goal is the full cartesian product of the member points' bins.
+    """
+
+    def __init__(self, name: str, points: _t.Sequence[Coverpoint]):
+        if len(points) < 2:
+            raise ValueError("a cross needs at least two coverpoints")
+        self.name = name
+        self.points = list(points)
+        self.hit_tuples: _t.Set[_t.Tuple[str, ...]] = set()
+
+    def sample(self, subjects: _t.Sequence) -> None:
+        """Sample all member points with their subjects and record the
+        cross tuple(s) hit."""
+        if len(subjects) != len(self.points):
+            raise ValueError("one subject per coverpoint required")
+        names: _t.List[_t.List[str]] = []
+        for point, subject in zip(self.points, subjects):
+            point.sample(subject)
+            value = point.extract(subject) if point.extract else subject
+            names.append(
+                [b.name for b in point.bins if b.matches(value)]
+            )
+        # Cartesian product of simultaneously-hit bins.
+        tuples: _t.List[_t.Tuple[str, ...]] = [()]
+        for options in names:
+            tuples = [t + (o,) for t in tuples for o in options]
+        self.hit_tuples.update(tuples)
+
+    @property
+    def goal_size(self) -> int:
+        size = 1
+        for point in self.points:
+            size *= len(point.bins)
+        return size
+
+    @property
+    def coverage(self) -> float:
+        return len(self.hit_tuples) / self.goal_size
+
+
+class Covergroup:
+    """A named collection of coverpoints and crosses."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.coverpoints: _t.Dict[str, Coverpoint] = {}
+        self.crosses: _t.Dict[str, Cross] = {}
+
+    def add_coverpoint(self, point: Coverpoint) -> Coverpoint:
+        if point.name in self.coverpoints:
+            raise ValueError(f"duplicate coverpoint {point.name!r}")
+        self.coverpoints[point.name] = point
+        return point
+
+    def add_cross(self, cross: Cross) -> Cross:
+        if cross.name in self.crosses:
+            raise ValueError(f"duplicate cross {cross.name!r}")
+        self.crosses[cross.name] = cross
+        return cross
+
+    def sample(self, **subjects) -> None:
+        """Sample named coverpoints: ``group.sample(addr=..., cmd=...)``."""
+        for name, subject in subjects.items():
+            self.coverpoints[name].sample(subject)
+
+    @property
+    def coverage(self) -> float:
+        """Mean coverage over all points and crosses."""
+        parts = [p.coverage for p in self.coverpoints.values()]
+        parts += [c.coverage for c in self.crosses.values()]
+        return sum(parts) / len(parts) if parts else 0.0
+
+    def report(self) -> _t.Dict[str, float]:
+        report = {
+            f"coverpoint.{name}": point.coverage
+            for name, point in self.coverpoints.items()
+        }
+        report.update(
+            {
+                f"cross.{name}": cross.coverage
+                for name, cross in self.crosses.items()
+            }
+        )
+        report["total"] = self.coverage
+        return report
+
+
+def range_bins(
+    name_prefix: str, low: int, high: int, count: int
+) -> _t.List[Bin]:
+    """*count* equal-width range bins spanning [low, high]."""
+    if count < 1 or high <= low:
+        raise ValueError("need a positive bin count and non-empty range")
+    width = (high - low) / count
+    bins = []
+    for i in range(count):
+        lo = low + i * width
+        hi = high if i == count - 1 else low + (i + 1) * width - 1e-12
+        bins.append(Bin(f"{name_prefix}{i}", low=lo, high=hi))
+    return bins

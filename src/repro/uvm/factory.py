@@ -1,0 +1,82 @@
+"""The UVM factory: registered types with override support.
+
+The factory is what gives UVM testbenches their "high reconfiguration
+and reuse potential" (Sec. 2.3): a stress test replaces a nominal
+driver with an error-injecting one by *override*, without touching the
+environment that instantiates it.  Overrides may be global (by type) or
+scoped to an instance path.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import typing as _t
+
+
+class UvmFactory:
+    """A registry of constructable testbench types."""
+
+    def __init__(self):
+        self._types: _t.Dict[str, type] = {}
+        self._type_overrides: _t.Dict[str, str] = {}
+        self._instance_overrides: _t.List[_t.Tuple[str, str, str]] = []
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, cls: type, name: _t.Optional[str] = None) -> type:
+        """Register *cls*; usable as a decorator."""
+        key = name or cls.__name__
+        self._types[key] = cls
+        return cls
+
+    def is_registered(self, name: str) -> bool:
+        return name in self._types
+
+    # -- overrides ----------------------------------------------------------
+
+    def set_type_override(self, original: str, replacement: str) -> None:
+        self._require(original)
+        self._require(replacement)
+        self._type_overrides[original] = replacement
+
+    def set_instance_override(
+        self, original: str, replacement: str, path_glob: str
+    ) -> None:
+        """Override only for instances whose full name matches the glob."""
+        self._require(original)
+        self._require(replacement)
+        self._instance_overrides.append((original, replacement, path_glob))
+
+    def clear_overrides(self) -> None:
+        self._type_overrides.clear()
+        self._instance_overrides.clear()
+
+    def _require(self, name: str) -> None:
+        if name not in self._types:
+            raise KeyError(f"type {name!r} is not registered")
+
+    # -- creation --------------------------------------------------------------
+
+    def resolve(self, name: str, instance_path: str = "") -> type:
+        """The type that *name* currently maps to at *instance_path*."""
+        self._require(name)
+        for original, replacement, glob in self._instance_overrides:
+            if original == name and fnmatch.fnmatch(instance_path, glob):
+                return self._types[replacement]
+        seen = {name}
+        while name in self._type_overrides:
+            name = self._type_overrides[name]
+            if name in seen:
+                raise RuntimeError(f"override cycle at {name!r}")
+            seen.add(name)
+        return self._types[name]
+
+    def create(
+        self, name: str, *args, instance_path: str = "", **kwargs
+    ):
+        """Construct the (possibly overridden) type."""
+        return self.resolve(name, instance_path)(*args, **kwargs)
+
+
+#: The default factory, like UVM's singleton.
+factory = UvmFactory()

@@ -1,0 +1,113 @@
+"""Scoreboards: reference-model comparison at the analysis layer.
+
+The scoreboard receives *expected* items (from a reference model or the
+stimulus side) and *actual* items (from a DUT monitor) and matches them
+in order.  Mismatches and leftovers are the raw material of the
+fault-effect classification: a corrupted-but-delivered transaction is a
+value mismatch, a missing one a timeout/omission.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from .component import UvmComponent
+from .sequence import SequenceItem
+
+
+class Mismatch(_t.NamedTuple):
+    expected: _t.Any
+    actual: _t.Any
+    detail: str
+
+
+class UvmScoreboard(UvmComponent):
+    """In-order compare of expected vs actual item streams.
+
+    ``compare_fn(expected, actual) -> bool`` defaults to field-dict
+    equality for :class:`SequenceItem` and plain ``==`` otherwise.
+    ``strict_check`` makes :meth:`check_phase` raise on any mismatch or
+    leftover — nominal regression behaviour; campaigns run non-strict
+    and read the counters instead.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        parent,
+        compare_fn: _t.Optional[_t.Callable[[_t.Any, _t.Any], bool]] = None,
+        strict_check: bool = True,
+    ):
+        super().__init__(name, parent=parent)
+        self.compare_fn = compare_fn or self._default_compare
+        self.strict_check = strict_check
+        self._expected: _t.List[_t.Any] = []
+        self._actual: _t.List[_t.Any] = []
+        self.matches = 0
+        self.mismatches: _t.List[Mismatch] = []
+
+    @staticmethod
+    def _default_compare(expected, actual) -> bool:
+        if isinstance(expected, SequenceItem) and isinstance(
+            actual, SequenceItem
+        ):
+            return expected.fields() == actual.fields()
+        return expected == actual
+
+    # -- feeding ------------------------------------------------------------
+
+    def write_expected(self, item) -> None:
+        self._expected.append(item)
+        self._try_match()
+
+    def write_actual(self, item) -> None:
+        self._actual.append(item)
+        self._try_match()
+
+    def _try_match(self) -> None:
+        while self._expected and self._actual:
+            expected = self._expected.pop(0)
+            actual = self._actual.pop(0)
+            if self.compare_fn(expected, actual):
+                self.matches += 1
+            else:
+                self.mismatches.append(
+                    Mismatch(expected, actual, "value mismatch")
+                )
+
+    # -- results ----------------------------------------------------------------
+
+    @property
+    def pending_expected(self) -> int:
+        """Expected items never seen at the DUT (omissions)."""
+        return len(self._expected)
+
+    @property
+    def pending_actual(self) -> int:
+        """Actual items never predicted (commissions/spurious)."""
+        return len(self._actual)
+
+    @property
+    def clean(self) -> bool:
+        return (
+            not self.mismatches
+            and not self._expected
+            and not self._actual
+        )
+
+    def check_phase(self) -> None:
+        if self.strict_check and not self.clean:
+            raise AssertionError(
+                f"scoreboard {self.full_name}: "
+                f"{len(self.mismatches)} mismatches, "
+                f"{self.pending_expected} missing, "
+                f"{self.pending_actual} spurious"
+            )
+
+    def report_phase(self) -> _t.Dict[str, _t.Any]:
+        return {
+            "matches": self.matches,
+            "mismatches": len(self.mismatches),
+            "missing": self.pending_expected,
+            "spurious": self.pending_actual,
+        }

@@ -1,0 +1,126 @@
+"""Sequences, sequence items, and the sequencer.
+
+Stimulus in UVM flows as *sequence items* pulled by a driver from a
+*sequencer*, which arbitrates among running *sequences*.  The stressor
+of Sec. 3.3 slots into exactly this machinery: it is a sequence (or a
+driver override) whose items carry fault directives alongside nominal
+stimulus.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..kernel import Event
+
+
+class SequenceItem:
+    """Base class for stimulus items.
+
+    Items are plain data records; subclasses add fields.  ``fields()``
+    supports generic printing/comparison in scoreboards.
+    """
+
+    def __init__(self, name: str = "item"):
+        self.name = name
+
+    def fields(self) -> _t.Dict[str, _t.Any]:
+        return {
+            key: value
+            for key, value in vars(self).items()
+            if not key.startswith("_")
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.fields().items())
+        return f"{type(self).__name__}({inner})"
+
+
+class Sequence:
+    """A stream of sequence items.
+
+    Subclasses override :meth:`body`, a generator yielding items::
+
+        class WriteBurst(Sequence):
+            def body(self):
+                for address in range(0, 64, 4):
+                    yield BusItem(command="write", address=address, data=...)
+
+    Bodies may also yield integers/None to consume simulated time
+    between items — the sequencer passes those through to the kernel.
+    """
+
+    def __init__(self, name: str = "seq"):
+        self.name = name
+        self.items_generated = 0
+
+    def body(self) -> _t.Generator:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Sequencer:
+    """Arbitrates sequences and hands items to the driver.
+
+    Drivers call ``yield from sequencer.get_next_item()`` inside their
+    run phase; the call suspends until an item is available.  Sequences
+    are executed in start order (no interleaving within one sequencer —
+    the common automotive-testbench configuration).
+    """
+
+    def __init__(self, sim, name: str = "sequencer"):
+        self.sim = sim
+        self.name = name
+        self._queue: _t.List[Sequence] = []
+        self._active: _t.Optional[_t.Generator] = None
+        self._active_seq: _t.Optional[Sequence] = None
+        self._work = Event(sim, f"{name}.work")
+        self._done_events: _t.Dict[int, Event] = {}
+        self.items_issued = 0
+
+    # -- sequence side ------------------------------------------------------
+
+    def start_sequence(self, sequence: Sequence) -> Event:
+        """Queue *sequence*; returns an event notified at completion."""
+        self._queue.append(sequence)
+        done = Event(self.sim, f"{self.name}.{sequence.name}.done")
+        self._done_events[id(sequence)] = done
+        self._work.notify(0)
+        return done
+
+    @property
+    def idle(self) -> bool:
+        return self._active is None and not self._queue
+
+    # -- driver side ------------------------------------------------------------
+
+    def get_next_item(self):
+        """Generator: resolves to the next item (drive with yield from)."""
+        while True:
+            if self._active is None:
+                if not self._queue:
+                    yield self._work
+                    continue
+                self._active_seq = self._queue.pop(0)
+                self._active = self._active_seq.body()
+            try:
+                produced = next(self._active)
+            except StopIteration:
+                done = self._done_events.pop(id(self._active_seq), None)
+                if done is not None:
+                    done.notify(0)
+                self._active = None
+                self._active_seq = None
+                continue
+            if isinstance(produced, SequenceItem):
+                self._active_seq.items_generated += 1
+                self.items_issued += 1
+                return produced
+            # Anything else is a wait condition from the sequence body
+            # (inter-item delay); forward it to the kernel.
+            yield produced
+
+    def item_done(self) -> None:
+        """Driver acknowledgement (kept for UVM API parity)."""

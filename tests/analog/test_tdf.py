@@ -1,0 +1,186 @@
+"""Unit tests for the timed-dataflow analog layer."""
+
+import math
+
+import pytest
+
+from repro.analog import (
+    Adder,
+    Comparator,
+    Delay,
+    Gain,
+    LowPass,
+    Quantizer,
+    Saturation,
+    Source,
+    TdfGraph,
+)
+from repro.kernel import Module, Simulator
+
+
+@pytest.fixture
+def top():
+    return Module("top", sim=Simulator())
+
+
+def build_chain(top, source_fn, timestep=1000):
+    graph = TdfGraph("graph", parent=top, timestep=timestep)
+    graph.add(Source("src", source_fn))
+    graph.add(Gain("amp", 2.0))
+    graph.connect("src", "amp")
+    graph.watch("amp")
+    return graph
+
+
+class TestGraphExecution:
+    def test_samples_at_timestep(self, top):
+        graph = build_chain(top, lambda t: 1.0)
+        top.sim.run(until=5000)
+        assert graph.samples == 5
+        assert graph.traces[("amp", "out")] == [2.0] * 5
+
+    def test_topological_ordering(self, top):
+        graph = TdfGraph("g", parent=top, timestep=1000)
+        graph.add(Source("s", lambda t: 3.0))
+        graph.add(Gain("g1", 2.0))
+        graph.add(Gain("g2", 10.0))
+        graph.add(Adder("sum"))
+        graph.connect("s", "g1")
+        graph.connect("s", "g2")
+        graph.connect("g1", "sum", dst_port="a")
+        graph.connect("g2", "sum", dst_port="b")
+        top.sim.run(until=1000)
+        assert graph.value_of("sum") == 3.0 * 2 + 3.0 * 10
+
+    def test_unconnected_input_rejected(self, top):
+        graph = TdfGraph("g", parent=top, timestep=1000)
+        graph.add(Gain("orphan", 1.0))
+        from repro.kernel import ProcessError
+
+        with pytest.raises(ProcessError):
+            top.sim.run(until=1000)
+
+    def test_cycle_without_delay_rejected(self, top):
+        graph = TdfGraph("g", parent=top, timestep=1000)
+        graph.add(Gain("a", 1.0))
+        graph.add(Gain("b", 1.0))
+        graph.connect("a", "b")
+        graph.connect("b", "a")
+        from repro.kernel import ProcessError
+
+        with pytest.raises(ProcessError):
+            top.sim.run(until=1000)
+
+    def test_feedback_through_delay(self, top):
+        # Accumulator: y[n] = y[n-1] + 1
+        graph = TdfGraph("g", parent=top, timestep=1000)
+        graph.add(Source("one", lambda t: 1.0))
+        graph.add(Adder("acc"))
+        graph.add(Delay("z", initial=0.0))
+        graph.connect("one", "acc", dst_port="a")
+        graph.connect("z", "acc", dst_port="b")
+        graph.connect("acc", "z")
+        graph.watch("acc")
+        top.sim.run(until=4000)
+        assert graph.traces[("acc", "out")] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_double_drive_rejected(self, top):
+        graph = TdfGraph("g", parent=top, timestep=1000)
+        graph.add(Source("s1", lambda t: 1.0))
+        graph.add(Source("s2", lambda t: 2.0))
+        graph.add(Gain("g1", 1.0))
+        graph.connect("s1", "g1")
+        with pytest.raises(ValueError):
+            graph.connect("s2", "g1")
+
+
+class TestBlocks:
+    def test_lowpass_converges(self, top):
+        graph = TdfGraph("g", parent=top, timestep=1000)
+        graph.add(Source("s", lambda t: 10.0))
+        graph.add(LowPass("lp", alpha=0.5))
+        graph.connect("s", "lp")
+        top.sim.run(until=20_000)
+        assert graph.value_of("lp") == pytest.approx(10.0, abs=1e-3)
+
+    def test_lowpass_attenuates_steps_gradually(self, top):
+        graph = TdfGraph("g", parent=top, timestep=1000)
+        graph.add(Source("s", lambda t: 10.0))
+        graph.add(LowPass("lp", alpha=0.5))
+        graph.connect("s", "lp")
+        graph.watch("lp")
+        top.sim.run(until=3000)
+        assert graph.traces[("lp", "out")] == [5.0, 7.5, 8.75]
+
+    def test_saturation(self, top):
+        graph = TdfGraph("g", parent=top, timestep=1000)
+        graph.add(Source("s", lambda t: 99.0))
+        graph.add(Saturation("sat", low=0.0, high=5.0))
+        graph.connect("s", "sat")
+        top.sim.run(until=1000)
+        assert graph.value_of("sat") == 5.0
+
+    def test_comparator_hysteresis(self, top):
+        values = iter([0.0, 3.0, 2.6, 2.2, 3.0])
+        graph = TdfGraph("g", parent=top, timestep=1000)
+        graph.add(Source("s", lambda t: next(values)))
+        graph.add(Comparator("cmp", threshold=2.5, hysteresis=0.4))
+        graph.connect("s", "cmp")
+        graph.watch("cmp")
+        top.sim.run(until=5000)
+        # Turns on at 3.0, stays on at 2.6 and 2.2 (within hysteresis
+        # band bottom 2.1), still on at 3.0.
+        assert graph.traces[("cmp", "out")] == [0.0, 1.0, 1.0, 1.0, 1.0]
+
+    def test_quantizer_rounds_to_levels(self, top):
+        graph = TdfGraph("g", parent=top, timestep=1000)
+        graph.add(Source("s", lambda t: 2.501))
+        graph.add(Quantizer("adc", bits=2, vmin=0.0, vmax=5.0))
+        graph.connect("s", "adc")
+        top.sim.run(until=1000)
+        # 2-bit levels: 0, 5/3, 10/3, 5 -> nearest to 2.501 is 10/3.
+        assert graph.value_of("adc") == pytest.approx(10 / 3)
+
+    def test_block_validation(self):
+        with pytest.raises(ValueError):
+            LowPass("bad", alpha=0.0)
+        with pytest.raises(ValueError):
+            Saturation("bad", low=5.0, high=0.0)
+        with pytest.raises(ValueError):
+            Quantizer("bad", bits=0, vmin=0, vmax=5)
+
+
+class TestFaultIntegration:
+    def test_blocks_register_injection_points(self, top):
+        graph = build_chain(top, lambda t: 1.0)
+        points = top.all_injection_points()
+        assert "top.graph.src" in points
+        assert points["top.graph.amp"].kind == "analog"
+
+    def test_gain_drift_fault(self, top):
+        graph = build_chain(top, lambda t: 1.0)
+        top.all_injection_points()["top.graph.amp"].set_gain(0.5)
+        top.sim.run(until=1000)
+        assert graph.value_of("amp") == 1.0  # 1.0 * 2.0 * 0.5
+
+    def test_stuck_fault_on_source(self, top):
+        graph = build_chain(top, lambda t: math.sin(t))
+        top.all_injection_points()["top.graph.src"].stick_at(4.0)
+        top.sim.run(until=3000)
+        assert graph.value_of("amp") == 8.0
+
+    def test_campaign_descriptor_applies_to_tdf(self, top):
+        from repro.core import apply_fault
+        from repro.faults import SENSOR_OPEN_LOAD
+        import random
+
+        graph = build_chain(top, lambda t: 1.0)
+        apply_fault(
+            SENSOR_OPEN_LOAD,
+            "top.graph.src",
+            top.all_injection_points()["top.graph.src"],
+            top.sim,
+            random.Random(0),
+        )
+        top.sim.run(until=1000)
+        assert graph.value_of("amp") == 0.0

@@ -1,0 +1,117 @@
+"""Unit tests for the cross-layer fault-model derivation."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    derived_descriptor,
+    error_pattern_outcomes,
+    naive_descriptor,
+    normalize_counts,
+    pattern_histogram,
+    total_variation_distance,
+)
+from repro.faults import FaultKind
+from repro.gate.faults import WordErrorProfile
+
+
+def make_profile(masked=10, singles=((1, 5), (2, 3)), multis=((0b11, 2),)):
+    profile = WordErrorProfile()
+    profile.masked = masked
+    profile.total = masked
+    for pattern, count in list(singles) + list(multis):
+        profile.pattern_counts[pattern] = count
+        profile.total += count
+    return profile
+
+
+class TestDescriptors:
+    def test_derived_descriptor_wraps_profile(self):
+        profile = make_profile()
+        descriptor = derived_descriptor("d", profile, rate_per_hour=1e-7)
+        assert descriptor.kind is FaultKind.WORD_CORRUPTION
+        assert descriptor.params["profile"] is profile
+        assert descriptor.rate_per_hour == 1e-7
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ValueError):
+            derived_descriptor("d", WordErrorProfile())
+
+    def test_naive_descriptor_uniform_single_bits(self):
+        descriptor = naive_descriptor("n", width=8)
+        profile = descriptor.params["profile"]
+        assert profile.masked == 0
+        assert set(profile.pattern_counts) == {1 << b for b in range(8)}
+
+    def test_address_pinning(self):
+        descriptor = naive_descriptor("n", address=12)
+        assert descriptor.params["address"] == 12
+
+
+class TestHistograms:
+    def test_pattern_histogram_fractions(self):
+        profile = make_profile(masked=10, singles=((1, 5), (2, 3)), multis=((3, 2),))
+        shape = pattern_histogram(profile)
+        assert shape["masked"] == pytest.approx(10 / 20)
+        assert shape["single_bit"] == pytest.approx(8 / 20)
+        assert shape["multi_bit"] == pytest.approx(2 / 20)
+
+    def test_empty_profile_histogram(self):
+        shape = pattern_histogram(WordErrorProfile())
+        assert shape == {"masked": 0.0, "single_bit": 0.0, "multi_bit": 0.0}
+
+    def test_normalize_counts(self):
+        assert normalize_counts({"a": 3, "b": 1}) == {"a": 0.75, "b": 0.25}
+        assert normalize_counts({"a": 0}) == {"a": 0.0}
+
+
+class TestTvDistance:
+    def test_identical_is_zero(self):
+        histogram = {"x": 0.5, "y": 0.5}
+        assert total_variation_distance(histogram, histogram) == 0.0
+
+    def test_disjoint_is_one(self):
+        assert total_variation_distance({"x": 1.0}, {"y": 1.0}) == 1.0
+
+    def test_symmetric(self):
+        a = {"x": 0.7, "y": 0.3}
+        b = {"x": 0.2, "y": 0.8}
+        assert total_variation_distance(a, b) == total_variation_distance(b, a)
+
+    def test_bounded(self):
+        a = {"x": 0.6, "y": 0.4}
+        b = {"x": 0.1, "y": 0.5, "z": 0.4}
+        assert 0.0 <= total_variation_distance(a, b) <= 1.0
+
+
+class TestOutcomePush:
+    def checker(self, pattern):
+        return "detected" if pattern >> 4 else "sdc"
+
+    def test_masked_fraction_passes_through(self):
+        profile = make_profile(masked=10, singles=((1, 10),), multis=())
+        outcomes = error_pattern_outcomes(profile, self.checker)
+        assert outcomes["masked"] == pytest.approx(0.5)
+        assert outcomes["sdc"] == pytest.approx(0.5)
+
+    def test_high_bit_patterns_classified_detected(self):
+        profile = make_profile(masked=0, singles=((1 << 6, 4),), multis=())
+        outcomes = error_pattern_outcomes(profile, self.checker)
+        assert outcomes == {"masked": 0.0, "detected": 1.0}
+
+
+class TestSampling:
+    def test_sampled_patterns_follow_support(self):
+        profile = make_profile()
+        rng = random.Random(0)
+        support = set(profile.pattern_counts)
+        masked_draws = 0
+        for _ in range(200):
+            pattern = profile.sample_pattern(rng)
+            if pattern is None:
+                masked_draws += 1
+            else:
+                assert pattern in support
+        # Masked share is 10/20: draws should reflect it roughly.
+        assert 60 <= masked_draws <= 140

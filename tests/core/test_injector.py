@@ -1,0 +1,257 @@
+"""Unit tests for the injector dispatch layer."""
+
+import random
+
+import pytest
+
+from repro.core import InjectionError, apply_fault
+from repro.faults import (
+    FaultDescriptor,
+    FaultKind,
+    Persistence,
+    SENSOR_OPEN_LOAD,
+    SRAM_SEU,
+)
+from repro.hw import (
+    AdcSensor,
+    CanBus,
+    CanFrame,
+    CanNode,
+    Memory,
+    Register,
+    RegisterFile,
+    constant,
+)
+from repro.kernel import Module, Simulator
+from repro.sw import Rtos, Task
+
+
+@pytest.fixture
+def top():
+    return Module("top", sim=Simulator())
+
+
+def rng():
+    return random.Random(1234)
+
+
+class TestMemoryInjection:
+    def test_bit_flip_with_explicit_params(self, top):
+        mem = Memory("mem", parent=top, size=16)
+        descriptor = SRAM_SEU.with_params(address=3, bit=4)
+        record = apply_fault(
+            descriptor, "mem.array", mem.injection_points["array"],
+            top.sim, rng(),
+        )
+        assert mem.data[3] == 0x10
+        assert record.resolved_params == {"address": 3, "bit": 4}
+
+    def test_bit_flip_random_params_within_bounds(self, top):
+        mem = Memory("mem", parent=top, size=16)
+        record = apply_fault(
+            SRAM_SEU, "mem.array", mem.injection_points["array"],
+            top.sim, rng(),
+        )
+        assert 0 <= record.resolved_params["address"] < 16
+        assert 0 <= record.resolved_params["bit"] < 8
+        assert sum(bin(b).count("1") for b in mem.data) == 1
+
+    def test_word_corruption_with_pattern(self, top):
+        mem = Memory("mem", parent=top, size=16)
+        mem.load(0, (0).to_bytes(4, "little"))
+        descriptor = FaultDescriptor(
+            name="burst", kind=FaultKind.WORD_CORRUPTION,
+            params={"address": 0, "pattern": 0x0F0F},
+        )
+        apply_fault(
+            descriptor, "mem.array", mem.injection_points["array"],
+            top.sim, rng(),
+        )
+        assert int.from_bytes(mem.data[0:4], "little") == 0x0F0F
+
+    def test_inapplicable_kind_rejected(self, top):
+        mem = Memory("mem", parent=top, size=16)
+        with pytest.raises(InjectionError):
+            apply_fault(
+                SENSOR_OPEN_LOAD, "mem.array",
+                mem.injection_points["array"], top.sim, rng(),
+            )
+
+
+class TestRegisterInjection:
+    def make_regs(self, top):
+        regs = RegisterFile("regs", parent=top)
+        regs.add(Register("ctrl", 0x0, reset=0))
+        regs.add(Register("status", 0x4, reset=0xFF))
+        return regs
+
+    def test_bit_flip(self, top):
+        regs = self.make_regs(top)
+        descriptor = FaultDescriptor(
+            name="flip", kind=FaultKind.BIT_FLIP,
+            params={"offset": 0x0, "bit": 2},
+        )
+        apply_fault(
+            descriptor, "regs", regs.injection_points["regs"],
+            top.sim, rng(),
+        )
+        assert regs["ctrl"].value == 4
+
+    def test_stuck_at_with_intermittent_revert(self, top):
+        regs = self.make_regs(top)
+        descriptor = FaultDescriptor(
+            name="stuck", kind=FaultKind.STUCK_AT,
+            persistence=Persistence.INTERMITTENT, duration=100,
+            params={"offset": 0x4, "bit": 0, "level": 0},
+        )
+        apply_fault(
+            descriptor, "regs", regs.injection_points["regs"],
+            top.sim, rng(),
+        )
+        assert regs["status"].value == 0xFE
+        top.sim.run(until=200)
+        assert regs["status"].value == 0xFF  # stuck cleared after window
+
+
+class TestAnalogInjection:
+    def test_open_circuit_with_revert(self, top):
+        sensor = AdcSensor(
+            "s", parent=top, source=constant(2.0), period=1000
+        )
+        descriptor = FaultDescriptor(
+            name="open", kind=FaultKind.OPEN_CIRCUIT,
+            persistence=Persistence.INTERMITTENT, duration=2500,
+        )
+        apply_fault(
+            descriptor, "s.frontend",
+            sensor.injection_points["frontend"], top.sim, rng(),
+        )
+        assert sensor.fault.open_circuit
+        top.sim.run(until=5000)
+        assert not sensor.fault.open_circuit
+
+    def test_short_to_ground_sticks_at_zero(self, top):
+        sensor = AdcSensor(
+            "s", parent=top, source=constant(2.0), period=1000
+        )
+        descriptor = FaultDescriptor(
+            name="short", kind=FaultKind.SHORT_TO_GROUND,
+            persistence=Persistence.PERMANENT,
+        )
+        apply_fault(
+            descriptor, "s.frontend",
+            sensor.injection_points["frontend"], top.sim, rng(),
+        )
+        assert sensor.fault.stuck_value == 0.0
+
+    def test_offset_param_respected(self, top):
+        sensor = AdcSensor(
+            "s", parent=top, source=constant(2.0), period=1000
+        )
+        descriptor = FaultDescriptor(
+            name="drift", kind=FaultKind.OFFSET_DRIFT,
+            persistence=Persistence.PERMANENT, params={"offset": 0.75},
+        )
+        record = apply_fault(
+            descriptor, "s.frontend",
+            sensor.injection_points["frontend"], top.sim, rng(),
+        )
+        assert sensor.fault.offset == 0.75
+        assert record.resolved_params == {"offset": 0.75}
+
+
+class TestCanInjection:
+    def make_net(self, top):
+        bus = CanBus("bus", parent=top, bit_time=100)
+        a = CanNode("a", parent=top, bus=bus)
+        b = CanNode("b", parent=top, bus=bus)
+        return bus, a, b
+
+    def test_transient_corruption_hits_one_frame(self, top):
+        bus, a, b = self.make_net(top)
+        descriptor = FaultDescriptor(
+            name="corrupt", kind=FaultKind.MESSAGE_CORRUPTION,
+            params={"bits": 2},
+        )
+        apply_fault(
+            descriptor, "bus.wire", bus.injection_points["wire"],
+            top.sim, rng(),
+        )
+        a.send(CanFrame(0x10, b"\x55"))
+        a.send(CanFrame(0x10, b"\x66"))
+        top.sim.run(until=10_000_000)
+        # First frame corrupted (detected + retransmitted), second clean.
+        assert bus.crc_errors_detected == 1
+        assert [f.data[0] for f in b.rx_queue] == [0x55, 0x66]
+
+    def test_masquerade_slips_past_crc(self, top):
+        bus, a, b = self.make_net(top)
+        descriptor = FaultDescriptor(
+            name="masq", kind=FaultKind.MESSAGE_MASQUERADE,
+            params={"bits": 1},
+        )
+        apply_fault(
+            descriptor, "bus.wire", bus.injection_points["wire"],
+            top.sim, rng(),
+        )
+        a.send(CanFrame(0x10, b"\x55"))
+        top.sim.run(until=10_000_000)
+        assert bus.crc_errors_detected == 0
+        assert b.rx_queue[0].data[0] != 0x55
+
+    def test_permanent_drop_with_revert(self, top):
+        bus, a, b = self.make_net(top)
+        descriptor = FaultDescriptor(
+            name="outage", kind=FaultKind.MESSAGE_DROP,
+            persistence=Persistence.INTERMITTENT, duration=3_000_000,
+        )
+        apply_fault(
+            descriptor, "bus.wire", bus.injection_points["wire"],
+            top.sim, rng(),
+        )
+        a.send(CanFrame(0x10, b"\x01"))  # inside the outage: lost
+
+        def late_sender():
+            yield 4_000_000  # after the outage window
+            a.send(CanFrame(0x10, b"\x02"))
+
+        top.sim.spawn(late_sender())
+        top.sim.run(until=50_000_000)
+        # The outage frame exhausts its retries and is abandoned; the
+        # post-outage frame goes through cleanly.
+        assert [f.data[0] for f in b.rx_queue] == [0x02]
+        assert bus.frames_dropped > 0
+
+
+class TestRtosInjection:
+    def test_overhead(self, top):
+        rtos = Rtos("os", parent=top)
+        task = rtos.add_task(Task("t", priority=1, wcet=10, period=1000))
+        descriptor = FaultDescriptor(
+            name="retry", kind=FaultKind.EXECUTION_OVERHEAD,
+            params={"task": "t", "extra": 500},
+        )
+        apply_fault(
+            descriptor, "os.sched", rtos.injection_points["sched"],
+            top.sim, rng(),
+        )
+        rtos.start()
+        top.sim.run(until=3000)
+        assert task.completed_jobs[0].response_time == 510
+
+    def test_task_kill_and_revive(self, top):
+        rtos = Rtos("os", parent=top)
+        task = rtos.add_task(Task("t", priority=1, wcet=10, period=1000))
+        descriptor = FaultDescriptor(
+            name="kill", kind=FaultKind.TASK_KILL,
+            persistence=Persistence.INTERMITTENT, duration=3500,
+            params={"task": "t"},
+        )
+        rtos.start()
+        apply_fault(
+            descriptor, "os.sched", rtos.injection_points["sched"],
+            top.sim, rng(),
+        )
+        top.sim.run(until=10_000)
+        # Killed for 3.5 periods, then revived: roughly 7 activations.
+        assert 5 <= task.activations <= 8

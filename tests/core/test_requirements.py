@@ -1,0 +1,158 @@
+"""Tests for requirement-derived coverage models."""
+
+import pytest
+
+from repro.core import (
+    ErrorScenario,
+    FaultSpace,
+    FaultSpaceCoverage,
+    Outcome,
+    PlannedInjection,
+    RequirementCoverage,
+    SafetyRequirement,
+    derive_coverage_goals,
+)
+from repro.faults import FaultKind, SENSOR_OPEN_LOAD, SRAM_SEU
+from repro.hw import AdcSensor, Memory, constant
+from repro.kernel import Module, Simulator
+
+
+def make_space():
+    sim = Simulator()
+    top = Module("top", sim=sim)
+    Memory("mem", parent=top, size=64)
+    AdcSensor("sensor", parent=top, source=constant(1.0), period=1000)
+    return FaultSpace(
+        top, [SRAM_SEU, SENSOR_OPEN_LOAD],
+        window_start=0, window_end=1000, time_bins=2,
+    )
+
+
+SENSOR_REQ = SafetyRequirement(
+    name="REQ_SENSOR_FAULTS",
+    statement="Open-circuit sensor faults shall be detected.",
+    target_glob="top.sensor.*",
+    fault_kinds=frozenset({FaultKind.OPEN_CIRCUIT}),
+    max_acceptable=Outcome.DETECTED_SAFE,
+)
+MEMORY_REQ = SafetyRequirement(
+    name="REQ_MEM_SEU",
+    statement="Memory SEUs shall not corrupt outputs.",
+    target_glob="top.mem.*",
+    fault_kinds=frozenset({FaultKind.BIT_FLIP}),
+    max_acceptable=Outcome.MASKED,
+    min_injections=2,
+)
+
+
+class TestGoalDerivation:
+    def test_goals_cover_matching_cells(self):
+        space = make_space()
+        goals = derive_coverage_goals([SENSOR_REQ, MEMORY_REQ], space)
+        sensor_goals = [g for g in goals if g.requirement == SENSOR_REQ.name]
+        memory_goals = [g for g in goals if g.requirement == MEMORY_REQ.name]
+        assert len(sensor_goals) == 2  # one pair x two time bins
+        assert len(memory_goals) == 2
+        assert all(g.min_injections == 2 for g in memory_goals)
+
+    def test_unmatched_requirement_rejected(self):
+        space = make_space()
+        ghost = SafetyRequirement(
+            name="REQ_GHOST",
+            statement="",
+            target_glob="top.nothing.*",
+            fault_kinds=frozenset({FaultKind.BIT_FLIP}),
+        )
+        with pytest.raises(ValueError):
+            derive_coverage_goals([ghost], space)
+
+    def test_min_injections_validated(self):
+        with pytest.raises(ValueError):
+            SafetyRequirement(
+                name="bad", statement="", target_glob="*",
+                fault_kinds=frozenset({FaultKind.BIT_FLIP}),
+                min_injections=0,
+            )
+
+
+class TestRequirementCoverage:
+    def record(self, coverage, space, target, descriptor, time, outcome):
+        scenario = ErrorScenario(
+            "s", [PlannedInjection(time, target, descriptor)]
+        )
+        coverage.record(scenario, outcome)
+
+    def test_closure_and_verification(self):
+        space = make_space()
+        goals = derive_coverage_goals([SENSOR_REQ], space)
+        coverage = FaultSpaceCoverage(space)
+        tracker = RequirementCoverage(goals, coverage)
+        assert tracker.closure == 0.0
+        assert not tracker.all_verified
+        assert len(tracker.open_goals()) == 2
+
+        self.record(
+            coverage, space, "top.sensor.frontend", SENSOR_OPEN_LOAD,
+            100, Outcome.DETECTED_SAFE,
+        )
+        assert tracker.closure == 0.5
+        self.record(
+            coverage, space, "top.sensor.frontend", SENSOR_OPEN_LOAD,
+            700, Outcome.DETECTED_SAFE,
+        )
+        assert tracker.closure == 1.0
+        assert tracker.all_verified
+
+    def test_violation_detected(self):
+        space = make_space()
+        goals = derive_coverage_goals([SENSOR_REQ], space)
+        coverage = FaultSpaceCoverage(space)
+        tracker = RequirementCoverage(goals, coverage)
+        # The fault propagated to a hazard: requirement violated.
+        self.record(
+            coverage, space, "top.sensor.frontend", SENSOR_OPEN_LOAD,
+            100, Outcome.HAZARDOUS,
+        )
+        report = tracker.requirement_report()[SENSOR_REQ.name]
+        assert not report["verified"]
+        assert report["violations"]
+        assert "HAZARDOUS" in report["violations"][0]
+
+    def test_min_injections_gate_coverage(self):
+        space = make_space()
+        goals = derive_coverage_goals([MEMORY_REQ], space)
+        coverage = FaultSpaceCoverage(space)
+        tracker = RequirementCoverage(goals, coverage)
+        self.record(
+            coverage, space, "top.mem.array", SRAM_SEU, 100, Outcome.MASKED
+        )
+        # One injection < min_injections=2: the cell stays open.
+        statuses = {
+            (s.goal.time_bin): s for s in tracker.statuses()
+        }
+        assert not statuses[0].covered
+        self.record(
+            coverage, space, "top.mem.array", SRAM_SEU, 150, Outcome.MASKED
+        )
+        statuses = {(s.goal.time_bin): s for s in tracker.statuses()}
+        assert statuses[0].covered and statuses[0].satisfied
+
+    def test_empty_goals_rejected(self):
+        space = make_space()
+        with pytest.raises(ValueError):
+            RequirementCoverage([], FaultSpaceCoverage(space))
+
+    def test_open_goals_feed_guided_strategy(self):
+        space = make_space()
+        goals = derive_coverage_goals([SENSOR_REQ, MEMORY_REQ], space)
+        coverage = FaultSpaceCoverage(space)
+        tracker = RequirementCoverage(goals, coverage)
+        open_goals = tracker.open_goals()
+        # The worklist names exact cells a strategy can pin.
+        assert all(
+            (g.target_path, g.descriptor_name) in {
+                ("top.sensor.frontend", "sensor_open_load"),
+                ("top.mem.array", "sram_seu"),
+            }
+            for g in open_goals
+        )

@@ -1,0 +1,235 @@
+"""Unit tests for scenarios, fault space, classification, coverage."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    Classifier,
+    ErrorScenario,
+    FaultSpace,
+    FaultSpaceCoverage,
+    Outcome,
+    PlannedInjection,
+    build_standard_classifier,
+)
+from repro.faults import SENSOR_OPEN_LOAD, SRAM_SEU, STANDARD_CATALOG
+from repro.hw import AdcSensor, Memory, constant
+from repro.kernel import Module, Simulator
+
+
+def make_platform():
+    sim = Simulator()
+    top = Module("top", sim=sim)
+    Memory("mem", parent=top, size=64)
+    AdcSensor("sensor", parent=top, source=constant(1.0), period=1000)
+    return top
+
+
+class TestFaultSpace:
+    def test_pairs_respect_applicability(self):
+        top = make_platform()
+        space = FaultSpace(
+            top, [SRAM_SEU, SENSOR_OPEN_LOAD],
+            window_start=0, window_end=10_000,
+        )
+        pairs = {(path, d.name) for path, d in space.pairs}
+        assert pairs == {
+            ("top.mem.array", "sram_seu"),
+            ("top.sensor.frontend", "sensor_open_load"),
+        }
+
+    def test_empty_window_rejected(self):
+        top = make_platform()
+        with pytest.raises(ValueError):
+            FaultSpace(top, [SRAM_SEU], window_start=10, window_end=10)
+
+    def test_no_applicable_descriptor_rejected(self):
+        sim = Simulator()
+        top = Module("top", sim=sim)
+        Memory("mem", parent=top, size=8)
+        with pytest.raises(ValueError):
+            FaultSpace(
+                top, [SENSOR_OPEN_LOAD], window_start=0, window_end=100
+            )
+
+    def test_no_points_rejected(self):
+        sim = Simulator()
+        top = Module("empty", sim=sim)
+        with pytest.raises(ValueError):
+            FaultSpace(top, [SRAM_SEU], window_start=0, window_end=100)
+
+    def test_exclude_paths(self):
+        top = make_platform()
+        space = FaultSpace(
+            top, list(STANDARD_CATALOG),
+            window_start=0, window_end=1000,
+            exclude_paths=["top.mem.array"],
+        )
+        assert all(path != "top.mem.array" for path, _ in space.pairs)
+
+    def test_time_bins_partition_window(self):
+        top = make_platform()
+        space = FaultSpace(
+            top, [SRAM_SEU], window_start=1000, window_end=5000, time_bins=4
+        )
+        assert space.time_bin_of(1000) == 0
+        assert space.time_bin_of(1999) == 0
+        assert space.time_bin_of(2000) == 1
+        assert space.time_bin_of(4999) == 3
+        # Out-of-window times clamp.
+        assert space.time_bin_of(9999) == 3
+        assert space.time_bin_of(0) == 0
+
+    def test_time_in_bin_round_trip(self):
+        top = make_platform()
+        space = FaultSpace(
+            top, [SRAM_SEU], window_start=0, window_end=8000, time_bins=8
+        )
+        rng = random.Random(0)
+        for bin_index in range(8):
+            for _ in range(10):
+                time = space.time_in_bin(bin_index, rng)
+                assert space.time_bin_of(time) == bin_index
+
+    def test_sample_pinned_pair_and_bin(self):
+        top = make_platform()
+        space = FaultSpace(
+            top, [SRAM_SEU, SENSOR_OPEN_LOAD],
+            window_start=0, window_end=1000, time_bins=2,
+        )
+        rng = random.Random(3)
+        pair = space.pairs[1]
+        injection = space.sample_injection(rng, pair=pair, time_bin=1)
+        assert injection.target_path == pair[0]
+        assert injection.descriptor is pair[1]
+        assert space.time_bin_of(injection.time) == 1
+
+    def test_rate_weighted_sampling_prefers_high_rates(self):
+        top = make_platform()
+        heavy = SRAM_SEU.with_rate(1.0)
+        light = SENSOR_OPEN_LOAD.with_rate(1e-9)
+        space = FaultSpace(
+            top, [heavy, light], window_start=0, window_end=1000
+        )
+        rng = random.Random(7)
+        draws = [
+            space.sample_injection(rng, rate_weighted=True).descriptor.name
+            for _ in range(200)
+        ]
+        assert draws.count("sram_seu") > 195
+
+
+class TestScenario:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            PlannedInjection(-1, "x", SRAM_SEU)
+
+    def test_bins(self):
+        scenario = ErrorScenario(
+            "s",
+            [
+                PlannedInjection(10, "a", SRAM_SEU),
+                PlannedInjection(20, "b", SENSOR_OPEN_LOAD),
+            ],
+        )
+        assert scenario.bins() == [
+            ("a", "sram_seu"), ("b", "sensor_open_load"),
+        ]
+        assert scenario.fault_count == 2
+
+
+class TestClassifier:
+    def test_empty_classifier_says_no_effect(self):
+        outcome, labels = Classifier().classify({}, {})
+        assert outcome is Outcome.NO_EFFECT
+        assert labels == []
+
+    def test_most_severe_wins(self):
+        classifier = build_standard_classifier(
+            hazard_keys=["boom"],
+            detection_keys=["traps"],
+        )
+        outcome, labels = classifier.classify(
+            {"boom": True, "traps": 5}, {"traps": 0}
+        )
+        assert outcome is Outcome.HAZARDOUS
+        assert set(labels) == {"hazard:boom", "detected:traps"}
+
+    def test_value_rule_compares_to_golden(self):
+        classifier = build_standard_classifier(value_keys=["out"])
+        assert classifier.classify({"out": 5}, {"out": 5})[0] is Outcome.NO_EFFECT
+        assert classifier.classify({"out": 6}, {"out": 5})[0] is Outcome.SDC
+
+    def test_counter_rules_need_increase(self):
+        classifier = build_standard_classifier(masking_keys=["corrected"])
+        assert (
+            classifier.classify({"corrected": 2}, {"corrected": 2})[0]
+            is Outcome.NO_EFFECT
+        )
+        assert (
+            classifier.classify({"corrected": 3}, {"corrected": 2})[0]
+            is Outcome.MASKED
+        )
+
+    def test_severity_ordering(self):
+        assert Outcome.HAZARDOUS > Outcome.SDC > Outcome.TIMING_FAILURE
+        assert Outcome.TIMING_FAILURE > Outcome.DETECTED_SAFE > Outcome.MASKED
+        assert Outcome.HAZARDOUS.is_failure and Outcome.HAZARDOUS.is_dangerous
+        assert Outcome.TIMING_FAILURE.is_failure
+        assert not Outcome.TIMING_FAILURE.is_dangerous
+        assert not Outcome.DETECTED_SAFE.is_failure
+
+
+class TestCoverage:
+    def make_space(self):
+        top = make_platform()
+        return FaultSpace(
+            top, [SRAM_SEU, SENSOR_OPEN_LOAD],
+            window_start=0, window_end=1000, time_bins=2,
+        )
+
+    def test_closure_grows_with_distinct_cells(self):
+        space = self.make_space()
+        coverage = FaultSpaceCoverage(space)
+        assert coverage.closure == 0.0
+        scenario = ErrorScenario(
+            "s", [PlannedInjection(100, "top.mem.array", SRAM_SEU)]
+        )
+        coverage.record(scenario, Outcome.NO_EFFECT)
+        assert coverage.cells_hit == 1
+        assert coverage.closure == 1 / space.bin_count
+        # Same cell again: no new closure.
+        coverage.record(scenario, Outcome.MASKED)
+        assert coverage.cells_hit == 1
+
+    def test_outcome_attribution(self):
+        space = self.make_space()
+        coverage = FaultSpaceCoverage(space)
+        scenario = ErrorScenario(
+            "s",
+            [PlannedInjection(600, "top.sensor.frontend", SENSOR_OPEN_LOAD)],
+        )
+        coverage.record(scenario, Outcome.DETECTED_SAFE)
+        cells = coverage.cells_with_outcome(Outcome.DETECTED_SAFE)
+        assert cells == [("top.sensor.frontend", "sensor_open_load", 1)]
+
+    def test_least_covered_prefers_unhit(self):
+        space = self.make_space()
+        coverage = FaultSpaceCoverage(space)
+        scenario = ErrorScenario(
+            "s", [PlannedInjection(100, "top.mem.array", SRAM_SEU)]
+        )
+        coverage.record(scenario, Outcome.NO_EFFECT)
+        candidates = coverage.least_covered(space.bin_count)
+        # The hit cell must come last.
+        (pair, time_bin) = candidates[-1]
+        assert pair[0] == "top.mem.array"
+        assert time_bin == 0
+
+    def test_report_shape(self):
+        space = self.make_space()
+        coverage = FaultSpaceCoverage(space)
+        report = coverage.report()
+        assert report["total_cells"] == space.bin_count
+        assert set(report["outcomes"]) == {o.name for o in Outcome}

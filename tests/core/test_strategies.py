@@ -1,0 +1,193 @@
+"""Unit tests for injection strategies (beyond the campaign tests)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    CoverageGuidedStrategy,
+    FaultSpace,
+    FaultSpaceCoverage,
+    Outcome,
+    RandomStrategy,
+    RequirementGuidedStrategy,
+    RequirementCoverage,
+    SafetyRequirement,
+    WeakSpotStrategy,
+    derive_coverage_goals,
+)
+from repro.faults import FaultKind, SENSOR_OPEN_LOAD, SRAM_SEU
+from repro.hw import AdcSensor, Memory, constant
+from repro.kernel import Module, Simulator
+from repro.mission import derive_stressor_spec, standard_passenger_car_profile
+from repro.faults import STANDARD_CATALOG
+
+
+def make_space(time_bins=2):
+    sim = Simulator()
+    top = Module("top", sim=sim)
+    Memory("mem", parent=top, size=64)
+    AdcSensor("sensor", parent=top, source=constant(1.0), period=1000)
+    return FaultSpace(
+        top, [SRAM_SEU, SENSOR_OPEN_LOAD],
+        window_start=0, window_end=1000, time_bins=time_bins,
+    )
+
+
+class TestRandomStrategy:
+    def test_scenario_sizes(self):
+        space = make_space()
+        strategy = RandomStrategy(space, faults_per_scenario=3)
+        rng = random.Random(0)
+        scenario = strategy.next_scenario(rng)
+        assert scenario.fault_count == 3
+
+    def test_invalid_fault_count(self):
+        with pytest.raises(ValueError):
+            RandomStrategy(make_space(), faults_per_scenario=0)
+
+    def test_state_sampling_with_spec(self):
+        profile = standard_passenger_car_profile()
+        spec = derive_stressor_spec(profile, STANDARD_CATALOG)
+        strategy = RandomStrategy(make_space(), spec=spec)
+        rng = random.Random(1)
+        names = {
+            strategy.next_scenario(rng).operating_state.name
+            for _ in range(100)
+        }
+        assert "curbstone_steering" in names  # boosted special state
+
+    def test_sampling_weight_corrects_boost(self):
+        profile = standard_passenger_car_profile()
+        spec = derive_stressor_spec(profile, STANDARD_CATALOG, special_boost=10)
+        strategy = RandomStrategy(make_space(), spec=spec)
+        rng = random.Random(2)
+        for _ in range(50):
+            scenario = strategy.next_scenario(rng)
+            state = scenario.operating_state
+            if state.special:
+                # Boosted states carry a < 1 importance weight.
+                assert scenario.sampling_weight < 1.0
+
+
+class TestCoverageGuided:
+    def test_pins_least_covered(self):
+        space = make_space()
+        coverage = FaultSpaceCoverage(space)
+        strategy = CoverageGuidedStrategy(space, coverage)
+        rng = random.Random(0)
+        seen = set()
+        for _ in range(space.bin_count):
+            scenario = strategy.next_scenario(rng)
+            injection = scenario.injections[0]
+            key = (
+                injection.target_path,
+                injection.descriptor.name,
+                space.time_bin_of(injection.time),
+            )
+            assert key not in seen  # never repeats before full closure
+            seen.add(key)
+            coverage.record(scenario, Outcome.NO_EFFECT)
+        assert coverage.closure == 1.0
+
+
+class TestWeakSpot:
+    def test_probe_phase_covers_every_cell_single_fault(self):
+        space = make_space()
+        strategy = WeakSpotStrategy(space, exploration=0.0)
+        rng = random.Random(0)
+        probed = set()
+        for _ in range(space.bin_count):
+            scenario = strategy.next_scenario(rng)
+            assert scenario.fault_count == 1  # probes are single-fault
+            injection = scenario.injections[0]
+            probed.add(
+                (
+                    injection.target_path,
+                    injection.descriptor.name,
+                    space.time_bin_of(injection.time),
+                )
+            )
+            strategy.feedback(scenario, Outcome.NO_EFFECT)
+        assert len(probed) == space.bin_count
+
+    def test_combination_prefers_scored_cells(self):
+        space = make_space()
+        strategy = WeakSpotStrategy(space, exploration=0.0)
+        rng = random.Random(0)
+        # Drain the probe queue with outcomes favouring the sensor.
+        for _ in range(space.bin_count):
+            scenario = strategy.next_scenario(rng)
+            injection = scenario.injections[0]
+            outcome = (
+                Outcome.DETECTED_SAFE
+                if "sensor" in injection.target_path
+                else Outcome.NO_EFFECT
+            )
+            strategy.feedback(scenario, outcome)
+        combo = strategy.next_scenario(rng)
+        assert combo.fault_count == 2
+        top = combo.injections[0]
+        assert "sensor" in top.target_path  # top scorer leads
+
+    def test_multi_fault_feedback_not_attributed(self):
+        space = make_space()
+        strategy = WeakSpotStrategy(space, exploration=0.0)
+        from repro.core import ErrorScenario, PlannedInjection
+
+        scenario = ErrorScenario(
+            "multi",
+            [
+                PlannedInjection(10, "top.mem.array", SRAM_SEU),
+                PlannedInjection(10, "top.sensor.frontend", SENSOR_OPEN_LOAD),
+            ],
+        )
+        strategy.feedback(scenario, Outcome.HAZARDOUS)
+        assert all(score == 0 for score in strategy._scores.values())
+
+    def test_static_hints_skip_probes(self):
+        space = make_space()
+        hints = {("top.mem.array", "sram_seu"): 5.0}
+        strategy = WeakSpotStrategy(space, static_hints=hints)
+        assert all(
+            (pair[0], pair[1].name) != ("top.mem.array", "sram_seu")
+            for pair, _bin in strategy._probe_queue
+        )
+
+    def test_exploration_validation(self):
+        with pytest.raises(ValueError):
+            WeakSpotStrategy(make_space(), exploration=1.5)
+
+
+class TestRequirementGuided:
+    def make_tracker(self, space):
+        requirement = SafetyRequirement(
+            name="REQ",
+            statement="sensor faults handled",
+            target_glob="top.sensor.*",
+            fault_kinds=frozenset({FaultKind.OPEN_CIRCUIT}),
+        )
+        coverage = FaultSpaceCoverage(space)
+        goals = derive_coverage_goals([requirement], space)
+        return RequirementCoverage(goals, coverage), coverage
+
+    def test_closes_goals_in_order_then_explores(self):
+        space = make_space()
+        tracker, coverage = self.make_tracker(space)
+        strategy = RequirementGuidedStrategy(space, tracker)
+        rng = random.Random(0)
+        # Two goals (two time bins): two pinned scenarios close them.
+        for _ in range(2):
+            scenario = strategy.next_scenario(rng)
+            assert "REQ" in scenario.name
+            coverage.record(scenario, Outcome.DETECTED_SAFE)
+        assert strategy.closed
+        explore = strategy.next_scenario(rng)
+        assert "explore" in explore.name
+
+    def test_scenarios_are_single_fault(self):
+        space = make_space()
+        tracker, _ = self.make_tracker(space)
+        strategy = RequirementGuidedStrategy(space, tracker)
+        scenario = strategy.next_scenario(random.Random(1))
+        assert scenario.fault_count == 1

@@ -1,0 +1,146 @@
+"""Tests for the UVM-integrated stressor and classifier components."""
+
+import pytest
+
+from repro.core import (
+    ErrorScenario,
+    FaultAnalysisEnv,
+    Outcome,
+    PlannedInjection,
+)
+from repro.faults import FaultDescriptor, FaultKind, Persistence
+from repro.kernel import Simulator, simtime
+from repro.platforms import airbag
+from repro.uvm import PhaseRunner
+
+STUCK_HIGH = FaultDescriptor(
+    name="sensor_stuck_high",
+    kind=FaultKind.STUCK_VALUE,
+    persistence=Persistence.PERMANENT,
+    params={"value": 4.5},
+)
+
+DURATION = simtime.ms(60)
+
+
+def golden_observation():
+    sim = Simulator()
+    platform = airbag.build_normal_operation(sim)
+    sim.run(until=DURATION)
+    return airbag.observe(platform)
+
+
+def build_env(fail_at=Outcome.SDC):
+    sim = Simulator()
+    platform = airbag.build_normal_operation(sim)
+    env = FaultAnalysisEnv(
+        "env",
+        platform_root=platform,
+        observe=airbag.observe,
+        classifier=airbag.normal_operation_classifier(),
+        golden=golden_observation(),
+        fail_at=fail_at,
+    )
+    return sim, platform, env
+
+
+class TestFaultAnalysisEnv:
+    def test_clean_run_classifies_no_effect(self):
+        sim, platform, env = build_env()
+        runner = PhaseRunner(env)
+        runner.elaborate()
+        runner.start_run_phases()
+        sim.run(until=DURATION)
+        reports = runner.finish()
+        assert env.classifier_component.outcome is Outcome.NO_EFFECT
+        assert reports["env.classifier"]["outcome"] == "NO_EFFECT"
+
+    def test_detected_fault_passes_check_phase(self):
+        sim, platform, env = build_env()
+        runner = PhaseRunner(env)
+        runner.elaborate()
+        env.stressor.arm(
+            ErrorScenario(
+                "one-high",
+                [
+                    PlannedInjection(
+                        simtime.ms(10), "caps.sensor_a.frontend", STUCK_HIGH
+                    )
+                ],
+            )
+        )
+        runner.start_run_phases()
+        sim.run(until=DURATION)
+        reports = runner.finish()  # DETECTED_SAFE < SDC: no raise
+        assert env.classifier_component.outcome is Outcome.DETECTED_SAFE
+        assert reports["env.stressor"]["applied"] == 1
+
+    def test_hazardous_fault_fails_check_phase(self):
+        sim, platform, env = build_env()
+        runner = PhaseRunner(env)
+        runner.elaborate()
+        env.stressor.arm(
+            ErrorScenario(
+                "both-high",
+                [
+                    PlannedInjection(
+                        simtime.ms(10), "caps.sensor_a.frontend", STUCK_HIGH
+                    ),
+                    PlannedInjection(
+                        simtime.ms(10), "caps.sensor_b.frontend", STUCK_HIGH
+                    ),
+                ],
+            )
+        )
+        runner.start_run_phases()
+        sim.run(until=DURATION)
+        with pytest.raises(AssertionError) as excinfo:
+            runner.finish()
+        assert "HAZARDOUS" in str(excinfo.value)
+
+    def test_fail_at_none_never_raises(self):
+        sim, platform, env = build_env(fail_at=None)
+        runner = PhaseRunner(env)
+        runner.elaborate()
+        env.stressor.arm(
+            ErrorScenario(
+                "both-high",
+                [
+                    PlannedInjection(
+                        simtime.ms(10), "caps.sensor_a.frontend", STUCK_HIGH
+                    ),
+                    PlannedInjection(
+                        simtime.ms(10), "caps.sensor_b.frontend", STUCK_HIGH
+                    ),
+                ],
+            )
+        )
+        runner.start_run_phases()
+        sim.run(until=DURATION)
+        reports = runner.finish()
+        assert reports["env.classifier"]["outcome"] == "HAZARDOUS"
+
+    def test_bad_injection_target_fails_stressor_check(self):
+        sim, platform, env = build_env()
+        runner = PhaseRunner(env)
+        runner.elaborate()
+        # Wrong descriptor for the target kind: the injector records an
+        # error that the stressor's check_phase must surface.
+        bad = FaultDescriptor(
+            name="wrong", kind=FaultKind.MESSAGE_DROP,
+        )
+        env.stressor._impl.scenario = None
+        with pytest.raises(KeyError):
+            env.stressor._impl.arm(
+                ErrorScenario(
+                    "ghost", [PlannedInjection(0, "caps.nowhere", bad)]
+                )
+            )
+
+    def test_classifier_requires_extract(self):
+        sim, platform, env = build_env()
+        runner = PhaseRunner(env)
+        runner.elaborate()
+        env.classifier_component.outcome = None
+        with pytest.raises(AssertionError):
+            env.classifier_component.check_phase()

@@ -1,0 +1,82 @@
+"""Unit tests for fault descriptors and the standard catalog."""
+
+import pytest
+
+from repro.faults import (
+    APPLICABLE_TARGETS,
+    FaultDescriptor,
+    FaultKind,
+    Persistence,
+    SENSOR_OPEN_LOAD,
+    SRAM_SEU,
+    STANDARD_CATALOG,
+    catalog_by_name,
+    catalog_for_target,
+    fit,
+)
+
+
+class TestDescriptor:
+    def test_intermittent_needs_duration(self):
+        with pytest.raises(ValueError):
+            FaultDescriptor(
+                name="bad",
+                kind=FaultKind.NOISE_BURST,
+                persistence=Persistence.INTERMITTENT,
+                duration=0,
+            )
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            FaultDescriptor(
+                name="bad", kind=FaultKind.BIT_FLIP, rate_per_hour=-1.0
+            )
+
+    def test_applicability(self):
+        assert SRAM_SEU.applicable_to("memory")
+        assert SRAM_SEU.applicable_to("cpu")
+        assert not SRAM_SEU.applicable_to("analog")
+        assert SENSOR_OPEN_LOAD.applicable_to("analog")
+        assert not SENSOR_OPEN_LOAD.applicable_to("can_wire")
+
+    def test_with_params_is_a_copy(self):
+        updated = SRAM_SEU.with_params(bit=5)
+        assert updated.params["bit"] == 5
+        assert "bit" not in SRAM_SEU.params
+        assert updated.name == SRAM_SEU.name
+
+    def test_with_rate(self):
+        updated = SRAM_SEU.with_rate(1e-3)
+        assert updated.rate_per_hour == 1e-3
+        assert SRAM_SEU.rate_per_hour != 1e-3
+
+    def test_descriptors_are_frozen(self):
+        with pytest.raises(AttributeError):
+            SRAM_SEU.name = "other"
+
+    def test_every_kind_has_target_mapping(self):
+        for kind in FaultKind:
+            assert kind in APPLICABLE_TARGETS
+            assert APPLICABLE_TARGETS[kind]
+
+
+class TestCatalog:
+    def test_unique_names(self):
+        names = [d.name for d in STANDARD_CATALOG]
+        assert len(set(names)) == len(names)
+
+    def test_catalog_by_name(self):
+        mapping = catalog_by_name()
+        assert mapping["sram_seu"] is SRAM_SEU
+
+    def test_catalog_for_target_filters(self):
+        analog = catalog_for_target("analog")
+        assert analog
+        assert all(d.applicable_to("analog") for d in analog)
+        assert SRAM_SEU not in analog
+
+    def test_all_rates_positive(self):
+        assert all(d.rate_per_hour > 0 for d in STANDARD_CATALOG)
+
+    def test_fit_conversion(self):
+        assert fit(1000.0) == pytest.approx(1e-6)

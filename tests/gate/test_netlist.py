@@ -1,0 +1,98 @@
+"""Unit tests for netlist construction and validation."""
+
+import pytest
+
+from repro.gate import Gate, GateType, Netlist
+
+
+class TestGate:
+    def test_arity_checks(self):
+        with pytest.raises(ValueError):
+            Gate(GateType.NOT, ("a", "b"), "y")
+        with pytest.raises(ValueError):
+            Gate(GateType.AND, ("a",), "y")
+        with pytest.raises(ValueError):
+            Gate(GateType.MUX, ("s", "a"), "y")
+
+    def test_evaluate_basic_gates(self):
+        assert Gate(GateType.AND, ("a", "b"), "y").evaluate([1, 1]) == 1
+        assert Gate(GateType.AND, ("a", "b"), "y").evaluate([1, 0]) == 0
+        assert Gate(GateType.OR, ("a", "b"), "y").evaluate([0, 0]) == 0
+        assert Gate(GateType.NOT, ("a",), "y").evaluate([0]) == 1
+        assert Gate(GateType.XOR, ("a", "b"), "y").evaluate([1, 1]) == 0
+        assert Gate(GateType.NAND, ("a", "b"), "y").evaluate([1, 1]) == 0
+        assert Gate(GateType.NOR, ("a", "b"), "y").evaluate([0, 0]) == 1
+        assert Gate(GateType.XNOR, ("a", "b"), "y").evaluate([1, 1]) == 1
+
+    def test_mux_select(self):
+        mux = Gate(GateType.MUX, ("s", "a", "b"), "y")
+        assert mux.evaluate([0, 1, 0]) == 1  # select=0 -> a
+        assert mux.evaluate([1, 1, 0]) == 0  # select=1 -> b
+
+    def test_wide_gates(self):
+        assert Gate(GateType.AND, ("a", "b", "c"), "y").evaluate([1, 1, 1]) == 1
+        assert Gate(GateType.XOR, ("a", "b", "c"), "y").evaluate([1, 1, 1]) == 1
+
+
+class TestNetlist:
+    def test_duplicate_driver_rejected(self):
+        netlist = Netlist("t")
+        netlist.add_input("a")
+        with pytest.raises(ValueError):
+            netlist.add_input("a")
+        netlist.add_gate(GateType.NOT, ("a",), "y")
+        with pytest.raises(ValueError):
+            netlist.add_gate(GateType.BUF, ("a",), "y")
+
+    def test_validate_catches_undriven_net(self):
+        netlist = Netlist("t")
+        netlist.add_input("a")
+        netlist.add_gate(GateType.AND, ("a", "ghost"), "y")
+        with pytest.raises(ValueError):
+            netlist.validate()
+
+    def test_validate_catches_undriven_output(self):
+        netlist = Netlist("t")
+        netlist.mark_output("nowhere")
+        with pytest.raises(ValueError):
+            netlist.validate()
+
+    def test_levelize_orders_dependencies(self):
+        netlist = Netlist("t")
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        x = netlist.AND(a, b)
+        y = netlist.OR(x, a)
+        order = netlist.levelize()
+        positions = {g.output: i for i, g in enumerate(order)}
+        assert positions[x] < positions[y]
+
+    def test_levelize_detects_loop(self):
+        netlist = Netlist("t")
+        netlist.add_input("a")
+        netlist.add_gate(GateType.AND, ("a", "loop2"), "loop1")
+        netlist.add_gate(GateType.BUF, ("loop1",), "loop2")
+        with pytest.raises(ValueError):
+            netlist.levelize()
+
+    def test_dff_breaks_loop(self):
+        netlist = Netlist("counter")
+        bit = netlist.DFF("next", "state")
+        netlist.add_gate(GateType.NOT, ("state",), "next")
+        netlist.mark_output("state")
+        netlist.levelize()  # no loop: DFF output is a source
+
+    def test_stats(self):
+        netlist = Netlist("t")
+        a = netlist.add_input("a")
+        netlist.DFF(a, "q")
+        netlist.mark_output(netlist.NOT("q"))
+        stats = netlist.stats()
+        assert stats == {
+            "inputs": 1, "outputs": 1, "gates": 1, "flops": 1, "nets": 3,
+        }
+
+    def test_bus_inputs_little_endian(self):
+        netlist = Netlist("t")
+        bus = netlist.add_inputs("d", 4)
+        assert bus == ["d0", "d1", "d2", "d3"]

@@ -1,0 +1,234 @@
+"""Tests for the gate simulator, reference circuits, and fault campaigns."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gate import (
+    GateSimulator,
+    alu,
+    comparator,
+    enumerate_sites,
+    majority_voter,
+    registered_adder,
+    ripple_adder,
+    run_seu_campaign,
+)
+from repro.gate.faults import FaultSite
+
+
+def drive_adder(circuit, a, b, cin=0):
+    sim = GateSimulator(circuit.netlist)
+    inputs = {}
+    inputs.update(GateSimulator.pack(circuit.buses["a"], a))
+    inputs.update(GateSimulator.pack(circuit.buses["b"], b))
+    inputs[circuit.buses["cin"][0]] = cin
+    outputs = sim.evaluate(inputs)
+    total = GateSimulator.unpack(circuit.buses["sum"], outputs)
+    cout = outputs[circuit.buses["cout"][0]]
+    return total, cout
+
+
+class TestRippleAdder:
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 1))
+    @settings(max_examples=50, deadline=None)
+    def test_adds_correctly(self, a, b, cin):
+        circuit = ripple_adder(8)
+        total, cout = drive_adder(circuit, a, b, cin)
+        expected = a + b + cin
+        assert total == expected & 0xFF
+        assert cout == expected >> 8
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            ripple_adder(0)
+
+
+class TestComparator:
+    @given(st.integers(0, 15), st.integers(0, 15))
+    @settings(max_examples=30, deadline=None)
+    def test_equality(self, a, b):
+        circuit = comparator(4)
+        sim = GateSimulator(circuit.netlist)
+        inputs = {}
+        inputs.update(GateSimulator.pack(circuit.buses["a"], a))
+        inputs.update(GateSimulator.pack(circuit.buses["b"], b))
+        outputs = sim.evaluate(inputs)
+        assert outputs[circuit.buses["eq"][0]] == int(a == b)
+
+
+class TestMajorityVoter:
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=30, deadline=None)
+    def test_bitwise_majority(self, a, b, c):
+        circuit = majority_voter(8)
+        sim = GateSimulator(circuit.netlist)
+        inputs = {}
+        inputs.update(GateSimulator.pack(circuit.buses["a"], a))
+        inputs.update(GateSimulator.pack(circuit.buses["b"], b))
+        inputs.update(GateSimulator.pack(circuit.buses["c"], c))
+        outputs = sim.evaluate(inputs)
+        result = GateSimulator.unpack(circuit.buses["out"], outputs)
+        assert result == (a & b) | (a & c) | (b & c)
+
+
+class TestAlu:
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_operations(self, a, b, op):
+        circuit = alu(8)
+        sim = GateSimulator(circuit.netlist)
+        inputs = {}
+        inputs.update(GateSimulator.pack(circuit.buses["a"], a))
+        inputs.update(GateSimulator.pack(circuit.buses["b"], b))
+        inputs.update(GateSimulator.pack(circuit.buses["op"], op))
+        outputs = sim.evaluate(inputs)
+        result = GateSimulator.unpack(circuit.buses["out"], outputs)
+        expected = [
+            (a + b) & 0xFF, a & b, a | b, a ^ b,
+        ][op]
+        assert result == expected
+
+
+class TestRegisteredAdder:
+    def test_pipeline_latency(self):
+        circuit = registered_adder(8)
+        sim = GateSimulator(circuit.netlist)
+        inputs = {}
+        inputs.update(GateSimulator.pack(circuit.buses["a"], 3))
+        inputs.update(GateSimulator.pack(circuit.buses["b"], 4))
+        sim.step(inputs)  # inputs latched
+        sim.step(inputs)  # sum latched
+        outputs = sim.evaluate(inputs)
+        assert GateSimulator.unpack(circuit.buses["out"], outputs) == 7
+
+
+class TestFaultInjection:
+    def test_stuck_at_changes_output(self):
+        circuit = ripple_adder(4)
+        sim = GateSimulator(circuit.netlist)
+        sim.set_stuck("a0", 1)
+        inputs = {}
+        inputs.update(GateSimulator.pack(circuit.buses["a"], 0))
+        inputs.update(GateSimulator.pack(circuit.buses["b"], 0))
+        inputs["cin"] = 0
+        outputs = sim.evaluate(inputs)
+        assert GateSimulator.unpack(circuit.buses["sum"], outputs) == 1
+        sim.clear_stuck("a0")
+        outputs = sim.evaluate(inputs)
+        assert GateSimulator.unpack(circuit.buses["sum"], outputs) == 0
+
+    def test_seu_is_transient_on_combinational_net(self):
+        circuit = ripple_adder(4)
+        sim = GateSimulator(circuit.netlist)
+        inputs = {}
+        inputs.update(GateSimulator.pack(circuit.buses["a"], 2))
+        inputs.update(GateSimulator.pack(circuit.buses["b"], 3))
+        inputs["cin"] = 0
+        sim.inject_seu(circuit.buses["sum"][0])
+        corrupted = sim.evaluate(inputs)
+        clean = sim.evaluate(inputs)
+        assert GateSimulator.unpack(circuit.buses["sum"], corrupted) != 5
+        assert GateSimulator.unpack(circuit.buses["sum"], clean) == 5
+
+    def test_seu_on_flop_flips_state(self):
+        circuit = registered_adder(4)
+        sim = GateSimulator(circuit.netlist)
+        inputs = {}
+        inputs.update(GateSimulator.pack(circuit.buses["a"], 0))
+        inputs.update(GateSimulator.pack(circuit.buses["b"], 0))
+        sim.step(inputs)
+        sim.inject_seu("areg1")  # stored 0 -> 1, worth +2
+        sim.step(inputs)
+        outputs = sim.evaluate(inputs)
+        assert GateSimulator.unpack(circuit.buses["out"], outputs) == 2
+
+    def test_unknown_net_rejected(self):
+        circuit = ripple_adder(2)
+        sim = GateSimulator(circuit.netlist)
+        with pytest.raises(KeyError):
+            sim.inject_seu("ghost")
+        with pytest.raises(KeyError):
+            sim.set_stuck("ghost", 1)
+
+
+class TestCampaign:
+    @staticmethod
+    def _vectors(circuit):
+        def source(rng):
+            inputs = {}
+            inputs.update(
+                GateSimulator.pack(circuit.buses["a"], rng.randrange(256))
+            )
+            inputs.update(
+                GateSimulator.pack(circuit.buses["b"], rng.randrange(256))
+            )
+            return inputs
+
+        return source
+
+    def test_enumerate_sites_covers_all_nets(self):
+        circuit = ripple_adder(4)
+        sites = enumerate_sites(circuit, kinds=("seu", "stuck1"))
+        assert len(sites) == 2 * len(circuit.netlist.nets)
+
+    def test_enumerate_rejects_bad_kind(self):
+        circuit = ripple_adder(2)
+        with pytest.raises(ValueError):
+            enumerate_sites(circuit, kinds=("meteor",))
+
+    def test_campaign_produces_profile(self):
+        circuit = registered_adder(8)
+        profile, outcomes = run_seu_campaign(
+            circuit,
+            output_bus="out",
+            vector_source=self._vectors(circuit),
+            runs_per_site=2,
+            seed=3,
+        )
+        assert profile.total == len(outcomes) > 0
+        assert 0.0 < profile.masking_rate < 1.0
+        # Carry-chain SEUs produce multi-bit error patterns.
+        assert profile.multi_bit_fraction > 0.0
+
+    def test_campaign_reproducible_under_seed(self):
+        circuit = ripple_adder(4)
+        kwargs = dict(
+            output_bus="sum",
+            vector_source=self._vectors(circuit),
+            runs_per_site=2,
+            seed=11,
+        )
+        profile_a, _ = run_seu_campaign(circuit, **kwargs)
+        profile_b, _ = run_seu_campaign(circuit, **kwargs)
+        assert profile_a.pattern_counts == profile_b.pattern_counts
+
+    def test_profile_sampling_matches_support(self):
+        circuit = ripple_adder(4)
+        profile, _ = run_seu_campaign(
+            circuit,
+            output_bus="sum",
+            vector_source=self._vectors(circuit),
+            runs_per_site=3,
+            seed=5,
+        )
+        rng = random.Random(0)
+        support = set(profile.pattern_counts)
+        for _ in range(50):
+            pattern = profile.sample_pattern(rng)
+            assert pattern is None or pattern in support
+
+    def test_stuck_fault_site_in_campaign(self):
+        circuit = ripple_adder(4)
+        sites = [FaultSite("a0", "stuck1")]
+        profile, outcomes = run_seu_campaign(
+            circuit,
+            output_bus="sum",
+            vector_source=self._vectors(circuit),
+            sites=sites,
+            runs_per_site=8,
+            seed=1,
+        )
+        # stuck1 on a0 manifests whenever the chosen a is even.
+        assert any(not o.masked for o in outcomes)

@@ -1,0 +1,168 @@
+"""Unit tests for the CAN bus model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw import CanBus, CanFrame, CanNode
+from repro.kernel import Module, Simulator
+
+
+@pytest.fixture
+def net():
+    sim = Simulator()
+    top = Module("top", sim=sim)
+    bus = CanBus("can0", parent=top, bit_time=100)
+    node_a = CanNode("nodeA", parent=top, bus=bus)
+    node_b = CanNode("nodeB", parent=top, bus=bus)
+    node_c = CanNode("nodeC", parent=top, bus=bus)
+    return sim, bus, node_a, node_b, node_c
+
+
+class TestFrame:
+    def test_rejects_wide_id(self):
+        with pytest.raises(ValueError):
+            CanFrame(0x800, b"")
+
+    def test_rejects_long_payload(self):
+        with pytest.raises(ValueError):
+            CanFrame(0x100, b"\x00" * 9)
+
+    def test_crc_computed_on_construction(self):
+        frame = CanFrame(0x123, b"\x01\x02")
+        assert frame.crc_ok
+
+    def test_payload_corruption_breaks_crc(self):
+        frame = CanFrame(0x123, b"\x01\x02")
+        frame.data[0] ^= 0x10
+        assert not frame.crc_ok
+        frame.refresh_crc()
+        assert frame.crc_ok
+
+    @given(st.integers(0, 0x7FF), st.binary(max_size=8))
+    def test_bit_length_grows_with_payload(self, can_id, payload):
+        frame = CanFrame(can_id, payload)
+        assert frame.bit_length == 45 + 8 * len(payload)
+
+    def test_clone_independent(self):
+        frame = CanFrame(0x10, b"\xAA")
+        copy = frame.clone()
+        copy.data[0] = 0
+        assert frame.data[0] == 0xAA
+
+
+class TestDelivery:
+    def test_frame_reaches_all_other_nodes(self, net):
+        sim, bus, a, b, c = net
+        a.send(CanFrame(0x100, b"\x01"))
+        sim.run(until=100_000)
+        assert len(b.rx_queue) == 1
+        assert len(c.rx_queue) == 1
+        assert len(a.rx_queue) == 0  # transmitter doesn't loop back
+        assert bus.frames_delivered == 1
+
+    def test_transmission_takes_bus_time(self, net):
+        sim, bus, a, b, _ = net
+        a.send(CanFrame(0x100, b"\x01\x02\x03\x04"))
+        sim.run(until=1_000_000)
+        frame = b.rx_queue[0]
+        assert frame.timestamp == frame.bit_length * bus.bit_time
+
+    def test_id_filter(self, net):
+        sim, bus, a, b, c = net
+        c.accept = lambda can_id: can_id < 0x200
+        a.send(CanFrame(0x300, b"\x01"))
+        a.send(CanFrame(0x100, b"\x02"))
+        sim.run(until=1_000_000)
+        assert len(b.rx_queue) == 2
+        assert len(c.rx_queue) == 1
+        assert c.rx_queue[0].can_id == 0x100
+
+    def test_receive_callbacks_invoked(self, net):
+        sim, _, a, b, _ = net
+        seen = []
+        b.on_receive.append(lambda f: seen.append(f.can_id))
+        a.send(CanFrame(0x42, b""))
+        sim.run(until=100_000)
+        assert seen == [0x42]
+
+
+class TestArbitration:
+    def test_lowest_id_wins(self, net):
+        sim, bus, a, b, c = net
+        a.send(CanFrame(0x300, b"\x0A"))
+        b.send(CanFrame(0x100, b"\x0B"))
+        sim.run(until=1_000_000)
+        # Node C sees the low-ID frame first.
+        assert [f.can_id for f in c.rx_queue] == [0x100, 0x300]
+
+    def test_back_to_back_from_one_node_keeps_order(self, net):
+        sim, _, a, b, _ = net
+        a.send(CanFrame(0x100, b"\x01"))
+        a.send(CanFrame(0x100, b"\x02"))
+        sim.run(until=1_000_000)
+        assert [f.data[0] for f in b.rx_queue] == [1, 2]
+
+
+class TestFaultHandling:
+    def test_corrupted_frame_detected_and_retransmitted(self, net):
+        sim, bus, a, b, _ = net
+        hits = {"n": 0}
+
+        def corrupt_once(frame):
+            if hits["n"] == 0:
+                hits["n"] += 1
+                frame.data[0] ^= 0xFF  # CRC not refreshed -> detectable
+            return frame
+
+        bus.wire_interceptors.append(corrupt_once)
+        a.send(CanFrame(0x100, b"\x55"))
+        sim.run(until=1_000_000)
+        assert bus.crc_errors_detected == 1
+        assert bus.retransmissions == 1
+        assert len(b.rx_queue) == 1
+        assert b.rx_queue[0].data[0] == 0x55  # clean copy arrived
+
+    def test_forged_crc_slips_through(self, net):
+        sim, bus, a, b, _ = net
+
+        def corrupt_and_forge(frame):
+            frame.data[0] ^= 0xFF
+            frame.refresh_crc()  # the undetectable corruption case
+            return frame
+
+        bus.wire_interceptors.append(corrupt_and_forge)
+        a.send(CanFrame(0x100, b"\x55"))
+        sim.run(until=1_000_000)
+        assert bus.crc_errors_detected == 0
+        assert b.rx_queue[0].data[0] == 0xAA
+
+    def test_dropped_frame_retried_then_given_up(self, net):
+        sim, bus, a, b, _ = net
+        bus.wire_interceptors.append(lambda frame: None)  # open wire
+        a.send(CanFrame(0x100, b"\x55"))
+        sim.run(until=10_000_000)
+        assert len(b.rx_queue) == 0
+        assert bus.frames_dropped == bus.max_retries + 1
+        assert not a.tx_queue
+
+    def test_persistent_errors_drive_bus_off(self, net):
+        sim, bus, a, b, _ = net
+        bus.wire_interceptors.append(lambda frame: None)
+        for _ in range(40):
+            a.send(CanFrame(0x100, b"\x55"))
+        sim.run(until=200_000_000)
+        assert a.bus_off
+        assert not a.tx_queue
+        # A bus-off node refuses new work.
+        a.send(CanFrame(0x101, b"\x01"))
+        assert not a.tx_queue
+
+    def test_injection_point_interface(self, net):
+        sim, bus, a, b, _ = net
+        point = bus.injection_points["wire"]
+        assert point.kind == "can_wire"
+        fn = lambda frame: frame
+        point.add_interceptor(fn)
+        assert bus.wire_interceptors == [fn]
+        point.remove_interceptor(fn)
+        assert bus.wire_interceptors == []

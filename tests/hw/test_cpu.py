@@ -1,0 +1,362 @@
+"""Tests for the vp16 ISA, assembler, and ISS."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw import Memory
+from repro.hw.cpu import (
+    AssemblyError,
+    IllegalInstruction,
+    Instruction,
+    Op,
+    Vp16Cpu,
+    assemble,
+    decode,
+    encode,
+    sign_extend,
+)
+from repro.kernel import Module, Simulator
+from repro.tlm import Router
+
+
+class TestEncoding:
+    @given(
+        st.sampled_from(list(Op)),
+        st.integers(0, 15),
+        st.integers(0, 15),
+        st.integers(0, 15),
+        st.integers(-2048, 2047),
+    )
+    def test_encode_decode_round_trip(self, op, rd, rs1, rs2, imm):
+        instr = Instruction(op, rd, rs1, rs2, imm)
+        assert decode(encode(instr)) == instr
+
+    def test_decode_illegal_opcode(self):
+        with pytest.raises(IllegalInstruction):
+            decode(0xFE000000)
+
+    def test_encode_range_checks(self):
+        with pytest.raises(ValueError):
+            encode(Instruction(Op.LDI, 0, 0, 0, 5000))
+        with pytest.raises(ValueError):
+            encode(Instruction(Op.LDI, 16, 0, 0, 0))
+
+    @given(st.integers(-2048, 2047))
+    def test_sign_extend_round_trip(self, value):
+        assert sign_extend(value & 0xFFF, 12) == value
+
+
+class TestAssembler:
+    def test_simple_program(self):
+        program = assemble(
+            """
+            ldi r1, 5
+            ldi r2, 7
+            add r3, r1, r2
+            halt
+            """
+        )
+        assert len(program.image) == 16
+        first = decode(int.from_bytes(program.image[:4], "little"))
+        assert first.op is Op.LDI and first.rd == 1 and first.imm == 5
+
+    def test_labels_and_branches(self):
+        program = assemble(
+            """
+            start:
+                ldi r1, 0
+            loop:
+                addi r1, r1, 1
+                bne r1, r2, loop
+                halt
+            """
+        )
+        branch = decode(int.from_bytes(program.image[8:12], "little"))
+        assert branch.op is Op.BNE
+        assert branch.imm == -1  # back one instruction
+
+    def test_forward_reference(self):
+        program = assemble(
+            """
+                jmp end
+                nop
+            end:
+                halt
+            """
+        )
+        jump = decode(int.from_bytes(program.image[:4], "little"))
+        assert jump.imm == 2
+
+    def test_word_directive_and_label_value(self):
+        program = assemble(
+            """
+                halt
+            table: .word 10, 0x20, table
+            """
+        )
+        assert program.labels["table"] == 4
+        words = [
+            int.from_bytes(program.image[i : i + 4], "little")
+            for i in range(4, 16, 4)
+        ]
+        assert words == [10, 0x20, 4]
+
+    def test_org_directive(self):
+        program = assemble(
+            """
+                halt
+            .org 0x10
+                nop
+            """
+        )
+        assert len(program.image) == 0x14
+
+    def test_comments_ignored(self):
+        program = assemble("nop ; trailing\n# full line\nhalt")
+        assert len(program.image) == 8
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("a:\nnop\na:\nhalt")
+
+    def test_undefined_symbol_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("jmp nowhere")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError):
+            assemble("add r1, r2")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError):
+            assemble("ldi r16, 0")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            assemble("frobnicate r1")
+
+    def test_immediate_out_of_range(self):
+        with pytest.raises(AssemblyError):
+            assemble("ldi r1, 4096")
+
+
+def make_platform(source, mem_size=4096, **cpu_kwargs):
+    """Assemble *source* into a minimal CPU+memory platform."""
+    sim = Simulator()
+    top = Module("top", sim=sim)
+    router = Router("bus", parent=top, hop_latency=2)
+    mem = Memory("mem", parent=top, size=mem_size, read_latency=4, write_latency=4)
+    router.map_target(0x0, mem_size, mem.tsock)
+    cpu = Vp16Cpu("cpu", parent=top, clock_period=10, **cpu_kwargs)
+    cpu.isock.bind(router.tsock)
+    program = assemble(source)
+    mem.load(program.origin, program.image)
+    cpu.start(pc=program.origin)
+    return sim, top, cpu, mem
+
+
+class TestIss:
+    def test_arithmetic(self):
+        sim, _, cpu, _ = make_platform(
+            """
+            ldi r1, 21
+            ldi r2, 2
+            mul r3, r1, r2
+            addi r3, r3, -1
+            halt
+            """
+        )
+        sim.run()
+        assert cpu.halted
+        assert cpu.regs[3] == 41
+
+    def test_r0_hardwired_zero(self):
+        sim, _, cpu, _ = make_platform(
+            """
+            ldi r0, 99
+            mov r1, r0
+            halt
+            """
+        )
+        sim.run()
+        assert cpu.regs[1] == 0
+
+    def test_memory_load_store(self):
+        sim, _, cpu, mem = make_platform(
+            """
+            ldi r1, 0x100
+            ldi r2, 0x7AB
+            st  r1, r2, 0
+            ld  r3, r1, 0
+            halt
+            """
+        )
+        sim.run()
+        assert cpu.regs[3] == 0x7AB
+        assert mem.data[0x100:0x104] == (0x7AB).to_bytes(4, "little")
+
+    def test_byte_access(self):
+        sim, _, cpu, mem = make_platform(
+            """
+            ldi r1, 0x200
+            ldi r2, 0x1FF
+            stb r1, r2, 0
+            ldb r3, r1, 0
+            halt
+            """
+        )
+        sim.run()
+        assert cpu.regs[3] == 0xFF
+
+    def test_loop_sums_first_n(self):
+        sim, _, cpu, _ = make_platform(
+            """
+                ldi r1, 0      ; acc
+                ldi r2, 10     ; n
+            loop:
+                add r1, r1, r2
+                addi r2, r2, -1
+                bne r2, r0, loop
+                halt
+            """
+        )
+        sim.run()
+        assert cpu.regs[1] == sum(range(1, 11))
+
+    def test_signed_branch(self):
+        sim, _, cpu, _ = make_platform(
+            """
+                ldi r1, -5
+                ldi r2, 3
+                blt r1, r2, neg
+                ldi r3, 0
+                halt
+            neg:
+                ldi r3, 1
+                halt
+            """
+        )
+        sim.run()
+        assert cpu.regs[3] == 1
+
+    def test_jal_and_jr_subroutine(self):
+        sim, _, cpu, _ = make_platform(
+            """
+                ldi r1, 4
+                jal r14, double
+                mov r5, r2
+                halt
+            double:
+                add r2, r1, r1
+                jr r14
+            """
+        )
+        sim.run()
+        assert cpu.regs[5] == 8
+
+    def test_lui_builds_large_constant(self):
+        sim, _, cpu, _ = make_platform(
+            """
+            lui r1, 0x12
+            ori r1, r1, 0x345
+            halt
+            """
+        )
+        sim.run()
+        assert cpu.regs[1] == (0x12 << 12) | 0x345
+
+    def test_time_advances_with_execution(self):
+        sim, _, cpu, _ = make_platform("nop\nnop\nnop\nhalt")
+        sim.run()
+        assert sim.now > 0
+        assert cpu.instructions_retired == 4
+
+    def test_illegal_instruction_halts_without_vector(self):
+        sim, top, cpu, mem = make_platform("nop\nhalt")
+        mem.load(4, (0xEE000000).to_bytes(4, "little"))  # overwrite halt
+        sim.run()
+        assert cpu.halted
+        assert cpu.trap_cause == "illegal_instruction"
+
+    def test_trap_vector_runs_handler(self):
+        source = """
+                jmp main
+            handler:
+                ldi r9, 0x77
+                halt
+            main:
+                .word 0xEE000000   ; illegal instruction
+                halt
+            """
+        sim, _, cpu, _ = make_platform(source, trap_vector=4)
+        sim.run()
+        assert cpu.regs[9] == 0x77
+        assert cpu.trap_count == 1
+
+    def test_bus_error_traps(self):
+        sim, _, cpu, _ = make_platform(
+            """
+            lui r1, 0xFF       ; way outside mapped memory
+            ld  r2, r1, 0
+            halt
+            """
+        )
+        sim.run()
+        assert cpu.trap_cause == "load_bus_error"
+
+    def test_instruction_budget_stops_runaway(self):
+        sim, _, cpu, _ = make_platform(
+            "loop: jmp loop", max_instructions=100
+        )
+        sim.run()
+        assert cpu.halted
+        assert cpu.trap_cause == "instruction_budget"
+        assert cpu.instructions_retired <= 101
+
+    def test_register_injection_point(self):
+        sim, _, cpu, _ = make_platform(
+            """
+            ldi r1, 1
+            halt
+            """
+        )
+        point = cpu.injection_points["arch"]
+        sim.run()
+        point.flip_reg(1, 4)
+        assert cpu.regs[1] == 1 | 0x10
+        point.flip_reg(0, 3)  # r0 immune
+        assert cpu.regs[0] == 0
+
+    def test_csrr_reads_instruction_count(self):
+        sim, _, cpu, _ = make_platform(
+            """
+            nop
+            nop
+            csrr r1, 0
+            halt
+            """
+        )
+        sim.run()
+        assert cpu.regs[1] == 2
+
+    def test_quantum_affects_sync_count_not_result(self):
+        def run(quantum):
+            sim, _, cpu, _ = make_platform(
+                """
+                    ldi r1, 0
+                    ldi r2, 50
+                loop:
+                    add r1, r1, r2
+                    addi r2, r2, -1
+                    bne r2, r0, loop
+                    halt
+                """,
+                quantum=quantum,
+            )
+            sim.run()
+            return cpu.regs[1], cpu.qk.sync_count
+
+        result_small, syncs_small = run(10)
+        result_large, syncs_large = run(100000)
+        assert result_small == result_large == sum(range(1, 51))
+        assert syncs_large < syncs_small

@@ -1,0 +1,243 @@
+"""Unit tests for sensor and actuator models."""
+
+import random
+
+import pytest
+
+from repro.hw import (
+    AdcSensor,
+    BrakeActuator,
+    ServoMotor,
+    Squib,
+    constant,
+    crash_pulse,
+    piecewise,
+    ramp,
+    sine,
+)
+from repro.kernel import Module, Simulator
+from repro.tlm import GenericPayload
+
+
+@pytest.fixture
+def top():
+    return Module("top", sim=Simulator())
+
+
+class TestSources:
+    def test_constant(self):
+        assert constant(2.5)(123456) == 2.5
+
+    def test_ramp(self):
+        source = ramp(1.0, 2.0)  # +2 units per second
+        assert source(0) == 1.0
+        assert source(500_000_000) == pytest.approx(2.0)
+
+    def test_sine_is_periodic(self):
+        source = sine(1.0, frequency_hz=100.0)
+        period_ns = int(1e9 / 100)
+        assert source(0) == pytest.approx(source(period_ns), abs=1e-9)
+
+    def test_piecewise_steps(self):
+        source = piecewise([(0, 1.0), (100, 5.0)])
+        assert source(50) == 1.0
+        assert source(100) == 5.0
+        assert source(999) == 5.0
+
+    def test_piecewise_validation(self):
+        with pytest.raises(ValueError):
+            piecewise([])
+        with pytest.raises(ValueError):
+            piecewise([(100, 1.0), (0, 2.0)])
+
+    def test_crash_pulse_shape(self):
+        source = crash_pulse(t_impact=1000, peak_g=50.0, duration=1000)
+        assert source(0) == 0.0
+        assert source(1500) == pytest.approx(50.0)
+        assert source(3000) == 0.0
+
+
+class TestAdcSensor:
+    def test_samples_periodically(self, top):
+        sensor = AdcSensor(
+            "acc", parent=top, source=constant(2.5), period=1000,
+            vmin=0.0, vmax=5.0, bits=12,
+        )
+        top.sim.run(until=10_000)
+        assert sensor.samples_taken == 10
+        assert sensor.output.read() == sensor.quantize(2.5)
+
+    def test_quantize_clamps(self, top):
+        sensor = AdcSensor(
+            "s", parent=top, source=constant(0), period=1000,
+            vmin=0.0, vmax=5.0, bits=8,
+        )
+        assert sensor.quantize(-1.0) == 0
+        assert sensor.quantize(99.0) == 255
+
+    def test_code_volts_round_trip(self, top):
+        sensor = AdcSensor(
+            "s", parent=top, source=constant(0), period=1000, bits=12
+        )
+        code = sensor.quantize(3.3)
+        assert sensor.code_to_volts(code) == pytest.approx(3.3, abs=0.01)
+
+    def test_offset_fault_shifts_reading(self, top):
+        sensor = AdcSensor(
+            "s", parent=top, source=constant(2.0), period=1000
+        )
+        sensor.injection_points["frontend"].set_offset(1.0)
+        top.sim.run(until=1000)
+        assert sensor.code_to_volts(sensor.output.read()) == pytest.approx(
+            3.0, abs=0.01
+        )
+
+    def test_stuck_fault_freezes_reading(self, top):
+        sensor = AdcSensor(
+            "s", parent=top, source=ramp(0.0, 100.0), period=1000
+        )
+        sensor.injection_points["frontend"].stick_at(1.5)
+        top.sim.run(until=5000)
+        assert sensor.code_to_volts(sensor.output.read()) == pytest.approx(
+            1.5, abs=0.01
+        )
+
+    def test_open_circuit_reads_low_rail(self, top):
+        sensor = AdcSensor(
+            "s", parent=top, source=constant(4.0), period=1000, vmin=0.5
+        )
+        sensor.injection_points["frontend"].open_circuit()
+        top.sim.run(until=1000)
+        assert sensor.output.read() == 0
+
+    def test_noise_fault_needs_rng(self, top):
+        sensor = AdcSensor(
+            "s", parent=top, source=constant(1.0), period=1000
+        )
+        sensor.injection_points["frontend"].set_noise(0.5)
+        from repro.kernel import ProcessError
+
+        with pytest.raises(ProcessError):
+            top.sim.run(until=1000)
+
+    def test_noise_fault_with_rng_perturbs(self, top):
+        sensor = AdcSensor(
+            "s", parent=top, source=constant(2.5), period=1000,
+            rng=random.Random(7),
+        )
+        sensor.injection_points["frontend"].set_noise(0.3)
+        codes = set()
+        for _ in range(5):
+            top.sim.run(until=top.sim.now + 1000)
+            codes.add(sensor.output.read())
+        assert len(codes) > 1
+
+    def test_clear_fault_restores_nominal(self, top):
+        sensor = AdcSensor("s", parent=top, source=constant(2.0), period=1000)
+        point = sensor.injection_points["frontend"]
+        point.set_gain(2.0)
+        assert sensor.fault.active
+        point.clear()
+        assert not sensor.fault.active
+
+
+class TestSquib:
+    def _write(self, squib, address, value):
+        payload = GenericPayload.write_word(address, value)
+        squib.tsock.deliver(payload, 0)
+        return payload
+
+    def test_arm_then_fire(self, top):
+        squib = Squib("squib", parent=top)
+        self._write(squib, 0x0, Squib.ARM_KEY)
+        self._write(squib, 0x4, Squib.FIRE_KEY)
+        assert squib.fired
+        assert squib.fire_time == top.sim.now
+
+    def test_fire_without_arm_is_rejected(self, top):
+        squib = Squib("squib", parent=top)
+        self._write(squib, 0x4, Squib.FIRE_KEY)
+        assert not squib.fired
+        assert squib.spurious_commands == 1
+
+    def test_wrong_key_disarms(self, top):
+        squib = Squib("squib", parent=top)
+        self._write(squib, 0x0, Squib.ARM_KEY)
+        self._write(squib, 0x0, 0x1234)
+        self._write(squib, 0x4, Squib.FIRE_KEY)
+        assert not squib.fired
+
+    def test_wrong_fire_key_counted(self, top):
+        squib = Squib("squib", parent=top)
+        self._write(squib, 0x0, Squib.ARM_KEY)
+        self._write(squib, 0x4, 0xBEEF)
+        assert not squib.fired
+        assert squib.spurious_commands == 1
+
+    def test_status_register(self, top):
+        squib = Squib("squib", parent=top)
+        self._write(squib, 0x0, Squib.ARM_KEY)
+        status = GenericPayload.read(0x8, 4)
+        squib.tsock.deliver(status, 0)
+        assert status.word == 0b01
+        self._write(squib, 0x4, Squib.FIRE_KEY)
+        status = GenericPayload.read(0x8, 4)
+        squib.tsock.deliver(status, 0)
+        assert status.word == 0b11
+
+    def test_fire_latches(self, top):
+        squib = Squib("squib", parent=top)
+        self._write(squib, 0x0, Squib.ARM_KEY)
+        self._write(squib, 0x4, Squib.FIRE_KEY)
+        first_time = squib.fire_time
+        self._write(squib, 0x4, Squib.FIRE_KEY)
+        assert squib.fire_time == first_time
+
+
+class TestServoMotor:
+    def test_tracks_command_with_slew_limit(self, top):
+        servo = ServoMotor(
+            "servo", parent=top, slew_rate=10.0, update_period=1_000_000
+        )
+        payload = GenericPayload.write_word(0x0, 100)
+        servo.tsock.deliver(payload, 0)
+        top.sim.run(until=5_000_000)  # 5 ms at 10 units/ms
+        assert servo.position == pytest.approx(50.0)
+        top.sim.run(until=20_000_000)
+        assert servo.position == pytest.approx(100.0)
+
+    def test_negative_command_via_twos_complement(self, top):
+        servo = ServoMotor("servo", parent=top, slew_rate=1000.0)
+        payload = GenericPayload.write_word(0x0, (-50) & 0xFFFFFFFF)
+        servo.tsock.deliver(payload, 0)
+        top.sim.run(until=10_000_000)
+        assert servo.position == pytest.approx(-50.0)
+
+    def test_stall_under_load_raises_overcurrent(self, top):
+        servo = ServoMotor(
+            "servo", parent=top, stall_load=10.0, overcurrent_limit=5
+        )
+        servo.external_load = 20.0
+        servo.tsock.deliver(GenericPayload.write_word(0x0, 500), 0)
+        top.sim.run(until=10_000_000)
+        assert servo.overcurrent_fault
+        assert servo.position == 0.0
+
+
+class TestBrakeActuator:
+    def test_pressure_follows_demand(self, top):
+        brake = BrakeActuator("brake", parent=top, rate_per_ms=20.0)
+        brake.tsock.deliver(GenericPayload.write_word(0x0, 6000), 0)  # 60%
+        top.sim.run(until=10_000_000)
+        assert brake.pressure == pytest.approx(60.0)
+
+    def test_demand_clamped_to_max(self, top):
+        brake = BrakeActuator("brake", parent=top, max_pressure=100.0)
+        brake.tsock.deliver(GenericPayload.write_word(0x0, 25000), 0)
+        assert brake.demand == 100.0
+
+    def test_demand_log_records_time(self, top):
+        brake = BrakeActuator("brake", parent=top)
+        top.sim.run(until=500)
+        brake.tsock.deliver(GenericPayload.write_word(0x0, 1000), 0)
+        assert brake.demand_log == [(500, 10.0)]

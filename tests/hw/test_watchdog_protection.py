@@ -1,0 +1,222 @@
+"""Unit tests for the watchdog and protection mechanisms."""
+
+import pytest
+
+from repro.hw import (
+    KICK_KEY,
+    CrcChecker,
+    LockstepChecker,
+    RangeChecker,
+    RateChecker,
+    TmrVoter,
+    Watchdog,
+)
+from repro.kernel import Module, Simulator
+from repro.tlm import GenericPayload
+
+
+@pytest.fixture
+def top():
+    return Module("top", sim=Simulator())
+
+
+def kick(dog, key=KICK_KEY):
+    dog.tsock.deliver(GenericPayload.write_word(0x0, key), 0)
+
+
+def enable(dog):
+    dog.tsock.deliver(GenericPayload.write_word(0x4, 1), 0)
+
+
+class TestWatchdog:
+    def test_no_timeout_while_kicked(self, top):
+        dog = Watchdog("wdt", parent=top, timeout=10_000)
+
+        def kicker():
+            enable(dog)
+            for _ in range(20):
+                yield 5_000
+                kick(dog)
+
+        top.process(kicker())
+        top.sim.run(until=100_000)
+        assert dog.timeouts == 0
+
+    def test_timeout_when_starved(self, top):
+        dog = Watchdog("wdt", parent=top, timeout=10_000)
+
+        def starver():
+            enable(dog)
+            yield 50_000
+
+        top.process(starver())
+        top.sim.run(until=50_000)
+        assert dog.timeouts >= 1
+        assert dog.timeout_latched
+
+    def test_early_kick_violates_window(self, top):
+        dog = Watchdog("wdt", parent=top, timeout=10_000, window_min=4_000)
+
+        def fast_kicker():
+            enable(dog)  # enabling opens the first window
+            yield 5_000
+            kick(dog)  # inside [window_min, timeout): valid
+            yield 1_000
+            kick(dog)  # too early -> violation
+
+        top.process(fast_kicker())
+        top.sim.run(until=8_000)
+        assert dog.early_kicks == 1
+        assert dog.timeouts == 1
+
+    def test_bad_key_bites_immediately(self, top):
+        dog = Watchdog("wdt", parent=top, timeout=10_000)
+
+        def bad_kicker():
+            enable(dog)
+            yield 1_000
+            kick(dog, key=0xDEAD)
+
+        top.process(bad_kicker())
+        top.sim.run(until=5_000)
+        assert dog.bad_key_kicks == 1
+        assert dog.timeouts == 1
+
+    def test_on_timeout_callback(self, top):
+        resets = []
+        dog = Watchdog(
+            "wdt", parent=top, timeout=5_000,
+            on_timeout=lambda: resets.append(top.sim.now),
+        )
+
+        def starter():
+            enable(dog)
+            yield 20_000
+
+        top.process(starter())
+        top.sim.run(until=20_000)
+        assert resets
+
+    def test_disabled_watchdog_never_bites(self, top):
+        dog = Watchdog("wdt", parent=top, timeout=5_000)
+        top.sim.run(until=100_000)
+        assert dog.timeouts == 0
+
+    def test_status_register(self, top):
+        dog = Watchdog("wdt", parent=top, timeout=5_000)
+        enable(dog)
+        status = GenericPayload.read(0x8, 4)
+        dog.tsock.deliver(status, 0)
+        assert status.word == 0b01
+
+    def test_parameter_validation(self, top):
+        with pytest.raises(ValueError):
+            Watchdog("w1", parent=top, timeout=0)
+        with pytest.raises(ValueError):
+            Watchdog("w2", parent=top, timeout=100, window_min=100)
+
+
+class TestTmrVoter:
+    def test_unanimous(self, top):
+        voter = TmrVoter("voter", parent=top)
+        assert voter.vote(5, 5, 5) == 5
+        assert voter.mismatches == 0
+
+    def test_single_disagreement_masked(self, top):
+        voter = TmrVoter("voter", parent=top)
+        assert voter.vote(5, 5, 9) == 5
+        assert voter.vote(5, 9, 5) == 5
+        assert voter.vote(9, 5, 5) == 5
+        assert voter.mismatches == 3
+        assert voter.unresolvable == 0
+
+    def test_three_way_disagreement(self, top):
+        called = []
+        voter = TmrVoter(
+            "voter", parent=top, on_unresolvable=lambda: called.append(1)
+        )
+        assert voter.vote(1, 2, 3) == 1  # channel A fallback
+        assert voter.unresolvable == 1
+        assert called == [1]
+
+
+class TestLockstep:
+    def test_agreement(self, top):
+        checker = LockstepChecker("lockstep", parent=top)
+        assert checker.compare(42, 42)
+        assert checker.detected == 0
+
+    def test_divergence_detected(self, top):
+        checker = LockstepChecker("lockstep", parent=top)
+        assert not checker.compare(42, 43)
+        assert checker.detected == 1
+
+    def test_common_mode_blind_spot(self, top):
+        checker = LockstepChecker("lockstep", parent=top)
+        # Both channels corrupted identically: passes undetected.
+        assert checker.compare(99, 99)
+        assert checker.detected == 0
+
+
+class TestCheckers:
+    def test_range_checker(self):
+        checker = RangeChecker("rc", low=0.0, high=100.0)
+        assert checker.check(50.0)
+        assert not checker.check(150.0)
+        assert checker.violations == 1
+
+    def test_range_checker_validation(self):
+        with pytest.raises(ValueError):
+            RangeChecker("bad", low=10.0, high=0.0)
+
+    def test_rate_checker_first_sample_free(self):
+        checker = RateChecker("rate", max_delta=5.0)
+        assert checker.check(1000.0)
+
+    def test_rate_checker_catches_jump(self):
+        checker = RateChecker("rate", max_delta=5.0)
+        checker.check(10.0)
+        assert not checker.check(100.0)
+        assert checker.violations == 1
+
+    def test_rate_checker_reset(self):
+        checker = RateChecker("rate", max_delta=5.0)
+        checker.check(10.0)
+        checker.reset()
+        assert checker.check(100.0)
+
+    def test_rate_checker_validation(self):
+        with pytest.raises(ValueError):
+            RateChecker("bad", max_delta=0)
+
+
+class TestCrcChecker:
+    def test_round_trip(self):
+        checker = CrcChecker("e2e")
+        message = CrcChecker.protect(b"\x11\x22", counter=0)
+        assert checker.check(message) == b"\x11\x22"
+
+    def test_corruption_rejected(self):
+        checker = CrcChecker("e2e")
+        message = bytearray(CrcChecker.protect(b"\x11\x22", counter=0))
+        message[1] ^= 0x80
+        assert checker.check(bytes(message)) is None
+        assert checker.crc_failures == 1
+
+    def test_repeated_counter_rejected(self):
+        checker = CrcChecker("e2e")
+        msg0 = CrcChecker.protect(b"\x01", counter=0)
+        assert checker.check(msg0) is not None
+        # Replaying the same message violates the alive counter.
+        assert checker.check(msg0) is None
+        assert checker.counter_failures == 1
+
+    def test_counter_sequence_accepted(self):
+        checker = CrcChecker("e2e")
+        for counter in range(20):
+            message = CrcChecker.protect(bytes([counter]), counter & 0xF)
+            assert checker.check(message) is not None
+
+    def test_short_message_rejected(self):
+        checker = CrcChecker("e2e")
+        assert checker.check(b"\x00") is None

@@ -1,0 +1,241 @@
+"""End-to-end integration: the complete paper methodology in one flow.
+
+HARA -> safety goals -> mission profile -> derived fault descriptions
+-> requirement-derived coverage goals -> guided stress-test campaign
+-> measured diagnostic coverage -> FMEDA -> ASIL verdict -> fault tree.
+
+This is the test that the pieces actually compose the way DESIGN.md
+claims, not just work in isolation.
+"""
+
+import pytest
+
+from repro.core import (
+    Campaign,
+    CoverageGuidedStrategy,
+    FaultSpace,
+    FaultSpaceCoverage,
+    Outcome,
+    RandomStrategy,
+    RequirementCoverage,
+    SafetyRequirement,
+    derive_coverage_goals,
+    fmeda_from_campaign,
+    synthesize_fault_tree,
+)
+from repro.faults import FaultKind, STANDARD_CATALOG
+from repro.kernel import Simulator, simtime
+from repro.mission import (
+    ProfileTransfer,
+    derive_stressor_spec,
+    standard_passenger_car_profile,
+)
+from repro.platforms import airbag
+from repro.safety import (
+    Asil,
+    Controllability,
+    Exposure,
+    Hazard,
+    Severity,
+    hara,
+    valid_decomposition,
+)
+
+DURATION = simtime.ms(60)
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    """Run the whole flow once; individual tests assert its stages."""
+    # 1. HARA: the spurious-deployment hazard.
+    hazards = [
+        Hazard(
+            name="spurious_deployment",
+            situation="normal driving",
+            severity=Severity.S3,
+            exposure=Exposure.E4,
+            controllability=Controllability.C3,
+        )
+    ]
+    goals = hara(
+        hazards,
+        {"spurious_deployment":
+         "The airbag shall not deploy without a crash."},
+    )
+
+    # 2. Mission profile, refined to the airbag ECU, derived to a
+    #    stressor spec restricted to the platform's target kinds.
+    profile = standard_passenger_car_profile().refine(
+        ProfileTransfer(
+            component_name="airbag_ecu",
+            temperature_rise_c=15.0,
+            vibration_amplification=1.5,
+        )
+    )
+    spec = derive_stressor_spec(
+        profile, STANDARD_CATALOG, target_kinds=["analog", "memory"]
+    )
+
+    # 3. The platform fault space built from the derived descriptors.
+    campaign = Campaign(
+        platform_factory=airbag.build_normal_operation,
+        observe=airbag.observe,
+        classifier=airbag.normal_operation_classifier(),
+        duration=DURATION,
+        seed=5,
+    )
+    probe = Simulator()
+    space = FaultSpace(
+        airbag.build_normal_operation(probe),
+        spec.descriptors,
+        window_start=simtime.ms(5),
+        window_end=simtime.ms(30),
+        time_bins=2,
+    )
+
+    # 4. Requirement-derived coverage goals.
+    requirements = [
+        SafetyRequirement(
+            name="REQ_SENSOR",
+            statement="Single sensor faults shall be detected or masked.",
+            target_glob="caps.sensor_*.frontend",
+            fault_kinds=frozenset(
+                {
+                    FaultKind.STUCK_VALUE,
+                    FaultKind.OPEN_CIRCUIT,
+                    FaultKind.SHORT_TO_GROUND,
+                    FaultKind.OFFSET_DRIFT,
+                }
+            ),
+            max_acceptable=Outcome.DETECTED_SAFE,
+        ),
+        SafetyRequirement(
+            name="REQ_PARAMS",
+            statement="Parameter memory upsets shall not corrupt outputs.",
+            target_glob="caps.params.*",
+            fault_kinds=frozenset({FaultKind.BIT_FLIP}),
+            max_acceptable=Outcome.DETECTED_SAFE,
+        ),
+    ]
+    coverage = FaultSpaceCoverage(space)
+    goal_rows = derive_coverage_goals(requirements, space)
+    tracker = RequirementCoverage(goal_rows, coverage)
+
+    # 5. Coverage-guided campaign to closure, single faults only
+    #    (requirements are about single-fault behaviour).
+    strategy = CoverageGuidedStrategy(space, coverage, faults_per_scenario=1)
+    result = campaign.run(strategy, runs=space.bin_count + 10, coverage=coverage)
+
+    # 6. Bridges into the classical analyses.
+    descriptors = {d.name: d for d in spec.descriptors}
+    fmeda = fmeda_from_campaign(result, descriptors)
+    tree = synthesize_fault_tree(
+        result, descriptors, exposure_hours=profile.operating_hours,
+        at_least=Outcome.SDC,
+    )
+    return {
+        "goals": goals,
+        "spec": spec,
+        "campaign_result": result,
+        "tracker": tracker,
+        "fmeda": fmeda,
+        "tree": tree,
+    }
+
+
+class TestPipeline:
+    def test_hara_yields_asil_d_goal(self, pipeline):
+        goals = pipeline["goals"]
+        assert len(goals) == 1
+        assert goals[0].asil is Asil.D
+        # The platform's dual channels realise a valid decomposition.
+        assert valid_decomposition(Asil.D, Asil.B, Asil.B)
+
+    def test_spec_is_platform_applicable(self, pipeline):
+        spec = pipeline["spec"]
+        assert spec.descriptors
+        assert all(
+            d.applicable_to("analog") or d.applicable_to("memory")
+            for d in spec.descriptors
+        )
+
+    def test_campaign_respects_safety_goal(self, pipeline):
+        result = pipeline["campaign_result"]
+        # Single faults: the ASIL-D goal demands zero hazards.
+        assert result.count(Outcome.HAZARDOUS) == 0
+
+    def test_requirements_reach_closure(self, pipeline):
+        tracker = pipeline["tracker"]
+        assert tracker.closure == 1.0
+        report = tracker.requirement_report()
+        assert report["REQ_SENSOR"]["verified"]
+        assert report["REQ_PARAMS"]["verified"]
+
+    def test_fmeda_built_from_measurements(self, pipeline):
+        fmeda = pipeline["fmeda"]
+        result = pipeline["campaign_result"]
+        measured = result.diagnostic_coverage_by_descriptor()
+        assert len(fmeda.modes) == len(measured)
+        report = fmeda.report()
+        assert 0.0 <= report["spfm"] <= 1.0
+        assert report["achieved_asil"] in ("QM", "B", "C", "D")
+
+    def test_fault_tree_reflects_single_fault_cleanliness(self, pipeline):
+        # No SDC-or-worse single-fault record -> no tree, which *is*
+        # the verification statement for single faults.
+        result = pipeline["campaign_result"]
+        if pipeline["tree"] is None:
+            assert all(
+                not record.outcome.is_dangerous
+                for record in result.records
+            )
+        else:
+            assert pipeline["tree"].minimal_cut_sets()
+
+
+class TestReplayDeterminism:
+    @pytest.mark.parametrize("platform_name", ["airbag", "acc", "steering"])
+    def test_campaigns_replay_exactly(self, platform_name):
+        from repro.platforms import acc, steering
+
+        configs = {
+            "airbag": (
+                airbag.build_normal_operation,
+                airbag.observe,
+                airbag.normal_operation_classifier,
+                simtime.ms(40),
+            ),
+            "acc": (
+                acc.build_acc, acc.observe, acc.acc_classifier,
+                simtime.ms(300),
+            ),
+            "steering": (
+                steering.build_steering(), steering.observe,
+                steering.steering_classifier, simtime.ms(200),
+            ),
+        }
+        factory, observe, classifier_fn, duration = configs[platform_name]
+
+        def run_once():
+            campaign = Campaign(
+                platform_factory=factory,
+                observe=observe,
+                classifier=classifier_fn(),
+                duration=duration,
+                seed=123,
+            )
+            probe = Simulator()
+            space = FaultSpace(
+                factory(probe),
+                list(STANDARD_CATALOG),
+                window_start=simtime.ms(2),
+                window_end=duration // 2,
+            )
+            strategy = RandomStrategy(space, faults_per_scenario=1)
+            result = campaign.run(strategy, runs=10)
+            return [
+                (record.outcome, tuple(record.scenario.bins()))
+                for record in result.records
+            ]
+
+        assert run_once() == run_once()

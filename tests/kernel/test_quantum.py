@@ -1,0 +1,93 @@
+"""Unit tests for temporal decoupling (quantum keeper)."""
+
+import pytest
+
+from repro.kernel import GlobalQuantum, QuantumKeeper, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestGlobalQuantum:
+    def test_set_and_get(self):
+        old = GlobalQuantum.get()
+        try:
+            GlobalQuantum.set(500)
+            assert GlobalQuantum.get() == 500
+        finally:
+            GlobalQuantum.set(old)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            GlobalQuantum.set(0)
+
+
+class TestQuantumKeeper:
+    def test_local_time_runs_ahead(self, sim):
+        qk = QuantumKeeper(sim, quantum=100)
+        qk.inc(30)
+        assert qk.local_offset == 30
+        assert qk.local_time == 30
+        assert not qk.need_sync()
+
+    def test_need_sync_at_quantum_boundary(self, sim):
+        qk = QuantumKeeper(sim, quantum=50)
+        qk.inc(49)
+        assert not qk.need_sync()
+        qk.inc(1)
+        assert qk.need_sync()
+
+    def test_sync_returns_offset_and_resets(self, sim):
+        qk = QuantumKeeper(sim, quantum=10)
+        qk.inc(25)
+        assert qk.sync() == 25
+        assert qk.local_offset == 0
+        assert qk.sync_count == 1
+
+    def test_decoupled_process_advances_kernel_time(self, sim):
+        qk = QuantumKeeper(sim, quantum=100)
+
+        def initiator():
+            for _ in range(10):
+                qk.inc(30)  # 10 transactions of 30 units = 300 total
+                if qk.need_sync():
+                    yield qk.sync()
+            if qk.local_offset:
+                yield qk.sync()
+
+        sim.spawn(initiator())
+        sim.run()
+        assert sim.now == 300
+
+    def test_larger_quantum_means_fewer_syncs(self, sim):
+        def run_with(quantum):
+            local_sim = Simulator()
+            qk = QuantumKeeper(local_sim, quantum=quantum)
+
+            def initiator():
+                for _ in range(100):
+                    qk.inc(10)
+                    if qk.need_sync():
+                        yield qk.sync()
+                if qk.local_offset:
+                    yield qk.sync()
+
+            local_sim.spawn(initiator())
+            local_sim.run()
+            assert local_sim.now == 1000
+            return qk.sync_count
+
+        assert run_with(10) > run_with(100) > run_with(1000)
+
+    def test_negative_inc_rejected(self, sim):
+        qk = QuantumKeeper(sim, quantum=10)
+        with pytest.raises(ValueError):
+            qk.inc(-1)
+
+    def test_reset_clears_offset(self, sim):
+        qk = QuantumKeeper(sim, quantum=10)
+        qk.inc(5)
+        qk.reset()
+        assert qk.local_offset == 0

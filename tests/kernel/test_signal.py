@@ -1,0 +1,196 @@
+"""Unit tests for signals, wires, and clocks."""
+
+import pytest
+
+from repro.kernel import Clock, Signal, Simulator, Wire
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestSignalSemantics:
+    def test_write_not_visible_until_update_phase(self, sim):
+        sig = Signal(sim, "s", 0)
+        observed = []
+
+        def writer():
+            sig.write(42)
+            observed.append(sig.read())  # still old value
+            yield None
+            observed.append(sig.read())  # committed after delta
+
+        sim.spawn(writer())
+        sim.run()
+        assert observed == [0, 42]
+
+    def test_changed_event_fires_on_commit(self, sim):
+        sig = Signal(sim, "s", 0)
+        log = []
+
+        def watcher():
+            while True:
+                yield sig.changed
+                log.append((sim.now, sig.read()))
+
+        def writer():
+            yield 5
+            sig.write(1)
+            yield 5
+            sig.write(2)
+
+        sim.spawn(watcher())
+        sim.spawn(writer())
+        sim.run(until=20)
+        assert log == [(5, 1), (10, 2)]
+
+    def test_same_value_write_does_not_notify(self, sim):
+        sig = Signal(sim, "s", 7)
+        log = []
+
+        def watcher():
+            yield sig.changed
+            log.append(sig.read())
+
+        def writer():
+            yield 1
+            sig.write(7)  # no change
+
+        sim.spawn(watcher())
+        sim.spawn(writer())
+        sim.run(until=10)
+        assert log == []
+        assert sig.change_count == 0
+
+    def test_last_write_in_delta_wins(self, sim):
+        sig = Signal(sim, "s", 0)
+
+        def writer():
+            sig.write(1)
+            sig.write(2)
+            yield None
+
+        sim.spawn(writer())
+        sim.run()
+        assert sig.read() == 2
+        assert sig.change_count == 1
+
+    def test_value_property_sugar(self, sim):
+        sig = Signal(sim, "s", 0)
+
+        def writer():
+            sig.value = 9
+            yield None
+
+        sim.spawn(writer())
+        sim.run()
+        assert sig.value == 9
+
+    def test_observers_called_with_old_and_new(self, sim):
+        sig = Signal(sim, "s", 0)
+        seen = []
+        sig.observers.append(lambda s, old, new: seen.append((old, new)))
+
+        def writer():
+            sig.write(3)
+            yield None
+
+        sim.spawn(writer())
+        sim.run()
+        assert seen == [(0, 3)]
+
+    def test_force_bypasses_update_phase(self, sim):
+        sig = Signal(sim, "s", 0)
+        log = []
+
+        def watcher():
+            yield sig.changed
+            log.append(sig.read())
+
+        def injector():
+            yield 2
+            sig.force(99)
+            assert sig.read() == 99  # visible immediately
+
+        sim.spawn(watcher())
+        sim.spawn(injector())
+        sim.run(until=10)
+        assert log == [99]
+
+    def test_force_same_value_is_silent(self, sim):
+        sig = Signal(sim, "s", 5)
+        sig.force(5)
+        assert sig.change_count == 0
+
+
+class TestWire:
+    def test_posedge_and_negedge(self, sim):
+        wire = Wire(sim, "w")
+        log = []
+
+        def edge_watcher():
+            while True:
+                yield wire.posedge
+                log.append(("pos", sim.now))
+
+        def neg_watcher():
+            while True:
+                yield wire.negedge
+                log.append(("neg", sim.now))
+
+        def driver():
+            yield 1
+            wire.write(True)
+            yield 1
+            wire.write(False)
+
+        sim.spawn(edge_watcher())
+        sim.spawn(neg_watcher())
+        sim.spawn(driver())
+        sim.run(until=10)
+        assert log == [("pos", 1), ("neg", 2)]
+
+    def test_write_coerces_to_bool(self, sim):
+        wire = Wire(sim, "w")
+
+        def driver():
+            wire.write(1)
+            yield None
+
+        sim.spawn(driver())
+        sim.run()
+        assert wire.read() is True
+
+
+class TestClock:
+    def test_clock_toggles_at_half_period(self, sim):
+        clk = Clock(sim, "clk", period=10)
+        edges = []
+
+        def watcher():
+            while True:
+                yield clk.posedge
+                edges.append(sim.now)
+
+        sim.spawn(watcher())
+        sim.run(until=50)
+        # First toggle happens one half-period after start (the clock
+        # starts low), then every full period.
+        assert edges == [5, 15, 25, 35, 45]
+
+    def test_clock_stop_halts_toggling(self, sim):
+        clk = Clock(sim, "clk", period=10)
+
+        def stopper():
+            yield 25
+            clk.stop()
+
+        sim.spawn(stopper())
+        sim.run(until=100)
+        # After stopping at t=25 the last committed edge is at t=25.
+        assert clk.change_count <= 5
+
+    def test_period_too_small_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Clock(sim, "clk", period=1)

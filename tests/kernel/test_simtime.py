@@ -1,0 +1,40 @@
+"""Unit tests for kernel time helpers."""
+
+import pytest
+
+from repro.kernel import simtime as st
+
+
+class TestConversions:
+    def test_ns_is_identity_at_default_resolution(self):
+        assert st.ns(1) == 1
+        assert st.ns(250) == 250
+
+    def test_us_ms_s_scale(self):
+        assert st.us(1) == 1_000
+        assert st.ms(1) == 1_000_000
+        assert st.s(1) == 1_000_000_000
+
+    def test_fractional_values_round(self):
+        assert st.us(1.5) == 1_500
+        assert st.ms(0.002) == 2_000
+
+    def test_to_seconds_round_trip(self):
+        assert st.to_seconds(st.s(3)) == pytest.approx(3.0)
+        assert st.to_seconds(st.ms(1)) == pytest.approx(1e-3)
+
+
+class TestFormatting:
+    def test_zero(self):
+        assert st.format_time(0) == "0ns"
+
+    def test_picks_largest_exact_unit(self):
+        assert st.format_time(5_000_000) == "5ms"
+        assert st.format_time(2_000) == "2us"
+        assert st.format_time(7) == "7ns"
+
+    def test_inexact_falls_back_to_ns(self):
+        assert st.format_time(1_500) == "1500ns"
+
+    def test_whole_seconds(self):
+        assert st.format_time(st.s(2)) == "2s"

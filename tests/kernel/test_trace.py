@@ -1,0 +1,129 @@
+"""Unit tests for the signal tracer and VCD export."""
+
+import pytest
+
+from repro.kernel import Module, Signal, Simulator, Tracer, Wire
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator()
+    top = Module("top", sim=sim)
+    return sim, top
+
+
+class TestTracer:
+    def test_records_changes_with_timestamps(self, rig):
+        sim, top = rig
+        sig = top.signal("speed", 0)
+        tracer = Tracer()
+        tracer.watch(sig)
+
+        def driver():
+            yield 10
+            sig.write(5)
+            yield 10
+            sig.write(9)
+
+        top.process(driver())
+        sim.run(until=100)
+        history = tracer.history("top.speed")
+        assert [(c.time, c.value) for c in history] == [
+            (0, 0), (10, 5), (20, 9),
+        ]
+
+    def test_value_at_interpolates_step_wise(self, rig):
+        sim, top = rig
+        sig = top.signal("x", 1)
+        tracer = Tracer()
+        tracer.watch(sig)
+
+        def driver():
+            yield 50
+            sig.write(2)
+
+        top.process(driver())
+        sim.run(until=100)
+        assert tracer.value_at("top.x", 0) == 1
+        assert tracer.value_at("top.x", 49) == 1
+        assert tracer.value_at("top.x", 50) == 2
+        assert tracer.value_at("top.x", 99) == 2
+
+    def test_duplicate_watch_rejected(self, rig):
+        _, top = rig
+        sig = top.signal("x", 0)
+        tracer = Tracer()
+        tracer.watch(sig)
+        with pytest.raises(ValueError):
+            tracer.watch(sig)
+
+    def test_force_is_traced_too(self, rig):
+        sim, top = rig
+        sig = top.signal("x", 0)
+        tracer = Tracer()
+        tracer.watch(sig)
+
+        def injector():
+            yield 5
+            sig.force(0xFF)
+
+        top.process(injector())
+        sim.run(until=10)
+        assert tracer.value_at("top.x", 5) == 0xFF
+
+
+class TestVcdExport:
+    def test_vcd_structure(self, rig):
+        sim, top = rig
+        speed = top.signal("speed", 0)
+        enable = Wire(sim, "top.enable")
+        tracer = Tracer()
+        tracer.watch(speed)
+        tracer.watch(enable)
+
+        def driver():
+            yield 10
+            speed.write(1234)
+            enable.write(True)
+
+        top.process(driver())
+        sim.run(until=20)
+        vcd = tracer.to_vcd()
+        assert "$timescale 1ns $end" in vcd
+        assert "$var wire 64 ! top.speed $end" in vcd
+        assert "top.enable" in vcd
+        assert "#10" in vcd
+        assert f"b{bin(1234)[2:]} !" in vcd
+
+    def test_vcd_events_time_sorted(self, rig):
+        sim, top = rig
+        a = top.signal("a", 0)
+        b = top.signal("b", 0)
+        tracer = Tracer()
+        tracer.watch(a)
+        tracer.watch(b)
+
+        def driver():
+            yield 30
+            b.write(1)
+            yield 10
+            a.write(1)
+
+        top.process(driver())
+        sim.run(until=100)
+        vcd = tracer.to_vcd()
+        assert vcd.index("#30") < vcd.index("#40")
+
+    def test_write_vcd_file(self, rig, tmp_path):
+        sim, top = rig
+        sig = top.signal("x", 0)
+        tracer = Tracer()
+        tracer.watch(sig)
+        sim.run(until=10)
+        path = tmp_path / "trace.vcd"
+        tracer.write_vcd(str(path))
+        assert path.read_text().startswith("$comment")
+
+    def test_identifier_uniqueness(self):
+        identifiers = {Tracer._identifier(i) for i in range(500)}
+        assert len(identifiers) == 500

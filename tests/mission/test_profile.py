@@ -1,0 +1,147 @@
+"""Unit tests for mission profiles and the supply-chain refinement."""
+
+import pytest
+
+from repro.mission import (
+    EmiProfile,
+    MissionProfile,
+    OperatingState,
+    ProfileTransfer,
+    SupplyChainLevel,
+    TemperatureProfile,
+    VibrationProfile,
+    standard_passenger_car_profile,
+)
+
+
+class TestTemperatureProfile:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            TemperatureProfile({25.0: 0.5, 60.0: 0.2})
+
+    def test_mean(self):
+        profile = TemperatureProfile({0.0: 0.5, 100.0: 0.5})
+        assert profile.mean == 50.0
+
+    def test_shifted(self):
+        profile = TemperatureProfile({20.0: 1.0}).shifted(15.0)
+        assert profile.histogram == {35.0: 1.0}
+
+
+class TestStressValidation:
+    def test_negative_vibration_rejected(self):
+        with pytest.raises(ValueError):
+            VibrationProfile(-1.0)
+
+    def test_negative_field_rejected(self):
+        with pytest.raises(ValueError):
+            EmiProfile(-5.0)
+
+    def test_vibration_amplified(self):
+        assert VibrationProfile(2.0).amplified(1.5).grms == 3.0
+
+
+class TestMissionProfile:
+    def test_standard_profile_is_valid(self):
+        profile = standard_passenger_car_profile()
+        assert profile.level is SupplyChainLevel.OEM
+        assert profile.operating_hours <= profile.lifetime_hours
+        assert profile.special_states[0].name == "curbstone_steering"
+
+    def test_state_lookup(self):
+        profile = standard_passenger_car_profile()
+        state = profile.state("city_driving")
+        assert state.loads["servo_load"] == 4.0
+        with pytest.raises(KeyError):
+            profile.state("flying")
+
+    def test_hours_in_state(self):
+        profile = standard_passenger_car_profile()
+        assert profile.hours_in("curbstone_steering") == pytest.approx(80.0)
+
+    def test_state_fractions_validated(self):
+        with pytest.raises(ValueError):
+            MissionProfile(
+                name="bad",
+                level=SupplyChainLevel.OEM,
+                lifetime_hours=1000,
+                operating_hours=100,
+                temperature=TemperatureProfile({25.0: 1.0}),
+                vibration=VibrationProfile(1.0),
+                emi=EmiProfile(10.0),
+                states=(OperatingState("only", 0.5),),
+            )
+
+    def test_operating_hours_bounded_by_lifetime(self):
+        with pytest.raises(ValueError):
+            MissionProfile(
+                name="bad",
+                level=SupplyChainLevel.OEM,
+                lifetime_hours=100,
+                operating_hours=200,
+                temperature=TemperatureProfile({25.0: 1.0}),
+                vibration=VibrationProfile(1.0),
+                emi=EmiProfile(10.0),
+                states=(),
+            )
+
+    def test_duplicate_state_names_rejected(self):
+        with pytest.raises(ValueError):
+            MissionProfile(
+                name="bad",
+                level=SupplyChainLevel.OEM,
+                lifetime_hours=1000,
+                operating_hours=100,
+                temperature=TemperatureProfile({25.0: 1.0}),
+                vibration=VibrationProfile(1.0),
+                emi=EmiProfile(10.0),
+                states=(
+                    OperatingState("x", 0.5),
+                    OperatingState("x", 0.5),
+                ),
+            )
+
+
+class TestRefinement:
+    def test_refine_walks_supply_chain(self):
+        oem = standard_passenger_car_profile()
+        tier1 = oem.refine(
+            ProfileTransfer(
+                component_name="steering_ecu",
+                temperature_rise_c=20.0,
+                vibration_amplification=2.0,
+                emi_shielding=0.5,
+            )
+        )
+        assert tier1.level is SupplyChainLevel.TIER1
+        assert tier1.vibration.grms == oem.vibration.grms * 2.0
+        assert tier1.emi.field_v_per_m == oem.emi.field_v_per_m * 0.5
+        assert tier1.temperature.mean == pytest.approx(
+            oem.temperature.mean + 20.0
+        )
+        chip = tier1.refine(
+            ProfileTransfer(component_name="mcu", temperature_rise_c=15.0)
+        )
+        assert chip.level is SupplyChainLevel.SEMICONDUCTOR
+        assert "steering_ecu" in chip.name and "mcu" in chip.name
+
+    def test_cannot_refine_past_semiconductor(self):
+        profile = standard_passenger_car_profile()
+        chip = profile.refine(ProfileTransfer("a")).refine(
+            ProfileTransfer("b")
+        )
+        with pytest.raises(ValueError):
+            chip.refine(ProfileTransfer("c"))
+
+    def test_duty_cycle_scales_operating_hours(self):
+        oem = standard_passenger_car_profile()
+        refined = oem.refine(
+            ProfileTransfer(component_name="airbag", duty_cycle=0.5)
+        )
+        assert refined.operating_hours == oem.operating_hours * 0.5
+
+    def test_transfer_validation(self):
+        with pytest.raises(ValueError):
+            ProfileTransfer("x", duty_cycle=0.0)
+        with pytest.raises(ValueError):
+            ProfileTransfer("x", vibration_amplification=-1.0)

@@ -1,0 +1,157 @@
+"""Property-based invariants of the analysis layers (FTA, solver,
+classification, coverage)."""
+
+import itertools
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Outcome
+from repro.safety import AndGate, BasicEvent, FaultTree, OrGate
+from repro.symbolic import Var, solve
+
+
+@st.composite
+def random_trees(draw):
+    """A random 2-level tree over up to 5 basic events with
+    probabilities, returned with its boolean structure for brute force.
+    Structure: OR of groups, each group an AND of event indices.
+    """
+    event_count = draw(st.integers(1, 5))
+    probabilities = [
+        draw(st.floats(min_value=0.0, max_value=0.9)) for _ in range(event_count)
+    ]
+    group_count = draw(st.integers(1, 4))
+    groups = []
+    for _ in range(group_count):
+        size = draw(st.integers(1, event_count))
+        members = draw(
+            st.lists(
+                st.integers(0, event_count - 1),
+                min_size=size, max_size=size, unique=True,
+            )
+        )
+        groups.append(tuple(sorted(members)))
+    return probabilities, groups
+
+
+def brute_force_probability(probabilities, groups):
+    """Exact P(top) by enumerating all event-state combinations."""
+    total = 0.0
+    count = len(probabilities)
+    for states in itertools.product([0, 1], repeat=count):
+        top = any(all(states[i] for i in group) for group in groups)
+        if not top:
+            continue
+        weight = 1.0
+        for index, state in enumerate(states):
+            weight *= probabilities[index] if state else 1 - probabilities[index]
+        total += weight
+    return total
+
+
+class TestFtaAgainstBruteForce:
+    @given(random_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_top_probability_matches_enumeration(self, tree_spec):
+        probabilities, groups = tree_spec
+        events = [
+            BasicEvent(f"e{i}", p) for i, p in enumerate(probabilities)
+        ]
+        branches = []
+        for g_index, group in enumerate(groups):
+            members = [events[i] for i in group]
+            if len(members) == 1:
+                branches.append(members[0])
+            else:
+                branches.append(AndGate(f"g{g_index}", members))
+        top = branches[0] if len(branches) == 1 else OrGate("top", branches)
+        tree = FaultTree(top)
+        exact = brute_force_probability(probabilities, groups)
+        assert abs(tree.top_event_probability() - exact) < 1e-9
+
+    @given(random_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_cut_sets_are_minimal_and_sufficient(self, tree_spec):
+        probabilities, groups = tree_spec
+        events = [BasicEvent(f"e{i}", p) for i, p in enumerate(probabilities)]
+        branches = [
+            AndGate(f"g{j}", [events[i] for i in group])
+            if len(group) > 1 else events[group[0]]
+            for j, group in enumerate(groups)
+        ]
+        top = branches[0] if len(branches) == 1 else OrGate("top", branches)
+        tree = FaultTree(top)
+        cut_sets = tree.minimal_cut_sets()
+        # No cut set contains another (minimality).
+        for a in cut_sets:
+            for b in cut_sets:
+                if a is not b:
+                    assert not a < b
+        # Each cut set actually triggers the top event (sufficiency).
+        for cut_set in cut_sets:
+            states = [
+                1 if f"e{i}" in cut_set else 0
+                for i in range(len(probabilities))
+            ]
+            assert any(
+                all(states[i] for i in group) for group in groups
+            )
+
+
+class TestSolverProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(-5, 5),
+                st.integers(-5, 5),
+                st.integers(-20, 20),
+                st.sampled_from(["<=", ">=", "=="]),
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_solver_agrees_with_brute_force_on_satisfiability(self, rows):
+        x, y = Var("x"), Var("y")
+        constraints = []
+        for cx, cy, c, op in rows:
+            expr = cx * x + cy * y + c
+            if op == "<=":
+                constraints.append(expr <= 0)
+            elif op == ">=":
+                constraints.append(expr >= 0)
+            else:
+                constraints.append(expr.eq(0))
+        domains = {"x": (0, 12), "y": (0, 12)}
+        witness = solve(constraints, domains)
+        brute = any(
+            all(c.holds({"x": vx, "y": vy}) for c in constraints)
+            for vx in range(13)
+            for vy in range(13)
+        )
+        assert (witness is not None) == brute
+        if witness is not None:
+            assert all(c.holds(witness) for c in constraints)
+
+
+class TestClassificationProperties:
+    @given(st.lists(st.sampled_from(list(Outcome)), min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_classifier_returns_max_of_matching_rules(self, outcomes):
+        from repro.core import Classifier
+
+        classifier = Classifier()
+        for index, outcome in enumerate(outcomes):
+            classifier.add_rule(
+                outcome, lambda f, g: True, f"rule{index}"
+            )
+        verdict, labels = classifier.classify({}, {})
+        assert verdict == max(outcomes)
+        assert len(labels) == len(outcomes)
+
+    def test_lattice_flags_are_consistent(self):
+        for outcome in Outcome:
+            if outcome.is_dangerous:
+                assert outcome.is_failure

@@ -1,0 +1,125 @@
+"""Property-based invariants of the hardware substrate."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hw import CanBus, CanFrame, CanNode, Memory
+from repro.hw.cpu import assemble, disassemble
+from repro.kernel import Module, Simulator
+from repro.tlm import GenericPayload
+
+
+class TestCanProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 0x7FF), st.binary(min_size=0, max_size=8)),
+            min_size=1,
+            max_size=12,
+            unique_by=lambda t: t[0],
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_single_controller_delivers_fifo_exactly_once(self, frames):
+        # One controller's transmit queue is FIFO (only its *head*
+        # takes part in bus arbitration); every frame arrives exactly
+        # once, uncorrupted.
+        sim = Simulator()
+        top = Module("top", sim=sim)
+        bus = CanBus("bus", parent=top, bit_time=10)
+        sender = CanNode("tx", parent=top, bus=bus)
+        receiver = CanNode("rx", parent=top, bus=bus)
+        for can_id, payload in frames:
+            sender.send(CanFrame(can_id, payload))
+        sim.run(until=10_000_000)
+        received = [(f.can_id, bytes(f.data)) for f in receiver.rx_queue]
+        assert received == frames
+        assert bus.crc_errors_detected == 0
+
+    @given(
+        st.lists(
+            st.integers(0, 0x7FF), min_size=2, max_size=8, unique=True
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_multi_node_arbitration_is_global_priority(self, ids):
+        sim = Simulator()
+        top = Module("top", sim=sim)
+        bus = CanBus("bus", parent=top, bit_time=10)
+        nodes = [
+            CanNode(f"n{i}", parent=top, bus=bus) for i in range(len(ids))
+        ]
+        observer = CanNode("obs", parent=top, bus=bus)
+        for node, can_id in zip(nodes, ids):
+            node.send(CanFrame(can_id, b"\x00"))
+        sim.run(until=10_000_000)
+        assert [f.can_id for f in observer.rx_queue] == sorted(ids)
+
+
+class TestMemoryProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 63), st.binary(min_size=1, max_size=8)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_memory_behaves_like_bytearray(self, operations):
+        sim = Simulator()
+        top = Module("top", sim=sim)
+        mem = Memory("mem", parent=top, size=64)
+        model = bytearray(64)
+        for address, data in operations:
+            data = data[: 64 - address]
+            if not data:
+                continue
+            payload = GenericPayload.write(address, data)
+            mem.tsock.deliver(payload, 0)
+            assert payload.ok
+            model[address : address + len(data)] = data
+        read = GenericPayload.read(0, 64)
+        mem.tsock.deliver(read, 0)
+        assert read.data == model
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 31), st.integers(0, 7)),
+            min_size=0,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_double_flip_is_identity(self, flips):
+        sim = Simulator()
+        top = Module("top", sim=sim)
+        mem = Memory("mem", parent=top, size=32)
+        mem.load(0, bytes(range(32)))
+        point = mem.injection_points["array"]
+        for address, bit in flips + list(reversed(flips)):
+            point.flip(address, bit)
+        assert mem.data == bytearray(range(32))
+
+
+class TestDisassemblerProperties:
+    @given(st.binary(min_size=4, max_size=64).filter(lambda b: len(b) % 4 == 0))
+    @settings(max_examples=80, deadline=None)
+    def test_disassemble_reassemble_is_identity(self, image):
+        """Any word-aligned image survives disasm -> asm byte-exactly.
+
+        Branch immediates are emitted as raw offsets (not labels), so
+        re-assembly must reproduce the encoding bit for bit; illegal
+        words pass through as .word directives.
+        """
+        text = disassemble(image)
+        program = assemble(text)
+        assert program.image == image
+
+    def test_known_listing(self):
+        program = assemble("ldi r1, 5\nadd r2, r1, r1\nhalt")
+        text = disassemble(program.image)
+        assert text.splitlines() == [
+            "ldi r1, 5",
+            "add r2, r1, r1",
+            "halt",
+        ]

@@ -1,0 +1,141 @@
+"""Unit tests for FMEDA and ISO 26262 metrics."""
+
+import pytest
+
+from repro.safety import Asil, FailureMode, Fmeda
+
+
+def make_mode(**overrides):
+    defaults = dict(
+        component="mcu",
+        mode="seu",
+        rate_per_hour=1e-7,
+        safe_fraction=0.5,
+        diagnostic_coverage=0.9,
+        latent_coverage=0.8,
+    )
+    defaults.update(overrides)
+    return FailureMode(**defaults)
+
+
+class TestFailureMode:
+    def test_rate_decomposition(self):
+        mode = make_mode(rate_per_hour=100.0)
+        assert mode.dangerous_rate == pytest.approx(50.0)
+        assert mode.residual_rate == pytest.approx(5.0)
+        assert mode.detected_dangerous_rate == pytest.approx(45.0)
+        assert mode.latent_rate == pytest.approx(9.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_mode(rate_per_hour=-1.0)
+        with pytest.raises(ValueError):
+            make_mode(diagnostic_coverage=1.5)
+        with pytest.raises(ValueError):
+            make_mode(safe_fraction=-0.1)
+
+    def test_full_coverage_no_residual(self):
+        mode = make_mode(diagnostic_coverage=1.0)
+        assert mode.residual_rate == 0.0
+
+
+class TestFmedaMetrics:
+    def test_empty_worksheet_perfect_metrics(self):
+        fmeda = Fmeda("empty")
+        assert fmeda.spfm == 1.0
+        assert fmeda.lfm == 1.0
+        assert fmeda.pmhf == 0.0
+
+    def test_duplicate_mode_rejected(self):
+        fmeda = Fmeda("x")
+        fmeda.add(make_mode())
+        with pytest.raises(ValueError):
+            fmeda.add(make_mode())
+
+    def test_spfm_computation(self):
+        fmeda = Fmeda("x")
+        fmeda.add(
+            make_mode(
+                mode="m1", rate_per_hour=100.0,
+                safe_fraction=0.0, diagnostic_coverage=0.99,
+            )
+        )
+        # residual = 1.0, total = 100 -> SPFM = 0.99
+        assert fmeda.spfm == pytest.approx(0.99)
+
+    def test_non_safety_related_excluded(self):
+        fmeda = Fmeda("x")
+        fmeda.add(
+            make_mode(mode="relevant", rate_per_hour=10.0)
+        )
+        fmeda.add(
+            make_mode(
+                mode="irrelevant", rate_per_hour=1e6, safety_related=False,
+                diagnostic_coverage=0.0,
+            )
+        )
+        assert fmeda.total_rate == 10.0
+
+    def test_pmhf_sums_residuals(self):
+        fmeda = Fmeda("x")
+        fmeda.add(
+            make_mode(
+                mode="m1", rate_per_hour=1e-7,
+                safe_fraction=0.0, diagnostic_coverage=0.9,
+            )
+        )
+        fmeda.add(
+            make_mode(
+                mode="m2", rate_per_hour=2e-7,
+                safe_fraction=0.5, diagnostic_coverage=0.9,
+            )
+        )
+        assert fmeda.pmhf == pytest.approx(1e-8 + 1e-8)
+
+    def test_measured_coverage_update(self):
+        fmeda = Fmeda("x")
+        fmeda.add(make_mode(diagnostic_coverage=0.5))
+        before = fmeda.spfm
+        fmeda.set_measured_coverage("mcu/seu", 0.99)
+        assert fmeda.spfm > before
+        with pytest.raises(ValueError):
+            fmeda.set_measured_coverage("mcu/seu", 2.0)
+
+
+class TestAsilDetermination:
+    def good_fmeda(self, coverage, rate=1e-8):
+        fmeda = Fmeda("x")
+        fmeda.add(
+            make_mode(
+                rate_per_hour=rate,
+                safe_fraction=0.0,
+                diagnostic_coverage=coverage,
+                latent_coverage=0.95,
+            )
+        )
+        return fmeda
+
+    def test_asil_d_needs_99_percent(self):
+        assert self.good_fmeda(0.995).achieved_asil() is Asil.D
+        assert self.good_fmeda(0.98).achieved_asil() is Asil.C
+
+    def test_pmhf_gates_asil_d(self):
+        # Great coverage but huge residual rate: PMHF blocks ASIL D.
+        fmeda = self.good_fmeda(0.995, rate=1e-5)
+        assert fmeda.pmhf > 1e-8
+        assert fmeda.achieved_asil() is not Asil.D
+
+    def test_poor_coverage_is_qm(self):
+        assert self.good_fmeda(0.2, rate=1e-4).achieved_asil() is Asil.QM
+
+    def test_meets_lower_levels_trivially(self):
+        fmeda = self.good_fmeda(0.5, rate=1e-3)
+        assert fmeda.meets(Asil.QM)
+        assert fmeda.meets(Asil.A)
+
+    def test_report_fields(self):
+        report = self.good_fmeda(0.99).report()
+        assert set(report) == {
+            "name", "modes", "total_rate_per_hour",
+            "spfm", "lfm", "pmhf_per_hour", "achieved_asil",
+        }

@@ -1,0 +1,158 @@
+"""Unit tests for the fault propagation and transformation calculus."""
+
+import pytest
+
+from repro.safety import FptcComponent, FptcModel, Rule
+
+
+def sensor(name, introduces=("value",)):
+    return FptcComponent(
+        name, inputs=[], outputs=["out"], source_tokens=introduces
+    )
+
+
+class TestComponentTransform:
+    def test_source_component_emits_its_tokens(self):
+        comp = sensor("s")
+        outputs = comp.transform({})
+        assert outputs["out"] == {"*", "value"}
+
+    def test_default_propagation(self):
+        comp = FptcComponent("filter", inputs=["in"], outputs=["out"])
+        outputs = comp.transform({"in": {"*", "value"}})
+        assert "value" in outputs["out"]
+
+    def test_transformation_rule(self):
+        # A retry-based corrector: value errors become late outputs.
+        comp = FptcComponent(
+            "corrector",
+            inputs=["in"],
+            outputs=["out"],
+            rules=[
+                Rule({"in": "value"}, {"out": "late"}),
+                Rule({"in": "_"}, {"out": "*"}),
+            ],
+        )
+        outputs = comp.transform({"in": {"*", "value"}})
+        assert outputs["out"] == {"*", "late"}
+
+    def test_masking_rule(self):
+        # A voter with three inputs masks any single corrupted input.
+        comp = FptcComponent(
+            "voter",
+            inputs=["a", "b", "c"],
+            outputs=["out"],
+            rules=[
+                Rule({"a": "value", "b": "value"}, {"out": "value"}),
+                Rule({"a": "value", "c": "value"}, {"out": "value"}),
+                Rule({"b": "value", "c": "value"}, {"out": "value"}),
+                Rule({}, {"out": "*"}),  # everything else masked
+            ],
+        )
+        single = comp.transform(
+            {"a": {"*", "value"}, "b": {"*"}, "c": {"*"}}
+        )
+        assert single["out"] == {"*"}
+        double = comp.transform(
+            {"a": {"*", "value"}, "b": {"*", "value"}, "c": {"*"}}
+        )
+        assert "value" in double["out"]
+
+    def test_rule_validation(self):
+        with pytest.raises(ValueError):
+            FptcComponent(
+                "bad", inputs=["in"], outputs=["out"],
+                rules=[Rule({"ghost": "value"}, {"out": "*"})],
+            )
+        with pytest.raises(ValueError):
+            FptcComponent(
+                "bad", inputs=["in"], outputs=["out"],
+                rules=[Rule({"in": "value"}, {"ghost": "*"})],
+            )
+
+
+class TestModel:
+    def build_chain(self):
+        """sensor -> filter -> actuator, sensor introduces value errors."""
+        model = FptcModel()
+        model.add_component(sensor("sensor"))
+        model.add_component(
+            FptcComponent("filter", inputs=["in"], outputs=["out"])
+        )
+        model.add_component(
+            FptcComponent("actuator", inputs=["in"], outputs=["out"])
+        )
+        model.connect("sensor", "out", "filter", "in")
+        model.connect("filter", "out", "actuator", "in")
+        return model
+
+    def test_propagation_through_chain(self):
+        model = self.build_chain()
+        assert model.failures_at("actuator", "out") == {"value"}
+
+    def test_checker_stops_propagation(self):
+        model = FptcModel()
+        model.add_component(sensor("sensor"))
+        model.add_component(
+            FptcComponent(
+                "checker",
+                inputs=["in"],
+                outputs=["out"],
+                rules=[
+                    # Plausibility check converts value errors into
+                    # omissions (output suppressed, safe state).
+                    Rule({"in": "value"}, {"out": "omission"}),
+                    Rule({"in": "_"}, {"out": "*"}),
+                ],
+            )
+        )
+        model.add_component(
+            FptcComponent("actuator", inputs=["in"], outputs=["out"])
+        )
+        model.connect("sensor", "out", "checker", "in")
+        model.connect("checker", "out", "actuator", "in")
+        failures = model.failures_at("actuator", "out")
+        assert failures == {"omission"}
+
+    def test_cyclic_graph_converges(self):
+        # Feedback loop: controller <-> plant.
+        model = FptcModel()
+        model.add_component(
+            FptcComponent(
+                "controller", inputs=["fb"], outputs=["cmd"],
+                source_tokens=("late",),
+            )
+        )
+        model.add_component(
+            FptcComponent("plant", inputs=["cmd"], outputs=["fb"])
+        )
+        model.connect("controller", "cmd", "plant", "cmd")
+        model.connect("plant", "fb", "controller", "fb")
+        result = model.solve()
+        assert "late" in result["plant"]["fb"]
+        assert "late" in result["controller"]["cmd"]
+
+    def test_connection_validation(self):
+        model = self.build_chain()
+        with pytest.raises(ValueError):
+            model.connect("sensor", "ghost", "filter", "in")
+        with pytest.raises(ValueError):
+            model.connect("sensor", "out", "filter", "ghost")
+
+    def test_duplicate_component_rejected(self):
+        model = FptcModel()
+        model.add_component(sensor("s"))
+        with pytest.raises(ValueError):
+            model.add_component(sensor("s"))
+
+    def test_multi_output_component(self):
+        model = FptcModel()
+        model.add_component(
+            FptcComponent(
+                "splitter", inputs=[], outputs=["a", "b"],
+                source_tokens=("omission",),
+            )
+        )
+        result = model.solve()
+        assert result["splitter"]["a"] == {"*", "omission"}
+        assert result["splitter"]["b"] == {"*", "omission"}

@@ -1,0 +1,155 @@
+"""Unit and property tests for fault tree analysis."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.safety import AndGate, BasicEvent, FaultTree, KofNGate, OrGate
+
+
+def simple_tree():
+    """(A or B) and C — MCS: {A,C}, {B,C}."""
+    a = BasicEvent("A", 0.01)
+    b = BasicEvent("B", 0.02)
+    c = BasicEvent("C", 0.1)
+    return FaultTree(AndGate("top", [OrGate("front", [a, b]), c]))
+
+
+class TestCutSets:
+    def test_single_event(self):
+        tree = FaultTree(BasicEvent("X", 0.5))
+        assert tree.minimal_cut_sets() == [frozenset({"X"})]
+
+    def test_or_gate_unions(self):
+        tree = FaultTree(
+            OrGate("top", [BasicEvent("A", 0.1), BasicEvent("B", 0.1)])
+        )
+        assert set(tree.minimal_cut_sets()) == {
+            frozenset({"A"}), frozenset({"B"}),
+        }
+
+    def test_and_gate_products(self):
+        tree = FaultTree(
+            AndGate("top", [BasicEvent("A", 0.1), BasicEvent("B", 0.1)])
+        )
+        assert tree.minimal_cut_sets() == [frozenset({"A", "B"})]
+
+    def test_nested_structure(self):
+        assert set(simple_tree().minimal_cut_sets()) == {
+            frozenset({"A", "C"}), frozenset({"B", "C"}),
+        }
+
+    def test_absorption_removes_supersets(self):
+        # A or (A and B) == A
+        a = BasicEvent("A", 0.1)
+        b = BasicEvent("B", 0.1)
+        tree = FaultTree(OrGate("top", [a, AndGate("g", [a, b])]))
+        assert tree.minimal_cut_sets() == [frozenset({"A"})]
+
+    def test_k_of_n_gate(self):
+        events = [BasicEvent(f"E{i}", 0.1) for i in range(3)]
+        tree = FaultTree(KofNGate("vote", 2, events))
+        assert set(tree.minimal_cut_sets()) == {
+            frozenset({"E0", "E1"}),
+            frozenset({"E0", "E2"}),
+            frozenset({"E1", "E2"}),
+        }
+
+    def test_k_of_n_validation(self):
+        with pytest.raises(ValueError):
+            KofNGate("bad", 4, [BasicEvent(f"E{i}", 0.1) for i in range(3)])
+
+    def test_empty_gate_rejected(self):
+        with pytest.raises(ValueError):
+            OrGate("empty", [])
+
+    def test_inconsistent_shared_event_rejected(self):
+        a1 = BasicEvent("A", 0.1)
+        a2 = BasicEvent("A", 0.2)
+        with pytest.raises(ValueError):
+            FaultTree(OrGate("top", [a1, a2]))
+
+
+class TestProbability:
+    def test_single_event_probability(self):
+        assert FaultTree(BasicEvent("X", 0.25)).top_event_probability() == 0.25
+
+    def test_independent_or_exact(self):
+        tree = FaultTree(
+            OrGate("top", [BasicEvent("A", 0.1), BasicEvent("B", 0.2)])
+        )
+        # P(A or B) = 0.1 + 0.2 - 0.02
+        assert tree.top_event_probability() == pytest.approx(0.28)
+
+    def test_and_probability(self):
+        tree = FaultTree(
+            AndGate("top", [BasicEvent("A", 0.1), BasicEvent("B", 0.2)])
+        )
+        assert tree.top_event_probability() == pytest.approx(0.02)
+
+    def test_shared_event_handled_by_inclusion_exclusion(self):
+        # top = (A and B) or (A and C); P = p_A(p_B + p_C - p_B p_C)
+        a = BasicEvent("A", 0.5)
+        b = BasicEvent("B", 0.4)
+        c = BasicEvent("C", 0.2)
+        tree = FaultTree(
+            OrGate("top", [AndGate("g1", [a, b]), AndGate("g2", [a, c])])
+        )
+        assert tree.top_event_probability() == pytest.approx(
+            0.5 * (0.4 + 0.2 - 0.08)
+        )
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=0.2), min_size=2, max_size=6
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_probability_via_monte_carlo_enumeration(self, probabilities):
+        # Exhaustive truth-table check of the inclusion-exclusion math
+        # on an OR-of-singles tree.
+        events = [
+            BasicEvent(f"E{i}", p) for i, p in enumerate(probabilities)
+        ]
+        tree = FaultTree(OrGate("top", events))
+        exact = 1.0
+        for p in probabilities:
+            exact *= 1 - p
+        assert tree.top_event_probability() == pytest.approx(
+            1 - exact, abs=1e-9
+        )
+
+    def test_rare_event_bound_for_large_families(self):
+        events = [BasicEvent(f"E{i}", 1e-6) for i in range(40)]
+        tree = FaultTree(OrGate("top", events))
+        assert tree.top_event_probability(exact_limit=8) == pytest.approx(
+            40e-6, rel=1e-6
+        )
+
+
+class TestImportance:
+    def test_single_points_of_failure(self):
+        a = BasicEvent("A", 0.1)
+        b = BasicEvent("B", 0.1)
+        c = BasicEvent("C", 0.1)
+        tree = FaultTree(OrGate("top", [a, AndGate("g", [b, c])]))
+        assert tree.single_points_of_failure() == ["A"]
+
+    def test_no_spof_in_redundant_design(self):
+        assert simple_tree().single_points_of_failure() == []
+
+    def test_fussell_vesely_ranks_shared_event_highest(self):
+        tree = simple_tree()
+        ranking = tree.importance_ranking()
+        assert ranking[0][0] == "C"  # C is in every cut set
+        assert tree.fussell_vesely("C") == pytest.approx(1.0, abs=1e-9)
+
+    def test_fussell_vesely_unknown_event(self):
+        with pytest.raises(KeyError):
+            simple_tree().fussell_vesely("Z")
+
+    def test_higher_probability_event_more_important(self):
+        tree = simple_tree()
+        assert tree.fussell_vesely("B") > tree.fussell_vesely("A")

@@ -1,0 +1,101 @@
+"""Unit tests for HARA classification and ASIL decomposition."""
+
+import pytest
+
+from repro.safety import (
+    Asil,
+    Controllability as C,
+    Exposure as E,
+    Hazard,
+    Severity as S,
+    classify_asil,
+    decomposition_options,
+    hara,
+    valid_decomposition,
+)
+
+
+class TestClassification:
+    def test_worst_case_is_asil_d(self):
+        assert classify_asil(S.S3, E.E4, C.C3) is Asil.D
+
+    def test_zero_parameters_are_qm(self):
+        assert classify_asil(S.S0, E.E4, C.C3) is Asil.QM
+        assert classify_asil(S.S3, E.E0, C.C3) is Asil.QM
+        assert classify_asil(S.S3, E.E4, C.C0) is Asil.QM
+
+    def test_risk_graph_rows(self):
+        # Classic table spot checks.
+        assert classify_asil(S.S3, E.E4, C.C2) is Asil.C
+        assert classify_asil(S.S3, E.E3, C.C3) is Asil.C
+        assert classify_asil(S.S2, E.E4, C.C3) is Asil.C
+        assert classify_asil(S.S3, E.E2, C.C2) is Asil.A
+        assert classify_asil(S.S1, E.E4, C.C3) is Asil.B
+        assert classify_asil(S.S1, E.E2, C.C2) is Asil.QM
+
+    def test_monotone_in_every_axis(self):
+        base = classify_asil(S.S2, E.E3, C.C2)
+        assert classify_asil(S.S3, E.E3, C.C2).value >= base.value
+        assert classify_asil(S.S2, E.E4, C.C2).value >= base.value
+        assert classify_asil(S.S2, E.E3, C.C3).value >= base.value
+
+
+class TestHara:
+    SPURIOUS_AIRBAG = Hazard(
+        name="spurious_deployment",
+        situation="normal driving, any speed",
+        severity=S.S3,
+        exposure=E.E4,
+        controllability=C.C3,
+    )
+    MINOR = Hazard(
+        name="comfort_glitch",
+        situation="parked",
+        severity=S.S0,
+        exposure=E.E4,
+        controllability=C.C1,
+    )
+
+    def test_hazard_carries_asil(self):
+        assert self.SPURIOUS_AIRBAG.asil is Asil.D
+        assert self.MINOR.asil is Asil.QM
+
+    def test_hara_produces_goals_above_qm(self):
+        goals = hara(
+            [self.SPURIOUS_AIRBAG, self.MINOR],
+            {"spurious_deployment": "The airbag shall not deploy without a crash."},
+        )
+        assert len(goals) == 1
+        goal = goals[0]
+        assert goal.asil is Asil.D
+        assert goal.name == "SG_spurious_deployment"
+
+    def test_missing_statement_rejected(self):
+        with pytest.raises(KeyError):
+            hara([self.SPURIOUS_AIRBAG], {})
+
+
+class TestDecomposition:
+    def test_asil_d_options(self):
+        options = decomposition_options(Asil.D)
+        assert (Asil.B, Asil.B) in options
+        assert (Asil.C, Asil.A) in options
+        assert (Asil.D, Asil.QM) in options
+
+    def test_qm_cannot_decompose(self):
+        assert decomposition_options(Asil.QM) == []
+
+    def test_validity_is_order_insensitive(self):
+        assert valid_decomposition(Asil.D, Asil.B, Asil.B)
+        assert valid_decomposition(Asil.D, Asil.A, Asil.C)
+        assert valid_decomposition(Asil.D, Asil.C, Asil.A)
+
+    def test_invalid_combinations_rejected(self):
+        assert not valid_decomposition(Asil.D, Asil.A, Asil.A)
+        assert not valid_decomposition(Asil.B, Asil.B, Asil.B)
+        assert not valid_decomposition(Asil.C, Asil.C, Asil.C)
+
+    def test_caps_redundant_channels_pattern(self):
+        # The CAPS platform's dual sensor channels implement exactly
+        # the B(D)+B(D) decomposition of the ASIL-D deployment goal.
+        assert valid_decomposition(Asil.D, Asil.B, Asil.B)

@@ -1,0 +1,127 @@
+"""Unit tests for campaign statistics."""
+
+import math
+import random
+
+import pytest
+
+from repro.stats import (
+    WeightedRateEstimator,
+    clopper_pearson,
+    failure_rate_per_hour,
+    required_runs,
+    rule_of_three,
+)
+
+
+class TestClopperPearson:
+    def test_zero_successes_lower_bound_zero(self):
+        interval = clopper_pearson(0, 100)
+        assert interval.low == 0.0
+        assert 0.0 < interval.high < 0.05
+
+    def test_all_successes_upper_bound_one(self):
+        interval = clopper_pearson(100, 100)
+        assert interval.high == 1.0
+        assert interval.low > 0.95
+
+    def test_contains_true_proportion_mostly(self):
+        rng = random.Random(0)
+        p = 0.3
+        hits = 0
+        for _ in range(100):
+            successes = sum(rng.random() < p for _ in range(200))
+            interval = clopper_pearson(successes, 200)
+            if interval.low <= p <= interval.high:
+                hits += 1
+        assert hits >= 90  # exact CI: coverage >= nominal
+
+    def test_narrows_with_more_trials(self):
+        wide = clopper_pearson(5, 50)
+        narrow = clopper_pearson(100, 1000)
+        assert (narrow.high - narrow.low) < (wide.high - wide.low)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clopper_pearson(1, 0)
+        with pytest.raises(ValueError):
+            clopper_pearson(5, 3)
+        with pytest.raises(ValueError):
+            clopper_pearson(1, 10, confidence=1.5)
+
+
+class TestRuleOfThree:
+    def test_matches_classic_3_over_n(self):
+        assert rule_of_three(1000) == pytest.approx(3.0 / 1000, rel=0.01)
+
+    def test_consistent_with_clopper_pearson(self):
+        # The rule of three is a one-sided 95% bound, i.e. the upper
+        # end of a two-sided 90% Clopper-Pearson interval.
+        n = 500
+        assert rule_of_three(n) == pytest.approx(
+            clopper_pearson(0, n, confidence=0.90).high, rel=0.05
+        )
+
+
+class TestRequiredRuns:
+    def test_rare_events_need_many_runs(self):
+        assert required_runs(1e-6) > 2_900_000
+
+    def test_common_events_need_few(self):
+        assert required_runs(0.5) == 5  # (1-0.5)^5 < 0.05
+
+    def test_monotone_in_probability(self):
+        assert required_runs(1e-4) > required_runs(1e-2) > required_runs(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_runs(0.0)
+        with pytest.raises(ValueError):
+            required_runs(0.5, confidence=0.0)
+
+
+class TestWeightedEstimator:
+    def test_unweighted_matches_frequency(self):
+        estimator = WeightedRateEstimator()
+        for failed in [True, False, False, False]:
+            estimator.record(1.0, failed)
+        assert estimator.estimate == pytest.approx(0.25)
+
+    def test_importance_weights_correct_bias(self):
+        # Boosted sampling: rare class sampled 10x more often, weight
+        # 0.1; the weighted estimate must recover the true mixture.
+        estimator = WeightedRateEstimator()
+        # 50 boosted samples (true share would be 5), all failing.
+        for _ in range(50):
+            estimator.record(0.1, True)
+        # 50 normal samples, none failing.
+        for _ in range(50):
+            estimator.record(1.0, False)
+        # True failure probability: 5 fail / 55 effective = 1/11.
+        assert estimator.estimate == pytest.approx(1 / 11)
+
+    def test_interval_contains_estimate(self):
+        estimator = WeightedRateEstimator()
+        rng = random.Random(1)
+        for _ in range(500):
+            estimator.record(1.0, rng.random() < 0.2)
+        interval = estimator.interval()
+        assert interval.low <= estimator.estimate <= interval.high
+        assert interval.high - interval.low < 0.15
+
+    def test_empty_estimator_raises(self):
+        with pytest.raises(ValueError):
+            _ = WeightedRateEstimator().estimate
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedRateEstimator().record(0.0, True)
+
+
+class TestRateConversion:
+    def test_rate_per_hour(self):
+        assert failure_rate_per_hour(0.01, 0.001) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            failure_rate_per_hour(0.1, 0.0)

@@ -1,0 +1,161 @@
+"""Unit tests for the AUTOSAR-flavoured layer."""
+
+import pytest
+
+from repro.kernel import Module, Simulator
+from repro.sw import AliveSupervision, Rte, Rtos, Runnable, map_runnable
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator()
+    top = Module("top", sim=sim)
+    rtos = Rtos("os", parent=top)
+    rte = Rte(sim)
+    return sim, top, rtos, rte
+
+
+class TestComSignals:
+    def test_unwritten_signal_is_stale(self, rig):
+        sim, _, _, rte = rig
+        rte.define("speed", initial=0, timeout=1000)
+        value, fresh = rte.read("speed")
+        assert value == 0
+        assert not fresh
+
+    def test_fresh_within_timeout(self, rig):
+        sim, _, _, rte = rig
+        rte.define("speed", timeout=1000)
+        rte.write("speed", 42)
+        value, fresh = rte.read("speed")
+        assert (value, fresh) == (42, True)
+
+    def test_stale_after_timeout(self, rig):
+        sim, top, _, rte = rig
+        rte.define("speed", timeout=1000)
+        results = []
+
+        def scenario():
+            rte.write("speed", 42)
+            yield 1500
+            results.append(rte.read("speed"))
+
+        top.process(scenario())
+        sim.run()
+        assert results == [(42, False)]
+
+    def test_no_timeout_never_stale(self, rig):
+        sim, top, _, rte = rig
+        rte.define("mode")
+        rte.write("mode", 3)
+
+        def later():
+            yield 10**9
+            assert rte.read("mode") == (3, True)
+
+        top.process(later())
+        sim.run()
+
+    def test_duplicate_definition_rejected(self, rig):
+        _, _, _, rte = rig
+        rte.define("x")
+        with pytest.raises(ValueError):
+            rte.define("x")
+
+
+class TestRunnables:
+    def test_runnable_executes_on_task_completion(self, rig):
+        sim, _, rtos, rte = rig
+        rte.define("counter", initial=0)
+
+        def body(runnable):
+            value, _ = runnable.rte.read("counter")
+            runnable.rte.write("counter", value + 1)
+
+        runnable = Runnable("step", body)
+        map_runnable(rtos, rte, runnable, priority=1, wcet=10, period=100)
+        rtos.start()
+        sim.run(until=500)
+        assert runnable.executions == 5
+        assert rte.read("counter")[0] == 5
+
+    def test_unbound_runnable_raises(self):
+        runnable = Runnable("orphan", lambda r: None)
+        with pytest.raises(RuntimeError):
+            _ = runnable.rte
+
+    def test_checkpoints_are_timestamps(self, rig):
+        sim, _, rtos, rte = rig
+        runnable = Runnable("noop", lambda r: None)
+        map_runnable(rtos, rte, runnable, priority=1, wcet=10, period=100)
+        rtos.start()
+        sim.run(until=250)
+        assert runnable.checkpoints == [10, 110, 210]
+
+
+class TestAliveSupervision:
+    def test_healthy_runnable_passes(self, rig):
+        sim, top, rtos, rte = rig
+        runnable = Runnable("periodic", lambda r: None)
+        map_runnable(rtos, rte, runnable, priority=1, wcet=10, period=100)
+        supervisor = AliveSupervision(
+            "wdgm", parent=top, runnable=runnable,
+            window=1000, min_count=9, max_count=11,
+        )
+        rtos.start()
+        sim.run(until=5000)
+        assert supervisor.violations == 0
+        assert not supervisor.failed
+
+    def test_starved_runnable_flagged(self, rig):
+        sim, top, rtos, rte = rig
+        runnable = Runnable("starved", lambda r: None)
+        # Mapped but never started: zero executions per window.
+        runnable.bind(rte)
+        supervisor = AliveSupervision(
+            "wdgm", parent=top, runnable=runnable,
+            window=1000, min_count=1, max_count=100,
+        )
+        sim.run(until=3000)
+        assert supervisor.violations == 3
+        assert supervisor.failed
+
+    def test_runaway_runnable_flagged(self, rig):
+        sim, top, rtos, rte = rig
+        runnable = Runnable("runaway", lambda r: None)
+        map_runnable(rtos, rte, runnable, priority=1, wcet=1, period=10)
+        supervisor = AliveSupervision(
+            "wdgm", parent=top, runnable=runnable,
+            window=1000, min_count=0, max_count=50,
+        )
+        rtos.start()
+        sim.run(until=2000)
+        assert supervisor.violations == 2  # ~100 executions per window
+
+    def test_failed_threshold_needs_consecutive_windows(self, rig):
+        sim, top, rtos, rte = rig
+        runnable = Runnable("flaky", lambda r: None)
+        runnable.bind(rte)
+        supervisor = AliveSupervision(
+            "wdgm", parent=top, runnable=runnable,
+            window=1000, min_count=1, max_count=10, failed_threshold=3,
+        )
+        sim.run(until=2000)
+        assert supervisor.violations == 2
+        assert not supervisor.failed
+        sim.run(until=3000)
+        assert supervisor.failed
+
+    def test_parameter_validation(self, rig):
+        _, top, _, rte = rig
+        runnable = Runnable("r", lambda r: None)
+        with pytest.raises(ValueError):
+            AliveSupervision(
+                "w1", parent=top, runnable=runnable,
+                window=0, min_count=0, max_count=1,
+            )
+        with pytest.raises(ValueError):
+            AliveSupervision(
+                "w2", parent=top, runnable=runnable,
+                window=10, min_count=5, max_count=1,
+            )

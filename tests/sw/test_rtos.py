@@ -1,0 +1,197 @@
+"""Unit tests for the preemptive RTOS model."""
+
+import pytest
+
+from repro.kernel import Module, Simulator
+from repro.sw import Rtos, Task
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator()
+    top = Module("top", sim=sim)
+    rtos = Rtos("os", parent=top)
+    return sim, rtos
+
+
+class TestTaskValidation:
+    def test_wcet_positive(self):
+        with pytest.raises(ValueError):
+            Task("t", priority=1, wcet=0, period=100)
+
+    def test_sporadic_needs_deadline(self):
+        with pytest.raises(ValueError):
+            Task("t", priority=1, wcet=10)
+
+    def test_deadline_defaults_to_period(self):
+        task = Task("t", priority=1, wcet=10, period=100)
+        assert task.deadline == 100
+
+    def test_duplicate_names_rejected(self, rig):
+        _, rtos = rig
+        rtos.add_task(Task("t", priority=1, wcet=10, period=100))
+        with pytest.raises(ValueError):
+            rtos.add_task(Task("t", priority=2, wcet=10, period=100))
+
+
+class TestScheduling:
+    def test_single_periodic_task_runs(self, rig):
+        sim, rtos = rig
+        task = rtos.add_task(Task("t", priority=1, wcet=10, period=100))
+        rtos.start()
+        sim.run(until=1000)
+        # Releases at t=0,100,...,1000 inclusive; the last job has no
+        # time to finish before the horizon.
+        assert task.activations == 11
+        assert len(task.completed_jobs) == 10
+        assert task.worst_response_time == 10
+
+    def test_high_priority_preempts_low(self, rig):
+        sim, rtos = rig
+        low = rtos.add_task(Task("low", priority=1, wcet=50, period=200))
+        high = rtos.add_task(
+            Task("high", priority=10, wcet=10, period=200, offset=20)
+        )
+        rtos.start()
+        sim.run(until=200)
+        # High released at t=20 mid low-job; runs immediately.
+        high_job = high.completed_jobs[0]
+        assert high_job.start_time == 20
+        assert high_job.finish_time == 30
+        # Low finishes late: 50 demand + 10 preemption = finish at 60.
+        low_job = low.completed_jobs[0]
+        assert low_job.finish_time == 60
+
+    def test_equal_priority_fifo(self, rig):
+        sim, rtos = rig
+        t1 = rtos.add_task(Task("t1", priority=5, wcet=10, period=1000))
+        t2 = rtos.add_task(Task("t2", priority=5, wcet=10, period=1000))
+        rtos.start()
+        sim.run(until=100)
+        assert t1.completed_jobs[0].finish_time < t2.completed_jobs[0].finish_time
+
+    def test_deadline_miss_detected_on_overload(self, rig):
+        sim, rtos = rig
+        # Utilization 1.5: something must miss.
+        rtos.add_task(Task("a", priority=2, wcet=75, period=100))
+        rtos.add_task(Task("b", priority=1, wcet=75, period=100))
+        rtos.start()
+        sim.run(until=1000)
+        assert rtos.total_deadline_misses > 0
+
+    def test_no_misses_in_feasible_set(self, rig):
+        sim, rtos = rig
+        # Rate-monotonic, utilization ~0.55: trivially schedulable.
+        rtos.add_task(Task("fast", priority=3, wcet=10, period=50))
+        rtos.add_task(Task("mid", priority=2, wcet=20, period=100))
+        rtos.add_task(Task("slow", priority=1, wcet=30, period=200))
+        rtos.start()
+        sim.run(until=10_000)
+        assert rtos.total_deadline_misses == 0
+
+    def test_sporadic_trigger(self, rig):
+        sim, rtos = rig
+        task = rtos.add_task(
+            Task("sporadic", priority=5, wcet=10, deadline=50)
+        )
+        rtos.start()
+
+        def trigger_later():
+            yield 123
+            rtos.trigger("sporadic")
+
+        sim.spawn(trigger_later())
+        sim.run(until=500)
+        assert task.activations == 1
+        assert task.completed_jobs[0].finish_time == 133
+
+    def test_body_runs_on_completion(self, rig):
+        sim, rtos = rig
+        finished = []
+        rtos.add_task(
+            Task(
+                "t", priority=1, wcet=10, period=100,
+                body=lambda job: finished.append(sim.now),
+            )
+        )
+        rtos.start()
+        sim.run(until=250)
+        assert finished == [10, 110, 210]
+
+    def test_offset_delays_first_release(self, rig):
+        sim, rtos = rig
+        task = rtos.add_task(
+            Task("t", priority=1, wcet=10, period=100, offset=40)
+        )
+        rtos.start()
+        sim.run(until=100)
+        assert task.jobs[0].release_time == 40
+
+    def test_add_task_after_start_rejected(self, rig):
+        _, rtos = rig
+        rtos.start()
+        with pytest.raises(RuntimeError):
+            rtos.add_task(Task("late", priority=1, wcet=10, period=100))
+
+    def test_utilization(self, rig):
+        _, rtos = rig
+        rtos.add_task(Task("a", priority=1, wcet=10, period=100))
+        rtos.add_task(Task("b", priority=2, wcet=30, period=100))
+        assert rtos.utilization() == pytest.approx(0.4)
+
+
+class TestOverheadInjection:
+    def test_overhead_extends_next_job_only(self, rig):
+        sim, rtos = rig
+        task = rtos.add_task(Task("t", priority=1, wcet=10, period=100))
+        rtos.add_overhead("t", 25)
+        rtos.start()
+        sim.run(until=300)
+        responses = [j.response_time for j in task.completed_jobs]
+        assert responses == [35, 10, 10]
+
+    def test_overhead_causes_deadline_miss(self, rig):
+        sim, rtos = rig
+        task = rtos.add_task(
+            Task("t", priority=1, wcet=10, period=100, deadline=20)
+        )
+        rtos.add_overhead("t", 50)
+        rtos.start()
+        sim.run(until=300)
+        assert task.deadline_misses == 1
+        # The value was computed correctly, just late: this is exactly
+        # the "right value at the wrong time" failure mode.
+        assert task.completed_jobs[0].response_time == 60
+
+    def test_negative_overhead_rejected(self, rig):
+        _, rtos = rig
+        rtos.add_task(Task("t", priority=1, wcet=10, period=100))
+        with pytest.raises(ValueError):
+            rtos.add_overhead("t", -1)
+
+    def test_overhead_accumulates(self, rig):
+        sim, rtos = rig
+        task = rtos.add_task(Task("t", priority=1, wcet=10, period=100))
+        rtos.add_overhead("t", 5)
+        rtos.add_overhead("t", 5)
+        rtos.start()
+        sim.run(until=100)
+        assert task.completed_jobs[0].response_time == 20
+
+
+class TestAccounting:
+    def test_busy_plus_idle_spans_runtime(self, rig):
+        sim, rtos = rig
+        rtos.add_task(Task("t", priority=1, wcet=30, period=100))
+        rtos.start()
+        sim.run(until=1000)
+        assert rtos.busy_time == 300
+
+    def test_context_switches_counted(self, rig):
+        sim, rtos = rig
+        rtos.add_task(Task("a", priority=1, wcet=50, period=200))
+        rtos.add_task(Task("b", priority=5, wcet=10, period=200, offset=20))
+        rtos.start()
+        sim.run(until=200)
+        # a starts, b preempts, a resumes: at least 3 switches.
+        assert rtos.context_switches >= 3

@@ -1,0 +1,186 @@
+"""Unit tests for symbolic expressions, the solver, and path search."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.symbolic import (
+    ConcreteContext,
+    NonLinearError,
+    SymbolicEngine,
+    Var,
+    random_search,
+    satisfiable,
+    solve,
+)
+
+
+class TestExpressions:
+    def test_linear_arithmetic(self):
+        a, b = Var("a"), Var("b")
+        expr = 2 * a - b + 3
+        assert expr.evaluate({"a": 5, "b": 1}) == 12
+
+    def test_nested_combination(self):
+        a, b = Var("a"), Var("b")
+        expr = (a + b) - (a - b)  # = 2b
+        assert expr.evaluate({"a": 100, "b": 7}) == 14
+        assert expr.variables == {"b"}
+
+    def test_nonlinear_rejected(self):
+        a, b = Var("a"), Var("b")
+        with pytest.raises(NonLinearError):
+            _ = a * b
+        with pytest.raises(NonLinearError):
+            _ = a * 1.5
+
+    def test_constraint_holds(self):
+        a = Var("a")
+        assert (a <= 5).holds({"a": 5})
+        assert not (a < 5).holds({"a": 5})
+        assert (a.eq(3)).holds({"a": 3})
+        assert (a.ne(3)).holds({"a": 4})
+
+    def test_negate_roundtrip(self):
+        a = Var("a")
+        for constraint in (a <= 3, a < 3, a >= 3, a > 3, a.eq(3), a.ne(3)):
+            negated = constraint.negate()
+            for value in range(0, 7):
+                env = {"a": value}
+                assert constraint.holds(env) != negated.holds(env)
+
+
+class TestSolver:
+    def test_simple_bounds(self):
+        a = Var("a")
+        witness = solve([a >= 10, a <= 12], {"a": (0, 100)})
+        assert witness is not None and 10 <= witness["a"] <= 12
+
+    def test_unsat_detected(self):
+        a = Var("a")
+        assert solve([a >= 10, a <= 5], {"a": (0, 100)}) is None
+
+    def test_domain_bound_respected(self):
+        a = Var("a")
+        assert solve([a >= 200], {"a": (0, 100)}) is None
+
+    def test_two_variable_coupling(self):
+        a, b = Var("a"), Var("b")
+        witness = solve(
+            [(a + b).eq(100), a - b >= 50], {"a": (0, 100), "b": (0, 100)}
+        )
+        assert witness is not None
+        assert witness["a"] + witness["b"] == 100
+        assert witness["a"] - witness["b"] >= 50
+
+    def test_negative_coefficients(self):
+        a, b = Var("a"), Var("b")
+        witness = solve(
+            [(3 * a - 2 * b) <= -10], {"a": (0, 20), "b": (0, 20)}
+        )
+        assert witness is not None
+        assert 3 * witness["a"] - 2 * witness["b"] <= -10
+
+    def test_not_equal_constraint(self):
+        a = Var("a")
+        witness = solve([a >= 3, a <= 4, a.ne(3)], {"a": (0, 10)})
+        assert witness == {"a": 4}
+
+    def test_missing_domain_rejected(self):
+        a = Var("a")
+        with pytest.raises(KeyError):
+            solve([a <= 3], {})
+
+    @given(
+        st.integers(-50, 50), st.integers(-50, 50), st.integers(-50, 50)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_solver_sound(self, c1, c2, rhs):
+        # Whatever it returns must actually satisfy the constraints.
+        a, b = Var("a"), Var("b")
+        constraints = [(c1 * a + c2 * b) <= rhs, a + b >= 0]
+        witness = solve(constraints, {"a": (-10, 10), "b": (-10, 10)})
+        if witness is not None:
+            for constraint in constraints:
+                assert constraint.holds(witness)
+
+    def test_solver_complete_on_small_domains(self):
+        # Exhaustive cross-check on a small grid.
+        a, b = Var("a"), Var("b")
+        constraints = [(2 * a - 3 * b).eq(1), a > b]
+        witness = solve(constraints, {"a": (0, 8), "b": (0, 8)})
+        brute = [
+            (x, y)
+            for x in range(9)
+            for y in range(9)
+            if 2 * x - 3 * y == 1 and x > y
+        ]
+        assert (witness is not None) == bool(brute)
+
+
+def guarded_airbag(ctx):
+    """Three stacked plausibility checks guard the firing branch."""
+    a = ctx.var("a")
+    b = ctx.var("b")
+    rate = ctx.var("rate")
+    if not ctx.branch((a - b) <= 30):
+        return "reject_plausibility"
+    if not ctx.branch((b - a) <= 30):
+        return "reject_plausibility"
+    if not ctx.branch(rate <= 100):
+        return "reject_rate"
+    if ctx.branch(a >= 3900):
+        if ctx.branch(b >= 3900):
+            return "fire"
+        return "idle"
+    return "idle"
+
+
+DOMAINS = {"a": (0, 4095), "b": (0, 4095), "rate": (0, 4095)}
+
+
+class TestEngine:
+    def test_explores_all_outcomes(self):
+        engine = SymbolicEngine(DOMAINS)
+        outcomes = {p.outcome for p in engine.explore(guarded_airbag)}
+        assert outcomes == {"reject_plausibility", "reject_rate", "idle", "fire"}
+
+    def test_witnesses_replay_concretely(self):
+        engine = SymbolicEngine(DOMAINS)
+        for path in engine.explore(guarded_airbag):
+            assert guarded_airbag(ConcreteContext(path.witness)) == path.outcome
+
+    def test_find_input_reaches_guarded_state(self):
+        engine = SymbolicEngine(DOMAINS)
+        witness = engine.find_input(guarded_airbag, "fire")
+        assert witness is not None
+        assert witness["a"] >= 3900 and witness["b"] >= 3900
+        assert abs(witness["a"] - witness["b"]) <= 30
+
+    def test_infeasible_target_returns_none(self):
+        def impossible(ctx):
+            a = ctx.var("a")
+            if ctx.branch(a >= 10):
+                if ctx.branch(a <= 5):
+                    return "never"
+            return "ok"
+
+        engine = SymbolicEngine({"a": (0, 100)})
+        assert engine.find_input(impossible, "never") is None
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            SymbolicEngine({"a": (5, 2)})
+
+    def test_random_search_baseline_struggles(self):
+        # The fire state needs a ~(196/4096)^2-ish coincidence plus the
+        # plausibility band: random search usually burns its budget.
+        rng = random.Random(0)
+        witness, attempts = random_search(
+            guarded_airbag, DOMAINS, "fire", rng, attempts=2000
+        )
+        engine = SymbolicEngine(DOMAINS)
+        symbolic_witness = engine.find_input(guarded_airbag, "fire")
+        assert symbolic_witness is not None
+        assert witness is None or attempts > engine.paths_explored

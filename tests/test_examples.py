@@ -1,0 +1,41 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Each example is executed as a subprocess exactly the way a user would
+run it; "done." on stdout and a zero exit code are the contract.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_all_examples_enumerated():
+    names = {path.name for path in EXAMPLES}
+    assert names == {
+        "quickstart.py",
+        "caps_airbag.py",
+        "adaptive_cruise.py",
+        "steering_servo.py",
+        "testbench_qualification.py",
+        "lockstep_qualification.py",
+    }
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=lambda path: path.stem
+)
+def test_example_runs_clean(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=str(EXAMPLES_DIR.parent),
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert "done." in completed.stdout

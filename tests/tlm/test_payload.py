@@ -1,0 +1,67 @@
+"""Unit tests for the TLM generic payload."""
+
+import pytest
+
+from repro.tlm import Command, GenericPayload, Response
+
+
+class TestConstruction:
+    def test_read_constructor(self):
+        payload = GenericPayload.read(0x100, 4)
+        assert payload.command is Command.READ
+        assert payload.address == 0x100
+        assert len(payload.data) == 4
+        assert payload.response is Response.INCOMPLETE
+
+    def test_write_constructor_copies_data(self):
+        source = bytearray(b"\x01\x02")
+        payload = GenericPayload.write(0x200, source)
+        source[0] = 0xFF
+        assert payload.data == bytearray(b"\x01\x02")
+
+    def test_word_round_trip(self):
+        payload = GenericPayload.write_word(0, 0xDEADBEEF)
+        assert payload.word == 0xDEADBEEF
+        payload.word = 0x12345678
+        assert payload.data == bytearray((0x12345678).to_bytes(4, "little"))
+
+    def test_streaming_width_defaults_to_length(self):
+        payload = GenericPayload.read(0, 8)
+        assert payload.streaming_width == 8
+
+
+class TestStatus:
+    def test_ok_helpers(self):
+        payload = GenericPayload.read(0, 4)
+        assert not payload.ok
+        payload.set_ok()
+        assert payload.ok
+
+    def test_set_error_rejects_non_error(self):
+        payload = GenericPayload.read(0, 4)
+        with pytest.raises(ValueError):
+            payload.set_error(Response.OK)
+
+    def test_error_classification(self):
+        assert Response.ADDRESS_ERROR.is_error
+        assert not Response.OK.is_error
+        assert not Response.INCOMPLETE.is_error
+
+
+class TestClone:
+    def test_clone_is_independent(self):
+        payload = GenericPayload.write(0x10, b"\xAA\xBB")
+        payload.extensions["tag"] = 1
+        payload.injected.append("inj0")
+        copy = payload.clone()
+        copy.data[0] = 0
+        copy.extensions["tag"] = 2
+        copy.injected.append("inj1")
+        assert payload.data[0] == 0xAA
+        assert payload.extensions["tag"] == 1
+        assert payload.injected == ["inj0"]
+
+    def test_clone_preserves_response(self):
+        payload = GenericPayload.read(0, 4)
+        payload.set_error(Response.ADDRESS_ERROR)
+        assert payload.clone().response is Response.ADDRESS_ERROR

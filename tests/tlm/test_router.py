@@ -1,0 +1,175 @@
+"""Unit tests for the address-decoding router and sockets."""
+
+import pytest
+
+from repro.hw import Memory
+from repro.kernel import Module, Simulator
+from repro.tlm import GenericPayload, InitiatorSocket, Response, Router
+
+
+@pytest.fixture
+def platform():
+    sim = Simulator()
+    top = Module("top", sim=sim)
+    router = Router("bus", parent=top, hop_latency=10)
+    mem0 = Memory("mem0", parent=top, size=256, read_latency=20, write_latency=30)
+    mem1 = Memory("mem1", parent=top, size=256)
+    router.map_target(0x1000, 256, mem0.tsock, "mem0")
+    router.map_target(0x2000, 256, mem1.tsock, "mem1")
+    initiator = InitiatorSocket(top, "isock")
+    initiator.bind(router.tsock)
+    return sim, top, router, mem0, mem1, initiator
+
+
+class TestDecode:
+    def test_routes_to_correct_target(self, platform):
+        _, _, _, mem0, mem1, isock = platform
+        payload = GenericPayload.write(0x2010, b"\x42\x00\x00\x00")
+        isock.b_transport(payload)
+        assert payload.ok
+        assert mem1.data[0x10] == 0x42
+        assert mem0.data[0x10] == 0
+
+    def test_address_rebased_and_restored(self, platform):
+        _, _, _, mem0, _, isock = platform
+        payload = GenericPayload.write(0x1004, b"\x99\x00\x00\x00")
+        isock.b_transport(payload)
+        assert mem0.data[4] == 0x99
+        assert payload.address == 0x1004  # restored for the initiator
+
+    def test_unmapped_address_errors(self, platform):
+        _, _, router, _, _, isock = platform
+        payload = GenericPayload.read(0x5000, 4)
+        isock.b_transport(payload)
+        assert payload.response is Response.ADDRESS_ERROR
+        assert router.decode_errors == 1
+
+    def test_access_straddling_region_end_errors(self, platform):
+        _, _, _, _, _, isock = platform
+        payload = GenericPayload.read(0x10FE, 4)  # crosses mem0 end
+        isock.b_transport(payload)
+        assert payload.response is Response.ADDRESS_ERROR
+
+    def test_overlapping_map_rejected(self, platform):
+        _, top, router, mem0, _, _ = platform
+        with pytest.raises(ValueError):
+            router.map_target(0x1080, 256, mem0.tsock)
+
+    def test_zero_size_map_rejected(self, platform):
+        _, _, router, mem0, _, _ = platform
+        with pytest.raises(ValueError):
+            router.map_target(0x9000, 0, mem0.tsock)
+
+    def test_address_map_listing(self, platform):
+        _, _, router, _, _, _ = platform
+        assert router.address_map == [
+            (0x1000, 256, "mem0"),
+            (0x2000, 256, "mem1"),
+        ]
+
+
+class TestLatency:
+    def test_hop_latency_accumulates(self, platform):
+        _, _, _, _, _, isock = platform
+        payload = GenericPayload.read(0x1000, 4)
+        delay = isock.b_transport(payload, 0)
+        assert delay == 10 + 20  # router hop + mem0 read latency
+
+    def test_write_latency_differs(self, platform):
+        _, _, _, _, _, isock = platform
+        payload = GenericPayload.write(0x1000, b"\x00" * 4)
+        delay = isock.b_transport(payload, 5)
+        assert delay == 5 + 10 + 30
+
+
+class TestDmi:
+    def test_dmi_grant_translated_to_initiator_space(self, platform):
+        _, _, _, mem0, _, isock = platform
+        payload = GenericPayload.read(0x1000, 4)
+        region = isock.get_dmi(payload)
+        assert region is not None
+        assert region.start == 0x1000
+        assert region.end == 0x1100
+        assert region.store is mem0.data
+
+    def test_dmi_denied_when_memory_forbids(self, platform):
+        sim, top, router, *_ = platform
+        nodmi = Memory("nodmi", parent=top, size=64, dmi_allowed=False)
+        router.map_target(0x3000, 64, nodmi.tsock)
+        isock = InitiatorSocket(top, "isock2")
+        isock.bind(router.tsock)
+        assert isock.get_dmi(GenericPayload.read(0x3000, 4)) is None
+
+    def test_dmi_unmapped_is_none(self, platform):
+        _, _, _, _, _, isock = platform
+        assert isock.get_dmi(GenericPayload.read(0x9000, 4)) is None
+
+
+class TestSocketBinding:
+    def test_unbound_transport_raises(self):
+        sim = Simulator()
+        top = Module("top", sim=sim)
+        isock = InitiatorSocket(top, "isock")
+        with pytest.raises(RuntimeError):
+            isock.b_transport(GenericPayload.read(0, 4))
+
+    def test_double_bind_raises(self, platform):
+        _, top, router, _, _, isock = platform
+        with pytest.raises(RuntimeError):
+            isock.bind(router.tsock)
+
+    def test_interceptors_see_payload(self, platform):
+        _, _, _, mem0, _, isock = platform
+        seen = []
+        isock.interceptors.append(lambda p: seen.append(p.address))
+        isock.b_transport(GenericPayload.read(0x1000, 4))
+        assert seen == [0x1000]
+
+    def test_target_interceptor_can_corrupt(self, platform):
+        _, _, _, mem0, _, isock = platform
+
+        def flip_low_bit(payload):
+            if payload.command.value == "write":
+                payload.data[0] ^= 1
+
+        mem0.tsock.interceptors.append(flip_low_bit)
+        isock.b_transport(GenericPayload.write(0x1000, b"\x10\x00\x00\x00"))
+        assert mem0.data[0] == 0x11
+
+
+class TestApproximatelyTimed:
+    def test_at_transport_consumes_kernel_time(self, platform):
+        sim, top, _, mem0, _, isock = platform
+        done = []
+
+        def initiator():
+            payload = GenericPayload.read(0x1000, 4)
+            yield from isock.at_transport(payload)
+            done.append((sim.now, payload.ok))
+
+        sim.spawn(initiator())
+        sim.run()
+        # hop latency + split read latency = 10 + 20 total
+        assert done == [(30, True)]
+
+    def test_nested_routers_accumulate_at_latency(self):
+        sim = Simulator()
+        top = Module("top", sim=sim)
+        backbone = Router("backbone", parent=top, hop_latency=7)
+        local = Router("local", parent=top, hop_latency=3)
+        mem = Memory("mem", parent=top, size=64, read_latency=10)
+        local.map_target(0x0, 64, mem.tsock)
+        backbone.map_target(0x8000, 64, local.tsock)
+        isock = InitiatorSocket(top, "isock")
+        isock.bind(backbone.tsock)
+        done = []
+
+        def initiator():
+            payload = GenericPayload.read(0x8004, 4)
+            yield from isock.at_transport(payload)
+            done.append((sim.now, payload.ok))
+
+        sim.spawn(initiator())
+        sim.run()
+        assert done[0][1] is True
+        assert done[0][0] == 7 + 3 + 10

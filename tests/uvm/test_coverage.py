@@ -1,0 +1,150 @@
+"""Unit tests for functional coverage."""
+
+import pytest
+
+from repro.uvm import Bin, Covergroup, Coverpoint, Cross, range_bins
+
+
+class TestBin:
+    def test_value_bin(self):
+        bin_ = Bin("low", values=(0, 1, 2))
+        assert bin_.matches(1)
+        assert not bin_.matches(5)
+
+    def test_range_bin(self):
+        bin_ = Bin("mid", low=10, high=20)
+        assert bin_.matches(10)
+        assert bin_.matches(20)
+        assert not bin_.matches(21)
+
+    def test_open_ended_range(self):
+        assert Bin("hi", low=100).matches(10**9)
+        assert Bin("lo", high=0).matches(-5)
+
+    def test_needs_definition(self):
+        with pytest.raises(ValueError):
+            Bin("empty")
+
+
+class TestCoverpoint:
+    def make_point(self):
+        return Coverpoint(
+            "speed",
+            bins=[
+                Bin("stopped", values=(0,)),
+                Bin("slow", low=1, high=50),
+                Bin("fast", low=51, high=250),
+            ],
+        )
+
+    def test_coverage_progression(self):
+        point = self.make_point()
+        assert point.coverage == 0.0
+        point.sample(0)
+        assert point.coverage == pytest.approx(1 / 3)
+        point.sample(30)
+        point.sample(100)
+        assert point.coverage == 1.0
+
+    def test_miss_counted(self):
+        point = self.make_point()
+        point.sample(9999)
+        assert point.misses == 1
+
+    def test_uncovered_bins(self):
+        point = self.make_point()
+        point.sample(10)
+        assert point.uncovered_bins() == ["stopped", "fast"]
+
+    def test_extract_function(self):
+        point = Coverpoint(
+            "cmd",
+            bins=[Bin("read", values=("read",)), Bin("write", values=("write",))],
+            extract=lambda item: item["cmd"],
+        )
+        point.sample({"cmd": "read"})
+        assert point.coverage == 0.5
+
+    def test_duplicate_bin_names_rejected(self):
+        with pytest.raises(ValueError):
+            Coverpoint("p", bins=[Bin("x", values=(1,)), Bin("x", values=(2,))])
+
+    def test_empty_bins_rejected(self):
+        with pytest.raises(ValueError):
+            Coverpoint("p", bins=[])
+
+
+class TestRangeBins:
+    def test_partition_covers_span(self):
+        bins = range_bins("b", 0, 100, 4)
+        assert len(bins) == 4
+        for value in (0, 25, 50, 99, 100):
+            assert any(b.matches(value) for b in bins)
+
+    def test_no_overlap_at_boundaries(self):
+        bins = range_bins("b", 0, 100, 4)
+        for value in (10, 30, 60, 90):
+            assert sum(b.matches(value) for b in bins) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            range_bins("b", 0, 100, 0)
+        with pytest.raises(ValueError):
+            range_bins("b", 100, 0, 4)
+
+
+class TestCross:
+    def make_cross(self):
+        cmd = Coverpoint(
+            "cmd", bins=[Bin("r", values=("r",)), Bin("w", values=("w",))]
+        )
+        region = Coverpoint(
+            "region",
+            bins=[Bin("lo", low=0, high=99), Bin("hi", low=100, high=199)],
+        )
+        return Cross("cmd_x_region", [cmd, region]), cmd, region
+
+    def test_goal_size(self):
+        cross, *_ = self.make_cross()
+        assert cross.goal_size == 4
+
+    def test_sampling_fills_product(self):
+        cross, *_ = self.make_cross()
+        cross.sample(("r", 10))
+        assert cross.coverage == 0.25
+        cross.sample(("w", 10))
+        cross.sample(("r", 150))
+        cross.sample(("w", 150))
+        assert cross.coverage == 1.0
+
+    def test_subject_count_checked(self):
+        cross, *_ = self.make_cross()
+        with pytest.raises(ValueError):
+            cross.sample(("r",))
+
+    def test_needs_two_points(self):
+        point = Coverpoint("p", bins=[Bin("x", values=(1,))])
+        with pytest.raises(ValueError):
+            Cross("c", [point])
+
+
+class TestCovergroup:
+    def test_sample_by_name_and_report(self):
+        group = Covergroup("g")
+        group.add_coverpoint(
+            Coverpoint("a", bins=[Bin("one", values=(1,)), Bin("two", values=(2,))])
+        )
+        group.sample(a=1)
+        report = group.report()
+        assert report["coverpoint.a"] == 0.5
+        assert report["total"] == 0.5
+
+    def test_duplicate_names_rejected(self):
+        group = Covergroup("g")
+        point = Coverpoint("a", bins=[Bin("x", values=(1,))])
+        group.add_coverpoint(point)
+        with pytest.raises(ValueError):
+            group.add_coverpoint(point)
+
+    def test_empty_group_coverage_zero(self):
+        assert Covergroup("g").coverage == 0.0

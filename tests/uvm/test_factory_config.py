@@ -1,0 +1,117 @@
+"""Unit tests for the UVM factory and config DB."""
+
+import pytest
+
+from repro.uvm import ConfigDb, UvmFactory
+
+
+class Base:
+    def __init__(self, tag="base"):
+        self.tag = tag
+
+
+class Derived(Base):
+    def __init__(self, tag="derived"):
+        super().__init__(tag)
+
+
+class Other(Base):
+    pass
+
+
+@pytest.fixture
+def fac():
+    factory = UvmFactory()
+    factory.register(Base)
+    factory.register(Derived)
+    factory.register(Other)
+    return factory
+
+
+class TestFactory:
+    def test_create_registered_type(self, fac):
+        assert isinstance(fac.create("Base"), Base)
+
+    def test_create_unregistered_raises(self, fac):
+        with pytest.raises(KeyError):
+            fac.create("Ghost")
+
+    def test_type_override(self, fac):
+        fac.set_type_override("Base", "Derived")
+        assert type(fac.create("Base")) is Derived
+
+    def test_override_chain(self, fac):
+        fac.set_type_override("Base", "Derived")
+        fac.set_type_override("Derived", "Other")
+        assert type(fac.create("Base")) is Other
+
+    def test_override_cycle_detected(self, fac):
+        fac.set_type_override("Base", "Derived")
+        fac.set_type_override("Derived", "Base")
+        with pytest.raises(RuntimeError):
+            fac.create("Base")
+
+    def test_instance_override_scoped_by_path(self, fac):
+        fac.set_instance_override("Base", "Derived", "top.env0.*")
+        assert type(fac.create("Base", instance_path="top.env0.agent")) is Derived
+        assert type(fac.create("Base", instance_path="top.env1.agent")) is Base
+
+    def test_instance_override_beats_type_override(self, fac):
+        fac.set_type_override("Base", "Other")
+        fac.set_instance_override("Base", "Derived", "top.special*")
+        assert type(fac.create("Base", instance_path="top.special.x")) is Derived
+        assert type(fac.create("Base", instance_path="top.normal")) is Other
+
+    def test_clear_overrides(self, fac):
+        fac.set_type_override("Base", "Derived")
+        fac.clear_overrides()
+        assert type(fac.create("Base")) is Base
+
+    def test_register_custom_name(self, fac):
+        fac.register(Base, name="alias")
+        assert fac.is_registered("alias")
+
+    def test_constructor_arguments_forwarded(self, fac):
+        created = fac.create("Base", tag="custom")
+        assert created.tag == "custom"
+
+
+class TestConfigDb:
+    def test_get_default_when_missing(self):
+        db = ConfigDb()
+        assert db.get("top.a", "knob", default=7) == 7
+
+    def test_exact_path_match(self):
+        db = ConfigDb()
+        db.set("top.env.agent", "knob", 1)
+        assert db.get("top.env.agent", "knob") == 1
+        assert db.get("top.env.other", "knob") is None
+
+    def test_glob_match(self):
+        db = ConfigDb()
+        db.set("top.*", "knob", 2)
+        assert db.get("top.anything.deep", "knob") == 2
+
+    def test_most_specific_wins(self):
+        db = ConfigDb()
+        db.set("top.*", "knob", "generic")
+        db.set("top.env0.*", "knob", "specific")
+        assert db.get("top.env0.agent", "knob") == "specific"
+        assert db.get("top.env1.agent", "knob") == "generic"
+
+    def test_later_entry_wins_ties(self):
+        db = ConfigDb()
+        db.set("top.*", "knob", "first")
+        db.set("top.*", "knob", "second")
+        assert db.get("top.x", "knob") == "second"
+
+    def test_field_name_isolated(self):
+        db = ConfigDb()
+        db.set("*", "alpha", 1)
+        assert db.get("anything", "beta") is None
+
+    def test_exists(self):
+        db = ConfigDb()
+        db.set("*", "present", None)  # even a None value exists
+        assert db.exists("x", "present")
+        assert not db.exists("x", "absent")
