@@ -8,6 +8,8 @@ for the mapping to the paper.
 
 from __future__ import annotations
 
+import json
+import pathlib
 import random
 import typing as _t
 
@@ -59,12 +61,12 @@ AIRBAG_DURATION = simtime.ms(60)
 
 
 def airbag_campaign(seed: int = 7) -> Campaign:
+    # Registry-backed so the same campaign can run on every executor
+    # backend; the key resolves to exactly the CAPS callables above.
     return Campaign(
-        platform_factory=airbag.build_normal_operation,
-        observe=airbag.observe,
-        classifier=airbag.normal_operation_classifier(),
         duration=AIRBAG_DURATION,
         seed=seed,
+        platform="airbag-normal",
     )
 
 
@@ -89,6 +91,58 @@ def airbag_space(
         window_end=simtime.ms(30),
         time_bins=time_bins,
     )
+
+
+#: Where the campaign-throughput trajectory lands, next to the suite.
+CAMPAIGN_BENCH_PATH = pathlib.Path(__file__).parent / "BENCH_campaign.json"
+
+
+def campaign_bench_entry(label: str, result, wall_s: float, workers: int):
+    """One backend measurement for ``BENCH_campaign.json``.
+
+    ``result`` is a finished :class:`~repro.core.CampaignResult`; the
+    per-run kernel counters come from the executor instrumentation, so
+    throughput can be compared as *simulation work per second*, not
+    just runs per second.
+    """
+    runs = result.runs
+    totals = result.kernel_totals
+    per_run = {
+        key: (totals[key] / runs if runs else 0)
+        for key in ("events", "process_steps", "delta_cycles", "wall_s")
+    }
+    return {
+        "backend": label,
+        "workers": workers,
+        "runs": runs,
+        "wall_s": round(wall_s, 4),
+        "runs_per_s": round(runs / wall_s, 2) if wall_s else None,
+        "per_run_kernel": {
+            "events": round(per_run["events"], 1),
+            "process_steps": round(per_run["process_steps"], 1),
+            "delta_cycles": round(per_run["delta_cycles"], 1),
+            "sim_wall_s": round(per_run["wall_s"], 6),
+        },
+        "outcomes": {
+            outcome.name: count
+            for outcome, count in result.outcome_histogram().items()
+            if count
+        },
+    }
+
+
+def emit_campaign_bench(entries: _t.Sequence[dict]) -> pathlib.Path:
+    """Write ``BENCH_campaign.json`` so the runs/sec trajectory (and
+    the serial-vs-parallel speedup) is tracked across PRs."""
+    serial = {e["backend"]: e for e in entries}.get("serial")
+    payload: _t.Dict[str, _t.Any] = {"campaign": "fig3-caps-airbag",
+                                     "entries": list(entries)}
+    parallel = [e for e in entries if e["backend"] == "parallel"]
+    if serial and parallel and serial["runs_per_s"]:
+        best = max(e["runs_per_s"] or 0 for e in parallel)
+        payload["parallel_speedup"] = round(best / serial["runs_per_s"], 2)
+    CAMPAIGN_BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return CAMPAIGN_BENCH_PATH
 
 
 def adder_vectors(circuit) -> _t.Callable[[random.Random], dict]:

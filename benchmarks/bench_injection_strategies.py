@@ -45,16 +45,22 @@ def make_strategy(name: str, space, coverage):
     raise ValueError(name)
 
 
-def runs_to_first_hazard(name: str, seed: int) -> int:
-    """RUN_BUDGET+1 when the strategy never found the hazard."""
+def hazard_search(name: str, seed: int, backend="serial", batch_size=None):
+    """One bounded hazard hunt; returns the CampaignResult."""
     campaign = airbag_campaign(seed=seed)
     space = airbag_space(padded=True)
     coverage = FaultSpaceCoverage(space)
     strategy = make_strategy(name, space, coverage)
-    result = campaign.run(
+    return campaign.run(
         strategy, runs=RUN_BUDGET, coverage=coverage,
         stop_on=Outcome.HAZARDOUS,
+        backend=backend, batch_size=batch_size,
     )
+
+
+def runs_to_first_hazard(name: str, seed: int) -> int:
+    """RUN_BUDGET+1 when the strategy never found the hazard."""
+    result = hazard_search(name, seed)
     first = result.first_run_with(Outcome.HAZARDOUS)
     return first if first is not None else RUN_BUDGET + 1
 
@@ -66,6 +72,30 @@ def test_strategy_cost(benchmark, name):
     )
     benchmark.extra_info["runs_to_first_hazard"] = costs
     benchmark.extra_info["found"] = sum(c <= RUN_BUDGET for c in costs)
+    benchmark.extra_info["kernel"] = (
+        hazard_search(name, SEEDS[0]).report().get("kernel")
+    )
+
+
+def test_strategy_batched_feedback_consistency(benchmark):
+    """Batched feedback (the parallel-backend granularity) must not
+    change what the adaptive search finds — only when it learns.  Same
+    seed, same batch size: the weak-spot hunt lands on the same first
+    hazard whether feedback arrives per batch on the serial or the
+    pooled backend."""
+    import os
+
+    batched = benchmark(
+        lambda: hazard_search(
+            "weak_spot", SEEDS[0], batch_size=6
+        ).first_run_with(Outcome.HAZARDOUS)
+    )
+    if (os.cpu_count() or 1) >= 2:
+        pooled = hazard_search(
+            "weak_spot", SEEDS[0], backend="parallel", batch_size=6
+        ).first_run_with(Outcome.HAZARDOUS)
+        assert pooled == batched
+    benchmark.extra_info["first_hazard_batched"] = batched
 
 
 def test_strategy_shape(benchmark):

@@ -6,11 +6,14 @@ This walks the whole Fig. 3 loop in ~60 lines of user code:
 1. a platform factory building a tiny protected system,
 2. an observation function probing its state after a run,
 3. a classifier mapping observations to the fault-error-failure lattice,
-4. a fault space + strategy, and
-5. the campaign loop with coverage.
+4. a fault space + strategy,
+5. the campaign loop with coverage, and
+6. the same campaign fanned over a process pool (``backend="parallel"``).
 
 Run:  python examples/quickstart.py
 """
+
+import os
 
 from repro.core import (
     Campaign,
@@ -24,6 +27,7 @@ from repro.core import (
 from repro.faults import SRAM_SEU
 from repro.hw import EccMemory, Memory
 from repro.kernel import Module, Simulator
+from repro.platforms import register_platform
 from repro.tlm import GenericPayload
 
 
@@ -59,18 +63,28 @@ def observe(root: Module) -> dict:
     }
 
 
-def main() -> None:
-    classifier = build_standard_classifier(
+def make_classifier():
+    return build_standard_classifier(
         value_keys=["dest_image"],          # wrong copied data = SDC
         detection_keys=["ecc_detected"],    # uncorrectable, flagged
         masking_keys=["ecc_corrected"],     # corrected transparently
     )
+
+
+# Registering the platform by name is what lets parallel workers
+# rebuild it in their own processes; registration must run at import
+# time so spawned workers see it too.
+register_platform(
+    "quickstart-dma", build_platform, observe, make_classifier,
+    description="ECC RAM -> plain RAM copier from the quickstart",
+)
+
+
+def main() -> None:
     campaign = Campaign(
-        platform_factory=build_platform,
-        observe=observe,
-        classifier=classifier,
         duration=70_000,  # 70 us: the full copy
         seed=1,
+        platform="quickstart-dma",
     )
 
     # The fault space: SEUs in *both* memories (ECC-protected source
@@ -103,6 +117,26 @@ def main() -> None:
     )
     print("\n=== double-fault campaign ===")
     print(summarize(double))
+
+    # The same seeded campaign through the process-pool backend: the
+    # planner freezes each run into a picklable RunSpec, workers
+    # rebuild "quickstart-dma" from the registry, and the aggregated
+    # result is identical to the serial one (same seed + batch size).
+    workers = min(4, os.cpu_count() or 1) or 1
+    serial = campaign.run(
+        RandomStrategy(space, faults_per_scenario=1), runs=40,
+        batch_size=2 * workers,
+    )
+    parallel = campaign.run(
+        RandomStrategy(space, faults_per_scenario=1), runs=40,
+        backend="parallel", workers=workers, batch_size=2 * workers,
+    )
+    print(f"\n=== parallel backend ({workers} workers) ===")
+    print(summarize(parallel))
+    assert parallel.outcome_histogram() == serial.outcome_histogram()
+    kernel = parallel.report()["kernel"]
+    print(f"kernel work/run: {kernel['events'] // parallel.runs} events, "
+          f"{kernel['delta_cycles'] // parallel.runs} delta cycles")
 
     print("\nfault-space coverage:", f"{coverage.closure:.0%}")
     assert single.count(Outcome.HAZARDOUS) == 0

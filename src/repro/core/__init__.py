@@ -18,6 +18,19 @@ from .classification import (
     build_standard_classifier,
 )
 from .coverage import FaultSpaceCoverage
+from .executors import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    default_worker_count,
+    make_executor,
+)
+from .runspec import (
+    RunOutcome,
+    RunSpec,
+    execute_runspec,
+    execute_runspec_from_registry,
+)
 from .crosslayer import (
     derived_descriptor,
     error_pattern_outcomes,
@@ -74,6 +87,15 @@ __all__ = [
     "RunObservation",
     "build_standard_classifier",
     "FaultSpaceCoverage",
+    "Executor",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "default_worker_count",
+    "make_executor",
+    "RunOutcome",
+    "RunSpec",
+    "execute_runspec",
+    "execute_runspec_from_registry",
     "derived_descriptor",
     "error_pattern_outcomes",
     "naive_descriptor",

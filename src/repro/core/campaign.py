@@ -8,6 +8,19 @@ update coverage, feed the outcome back to the strategy — and repeat.
 determine the safety integrity level" (Sec. 3.4): the campaign result
 carries exactly those quantities (failure probabilities with exact
 confidence intervals, measured diagnostic coverage per fault class).
+
+Since the planner/executor split, the loop is three layers:
+
+* the **planner** (:meth:`Campaign.plan_batch`) asks the strategy for
+  a batch of scenarios and freezes each into a picklable
+  :class:`~repro.core.runspec.RunSpec` carrying its run seed, the run
+  duration, the platform registry key, and the golden observation;
+* an **executor** (:mod:`repro.core.executors`) runs the batch —
+  serially in-process, or fanned out over a process pool;
+* the **aggregation** layer below folds the returned
+  :class:`~repro.core.runspec.RunOutcome`s into records, coverage,
+  and batched strategy feedback, strictly in run-index order, so the
+  result is independent of worker scheduling.
 """
 
 from __future__ import annotations
@@ -19,6 +32,8 @@ from ..kernel import Module, Simulator
 from ..stats import WeightedRateEstimator, clopper_pearson
 from .classification import Classifier, Outcome, RunObservation
 from .coverage import FaultSpaceCoverage
+from .executors import Executor, make_executor
+from .runspec import RunOutcome, RunSpec
 from .scenario import ErrorScenario, FaultSpace
 from .strategies import Strategy
 from .stressor import Stressor
@@ -27,6 +42,10 @@ from .stressor import Stressor
 PlatformFactory = _t.Callable[[Simulator], Module]
 #: Collects probe values after a run.
 ObserveFn = _t.Callable[[Module], RunObservation]
+
+#: Kernel counters accumulated across a campaign (see
+#: ``Simulator.stats`` plus the executor-measured wall clock).
+KERNEL_COUNTER_KEYS = ("events", "process_steps", "delta_cycles", "wall_s")
 
 
 class RunRecord(_t.NamedTuple):
@@ -38,6 +57,7 @@ class RunRecord(_t.NamedTuple):
     matched_rules: _t.List[str]
     observation: RunObservation
     injections_applied: int
+    kernel_stats: _t.Optional[_t.Dict[str, _t.Any]] = None
 
 
 class CampaignResult:
@@ -47,9 +67,17 @@ class CampaignResult:
         self.duration = duration
         self.records: _t.List[RunRecord] = []
         self._estimators: _t.Dict[Outcome, WeightedRateEstimator] = {}
+        # Incremental per-outcome counters: count()/outcome_histogram()
+        # used to rescan every record on every call, which made result
+        # queries O(runs * |Outcome|) inside hot campaign loops.
+        self._counts: _t.Dict[Outcome, int] = {o: 0 for o in Outcome}
+        self.kernel_totals: _t.Dict[str, float] = dict.fromkeys(
+            KERNEL_COUNTER_KEYS, 0
+        )
 
     def append(self, record: RunRecord) -> None:
         self.records.append(record)
+        self._counts[record.outcome] += 1
         for outcome in Outcome:
             estimator = self._estimators.setdefault(
                 outcome, WeightedRateEstimator()
@@ -58,16 +86,19 @@ class CampaignResult:
                 record.scenario.sampling_weight or 1.0,
                 record.outcome is outcome,
             )
+        if record.kernel_stats:
+            for key in KERNEL_COUNTER_KEYS:
+                self.kernel_totals[key] += record.kernel_stats.get(key, 0)
 
     @property
     def runs(self) -> int:
         return len(self.records)
 
     def count(self, outcome: Outcome) -> int:
-        return sum(1 for r in self.records if r.outcome is outcome)
+        return self._counts[outcome]
 
     def outcome_histogram(self) -> _t.Dict[Outcome, int]:
-        return {outcome: self.count(outcome) for outcome in Outcome}
+        return dict(self._counts)
 
     def probability(self, outcome: Outcome) -> float:
         """Importance-weighted probability of *outcome* per run."""
@@ -116,32 +147,67 @@ class CampaignResult:
 
     def report(self) -> _t.Dict[str, _t.Any]:
         histogram = self.outcome_histogram()
-        return {
+        report: _t.Dict[str, _t.Any] = {
             "runs": self.runs,
             "outcomes": {o.name: n for o, n in histogram.items()},
             "failure_runs": len(self.failures()),
             "dangerous_runs": len(self.dangerous()),
         }
+        wall = self.kernel_totals.get("wall_s", 0)
+        if self.runs and wall:
+            report["kernel"] = {
+                "events": int(self.kernel_totals["events"]),
+                "process_steps": int(self.kernel_totals["process_steps"]),
+                "delta_cycles": int(self.kernel_totals["delta_cycles"]),
+                "sim_wall_s": round(wall, 6),
+                "runs_per_s": round(self.runs / wall, 3),
+            }
+        return report
 
 
 class Campaign:
-    """The Fig. 3 loop, parameterised by platform, probes, and strategy."""
+    """The Fig. 3 loop, parameterised by platform, probes, and strategy.
+
+    Two construction styles:
+
+    * explicit callables (``platform_factory``/``observe``/
+      ``classifier``) — serial execution only, since closures do not
+      cross process boundaries;
+    * a registry key (``platform="airbag-normal"``) — resolves the
+      callables from :mod:`repro.platforms.registry` and additionally
+      enables the parallel backend, whose workers rebuild the
+      platform from the key.
+    """
 
     def __init__(
         self,
-        platform_factory: PlatformFactory,
-        observe: ObserveFn,
-        classifier: Classifier,
-        duration: int,
+        platform_factory: _t.Optional[PlatformFactory] = None,
+        observe: _t.Optional[ObserveFn] = None,
+        classifier: _t.Optional[Classifier] = None,
+        duration: int = 0,
         seed: int = 0,
+        platform: _t.Optional[str] = None,
     ):
         if duration <= 0:
             raise ValueError("campaign run duration must be positive")
+        if platform is not None:
+            from ..platforms import registry
+
+            bundle = registry.get_platform(platform)
+            platform_factory = platform_factory or bundle.factory
+            observe = observe or bundle.observe
+            classifier = classifier or bundle.classifier_factory()
+        if platform_factory is None or observe is None or classifier is None:
+            raise ValueError(
+                "campaign needs platform_factory/observe/classifier, "
+                "either explicitly or via a platform registry key"
+            )
         self.platform_factory = platform_factory
         self.observe = observe
         self.classifier = classifier
         self.duration = duration
         self.seed = seed
+        self.platform = platform
         self._golden: _t.Optional[RunObservation] = None
 
     # -- golden reference -----------------------------------------------------
@@ -150,7 +216,9 @@ class Campaign:
         """The fault-free reference observation (cached).
 
         Platforms must be deterministic without faults, so one golden
-        run serves the whole campaign.
+        run serves the whole campaign.  :meth:`run` computes it
+        eagerly before dispatching any batch and embeds it in every
+        :class:`RunSpec`, so parallel workers never race on it.
         """
         if self._golden is None:
             sim = Simulator()
@@ -159,25 +227,65 @@ class Campaign:
             self._golden = self.observe(root)
         return self._golden
 
-    # -- single run -------------------------------------------------------------
+    # -- single run -----------------------------------------------------------
 
     def execute_scenario(
         self, scenario: ErrorScenario, run_seed: int
     ) -> _t.Tuple[Outcome, _t.List[str], RunObservation, int]:
         """Run one scenario on a fresh platform; classify it."""
-        sim = Simulator()
-        root = self.platform_factory(sim)
-        stressor = Stressor(
-            "stressor", parent=root, platform_root=root,
-            rng=random.Random(run_seed),
+        spec = RunSpec(
+            index=0,
+            scenario=scenario,
+            run_seed=run_seed,
+            duration=self.duration,
+            platform=self.platform,
+            golden=self.golden(),
         )
-        stressor.arm(scenario)
-        sim.run(until=self.duration)
-        observation = self.observe(root)
-        outcome, matched = self.classifier.classify(observation, self.golden())
-        return outcome, matched, observation, len(stressor.applied)
+        from .runspec import execute_runspec
 
-    # -- the loop -----------------------------------------------------------------
+        outcome = execute_runspec(
+            spec, self.platform_factory, self.observe, self.classifier
+        )
+        return (
+            outcome.outcome,
+            list(outcome.matched_rules),
+            outcome.observation,
+            outcome.injections_applied,
+        )
+
+    # -- planning -------------------------------------------------------------
+
+    def plan_batch(
+        self,
+        strategy: Strategy,
+        rng: random.Random,
+        count: int,
+        start_index: int,
+    ) -> _t.List[RunSpec]:
+        """Freeze the next *count* runs into self-contained specs.
+
+        Scenarios are drawn first (``Strategy.next_batch``), then one
+        run seed per scenario — with a batch size of one this is the
+        exact draw order of the historical sequential loop, so legacy
+        campaigns replay byte-identically.  Determinism contract: the
+        same (campaign seed, strategy, batch size) yields the same
+        spec stream on every backend.
+        """
+        golden = self.golden()
+        scenarios = strategy.next_batch(rng, count)
+        return [
+            RunSpec(
+                index=start_index + offset,
+                scenario=scenario,
+                run_seed=rng.randrange(2**31),
+                duration=self.duration,
+                platform=self.platform,
+                golden=golden,
+            )
+            for offset, scenario in enumerate(scenarios)
+        ]
+
+    # -- the loop -------------------------------------------------------------
 
     def run(
         self,
@@ -185,26 +293,92 @@ class Campaign:
         runs: int,
         coverage: _t.Optional[FaultSpaceCoverage] = None,
         stop_on: _t.Optional[Outcome] = None,
+        backend: _t.Union[str, Executor] = "serial",
+        workers: _t.Optional[int] = None,
+        batch_size: _t.Optional[int] = None,
     ) -> CampaignResult:
         """Execute *runs* iterations of the closed loop.
 
+        ``backend`` selects the executor: ``"serial"`` (default, the
+        historical in-process loop), ``"parallel"`` (process pool over
+        ``workers`` workers; requires a registry-backed campaign), or
+        a pre-built :class:`Executor` instance.  ``batch_size`` sets
+        how many runs are planned between feedback points — the
+        default is 1 for serial (legacy-identical) and twice the
+        worker count for parallel.  Adaptive strategies receive their
+        feedback *between batches*.
+
         ``stop_on`` ends the campaign early once an outcome at least
-        that severe occurs (used by "time to first hazard" metrics).
+        that severe occurs (used by "time to first hazard" metrics);
+        runs planned after the triggering index are discarded.
         """
+        executor, owned = make_executor(
+            backend,
+            factory=self.platform_factory,
+            observe=self.observe,
+            classifier=self.classifier,
+            platform=self.platform,
+            workers=workers,
+        )
+        if batch_size is None:
+            batch_size = 1 if executor.workers == 1 else 2 * executor.workers
+        if batch_size < 1:
+            raise ValueError("batch size must be positive")
+        self.golden()  # eager: no executor ever computes it implicitly
         result = CampaignResult(self.duration)
         rng = random.Random(self.seed)
-        for index in range(runs):
-            scenario = strategy.next_scenario(rng)
-            outcome, matched, observation, applied = self.execute_scenario(
-                scenario, run_seed=rng.randrange(2**31)
-            )
+        try:
+            index = 0
+            while index < runs:
+                specs = self.plan_batch(
+                    strategy, rng, min(batch_size, runs - index), index
+                )
+                outcomes = executor.run_batch(specs)
+                index += len(specs)
+                if self._aggregate_batch(
+                    result, specs, outcomes, strategy, coverage, stop_on
+                ):
+                    break
+        finally:
+            if owned:
+                executor.close()
+        return result
+
+    def _aggregate_batch(
+        self,
+        result: CampaignResult,
+        specs: _t.Sequence[RunSpec],
+        outcomes: _t.Sequence[RunOutcome],
+        strategy: Strategy,
+        coverage: _t.Optional[FaultSpaceCoverage],
+        stop_on: _t.Optional[Outcome],
+    ) -> bool:
+        """Fold one completed batch into the result, in index order.
+
+        Returns True when ``stop_on`` triggered; records planned after
+        the triggering run are dropped, mirroring the sequential loop
+        which would never have executed them.
+        """
+        by_index = {outcome.index: outcome for outcome in outcomes}
+        feedback: _t.List[_t.Tuple[ErrorScenario, Outcome]] = []
+        stopped = False
+        for spec in specs:
+            outcome = by_index[spec.index]
             record = RunRecord(
-                index, scenario, outcome, matched, observation, applied
+                spec.index,
+                spec.scenario,
+                outcome.outcome,
+                list(outcome.matched_rules),
+                outcome.observation,
+                outcome.injections_applied,
+                outcome.kernel_stats,
             )
             result.append(record)
             if coverage is not None:
-                coverage.record(scenario, outcome)
-            strategy.feedback(scenario, outcome)
-            if stop_on is not None and outcome >= stop_on:
+                coverage.record(spec.scenario, outcome.outcome)
+            feedback.append((spec.scenario, outcome.outcome))
+            if stop_on is not None and outcome.outcome >= stop_on:
+                stopped = True
                 break
-        return result
+        strategy.feedback_batch(feedback)
+        return stopped

@@ -1,0 +1,180 @@
+"""Campaign execution backends.
+
+The paper names simulation speed as the limiting factor of
+quantitative safety evaluation ("repeated stress tests enable a
+quantitative evaluation", Sec. 3.4) — so the campaign loop delegates
+the expensive part, running :class:`~repro.core.runspec.RunSpec`
+batches, to a swappable :class:`Executor`:
+
+* :class:`SerialExecutor` — runs specs in-process, in order.  With a
+  batch size of one this reproduces the historical sequential loop
+  byte for byte.
+* :class:`ParallelExecutor` — fans specs out to a
+  ``concurrent.futures.ProcessPoolExecutor``; each worker rebuilds
+  its own platform from the spec's registry key
+  (:mod:`repro.platforms.registry`) and returns a compact
+  :class:`~repro.core.runspec.RunOutcome`.  Outcomes are re-ordered
+  by run index, so aggregation is independent of worker scheduling.
+
+Both backends execute the *same* ``execute_runspec`` routine, which is
+what the serial/parallel equivalence tests pin down.
+"""
+
+from __future__ import annotations
+
+import os
+import typing as _t
+
+from .runspec import (
+    RunOutcome,
+    RunSpec,
+    execute_runspec,
+    execute_runspec_from_registry,
+)
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..kernel import Module, Simulator
+    from .classification import Classifier, RunObservation
+
+
+def default_worker_count() -> int:
+    """Workers to use when the caller does not say: one per CPU."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+class Executor:
+    """Runs batches of :class:`RunSpec`; returned outcomes are always
+    sorted by run index regardless of completion order."""
+
+    #: Degree of parallelism, used by the planner to size batches.
+    workers: int = 1
+
+    def run_batch(self, specs: _t.Sequence[RunSpec]) -> _t.List[RunOutcome]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources; idempotent."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """In-process execution — the reference backend.
+
+    Built either from explicit callables (any campaign, including ones
+    whose factories are closures) or from a registry key.
+    """
+
+    def __init__(
+        self,
+        factory: "_t.Callable[[Simulator], Module]",
+        observe: "_t.Callable[[Module], RunObservation]",
+        classifier: "Classifier",
+    ):
+        self.factory = factory
+        self.observe = observe
+        self.classifier = classifier
+
+    def run_batch(self, specs: _t.Sequence[RunSpec]) -> _t.List[RunOutcome]:
+        return [
+            execute_runspec(spec, self.factory, self.observe, self.classifier)
+            for spec in specs
+        ]
+
+
+class ParallelExecutor(Executor):
+    """Process-pool execution over registry-backed platforms.
+
+    The pool is created lazily on the first batch and reused until
+    :meth:`close`, so one campaign pays the worker start-up cost once.
+    Specs must carry a ``platform`` registry key — the campaign
+    planner embeds it (and the golden observation) in every spec.
+    """
+
+    def __init__(
+        self,
+        platform: _t.Optional[str] = None,
+        workers: _t.Optional[int] = None,
+    ):
+        if workers is not None and workers < 1:
+            raise ValueError("need at least one worker")
+        if platform is not None:
+            # Fail fast in the parent on unknown keys instead of
+            # surfacing the KeyError from inside a worker.
+            from ..platforms import registry
+
+            registry.get_platform(platform)
+        self.platform = platform
+        self.workers = workers or default_worker_count()
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            import concurrent.futures
+
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers
+            )
+        return self._pool
+
+    def run_batch(self, specs: _t.Sequence[RunSpec]) -> _t.List[RunOutcome]:
+        for spec in specs:
+            if spec.platform is None:
+                raise ValueError(
+                    f"run {spec.index}: spec has no platform registry "
+                    f"key; parallel execution requires a campaign "
+                    f"built with platform=<name>"
+                )
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(execute_runspec_from_registry, spec)
+            for spec in specs
+        ]
+        outcomes = [future.result() for future in futures]
+        return sorted(outcomes, key=lambda outcome: outcome.index)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def make_executor(
+    backend: _t.Union[str, Executor],
+    *,
+    factory=None,
+    observe=None,
+    classifier=None,
+    platform: _t.Optional[str] = None,
+    workers: _t.Optional[int] = None,
+) -> _t.Tuple[Executor, bool]:
+    """Resolve a backend selector to an executor.
+
+    Returns ``(executor, owned)``: campaigns close executors they
+    created but leave caller-provided instances open for reuse.
+    """
+    if isinstance(backend, Executor):
+        return backend, False
+    if backend == "serial":
+        if factory is None or observe is None or classifier is None:
+            raise ValueError("serial backend needs factory/observe/classifier")
+        return SerialExecutor(factory, observe, classifier), True
+    if backend == "parallel":
+        if platform is None:
+            raise ValueError(
+                "parallel backend requires a registry-backed campaign "
+                "(Campaign(platform=<name>, ...)); see "
+                "repro.platforms.register_platform"
+            )
+        return ParallelExecutor(platform, workers=workers), True
+    raise ValueError(
+        f"unknown backend {backend!r}; expected 'serial', 'parallel', "
+        f"or an Executor instance"
+    )

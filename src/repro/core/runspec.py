@@ -1,0 +1,142 @@
+"""The serializable planner/executor boundary of the campaign loop.
+
+The Fig. 3 loop is split into three layers (see DESIGN.md, "Campaign
+execution backends"):
+
+1. the **planner** turns strategy output into :class:`RunSpec`s —
+   self-contained, picklable descriptions of one run (scenario, run
+   seed, duration, platform key, golden reference);
+2. an **executor** (``repro.core.executors``) runs specs — in-process
+   or fanned out to a worker pool — and returns :class:`RunOutcome`s;
+3. the aggregation layer folds outcomes back into
+   :class:`~repro.core.campaign.CampaignResult`, coverage, and
+   strategy feedback.
+
+:func:`execute_runspec` is the single simulation routine both backends
+share: build a fresh kernel and platform, arm the stressor, simulate,
+observe, classify against the golden reference.  Identical code on
+both sides is what makes serial and parallel campaigns bit-equal.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import time
+import typing as _t
+
+from ..kernel import Simulator
+from .classification import Classifier, Outcome, RunObservation
+from .scenario import ErrorScenario
+from .stressor import Stressor
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..kernel import Module
+
+
+@dataclasses.dataclass(frozen=True)
+class RunSpec:
+    """Everything one campaign run needs, picklable and self-contained.
+
+    ``platform`` is a key into the :mod:`repro.platforms.registry`;
+    worker processes rebuild the prototype from it.  ``golden`` is the
+    fault-free reference observation, computed once by the campaign
+    and shipped with every spec so no worker ever re-runs (or races
+    on) the golden simulation.
+    """
+
+    index: int
+    scenario: ErrorScenario
+    run_seed: int
+    duration: int
+    platform: _t.Optional[str] = None
+    golden: _t.Optional[RunObservation] = None
+
+    def __post_init__(self):
+        if self.duration <= 0:
+            raise ValueError("run duration must be positive")
+        if self.index < 0:
+            raise ValueError("run index must be non-negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class RunOutcome:
+    """The compact result an executor returns for one :class:`RunSpec`.
+
+    Deliberately free of live simulation objects: only the
+    classification verdict, the probe observation, and the kernel cost
+    counters cross the process boundary back to the planner.
+    """
+
+    index: int
+    outcome: Outcome
+    matched_rules: _t.Tuple[str, ...]
+    observation: RunObservation
+    injections_applied: int
+    kernel_stats: _t.Dict[str, _t.Any]
+    stressor_errors: _t.Tuple[str, ...] = ()
+
+
+def execute_runspec(
+    spec: RunSpec,
+    factory: "_t.Callable[[Simulator], Module]",
+    observe: "_t.Callable[[Module], RunObservation]",
+    classifier: Classifier,
+    golden: _t.Optional[RunObservation] = None,
+) -> RunOutcome:
+    """Execute one spec on a fresh platform and classify the result.
+
+    The golden reference is taken from the spec when present,
+    otherwise from the *golden* argument; planners always embed it so
+    executors need no shared state.
+    """
+    reference = spec.golden if spec.golden is not None else golden
+    if reference is None:
+        raise ValueError(
+            f"run {spec.index}: no golden reference (neither embedded "
+            f"in the spec nor passed to execute_runspec)"
+        )
+    wall_start = time.perf_counter()
+    sim = Simulator()
+    root = factory(sim)
+    stressor = Stressor(
+        "stressor", parent=root, platform_root=root,
+        rng=random.Random(spec.run_seed),
+    )
+    stressor.arm(spec.scenario)
+    sim.run(until=spec.duration)
+    observation = observe(root)
+    outcome, matched = classifier.classify(observation, reference)
+    kernel_stats = sim.stats()
+    kernel_stats["wall_s"] = time.perf_counter() - wall_start
+    return RunOutcome(
+        index=spec.index,
+        outcome=outcome,
+        matched_rules=tuple(matched),
+        observation=observation,
+        injections_applied=len(stressor.applied),
+        kernel_stats=kernel_stats,
+        stressor_errors=tuple(stressor.errors),
+    )
+
+
+def execute_runspec_from_registry(spec: RunSpec) -> RunOutcome:
+    """Worker-side entry point: resolve the platform key, then run.
+
+    Module-level (hence picklable by reference) so process pools can
+    ship it; the lazy import keeps ``repro.core`` importable without
+    ``repro.platforms`` and triggers built-in registration inside
+    freshly spawned workers.
+    """
+    if spec.platform is None:
+        raise ValueError(
+            f"run {spec.index}: spec carries no platform key — only "
+            f"registry-backed campaigns can execute out of process"
+        )
+    from ..platforms import registry
+
+    bundle = registry.get_platform(spec.platform)
+    classifier = registry.get_classifier(spec.platform)
+    return execute_runspec(
+        spec, bundle.factory, bundle.observe, classifier
+    )

@@ -43,9 +43,15 @@ class ErrorScenario:
     """
 
     name: str
-    injections: _t.List[PlannedInjection]
+    injections: _t.Sequence[PlannedInjection]
     operating_state: _t.Optional[OperatingState] = None
     sampling_weight: float = 1.0
+
+    def __post_init__(self):
+        # Scenarios are frozen into picklable RunSpecs and shipped to
+        # executor workers; an immutable injection tuple guarantees the
+        # planner's copy cannot drift from what a worker executed.
+        self.injections = tuple(self.injections)
 
     @property
     def fault_count(self) -> int:

@@ -67,6 +67,33 @@ class Strategy:
     def feedback(self, scenario: ErrorScenario, outcome: Outcome) -> None:
         """Called after each run; default: no learning."""
 
+    # -- batched planner API --------------------------------------------
+
+    def next_batch(
+        self, rng: random.Random, count: int
+    ) -> _t.List[ErrorScenario]:
+        """Produce *count* scenarios for one executor batch.
+
+        The default wraps the per-run API; batch-aware strategies
+        override it to diversify within a batch (they receive no
+        feedback until the whole batch has executed).
+        """
+        return [self.next_scenario(rng) for _ in range(count)]
+
+    def feedback_batch(
+        self,
+        results: _t.Sequence[_t.Tuple[ErrorScenario, Outcome]],
+    ) -> None:
+        """Learn from one completed batch, in run order.
+
+        The default replays the per-run :meth:`feedback` hook, so
+        adaptive strategies written against the sequential loop keep
+        working unchanged under batched/parallel execution — their
+        learning granularity just coarsens to the batch size.
+        """
+        for scenario, outcome in results:
+            self.feedback(scenario, outcome)
+
 
 class RandomStrategy(Strategy):
     """Monte Carlo sampling of the fault space."""
@@ -123,6 +150,45 @@ class CoverageGuidedStrategy(Strategy):
             operating_state=state,
             sampling_weight=weight,
         )
+
+    def next_batch(
+        self, rng: random.Random, count: int
+    ) -> _t.List[ErrorScenario]:
+        """Batch-aware planning: spread the batch over the coverage
+        frontier.
+
+        Coverage only updates between batches, so the default (call
+        :meth:`next_scenario` *count* times) would aim every scenario
+        of a batch at the same least-covered cells.  Instead, rank
+        enough cells for the whole batch once and stripe them across
+        the scenarios; cells wrap around when the frontier is smaller
+        than the batch demand.
+        """
+        if count == 1:
+            return [self.next_scenario(rng)]
+        per_scenario = self.faults_per_scenario
+        targets = self.coverage.least_covered(count * per_scenario)
+        scenarios = []
+        for offset in range(count):
+            self.scenario_count += 1
+            state, weight = self._draw_state(rng)
+            cells = [
+                targets[(offset * per_scenario + i) % len(targets)]
+                for i in range(per_scenario)
+            ]
+            injections = [
+                self.space.sample_injection(rng, pair=pair, time_bin=time_bin)
+                for pair, time_bin in cells
+            ]
+            scenarios.append(
+                ErrorScenario(
+                    name=f"covguided-{self.scenario_count}",
+                    injections=injections,
+                    operating_state=state,
+                    sampling_weight=weight,
+                )
+            )
+        return scenarios
 
 
 class WeakSpotStrategy(Strategy):

@@ -28,7 +28,9 @@ class Stressor(Module):
     rng:
         Source for completing under-specified descriptor parameters
         (which address, which bit...).  Pass a seeded instance for
-        reproducible campaigns.
+        reproducible campaigns, or use *seed* as a shorthand — run
+        specs carry exactly such a per-run seed across process
+        boundaries.
     """
 
     def __init__(
@@ -37,10 +39,15 @@ class Stressor(Module):
         parent: Module,
         platform_root: Module,
         rng: _t.Optional[random.Random] = None,
+        seed: _t.Optional[int] = None,
     ):
         super().__init__(name, parent=parent)
+        if rng is not None and seed is not None:
+            raise ValueError("pass either rng or seed, not both")
         self.platform_root = platform_root
-        self.rng = rng if rng is not None else random.Random(0)
+        if rng is None:
+            rng = random.Random(0 if seed is None else seed)
+        self.rng = rng
         self.applied: _t.List[AppliedInjection] = []
         self.errors: _t.List[str] = []
         self.scenario: _t.Optional[ErrorScenario] = None

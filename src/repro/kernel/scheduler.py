@@ -56,6 +56,11 @@ class Simulator:
         self.now: int = 0
         #: Delta-cycle counter within the current timestamp (diagnostics).
         self.delta_count: int = 0
+        #: Lifetime counters (see :meth:`stats`) — campaign executors
+        #: ship them back as the per-run simulation cost.
+        self.events_processed: int = 0
+        self.processes_stepped: int = 0
+        self.delta_cycles_total: int = 0
         self._runnable: deque = deque()
         self._wheel: list = []  # heap of (time, seq, kind, payload)
         self._seq = 0
@@ -180,6 +185,7 @@ class Simulator:
             process = self._runnable.popleft()
             if process.state in (FINISHED, KILLED):
                 continue
+            self.processes_stepped += 1
             process._step()
             if self._stop_requested:
                 return
@@ -192,6 +198,7 @@ class Simulator:
         resumes, self._delta_resumes = self._delta_resumes, []
         for event in events:
             event._pending_kind = None
+            self.events_processed += 1
             for process in event._take_waiters():
                 if process._event_fired(event):
                     self._runnable.append(process)
@@ -199,6 +206,7 @@ class Simulator:
             if process.state not in (FINISHED, KILLED):
                 self._runnable.append(process)
         self.delta_count += 1
+        self.delta_cycles_total += 1
         for hook in self.delta_hooks:
             hook(self)
 
@@ -217,6 +225,7 @@ class Simulator:
         self.delta_count = 0
         while self._wheel and self._wheel[0][0] == when:
             _when, _seq, kind, payload = heapq.heappop(self._wheel)
+            self.events_processed += 1
             if kind == "event":
                 payload._pending_kind = None
                 for process in payload._take_waiters():
@@ -230,6 +239,22 @@ class Simulator:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+
+    def stats(self) -> _t.Dict[str, int]:
+        """Lifetime scheduling counters for this kernel instance.
+
+        ``events`` counts every delivered notification (timed wheel
+        pops and delta-event fan-outs), ``process_steps`` every process
+        activation, ``delta_cycles`` every completed delta cycle.
+        Campaign executors attach these to each
+        :class:`~repro.core.runspec.RunOutcome` so throughput can be
+        normalised by actual simulation work.
+        """
+        return {
+            "events": self.events_processed,
+            "process_steps": self.processes_stepped,
+            "delta_cycles": self.delta_cycles_total,
+        }
 
     @property
     def pending_activity(self) -> bool:

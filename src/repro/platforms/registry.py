@@ -1,0 +1,98 @@
+"""Named platform bundles — the cross-process factory registry.
+
+Parallel campaign execution (``repro.core.executors``) fans
+:class:`~repro.core.runspec.RunSpec` objects out to worker processes.
+A worker cannot receive the platform *factory itself* (factories close
+over modules, classifiers over lambdas — none of that pickles), so a
+spec carries only a **platform key** and each worker resolves the key
+against this registry, building its own private prototype instance.
+
+A bundle names the three callables a campaign needs:
+
+* ``factory(sim) -> Module`` — builds a fresh platform into *sim*;
+* ``observe(root) -> RunObservation`` — probes it after a run;
+* ``classifier_factory() -> Classifier`` — builds the outcome rules
+  (a factory, not an instance, because classifiers hold lambdas and
+  must be constructed on the consuming side).
+
+Registration must happen at **module import time** so that worker
+processes — which re-import the registering module under ``spawn``
+start methods — see the same catalogue as the parent.  The built-in
+automotive prototypes are registered by ``repro.platforms.__init__``.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..core.classification import Classifier, RunObservation
+    from ..kernel import Module, Simulator
+
+
+class PlatformBundle(_t.NamedTuple):
+    """Everything a worker needs to rebuild and judge one platform."""
+
+    name: str
+    factory: "_t.Callable[[Simulator], Module]"
+    observe: "_t.Callable[[Module], RunObservation]"
+    classifier_factory: "_t.Callable[[], Classifier]"
+    description: str = ""
+
+
+_REGISTRY: _t.Dict[str, PlatformBundle] = {}
+
+#: Per-process classifier cache: classifiers are stateless rule lists,
+#: so one instance per (process, platform) serves every run.
+_CLASSIFIERS: _t.Dict[str, "Classifier"] = {}
+
+
+def register_platform(
+    name: str,
+    factory,
+    observe,
+    classifier_factory,
+    description: str = "",
+    replace: bool = False,
+) -> PlatformBundle:
+    """Register a platform bundle under *name*.
+
+    Re-registering an existing name requires ``replace=True`` — silent
+    shadowing would make parent and worker processes disagree about
+    what a key means.
+    """
+    if name in _REGISTRY and not replace:
+        raise ValueError(
+            f"platform {name!r} is already registered; "
+            f"pass replace=True to override"
+        )
+    bundle = PlatformBundle(
+        name, factory, observe, classifier_factory, description
+    )
+    _REGISTRY[name] = bundle
+    _CLASSIFIERS.pop(name, None)
+    return bundle
+
+
+def get_platform(name: str) -> PlatformBundle:
+    """Resolve *name*; raises ``KeyError`` listing what is available."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown platform {name!r}; registered: "
+            f"{', '.join(sorted(_REGISTRY)) or '(none)'}"
+        ) from None
+
+
+def get_classifier(name: str):
+    """The per-process cached classifier instance for *name*."""
+    classifier = _CLASSIFIERS.get(name)
+    if classifier is None:
+        classifier = get_platform(name).classifier_factory()
+        _CLASSIFIERS[name] = classifier
+    return classifier
+
+
+def available_platforms() -> _t.Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,209 @@
+"""The serializable planner/executor boundary: RunSpec and RunOutcome."""
+
+import pickle
+import random
+
+import pytest
+
+from repro.core import (
+    ErrorScenario,
+    Outcome,
+    PlannedInjection,
+    RandomStrategy,
+    RunRecord,
+    RunSpec,
+    execute_runspec,
+    execute_runspec_from_registry,
+)
+from repro.core.campaign import CampaignResult
+from repro.faults import SRAM_SEU
+from repro.kernel import Simulator
+from repro.mission import OperatingState
+
+from .conftest import (
+    airbag_classifier,
+    build_airbag_platform,
+    observe_airbag,
+)
+
+SEU = SRAM_SEU.with_rate(1e-6)
+
+
+def make_scenario():
+    return ErrorScenario(
+        "flip",
+        [
+            PlannedInjection(
+                2_000_000, "plat.params.codewords",
+                SEU.with_params(address=0, bit=3),
+            )
+        ],
+        operating_state=OperatingState("city", 0.6, {"speed": 50.0}),
+        sampling_weight=1.5,
+    )
+
+
+class TestPickling:
+    def test_scenario_round_trips(self):
+        scenario = make_scenario()
+        clone = pickle.loads(pickle.dumps(scenario))
+        assert clone.name == scenario.name
+        assert clone.injections == scenario.injections
+        assert clone.operating_state.name == "city"
+        assert clone.sampling_weight == 1.5
+
+    def test_scenario_injections_are_immutable(self):
+        scenario = make_scenario()
+        assert isinstance(scenario.injections, tuple)
+
+    def test_runspec_round_trips_with_golden(self):
+        spec = RunSpec(
+            index=3,
+            scenario=make_scenario(),
+            run_seed=99,
+            duration=20_000_000,
+            platform="airbag-normal",
+            golden={"squib_fired": False, "cycles": 19},
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.golden["cycles"] == 19
+
+    def test_runspec_validation(self):
+        with pytest.raises(ValueError):
+            RunSpec(index=0, scenario=make_scenario(), run_seed=1, duration=0)
+        with pytest.raises(ValueError):
+            RunSpec(index=-1, scenario=make_scenario(), run_seed=1,
+                    duration=10)
+
+
+class TestExecuteRunspec:
+    def golden(self):
+        sim = Simulator()
+        root = build_airbag_platform(sim)
+        sim.run(until=20_000_000)
+        return observe_airbag(root)
+
+    def test_matches_campaign_execute_scenario(self, airbag_campaign):
+        scenario = make_scenario()
+        expected = airbag_campaign.execute_scenario(scenario, run_seed=5)
+        spec = RunSpec(
+            index=0, scenario=scenario, run_seed=5, duration=20_000_000,
+            golden=self.golden(),
+        )
+        outcome = execute_runspec(
+            spec, build_airbag_platform, observe_airbag, airbag_classifier()
+        )
+        assert outcome.outcome is expected[0]
+        assert list(outcome.matched_rules) == expected[1]
+        assert outcome.observation == expected[2]
+        assert outcome.injections_applied == expected[3]
+
+    def test_kernel_stats_attached(self):
+        spec = RunSpec(
+            index=0, scenario=make_scenario(), run_seed=5,
+            duration=20_000_000, golden=self.golden(),
+        )
+        outcome = execute_runspec(
+            spec, build_airbag_platform, observe_airbag, airbag_classifier()
+        )
+        assert outcome.kernel_stats["events"] > 0
+        assert outcome.kernel_stats["process_steps"] > 0
+        assert outcome.kernel_stats["delta_cycles"] > 0
+        assert outcome.kernel_stats["wall_s"] > 0
+
+    def test_missing_golden_raises(self):
+        spec = RunSpec(
+            index=0, scenario=make_scenario(), run_seed=5, duration=10_000,
+        )
+        with pytest.raises(ValueError, match="golden"):
+            execute_runspec(
+                spec, build_airbag_platform, observe_airbag,
+                airbag_classifier(),
+            )
+
+    def test_registry_execution_needs_platform_key(self):
+        spec = RunSpec(
+            index=0, scenario=make_scenario(), run_seed=5, duration=10_000,
+            golden={},
+        )
+        with pytest.raises(ValueError, match="platform key"):
+            execute_runspec_from_registry(spec)
+
+
+class TestPlanner:
+    def test_specs_are_self_contained(self, airbag_campaign):
+        from repro.core import FaultSpace
+
+        sim = Simulator()
+        space = FaultSpace(
+            build_airbag_platform(sim), [SEU],
+            window_start=1_000_000, window_end=10_000_000, time_bins=2,
+        )
+        strategy = RandomStrategy(space, faults_per_scenario=1)
+        specs = airbag_campaign.plan_batch(
+            strategy, random.Random(3), 4, start_index=10
+        )
+        assert [spec.index for spec in specs] == [10, 11, 12, 13]
+        golden = airbag_campaign.golden()
+        for spec in specs:
+            assert spec.golden == golden
+            assert spec.duration == airbag_campaign.duration
+            pickle.dumps(spec)
+
+    def test_plan_is_deterministic(self, airbag_campaign):
+        from repro.core import FaultSpace
+
+        def plan():
+            sim = Simulator()
+            space = FaultSpace(
+                build_airbag_platform(sim), [SEU],
+                window_start=1_000_000, window_end=10_000_000, time_bins=2,
+            )
+            strategy = RandomStrategy(space, faults_per_scenario=1)
+            return airbag_campaign.plan_batch(
+                strategy, random.Random(3), 4, start_index=0
+            )
+
+        first, second = plan(), plan()
+        assert [s.run_seed for s in first] == [s.run_seed for s in second]
+        assert [s.scenario.injections for s in first] == [
+            s.scenario.injections for s in second
+        ]
+
+
+class TestIncrementalCounters:
+    def record(self, index, outcome):
+        return RunRecord(
+            index, make_scenario(), outcome, [], {}, 1,
+            {"events": 10, "process_steps": 5, "delta_cycles": 2,
+             "wall_s": 0.25},
+        )
+
+    def test_counts_match_rescan(self):
+        result = CampaignResult(duration=1000)
+        outcomes = [
+            Outcome.MASKED, Outcome.NO_EFFECT, Outcome.MASKED,
+            Outcome.HAZARDOUS, Outcome.DETECTED_SAFE, Outcome.MASKED,
+        ]
+        for index, outcome in enumerate(outcomes):
+            result.append(self.record(index, outcome))
+        for outcome in Outcome:
+            rescan = sum(1 for r in result.records if r.outcome is outcome)
+            assert result.count(outcome) == rescan
+        assert sum(result.outcome_histogram().values()) == result.runs
+
+    def test_kernel_totals_accumulate(self):
+        result = CampaignResult(duration=1000)
+        for index in range(4):
+            result.append(self.record(index, Outcome.NO_EFFECT))
+        assert result.kernel_totals["events"] == 40
+        assert result.kernel_totals["wall_s"] == pytest.approx(1.0)
+        report = result.report()
+        assert report["kernel"]["runs_per_s"] == pytest.approx(4.0)
+
+    def test_legacy_records_without_stats(self):
+        result = CampaignResult(duration=1000)
+        result.append(RunRecord(0, make_scenario(), Outcome.SDC, [], {}, 1))
+        assert result.count(Outcome.SDC) == 1
+        assert "kernel" not in result.report()

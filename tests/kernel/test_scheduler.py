@@ -378,3 +378,48 @@ class TestProcessLifecycle:
         sim.spawn(proc())
         sim.run()
         assert sim.now == 5
+
+
+class TestRunCounters:
+    """Lifetime instrumentation used by campaign executors."""
+
+    def test_fresh_simulator_counts_zero(self, sim):
+        assert sim.stats() == {
+            "events": 0, "process_steps": 0, "delta_cycles": 0,
+        }
+
+    def test_counters_grow_with_activity(self, sim):
+        def ticker():
+            for _ in range(5):
+                yield 10
+
+        sim.spawn(ticker())
+        sim.run()
+        stats = sim.stats()
+        assert stats["process_steps"] >= 5
+        assert stats["events"] >= 5
+        assert stats["delta_cycles"] >= 1
+
+    def test_counters_are_deterministic(self):
+        def run_once():
+            sim = Simulator()
+
+            def ping(signal):
+                for value in range(4):
+                    signal.write(value)
+                    yield 7
+
+            def pong(signal):
+                while True:
+                    yield signal.changed
+                    _ = signal.read()
+
+            from repro.kernel import Signal
+
+            wire = Signal(sim, "wire", 0)
+            sim.spawn(ping(wire))
+            sim.spawn(pong(wire))
+            sim.run(until=100)
+            return sim.stats()
+
+        assert run_once() == run_once()

@@ -1,0 +1,67 @@
+"""The cross-process platform factory registry."""
+
+import pytest
+
+from repro.kernel import Simulator
+from repro.platforms import (
+    airbag,
+    available_platforms,
+    get_classifier,
+    get_platform,
+    register_platform,
+)
+from repro.platforms import registry as registry_module
+
+
+class TestBuiltins:
+    def test_builtin_prototypes_registered(self):
+        names = available_platforms()
+        for expected in ("airbag-normal", "airbag-crash", "acc", "steering"):
+            assert expected in names
+
+    def test_bundle_resolves_to_module_functions(self):
+        bundle = get_platform("airbag-normal")
+        assert bundle.factory is airbag.build_normal_operation
+        assert bundle.observe is airbag.observe
+        assert bundle.description
+
+    def test_every_builtin_bundle_is_buildable(self):
+        for name in ("airbag-normal", "airbag-crash", "acc", "steering"):
+            bundle = get_platform(name)
+            sim = Simulator()
+            root = bundle.factory(sim)
+            assert root.all_injection_points()
+            classifier = bundle.classifier_factory()
+            assert classifier._rules
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(KeyError, match="airbag-normal"):
+            get_platform("nope")
+
+
+class TestRegistration:
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_platform(
+                "airbag-normal", airbag.build_normal_operation,
+                airbag.observe, airbag.normal_operation_classifier,
+            )
+
+    def test_replace_allows_override(self):
+        original = get_platform("airbag-normal")
+        try:
+            register_platform(
+                "airbag-normal", airbag.build_normal_operation,
+                airbag.observe, airbag.normal_operation_classifier,
+                description="override", replace=True,
+            )
+            assert get_platform("airbag-normal").description == "override"
+        finally:
+            register_platform(
+                *original, replace=True
+            )
+
+    def test_classifier_cached_per_process(self):
+        first = get_classifier("airbag-normal")
+        assert get_classifier("airbag-normal") is first
+        assert registry_module._CLASSIFIERS["airbag-normal"] is first
