@@ -128,6 +128,17 @@ def campaign_bench_entry(label: str, result, wall_s: float, workers: int):
             for outcome, count in result.outcome_histogram().items()
             if count
         },
+        # Fault-tolerance accounting (see CampaignResult.report()):
+        # degraded or resumed runs must be visible in the trajectory,
+        # otherwise a regression that silently times runs out would
+        # read as a throughput *improvement*.
+        "robustness": {
+            "completed": result.completed,
+            "timed_out": result.timed_out,
+            "terminally_failed": result.terminally_failed,
+            "retried": result.retried,
+            "resumed": result.resumed,
+        },
     }
 
 

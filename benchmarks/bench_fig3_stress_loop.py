@@ -84,6 +84,28 @@ def test_fig3_campaign_of_20(benchmark):
     benchmark.extra_info["kernel"] = result.report().get("kernel")
 
 
+def test_fig3_deadline_check_overhead(benchmark):
+    """The per-run wall-clock deadline is enforced inside the kernel
+    loop (a ``perf_counter`` check every 256 process steps), so armed
+    campaigns pay a small per-run tax even when no run times out.
+    This benchmark keeps that tax visible: it is the same 20-run
+    campaign as above, but with a deadline armed that never fires."""
+
+    def run_campaign():
+        campaign = airbag_campaign()
+        strategy = RandomStrategy(airbag_space(), faults_per_scenario=1)
+        return campaign.run(strategy, runs=20, run_timeout_s=60.0)
+
+    result = benchmark(run_campaign)
+    assert result.runs == 20
+    # The deadline must never fire on this workload: any timed-out run
+    # here means the checker is broken, not the platform slow.
+    assert result.timed_out == 0 and result.terminally_failed == 0
+    benchmark.extra_info["robustness"] = result.report().get(
+        "robustness", {"completed": result.runs}
+    )
+
+
 def timed_campaign(backend, runs, workers=None):
     """One seeded CAPS campaign on *backend*; returns (result, wall)."""
     campaign = airbag_campaign()
@@ -102,6 +124,9 @@ def test_fig3_backend_throughput_json():
     parallel when the host has more than one CPU)."""
     serial, serial_wall = timed_campaign("serial", runs=40)
     entries = [campaign_bench_entry("serial", serial, serial_wall, 1)]
+    # Clean campaigns must account every run as completed — a silent
+    # timeout would inflate runs/sec while degrading the result.
+    assert entries[0]["robustness"]["completed"] == serial.runs
     if CPUS >= 2:
         workers = min(SPEEDUP_WORKERS, CPUS)
         parallel, parallel_wall = timed_campaign(

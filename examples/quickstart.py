@@ -7,8 +7,11 @@ This walks the whole Fig. 3 loop in ~60 lines of user code:
 2. an observation function probing its state after a run,
 3. a classifier mapping observations to the fault-error-failure lattice,
 4. a fault space + strategy,
-5. the campaign loop with coverage, and
-6. the same campaign fanned over a process pool (``backend="parallel"``).
+5. the campaign loop with coverage,
+6. the same campaign fanned over a process pool (``backend="parallel"``),
+7. and a fault-tolerant, resumable variant: per-run wall-clock
+   deadlines plus a checkpoint journal that lets an interrupted
+   campaign pick up where it stopped.
 
 Run:  python examples/quickstart.py
 """
@@ -137,6 +140,29 @@ def main() -> None:
     kernel = parallel.report()["kernel"]
     print(f"kernel work/run: {kernel['events'] // parallel.runs} events, "
           f"{kernel['delta_cycles'] // parallel.runs} delta cycles")
+
+    # Long campaigns survive interruption: run_timeout_s degrades any
+    # hung run to an inconclusive TIMEOUT record instead of stalling
+    # the campaign, and checkpoint= journals every completed outcome
+    # to an append-only JSONL file.  Re-running the same seeded
+    # campaign against the same journal skips the journaled runs — so
+    # this second call executes nothing and resumes to the identical
+    # result.
+    journal_path = "quickstart_campaign.jsonl"
+    robust = campaign.run(
+        RandomStrategy(space, faults_per_scenario=1), runs=30,
+        run_timeout_s=10.0, checkpoint=journal_path,
+    )
+    resumed = campaign.run(
+        RandomStrategy(space, faults_per_scenario=1), runs=30,
+        run_timeout_s=10.0, checkpoint=journal_path,
+    )
+    print(f"\n=== checkpoint/resume ({journal_path}) ===")
+    print(f"first pass executed {robust.runs - robust.resumed} runs; "
+          f"second pass resumed {resumed.resumed} from the journal")
+    assert resumed.resumed == resumed.runs == robust.runs
+    assert resumed.outcome_histogram() == robust.outcome_histogram()
+    os.remove(journal_path)
 
     print("\nfault-space coverage:", f"{coverage.closure:.0%}")
     assert single.count(Outcome.HAZARDOUS) == 0

@@ -11,6 +11,12 @@ from .campaign import (
     PlatformFactory,
     RunRecord,
 )
+from .checkpoint import (
+    CampaignCheckpoint,
+    CheckpointError,
+    CheckpointKeyMismatch,
+    campaign_key,
+)
 from .classification import (
     Classifier,
     Outcome,
@@ -21,15 +27,19 @@ from .coverage import FaultSpaceCoverage
 from .executors import (
     Executor,
     ParallelExecutor,
+    RetryPolicy,
     SerialExecutor,
     default_worker_count,
     make_executor,
 )
 from .runspec import (
+    OUTCOME_SCHEMA_VERSION,
     RunOutcome,
     RunSpec,
     execute_runspec,
     execute_runspec_from_registry,
+    execute_runspec_tolerant,
+    failure_outcome,
 )
 from .crosslayer import (
     derived_descriptor,
@@ -89,13 +99,21 @@ __all__ = [
     "FaultSpaceCoverage",
     "Executor",
     "ParallelExecutor",
+    "RetryPolicy",
     "SerialExecutor",
     "default_worker_count",
     "make_executor",
+    "CampaignCheckpoint",
+    "CheckpointError",
+    "CheckpointKeyMismatch",
+    "campaign_key",
+    "OUTCOME_SCHEMA_VERSION",
     "RunOutcome",
     "RunSpec",
     "execute_runspec",
     "execute_runspec_from_registry",
+    "execute_runspec_tolerant",
+    "failure_outcome",
     "derived_descriptor",
     "error_pattern_outcomes",
     "naive_descriptor",

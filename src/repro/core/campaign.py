@@ -30,9 +30,10 @@ import typing as _t
 
 from ..kernel import Module, Simulator
 from ..stats import WeightedRateEstimator, clopper_pearson
+from .checkpoint import CampaignCheckpoint, campaign_key
 from .classification import Classifier, Outcome, RunObservation
 from .coverage import FaultSpaceCoverage
-from .executors import Executor, make_executor
+from .executors import Executor, RetryPolicy, make_executor
 from .runspec import RunOutcome, RunSpec
 from .scenario import ErrorScenario, FaultSpace
 from .strategies import Strategy
@@ -49,7 +50,13 @@ KERNEL_COUNTER_KEYS = ("events", "process_steps", "delta_cycles", "wall_s")
 
 
 class RunRecord(_t.NamedTuple):
-    """Everything retained about one campaign run."""
+    """Everything retained about one campaign run.
+
+    ``failure`` is ``None`` for a conclusive run, else the degradation
+    kind (``"timeout"`` / ``"crash"`` / ``"error"``, see
+    :class:`~repro.core.runspec.RunOutcome`); ``attempts`` counts
+    executions including crash-forced redispatches.
+    """
 
     index: int
     scenario: ErrorScenario
@@ -58,6 +65,8 @@ class RunRecord(_t.NamedTuple):
     observation: RunObservation
     injections_applied: int
     kernel_stats: _t.Optional[_t.Dict[str, _t.Any]] = None
+    attempts: int = 1
+    failure: _t.Optional[str] = None
 
 
 class CampaignResult:
@@ -74,10 +83,24 @@ class CampaignResult:
         self.kernel_totals: _t.Dict[str, float] = dict.fromkeys(
             KERNEL_COUNTER_KEYS, 0
         )
+        # Fault-tolerance bookkeeping (see report()["robustness"]):
+        # every planned run lands in exactly one of completed /
+        # timed_out / terminally_failed.
+        self.timed_out = 0
+        self.terminally_failed = 0
+        #: Extra executions beyond each run's first attempt.
+        self.retried = 0
+        #: Runs restored from a checkpoint journal instead of executed.
+        self.resumed = 0
 
     def append(self, record: RunRecord) -> None:
         self.records.append(record)
         self._counts[record.outcome] += 1
+        if record.failure == "timeout":
+            self.timed_out += 1
+        elif record.failure is not None:
+            self.terminally_failed += 1
+        self.retried += max(0, record.attempts - 1)
         for outcome in Outcome:
             estimator = self._estimators.setdefault(
                 outcome, WeightedRateEstimator()
@@ -93,6 +116,11 @@ class CampaignResult:
     @property
     def runs(self) -> int:
         return len(self.records)
+
+    @property
+    def completed(self) -> int:
+        """Runs that produced a genuine classification."""
+        return self.runs - self.timed_out - self.terminally_failed
 
     def count(self, outcome: Outcome) -> int:
         return self._counts[outcome]
@@ -134,6 +162,10 @@ class CampaignResult:
         for record in self.records:
             if record.outcome is Outcome.NO_EFFECT:
                 continue
+            if record.outcome is Outcome.TIMEOUT:
+                # Inconclusive: the run never produced a verdict, so it
+                # can neither credit nor debit a protection mechanism.
+                continue
             for name in {
                 inj.descriptor.name for inj in record.scenario.injections
             }:
@@ -161,6 +193,18 @@ class CampaignResult:
                 "delta_cycles": int(self.kernel_totals["delta_cycles"]),
                 "sim_wall_s": round(wall, 6),
                 "runs_per_s": round(self.runs / wall, 3),
+            }
+        if self.timed_out or self.terminally_failed or self.retried \
+                or self.resumed:
+            # Only present when the campaign actually degraded or
+            # resumed, so clean-run reports stay byte-identical to the
+            # pre-fault-tolerance format (and to each other).
+            report["robustness"] = {
+                "completed": self.completed,
+                "timed_out": self.timed_out,
+                "terminally_failed": self.terminally_failed,
+                "retried": self.retried,
+                "resumed": self.resumed,
             }
         return report
 
@@ -261,6 +305,7 @@ class Campaign:
         rng: random.Random,
         count: int,
         start_index: int,
+        deadline_s: _t.Optional[float] = None,
     ) -> _t.List[RunSpec]:
         """Freeze the next *count* runs into self-contained specs.
 
@@ -269,7 +314,8 @@ class Campaign:
         exact draw order of the historical sequential loop, so legacy
         campaigns replay byte-identically.  Determinism contract: the
         same (campaign seed, strategy, batch size) yields the same
-        spec stream on every backend.
+        spec stream on every backend — and on every *restart*, which is
+        what lets checkpoint resume skip journaled indices safely.
         """
         golden = self.golden()
         scenarios = strategy.next_batch(rng, count)
@@ -281,6 +327,7 @@ class Campaign:
                 duration=self.duration,
                 platform=self.platform,
                 golden=golden,
+                deadline_s=deadline_s,
             )
             for offset, scenario in enumerate(scenarios)
         ]
@@ -296,6 +343,11 @@ class Campaign:
         backend: _t.Union[str, Executor] = "serial",
         workers: _t.Optional[int] = None,
         batch_size: _t.Optional[int] = None,
+        run_timeout_s: _t.Optional[float] = None,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.05,
+        hard_timeout_s: _t.Optional[float] = None,
+        checkpoint: _t.Union[None, str, _t.Any] = None,
     ) -> CampaignResult:
         """Execute *runs* iterations of the closed loop.
 
@@ -311,6 +363,23 @@ class Campaign:
         ``stop_on`` ends the campaign early once an outcome at least
         that severe occurs (used by "time to first hazard" metrics);
         runs planned after the triggering index are discarded.
+        :data:`Outcome.TIMEOUT` sits below every failure outcome, so
+        degraded runs never trip a failure stop condition.
+
+        Fault tolerance: ``run_timeout_s`` is the per-run wall-clock
+        deadline embedded in every spec (hangs degrade to ``TIMEOUT``
+        records); ``max_retries``/``retry_backoff_s`` configure the
+        crash-retry policy of an owned parallel executor; and
+        ``hard_timeout_s`` overrides the pool-level backstop.  A
+        caller-provided :class:`Executor` instance keeps its own
+        policy.
+
+        ``checkpoint`` — a path or a
+        :class:`~repro.core.checkpoint.CampaignCheckpoint` — journals
+        every completed outcome to an append-only JSONL file and, on
+        restart with the same (seed, strategy, scenario set), skips
+        execution of already-journaled run indices: the resumed result
+        aggregates identically to an uninterrupted campaign.
         """
         executor, owned = make_executor(
             backend,
@@ -319,11 +388,21 @@ class Campaign:
             classifier=self.classifier,
             platform=self.platform,
             workers=workers,
+            retry=RetryPolicy(max_retries, retry_backoff_s),
+            hard_timeout_s=hard_timeout_s,
         )
         if batch_size is None:
             batch_size = 1 if executor.workers == 1 else 2 * executor.workers
         if batch_size < 1:
             raise ValueError("batch size must be positive")
+        journal: _t.Optional[CampaignCheckpoint] = None
+        if checkpoint is not None:
+            journal = (
+                checkpoint
+                if isinstance(checkpoint, CampaignCheckpoint)
+                else CampaignCheckpoint(checkpoint)
+            )
+            journal.open(campaign_key(self, strategy))
         self.golden()  # eager: no executor ever computes it implicitly
         result = CampaignResult(self.duration)
         rng = random.Random(self.seed)
@@ -331,17 +410,36 @@ class Campaign:
             index = 0
             while index < runs:
                 specs = self.plan_batch(
-                    strategy, rng, min(batch_size, runs - index), index
+                    strategy, rng, min(batch_size, runs - index), index,
+                    deadline_s=run_timeout_s,
                 )
-                outcomes = executor.run_batch(specs)
                 index += len(specs)
+                if journal is not None:
+                    cached = [
+                        journal.outcomes[spec.index]
+                        for spec in specs
+                        if spec.index in journal.outcomes
+                    ]
+                    fresh = [
+                        spec for spec in specs
+                        if spec.index not in journal.outcomes
+                    ]
+                else:
+                    cached, fresh = [], specs
+                executed = executor.run_batch(fresh) if fresh else []
+                if journal is not None and executed:
+                    journal.record_batch(executed)
+                result.resumed += len(cached)
                 if self._aggregate_batch(
-                    result, specs, outcomes, strategy, coverage, stop_on
+                    result, specs, executed + cached, strategy, coverage,
+                    stop_on,
                 ):
                     break
         finally:
             if owned:
                 executor.close()
+            if journal is not None:
+                journal.close()
         return result
 
     def _aggregate_batch(
@@ -372,6 +470,8 @@ class Campaign:
                 outcome.observation,
                 outcome.injections_applied,
                 outcome.kernel_stats,
+                outcome.attempts,
+                outcome.failure,
             )
             result.append(record)
             if coverage is not None:

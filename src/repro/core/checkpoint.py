@@ -1,0 +1,206 @@
+"""Append-only campaign checkpoints: journal outcomes, resume campaigns.
+
+Fault-injection campaigns at scale (thousands of runs, hours of wall
+clock) must survive interruption — a killed job, a machine reboot, a
+poisoned batch — without losing the completed work.  The
+:class:`CampaignCheckpoint` journals every completed
+:class:`~repro.core.runspec.RunOutcome` as one JSONL line in an
+append-only file; on restart, :meth:`Campaign.run(...,
+checkpoint=...) <repro.core.campaign.Campaign.run>` replans the same
+deterministic spec stream and *skips execution* of every run index
+already journaled, so the resumed campaign aggregates to the same
+result as an uninterrupted one with the same seed.
+
+File layout (schema version |schema|)::
+
+    {"schema": 1, "key": {"seed": ..., "strategy": ..., "scenario_hash": ...}}
+    {"index": 0, "outcome": "MASKED", "matched_rules": [...], ...}
+    {"index": 1, ...}
+
+* The **header** pins the journal to one campaign identity — the
+  campaign seed, the strategy class, and a hash over the scenario set
+  (platform key, duration, fault-space pairs, injection window).
+  Opening a journal written by a different campaign raises
+  :class:`CheckpointKeyMismatch`; silently mixing outcomes of two
+  campaigns would corrupt both.
+* Each **record line** is one ``RunOutcome.to_jsonable()`` dict,
+  flushed to disk as soon as its batch completes.
+* A **truncated or corrupt trailing line** (the classic kill-during-
+  write artifact) is dropped, counted in :attr:`dropped_lines`, and
+  the affected run simply re-executes on resume — never fatal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import typing as _t
+
+from .runspec import OUTCOME_SCHEMA_VERSION, RunOutcome
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from .campaign import Campaign
+    from .strategies import Strategy
+
+
+class CheckpointError(RuntimeError):
+    """The journal cannot be used (bad header, unsupported schema)."""
+
+
+class CheckpointKeyMismatch(CheckpointError):
+    """The journal belongs to a different (seed, strategy, scenario set)."""
+
+
+def campaign_key(campaign: "Campaign", strategy: "Strategy") -> dict:
+    """The identity a journal is pinned to.
+
+    Two campaigns share a journal only when replaying one would plan
+    the identical spec stream: same campaign seed, same strategy class
+    and fault budget, and the same scenario universe (platform,
+    duration, fault-space geometry).  Everything beyond seed and
+    strategy name is folded into a stable hash.
+    """
+    parts = [
+        f"duration={campaign.duration}",
+        f"platform={campaign.platform}",
+        f"faults={getattr(strategy, 'faults_per_scenario', None)}",
+    ]
+    space = getattr(strategy, "space", None)
+    if space is not None:
+        parts.append(
+            f"window={space.window_start}:{space.window_end}"
+            f"/{space.time_bins}"
+        )
+        parts.extend(
+            f"{path}:{descriptor.name}" for path, descriptor in space.pairs
+        )
+    digest = hashlib.sha256("|".join(parts).encode()).hexdigest()[:16]
+    return {
+        "seed": campaign.seed,
+        "strategy": type(strategy).__name__,
+        "scenario_hash": digest,
+    }
+
+
+class CampaignCheckpoint:
+    """An append-only JSONL journal of completed run outcomes.
+
+    Usable directly (``open(key)`` / ``record_batch`` / ``close``) or,
+    normally, handed to :meth:`Campaign.run` as ``checkpoint=`` — the
+    campaign opens, validates, appends, and closes it.
+    """
+
+    def __init__(self, path: _t.Union[str, os.PathLike]):
+        self.path = pathlib.Path(path)
+        #: Journaled outcomes by run index, populated by :meth:`open`.
+        self.outcomes: _t.Dict[int, RunOutcome] = {}
+        #: Undecodable journal lines dropped during :meth:`open`.
+        self.dropped_lines = 0
+        self._key: _t.Optional[dict] = None
+        self._file: _t.Optional[_t.IO[str]] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def open(self, key: dict) -> None:
+        """Load any existing journal for *key* and go append-ready.
+
+        A fresh path gets a header written immediately; an existing
+        journal is validated against *key* and replayed into
+        :attr:`outcomes`.
+        """
+        if self._file is not None:
+            return
+        if self.path.exists() and self.path.stat().st_size > 0:
+            self._load(key)
+        self._key = key
+        new_file = not self.path.exists() or self.path.stat().st_size == 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "a", encoding="utf-8")
+        if new_file:
+            header = {"schema": OUTCOME_SCHEMA_VERSION, "key": key}
+            self._file.write(
+                json.dumps(header, sort_keys=True, separators=(",", ":"))
+                + "\n"
+            )
+            self._flush()
+
+    def _load(self, key: dict) -> None:
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        if not lines:
+            return
+        try:
+            header = json.loads(lines[0])
+            schema = header["schema"]
+            found_key = header["key"]
+        except (ValueError, KeyError, TypeError):
+            raise CheckpointError(
+                f"{self.path}: unreadable checkpoint header"
+            ) from None
+        if schema > OUTCOME_SCHEMA_VERSION:
+            raise CheckpointError(
+                f"{self.path}: journal schema {schema} is newer than "
+                f"supported version {OUTCOME_SCHEMA_VERSION}"
+            )
+        if found_key != key:
+            raise CheckpointKeyMismatch(
+                f"{self.path}: journal was written by campaign "
+                f"{found_key}, not {key}; resuming would mix outcomes "
+                f"of different campaigns"
+            )
+        for line in lines[1:]:
+            if not line.strip():
+                continue
+            try:
+                self._remember(RunOutcome.from_jsonable(json.loads(line)))
+            except (ValueError, KeyError, TypeError):
+                # Truncated trailing write (or bit rot): drop the line;
+                # the run re-executes on resume.
+                self.dropped_lines += 1
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "CampaignCheckpoint":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- journaling ---------------------------------------------------------
+
+    def _remember(self, outcome: RunOutcome) -> None:
+        self.outcomes[outcome.index] = outcome
+
+    def record_batch(self, outcomes: _t.Iterable[RunOutcome]) -> None:
+        """Append *outcomes* and flush so a kill loses at most the
+        in-flight line (which :meth:`open` will then drop)."""
+        if self._file is None:
+            raise CheckpointError("checkpoint is not open")
+        wrote = False
+        for outcome in outcomes:
+            self._file.write(
+                json.dumps(
+                    outcome.to_jsonable(),
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+                + "\n"
+            )
+            self._remember(outcome)
+            wrote = True
+        if wrote:
+            self._flush()
+
+    def _flush(self) -> None:
+        self._file.flush()
+        try:
+            os.fsync(self._file.fileno())
+        except OSError:  # pragma: no cover - fsync-less filesystems
+            pass
+
+    def __len__(self) -> int:
+        return len(self.outcomes)

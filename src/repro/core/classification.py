@@ -5,7 +5,8 @@ fault-error-failure analysis ... at the monitoring side of the
 testbench".  The lattice used here is the standard dependability one,
 ordered by severity:
 
-``NO_EFFECT < MASKED < DETECTED_SAFE < TIMING_FAILURE < SDC < HAZARDOUS``
+``NO_EFFECT < MASKED < DETECTED_SAFE < TIMEOUT < TIMING_FAILURE < SDC
+< HAZARDOUS``
 
 * **NO_EFFECT** — the fault never became an error (overwritten, never
   read, logically masked).
@@ -13,6 +14,12 @@ ordered by severity:
   (ECC correction, TMR out-voting); the system behaved nominally.
 * **DETECTED_SAFE** — a mechanism detected the error and the system
   reached its safe state (trap, watchdog reset, CRC rejection).
+* **TIMEOUT** — the run itself never produced a verdict: the injected
+  fault hung or killed the simulation (livelock past its wall-clock
+  deadline, crashed worker).  Inconclusive, not a classified failure —
+  it sits below the failure outcomes so campaign stop conditions on
+  failures ignore it.  Synthesized by the executor layer, never by
+  classifier rules.
 * **TIMING_FAILURE** — outputs correct in value but late: deadline
   misses, stale signals ("the right value at the wrong time").
 * **SDC** — silent data corruption: wrong outputs, nothing noticed.
@@ -37,9 +44,10 @@ class Outcome(enum.IntEnum):
     NO_EFFECT = 0
     MASKED = 1
     DETECTED_SAFE = 2
-    TIMING_FAILURE = 3
-    SDC = 4
-    HAZARDOUS = 5
+    TIMEOUT = 3
+    TIMING_FAILURE = 4
+    SDC = 5
+    HAZARDOUS = 6
 
     @property
     def is_failure(self) -> bool:
@@ -50,6 +58,11 @@ class Outcome(enum.IntEnum):
     def is_dangerous(self) -> bool:
         """Undetected failures that can violate the safety goal."""
         return self in (Outcome.SDC, Outcome.HAZARDOUS)
+
+    @property
+    def is_inconclusive(self) -> bool:
+        """The run produced no verdict (hung or crashed mid-flight)."""
+        return self is Outcome.TIMEOUT
 
 
 RunObservation = _t.Dict[str, _t.Any]

@@ -18,23 +18,57 @@ batches, to a swappable :class:`Executor`:
 
 Both backends execute the *same* ``execute_runspec`` routine, which is
 what the serial/parallel equivalence tests pin down.
+
+Fault tolerance
+---------------
+
+Campaigns inject faults that can hang a DUT or kill a worker, so the
+executors degrade instead of aborting:
+
+* a run whose simulation exceeds its ``RunSpec.deadline_s`` wall-clock
+  budget comes back as a classified ``Outcome.TIMEOUT`` record
+  (``failure="timeout"``, enforced inside the kernel loop);
+* a run whose body raises comes back as a terminal
+  ``failure="error"`` record — a deterministic raise would fail
+  identically on every retry, so none are attempted;
+* a run whose *worker process dies* (``BrokenProcessPool`` — e.g. an
+  injected ``os._exit``) is retried with deterministic exponential
+  backoff up to :attr:`RetryPolicy.max_retries` times on a rebuilt
+  pool, then becomes a terminal ``failure="crash"`` record;
+* a run that hangs so hard the worker-side deadline cannot fire (a
+  process body that never yields) is caught by the pool-level hard
+  timeout; the poisoned pool is killed and rebuilt, and the run is
+  recorded as ``failure="timeout"``.
+
+Every degradation path yields exactly one ``RunOutcome`` per planned
+spec, so ``runs == completed + timed_out + terminally_failed`` always
+holds and a poisoned spec can never kill a campaign.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
+import time
 import typing as _t
 
 from .runspec import (
     RunOutcome,
     RunSpec,
     execute_runspec,
-    execute_runspec_from_registry,
+    execute_runspec_tolerant,
+    failure_outcome,
 )
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from ..kernel import Module, Simulator
     from .classification import Classifier, RunObservation
+
+#: Pool-level hard-timeout slack on top of the per-run deadline: covers
+#: platform construction, observation, pickling, and queueing behind
+#: other runs of the same batch on a busy pool.
+HARD_TIMEOUT_GRACE = 5.0
+HARD_TIMEOUT_FACTOR = 3.0
 
 
 def default_worker_count() -> int:
@@ -45,9 +79,39 @@ def default_worker_count() -> int:
         return max(1, os.cpu_count() or 1)
 
 
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, deterministic retry for worker-crash casualties.
+
+    ``max_retries`` bounds redispatches per spec *beyond* the first
+    attempt; ``backoff_s`` seeds the deterministic exponential backoff
+    slept before each pool rebuild (no jitter — campaigns must replay
+    identically under a fixed seed).
+    """
+
+    max_retries: int = 2
+    backoff_s: float = 0.05
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("retry budget must be non-negative")
+        if self.backoff_s < 0:
+            raise ValueError("backoff must be non-negative")
+
+    @property
+    def max_attempts(self) -> int:
+        return 1 + self.max_retries
+
+    def backoff_for(self, rebuild: int) -> float:
+        """Seconds to sleep before pool rebuild number *rebuild* (1-based)."""
+        return self.backoff_s * (2 ** max(rebuild - 1, 0))
+
+
 class Executor:
     """Runs batches of :class:`RunSpec`; returned outcomes are always
-    sorted by run index regardless of completion order."""
+    sorted by run index regardless of completion order.  Implementations
+    must return exactly one outcome per spec — degraded runs come back
+    as ``Outcome.TIMEOUT`` records, never as exceptions."""
 
     #: Degree of parallelism, used by the planner to size batches.
     workers: int = 1
@@ -56,7 +120,7 @@ class Executor:
         raise NotImplementedError
 
     def close(self) -> None:
-        """Release backend resources; idempotent."""
+        """Release backend resources; idempotent, even after a crash."""
 
     def __enter__(self) -> "Executor":
         return self
@@ -82,11 +146,22 @@ class SerialExecutor(Executor):
         self.observe = observe
         self.classifier = classifier
 
+    def _run_one(self, spec: RunSpec) -> RunOutcome:
+        try:
+            return execute_runspec(
+                spec, self.factory, self.observe, self.classifier
+            )
+        except Exception as exc:  # noqa: BLE001 - degraded to a record
+            return failure_outcome(
+                spec,
+                failure="error",
+                error=f"{type(exc).__name__}: {exc}",
+                attempts=spec.attempt + 1,
+                label=f"error:{type(exc).__name__}",
+            )
+
     def run_batch(self, specs: _t.Sequence[RunSpec]) -> _t.List[RunOutcome]:
-        return [
-            execute_runspec(spec, self.factory, self.observe, self.classifier)
-            for spec in specs
-        ]
+        return [self._run_one(spec) for spec in specs]
 
 
 class ParallelExecutor(Executor):
@@ -96,15 +171,24 @@ class ParallelExecutor(Executor):
     :meth:`close`, so one campaign pays the worker start-up cost once.
     Specs must carry a ``platform`` registry key — the campaign
     planner embeds it (and the golden observation) in every spec.
+
+    ``retry`` governs redispatch of runs whose worker died;
+    ``hard_timeout_s`` overrides the pool-level backstop timeout
+    derived from the specs' deadlines (``None`` + no deadlines =
+    wait forever, the legacy behavior).
     """
 
     def __init__(
         self,
         platform: _t.Optional[str] = None,
         workers: _t.Optional[int] = None,
+        retry: _t.Optional[RetryPolicy] = None,
+        hard_timeout_s: _t.Optional[float] = None,
     ):
         if workers is not None and workers < 1:
             raise ValueError("need at least one worker")
+        if hard_timeout_s is not None and hard_timeout_s <= 0:
+            raise ValueError("hard timeout must be positive")
         if platform is not None:
             # Fail fast in the parent on unknown keys instead of
             # surfacing the KeyError from inside a worker.
@@ -113,7 +197,11 @@ class ParallelExecutor(Executor):
             registry.get_platform(platform)
         self.platform = platform
         self.workers = workers or default_worker_count()
+        self.retry = retry or RetryPolicy()
+        self.hard_timeout_s = hard_timeout_s
         self._pool = None
+        #: Lifetime counters surfaced through CampaignResult.report().
+        self.pool_rebuilds = 0
 
     def _ensure_pool(self):
         if self._pool is None:
@@ -124,7 +212,35 @@ class ParallelExecutor(Executor):
             )
         return self._pool
 
+    def _hard_timeout(self, specs: _t.Sequence[RunSpec]) -> _t.Optional[float]:
+        """The pool-level backstop for one batch, or ``None`` to wait."""
+        if self.hard_timeout_s is not None:
+            return self.hard_timeout_s
+        deadlines = [s.deadline_s for s in specs if s.deadline_s is not None]
+        if not deadlines:
+            return None
+        return max(deadlines) * HARD_TIMEOUT_FACTOR + HARD_TIMEOUT_GRACE
+
+    def _kill_pool(self) -> None:
+        """Tear down a poisoned pool: terminate workers, drop futures."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        self.pool_rebuilds += 1
+        for process in list((getattr(pool, "_processes", None) or {}).values()):
+            try:
+                process.terminate()
+            except Exception:  # noqa: BLE001 - already-dead workers
+                pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # noqa: BLE001 - broken pools may refuse
+            pass
+
     def run_batch(self, specs: _t.Sequence[RunSpec]) -> _t.List[RunOutcome]:
+        from concurrent.futures import TimeoutError as FutureTimeout
+        from concurrent.futures.process import BrokenProcessPool
+
         for spec in specs:
             if spec.platform is None:
                 raise ValueError(
@@ -132,18 +248,114 @@ class ParallelExecutor(Executor):
                     f"key; parallel execution requires a campaign "
                     f"built with platform=<name>"
                 )
-        pool = self._ensure_pool()
-        futures = [
-            pool.submit(execute_runspec_from_registry, spec)
-            for spec in specs
-        ]
-        outcomes = [future.result() for future in futures]
-        return sorted(outcomes, key=lambda outcome: outcome.index)
+        hard_timeout = self._hard_timeout(specs)
+        by_index = {spec.index: spec for spec in specs}
+        #: spec index -> attempt number currently in flight (1-based).
+        pending: _t.Dict[int, int] = {spec.index: 1 for spec in specs}
+        done: _t.Dict[int, RunOutcome] = {}
+        rebuilds = 0
+        while pending:
+            pool = self._ensure_pool()
+            futures: _t.Dict[int, _t.Any] = {}
+            crashed: _t.List[int] = []
+            hung = False
+            for index in sorted(pending):
+                spec = dataclasses.replace(
+                    by_index[index], attempt=pending[index] - 1
+                )
+                try:
+                    futures[index] = pool.submit(
+                        execute_runspec_tolerant, spec
+                    )
+                except (BrokenProcessPool, RuntimeError):
+                    # Pool already broken (or shut down mid-crash):
+                    # charge an attempt and fall through to the rebuild.
+                    crashed.append(index)
+            for index, future in futures.items():
+                attempt = pending[index]
+                try:
+                    outcome = future.result(timeout=hard_timeout)
+                except FutureTimeout:
+                    # Hard hang: the worker-side deadline never fired
+                    # (non-yielding process body).  Terminal — a rerun
+                    # would hang for the full backstop again.
+                    done[index] = failure_outcome(
+                        by_index[index],
+                        failure="timeout",
+                        error=(
+                            f"no result within the {hard_timeout}s "
+                            f"pool-level hard timeout"
+                        ),
+                        attempts=attempt,
+                        label="timeout:pool",
+                    )
+                    del pending[index]
+                    hung = True
+                except BrokenProcessPool:
+                    crashed.append(index)
+                except Exception as exc:  # noqa: BLE001 - pickling edge
+                    done[index] = failure_outcome(
+                        by_index[index],
+                        failure="error",
+                        error=f"{type(exc).__name__}: {exc}",
+                        attempts=attempt,
+                        label=f"error:{type(exc).__name__}",
+                    )
+                    del pending[index]
+                else:
+                    if outcome.attempts != attempt:
+                        outcome = dataclasses.replace(
+                            outcome, attempts=attempt
+                        )
+                    done[index] = outcome
+                    del pending[index]
+            for index in crashed:
+                attempt = pending[index]
+                if attempt >= self.retry.max_attempts:
+                    done[index] = failure_outcome(
+                        by_index[index],
+                        failure="crash",
+                        error=(
+                            f"worker process died (BrokenProcessPool); "
+                            f"retry budget of {self.retry.max_retries} "
+                            f"exhausted"
+                        ),
+                        attempts=attempt,
+                        label="crash:worker",
+                    )
+                    del pending[index]
+                else:
+                    pending[index] = attempt + 1
+            if crashed or hung:
+                # The pool is poisoned (dead or occupied workers):
+                # rebuild before the next round, after a deterministic
+                # backoff that lets transient resource pressure clear.
+                self._kill_pool()
+                if pending:
+                    rebuilds += 1
+                    backoff = self.retry.backoff_for(rebuilds)
+                    if backoff:
+                        time.sleep(backoff)
+        return [done[spec.index] for spec in specs]
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Idempotent shutdown that survives a broken pool.
+
+        ``ProcessPoolExecutor.shutdown`` can raise once workers have
+        been killed out from under it; campaigns must still be able to
+        release the executor in their ``finally`` block.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        try:
+            pool.shutdown(wait=True, cancel_futures=True)
+        except Exception:  # noqa: BLE001 - broken-pool shutdown
+            for process in list((getattr(pool, "_processes", None) or {}).values()):
+                try:
+                    process.terminate()
+                except Exception:  # noqa: BLE001
+                    pass
 
 
 def make_executor(
@@ -154,11 +366,14 @@ def make_executor(
     classifier=None,
     platform: _t.Optional[str] = None,
     workers: _t.Optional[int] = None,
+    retry: _t.Optional[RetryPolicy] = None,
+    hard_timeout_s: _t.Optional[float] = None,
 ) -> _t.Tuple[Executor, bool]:
     """Resolve a backend selector to an executor.
 
     Returns ``(executor, owned)``: campaigns close executors they
-    created but leave caller-provided instances open for reuse.
+    created but leave caller-provided instances open for reuse (a
+    passed-in instance also keeps its own retry/timeout configuration).
     """
     if isinstance(backend, Executor):
         return backend, False
@@ -173,7 +388,15 @@ def make_executor(
                 "(Campaign(platform=<name>, ...)); see "
                 "repro.platforms.register_platform"
             )
-        return ParallelExecutor(platform, workers=workers), True
+        return (
+            ParallelExecutor(
+                platform,
+                workers=workers,
+                retry=retry,
+                hard_timeout_s=hard_timeout_s,
+            ),
+            True,
+        )
     raise ValueError(
         f"unknown backend {backend!r}; expected 'serial', 'parallel', "
         f"or an Executor instance"

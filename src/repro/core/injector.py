@@ -262,6 +262,31 @@ def _rtos_handler(descriptor, point, rng):
     raise InjectionError(f"scheduler cannot realise {kind}")
 
 
+def _behavior_handler(descriptor, point, rng):
+    """Flip a component into a named misbehavior mode.
+
+    Models runaway software — livelocked control loops, crashing
+    firmware — as an injectable fault class; the point's owner decides
+    what each mode means.  This is what the fault-tolerance test suite
+    uses to hang/kill campaign runs on purpose.
+    """
+    params = dict(descriptor.params)
+    if descriptor.kind is not FaultKind.BEHAVIOR_MODE:
+        raise InjectionError(
+            f"behavior point cannot realise {descriptor.kind}"
+        )
+    mode = params.get("mode")
+    if mode is None:
+        mode = rng.choice(point.modes)
+    if mode not in point.modes:
+        raise InjectionError(
+            f"unknown behavior mode {mode!r}; point offers {point.modes}"
+        )
+    point.trigger(mode)
+    revert = getattr(point, "clear", None)
+    return {"mode": mode}, revert
+
+
 def _resolve_pattern(params: _t.Dict[str, _t.Any], rng: random.Random) -> int:
     """Resolve a word-corruption pattern: explicit, sampled from a
     cross-layer profile, or a single random bit."""
@@ -281,4 +306,5 @@ _HANDLERS: _t.Dict[str, _t.Callable] = {
     "analog": _analog_handler,
     "can_wire": _can_handler,
     "rtos": _rtos_handler,
+    "behavior": _behavior_handler,
 }

@@ -25,13 +25,18 @@ import random
 import time
 import typing as _t
 
-from ..kernel import Simulator
+from ..kernel import DeadlineExceeded, Simulator
 from .classification import Classifier, Outcome, RunObservation
 from .scenario import ErrorScenario
 from .stressor import Stressor
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from ..kernel import Module
+
+#: Version of the serialized :class:`RunOutcome` layout, stamped into
+#: checkpoint journal headers.  Bump on any incompatible change to
+#: :meth:`RunOutcome.to_jsonable`.
+OUTCOME_SCHEMA_VERSION = 1
 
 
 @dataclasses.dataclass(frozen=True)
@@ -43,6 +48,12 @@ class RunSpec:
     fault-free reference observation, computed once by the campaign
     and shipped with every spec so no worker ever re-runs (or races
     on) the golden simulation.
+
+    ``deadline_s`` is the per-run wall-clock budget, enforced inside
+    the simulation loop (see :class:`~repro.kernel.DeadlineExceeded`);
+    ``attempt`` counts prior executions of this spec — zero on the
+    first try, bumped by the executor when a worker crash forces a
+    redispatch.
     """
 
     index: int
@@ -51,12 +62,18 @@ class RunSpec:
     duration: int
     platform: _t.Optional[str] = None
     golden: _t.Optional[RunObservation] = None
+    deadline_s: _t.Optional[float] = None
+    attempt: int = 0
 
     def __post_init__(self):
         if self.duration <= 0:
             raise ValueError("run duration must be positive")
         if self.index < 0:
             raise ValueError("run index must be non-negative")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("run deadline must be positive")
+        if self.attempt < 0:
+            raise ValueError("attempt count must be non-negative")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -66,6 +83,12 @@ class RunOutcome:
     Deliberately free of live simulation objects: only the
     classification verdict, the probe observation, and the kernel cost
     counters cross the process boundary back to the planner.
+
+    ``failure`` is ``None`` for a conclusive run, or the degradation
+    kind — ``"timeout"`` (deadline exceeded in the worker or at the
+    pool), ``"crash"`` (worker process died and retries ran out), or
+    ``"error"`` (the run raised) — with the detail in ``error``.
+    ``attempts`` counts executions including the successful one.
     """
 
     index: int
@@ -75,6 +98,73 @@ class RunOutcome:
     injections_applied: int
     kernel_stats: _t.Dict[str, _t.Any]
     stressor_errors: _t.Tuple[str, ...] = ()
+    attempts: int = 1
+    failure: _t.Optional[str] = None
+    error: _t.Optional[str] = None
+
+    def to_jsonable(self) -> _t.Dict[str, _t.Any]:
+        """A JSON-serializable dict (checkpoint journal line).
+
+        Only JSON-native observation values survive the round trip;
+        the built-in platforms observe ints, floats, bools, and hex
+        strings, which is exactly that set.
+        """
+        return {
+            "index": self.index,
+            "outcome": self.outcome.name,
+            "matched_rules": list(self.matched_rules),
+            "observation": dict(self.observation),
+            "injections_applied": self.injections_applied,
+            "kernel_stats": dict(self.kernel_stats),
+            "stressor_errors": list(self.stressor_errors),
+            "attempts": self.attempts,
+            "failure": self.failure,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: _t.Mapping[str, _t.Any]) -> "RunOutcome":
+        return cls(
+            index=payload["index"],
+            outcome=Outcome[payload["outcome"]],
+            matched_rules=tuple(payload["matched_rules"]),
+            observation=dict(payload["observation"]),
+            injections_applied=payload["injections_applied"],
+            kernel_stats=dict(payload["kernel_stats"]),
+            stressor_errors=tuple(payload.get("stressor_errors", ())),
+            attempts=payload.get("attempts", 1),
+            failure=payload.get("failure"),
+            error=payload.get("error"),
+        )
+
+
+def failure_outcome(
+    spec: RunSpec,
+    failure: str,
+    error: str,
+    attempts: int = 1,
+    kernel_stats: _t.Optional[_t.Dict[str, _t.Any]] = None,
+    label: _t.Optional[str] = None,
+) -> RunOutcome:
+    """Synthesize the terminal :data:`Outcome.TIMEOUT` record for a run
+    that could not produce a classification (hang, crash, raise).
+
+    The matched-rule *label* (e.g. ``"timeout:deadline"``,
+    ``"crash:worker"``) carries the degradation kind so reports can
+    distinguish deadline timeouts from crashed workers without a new
+    record field downstream.
+    """
+    return RunOutcome(
+        index=spec.index,
+        outcome=Outcome.TIMEOUT,
+        matched_rules=(label or failure,),
+        observation={},
+        injections_applied=0,
+        kernel_stats=kernel_stats or {},
+        attempts=attempts,
+        failure=failure,
+        error=error,
+    )
 
 
 def execute_runspec(
@@ -104,7 +194,23 @@ def execute_runspec(
         rng=random.Random(spec.run_seed),
     )
     stressor.arm(spec.scenario)
-    sim.run(until=spec.duration)
+    try:
+        sim.run(until=spec.duration, deadline_s=spec.deadline_s)
+    except DeadlineExceeded as exc:
+        # The injected fault hung the DUT (e.g. a livelocked control
+        # loop): degrade to one classified-inconclusive record instead
+        # of stalling the campaign.  Partial kernel counters still ship
+        # so the wasted simulation work is accounted for.
+        kernel_stats = sim.stats()
+        kernel_stats["wall_s"] = time.perf_counter() - wall_start
+        return failure_outcome(
+            spec,
+            failure="timeout",
+            error=str(exc),
+            attempts=spec.attempt + 1,
+            kernel_stats=kernel_stats,
+            label="timeout:deadline",
+        )
     observation = observe(root)
     outcome, matched = classifier.classify(observation, reference)
     kernel_stats = sim.stats()
@@ -117,6 +223,7 @@ def execute_runspec(
         injections_applied=len(stressor.applied),
         kernel_stats=kernel_stats,
         stressor_errors=tuple(stressor.errors),
+        attempts=spec.attempt + 1,
     )
 
 
@@ -140,3 +247,27 @@ def execute_runspec_from_registry(spec: RunSpec) -> RunOutcome:
     return execute_runspec(
         spec, bundle.factory, bundle.observe, classifier
     )
+
+
+def execute_runspec_tolerant(spec: RunSpec) -> RunOutcome:
+    """Worker-side entry point that never raises back across the pool.
+
+    Exceptions from the run body (platform bugs, fault-induced process
+    errors) are folded into a terminal :data:`Outcome.TIMEOUT` record
+    worker-side — remote exceptions often do not survive pickling (a
+    :class:`~repro.kernel.ProcessError` holds a live generator), and a
+    deterministic raise would fail identically on every retry anyway.
+    Worker *crashes* (``os._exit``, OOM kills) cannot be caught here;
+    the pool executor sees those as ``BrokenProcessPool`` and handles
+    the retry/terminal bookkeeping on the parent side.
+    """
+    try:
+        return execute_runspec_from_registry(spec)
+    except Exception as exc:  # noqa: BLE001 - degraded to a record
+        return failure_outcome(
+            spec,
+            failure="error",
+            error=f"{type(exc).__name__}: {exc}",
+            attempts=spec.attempt + 1,
+            label=f"error:{type(exc).__name__}",
+        )

@@ -213,6 +213,8 @@ class WeakSpotStrategy(Strategy):
         Outcome.NO_EFFECT: 0.0,
         Outcome.MASKED: 1.0,
         Outcome.DETECTED_SAFE: 2.0,
+        # Inconclusive runs (hung/crashed) teach nothing about the cell.
+        Outcome.TIMEOUT: 0.0,
         Outcome.TIMING_FAILURE: 4.0,
         Outcome.SDC: 6.0,
         Outcome.HAZARDOUS: 8.0,

@@ -43,6 +43,7 @@ class FaultKind(enum.Enum):
     # Software / timing
     EXECUTION_OVERHEAD = "execution_overhead"  # recovery/retry delay
     TASK_KILL = "task_kill"          # runnable stops executing
+    BEHAVIOR_MODE = "behavior_mode"  # runaway software: livelock, crash
 
 
 class Persistence(enum.Enum):
@@ -70,6 +71,7 @@ APPLICABLE_TARGETS: _t.Dict[FaultKind, _t.FrozenSet[str]] = {
     FaultKind.MESSAGE_MASQUERADE: frozenset({"can_wire"}),
     FaultKind.EXECUTION_OVERHEAD: frozenset({"rtos"}),
     FaultKind.TASK_KILL: frozenset({"rtos"}),
+    FaultKind.BEHAVIOR_MODE: frozenset({"behavior"}),
 }
 
 

@@ -11,7 +11,7 @@ from .events import AllOf, AnyOf, Event, Timeout
 from .module import Module
 from .process import Process, ProcessError
 from .quantum import GlobalQuantum, QuantumKeeper
-from .scheduler import Simulator
+from .scheduler import DeadlineExceeded, Simulator
 from .signal import Clock, Signal, SignalBase, Wire
 from .trace import Change, Tracer
 
@@ -24,6 +24,7 @@ __all__ = [
     "Module",
     "Process",
     "ProcessError",
+    "DeadlineExceeded",
     "GlobalQuantum",
     "QuantumKeeper",
     "Simulator",

@@ -20,6 +20,7 @@ fault-injection campaigns must replay exactly under a fixed seed.
 from __future__ import annotations
 
 import heapq
+import time
 import typing as _t
 from collections import deque
 
@@ -33,6 +34,25 @@ if _t.TYPE_CHECKING:  # pragma: no cover
 
 class SimulationFinished(Exception):
     """Raised internally to unwind when a stop is requested."""
+
+
+class DeadlineExceeded(RuntimeError):
+    """:meth:`Simulator.run` exceeded its wall-clock deadline.
+
+    Injected faults can drive a prototype into a livelock (a runaway
+    process spinning on zero-delay yields, a watchdog loop that never
+    converges); the deadline turns such a hang into a catchable,
+    classifiable event instead of a stuck campaign.  Carries the
+    simulation time and the budget that was exhausted.
+    """
+
+    def __init__(self, deadline_s: float, sim_now: int):
+        super().__init__(
+            f"simulation exceeded its {deadline_s}s wall-clock deadline "
+            f"at t={sim_now}"
+        )
+        self.deadline_s = deadline_s
+        self.sim_now = sim_now
 
 
 class Simulator:
@@ -70,6 +90,7 @@ class Simulator:
         self._processes: list = []
         self._stop_requested = False
         self._errors: list = []
+        self._deadline_at: _t.Optional[float] = None
         #: Hooks invoked as fn(sim) after every delta cycle (tracing).
         self.delta_hooks: list = []
 
@@ -145,7 +166,11 @@ class Simulator:
         """Request that :meth:`run` return at the next phase boundary."""
         self._stop_requested = True
 
-    def run(self, until: _t.Optional[int] = None) -> int:
+    def run(
+        self,
+        until: _t.Optional[int] = None,
+        deadline_s: _t.Optional[float] = None,
+    ) -> int:
         """Run the simulation.
 
         ``until`` is an absolute time horizon; simulation stops *before*
@@ -153,12 +178,27 @@ class Simulator:
         left clamped at the horizon.  With ``until=None`` the simulation
         runs until no activity remains.  Returns the final time.
 
+        ``deadline_s`` bounds the *wall-clock* time of this call: when
+        the budget runs out, :class:`DeadlineExceeded` is raised from
+        the next scheduling-phase boundary.  The check runs between
+        delta cycles and every 256 process steps within one, so even
+        zero-delay livelocks are preempted; only a process body that
+        never yields at all can escape it (the campaign layer adds a
+        pool-level backstop for that case).
+
         Raises :class:`~repro.kernel.process.ProcessError` if any process
         body raised.
         """
         horizon = simtime.TIME_MAX if until is None else until
+        self._deadline_at = (
+            None if deadline_s is None
+            else time.perf_counter() + deadline_s
+        )
+        self._deadline_s = deadline_s
         try:
             while not self._stop_requested:
+                if self._deadline_at is not None:
+                    self._check_deadline()
                 self._delta_cycle()
                 if self._stop_requested:
                     break
@@ -167,6 +207,7 @@ class Simulator:
                 if not self._advance_time(horizon):
                     break
         finally:
+            self._deadline_at = None
             if self._errors:
                 error = self._errors[0]
                 self._errors = []
@@ -179,6 +220,10 @@ class Simulator:
             self.now = until
         return self.now
 
+    def _check_deadline(self) -> None:
+        if time.perf_counter() >= self._deadline_at:
+            raise DeadlineExceeded(self._deadline_s, self.now)
+
     def _delta_cycle(self) -> None:
         # Evaluation phase.
         while self._runnable:
@@ -186,6 +231,14 @@ class Simulator:
             if process.state in (FINISHED, KILLED):
                 continue
             self.processes_stepped += 1
+            # Immediate-notification ping-pong can livelock *inside* one
+            # evaluation phase; re-check the wall-clock budget without
+            # paying a perf_counter call on every step.
+            if (
+                self._deadline_at is not None
+                and not (self.processes_stepped & 0xFF)
+            ):
+                self._check_deadline()
             process._step()
             if self._stop_requested:
                 return

@@ -7,7 +7,7 @@ campaign workers in other processes can rebuild it from its key alone
 (``"airbag-normal"``, ``"airbag-crash"``, ``"acc"``, ``"steering"``).
 """
 
-from . import acc, airbag, steering
+from . import acc, airbag, hostile, steering
 from .registry import (
     PlatformBundle,
     available_platforms,
@@ -60,10 +60,19 @@ register_platform(
     steering.steering_classifier,
     description="electric power steering servo, nominal load",
 )
+register_platform(
+    "hostile-dut",
+    hostile.build_hostile,
+    hostile.observe,
+    hostile.hostile_classifier,
+    description="deliberately misbehaving DUT (livelock/raise/die "
+    "behavior faults) used by the fault-tolerance test suite",
+)
 
 __all__ = [
     "acc",
     "airbag",
+    "hostile",
     "steering",
     "PlatformBundle",
     "available_platforms",

@@ -1,0 +1,144 @@
+"""A deliberately misbehaving DUT — the executor layer's crash-test dummy.
+
+Fault-tolerant campaign execution (per-run deadlines, worker-crash
+retry, checkpoint/resume) can only be pinned down by a platform whose
+injected faults attack the *campaign machinery itself*: runs that
+livelock the kernel, raise out of a process body, or hard-kill the
+worker process.  This prototype models exactly that — "runaway
+firmware" as a fault class — through the generic ``behavior``
+injection point kind (:mod:`repro.core.injector`).
+
+The nominal DUT is trivial and fully deterministic: a firmware loop
+incrementing a cycle counter over a small scratch memory, so fault-free
+runs classify as ``NO_EFFECT`` and a scratch-memory SEU shows up as
+ordinary ``SDC`` — giving equivalence tests a mix of conclusive
+outcomes next to the hostile ones.
+
+Behavior modes (injected via :data:`LIVELOCK` / :data:`RAISE` /
+:data:`CRASH`):
+
+* ``livelock`` — the firmware spins on zero-delay yields forever;
+  simulation time stops advancing and only the kernel's wall-clock
+  deadline (``RunSpec.deadline_s``) can end the run.
+* ``raise`` — the firmware raises :class:`HostileFirmwareError`; the
+  kernel surfaces it as a ``ProcessError`` and the executor degrades
+  the run to a terminal ``error`` record.
+* ``die`` — the firmware calls ``os._exit``, killing the *worker
+  process* mid-run.  **Parallel backend only**: in a serial campaign
+  this kills the campaign process itself.  The pool sees
+  ``BrokenProcessPool`` and exercises the retry path.
+
+Registered as ``"hostile-dut"`` so pool workers can rebuild it from
+the registry key alone.
+"""
+
+from __future__ import annotations
+
+import os
+import typing as _t
+
+from ..core.classification import build_standard_classifier
+from ..faults import FaultDescriptor, FaultKind, Persistence
+from ..hw import Memory
+from ..kernel import Module, Simulator
+
+#: Firmware cycle period (kernel time units).
+TICK = 1_000
+
+#: Default campaign duration giving a few dozen firmware cycles.
+DURATION = 40 * TICK
+
+
+class HostileFirmwareError(RuntimeError):
+    """Raised by the firmware when the ``raise`` mode is injected."""
+
+
+class BehaviorPoint:
+    """``behavior``-kind injection point flipping firmware modes."""
+
+    kind = "behavior"
+    modes = ("livelock", "raise", "die")
+
+    def __init__(self, owner: "HostileDut"):
+        self._owner = owner
+
+    def trigger(self, mode: str) -> None:
+        # Only latch the mode here: this runs inside the stressor's
+        # injection process, whose exceptions are swallowed as
+        # injection errors.  The firmware process acts on the latch at
+        # its next cycle, so the misbehavior escapes through the
+        # kernel exactly like a real runaway control loop would.
+        self._owner.mode = mode
+
+    def clear(self) -> None:
+        self._owner.mode = None
+
+
+class HostileDut(Module):
+    """Counter firmware over a scratch RAM, with a behavior trap."""
+
+    def __init__(self, name: str, sim: Simulator):
+        super().__init__(name, sim=sim)
+        self.scratch = Memory("scratch", parent=self, size=16)
+        self.scratch.load(0, bytes(range(16)))
+        self.mode: _t.Optional[str] = None
+        self.cycles = 0
+        self.register_injection_point("firmware", BehaviorPoint(self))
+        self.process(self._firmware(), name="firmware")
+
+    def _firmware(self):
+        while True:
+            yield TICK
+            if self.mode == "livelock":
+                while True:
+                    yield 0  # zero-delay spin: wall clock burns, sim time stalls
+            if self.mode == "raise":
+                raise HostileFirmwareError(
+                    "injected firmware runaway (mode=raise)"
+                )
+            if self.mode == "die":
+                os._exit(17)  # hard worker kill, bypasses all handlers
+            self.cycles += 1
+
+
+def build_hostile(sim: Simulator) -> Module:
+    return HostileDut("hostile", sim=sim)
+
+
+def observe(root: Module) -> dict:
+    return {
+        "cycles": root.cycles,
+        "scratch_image": bytes(root.scratch.data).hex(),
+    }
+
+
+def hostile_classifier():
+    return build_standard_classifier(
+        value_keys=["scratch_image", "cycles"],
+    )
+
+
+#: The behavior-mode fault descriptors campaigns inject.
+LIVELOCK = FaultDescriptor(
+    name="firmware_livelock",
+    kind=FaultKind.BEHAVIOR_MODE,
+    persistence=Persistence.PERMANENT,
+    params={"mode": "livelock"},
+)
+RAISE = FaultDescriptor(
+    name="firmware_raise",
+    kind=FaultKind.BEHAVIOR_MODE,
+    persistence=Persistence.PERMANENT,
+    params={"mode": "raise"},
+)
+CRASH = FaultDescriptor(
+    name="firmware_die",
+    kind=FaultKind.BEHAVIOR_MODE,
+    persistence=Persistence.PERMANENT,
+    params={"mode": "die"},
+)
+
+#: Injection-point path of the behavior trap (root module is "hostile").
+TRAP_PATH = "hostile.firmware"
+#: Injection-point path of the scratch memory (benign SEU target).
+SCRATCH_PATH = "hostile.scratch.array"

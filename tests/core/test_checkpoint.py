@@ -1,0 +1,240 @@
+"""Checkpoint/resume: interrupted campaigns finish as if uninterrupted.
+
+The resume guarantee under test: a campaign restarted with the same
+(seed, strategy, scenario set) and its journal skips execution of
+every journaled run index, and the merged result is identical — same
+records, same report — to an uninterrupted run with the same seed.
+Only wall-clock-derived fields (kernel stats, the robustness/resume
+counters) may differ.
+"""
+
+import json
+
+import pytest
+
+from repro.core import (
+    Campaign,
+    CampaignCheckpoint,
+    CheckpointError,
+    CheckpointKeyMismatch,
+    FaultSpace,
+    OUTCOME_SCHEMA_VERSION,
+    Outcome,
+    RandomStrategy,
+    WeakSpotStrategy,
+    campaign_key,
+)
+from repro.faults import SRAM_SEU
+from repro.kernel import Simulator, simtime
+from repro.platforms import airbag, hostile
+
+from .test_fault_tolerance import run_hostile, scripted
+
+DURATION = simtime.ms(60)
+RUNS = 10
+
+
+def caps_space():
+    probe = Simulator()
+    return FaultSpace(
+        airbag.build_normal_operation(probe),
+        [SRAM_SEU.with_rate(5e-7)],
+        window_start=simtime.ms(5),
+        window_end=simtime.ms(30),
+        time_bins=2,
+    )
+
+
+def caps_campaign(seed=21):
+    return Campaign(duration=DURATION, seed=seed, platform="airbag-normal")
+
+
+def caps_strategy():
+    return RandomStrategy(caps_space(), faults_per_scenario=2)
+
+
+def run_caps(checkpoint=None, runs=RUNS, seed=21):
+    return caps_campaign(seed).run(
+        caps_strategy(), runs=runs, checkpoint=checkpoint
+    )
+
+
+def record_view(record):
+    """Everything about a record except wall-clock-dependent stats."""
+    return (
+        record.index,
+        record.scenario.name,
+        record.outcome.name,
+        tuple(record.matched_rules),
+        tuple(sorted(record.observation.items())),
+        record.injections_applied,
+        record.failure,
+    )
+
+
+def report_view(result):
+    report = result.report()
+    report.pop("kernel", None)
+    report.pop("robustness", None)
+    return report
+
+
+class TestJournalFile:
+    def test_fresh_journal_header_and_lines(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        run_caps(checkpoint=path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1 + RUNS
+        header = json.loads(lines[0])
+        assert header["schema"] == OUTCOME_SCHEMA_VERSION
+        assert header["key"] == campaign_key(caps_campaign(), caps_strategy())
+        indices = [json.loads(line)["index"] for line in lines[1:]]
+        assert indices == list(range(RUNS))
+
+    def test_journal_records_roundtrip_outcomes(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        result = run_caps(checkpoint=path)
+        journal = CampaignCheckpoint(path)
+        journal.open(campaign_key(caps_campaign(), caps_strategy()))
+        journal.close()
+        assert len(journal) == RUNS
+        for record in result.records:
+            cached = journal.outcomes[record.index]
+            assert cached.outcome is record.outcome
+            assert list(cached.matched_rules) == list(record.matched_rules)
+
+
+class TestResume:
+    def test_resume_skips_journaled_runs(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        run_caps(checkpoint=path, runs=4)  # "interrupted" after 4 runs
+        resumed = run_caps(checkpoint=path, runs=RUNS)
+        assert resumed.resumed == 4
+        assert resumed.runs == RUNS
+        assert resumed.report()["robustness"]["resumed"] == 4
+
+    def test_resumed_result_identical_to_uninterrupted(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        run_caps(checkpoint=path, runs=4)
+        resumed = run_caps(checkpoint=path, runs=RUNS)
+        uninterrupted = run_caps()
+        assert [record_view(r) for r in resumed.records] == [
+            record_view(r) for r in uninterrupted.records
+        ]
+        assert report_view(resumed) == report_view(uninterrupted)
+
+    def test_fully_journaled_campaign_executes_nothing(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        first = run_caps(checkpoint=path)
+        replay = run_caps(checkpoint=path)
+        assert replay.resumed == RUNS
+        assert [record_view(r) for r in replay.records] == [
+            record_view(r) for r in first.records
+        ]
+
+    def test_truncated_trailing_line_reexecutes_that_run(self, tmp_path):
+        # The classic kill-during-write artifact: the journal's last
+        # line is cut mid-JSON.  It must be dropped (not fatal) and
+        # only that run re-executed.
+        path = tmp_path / "campaign.jsonl"
+        run_caps(checkpoint=path)
+        raw = path.read_text()
+        path.write_text(raw[: len(raw) - 25])  # maim the final record
+        resumed = run_caps(checkpoint=path)
+        assert resumed.resumed == RUNS - 1
+        assert [record_view(r) for r in resumed.records] == [
+            record_view(r) for r in run_caps().records
+        ]
+
+    def test_garbage_middle_line_dropped(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        run_caps(checkpoint=path)
+        lines = path.read_text().splitlines()
+        lines[3] = "{not json at all"
+        path.write_text("\n".join(lines) + "\n")
+        journal = CampaignCheckpoint(path)
+        journal.open(campaign_key(caps_campaign(), caps_strategy()))
+        journal.close()
+        assert journal.dropped_lines == 1
+        assert len(journal) == RUNS - 1
+
+    def test_degraded_outcomes_survive_resume(self, tmp_path):
+        # Terminal TIMEOUT records are journaled like any other run:
+        # resuming must not re-execute (and re-hang on) a poisoned run.
+        path = tmp_path / "hostile.jsonl"
+        hostility = {1: hostile.LIVELOCK}
+        first = run_hostile(4, hostility, checkpoint=path)
+        assert first.timed_out == 1
+        resumed = run_hostile(4, hostility, checkpoint=path)
+        assert resumed.resumed == 4
+        record = resumed.records[1]
+        assert record.outcome is Outcome.TIMEOUT
+        assert record.failure == "timeout"
+        assert resumed.timed_out == 1
+
+
+class TestKeyPinning:
+    def test_seed_change_rejected(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        run_caps(checkpoint=path, seed=21)
+        with pytest.raises(CheckpointKeyMismatch):
+            run_caps(checkpoint=path, seed=22)
+
+    def test_strategy_change_rejected(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        run_caps(checkpoint=path)
+        other = WeakSpotStrategy(caps_space(), faults_per_scenario=2)
+        with pytest.raises(CheckpointKeyMismatch):
+            caps_campaign().run(other, runs=RUNS, checkpoint=path)
+
+    def test_platform_change_rejected(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        run_caps(checkpoint=path)
+        campaign = Campaign(
+            duration=DURATION, seed=21, platform="airbag-crash"
+        )
+        with pytest.raises(CheckpointKeyMismatch):
+            campaign.run(caps_strategy(), runs=RUNS, checkpoint=path)
+
+    def test_unreadable_header_rejected(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        path.write_text("this is not a checkpoint\n")
+        with pytest.raises(CheckpointError):
+            run_caps(checkpoint=path)
+
+    def test_newer_schema_rejected(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        key = campaign_key(caps_campaign(), caps_strategy())
+        path.write_text(
+            json.dumps({"schema": OUTCOME_SCHEMA_VERSION + 1, "key": key})
+            + "\n"
+        )
+        with pytest.raises(CheckpointError):
+            run_caps(checkpoint=path)
+
+
+class TestCheckpointObject:
+    def test_instance_can_be_passed_directly(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        with CampaignCheckpoint(path) as journal:
+            result = run_caps(checkpoint=journal, runs=3)
+        assert result.runs == 3
+        assert len(path.read_text().splitlines()) == 4
+
+    def test_record_batch_requires_open(self, tmp_path):
+        journal = CampaignCheckpoint(tmp_path / "campaign.jsonl")
+        with pytest.raises(CheckpointError):
+            journal.record_batch([])
+
+    def test_scripted_hostility_resume_counts(self, tmp_path):
+        # run_hostile-style campaigns (scripted strategies) also key
+        # cleanly: same script -> same key -> resumable.
+        path = tmp_path / "hostile.jsonl"
+        campaign = Campaign(
+            duration=hostile.DURATION, seed=5, platform="hostile-dut"
+        )
+        campaign.run(scripted(3, {}), runs=3, checkpoint=path)
+        replay = Campaign(
+            duration=hostile.DURATION, seed=5, platform="hostile-dut"
+        ).run(scripted(3, {}), runs=3, checkpoint=path)
+        assert replay.resumed == 3

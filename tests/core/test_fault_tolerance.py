@@ -1,0 +1,308 @@
+"""Failure injection against the campaign machinery itself.
+
+The hostile-dut platform (:mod:`repro.platforms.hostile`) turns
+executor failure modes into ordinary injectable faults: a run can
+livelock the kernel (only the wall-clock deadline ends it), raise out
+of a process body, or ``os._exit`` the worker process.  These tests
+pin the degradation contract: every planned run yields exactly one
+record, ``runs == completed + timed_out + terminally_failed``, crashes
+are retried within budget, and the serial and parallel backends agree
+on every surviving run.
+"""
+
+import os
+
+import pytest
+
+from repro.core import (
+    Campaign,
+    ErrorScenario,
+    Outcome,
+    ParallelExecutor,
+    PlannedInjection,
+    RetryPolicy,
+)
+from repro.core.strategies import Strategy
+from repro.platforms import hostile
+
+MULTI_CPU = (
+    (os.cpu_count() or 1) >= 2
+    or os.environ.get("REPRO_FORCE_POOL") == "1"
+)
+
+needs_multicore = pytest.mark.skipif(
+    not MULTI_CPU, reason="needs >= 2 CPUs for a meaningful pool"
+)
+
+
+class ScriptedStrategy(Strategy):
+    """Replays a fixed scenario list — one scenario per run index."""
+
+    def __init__(self, scenarios):
+        self.scenarios = list(scenarios)
+        self.cursor = 0
+        self.faults_per_scenario = 1
+        self.space = None
+
+    def next_scenario(self, rng):
+        scenario = self.scenarios[self.cursor % len(self.scenarios)]
+        self.cursor += 1
+        return scenario
+
+
+def scripted(runs, hostility):
+    """A strategy for *runs* scenarios; ``hostility`` maps run index
+    to a behavior descriptor (``hostile.LIVELOCK`` etc.)."""
+    scenarios = []
+    for index in range(runs):
+        injections = []
+        descriptor = hostility.get(index)
+        if descriptor is not None:
+            injections.append(
+                PlannedInjection(
+                    time=3 * hostile.TICK,
+                    target_path=hostile.TRAP_PATH,
+                    descriptor=descriptor,
+                )
+            )
+        scenarios.append(
+            ErrorScenario(name=f"scripted_{index}", injections=injections)
+        )
+    return ScriptedStrategy(scenarios)
+
+
+def hostile_campaign(seed=11):
+    return Campaign(
+        duration=hostile.DURATION, seed=seed, platform="hostile-dut"
+    )
+
+
+def run_hostile(runs, hostility, backend="serial", **kwargs):
+    campaign = hostile_campaign()
+    return campaign.run(
+        scripted(runs, hostility),
+        runs=runs,
+        backend=backend,
+        run_timeout_s=kwargs.pop("run_timeout_s", 0.5),
+        **kwargs,
+    )
+
+
+def survivors_fingerprint(result):
+    """Backend-independent view of a result: everything except
+    wall-clock-dependent kernel stats."""
+    return [
+        (
+            record.index,
+            record.outcome.name,
+            record.failure,
+            record.attempts,
+            tuple(record.matched_rules),
+            tuple(sorted(record.observation.items())),
+        )
+        for record in result.records
+    ]
+
+
+class TestOutcomeLattice:
+    def test_timeout_is_inconclusive_not_a_failure(self):
+        assert Outcome.TIMEOUT.is_inconclusive
+        assert not Outcome.TIMEOUT.is_failure
+        assert not Outcome.TIMEOUT.is_dangerous
+
+    def test_timeout_sits_below_every_failure(self):
+        assert Outcome.TIMEOUT < Outcome.TIMING_FAILURE
+        assert Outcome.TIMEOUT < Outcome.SDC
+        assert Outcome.TIMEOUT < Outcome.HAZARDOUS
+        assert Outcome.TIMEOUT > Outcome.DETECTED_SAFE
+
+
+class TestSerialDegradation:
+    def test_fault_free_runs_are_conclusive(self):
+        result = run_hostile(4, {})
+        assert result.runs == 4
+        assert result.completed == 4
+        assert all(r.outcome is Outcome.NO_EFFECT for r in result.records)
+        assert all(r.failure is None for r in result.records)
+
+    def test_livelock_degrades_to_deadline_timeout(self):
+        result = run_hostile(5, {2: hostile.LIVELOCK})
+        record = result.records[2]
+        assert record.outcome is Outcome.TIMEOUT
+        assert record.failure == "timeout"
+        assert record.matched_rules == ["timeout:deadline"]
+        assert result.timed_out == 1
+        assert result.completed == 4
+        # The degraded run still reports the wall clock it burned.
+        assert record.kernel_stats["wall_s"] >= 0.5
+
+    def test_raise_degrades_to_terminal_error(self):
+        result = run_hostile(5, {3: hostile.RAISE})
+        record = result.records[3]
+        assert record.outcome is Outcome.TIMEOUT
+        assert record.failure == "error"
+        assert record.matched_rules == ["error:ProcessError"]
+        assert result.terminally_failed == 1
+
+    def test_every_planned_run_yields_one_record(self):
+        result = run_hostile(
+            8, {1: hostile.LIVELOCK, 4: hostile.RAISE, 6: hostile.LIVELOCK}
+        )
+        assert [r.index for r in result.records] == list(range(8))
+        assert result.runs == (
+            result.completed + result.timed_out + result.terminally_failed
+        )
+        assert result.timed_out == 2
+        assert result.terminally_failed == 1
+
+    def test_stop_on_failure_ignores_degraded_runs(self):
+        # TIMEOUT sits below the failure outcomes, so a campaign
+        # hunting for real failures is not stopped by a hang.
+        result = run_hostile(
+            6, {1: hostile.LIVELOCK}, stop_on=Outcome.TIMING_FAILURE
+        )
+        assert result.runs == 6
+
+    def test_robustness_section_only_when_degraded(self):
+        clean = run_hostile(3, {})
+        assert "robustness" not in clean.report()
+        degraded = run_hostile(3, {0: hostile.LIVELOCK})
+        section = degraded.report()["robustness"]
+        assert section == {
+            "completed": 2,
+            "timed_out": 1,
+            "terminally_failed": 0,
+            "retried": 0,
+            "resumed": 0,
+        }
+
+    def test_timeouts_excluded_from_diagnostic_coverage(self):
+        result = run_hostile(4, {1: hostile.LIVELOCK})
+        coverage = result.diagnostic_coverage_by_descriptor()
+        assert "firmware_livelock" not in coverage
+
+
+@needs_multicore
+class TestParallelEquivalence:
+    HOSTILITY = {1: hostile.LIVELOCK, 3: hostile.RAISE}
+
+    def test_parallel_matches_serial_on_all_runs(self):
+        serial = run_hostile(6, self.HOSTILITY, backend="serial")
+        parallel = run_hostile(
+            6, self.HOSTILITY, backend="parallel", workers=2, batch_size=3
+        )
+        assert survivors_fingerprint(serial) == survivors_fingerprint(
+            parallel
+        )
+
+    def test_parallel_counters_match_serial(self):
+        serial = run_hostile(6, self.HOSTILITY)
+        parallel = run_hostile(
+            6, self.HOSTILITY, backend="parallel", workers=2
+        )
+        for attr in ("timed_out", "terminally_failed", "completed"):
+            assert getattr(serial, attr) == getattr(parallel, attr)
+
+
+@needs_multicore
+class TestWorkerCrashRetry:
+    def test_crash_consumes_retry_budget_then_terminal(self):
+        executor = ParallelExecutor(
+            "hostile-dut",
+            workers=2,
+            retry=RetryPolicy(max_retries=2, backoff_s=0.0),
+        )
+        try:
+            result = run_hostile(
+                6,
+                {2: hostile.CRASH},
+                backend=executor,
+                batch_size=3,
+            )
+        finally:
+            executor.close()
+        record = result.records[2]
+        assert record.outcome is Outcome.TIMEOUT
+        assert record.failure == "crash"
+        assert record.matched_rules == ["crash:worker"]
+        assert record.attempts == 3  # 1 first try + 2 retries
+        assert result.retried == 2
+        assert result.terminally_failed == 1
+        assert result.completed == 5
+        assert executor.pool_rebuilds >= 1
+        # Innocent runs of the poisoned batches still complete.
+        for index in (0, 1, 3, 4, 5):
+            assert result.records[index].outcome is Outcome.NO_EFFECT
+
+    def test_zero_retry_budget_fails_immediately(self):
+        result = run_hostile(
+            4,
+            {1: hostile.CRASH},
+            backend="parallel",
+            workers=2,
+            max_retries=0,
+            retry_backoff_s=0.0,
+        )
+        record = result.records[1]
+        assert record.failure == "crash"
+        assert record.attempts == 1
+        assert result.retried == 0
+
+    def test_pool_hard_timeout_backstop(self):
+        # No worker-side deadline at all: only the pool-level hard
+        # timeout can end a livelocked run.
+        result = run_hostile(
+            3,
+            {1: hostile.LIVELOCK},
+            backend="parallel",
+            workers=2,
+            run_timeout_s=None,
+            hard_timeout_s=2.0,
+            max_retries=1,
+            retry_backoff_s=0.0,
+        )
+        record = result.records[1]
+        assert record.outcome is Outcome.TIMEOUT
+        assert record.failure == "timeout"
+        assert record.matched_rules == ["timeout:pool"]
+        assert result.timed_out == 1
+        assert result.completed == 2
+
+
+@needs_multicore
+class TestExecutorClose:
+    def test_close_is_idempotent_after_broken_pool(self):
+        # Regression: close() used to raise when the pool had been
+        # broken by a dead worker; campaigns close executors in a
+        # finally block, so this must never throw.
+        executor = ParallelExecutor(
+            "hostile-dut",
+            workers=2,
+            retry=RetryPolicy(max_retries=0, backoff_s=0.0),
+        )
+        result = run_hostile(3, {0: hostile.CRASH}, backend=executor)
+        assert result.records[0].failure == "crash"
+        executor.close()
+        executor.close()  # second close must be a no-op
+
+    def test_close_without_ever_running(self):
+        executor = ParallelExecutor("hostile-dut", workers=2)
+        executor.close()
+        executor.close()
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_s=-0.1)
+
+    def test_deterministic_exponential_backoff(self):
+        policy = RetryPolicy(max_retries=3, backoff_s=0.05)
+        assert policy.max_attempts == 4
+        assert [policy.backoff_for(n) for n in (1, 2, 3)] == [
+            0.05,
+            0.10,
+            0.20,
+        ]

@@ -1,0 +1,122 @@
+"""Property-based invariants of fault-tolerant campaign execution.
+
+Random hostility profiles (which run indices livelock or raise, which
+wall-clock deadline applies, how big the retry budget is) must never
+break the degradation accounting:
+
+* every planned run yields exactly one record, in index order;
+* ``runs == completed + timed_out + terminally_failed``;
+* degraded runs classify ``TIMEOUT`` (inconclusive), never a failure;
+* the retry policy's backoff schedule is deterministic and monotone.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Campaign, Outcome, RetryPolicy
+from repro.platforms import hostile
+
+from ..core.test_fault_tolerance import scripted
+
+#: Hostility per run index: None = nominal, else a behavior fault.
+MODES = st.sampled_from([None, "livelock", "raise"])
+
+DESCRIPTOR = {"livelock": hostile.LIVELOCK, "raise": hostile.RAISE}
+
+
+@st.composite
+def hostility_profiles(draw):
+    runs = draw(st.integers(1, 6))
+    modes = [draw(MODES) for _ in range(runs)]
+    deadline = draw(st.sampled_from([0.05, 0.2]))
+    seed = draw(st.integers(0, 2**16))
+    return runs, modes, deadline, seed
+
+
+class TestDegradationAccounting:
+    @given(hostility_profiles())
+    @settings(max_examples=12, deadline=None)
+    def test_every_run_is_accounted_for(self, profile):
+        runs, modes, deadline, seed = profile
+        hostility = {
+            index: DESCRIPTOR[mode]
+            for index, mode in enumerate(modes)
+            if mode is not None
+        }
+        campaign = Campaign(
+            duration=hostile.DURATION, seed=seed, platform="hostile-dut"
+        )
+        result = campaign.run(
+            scripted(runs, hostility),
+            runs=runs,
+            run_timeout_s=deadline,
+        )
+        # One record per planned run, sorted by run index.
+        assert [r.index for r in result.records] == list(range(runs))
+        # The partition invariant.
+        assert result.runs == (
+            result.completed + result.timed_out + result.terminally_failed
+        )
+        assert result.timed_out == modes.count("livelock")
+        assert result.terminally_failed == modes.count("raise")
+        # Degraded runs are inconclusive, never failures; nominal runs
+        # on the hostile DUT are NO_EFFECT.
+        for index, mode in enumerate(modes):
+            record = result.records[index]
+            if mode is None:
+                assert record.outcome is Outcome.NO_EFFECT
+                assert record.failure is None
+            else:
+                assert record.outcome is Outcome.TIMEOUT
+                assert record.outcome.is_inconclusive
+                assert not record.outcome.is_failure
+
+    @given(hostility_profiles())
+    @settings(max_examples=8, deadline=None)
+    def test_report_robustness_matches_counters(self, profile):
+        runs, modes, deadline, seed = profile
+        hostility = {
+            index: DESCRIPTOR[mode]
+            for index, mode in enumerate(modes)
+            if mode is not None
+        }
+        campaign = Campaign(
+            duration=hostile.DURATION, seed=seed, platform="hostile-dut"
+        )
+        result = campaign.run(
+            scripted(runs, hostility), runs=runs, run_timeout_s=deadline
+        )
+        report = result.report()
+        if not hostility:
+            assert "robustness" not in report
+        else:
+            section = report["robustness"]
+            assert section["completed"] == result.completed
+            assert section["timed_out"] == result.timed_out
+            assert section["terminally_failed"] == result.terminally_failed
+            assert (
+                section["completed"]
+                + section["timed_out"]
+                + section["terminally_failed"]
+                == report["runs"]
+            )
+
+
+class TestRetryPolicyProperties:
+    @given(
+        st.integers(0, 6),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_backoff_schedule_deterministic_and_monotone(
+        self, max_retries, backoff_s
+    ):
+        policy = RetryPolicy(max_retries=max_retries, backoff_s=backoff_s)
+        assert policy.max_attempts == max_retries + 1
+        schedule = [policy.backoff_for(n) for n in range(1, 6)]
+        # Deterministic: same policy, same schedule.
+        again = RetryPolicy(max_retries=max_retries, backoff_s=backoff_s)
+        assert [again.backoff_for(n) for n in range(1, 6)] == schedule
+        # Monotone non-decreasing, exponential in the rebuild count.
+        assert all(a <= b for a, b in zip(schedule, schedule[1:]))
+        if backoff_s > 0:
+            assert schedule[1] == 2 * schedule[0]
