@@ -377,9 +377,13 @@ class Campaign:
         ``checkpoint`` — a path or a
         :class:`~repro.core.checkpoint.CampaignCheckpoint` — journals
         every completed outcome to an append-only JSONL file and, on
-        restart with the same (seed, strategy, scenario set), skips
-        execution of already-journaled run indices: the resumed result
-        aggregates identically to an uninterrupted campaign.
+        restart with the same (seed, strategy, scenario set, batch
+        size, run timeout), skips execution of already-journaled run
+        indices: the resumed result aggregates identically to an
+        uninterrupted campaign.  Any of those knobs differing — the
+        batch size in particular defaults to twice the host's worker
+        count — raises :class:`CheckpointKeyMismatch` instead of
+        silently mixing two different spec streams.
         """
         executor, owned = make_executor(
             backend,
@@ -402,7 +406,19 @@ class Campaign:
                 if isinstance(checkpoint, CampaignCheckpoint)
                 else CampaignCheckpoint(checkpoint)
             )
-            journal.open(campaign_key(self, strategy))
+            # The key pins the *effective* batch size and deadline:
+            # both change what a journaled run index means (adaptive
+            # strategies plan batch-shaped streams; deadlines change
+            # outcomes), and the default batch size follows the host's
+            # CPU count, so resuming elsewhere must fail loudly.
+            journal.open(
+                campaign_key(
+                    self,
+                    strategy,
+                    batch_size=batch_size,
+                    run_timeout_s=run_timeout_s,
+                )
+            )
         self.golden()  # eager: no executor ever computes it implicitly
         result = CampaignResult(self.duration)
         rng = random.Random(self.seed)

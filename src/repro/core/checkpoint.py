@@ -13,21 +13,27 @@ result as an uninterrupted one with the same seed.
 
 File layout (schema version |schema|)::
 
-    {"schema": 1, "key": {"seed": ..., "strategy": ..., "scenario_hash": ...}}
+    {"schema": 1, "key": {"seed": ..., "strategy": ..., "scenario_hash": ...,
+                          "batch_size": ..., "run_timeout_s": ...}}
     {"index": 0, "outcome": "MASKED", "matched_rules": [...], ...}
     {"index": 1, ...}
 
 * The **header** pins the journal to one campaign identity — the
-  campaign seed, the strategy class, and a hash over the scenario set
-  (platform key, duration, fault-space pairs, injection window).
-  Opening a journal written by a different campaign raises
+  campaign seed, the strategy class, a hash over the scenario set
+  (platform key, duration, fault-space pairs, injection window), plus
+  the effective batch size and per-run deadline, both of which change
+  what a given run index means (see :func:`campaign_key`).  Opening a
+  journal written by a different campaign raises
   :class:`CheckpointKeyMismatch`; silently mixing outcomes of two
   campaigns would corrupt both.
 * Each **record line** is one ``RunOutcome.to_jsonable()`` dict,
   flushed to disk as soon as its batch completes.
 * A **truncated or corrupt trailing line** (the classic kill-during-
   write artifact) is dropped, counted in :attr:`dropped_lines`, and
-  the affected run simply re-executes on resume — never fatal.
+  the affected run simply re-executes on resume — never fatal.  The
+  unterminated tail is repaired *on disk* before the journal goes
+  append-ready, so the next record starts on its own line instead of
+  concatenating onto the leftover fragment.
 """
 
 from __future__ import annotations
@@ -53,14 +59,28 @@ class CheckpointKeyMismatch(CheckpointError):
     """The journal belongs to a different (seed, strategy, scenario set)."""
 
 
-def campaign_key(campaign: "Campaign", strategy: "Strategy") -> dict:
+def campaign_key(
+    campaign: "Campaign",
+    strategy: "Strategy",
+    batch_size: int = 1,
+    run_timeout_s: _t.Optional[float] = None,
+) -> dict:
     """The identity a journal is pinned to.
 
     Two campaigns share a journal only when replaying one would plan
-    the identical spec stream: same campaign seed, same strategy class
-    and fault budget, and the same scenario universe (platform,
-    duration, fault-space geometry).  Everything beyond seed and
-    strategy name is folded into a stable hash.
+    the identical spec stream *and* execute it under the same rules:
+    same campaign seed, same strategy class and fault budget, the same
+    scenario universe (platform, duration, fault-space geometry) — and
+    the same effective **batch size** and **per-run deadline**.  The
+    batch size is part of the identity because adaptive strategies
+    plan batch-shaped streams (coverage striping, feedback between
+    batches), and its default is derived from the worker count, i.e.
+    from the host's CPU count: resuming on a different machine must
+    raise :class:`CheckpointKeyMismatch` rather than silently map
+    journaled run indices onto different scenarios.  The deadline is
+    included because it changes run *outcomes* (what times out), not
+    just their schedule.  Everything beyond seed and strategy name is
+    folded into a stable hash.
     """
     parts = [
         f"duration={campaign.duration}",
@@ -81,6 +101,8 @@ def campaign_key(campaign: "Campaign", strategy: "Strategy") -> dict:
         "seed": campaign.seed,
         "strategy": type(strategy).__name__,
         "scenario_hash": digest,
+        "batch_size": batch_size,
+        "run_timeout_s": run_timeout_s,
     }
 
 
@@ -114,6 +136,7 @@ class CampaignCheckpoint:
             return
         if self.path.exists() and self.path.stat().st_size > 0:
             self._load(key)
+            self._repair_tail()
         self._key = key
         new_file = not self.path.exists() or self.path.stat().st_size == 0
         self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -158,6 +181,40 @@ class CampaignCheckpoint:
                 # Truncated trailing write (or bit rot): drop the line;
                 # the run re-executes on resume.
                 self.dropped_lines += 1
+
+    def _repair_tail(self) -> None:
+        """Make the on-disk journal append-safe after a kill mid-write.
+
+        A kill during :meth:`record_batch` can leave the file's final
+        line unterminated; opening in append mode would then glue the
+        next record onto the fragment, corrupting *that* record too
+        (and silently losing it on the following resume).  A tail that
+        still parses — the newline itself was the only casualty — is
+        completed in place so its outcome is kept; an unparseable tail
+        (already dropped by :meth:`_load`) is truncated away.
+        """
+        with open(self.path, "r+b") as fh:
+            data = fh.read()
+            if not data or data.endswith(b"\n"):
+                return
+            cut = data.rfind(b"\n") + 1
+            tail = data[cut:]
+            # cut == 0 means the tail is the header line, which _load
+            # already validated; only record lines need a parse check.
+            intact = cut == 0
+            if not intact:
+                try:
+                    RunOutcome.from_jsonable(
+                        json.loads(tail.decode("utf-8"))
+                    )
+                    intact = True
+                except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+                    intact = False
+            if intact:
+                fh.write(b"\n")
+            else:
+                fh.seek(cut)
+                fh.truncate()
 
     def close(self) -> None:
         if self._file is not None:

@@ -39,7 +39,18 @@ import typing as _t
 
 
 class Outcome(enum.IntEnum):
-    """Run classification, ordered by severity (higher = worse)."""
+    """Run classification, ordered by severity (higher = worse).
+
+    .. warning:: Ordinals encode the *severity order*, not a stable
+       wire format.  Inserting :data:`TIMEOUT` between
+       :data:`DETECTED_SAFE` and :data:`TIMING_FAILURE` renumbered
+       ``TIMING_FAILURE``/``SDC``/``HAZARDOUS`` from 3/4/5 to 4/5/6 —
+       a breaking change for anything that persisted raw ``int``
+       values.  Everything this repo persists (checkpoint journals,
+       ``BENCH_*.json`` reports) stores outcome **names**; external
+       consumers must do the same and rehydrate via ``Outcome[name]``,
+       never via a stored integer.
+    """
 
     NO_EFFECT = 0
     MASKED = 1

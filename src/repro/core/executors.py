@@ -34,11 +34,17 @@ executors degrade instead of aborting:
 * a run whose *worker process dies* (``BrokenProcessPool`` — e.g. an
   injected ``os._exit``) is retried with deterministic exponential
   backoff up to :attr:`RetryPolicy.max_retries` times on a rebuilt
-  pool, then becomes a terminal ``failure="crash"`` record;
+  pool, then becomes a terminal ``failure="crash"`` record.  Only
+  runs that can actually have been executing when the pool broke (the
+  first ``workers`` casualties in FIFO dispatch order) are charged a
+  retry attempt; co-batched runs that were still queued re-run on the
+  rebuilt pool free of charge;
 * a run that hangs so hard the worker-side deadline cannot fire (a
   process body that never yields) is caught by the pool-level hard
-  timeout; the poisoned pool is killed and rebuilt, and the run is
-  recorded as ``failure="timeout"``.
+  timeout; the poisoned pool is killed and rebuilt, and the *hung*
+  run is recorded as ``failure="timeout"`` — runs merely queued
+  behind it (``Future.cancel()`` succeeds, so they never started)
+  re-run on the rebuilt pool instead of being dragged down with it.
 
 Every degradation path yields exactly one ``RunOutcome`` per planned
 spec, so ``runs == completed + timed_out + terminally_failed`` always
@@ -257,8 +263,7 @@ class ParallelExecutor(Executor):
         while pending:
             pool = self._ensure_pool()
             futures: _t.Dict[int, _t.Any] = {}
-            crashed: _t.List[int] = []
-            hung = False
+            poisoned = False
             for index in sorted(pending):
                 spec = dataclasses.replace(
                     by_index[index], attempt=pending[index] - 1
@@ -268,14 +273,43 @@ class ParallelExecutor(Executor):
                         execute_runspec_tolerant, spec
                     )
                 except (BrokenProcessPool, RuntimeError):
-                    # Pool already broken (or shut down mid-crash):
-                    # charge an attempt and fall through to the rebuild.
-                    crashed.append(index)
+                    # Pool already broken (or shut down mid-crash)
+                    # before this spec was even accepted: it never ran,
+                    # so it stays pending for the rebuilt pool without
+                    # being charged a retry attempt.
+                    poisoned = True
+            #: Futures resolved with BrokenProcessPool, in submission
+            #: order.  The pool dispatches work FIFO, so only the first
+            #: ``workers`` of these can actually have been running when
+            #: the pool broke — the rest were still queued.
+            crashed: _t.List[int] = []
+            #: Terminal hang records this round.  At most ``workers``
+            #: runs can truly be executing, so once this many hangs are
+            #: on record, every remaining future without a buffered
+            #: result is provably still queued.  (``Future.cancel()``
+            #: alone cannot tell: the pool pre-marks call-queue-
+            #: buffered items RUNNING before a worker picks them up.)
+            hung_slots = 0
             for index, future in futures.items():
                 attempt = pending[index]
+                if hung_slots and future.cancel():
+                    # Queued behind the hung worker and never started:
+                    # re-run on the rebuilt pool, free of charge,
+                    # without burning another backstop window.
+                    poisoned = True
+                    continue
+                wait = 0 if hung_slots >= self.workers else hard_timeout
                 try:
-                    outcome = future.result(timeout=hard_timeout)
+                    outcome = future.result(timeout=wait)
                 except FutureTimeout:
+                    if future.cancel() or hung_slots >= self.workers:
+                        # The backstop fired while this run was still
+                        # queued — provably (cancel succeeded) or by
+                        # pigeonhole (every worker already accounted
+                        # hung) — so it never executed and is not the
+                        # hang.  Re-queue at the same attempt count.
+                        poisoned = True
+                        continue
                     # Hard hang: the worker-side deadline never fired
                     # (non-yielding process body).  Terminal — a rerun
                     # would hang for the full backstop again.
@@ -290,9 +324,11 @@ class ParallelExecutor(Executor):
                         label="timeout:pool",
                     )
                     del pending[index]
-                    hung = True
+                    hung_slots += 1
+                    poisoned = True
                 except BrokenProcessPool:
                     crashed.append(index)
+                    poisoned = True
                 except Exception as exc:  # noqa: BLE001 - pickling edge
                     done[index] = failure_outcome(
                         by_index[index],
@@ -309,7 +345,13 @@ class ParallelExecutor(Executor):
                         )
                     done[index] = outcome
                     del pending[index]
-            for index in crashed:
+            for position, index in enumerate(crashed):
+                if position >= self.workers:
+                    # Provably queued when the pool broke (FIFO
+                    # dispatch, all workers accounted for above):
+                    # re-run free of charge instead of letting a
+                    # poison spec burn innocents' retry budgets.
+                    continue
                 attempt = pending[index]
                 if attempt >= self.retry.max_attempts:
                     done[index] = failure_outcome(
@@ -326,7 +368,7 @@ class ParallelExecutor(Executor):
                     del pending[index]
                 else:
                     pending[index] = attempt + 1
-            if crashed or hung:
+            if poisoned:
                 # The pool is poisoned (dead or occupied workers):
                 # rebuild before the next round, after a deterministic
                 # backoff that lets transient resource pressure clear.

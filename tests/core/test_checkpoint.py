@@ -146,6 +146,41 @@ class TestResume:
             record_view(r) for r in run_caps().records
         ]
 
+    def test_append_after_truncated_tail_is_not_corrupted(self, tmp_path):
+        # Regression: resuming over a journal whose final line was cut
+        # mid-write used to append the next record directly onto the
+        # partial line, corrupting that fresh record too (and silently
+        # losing it on the *next* resume).
+        path = tmp_path / "campaign.jsonl"
+        run_caps(checkpoint=path)
+        raw = path.read_text()
+        path.write_text(raw[: len(raw) - 25])  # unterminated final line
+        run_caps(checkpoint=path)  # re-executes and re-journals that run
+        journal = CampaignCheckpoint(path)
+        journal.open(campaign_key(caps_campaign(), caps_strategy()))
+        journal.close()
+        assert journal.dropped_lines == 0
+        assert len(journal) == RUNS
+        replay = run_caps(checkpoint=path)
+        assert replay.resumed == RUNS
+
+    def test_unterminated_but_parseable_tail_completed(self, tmp_path):
+        # Kill artifact where only the newline was lost: the final
+        # record is intact JSON, so it is kept (newline restored in
+        # place), not dropped and re-executed.
+        path = tmp_path / "campaign.jsonl"
+        run_caps(checkpoint=path)
+        raw = path.read_text()
+        path.write_text(raw.rstrip("\n"))
+        resumed = run_caps(checkpoint=path)
+        assert resumed.resumed == RUNS
+        assert path.read_text().endswith("\n")
+        journal = CampaignCheckpoint(path)
+        journal.open(campaign_key(caps_campaign(), caps_strategy()))
+        journal.close()
+        assert journal.dropped_lines == 0
+        assert len(journal) == RUNS
+
     def test_garbage_middle_line_dropped(self, tmp_path):
         path = tmp_path / "campaign.jsonl"
         run_caps(checkpoint=path)
@@ -195,6 +230,31 @@ class TestKeyPinning:
         )
         with pytest.raises(CheckpointKeyMismatch):
             campaign.run(caps_strategy(), runs=RUNS, checkpoint=path)
+
+    def test_batch_size_change_rejected(self, tmp_path):
+        # Adaptive strategies plan batch-shaped spec streams and the
+        # default batch size is derived from the host's CPU count, so
+        # a journal must not resume under a different batch size —
+        # journaled run indices would map to different scenarios.
+        path = tmp_path / "campaign.jsonl"
+        run_caps(checkpoint=path)  # serial default: batch_size == 1
+        with pytest.raises(CheckpointKeyMismatch):
+            caps_campaign().run(
+                caps_strategy(), runs=RUNS, batch_size=2, checkpoint=path
+            )
+
+    def test_run_timeout_change_rejected(self, tmp_path):
+        # The per-run deadline changes outcomes (what times out), so
+        # it is part of the journal identity too.
+        path = tmp_path / "campaign.jsonl"
+        run_caps(checkpoint=path)
+        with pytest.raises(CheckpointKeyMismatch):
+            caps_campaign().run(
+                caps_strategy(),
+                runs=RUNS,
+                run_timeout_s=30.0,
+                checkpoint=path,
+            )
 
     def test_unreadable_header_rejected(self, tmp_path):
         path = tmp_path / "campaign.jsonl"

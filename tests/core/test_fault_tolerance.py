@@ -248,6 +248,34 @@ class TestWorkerCrashRetry:
         assert record.attempts == 1
         assert result.retried == 0
 
+    def test_queued_specs_not_charged_for_poison_crash(self):
+        # Regression: with one worker the poison spec runs first while
+        # the rest of the batch is still queued; a BrokenProcessPool
+        # used to charge every co-batched spec a retry attempt, so
+        # innocents could be terminally recorded as 'crash:worker'
+        # without ever executing.  Queued specs must re-run on the
+        # rebuilt pool at attempt 1, free of charge.
+        result = run_hostile(
+            3,
+            {0: hostile.CRASH},
+            backend="parallel",
+            workers=1,
+            batch_size=3,
+            max_retries=1,
+            retry_backoff_s=0.0,
+        )
+        poison = result.records[0]
+        assert poison.failure == "crash"
+        assert poison.attempts == 2  # 1 first try + the whole budget
+        for index in (1, 2):
+            record = result.records[index]
+            assert record.outcome is Outcome.NO_EFFECT
+            assert record.failure is None
+            assert record.attempts == 1
+        assert result.retried == 1
+        assert result.terminally_failed == 1
+        assert result.completed == 2
+
     def test_pool_hard_timeout_backstop(self):
         # No worker-side deadline at all: only the pool-level hard
         # timeout can end a livelocked run.
@@ -265,6 +293,35 @@ class TestWorkerCrashRetry:
         assert record.outcome is Outcome.TIMEOUT
         assert record.failure == "timeout"
         assert record.matched_rules == ["timeout:pool"]
+        assert result.timed_out == 1
+        assert result.completed == 2
+
+    def test_queued_specs_survive_pool_hard_timeout(self):
+        # Regression: with one worker, a hard hang used to drag every
+        # queued spec of the batch down with it as terminal
+        # 'timeout:pool' records; only the actually-hung run (whose
+        # Future.cancel() fails) may be terminal — the queued ones
+        # never started and must re-run on the rebuilt pool.
+        result = run_hostile(
+            3,
+            {0: hostile.LIVELOCK},
+            backend="parallel",
+            workers=1,
+            batch_size=3,
+            run_timeout_s=None,
+            hard_timeout_s=2.0,
+            max_retries=0,
+            retry_backoff_s=0.0,
+        )
+        hang = result.records[0]
+        assert hang.outcome is Outcome.TIMEOUT
+        assert hang.failure == "timeout"
+        assert hang.matched_rules == ["timeout:pool"]
+        for index in (1, 2):
+            record = result.records[index]
+            assert record.outcome is Outcome.NO_EFFECT
+            assert record.failure is None
+            assert record.attempts == 1
         assert result.timed_out == 1
         assert result.completed == 2
 
