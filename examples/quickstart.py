@@ -9,9 +9,12 @@ This walks the whole Fig. 3 loop in ~60 lines of user code:
 4. a fault space + strategy,
 5. the campaign loop with coverage,
 6. the same campaign fanned over a process pool (``backend="parallel"``),
-7. and a fault-tolerant, resumable variant: per-run wall-clock
+7. a fault-tolerant, resumable variant: per-run wall-clock
    deadlines plus a checkpoint journal that lets an interrupted
-   campaign pick up where it stopped.
+   campaign pick up where it stopped,
+8. and a traced campaign: ``trace=True`` returns per-run fault →
+   error → failure digests that fold into a propagation graph with
+   fault-to-detection latencies.
 
 Run:  python examples/quickstart.py
 """
@@ -163,6 +166,25 @@ def main() -> None:
     assert resumed.resumed == resumed.runs == robust.runs
     assert resumed.outcome_histogram() == robust.outcome_histogram()
     os.remove(journal_path)
+
+    # trace=True arms a per-run recorder: every record comes back
+    # with a TraceDigest (injections, deviations vs golden, detection
+    # events from the ECC hardware, verdict — all in sim time).
+    # Folding the digests yields the propagation graph: which fault
+    # sites reached which detection mechanism, and how fast.
+    traced = campaign.run(
+        RandomStrategy(space, faults_per_scenario=1), runs=40,
+        trace=True,
+    )
+    graph = traced.propagation()
+    print("\n=== traced campaign ===")
+    print(f"digests: {len(traced.digests())}, graph: {graph!r}")
+    for site, mechanism, latency in graph.detection_paths[:3]:
+        print(f"  {site} -> {mechanism} after {latency} time units")
+    medians = graph.median_detection_latency()
+    if medians:
+        print("median fault-to-detection latency:", medians)
+    assert len(traced.digests()) == traced.runs
 
     print("\nfault-space coverage:", f"{coverage.closure:.0%}")
     assert single.count(Outcome.HAZARDOUS) == 0

@@ -20,6 +20,7 @@ Subpackages
 ``repro.symbolic``  lite symbolic execution for stimulus generation
 ``repro.analog``    timed-dataflow analog front-end modeling
 ``repro.stats``     campaign statistics
+``repro.observe``   propagation observability: traces, digests, graphs
 ``repro.core``      the error-effect simulation framework (Fig. 3)
 """
 

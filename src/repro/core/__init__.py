@@ -72,6 +72,13 @@ from .strategies import (
     WeakSpotStrategy,
 )
 from .stressor import Stressor
+from ..observe import (
+    CampaignTelemetry,
+    JsonlTelemetry,
+    PropagationGraph,
+    TraceConfig,
+    TraceDigest,
+)
 from .uvm_integration import (
     FaultAnalysisEnv,
     FaultClassifierComponent,
@@ -136,4 +143,9 @@ __all__ = [
     "Strategy",
     "WeakSpotStrategy",
     "Stressor",
+    "CampaignTelemetry",
+    "JsonlTelemetry",
+    "PropagationGraph",
+    "TraceConfig",
+    "TraceDigest",
 ]

@@ -25,10 +25,16 @@ Since the planner/executor split, the loop is three layers:
 
 from __future__ import annotations
 
+import os
 import random
+import time
 import typing as _t
 
 from ..kernel import Module, Simulator
+from ..observe.config import TraceConfig, resolve_trace
+from ..observe.digest import TraceDigest
+from ..observe.graph import PropagationGraph
+from ..observe.telemetry import CampaignTelemetry
 from ..stats import WeightedRateEstimator, clopper_pearson
 from .checkpoint import CampaignCheckpoint, campaign_key
 from .classification import Classifier, Outcome, RunObservation
@@ -55,7 +61,9 @@ class RunRecord(_t.NamedTuple):
     ``failure`` is ``None`` for a conclusive run, else the degradation
     kind (``"timeout"`` / ``"crash"`` / ``"error"``, see
     :class:`~repro.core.runspec.RunOutcome`); ``attempts`` counts
-    executions including crash-forced redispatches.
+    executions including crash-forced redispatches.  ``digest`` is the
+    per-run propagation trace when the campaign ran with ``trace=``
+    (see :mod:`repro.observe`), ``None`` otherwise.
     """
 
     index: int
@@ -67,6 +75,7 @@ class RunRecord(_t.NamedTuple):
     kernel_stats: _t.Optional[_t.Dict[str, _t.Any]] = None
     attempts: int = 1
     failure: _t.Optional[str] = None
+    digest: _t.Optional[TraceDigest] = None
 
 
 class CampaignResult:
@@ -146,6 +155,16 @@ class CampaignResult:
                 return record.index + 1
         return None
 
+    def digests(self) -> _t.List[TraceDigest]:
+        """The per-run trace digests, in run order (traced runs only)."""
+        return [r.digest for r in self.records if r.digest is not None]
+
+    def propagation(self) -> PropagationGraph:
+        """The fault → error → detection/failure propagation graph
+        folded from every traced run's digest (empty when the campaign
+        ran without ``trace=``)."""
+        return PropagationGraph.from_result(self)
+
     def failures(self) -> _t.List[RunRecord]:
         return [r for r in self.records if r.outcome.is_failure]
 
@@ -206,6 +225,28 @@ class CampaignResult:
                 "retried": self.retried,
                 "resumed": self.resumed,
             }
+        digests = self.digests()
+        if digests:
+            # Present only when the campaign was traced, so untraced
+            # reports stay byte-identical to the previous format.
+            graph = self.propagation()
+            report["propagation"] = {
+                "traced_runs": len(digests),
+                "partial_digests": sum(1 for d in digests if d.partial),
+                "nodes": len(graph.nodes),
+                "edges": len(graph.edges),
+                "top_fault_sites": [
+                    {"site": site, "hazard_runs": count}
+                    for site, count in graph.top_fault_sites(
+                        at_least="HAZARDOUS", limit=5
+                    )
+                ],
+                "detection_latency_median": {
+                    mechanism: latency
+                    for mechanism, latency
+                    in graph.median_detection_latency().items()
+                },
+            }
         return report
 
 
@@ -253,6 +294,9 @@ class Campaign:
         self.seed = seed
         self.platform = platform
         self._golden: _t.Optional[RunObservation] = None
+        self._golden_signals: _t.Optional[
+            _t.Tuple[_t.Tuple[str, _t.Any], ...]
+        ] = None
 
     # -- golden reference -----------------------------------------------------
 
@@ -270,6 +314,34 @@ class Campaign:
             sim.run(until=self.duration)
             self._golden = self.observe(root)
         return self._golden
+
+    def golden_signals(self) -> _t.Tuple[_t.Tuple[str, _t.Any], ...]:
+        """Fault-free final values of the platform's trace signals.
+
+        The reference that per-run signal-deviation events are computed
+        against (cached; one extra golden simulation when the platform
+        bundle nominates ``trace_signals``, empty otherwise).
+        """
+        if self._golden_signals is None:
+            signals_fn = None
+            if self.platform is not None:
+                from ..platforms import registry
+
+                signals_fn = registry.get_platform(
+                    self.platform
+                ).trace_signals
+            if signals_fn is None:
+                self._golden_signals = ()
+            else:
+                sim = Simulator()
+                root = self.platform_factory(sim)
+                sim.run(until=self.duration)
+                signals = signals_fn(root) or {}
+                self._golden_signals = tuple(
+                    (name, signals[name].read())
+                    for name in sorted(signals)
+                )
+        return self._golden_signals
 
     # -- single run -----------------------------------------------------------
 
@@ -306,6 +378,7 @@ class Campaign:
         count: int,
         start_index: int,
         deadline_s: _t.Optional[float] = None,
+        trace: _t.Optional[TraceConfig] = None,
     ) -> _t.List[RunSpec]:
         """Freeze the next *count* runs into self-contained specs.
 
@@ -328,6 +401,7 @@ class Campaign:
                 platform=self.platform,
                 golden=golden,
                 deadline_s=deadline_s,
+                trace=trace,
             )
             for offset, scenario in enumerate(scenarios)
         ]
@@ -348,6 +422,8 @@ class Campaign:
         retry_backoff_s: float = 0.05,
         hard_timeout_s: _t.Optional[float] = None,
         checkpoint: _t.Union[None, str, _t.Any] = None,
+        trace: _t.Union[None, bool, str, TraceConfig] = None,
+        telemetry: _t.Optional[CampaignTelemetry] = None,
     ) -> CampaignResult:
         """Execute *runs* iterations of the closed loop.
 
@@ -384,7 +460,34 @@ class Campaign:
         batch size in particular defaults to twice the host's worker
         count — raises :class:`CheckpointKeyMismatch` instead of
         silently mixing two different spec streams.
+
+        ``trace`` arms per-run propagation observability
+        (:mod:`repro.observe`): ``True``/``"digest"`` for compact
+        digests on every record, or a
+        :class:`~repro.observe.TraceConfig` (``mode="full"`` spills
+        complete per-run traces under its ``spill_dir``).  The result
+        then answers :meth:`CampaignResult.propagation` queries and
+        its report gains a ``"propagation"`` section.
+
+        ``telemetry`` is an opt-in
+        :class:`~repro.observe.CampaignTelemetry` observer of
+        *execution* progress (throughput, retries, resumes) — wall
+        clock, host-specific, and outside every determinism contract.
         """
+        trace_config = resolve_trace(trace)
+        if trace_config is not None:
+            # Fold the golden signal reference in once; every spec
+            # (and so every worker) then traces against the same
+            # fault-free final values.
+            trace_config = TraceConfig(
+                mode=trace_config.mode,
+                ring_capacity=trace_config.ring_capacity,
+                max_events=trace_config.max_events,
+                spill_dir=trace_config.spill_dir,
+                golden_signals=self.golden_signals(),
+            )
+            if trace_config.spill_dir:
+                os.makedirs(trace_config.spill_dir, exist_ok=True)
         executor, owned = make_executor(
             backend,
             factory=self.platform_factory,
@@ -417,17 +520,31 @@ class Campaign:
                     strategy,
                     batch_size=batch_size,
                     run_timeout_s=run_timeout_s,
+                    trace=trace_config,
                 )
             )
         self.golden()  # eager: no executor ever computes it implicitly
         result = CampaignResult(self.duration)
         rng = random.Random(self.seed)
+        if telemetry is not None:
+            telemetry.on_campaign_start({
+                "runs": runs,
+                "backend": backend if isinstance(backend, str)
+                else type(backend).__name__,
+                "workers": executor.workers,
+                "batch_size": batch_size,
+                "platform": self.platform,
+                "traced": trace_config is not None,
+                "resuming": bool(journal is not None and journal.outcomes),
+            })
         try:
             index = 0
             while index < runs:
+                batch_start = time.perf_counter()
                 specs = self.plan_batch(
                     strategy, rng, min(batch_size, runs - index), index,
                     deadline_s=run_timeout_s,
+                    trace=trace_config,
                 )
                 index += len(specs)
                 if journal is not None:
@@ -442,20 +559,59 @@ class Campaign:
                     ]
                 else:
                     cached, fresh = [], specs
+                if telemetry is not None:
+                    for spec in fresh:
+                        telemetry.on_run_start(spec)
                 executed = executor.run_batch(fresh) if fresh else []
                 if journal is not None and executed:
                     journal.record_batch(executed)
                 result.resumed += len(cached)
-                if self._aggregate_batch(
+                if telemetry is not None:
+                    for outcome in executed:
+                        if outcome.attempts > 1:
+                            telemetry.on_retry(outcome)
+                        telemetry.on_run_end(outcome)
+                    for outcome in cached:
+                        telemetry.on_resume(outcome)
+                stopped = self._aggregate_batch(
                     result, specs, executed + cached, strategy, coverage,
                     stop_on,
-                ):
+                )
+                if telemetry is not None:
+                    batch_wall = time.perf_counter() - batch_start
+                    sim_wall = sum(
+                        (o.kernel_stats or {}).get("wall_s", 0.0)
+                        for o in executed
+                    )
+                    telemetry.on_batch_end({
+                        "batch_runs": len(specs),
+                        "executed": len(executed),
+                        "resumed": len(cached),
+                        "wall_s": round(batch_wall, 6),
+                        "runs_per_s": round(
+                            len(specs) / batch_wall, 3
+                        ) if batch_wall > 0 else None,
+                        "worker_utilization": round(
+                            sim_wall / (executor.workers * batch_wall), 4
+                        ) if batch_wall > 0 else None,
+                        "total_runs": result.runs,
+                    })
+                if stopped:
                     break
         finally:
             if owned:
                 executor.close()
             if journal is not None:
                 journal.close()
+            if telemetry is not None:
+                telemetry.on_campaign_end({
+                    "runs": result.runs,
+                    "completed": result.completed,
+                    "timed_out": result.timed_out,
+                    "terminally_failed": result.terminally_failed,
+                    "retried": result.retried,
+                    "resumed": result.resumed,
+                })
         return result
 
     def _aggregate_batch(
@@ -488,6 +644,7 @@ class Campaign:
                 outcome.kernel_stats,
                 outcome.attempts,
                 outcome.failure,
+                outcome.digest,
             )
             result.append(record)
             if coverage is not None:

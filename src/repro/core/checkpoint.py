@@ -64,6 +64,7 @@ def campaign_key(
     strategy: "Strategy",
     batch_size: int = 1,
     run_timeout_s: _t.Optional[float] = None,
+    trace: _t.Optional[_t.Any] = None,
 ) -> dict:
     """The identity a journal is pinned to.
 
@@ -81,6 +82,13 @@ def campaign_key(
     included because it changes run *outcomes* (what times out), not
     just their schedule.  Everything beyond seed and strategy name is
     folded into a stable hash.
+
+    A *trace* config (see :class:`~repro.observe.TraceConfig`) joins
+    the identity only when tracing is on: journaled records then carry
+    digests whose content depends on the trace knobs (ring capacity,
+    event budget), so a resume must trace identically.  Untraced
+    campaigns keep the exact pre-observability key, and so still
+    resume journals written before tracing existed.
     """
     parts = [
         f"duration={campaign.duration}",
@@ -97,13 +105,16 @@ def campaign_key(
             f"{path}:{descriptor.name}" for path, descriptor in space.pairs
         )
     digest = hashlib.sha256("|".join(parts).encode()).hexdigest()[:16]
-    return {
+    key = {
         "seed": campaign.seed,
         "strategy": type(strategy).__name__,
         "scenario_hash": digest,
         "batch_size": batch_size,
         "run_timeout_s": run_timeout_s,
     }
+    if trace is not None:
+        key["trace"] = trace.key()
+    return key
 
 
 class CampaignCheckpoint:

@@ -34,16 +34,32 @@ def hazard_cut_sets(
     contributes its injected event set; supersets of another observed
     set are dropped (if {A} alone already caused a hazard, {A,B} adds
     no structure).
+
+    Traced campaigns contribute their *observed* propagation evidence:
+    a complete run digest (see :mod:`repro.observe`) records which
+    injections actually landed, so the cut set uses those applied
+    fault sites — a planned injection the stressor never applied (an
+    injection point outside the run's reach, a failed resolution)
+    cannot then inflate a cut set.  Untraced or partial records fall
+    back to the planned scenario, as before.
     """
     raw: _t.Set[_t.FrozenSet[str]] = set()
     for record in result.records:
         if record.outcome >= at_least:
-            raw.add(
-                frozenset(
-                    f"{inj.target_path}:{inj.descriptor.name}"
-                    for inj in record.scenario.injections
+            digest = record.digest
+            if (
+                digest is not None
+                and not digest.partial
+                and digest.fault_sites
+            ):
+                raw.add(frozenset(digest.fault_sites))
+            else:
+                raw.add(
+                    frozenset(
+                        f"{inj.target_path}:{inj.descriptor.name}"
+                        for inj in record.scenario.injections
+                    )
                 )
-            )
     minimal: _t.List[_t.FrozenSet[str]] = []
     for candidate in sorted(raw, key=lambda s: (len(s), sorted(s))):
         if not any(kept <= candidate for kept in minimal):

@@ -26,6 +26,9 @@ import time
 import typing as _t
 
 from ..kernel import DeadlineExceeded, Simulator
+from ..observe.config import TraceConfig
+from ..observe.digest import TraceDigest
+from ..observe.runtrace import RunTrace, planned_digest
 from .classification import Classifier, Outcome, RunObservation
 from .scenario import ErrorScenario
 from .stressor import Stressor
@@ -35,8 +38,9 @@ if _t.TYPE_CHECKING:  # pragma: no cover
 
 #: Version of the serialized :class:`RunOutcome` layout, stamped into
 #: checkpoint journal headers.  Bump on any incompatible change to
-#: :meth:`RunOutcome.to_jsonable`.
-OUTCOME_SCHEMA_VERSION = 1
+#: :meth:`RunOutcome.to_jsonable`.  v2 added the optional ``digest``
+#: field (absent/None when the run was untraced, so v1 journals load).
+OUTCOME_SCHEMA_VERSION = 2
 
 
 @dataclasses.dataclass(frozen=True)
@@ -54,6 +58,13 @@ class RunSpec:
     ``attempt`` counts prior executions of this spec — zero on the
     first try, bumped by the executor when a worker crash forces a
     redispatch.
+
+    ``trace`` arms per-run propagation observability (see
+    :mod:`repro.observe`): when set, ``execute_runspec`` records
+    injection/deviation/detection events and attaches a
+    :class:`~repro.observe.digest.TraceDigest` to the outcome.  The
+    campaign resolves it once (including the golden signal reference)
+    and embeds it here so every worker traces identically.
     """
 
     index: int
@@ -64,6 +75,7 @@ class RunSpec:
     golden: _t.Optional[RunObservation] = None
     deadline_s: _t.Optional[float] = None
     attempt: int = 0
+    trace: _t.Optional[TraceConfig] = None
 
     def __post_init__(self):
         if self.duration <= 0:
@@ -89,6 +101,11 @@ class RunOutcome:
     pool), ``"crash"`` (worker process died and retries ran out), or
     ``"error"`` (the run raised) — with the detail in ``error``.
     ``attempts`` counts executions including the successful one.
+
+    ``digest`` is the per-run trace digest when the spec was traced
+    (``None`` otherwise) — simulation-deterministic content only, so
+    it participates in the serial/parallel byte-equality contract
+    while ``attempts`` (execution history) does not.
     """
 
     index: int
@@ -101,6 +118,7 @@ class RunOutcome:
     attempts: int = 1
     failure: _t.Optional[str] = None
     error: _t.Optional[str] = None
+    digest: _t.Optional[TraceDigest] = None
 
     def to_jsonable(self) -> _t.Dict[str, _t.Any]:
         """A JSON-serializable dict (checkpoint journal line).
@@ -120,6 +138,9 @@ class RunOutcome:
             "attempts": self.attempts,
             "failure": self.failure,
             "error": self.error,
+            "digest": (
+                self.digest.to_jsonable() if self.digest is not None else None
+            ),
         }
 
     @classmethod
@@ -135,6 +156,11 @@ class RunOutcome:
             attempts=payload.get("attempts", 1),
             failure=payload.get("failure"),
             error=payload.get("error"),
+            digest=(
+                TraceDigest.from_jsonable(payload["digest"])
+                if payload.get("digest") is not None
+                else None
+            ),
         )
 
 
@@ -145,6 +171,7 @@ def failure_outcome(
     attempts: int = 1,
     kernel_stats: _t.Optional[_t.Dict[str, _t.Any]] = None,
     label: _t.Optional[str] = None,
+    digest: _t.Optional[TraceDigest] = None,
 ) -> RunOutcome:
     """Synthesize the terminal :data:`Outcome.TIMEOUT` record for a run
     that could not produce a classification (hang, crash, raise).
@@ -153,7 +180,21 @@ def failure_outcome(
     ``"crash:worker"``) carries the degradation kind so reports can
     distinguish deadline timeouts from crashed workers without a new
     record field downstream.
+
+    Traced runs still get a digest: the caller passes whatever
+    evidence survived (the worker-side deadline path finalizes its
+    recorder), and when nothing did — dead or hung worker, raising
+    platform — a partial digest is synthesized from the scenario's
+    *planned* injections, so even a post-mortem with no worker left
+    alive knows which faults were on the table.
     """
+    if digest is None and spec.trace is not None:
+        digest = planned_digest(
+            spec.index,
+            spec.run_seed,
+            spec.scenario,
+            outcome=Outcome.TIMEOUT.name,
+        )
     return RunOutcome(
         index=spec.index,
         outcome=Outcome.TIMEOUT,
@@ -164,7 +205,31 @@ def failure_outcome(
         attempts=attempts,
         failure=failure,
         error=error,
+        digest=digest,
     )
+
+
+def _resolve_trace_signals(
+    spec: RunSpec,
+    root: "Module",
+    trace_signals: _t.Optional[_t.Callable] = None,
+) -> _t.Mapping[str, _t.Any]:
+    """Which kernel signals this run's trace should watch.
+
+    Explicit *trace_signals* (a ``root -> {name: signal}`` callable)
+    wins; registry-backed specs fall back to their platform bundle's
+    ``trace_signals``; otherwise nothing is watched (the digest still
+    carries injections, observation deviations, and detections).
+    """
+    if trace_signals is not None:
+        return trace_signals(root) or {}
+    if spec.platform is not None:
+        from ..platforms import registry
+
+        bundle = registry.get_platform(spec.platform)
+        if bundle.trace_signals is not None:
+            return bundle.trace_signals(root) or {}
+    return {}
 
 
 def execute_runspec(
@@ -173,12 +238,20 @@ def execute_runspec(
     observe: "_t.Callable[[Module], RunObservation]",
     classifier: Classifier,
     golden: _t.Optional[RunObservation] = None,
+    trace_signals: _t.Optional[_t.Callable] = None,
 ) -> RunOutcome:
     """Execute one spec on a fresh platform and classify the result.
 
     The golden reference is taken from the spec when present,
     otherwise from the *golden* argument; planners always embed it so
     executors need no shared state.
+
+    When ``spec.trace`` is set a :class:`~repro.observe.runtrace.RunTrace`
+    is armed alongside the stressor — before simulation starts, so the
+    injection window is fully covered — and its digest rides back on
+    the outcome.  The recorder is disarmed on every exit path (the
+    detection hook bus is process-global; a leaked sink would bleed
+    events into the worker's next run).
     """
     reference = spec.golden if spec.golden is not None else golden
     if reference is None:
@@ -194,37 +267,67 @@ def execute_runspec(
         rng=random.Random(spec.run_seed),
     )
     stressor.arm(spec.scenario)
+    run_trace: _t.Optional[RunTrace] = None
+    if spec.trace is not None:
+        run_trace = RunTrace(spec.trace, spec.index, spec.run_seed)
+        run_trace.arm(sim, _resolve_trace_signals(spec, root, trace_signals))
     try:
-        sim.run(until=spec.duration, deadline_s=spec.deadline_s)
-    except DeadlineExceeded as exc:
-        # The injected fault hung the DUT (e.g. a livelocked control
-        # loop): degrade to one classified-inconclusive record instead
-        # of stalling the campaign.  Partial kernel counters still ship
-        # so the wasted simulation work is accounted for.
+        try:
+            sim.run(until=spec.duration, deadline_s=spec.deadline_s)
+        except DeadlineExceeded as exc:
+            # The injected fault hung the DUT (e.g. a livelocked control
+            # loop): degrade to one classified-inconclusive record
+            # instead of stalling the campaign.  Partial kernel counters
+            # still ship so the wasted simulation work is accounted for,
+            # and the trace recorded up to the hang survives as a
+            # partial digest — the hung-run post-mortem evidence.
+            kernel_stats = sim.stats()
+            kernel_stats["wall_s"] = time.perf_counter() - wall_start
+            digest = None
+            if run_trace is not None:
+                digest = run_trace.finalize(
+                    stressor=stressor,
+                    outcome=Outcome.TIMEOUT.name,
+                    partial=True,
+                )
+            return failure_outcome(
+                spec,
+                failure="timeout",
+                error=str(exc),
+                attempts=spec.attempt + 1,
+                kernel_stats=kernel_stats,
+                label="timeout:deadline",
+                digest=digest,
+            )
+        observation = observe(root)
+        outcome, matched = classifier.classify(observation, reference)
+        digest = None
+        if run_trace is not None:
+            digest = run_trace.finalize(
+                stressor=stressor,
+                observation=observation,
+                golden=reference,
+                outcome=outcome.name,
+            )
         kernel_stats = sim.stats()
         kernel_stats["wall_s"] = time.perf_counter() - wall_start
-        return failure_outcome(
-            spec,
-            failure="timeout",
-            error=str(exc),
-            attempts=spec.attempt + 1,
+        return RunOutcome(
+            index=spec.index,
+            outcome=outcome,
+            matched_rules=tuple(matched),
+            observation=observation,
+            injections_applied=len(stressor.applied),
             kernel_stats=kernel_stats,
-            label="timeout:deadline",
+            stressor_errors=tuple(stressor.errors),
+            attempts=spec.attempt + 1,
+            digest=digest,
         )
-    observation = observe(root)
-    outcome, matched = classifier.classify(observation, reference)
-    kernel_stats = sim.stats()
-    kernel_stats["wall_s"] = time.perf_counter() - wall_start
-    return RunOutcome(
-        index=spec.index,
-        outcome=outcome,
-        matched_rules=tuple(matched),
-        observation=observation,
-        injections_applied=len(stressor.applied),
-        kernel_stats=kernel_stats,
-        stressor_errors=tuple(stressor.errors),
-        attempts=spec.attempt + 1,
-    )
+    finally:
+        # Raising runs reach here with the recorder still armed; the
+        # caller (serial executor / tolerant worker wrapper) degrades
+        # the exception to a terminal record with a planned digest.
+        if run_trace is not None:
+            run_trace.disarm()
 
 
 def execute_runspec_from_registry(spec: RunSpec) -> RunOutcome:

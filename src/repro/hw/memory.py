@@ -16,6 +16,7 @@ from __future__ import annotations
 import typing as _t
 
 from ..kernel import Module
+from ..observe.hooks import emit_detection
 from ..tlm import DmiRegion, GenericPayload, Response, TargetSocket
 from . import ecc
 
@@ -205,10 +206,12 @@ class EccMemory(Module):
                 result = ecc.hamming_decode(self.codewords[start + i])
                 if result.uncorrectable:
                     self.detected_errors += 1
+                    emit_detection(self, "ecc", "uncorrectable")
                     payload.set_error(Response.GENERIC_ERROR)
                     return delay + self.read_latency
                 if result.corrected:
                     self.corrected_errors += 1
+                    emit_detection(self, "ecc", "corrected")
                     # Scrub: write the corrected codeword back.
                     self.codewords[start + i] = ecc.hamming_encode(result.data)
                 payload.data[i] = result.data

@@ -12,6 +12,7 @@ from __future__ import annotations
 import typing as _t
 
 from ..kernel import Module
+from ..observe.hooks import emit_detection
 
 
 class TmrVoter(Module):
@@ -40,11 +41,13 @@ class TmrVoter(Module):
         if a == b == c:
             return a
         self.mismatches += 1
+        emit_detection(self, "tmr", "outvoted")
         if a == b or a == c:
             return a
         if b == c:
             return b
         self.unresolvable += 1
+        emit_detection(self, "tmr", "unresolvable")
         if self.on_unresolvable is not None:
             self.on_unresolvable()
         return a
@@ -71,6 +74,7 @@ class LockstepChecker(Module):
         self.comparisons += 1
         if channel_a != channel_b:
             self.detected += 1
+            emit_detection(self, "lockstep", "mismatch")
             self.mismatch_event.notify(0)
             return False
         return True

@@ -18,6 +18,7 @@ from __future__ import annotations
 import typing as _t
 
 from ..kernel import Module
+from ..observe.hooks import emit_detection
 from ..tlm import GenericPayload, Response, TargetSocket
 
 KICK_KEY = 0xF00D
@@ -117,6 +118,7 @@ class Watchdog(Module):
     def _bite(self) -> None:
         self.timeouts += 1
         self.timeout_latched = True
+        emit_detection(self, "watchdog", "bite")
         self.bite_event.notify(0)
         if self.on_timeout is not None:
             self.on_timeout()

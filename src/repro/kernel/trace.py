@@ -7,11 +7,28 @@ concrete: it subscribes to any set of kernel signals, records every
 committed value change with its timestamp, and can export the standard
 VCD (value change dump) format any waveform viewer opens — so the
 propagation of an injected error can literally be watched.
+
+Two usage profiles share this machinery:
+
+* **unbounded** (``capacity=None``, the default) — interactive debug
+  and the integration tests: keep every change, export a full VCD;
+* **bounded** (``capacity=N``) — the per-run observability layer
+  (:mod:`repro.observe`): each signal keeps a ring buffer of its last
+  *N* changes, so memory stays O(watched signals) no matter how active
+  a faulty run gets.  Overflowed changes are counted per signal
+  (:meth:`dropped`), never silently lost from the accounting.
+
+Tracers attach observer callbacks to ``SignalBase.observers``; since
+campaigns arm a tracer per run, the attachment is reversible —
+:meth:`unwatch` detaches one signal (its recorded history is kept),
+:meth:`close` detaches everything and is idempotent.
 """
 
 from __future__ import annotations
 
+import collections
 import io
+import re
 import typing as _t
 
 from .signal import SignalBase
@@ -22,12 +39,32 @@ class Change(_t.NamedTuple):
     value: _t.Any
 
 
-class Tracer:
-    """Records value changes of subscribed signals."""
+#: Characters VCD identifiers/reference names cannot safely contain:
+#: whitespace splits the ``$var`` record, brackets collide with the
+#: bit-select syntax some viewers parse, braces/parens trip others.
+_VCD_UNSAFE = re.compile(r"[\s\[\]{}()<>]")
 
-    def __init__(self):
+
+class Tracer:
+    """Records value changes of subscribed signals.
+
+    ``capacity`` bounds the per-signal history to a ring buffer of that
+    many changes (``None`` keeps everything).
+    """
+
+    def __init__(self, capacity: _t.Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
         self._signals: _t.List[SignalBase] = []
-        self._changes: _t.Dict[str, _t.List[Change]] = {}
+        self._changes: _t.Dict[str, _t.MutableSequence[Change]] = {}
+        #: name -> (signal, attached observer), for detach.
+        self._observers: _t.Dict[
+            str, _t.Tuple[SignalBase, _t.Callable]
+        ] = {}
+        #: name -> changes recorded in total (baseline included), so
+        #: ring overflow stays visible as ``seen - len(history)``.
+        self._seen: _t.Dict[str, int] = {}
 
     def watch(self, signal: SignalBase) -> SignalBase:
         """Start tracing *signal* (its current value is the t=now
@@ -35,15 +72,63 @@ class Tracer:
         if signal.name in self._changes:
             raise ValueError(f"already tracing {signal.name!r}")
         self._signals.append(signal)
-        history = [Change(signal.sim.now, signal.read())]
+        history: _t.MutableSequence[Change]
+        if self.capacity is None:
+            history = [Change(signal.sim.now, signal.read())]
+        else:
+            history = collections.deque(
+                [Change(signal.sim.now, signal.read())],
+                maxlen=self.capacity,
+            )
         self._changes[signal.name] = history
-        signal.observers.append(
-            lambda sig, old, new: history.append(Change(sig.sim.now, new))
-        )
+        self._seen[signal.name] = 1
+        name = signal.name
+
+        def observer(sig, old, new):
+            self._seen[name] += 1
+            history.append(Change(sig.sim.now, new))
+
+        signal.observers.append(observer)
+        self._observers[name] = (signal, observer)
         return signal
+
+    def unwatch(self, signal: _t.Union[SignalBase, str]) -> None:
+        """Stop tracing a signal; its recorded history is retained.
+
+        Detaches the tracer's observer from ``signal.observers`` — the
+        lifecycle counterpart of :meth:`watch`, so a tracer armed for
+        one run does not leak callbacks into the signal for the life
+        of the platform.
+        """
+        name = signal if isinstance(signal, str) else signal.name
+        if name not in self._changes:
+            raise KeyError(f"not tracing {name!r}")
+        attached = self._observers.pop(name, None)
+        if attached is None:
+            return  # already detached (unwatch after close)
+        sig, observer = attached
+        try:
+            sig.observers.remove(observer)
+        except ValueError:  # pragma: no cover - observer list mutated
+            pass
+
+    def close(self) -> None:
+        """Detach every observer; histories stay readable.  Idempotent."""
+        for name in list(self._observers):
+            self.unwatch(name)
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def history(self, name: str) -> _t.List[Change]:
         return list(self._changes[name])
+
+    def dropped(self, name: str) -> int:
+        """Changes of *name* lost to ring-buffer overflow."""
+        return self._seen[name] - len(self._changes[name])
 
     def value_at(self, name: str, time: int):
         """The signal's value as of *time* (last change at or before)."""
@@ -86,7 +171,7 @@ class Tracer:
                 if isinstance(signal.read(), bool)
                 else "wire 64"
             )
-            safe_name = signal.name.replace(" ", "_")
+            safe_name = _VCD_UNSAFE.sub("_", signal.name)
             out.write(f"$var {kind} {identifier} {safe_name} $end\n")
         out.write("$upscope $end\n$enddefinitions $end\n")
 

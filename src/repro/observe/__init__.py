@@ -1,0 +1,43 @@
+"""Propagation observability: per-run traces, digests, graphs, telemetry.
+
+The subsystem that turns every campaign run into *evidence* instead of
+just a verdict (the paper's Sec. 1 claim that VPs make it "much easier
+to observe the impact of the error ... and track the error
+propagation"):
+
+* :mod:`~repro.observe.hooks` — the detection-event bus hw/ protection
+  models publish on;
+* :mod:`~repro.observe.runtrace` — the per-run recorder
+  ``execute_runspec`` arms alongside the stressor;
+* :mod:`~repro.observe.digest` — the compact, schema-versioned,
+  picklable per-run result that crosses the process-pool boundary;
+* :mod:`~repro.observe.graph` — campaign-level fault → error →
+  detection/failure propagation graph and latency distributions;
+* :mod:`~repro.observe.telemetry` — opt-in wall-clock execution
+  telemetry (throughput, retries, utilization) with a JSONL emitter.
+"""
+
+from .config import TraceConfig, resolve_trace
+from .digest import TraceDigest
+from .events import TRACE_SCHEMA_VERSION, TraceEvent, sort_events
+from .graph import PropagationGraph
+from .hooks import emit_detection, pop_sink, push_sink
+from .runtrace import RunTrace, planned_digest
+from .telemetry import CampaignTelemetry, JsonlTelemetry
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "CampaignTelemetry",
+    "JsonlTelemetry",
+    "PropagationGraph",
+    "RunTrace",
+    "TraceConfig",
+    "TraceDigest",
+    "TraceEvent",
+    "emit_detection",
+    "planned_digest",
+    "pop_sink",
+    "push_sink",
+    "resolve_trace",
+    "sort_events",
+]

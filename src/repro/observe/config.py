@@ -1,0 +1,89 @@
+"""Trace configuration carried inside every RunSpec.
+
+A :class:`TraceConfig` is frozen and picklable because it rides the
+planner → executor boundary: the campaign resolves the user's
+``Campaign.run(trace=...)`` argument once, folds in the golden
+reference values for the platform's watched signals, and embeds the
+result in each :class:`~repro.core.runspec.RunSpec`.  Workers then
+need nothing but the spec to arm an identical trace — the precondition
+for serial/parallel digest equality.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceConfig:
+    """How a run should be traced.
+
+    * ``mode`` — ``"digest"`` returns only the compact
+      :class:`~repro.observe.digest.TraceDigest`; ``"full"``
+      additionally spills the complete per-run ring-buffer histories
+      as one JSONL file per run under ``spill_dir``.
+    * ``ring_capacity`` — per-signal ring buffer depth (bounds memory
+      at O(watched signals), not O(simulated activity)).
+    * ``max_events`` — cap on digest events; overflow is truncated
+      deterministically and counted in ``TraceDigest.dropped_events``.
+    * ``spill_dir`` — campaign trace directory, required for
+      ``mode="full"``.
+    * ``golden_signals`` — sorted ``(name, final_value)`` pairs from
+      the golden run, the reference that deviation events are computed
+      against.  Filled in by the campaign; empty when tracing a bare
+      ``execute_runspec`` without a golden signal reference.
+    """
+
+    mode: str = "digest"
+    ring_capacity: int = 64
+    max_events: int = 256
+    spill_dir: _t.Optional[str] = None
+    golden_signals: _t.Tuple[_t.Tuple[str, _t.Any], ...] = ()
+
+    def __post_init__(self):
+        if self.mode not in ("digest", "full"):
+            raise ValueError(f"unknown trace mode {self.mode!r}")
+        if self.ring_capacity < 1:
+            raise ValueError("ring_capacity must be positive")
+        if self.max_events < 1:
+            raise ValueError("max_events must be positive")
+        if self.mode == "full" and not self.spill_dir:
+            raise ValueError('trace mode "full" requires spill_dir')
+
+    def key(self) -> _t.Dict[str, _t.Any]:
+        """Identity contribution for the checkpoint journal key.
+
+        Only knobs that change digest *content* participate; spill_dir
+        is a local filesystem detail and golden_signals are derived
+        from (seed, platform, duration) already pinned by the key.
+        """
+        return {
+            "mode": self.mode,
+            "ring": self.ring_capacity,
+            "max_events": self.max_events,
+        }
+
+
+def resolve_trace(
+    trace: _t.Union[None, bool, str, TraceConfig]
+) -> _t.Optional[TraceConfig]:
+    """Normalize the ``Campaign.run(trace=...)`` argument.
+
+    ``None``/``False`` → tracing off; ``True`` or ``"digest"`` → the
+    default digest-only config; a :class:`TraceConfig` is used as-is.
+    The bare string ``"full"`` is rejected because full mode needs a
+    spill directory — pass ``TraceConfig(mode="full", spill_dir=...)``.
+    """
+    if trace is None or trace is False:
+        return None
+    if trace is True or trace == "digest":
+        return TraceConfig()
+    if isinstance(trace, TraceConfig):
+        return trace
+    if trace == "full":
+        raise ValueError(
+            'trace="full" needs a spill directory; '
+            'pass TraceConfig(mode="full", spill_dir=...)'
+        )
+    raise TypeError(f"cannot interpret trace={trace!r}")

@@ -1,0 +1,125 @@
+"""The compact per-run trace that crosses the pickle boundary.
+
+A :class:`TraceDigest` is what a worker process sends home: the
+time-ordered event sequence (injections, deviations, detections,
+classification) plus just enough identity (run index, seed) to join it
+back to its :class:`~repro.core.runspec.RunSpec`.  It deliberately
+contains **no wall-clock data and no attempt counts** — only
+simulation-deterministic content — so the same seed produces the same
+digest bytes whether the run executed serially, in a pool worker, on a
+retry after a sibling crashed, or was replayed from a checkpoint.
+
+``partial=True`` marks digests from runs that never reached a clean
+verdict (deadline timeouts, raising platforms, crashed workers): the
+events up to the interruption are kept — a hung-run post-mortem has
+evidence, not a hole.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing as _t
+
+from .events import TRACE_SCHEMA_VERSION, INJECTION, DEVIATION, DETECTION, TraceEvent
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceDigest:
+    index: int
+    seed: int
+    events: _t.Tuple[TraceEvent, ...] = ()
+    outcome: _t.Optional[str] = None  # Outcome name, never its ordinal
+    partial: bool = False
+    dropped_events: int = 0
+    schema: int = TRACE_SCHEMA_VERSION
+
+    # -- derived views ------------------------------------------------------
+
+    def _of_kind(self, kind: str) -> _t.List[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    @property
+    def injections(self) -> _t.List[TraceEvent]:
+        return self._of_kind(INJECTION)
+
+    @property
+    def deviations(self) -> _t.List[TraceEvent]:
+        return self._of_kind(DEVIATION)
+
+    @property
+    def detections(self) -> _t.List[TraceEvent]:
+        return self._of_kind(DETECTION)
+
+    @property
+    def fault_sites(self) -> _t.List[str]:
+        """Unique ``target_path:descriptor`` sites, injection order.
+
+        Matches the basic-event naming of
+        :func:`repro.core.report.hazard_cut_sets`, so digests feed the
+        fault-tree synthesis directly.
+        """
+        seen: _t.Dict[str, None] = {}
+        for event in self.injections:
+            seen.setdefault(f"{event.source}:{event.label}", None)
+        return list(seen)
+
+    @property
+    def first_injection_time(self) -> _t.Optional[int]:
+        times = [event.time for event in self.injections]
+        return min(times) if times else None
+
+    @property
+    def first_detection_time(self) -> _t.Optional[int]:
+        times = [event.time for event in self.detections]
+        return min(times) if times else None
+
+    @property
+    def detection_latency(self) -> _t.Optional[int]:
+        """Sim-time from first injection to first detection, if both
+        happened."""
+        injected = self.first_injection_time
+        detected = self.first_detection_time
+        if injected is None or detected is None:
+            return None
+        return detected - injected
+
+    # -- serialization ------------------------------------------------------
+
+    def to_jsonable(self) -> _t.Dict[str, _t.Any]:
+        return {
+            "schema": self.schema,
+            "index": self.index,
+            "seed": self.seed,
+            "events": [event.to_jsonable() for event in self.events],
+            "outcome": self.outcome,
+            "partial": self.partial,
+            "dropped_events": self.dropped_events,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: _t.Dict[str, _t.Any]) -> "TraceDigest":
+        schema = data.get("schema", 1)
+        if schema > TRACE_SCHEMA_VERSION:
+            raise ValueError(
+                f"trace digest schema {schema} is newer than supported "
+                f"{TRACE_SCHEMA_VERSION}"
+            )
+        return cls(
+            index=data["index"],
+            seed=data["seed"],
+            events=tuple(
+                TraceEvent.from_jsonable(event) for event in data["events"]
+            ),
+            outcome=data.get("outcome"),
+            partial=bool(data.get("partial", False)),
+            dropped_events=int(data.get("dropped_events", 0)),
+            schema=schema,
+        )
+
+    def canonical(self) -> str:
+        """Canonical JSON encoding — the byte-equality currency of the
+        serial-vs-parallel equivalence tests."""
+        return json.dumps(
+            self.to_jsonable(), sort_keys=True, separators=(",", ":")
+        )

@@ -1,0 +1,63 @@
+"""The trace event vocabulary.
+
+A run's story is told as a flat, time-ordered sequence of four event
+kinds mirroring the paper's fault → error → failure chain:
+
+* ``injection`` — the stressor perturbed state (the *fault*);
+* ``deviation`` — a watched signal or observation probe diverged from
+  the golden reference (the *error* becoming visible);
+* ``detection`` — a protection mechanism noticed or absorbed the error
+  (watchdog bite, ECC correction, lockstep mismatch);
+* ``classification`` — the run's final verdict (the *failure* level).
+
+Events are plain value tuples so they pickle compactly across the
+process-pool boundary and serialize to JSON as 4-element lists.  The
+sort key is total and content-only — ``(time, kind order, source,
+label)`` — which is what makes serial and parallel digests
+byte-identical for the same seed.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+#: Bump when the event/digest wire format changes shape.
+TRACE_SCHEMA_VERSION = 1
+
+INJECTION = "injection"
+DEVIATION = "deviation"
+DETECTION = "detection"
+CLASSIFICATION = "classification"
+
+#: Causal order used to break timestamp ties: a fault precedes the
+#: error it causes, which precedes its detection, which precedes the
+#: verdict — even when they land in the same delta cycle.
+_KIND_ORDER: _t.Dict[str, int] = {
+    INJECTION: 0,
+    DEVIATION: 1,
+    DETECTION: 2,
+    CLASSIFICATION: 3,
+}
+
+
+class TraceEvent(_t.NamedTuple):
+    time: int
+    kind: str
+    source: str
+    label: str
+
+    def sort_key(self) -> _t.Tuple[int, int, str, str]:
+        return (self.time, _KIND_ORDER.get(self.kind, 9), self.source, self.label)
+
+    def to_jsonable(self) -> _t.List[_t.Any]:
+        return [self.time, self.kind, self.source, self.label]
+
+    @classmethod
+    def from_jsonable(cls, data: _t.Sequence[_t.Any]) -> "TraceEvent":
+        time, kind, source, label = data
+        return cls(int(time), str(kind), str(source), str(label))
+
+
+def sort_events(events: _t.Iterable[TraceEvent]) -> _t.List[TraceEvent]:
+    """Deterministic total order over a run's events."""
+    return sorted(events, key=TraceEvent.sort_key)

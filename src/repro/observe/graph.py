@@ -1,0 +1,262 @@
+"""Campaign-level propagation graph and latency metrics.
+
+Folding every run's :class:`~repro.observe.digest.TraceDigest` into one
+:class:`PropagationGraph` answers the questions the paper says virtual
+prototypes exist to answer: *which* fault sites propagate, *through*
+which signals, *into* which detection mechanism or failure mode, and
+*how fast*.  Nodes are namespaced string ids:
+
+* ``fault:<target_path>:<descriptor>`` — an injection site;
+* ``dev:<signal-or-probe>`` — an intermediate deviation;
+* ``detect:<module>:<mechanism>`` — a protection mechanism that fired;
+* ``outcome:<NAME>`` — the run verdict.
+
+Edges follow each run's time-ordered event chain (fault → deviations
+in onset order → detections → outcome) with multiplicity counted
+across runs.  Latency distributions are sim-time deltas from the first
+injection, aggregated per mechanism (fault-to-detection) and per
+failure outcome (fault-to-failure).
+
+Construction is pure folding over digests in run-index order, so the
+graph — like the digests — is identical for serial, parallel, and
+checkpoint-resumed campaigns.
+"""
+
+from __future__ import annotations
+
+import statistics
+import typing as _t
+
+from .digest import TraceDigest
+from .events import CLASSIFICATION, DETECTION, DEVIATION, INJECTION
+
+
+class PropagationGraph:
+    def __init__(self):
+        #: node id -> {"kind": ..., "label": ..., "count": ...}
+        self.nodes: _t.Dict[str, _t.Dict[str, _t.Any]] = {}
+        #: (src id, dst id) -> traversal count
+        self.edges: _t.Dict[_t.Tuple[str, str], int] = {}
+        #: mechanism -> [fault-to-detection latencies]
+        self.detection_latencies: _t.Dict[str, _t.List[int]] = {}
+        #: outcome name -> [fault-to-failure latencies]
+        self.failure_latencies: _t.Dict[str, _t.List[int]] = {}
+        #: fault site -> {outcome name: run count}
+        self.site_outcomes: _t.Dict[str, _t.Dict[str, int]] = {}
+        #: (site, mechanism, latency) per detected run — the concrete
+        #: fault→detection evidence paths.
+        self.detection_paths: _t.List[_t.Tuple[str, str, int]] = []
+        self.runs = 0
+        self.partial_runs = 0
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_digests(
+        cls, digests: _t.Iterable[_t.Optional[TraceDigest]]
+    ) -> "PropagationGraph":
+        graph = cls()
+        for digest in digests:
+            if digest is not None:
+                graph.add_digest(digest)
+        return graph
+
+    @classmethod
+    def from_result(cls, result) -> "PropagationGraph":
+        """Build from a ``CampaignResult`` (records carry digests when
+        the campaign ran with ``trace=``)."""
+        return cls.from_digests(
+            record.digest for record in result.records
+        )
+
+    def _node(self, node_id: str, kind: str, label: str) -> str:
+        node = self.nodes.setdefault(
+            node_id, {"kind": kind, "label": label, "count": 0}
+        )
+        node["count"] += 1
+        return node_id
+
+    def _edge(self, src: str, dst: str) -> None:
+        self.edges[(src, dst)] = self.edges.get((src, dst), 0) + 1
+
+    def add_digest(self, digest: TraceDigest) -> None:
+        self.runs += 1
+        if digest.partial:
+            self.partial_runs += 1
+
+        fault_nodes: _t.List[str] = []
+        sites: _t.List[str] = []
+        first_injection: _t.Optional[int] = None
+        for event in digest.events:
+            if event.kind != INJECTION:
+                continue
+            site = f"{event.source}:{event.label}"
+            node_id = self._node(f"fault:{site}", "fault", site)
+            if node_id not in fault_nodes:
+                fault_nodes.append(node_id)
+                sites.append(site)
+            if first_injection is None or event.time < first_injection:
+                first_injection = event.time
+
+        # Chain faults through deviations in event (onset) order.
+        frontier = list(fault_nodes)
+        for event in digest.events:
+            if event.kind != DEVIATION:
+                continue
+            node_id = self._node(f"dev:{event.source}", "deviation", event.source)
+            for src in frontier:
+                self._edge(src, node_id)
+            frontier = [node_id]
+
+        sinks: _t.List[str] = []
+        for event in digest.events:
+            if event.kind != DETECTION:
+                continue
+            mechanism = event.label.split(":", 1)[0]
+            node_id = self._node(
+                f"detect:{event.source}:{mechanism}",
+                "detection",
+                f"{event.source}:{mechanism}",
+            )
+            if node_id not in sinks:
+                sinks.append(node_id)
+
+        outcome_name = digest.outcome
+        if outcome_name is None:
+            for event in digest.events:
+                if event.kind == CLASSIFICATION:
+                    outcome_name = event.label
+                    break
+        outcome_node: _t.Optional[str] = None
+        if outcome_name is not None:
+            outcome_node = self._node(
+                f"outcome:{outcome_name}", "outcome", outcome_name
+            )
+
+        for sink in sinks:
+            for src in frontier:
+                self._edge(src, sink)
+            if outcome_node is not None:
+                self._edge(sink, outcome_node)
+        if not sinks and outcome_node is not None:
+            for src in frontier:
+                self._edge(src, outcome_node)
+
+        # Latency distributions, measured from the first injection.
+        if first_injection is not None:
+            seen_mechanisms: _t.Set[str] = set()
+            for event in digest.events:
+                if event.kind != DETECTION:
+                    continue
+                mechanism = event.label.split(":", 1)[0]
+                if mechanism in seen_mechanisms:
+                    continue
+                seen_mechanisms.add(mechanism)
+                latency = event.time - first_injection
+                self.detection_latencies.setdefault(mechanism, []).append(
+                    latency
+                )
+                for site in sites:
+                    self.detection_paths.append((site, mechanism, latency))
+            if outcome_name is not None:
+                self._record_failure_latency(
+                    digest, outcome_name, first_injection
+                )
+
+        if outcome_name is not None:
+            for site in sites:
+                per_site = self.site_outcomes.setdefault(site, {})
+                per_site[outcome_name] = per_site.get(outcome_name, 0) + 1
+
+    def _record_failure_latency(
+        self, digest: TraceDigest, outcome_name: str, first_injection: int
+    ) -> None:
+        from ..core.classification import Outcome  # local: avoid cycle
+
+        try:
+            outcome = Outcome[outcome_name]
+        except KeyError:
+            return
+        if not outcome.is_failure:
+            return
+        # Failure onset: the first deviation, else the verdict time.
+        onset: _t.Optional[int] = None
+        for event in digest.events:
+            if event.kind == DEVIATION:
+                onset = event.time
+                break
+        if onset is None:
+            for event in digest.events:
+                if event.kind == CLASSIFICATION:
+                    onset = event.time
+                    break
+        if onset is not None:
+            self.failure_latencies.setdefault(outcome_name, []).append(
+                onset - first_injection
+            )
+
+    # -- queries ------------------------------------------------------------
+
+    def median_detection_latency(self) -> _t.Dict[str, float]:
+        """Median fault-to-detection sim-time latency per mechanism."""
+        return {
+            mechanism: statistics.median(latencies)
+            for mechanism, latencies in sorted(self.detection_latencies.items())
+            if latencies
+        }
+
+    def top_fault_sites(
+        self, at_least: str = "HAZARDOUS", limit: int = 5
+    ) -> _t.List[_t.Tuple[str, int]]:
+        """Fault sites ranked by runs reaching *at_least* severity."""
+        from ..core.classification import Outcome  # local: avoid cycle
+
+        threshold = Outcome[at_least]
+        ranked: _t.List[_t.Tuple[str, int]] = []
+        for site, outcomes in self.site_outcomes.items():
+            count = 0
+            for name, runs in outcomes.items():
+                try:
+                    if Outcome[name] >= threshold:
+                        count += runs
+                except KeyError:
+                    continue
+            if count:
+                ranked.append((site, count))
+        ranked.sort(key=lambda pair: (-pair[1], pair[0]))
+        return ranked[:limit]
+
+    def to_jsonable(self) -> _t.Dict[str, _t.Any]:
+        """Canonical JSON view (used by the resume-determinism tests)."""
+        return {
+            "runs": self.runs,
+            "partial_runs": self.partial_runs,
+            "nodes": {
+                node_id: dict(node)
+                for node_id, node in sorted(self.nodes.items())
+            },
+            "edges": [
+                [src, dst, count]
+                for (src, dst), count in sorted(self.edges.items())
+            ],
+            "detection_latencies": {
+                mechanism: list(latencies)
+                for mechanism, latencies in sorted(
+                    self.detection_latencies.items()
+                )
+            },
+            "failure_latencies": {
+                name: list(latencies)
+                for name, latencies in sorted(self.failure_latencies.items())
+            },
+            "site_outcomes": {
+                site: dict(sorted(outcomes.items()))
+                for site, outcomes in sorted(self.site_outcomes.items())
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"PropagationGraph(runs={self.runs}, nodes={len(self.nodes)}, "
+            f"edges={len(self.edges)})"
+        )

@@ -1,0 +1,58 @@
+"""Detection-event hook bus for protection mechanisms.
+
+Hardware protection models (watchdog, ECC, lockstep, TMR) announce
+"I detected/absorbed an error" through :func:`emit_detection`.  When no
+sink is armed — the common case: golden runs, untraced campaigns —
+the call is a list-truthiness check and returns immediately, so the
+hook costs nothing on the hot path.
+
+The sink stack is process-global per design: ``execute_runspec`` runs
+exactly one simulation at a time per process (the parallel executor
+gets isolation from separate worker *processes*, not threads), so a
+simple LIFO stack is race-free and keeps the hw/ modules free of any
+plumbing — they never see the tracer object, only this module.
+
+This module imports nothing from the rest of the package so ``hw/``
+can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+#: Armed sinks; each must expose
+#: ``record_detection(time, source, mechanism, label)``.
+_SINKS: _t.List[_t.Any] = []
+
+
+def emit_detection(module, mechanism: str, label: str = "") -> None:
+    """Announce that *module* detected or absorbed an error *now*.
+
+    ``module`` is a kernel :class:`~repro.kernel.module.Module`; its
+    ``full_name`` becomes the event source and its ``sim.now`` the
+    timestamp.  No-op unless a sink is armed.
+    """
+    if not _SINKS:
+        return
+    time = module.sim.now
+    source = module.full_name
+    for sink in _SINKS:
+        sink.record_detection(time, source, mechanism, label)
+
+
+def push_sink(sink) -> None:
+    """Arm *sink* to receive detection events."""
+    _SINKS.append(sink)
+
+
+def pop_sink(sink) -> None:
+    """Disarm *sink*; tolerates a sink that was never armed."""
+    try:
+        _SINKS.remove(sink)
+    except ValueError:
+        pass
+
+
+def active_sinks() -> _t.Tuple[_t.Any, ...]:
+    """Snapshot of armed sinks (for tests)."""
+    return tuple(_SINKS)

@@ -1,0 +1,145 @@
+"""Live campaign telemetry hooks.
+
+Where digests describe *simulated* behaviour (deterministic, sim-time),
+telemetry describes *execution* behaviour: throughput, batch wall
+times, retries, resumes, worker utilization.  The two never mix — a
+telemetry stream is wall-clock, host-specific, and explicitly outside
+the byte-equality contract.
+
+:class:`CampaignTelemetry` is the hook API ``Campaign.run(telemetry=)``
+drives; subclass and override what you need (every hook is a no-op by
+default, and the campaign never depends on return values).
+:class:`JsonlTelemetry` is the bundled emitter: one JSON object per
+line, the substrate a dashboard or service front-end tails.
+"""
+
+from __future__ import annotations
+
+import json
+import time as _time
+import typing as _t
+
+
+class CampaignTelemetry:
+    """Opt-in observer of campaign execution progress.
+
+    Hook order per campaign: ``on_campaign_start``; per batch any mix
+    of ``on_resume`` (journal replays), ``on_run_start``/``on_run_end``
+    (live runs; ``on_retry`` between attempts), then ``on_batch_end``;
+    finally ``on_campaign_end`` (also on error/interrupt).
+    """
+
+    def on_campaign_start(self, info: _t.Dict[str, _t.Any]) -> None:
+        """Campaign begins: backend, workers, batch_size, planned runs."""
+
+    def on_run_start(self, spec) -> None:
+        """A RunSpec is about to be dispatched to the executor."""
+
+    def on_run_end(self, outcome) -> None:
+        """A RunOutcome came back (terminal failures included)."""
+
+    def on_retry(self, outcome) -> None:
+        """A run needed more than one attempt (outcome.attempts > 1)."""
+
+    def on_resume(self, outcome) -> None:
+        """A journaled RunOutcome was replayed instead of re-executed."""
+
+    def on_batch_end(self, stats: _t.Dict[str, _t.Any]) -> None:
+        """A batch finished; stats carry wall time and throughput."""
+
+    def on_campaign_end(self, info: _t.Dict[str, _t.Any]) -> None:
+        """Campaign finished (normally or not); final counters."""
+
+
+class JsonlTelemetry(CampaignTelemetry):
+    """Append telemetry as JSON lines to *path*.
+
+    ``clock`` is injectable for tests; defaults to wall clock.
+    """
+
+    def __init__(self, path: str, clock: _t.Callable[[], float] = _time.time):
+        self.path = path
+        self._clock = clock
+        self._handle = open(path, "a")
+        self.counters = {
+            "runs": 0,
+            "retries": 0,
+            "timeouts": 0,
+            "terminal_failures": 0,
+            "resumed": 0,
+            "batches": 0,
+        }
+
+    def _emit(self, kind: str, payload: _t.Dict[str, _t.Any]) -> None:
+        record = {"t": self._clock(), "event": kind}
+        record.update(payload)
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def on_campaign_start(self, info):
+        self._emit("campaign_start", info)
+        self._handle.flush()
+
+    def on_run_start(self, spec):
+        self._emit(
+            "run_start",
+            {"index": spec.index, "scenario": spec.scenario.name},
+        )
+
+    def on_run_end(self, outcome):
+        self.counters["runs"] += 1
+        if outcome.failure == "timeout":
+            self.counters["timeouts"] += 1
+        elif outcome.failure is not None:
+            self.counters["terminal_failures"] += 1
+        self._emit(
+            "run_end",
+            {
+                "index": outcome.index,
+                "outcome": outcome.outcome.name,
+                "attempts": outcome.attempts,
+                "failure": outcome.failure,
+                "partial_digest": bool(
+                    outcome.digest is not None and outcome.digest.partial
+                ),
+            },
+        )
+
+    def on_retry(self, outcome):
+        self.counters["retries"] += outcome.attempts - 1
+        self._emit(
+            "retry",
+            {
+                "index": outcome.index,
+                "attempts": outcome.attempts,
+                "failure": outcome.failure,
+            },
+        )
+
+    def on_resume(self, outcome):
+        self.counters["resumed"] += 1
+        self._emit(
+            "resume",
+            {"index": outcome.index, "outcome": outcome.outcome.name},
+        )
+
+    def on_batch_end(self, stats):
+        self.counters["batches"] += 1
+        self._emit("batch_end", stats)
+        self._handle.flush()
+
+    def on_campaign_end(self, info):
+        payload = dict(info)
+        payload["counters"] = dict(self.counters)
+        self._emit("campaign_end", payload)
+        self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlTelemetry":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -37,6 +37,7 @@ register_platform(
     airbag.normal_operation_classifier,
     description="CAPS airbag, normal operation (safety goal G1: "
     "no spurious deployment)",
+    trace_signals=airbag.trace_signals,
 )
 register_platform(
     "airbag-crash",
@@ -45,6 +46,7 @@ register_platform(
     _crash_classifier,
     description="CAPS airbag, crash pulse at 50 ms (goal G2: deploy "
     "in time)",
+    trace_signals=airbag.trace_signals,
 )
 register_platform(
     "acc",

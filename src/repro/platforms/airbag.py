@@ -225,6 +225,21 @@ def observe(root: Module) -> dict:
     }
 
 
+def trace_signals(root: Module) -> dict:
+    """Signals the observability layer watches for this platform.
+
+    The two accelerometer outputs are where injected sensor/memory
+    faults first become visible on the way to the deployment decision;
+    watching more (e.g. every ECU register) costs tracer callbacks on
+    every signal write, so the nomination stays deliberately small.
+    """
+    platform = root
+    return {
+        platform.sensor_a.output.name: platform.sensor_a.output,
+        platform.sensor_b.output.name: platform.sensor_b.output,
+    }
+
+
 def normal_operation_classifier():
     """G1: any deployment is hazardous."""
     return build_standard_classifier(

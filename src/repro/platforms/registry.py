@@ -15,6 +15,12 @@ A bundle names the three callables a campaign needs:
   (a factory, not an instance, because classifiers hold lambdas and
   must be constructed on the consuming side).
 
+An optional fourth callable, ``trace_signals(root) -> {name: signal}``,
+nominates the kernel signals the observability layer
+(:mod:`repro.observe`) watches when a campaign runs with ``trace=`` —
+the platform knows which of its signals carry safety-relevant state;
+the trace machinery should not have to guess.
+
 Registration must happen at **module import time** so that worker
 processes — which re-import the registering module under ``spawn``
 start methods — see the same catalogue as the parent.  The built-in
@@ -38,6 +44,8 @@ class PlatformBundle(_t.NamedTuple):
     observe: "_t.Callable[[Module], RunObservation]"
     classifier_factory: "_t.Callable[[], Classifier]"
     description: str = ""
+    #: Optional ``root -> {name: signal}``; ``None`` = nothing watched.
+    trace_signals: _t.Optional[_t.Callable] = None
 
 
 _REGISTRY: _t.Dict[str, PlatformBundle] = {}
@@ -53,6 +61,7 @@ def register_platform(
     observe,
     classifier_factory,
     description: str = "",
+    trace_signals=None,
     replace: bool = False,
 ) -> PlatformBundle:
     """Register a platform bundle under *name*.
@@ -67,7 +76,8 @@ def register_platform(
             f"pass replace=True to override"
         )
     bundle = PlatformBundle(
-        name, factory, observe, classifier_factory, description
+        name, factory, observe, classifier_factory, description,
+        trace_signals,
     )
     _REGISTRY[name] = bundle
     _CLASSIFIERS.pop(name, None)

@@ -72,6 +72,105 @@ class TestTracer:
         assert tracer.value_at("top.x", 5) == 0xFF
 
 
+class TestTracerLifecycle:
+    def test_unwatch_detaches_observer_and_keeps_history(self, rig):
+        sim, top = rig
+        sig = top.signal("x", 0)
+        tracer = Tracer()
+        tracer.watch(sig)
+
+        def driver():
+            yield 10
+            sig.write(1)
+            yield 10
+            sig.write(2)
+
+        top.process(driver())
+        sim.run(until=15)
+        tracer.unwatch(sig)
+        assert not sig.observers  # callback actually removed
+        sim.run(until=100)  # second write happens unobserved
+        history = tracer.history("top.x")
+        assert [(c.time, c.value) for c in history] == [(0, 0), (10, 1)]
+
+    def test_unwatch_by_name_and_unknown_name_raises(self, rig):
+        _, top = rig
+        sig = top.signal("x", 0)
+        tracer = Tracer()
+        tracer.watch(sig)
+        tracer.unwatch("top.x")
+        assert not sig.observers
+        with pytest.raises(KeyError):
+            tracer.unwatch("top.y")
+
+    def test_close_detaches_everything_and_is_idempotent(self, rig):
+        _, top = rig
+        a = top.signal("a", 0)
+        b = top.signal("b", 0)
+        tracer = Tracer()
+        tracer.watch(a)
+        tracer.watch(b)
+        tracer.close()
+        tracer.close()
+        assert not a.observers
+        assert not b.observers
+        # Histories stay readable after close.
+        assert tracer.history("top.a") == [(0, 0)]
+
+    def test_context_manager_closes(self, rig):
+        _, top = rig
+        sig = top.signal("x", 0)
+        with Tracer() as tracer:
+            tracer.watch(sig)
+            assert sig.observers
+        assert not sig.observers
+
+    def test_repeated_arm_disarm_does_not_accumulate_observers(self, rig):
+        """The leak the campaign layer cares about: one tracer per run
+        against a long-lived signal must not grow the observer list."""
+        _, top = rig
+        sig = top.signal("x", 0)
+        for _ in range(10):
+            tracer = Tracer()
+            tracer.watch(sig)
+            tracer.close()
+        assert len(sig.observers) == 0
+
+
+class TestBoundedTracer:
+    def test_capacity_bounds_history_and_counts_drops(self, rig):
+        sim, top = rig
+        sig = top.signal("x", 0)
+        tracer = Tracer(capacity=4)
+        tracer.watch(sig)
+
+        def driver():
+            for value in range(1, 11):
+                yield 10
+                sig.write(value)
+
+        top.process(driver())
+        sim.run(until=200)
+        history = tracer.history("top.x")
+        assert len(history) == 4
+        # Ring keeps the newest changes.
+        assert [c.value for c in history] == [7, 8, 9, 10]
+        # 11 changes seen (baseline + 10 writes), 4 retained.
+        assert tracer.dropped("top.x") == 7
+
+    def test_unbounded_tracer_reports_zero_dropped(self, rig):
+        sim, top = rig
+        sig = top.signal("x", 0)
+        tracer = Tracer()
+        tracer.watch(sig)
+        sim.run(until=10)
+        assert tracer.dropped("top.x") == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
 class TestVcdExport:
     def test_vcd_structure(self, rig):
         sim, top = rig
@@ -127,3 +226,19 @@ class TestVcdExport:
     def test_identifier_uniqueness(self):
         identifiers = {Tracer._identifier(i) for i in range(500)}
         assert len(identifiers) == 500
+
+    def test_var_names_sanitized_for_viewers(self, rig):
+        """Spaces and brackets in signal names (e.g. array elements)
+        are folded to underscores in the ``$var`` record; dotted
+        hierarchy paths pass through untouched."""
+        sim, top = rig
+        weird = Wire(sim, "top.bus[3] (shadow)")
+        plain = top.signal("speed", 0)
+        tracer = Tracer()
+        tracer.watch(weird)
+        tracer.watch(plain)
+        sim.run(until=10)
+        vcd = tracer.to_vcd()
+        assert "top.bus_3___shadow_" in vcd
+        assert "bus[3]" not in vcd
+        assert "top.speed" in vcd

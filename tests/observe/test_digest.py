@@ -1,0 +1,129 @@
+"""Unit tests for the trace event vocabulary and the TraceDigest."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.observe import (
+    TRACE_SCHEMA_VERSION,
+    TraceDigest,
+    TraceEvent,
+    sort_events,
+)
+from repro.observe.events import (
+    CLASSIFICATION,
+    DETECTION,
+    DEVIATION,
+    INJECTION,
+)
+
+
+def sample_events():
+    return (
+        TraceEvent(100, INJECTION, "caps.params.codewords", "sram_seu"),
+        TraceEvent(150, DEVIATION, "caps.sensor_a.output", "10->99"),
+        TraceEvent(180, DETECTION, "caps.params", "ecc:corrected"),
+        TraceEvent(200, CLASSIFICATION, "run", "MASKED"),
+    )
+
+
+def sample_digest(**overrides):
+    kwargs = dict(
+        index=3,
+        seed=12345,
+        events=sample_events(),
+        outcome="MASKED",
+    )
+    kwargs.update(overrides)
+    return TraceDigest(**kwargs)
+
+
+class TestEventOrdering:
+    def test_sort_is_time_major(self):
+        events = [
+            TraceEvent(20, INJECTION, "b", "y"),
+            TraceEvent(10, DETECTION, "a", "x"),
+        ]
+        assert [e.time for e in sort_events(events)] == [10, 20]
+
+    def test_ties_break_causally_then_lexically(self):
+        # Same timestamp: fault before error before detection before
+        # verdict — then source/label for a total order.
+        events = [
+            TraceEvent(10, CLASSIFICATION, "run", "SDC"),
+            TraceEvent(10, DETECTION, "m", "ecc"),
+            TraceEvent(10, DEVIATION, "s", "d"),
+            TraceEvent(10, INJECTION, "t", "f"),
+            TraceEvent(10, INJECTION, "a", "f"),
+        ]
+        ordered = sort_events(events)
+        assert [e.kind for e in ordered] == [
+            INJECTION, INJECTION, DEVIATION, DETECTION, CLASSIFICATION,
+        ]
+        assert ordered[0].source == "a"  # lexical within a kind
+
+    def test_sort_is_deterministic_under_shuffle(self):
+        import random
+
+        events = list(sample_events()) * 2
+        reference = sort_events(events)
+        for seed in range(5):
+            shuffled = list(events)
+            random.Random(seed).shuffle(shuffled)
+            assert sort_events(shuffled) == reference
+
+
+class TestDigestViews:
+    def test_kind_views(self):
+        digest = sample_digest()
+        assert len(digest.injections) == 1
+        assert len(digest.deviations) == 1
+        assert len(digest.detections) == 1
+
+    def test_fault_sites_are_unique_and_ordered(self):
+        digest = sample_digest(events=(
+            TraceEvent(5, INJECTION, "b.mem", "seu"),
+            TraceEvent(7, INJECTION, "a.reg", "stuck"),
+            TraceEvent(9, INJECTION, "b.mem", "seu"),
+        ))
+        assert digest.fault_sites == ["b.mem:seu", "a.reg:stuck"]
+
+    def test_detection_latency(self):
+        digest = sample_digest()
+        assert digest.first_injection_time == 100
+        assert digest.first_detection_time == 180
+        assert digest.detection_latency == 80
+
+    def test_latency_none_without_detection(self):
+        digest = sample_digest(
+            events=(TraceEvent(5, INJECTION, "a", "f"),)
+        )
+        assert digest.detection_latency is None
+
+
+class TestDigestSerialization:
+    def test_jsonable_round_trip(self):
+        digest = sample_digest(partial=True, dropped_events=3)
+        data = json.loads(json.dumps(digest.to_jsonable()))
+        assert TraceDigest.from_jsonable(data) == digest
+
+    def test_canonical_is_stable_json(self):
+        digest = sample_digest()
+        canonical = digest.canonical()
+        assert json.loads(canonical) == digest.to_jsonable()
+        assert canonical == sample_digest().canonical()
+
+    def test_newer_schema_rejected(self):
+        data = sample_digest().to_jsonable()
+        data["schema"] = TRACE_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError):
+            TraceDigest.from_jsonable(data)
+
+    def test_pickle_round_trip(self):
+        digest = sample_digest()
+        assert pickle.loads(pickle.dumps(digest)) == digest
+
+    def test_events_survive_as_trace_events(self):
+        restored = TraceDigest.from_jsonable(sample_digest().to_jsonable())
+        assert all(isinstance(e, TraceEvent) for e in restored.events)

@@ -1,0 +1,250 @@
+"""Digest determinism across backends, retries, and resumes.
+
+The observability contract extends the PR-1 equivalence guarantee:
+for identical seeds, serial and parallel campaigns must return
+**byte-identical** trace digests (``TraceDigest.canonical()``), because
+digests record only simulation-deterministic content — no wall clock,
+no attempt counts, no worker identity.
+"""
+
+import os
+
+import pytest
+
+from repro.core import Campaign, RandomStrategy, TraceConfig
+from repro.core.scenario import ErrorScenario, FaultSpace, PlannedInjection
+from repro.core.strategies import Strategy
+from repro.faults import FaultDescriptor, FaultKind, Persistence, SRAM_SEU
+from repro.kernel import Simulator, simtime
+from repro.platforms import airbag, hostile
+
+MULTI_CPU = (
+    (os.cpu_count() or 1) >= 2
+    or os.environ.get("REPRO_FORCE_POOL") == "1"
+)
+
+needs_multicore = pytest.mark.skipif(
+    not MULTI_CPU, reason="needs >= 2 CPUs for a meaningful pool"
+)
+
+STUCK_HIGH = FaultDescriptor(
+    name="sensor_stuck_high",
+    kind=FaultKind.STUCK_VALUE,
+    persistence=Persistence.PERMANENT,
+    params={"value": 4.5},
+    rate_per_hour=1e-6,
+)
+
+
+def airbag_campaign(seed=7):
+    return Campaign(
+        duration=simtime.ms(60), seed=seed, platform="airbag-normal"
+    )
+
+
+def airbag_strategy(seed=7):
+    sim = Simulator()
+    root = airbag.build_normal_operation(sim)
+    space = FaultSpace(
+        root,
+        [SRAM_SEU.with_rate(5e-7), STUCK_HIGH],
+        window_start=simtime.ms(5),
+        window_end=simtime.ms(30),
+        time_bins=2,
+    )
+    return RandomStrategy(space, faults_per_scenario=1)
+
+
+def canonical_digests(result):
+    return [d.canonical() for d in result.digests()]
+
+
+class ScriptedStrategy(Strategy):
+    def __init__(self, scenarios):
+        self.scenarios = list(scenarios)
+        self.cursor = 0
+        self.faults_per_scenario = 1
+        self.space = None
+
+    def next_scenario(self, rng):
+        scenario = self.scenarios[self.cursor % len(self.scenarios)]
+        self.cursor += 1
+        return scenario
+
+
+def hostile_scripted(runs, hostility):
+    scenarios = []
+    for index in range(runs):
+        injections = []
+        descriptor = hostility.get(index)
+        if descriptor is not None:
+            injections.append(
+                PlannedInjection(
+                    time=3 * hostile.TICK,
+                    target_path=hostile.TRAP_PATH,
+                    descriptor=descriptor,
+                )
+            )
+        scenarios.append(
+            ErrorScenario(name=f"scripted_{index}", injections=injections)
+        )
+    return ScriptedStrategy(scenarios)
+
+
+class TestSerialDigestDeterminism:
+    def test_same_seed_same_digest_bytes(self):
+        first = airbag_campaign().run(airbag_strategy(), runs=8, trace=True)
+        second = airbag_campaign().run(airbag_strategy(), runs=8, trace=True)
+        assert canonical_digests(first) == canonical_digests(second)
+        assert len(first.digests()) == 8
+
+    def test_digest_rides_every_record(self):
+        result = airbag_campaign().run(airbag_strategy(), runs=6, trace=True)
+        assert all(r.digest is not None for r in result.records)
+        assert [r.digest.index for r in result.records] == list(range(6))
+        assert [r.digest.seed for r in result.records] != [0] * 6
+
+    def test_untraced_campaign_has_no_digests(self):
+        result = airbag_campaign().run(airbag_strategy(), runs=4)
+        assert result.digests() == []
+        assert all(r.digest is None for r in result.records)
+
+    def test_trace_does_not_change_outcomes(self):
+        traced = airbag_campaign().run(airbag_strategy(), runs=8, trace=True)
+        plain = airbag_campaign().run(airbag_strategy(), runs=8)
+        assert [r.outcome for r in traced.records] == [
+            r.outcome for r in plain.records
+        ]
+        assert [r.matched_rules for r in traced.records] == [
+            r.matched_rules for r in plain.records
+        ]
+
+
+@needs_multicore
+class TestParallelDigestEquivalence:
+    def test_airbag_serial_vs_parallel_byte_identical(self):
+        serial = airbag_campaign().run(
+            airbag_strategy(), runs=10, trace=True,
+            backend="serial", batch_size=4,
+        )
+        parallel = airbag_campaign().run(
+            airbag_strategy(), runs=10, trace=True,
+            backend="parallel", workers=2, batch_size=4,
+        )
+        assert canonical_digests(serial) == canonical_digests(parallel)
+
+    def test_hostile_mix_serial_vs_parallel(self):
+        """Timeout (livelock) and raise runs keep digest equality:
+        worker-side deadline digests are real partials, raise runs get
+        the planned-injection partial on both backends."""
+        hostility = {1: hostile.LIVELOCK, 3: hostile.RAISE}
+
+        def run(backend):
+            campaign = Campaign(
+                duration=hostile.DURATION, seed=11, platform="hostile-dut"
+            )
+            return campaign.run(
+                hostile_scripted(6, hostility),
+                runs=6,
+                backend=backend,
+                workers=2 if backend == "parallel" else None,
+                batch_size=3,
+                run_timeout_s=0.5,
+                trace=True,
+            )
+
+        serial = run("serial")
+        parallel = run("parallel")
+        assert canonical_digests(serial) == canonical_digests(parallel)
+        assert serial.records[1].digest.partial
+        assert serial.records[1].digest.outcome == "TIMEOUT"
+        assert serial.records[3].digest.partial
+
+    def test_crash_retry_digest_matches_clean_run(self):
+        """A run whose worker crashed once and then succeeded must
+        digest identically to the same run executed cleanly: attempts
+        are execution history, not simulation content.  The hostile
+        ``die`` mode is persistent (every retry crashes), so the
+        terminal record's planned digest is compared instead."""
+        hostility = {2: hostile.CRASH}
+        campaign = Campaign(
+            duration=hostile.DURATION, seed=11, platform="hostile-dut"
+        )
+        crashed = campaign.run(
+            hostile_scripted(6, hostility),
+            runs=6,
+            backend="parallel",
+            workers=2,
+            batch_size=3,
+            run_timeout_s=0.5,
+            max_retries=2,
+            retry_backoff_s=0.0,
+            trace=True,
+        )
+        clean = Campaign(
+            duration=hostile.DURATION, seed=11, platform="hostile-dut"
+        ).run(
+            hostile_scripted(6, {}),
+            runs=6,
+            backend="serial",
+            batch_size=3,
+            run_timeout_s=0.5,
+            trace=True,
+        )
+        crashed_digests = canonical_digests(crashed)
+        clean_digests = canonical_digests(clean)
+        # Innocent runs (everything but index 2) digest byte-identically
+        # to the crash-free campaign despite pool rebuilds and re-runs.
+        for index in (0, 1, 3, 4, 5):
+            assert crashed_digests[index] == clean_digests[index]
+        # The crashed run still yields evidence: its planned injections
+        # as a partial digest.
+        terminal = crashed.records[2].digest
+        assert terminal.partial
+        assert terminal.fault_sites == [
+            f"{hostile.TRAP_PATH}:{hostile.CRASH.name}"
+        ]
+
+
+class TestJournalDigestRoundTrip:
+    def test_digest_survives_checkpoint_journal(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        campaign = airbag_campaign()
+        strategy = airbag_strategy()
+        result = campaign.run(
+            strategy, runs=6, trace=True, batch_size=2,
+            checkpoint=str(path),
+        )
+        resumed = airbag_campaign().run(
+            airbag_strategy(), runs=6, trace=True, batch_size=2,
+            checkpoint=str(path),
+        )
+        assert resumed.resumed == 6
+        assert canonical_digests(resumed) == canonical_digests(result)
+
+    def test_traced_and_untraced_journals_do_not_mix(self, tmp_path):
+        from repro.core import CheckpointKeyMismatch
+
+        path = tmp_path / "journal.jsonl"
+        airbag_campaign().run(
+            airbag_strategy(), runs=2, batch_size=2, checkpoint=str(path),
+        )
+        with pytest.raises(CheckpointKeyMismatch):
+            airbag_campaign().run(
+                airbag_strategy(), runs=2, batch_size=2,
+                checkpoint=str(path), trace=True,
+            )
+
+    def test_trace_knobs_pin_the_journal_key(self, tmp_path):
+        from repro.core import CheckpointKeyMismatch
+
+        path = tmp_path / "journal.jsonl"
+        airbag_campaign().run(
+            airbag_strategy(), runs=2, batch_size=2,
+            checkpoint=str(path), trace=TraceConfig(ring_capacity=16),
+        )
+        with pytest.raises(CheckpointKeyMismatch):
+            airbag_campaign().run(
+                airbag_strategy(), runs=2, batch_size=2,
+                checkpoint=str(path), trace=TraceConfig(ring_capacity=32),
+            )

@@ -1,0 +1,263 @@
+"""PropagationGraph: chaining semantics, latency metrics, and the
+end-to-end acceptance path through a real protected platform."""
+
+import json
+
+from repro.core import Campaign, RandomStrategy
+from repro.faults import SRAM_SEU
+from repro.kernel import Simulator, simtime
+from repro.observe import PropagationGraph, TraceDigest, TraceEvent
+from repro.observe.events import (
+    CLASSIFICATION,
+    DETECTION,
+    DEVIATION,
+    INJECTION,
+)
+from repro.core.scenario import FaultSpace
+from repro.platforms import airbag
+
+
+def digest(events, index=0, seed=1, outcome=None, partial=False):
+    return TraceDigest(
+        index=index,
+        seed=seed,
+        events=tuple(events),
+        outcome=outcome,
+        partial=partial,
+    )
+
+
+def detected_run(index=0):
+    return digest(
+        [
+            TraceEvent(100, INJECTION, "ecu.mem", "seu"),
+            TraceEvent(140, DEVIATION, "ecu.bus", "0->1"),
+            TraceEvent(180, DETECTION, "ecu.mem", "ecc:corrected"),
+            TraceEvent(200, CLASSIFICATION, "run", "DETECTED_SAFE"),
+        ],
+        index=index,
+        outcome="DETECTED_SAFE",
+    )
+
+
+def hazardous_run(index=1):
+    return digest(
+        [
+            TraceEvent(50, INJECTION, "ecu.reg", "stuck"),
+            TraceEvent(90, DEVIATION, "ecu.out", "lo->hi"),
+            TraceEvent(300, CLASSIFICATION, "run", "HAZARDOUS"),
+        ],
+        index=index,
+        outcome="HAZARDOUS",
+    )
+
+
+class TestGraphConstruction:
+    def test_fault_to_detection_chain(self):
+        graph = PropagationGraph.from_digests([detected_run()])
+        assert graph.runs == 1
+        assert "fault:ecu.mem:seu" in graph.nodes
+        assert "dev:ecu.bus" in graph.nodes
+        assert "detect:ecu.mem:ecc" in graph.nodes
+        assert "outcome:DETECTED_SAFE" in graph.nodes
+        # fault -> deviation -> detection -> outcome
+        assert graph.edges[("fault:ecu.mem:seu", "dev:ecu.bus")] == 1
+        assert graph.edges[("dev:ecu.bus", "detect:ecu.mem:ecc")] == 1
+        assert (
+            graph.edges[("detect:ecu.mem:ecc", "outcome:DETECTED_SAFE")] == 1
+        )
+
+    def test_undetected_run_links_fault_to_outcome(self):
+        graph = PropagationGraph.from_digests([hazardous_run()])
+        assert graph.edges[("dev:ecu.out", "outcome:HAZARDOUS")] == 1
+        assert not any(
+            node.startswith("detect:") for node in graph.nodes
+        )
+
+    def test_multiplicity_counts_across_runs(self):
+        graph = PropagationGraph.from_digests(
+            [detected_run(index=i) for i in range(3)]
+        )
+        assert graph.nodes["fault:ecu.mem:seu"]["count"] == 3
+        assert graph.edges[("fault:ecu.mem:seu", "dev:ecu.bus")] == 3
+
+    def test_none_digests_are_skipped(self):
+        graph = PropagationGraph.from_digests([None, detected_run(), None])
+        assert graph.runs == 1
+
+    def test_partial_digests_counted(self):
+        partial = digest(
+            [TraceEvent(10, INJECTION, "x", "f")],
+            outcome="TIMEOUT",
+            partial=True,
+        )
+        graph = PropagationGraph.from_digests([partial])
+        assert graph.partial_runs == 1
+        assert graph.site_outcomes["x:f"] == {"TIMEOUT": 1}
+
+
+class TestLatencyMetrics:
+    def test_detection_latency_from_first_injection(self):
+        graph = PropagationGraph.from_digests([detected_run()])
+        assert graph.detection_latencies == {"ecc": [80]}
+        assert graph.median_detection_latency() == {"ecc": 80}
+        assert graph.detection_paths == [("ecu.mem:seu", "ecc", 80)]
+
+    def test_mechanism_counted_once_per_run(self):
+        storm = digest(
+            [
+                TraceEvent(10, INJECTION, "m", "seu"),
+                TraceEvent(20, DETECTION, "m", "ecc:corrected"),
+                TraceEvent(25, DETECTION, "m", "ecc:corrected"),
+                TraceEvent(30, DETECTION, "wd", "watchdog:bite"),
+            ],
+            outcome="DETECTED_SAFE",
+        )
+        graph = PropagationGraph.from_digests([storm])
+        assert graph.detection_latencies == {
+            "ecc": [10],
+            "watchdog": [20],
+        }
+
+    def test_failure_latency_uses_deviation_onset(self):
+        graph = PropagationGraph.from_digests([hazardous_run()])
+        # Onset at the first deviation (90), injection at 50.
+        assert graph.failure_latencies == {"HAZARDOUS": [40]}
+
+    def test_safe_outcomes_have_no_failure_latency(self):
+        graph = PropagationGraph.from_digests([detected_run()])
+        assert graph.failure_latencies == {}
+
+
+class TestSiteRanking:
+    def test_top_fault_sites_by_severity_threshold(self):
+        runs = [detected_run(0), hazardous_run(1), hazardous_run(2)]
+        graph = PropagationGraph.from_digests(runs)
+        assert graph.top_fault_sites(at_least="HAZARDOUS") == [
+            ("ecu.reg:stuck", 2)
+        ]
+        # Lowering the bar pulls in the detected-safe site too.
+        sites = dict(graph.top_fault_sites(at_least="DETECTED_SAFE"))
+        assert sites == {"ecu.reg:stuck": 2, "ecu.mem:seu": 1}
+
+    def test_ranking_is_deterministic_on_ties(self):
+        tied = [
+            digest(
+                [
+                    TraceEvent(5, INJECTION, site, "f"),
+                    TraceEvent(9, CLASSIFICATION, "run", "SDC"),
+                ],
+                index=i,
+                outcome="SDC",
+            )
+            for i, site in enumerate(["b", "a", "c"])
+        ]
+        graph = PropagationGraph.from_digests(tied)
+        assert graph.top_fault_sites(at_least="SDC") == [
+            ("a:f", 1), ("b:f", 1), ("c:f", 1),
+        ]
+
+
+def airbag_seu_campaign(seed=7):
+    campaign = Campaign(
+        duration=simtime.ms(60), seed=seed, platform="airbag-normal"
+    )
+    sim = Simulator()
+    root = airbag.build_normal_operation(sim)
+    space = FaultSpace(
+        root,
+        [SRAM_SEU.with_rate(5e-7)],
+        window_start=simtime.ms(5),
+        window_end=simtime.ms(30),
+        time_bins=2,
+    )
+    strategy = RandomStrategy(space, faults_per_scenario=1)
+    return campaign, strategy
+
+
+class TestAirbagAcceptancePath:
+    """ISSUE acceptance: the airbag campaign's graph must show at
+    least one fault → detection path through a real protection
+    mechanism with a finite latency."""
+
+    def test_seu_campaign_reaches_ecc_detection(self):
+        campaign, strategy = airbag_seu_campaign()
+        result = campaign.run(strategy, runs=40, trace=True)
+        graph = result.propagation()
+        assert graph.runs == 40
+        assert graph.detection_paths, "no fault→detection path found"
+        site, mechanism, latency = graph.detection_paths[0]
+        assert mechanism in {"ecc", "watchdog", "lockstep", "tmr"}
+        assert isinstance(latency, int) and latency >= 0
+        assert latency <= simtime.ms(60)
+        # The path starts at a real injection site of this fault space.
+        assert site.endswith(":sram_seu")
+        medians = graph.median_detection_latency()
+        assert mechanism in medians
+
+    def test_report_gains_propagation_section(self):
+        campaign, strategy = airbag_seu_campaign()
+        result = campaign.run(strategy, runs=12, trace=True)
+        report = result.report()
+        section = report["propagation"]
+        assert section["traced_runs"] == 12
+        assert section["nodes"] > 0
+        assert section["edges"] > 0
+        assert isinstance(section["top_fault_sites"], list)
+        assert isinstance(section["detection_latency_median"], dict)
+        # Pre-existing report sections stay intact.
+        for key in ("runs", "outcomes", "dangerous_runs", "kernel"):
+            assert key in report
+
+    def test_untraced_report_has_no_propagation_section(self):
+        campaign, strategy = airbag_seu_campaign()
+        result = campaign.run(strategy, runs=4)
+        assert "propagation" not in result.report()
+
+
+class TestResumeDeterminism:
+    def test_graph_identical_across_checkpoint_resume(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        campaign, strategy = airbag_seu_campaign()
+        fresh = campaign.run(
+            strategy, runs=10, trace=True, batch_size=3,
+            checkpoint=str(path),
+        )
+        campaign2, strategy2 = airbag_seu_campaign()
+        resumed = campaign2.run(
+            strategy2, runs=10, trace=True, batch_size=3,
+            checkpoint=str(path),
+        )
+        assert resumed.resumed == 10
+        fresh_json = json.dumps(
+            fresh.propagation().to_jsonable(), sort_keys=True
+        )
+        resumed_json = json.dumps(
+            resumed.propagation().to_jsonable(), sort_keys=True
+        )
+        assert fresh_json == resumed_json
+
+    def test_graph_identical_after_partial_resume(self, tmp_path):
+        """Interrupt mid-campaign (journal holds a prefix), resume to
+        completion: the folded graph must match the uninterrupted
+        reference run."""
+        path = tmp_path / "journal.jsonl"
+        campaign, strategy = airbag_seu_campaign()
+        reference = campaign.run(strategy, runs=9, trace=True, batch_size=3)
+
+        campaign2, strategy2 = airbag_seu_campaign()
+        campaign2.run(
+            strategy2, runs=3, trace=True, batch_size=3,
+            checkpoint=str(path),
+        )
+        campaign3, strategy3 = airbag_seu_campaign()
+        completed = campaign3.run(
+            strategy3, runs=9, trace=True, batch_size=3,
+            checkpoint=str(path),
+        )
+        assert completed.resumed == 3
+        assert json.dumps(
+            completed.propagation().to_jsonable(), sort_keys=True
+        ) == json.dumps(
+            reference.propagation().to_jsonable(), sort_keys=True
+        )

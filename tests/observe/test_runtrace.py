@@ -1,0 +1,220 @@
+"""RunTrace recorder: hook bus, deviations, spill files, partial digests."""
+
+import json
+
+import pytest
+
+from repro.kernel import Module, Simulator
+from repro.observe import RunTrace, TraceConfig, resolve_trace
+from repro.observe import hooks
+from repro.observe.events import DETECTION, DEVIATION, INJECTION
+
+
+class FakeDescriptor:
+    def __init__(self, name):
+        self.name = name
+
+
+class FakeApplied:
+    def __init__(self, target_path, descriptor_name, time):
+        self.target_path = target_path
+        self.descriptor = FakeDescriptor(descriptor_name)
+        self.time = time
+
+
+class FakeStressor:
+    def __init__(self, applied=()):
+        self.applied = list(applied)
+        self.errors = []
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator()
+    top = Module("top", sim=sim)
+    return sim, top
+
+
+class TestConfig:
+    def test_resolve_trace_forms(self):
+        assert resolve_trace(None) is None
+        assert resolve_trace(False) is None
+        assert resolve_trace(True) == TraceConfig()
+        assert resolve_trace("digest") == TraceConfig()
+        explicit = TraceConfig(ring_capacity=8)
+        assert resolve_trace(explicit) is explicit
+        with pytest.raises(ValueError):
+            resolve_trace("full")
+        with pytest.raises(TypeError):
+            resolve_trace(42)
+
+    def test_full_mode_requires_spill_dir(self):
+        with pytest.raises(ValueError):
+            TraceConfig(mode="full")
+        TraceConfig(mode="full", spill_dir="/tmp/x")  # ok
+
+    def test_key_excludes_local_details(self):
+        config = TraceConfig(
+            mode="full", spill_dir="/anywhere",
+            golden_signals=(("s", 1),),
+        )
+        key = config.key()
+        assert "spill_dir" not in json.dumps(key)
+        assert key == {"mode": "full", "ring": 64, "max_events": 256}
+
+
+class TestHookBus:
+    def test_emit_without_sink_is_noop(self, rig):
+        _, top = rig
+        hooks.emit_detection(top, "watchdog", "bite")  # must not raise
+
+    def test_sink_receives_module_identity_and_time(self, rig):
+        sim, top = rig
+        received = []
+
+        class Sink:
+            def record_detection(self, time, source, mechanism, label):
+                received.append((time, source, mechanism, label))
+
+        sink = Sink()
+        hooks.push_sink(sink)
+        try:
+            def proc():
+                yield 42
+                hooks.emit_detection(top, "ecc", "corrected")
+
+            top.process(proc())
+            sim.run(until=100)
+        finally:
+            hooks.pop_sink(sink)
+        assert received == [(42, "top", "ecc", "corrected")]
+
+    def test_pop_unknown_sink_tolerated(self):
+        hooks.pop_sink(object())
+
+
+class TestRunTraceRecorder:
+    def test_detection_events_fold_mechanism_and_label(self, rig):
+        sim, top = rig
+        trace = RunTrace(TraceConfig(), index=0, seed=1)
+        trace.arm(sim, {})
+        try:
+            trace.record_detection(10, "top.wd", "watchdog", "bite")
+            trace.record_detection(20, "top.mem", "ecc", "")
+        finally:
+            digest = trace.finalize(stressor=FakeStressor(), outcome="SDC")
+        labels = [(e.source, e.label) for e in digest.detections]
+        assert labels == [("top.wd", "watchdog:bite"), ("top.mem", "ecc")]
+
+    def test_detection_storm_capped_and_counted(self, rig):
+        sim, top = rig
+        trace = RunTrace(TraceConfig(max_events=5), index=0, seed=1)
+        trace.arm(sim, {})
+        for t in range(20):
+            trace.record_detection(t, "top.mem", "ecc", "corrected")
+        digest = trace.finalize(stressor=FakeStressor(), outcome="MASKED")
+        assert len(digest.events) == 5
+        # 15 dropped at the recorder, plus post-sort truncation of the
+        # classification event that no longer fits the budget.
+        assert digest.dropped_events == 16
+
+    def test_signal_deviation_onset_vs_golden(self, rig):
+        sim, top = rig
+        sig = top.signal("out", 7)
+        config = TraceConfig(golden_signals=(("top.out", 7),))
+        trace = RunTrace(config, index=0, seed=1)
+        trace.arm(sim, {"top.out": sig})
+
+        def driver():
+            yield 30
+            sig.write(9)  # the deviation onset
+            yield 30
+            sig.write(11)
+
+        top.process(driver())
+        sim.run(until=100)
+        stressor = FakeStressor([FakeApplied("top.reg", "stuck", 25)])
+        digest = trace.finalize(stressor=stressor, outcome="SDC")
+        deviations = digest.deviations
+        assert len(deviations) == 1
+        assert deviations[0].time == 30
+        assert deviations[0].source == "top.out"
+        assert deviations[0].label == "7->11"
+
+    def test_signal_matching_golden_yields_no_deviation(self, rig):
+        sim, top = rig
+        sig = top.signal("out", 7)
+        config = TraceConfig(golden_signals=(("top.out", 7),))
+        trace = RunTrace(config, index=0, seed=1)
+        trace.arm(sim, {"top.out": sig})
+        sim.run(until=100)
+        digest = trace.finalize(stressor=FakeStressor(), outcome="NO_EFFECT")
+        assert digest.deviations == []
+
+    def test_observation_deviations_stamped_at_run_end(self, rig):
+        sim, top = rig
+        trace = RunTrace(TraceConfig(), index=0, seed=1)
+        trace.arm(sim, {})
+        sim.run(until=50)
+        digest = trace.finalize(
+            stressor=FakeStressor(),
+            observation={"fired": True, "count": 3},
+            golden={"fired": False, "count": 3},
+            outcome="HAZARDOUS",
+        )
+        deviations = digest.deviations
+        assert len(deviations) == 1
+        assert deviations[0] == (50, DEVIATION, "obs:fired", "False->True")
+
+    def test_partial_digest_omits_classification_event(self, rig):
+        sim, top = rig
+        trace = RunTrace(TraceConfig(), index=0, seed=1)
+        trace.arm(sim, {})
+        digest = trace.finalize(
+            stressor=FakeStressor([FakeApplied("top.x", "seu", 5)]),
+            outcome="TIMEOUT",
+            partial=True,
+        )
+        assert digest.partial
+        assert digest.outcome == "TIMEOUT"
+        assert [e.kind for e in digest.events] == [INJECTION]
+
+    def test_disarm_pops_sink_and_closes_tracer(self, rig):
+        sim, top = rig
+        sig = top.signal("x", 0)
+        trace = RunTrace(TraceConfig(), index=0, seed=1)
+        trace.arm(sim, {"top.x": sig})
+        assert trace in hooks.active_sinks()
+        assert sig.observers
+        trace.disarm()
+        trace.disarm()  # idempotent
+        assert trace not in hooks.active_sinks()
+        assert not sig.observers
+
+    def test_full_mode_spills_jsonl(self, rig, tmp_path):
+        sim, top = rig
+        sig = top.signal("x", 0)
+        config = TraceConfig(
+            mode="full", spill_dir=str(tmp_path), ring_capacity=4,
+            golden_signals=(("top.x", 0),),
+        )
+        trace = RunTrace(config, index=7, seed=3)
+        trace.arm(sim, {"top.x": sig})
+
+        def driver():
+            yield 10
+            sig.write(1)
+
+        top.process(driver())
+        sim.run(until=20)
+        trace.record_detection(15, "top.wd", "watchdog", "bite")
+        trace.finalize(stressor=FakeStressor(), outcome="DETECTED_SAFE")
+        path = tmp_path / "run-000007.jsonl"
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0]["type"] == "meta"
+        assert lines[0]["index"] == 7
+        signal_lines = [l for l in lines if l["type"] == "signal"]
+        assert signal_lines[0]["name"] == "top.x"
+        assert signal_lines[0]["changes"] == [[0, 0], [10, 1]]
+        event_lines = [l for l in lines if l["type"] == "event"]
+        assert any(l["event"][1] == DETECTION for l in event_lines)

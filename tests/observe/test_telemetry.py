@@ -1,0 +1,222 @@
+"""Campaign telemetry hooks and the JSONL emitter."""
+
+import itertools
+import json
+
+from repro.core import Campaign
+from repro.core.scenario import ErrorScenario, PlannedInjection
+from repro.core.strategies import Strategy
+from repro.observe import CampaignTelemetry, JsonlTelemetry
+from repro.platforms import hostile
+
+
+class ScriptedStrategy(Strategy):
+    def __init__(self, scenarios):
+        self.scenarios = list(scenarios)
+        self.cursor = 0
+        self.faults_per_scenario = 1
+        self.space = None
+
+    def next_scenario(self, rng):
+        scenario = self.scenarios[self.cursor % len(self.scenarios)]
+        self.cursor += 1
+        return scenario
+
+
+def scripted(runs, hostility=None):
+    hostility = hostility or {}
+    scenarios = []
+    for index in range(runs):
+        injections = []
+        descriptor = hostility.get(index)
+        if descriptor is not None:
+            injections.append(
+                PlannedInjection(
+                    time=3 * hostile.TICK,
+                    target_path=hostile.TRAP_PATH,
+                    descriptor=descriptor,
+                )
+            )
+        scenarios.append(
+            ErrorScenario(name=f"scripted_{index}", injections=injections)
+        )
+    return ScriptedStrategy(scenarios)
+
+
+def hostile_campaign(seed=11):
+    return Campaign(
+        duration=hostile.DURATION, seed=seed, platform="hostile-dut"
+    )
+
+
+class Recorder(CampaignTelemetry):
+    def __init__(self):
+        self.calls = []
+
+    def on_campaign_start(self, info):
+        self.calls.append(("campaign_start", dict(info)))
+
+    def on_run_start(self, spec):
+        self.calls.append(("run_start", spec.index))
+
+    def on_run_end(self, outcome):
+        self.calls.append(("run_end", outcome.index))
+
+    def on_retry(self, outcome):
+        self.calls.append(("retry", outcome.index))
+
+    def on_resume(self, outcome):
+        self.calls.append(("resume", outcome.index))
+
+    def on_batch_end(self, stats):
+        self.calls.append(("batch_end", dict(stats)))
+
+    def on_campaign_end(self, info):
+        self.calls.append(("campaign_end", dict(info)))
+
+    def kinds(self):
+        return [kind for kind, _ in self.calls]
+
+
+class TestHookOrder:
+    def test_campaign_brackets_and_batches(self):
+        recorder = Recorder()
+        hostile_campaign().run(
+            scripted(4), runs=4, batch_size=2,
+            run_timeout_s=0.5, telemetry=recorder,
+        )
+        kinds = recorder.kinds()
+        assert kinds[0] == "campaign_start"
+        assert kinds[-1] == "campaign_end"
+        assert kinds.count("run_start") == 4
+        assert kinds.count("run_end") == 4
+        assert kinds.count("batch_end") == 2
+        # Every run_start precedes its batch's batch_end.
+        first_batch_end = kinds.index("batch_end")
+        assert kinds[:first_batch_end].count("run_start") == 2
+
+    def test_campaign_start_payload(self):
+        recorder = Recorder()
+        hostile_campaign().run(
+            scripted(2), runs=2, run_timeout_s=0.5,
+            telemetry=recorder, trace=True,
+        )
+        _, info = recorder.calls[0]
+        assert info["runs"] == 2
+        assert info["backend"] == "serial"
+        assert info["platform"] == "hostile-dut"
+        assert info["traced"] is True
+
+    def test_batch_stats_carry_throughput(self):
+        recorder = Recorder()
+        hostile_campaign().run(
+            scripted(3), runs=3, batch_size=3,
+            run_timeout_s=0.5, telemetry=recorder,
+        )
+        stats = dict(recorder.calls)["batch_end"]
+        assert stats["batch_runs"] == 3
+        assert stats["executed"] == 3
+        assert stats["resumed"] == 0
+        assert stats["wall_s"] >= 0
+        assert stats["runs_per_s"] > 0
+        assert stats["total_runs"] == 3
+
+    def test_campaign_end_counters(self):
+        recorder = Recorder()
+        hostile_campaign().run(
+            scripted(4, {1: hostile.LIVELOCK}), runs=4,
+            run_timeout_s=0.5, telemetry=recorder,
+        )
+        _, info = recorder.calls[-1]
+        assert info["runs"] == 4
+        assert info["completed"] == 3
+        assert info["timed_out"] == 1
+        assert info["resumed"] == 0
+
+    def test_resume_events_replace_run_events(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        hostile_campaign().run(
+            scripted(3), runs=3, run_timeout_s=0.5,
+            checkpoint=str(path),
+        )
+        recorder = Recorder()
+        hostile_campaign().run(
+            scripted(3), runs=3, run_timeout_s=0.5,
+            checkpoint=str(path), telemetry=recorder,
+        )
+        kinds = recorder.kinds()
+        assert kinds.count("resume") == 3
+        assert kinds.count("run_start") == 0
+        assert kinds.count("run_end") == 0
+
+    def test_base_class_is_inert(self):
+        # The no-op base must be usable as-is.
+        result = hostile_campaign().run(
+            scripted(2), runs=2, run_timeout_s=0.5,
+            telemetry=CampaignTelemetry(),
+        )
+        assert result.runs == 2
+
+
+class TestJsonlTelemetry:
+    def test_emits_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        clock = itertools.count(1000.0, 0.5)
+        with JsonlTelemetry(str(path), clock=lambda: next(clock)) as sink:
+            hostile_campaign().run(
+                scripted(3), runs=3, batch_size=3,
+                run_timeout_s=0.5, telemetry=sink,
+            )
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        kinds = [l["event"] for l in lines]
+        assert kinds[0] == "campaign_start"
+        assert kinds[-1] == "campaign_end"
+        assert kinds.count("run_end") == 3
+        # Injected clock stamps every record monotonically.
+        stamps = [l["t"] for l in lines]
+        assert stamps == sorted(stamps)
+        assert stamps[0] == 1000.0
+
+    def test_counters_track_failures(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        sink = JsonlTelemetry(str(path))
+        try:
+            hostile_campaign().run(
+                scripted(4, {1: hostile.LIVELOCK, 2: hostile.RAISE}),
+                runs=4, run_timeout_s=0.5, telemetry=sink,
+            )
+        finally:
+            sink.close()
+        assert sink.counters["runs"] == 4
+        assert sink.counters["timeouts"] == 1
+        assert sink.counters["terminal_failures"] == 1
+        assert sink.counters["batches"] >= 1
+        final = json.loads(path.read_text().splitlines()[-1])
+        assert final["event"] == "campaign_end"
+        assert final["counters"]["timeouts"] == 1
+
+    def test_partial_digest_flag_on_run_end(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        with JsonlTelemetry(str(path)) as sink:
+            hostile_campaign().run(
+                scripted(3, {1: hostile.LIVELOCK}), runs=3,
+                run_timeout_s=0.5, telemetry=sink, trace=True,
+            )
+        run_ends = [
+            json.loads(l)
+            for l in path.read_text().splitlines()
+            if json.loads(l)["event"] == "run_end"
+        ]
+        by_index = {r["index"]: r for r in run_ends}
+        assert by_index[1]["partial_digest"] is True
+        assert by_index[0]["partial_digest"] is False
+
+    def test_append_mode_preserves_prior_stream(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        path.write_text('{"event":"sentinel"}\n')
+        with JsonlTelemetry(str(path)) as sink:
+            hostile_campaign().run(
+                scripted(1), runs=1, run_timeout_s=0.5, telemetry=sink,
+            )
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["event"] == "sentinel"

@@ -1,0 +1,133 @@
+"""Property-based invariants of the observability layer.
+
+The load-bearing claim behind ``TraceConfig.ring_capacity`` is that
+tracing a run costs O(watched signals), never O(simulated activity):
+no matter how chatty a signal is, the ring retains at most ``capacity``
+changes and accounts for every drop.  Hypothesis drives the storm.
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel import Module, Simulator, Tracer
+from repro.observe import TraceDigest, TraceEvent, sort_events
+from repro.observe.events import (
+    CLASSIFICATION,
+    DETECTION,
+    DEVIATION,
+    INJECTION,
+)
+
+KINDS = [INJECTION, DEVIATION, DETECTION, CLASSIFICATION]
+
+events = st.builds(
+    TraceEvent,
+    st.integers(min_value=0, max_value=10_000),
+    st.sampled_from(KINDS),
+    st.text(
+        alphabet="abcdef.glr_0123456789", min_size=1, max_size=12
+    ),
+    st.text(alphabet="abcdef:->_0123456789", max_size=12),
+)
+
+
+class TestBoundedRingBuffer:
+    @given(
+        capacity=st.integers(min_value=1, max_value=16),
+        writes=st.lists(
+            st.integers(min_value=0, max_value=1_000),
+            min_size=0,
+            max_size=200,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ring_never_exceeds_capacity_and_accounts_drops(
+        self, capacity, writes
+    ):
+        sim = Simulator()
+        top = Module("top", sim=sim)
+        sig = top.signal("noisy", -1)
+        tracer = Tracer(capacity=capacity)
+        tracer.watch(sig)
+
+        def storm():
+            for value in writes:
+                yield 1
+                sig.write(value)
+
+        top.process(storm())
+        sim.run(until=len(writes) + 2)
+
+        history = tracer.history("top.noisy")
+        assert len(history) <= capacity
+        # Every change is either retained or counted as dropped; the
+        # baseline snapshot at watch() time is a change too.
+        distinct_changes = 1 + sum(
+            1
+            for previous, value in zip([-1] + writes, writes)
+            if value != previous
+        )
+        assert len(history) + tracer.dropped("top.noisy") == distinct_changes
+        # The ring keeps the *newest* suffix of the change stream.
+        if history and tracer.dropped("top.noisy"):
+            assert history[-1].time == max(c.time for c in history)
+
+    @given(
+        capacity=st.integers(min_value=1, max_value=8),
+        signals=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_memory_bound_is_per_signal(self, capacity, signals):
+        sim = Simulator()
+        top = Module("top", sim=sim)
+        tracer = Tracer(capacity=capacity)
+        sigs = [top.signal(f"s{i}", 0) for i in range(signals)]
+        for sig in sigs:
+            tracer.watch(sig)
+
+        def storm(sig):
+            for value in range(1, 40):
+                yield 1
+                sig.write(value)
+
+        for sig in sigs:
+            top.process(storm(sig))
+        sim.run(until=100)
+        total = sum(len(tracer.history(s.name)) for s in sigs)
+        assert total <= capacity * signals
+
+
+class TestDigestProperties:
+    @given(st.lists(events, max_size=40))
+    @settings(max_examples=80, deadline=None)
+    def test_sort_events_is_idempotent_and_total(self, batch):
+        once = sort_events(batch)
+        assert sort_events(once) == once
+        assert sorted(e.sort_key() for e in batch) == [
+            e.sort_key() for e in once
+        ]
+
+    @given(
+        st.lists(events, max_size=30),
+        st.integers(min_value=0, max_value=1_000_000),
+        st.booleans(),
+        st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_digest_round_trips_and_canonical_is_stable(
+        self, batch, seed, partial, dropped
+    ):
+        digest = TraceDigest(
+            index=0,
+            seed=seed,
+            events=tuple(sort_events(batch)),
+            outcome="SDC" if not partial else None,
+            partial=partial,
+            dropped_events=dropped,
+        )
+        restored = TraceDigest.from_jsonable(
+            json.loads(json.dumps(digest.to_jsonable()))
+        )
+        assert restored == digest
+        assert restored.canonical() == digest.canonical()
