@@ -9,8 +9,10 @@ for the mapping to the paper.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import random
+import time
 import typing as _t
 
 from repro.core import (
@@ -96,6 +98,44 @@ def airbag_space(
 #: Where the campaign-throughput trajectory lands, next to the suite.
 CAMPAIGN_BENCH_PATH = pathlib.Path(__file__).parent / "BENCH_campaign.json"
 
+CPUS = os.cpu_count() or 1
+
+#: Whether the parallel backend is worth measuring on this host.  The
+#: emitter *always* attempts it when this holds — including when
+#: ``REPRO_FORCE_POOL=1`` pins the pool on a single-CPU host — and
+#: records an explicit ``skipped`` entry otherwise, so a missing
+#: parallel measurement is visible in the JSON instead of silent.
+POOL_OK = CPUS >= 2 or os.environ.get("REPRO_FORCE_POOL") == "1"
+
+
+def timed_campaign(
+    backend: str,
+    runs: int,
+    workers: _t.Optional[int] = None,
+    batch_size: int = 16,
+    reuse_platform: bool = True,
+    chunk_size: _t.Optional[int] = None,
+    seed: int = 7,
+):
+    """One seeded CAPS campaign on *backend*; returns (result, wall).
+
+    The golden run is primed outside the timed region on every variant
+    so the comparison measures the loop, not setup.
+    """
+    from repro.core import RandomStrategy
+
+    campaign = airbag_campaign(seed=seed)
+    campaign.golden()
+    strategy = RandomStrategy(airbag_space(), faults_per_scenario=2)
+    start = time.perf_counter()
+    result = campaign.run(
+        strategy, runs=runs, backend=backend, workers=workers,
+        batch_size=batch_size,
+        reuse_platform=reuse_platform,
+        chunk_size=chunk_size,
+    )
+    return result, time.perf_counter() - start
+
 
 def campaign_bench_entry(label: str, result, wall_s: float, workers: int):
     """One backend measurement for ``BENCH_campaign.json``.
@@ -142,13 +182,43 @@ def campaign_bench_entry(label: str, result, wall_s: float, workers: int):
     }
 
 
+def skipped_entry(label: str, reason: str) -> dict:
+    """A placeholder entry for a backend this host could not measure.
+
+    An explicit ``{"backend": ..., "skipped": reason}`` row keeps the
+    trajectory honest: downstream readers can tell "not measured here"
+    apart from "someone dropped the measurement"."""
+    return {"backend": label, "skipped": reason}
+
+
 def emit_campaign_bench(entries: _t.Sequence[dict]) -> pathlib.Path:
     """Write ``BENCH_campaign.json`` so the runs/sec trajectory (and
-    the serial-vs-parallel speedup) is tracked across PRs."""
-    serial = {e["backend"]: e for e in entries}.get("serial")
+    the per-backend speedup over serial) is tracked across PRs.
+
+    Every measured non-serial entry gains ``speedup_vs_serial``
+    relative to the ``"serial"`` entry of the same emission."""
+    entries = [dict(e) for e in entries]
+    serial = next(
+        (
+            e for e in entries
+            if e["backend"] == "serial" and not e.get("skipped")
+        ),
+        None,
+    )
+    if serial and serial.get("runs_per_s"):
+        for entry in entries:
+            if entry is serial or entry.get("skipped"):
+                continue
+            if entry.get("runs_per_s"):
+                entry["speedup_vs_serial"] = round(
+                    entry["runs_per_s"] / serial["runs_per_s"], 2
+                )
     payload: _t.Dict[str, _t.Any] = {"campaign": "fig3-caps-airbag",
-                                     "entries": list(entries)}
-    parallel = [e for e in entries if e["backend"] == "parallel"]
+                                     "entries": entries}
+    parallel = [
+        e for e in entries
+        if e["backend"].startswith("parallel") and not e.get("skipped")
+    ]
     if serial and parallel and serial["runs_per_s"]:
         best = max(e["runs_per_s"] or 0 for e in parallel)
         payload["parallel_speedup"] = round(best / serial["runs_per_s"], 2)

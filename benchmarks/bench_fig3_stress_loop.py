@@ -8,21 +8,14 @@ and coverage is updated.  Benchmarked quantities:
 * one full loop iteration (scenario -> simulate -> classify), the
   quantity that bounds campaign throughput;
 * a 20-run campaign including coverage update and strategy feedback;
-* the serial-vs-parallel backend comparison: the same seeded campaign
-  through the planner/executor split, fanned over a process pool —
-  the lever the paper names when it calls simulation speed the limit
-  of quantitative evaluation.
+* the always-armed deadline checker's overhead.
 
 ``extra_info`` records the outcome distribution — the quantitative
-evaluation the paper says repeated stress tests enable — and the
-backend comparison lands in ``BENCH_campaign.json`` so the speedup
-trajectory is tracked across PRs.
+evaluation the paper says repeated stress tests enable.  The backend
+comparison (serial warm/fresh, parallel chunked) lives in
+``bench_campaign.py``, which emits ``BENCH_campaign.json`` so the
+speedup trajectory is tracked across PRs.
 """
-
-import os
-import time
-
-import pytest
 
 from repro.core import (
     FaultSpaceCoverage,
@@ -33,14 +26,7 @@ from repro.core import (
 from _workloads import (
     airbag_campaign,
     airbag_space,
-    campaign_bench_entry,
-    emit_campaign_bench,
 )
-
-CPUS = os.cpu_count() or 1
-SPEEDUP_RUNS = 160
-SPEEDUP_WORKERS = 4
-SPEEDUP_BATCH = 16
 
 
 def test_fig3_single_loop_iteration(benchmark):
@@ -103,68 +89,4 @@ def test_fig3_deadline_check_overhead(benchmark):
     assert result.timed_out == 0 and result.terminally_failed == 0
     benchmark.extra_info["robustness"] = result.report().get(
         "robustness", {"completed": result.runs}
-    )
-
-
-def timed_campaign(backend, runs, workers=None):
-    """One seeded CAPS campaign on *backend*; returns (result, wall)."""
-    campaign = airbag_campaign()
-    campaign.golden()  # prime outside the timed region on both sides
-    strategy = RandomStrategy(airbag_space(), faults_per_scenario=2)
-    start = time.perf_counter()
-    result = campaign.run(
-        strategy, runs=runs, backend=backend, workers=workers,
-        batch_size=SPEEDUP_BATCH,
-    )
-    return result, time.perf_counter() - start
-
-
-def test_fig3_backend_throughput_json():
-    """Emit BENCH_campaign.json on every bench run (serial always;
-    parallel when the host has more than one CPU)."""
-    serial, serial_wall = timed_campaign("serial", runs=40)
-    entries = [campaign_bench_entry("serial", serial, serial_wall, 1)]
-    # Clean campaigns must account every run as completed — a silent
-    # timeout would inflate runs/sec while degrading the result.
-    assert entries[0]["robustness"]["completed"] == serial.runs
-    if CPUS >= 2:
-        workers = min(SPEEDUP_WORKERS, CPUS)
-        parallel, parallel_wall = timed_campaign(
-            "parallel", runs=40, workers=workers
-        )
-        entries.append(
-            campaign_bench_entry("parallel", parallel, parallel_wall, workers)
-        )
-        assert (
-            parallel.outcome_histogram() == serial.outcome_histogram()
-        )
-    path = emit_campaign_bench(entries)
-    assert path.exists()
-
-
-@pytest.mark.skipif(
-    CPUS < SPEEDUP_WORKERS,
-    reason=f"speedup acceptance needs >= {SPEEDUP_WORKERS} CPUs",
-)
-def test_fig3_parallel_speedup_acceptance():
-    """>= 2x runs/sec on 4 workers at >= 120 runs, identical results."""
-    serial, serial_wall = timed_campaign("serial", runs=SPEEDUP_RUNS)
-    parallel, parallel_wall = timed_campaign(
-        "parallel", runs=SPEEDUP_RUNS, workers=SPEEDUP_WORKERS
-    )
-    assert parallel.outcome_histogram() == serial.outcome_histogram()
-    assert [r.matched_rules for r in parallel.records] == [
-        r.matched_rules for r in serial.records
-    ]
-    serial_rate = SPEEDUP_RUNS / serial_wall
-    parallel_rate = SPEEDUP_RUNS / parallel_wall
-    emit_campaign_bench([
-        campaign_bench_entry("serial", serial, serial_wall, 1),
-        campaign_bench_entry(
-            "parallel", parallel, parallel_wall, SPEEDUP_WORKERS
-        ),
-    ])
-    assert parallel_rate >= 2.0 * serial_rate, (
-        f"parallel {parallel_rate:.1f} runs/s vs serial "
-        f"{serial_rate:.1f} runs/s"
     )

@@ -1,0 +1,96 @@
+"""CI perf smoke: guard serial campaign throughput against regression.
+
+Runs the Fig. 3 CAPS campaign serially at a reduced run count and
+compares the measured runs/sec against the ``"serial"`` entry of the
+*committed* ``BENCH_campaign.json``.  Exits non-zero when throughput
+regressed by more than the tolerance (default 30%), so a PR that
+quietly loses the warm-reuse / scheduler fast paths fails CI instead
+of shipping.
+
+Environment knobs:
+
+* ``REPRO_PERF_SMOKE_RUNS`` — campaign length (default 40; small
+  enough for CI, large enough to amortize interpreter warm-up);
+* ``REPRO_PERF_TOLERANCE`` — allowed fractional regression (default
+  ``0.30``).  CI runners are noisy; the tolerance is a tripwire for
+  real regressions (the hot path got O(n) slower), not a +-5% gate.
+
+Usage::
+
+    cd benchmarks && PYTHONPATH=../src python perf_smoke.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+from _workloads import CAMPAIGN_BENCH_PATH, timed_campaign
+
+
+def committed_baseline_text() -> str:
+    """The committed JSON, not the working-tree file.
+
+    A bench run earlier in the same CI job may already have rewritten
+    ``BENCH_campaign.json`` with this runner's own numbers — comparing
+    against those would make the smoke test compare a measurement with
+    itself.  ``git show HEAD:`` pins the committed baseline; the
+    working-tree file is only a fallback outside a git checkout.
+    """
+    try:
+        return subprocess.run(
+            ["git", "show", f"HEAD:benchmarks/{CAMPAIGN_BENCH_PATH.name}"],
+            cwd=CAMPAIGN_BENCH_PATH.parent,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return CAMPAIGN_BENCH_PATH.read_text()
+
+
+def committed_serial_rate() -> float:
+    payload = json.loads(committed_baseline_text())
+    for entry in payload["entries"]:
+        if entry.get("backend") == "serial" and not entry.get("skipped"):
+            rate = entry.get("runs_per_s")
+            if rate:
+                return float(rate)
+    raise SystemExit(
+        f"no measured serial entry in {CAMPAIGN_BENCH_PATH}; "
+        f"regenerate it with bench_campaign.py"
+    )
+
+
+def main() -> int:
+    runs = int(os.environ.get("REPRO_PERF_SMOKE_RUNS", "40"))
+    tolerance = float(os.environ.get("REPRO_PERF_TOLERANCE", "0.30"))
+    baseline = committed_serial_rate()
+
+    # One untimed warm-up campaign absorbs import costs, ECC table
+    # construction, and platform elaboration, then the measured
+    # campaign sees the same steady state the committed number did.
+    timed_campaign("serial", runs=min(runs, 10))
+    result, wall = timed_campaign("serial", runs=runs)
+    measured = result.runs / wall
+
+    floor = baseline * (1.0 - tolerance)
+    verdict = "ok" if measured >= floor else "REGRESSION"
+    print(
+        f"perf-smoke: serial {measured:.1f} runs/s over {result.runs} runs "
+        f"(committed baseline {baseline:.1f}, floor {floor:.1f} at "
+        f"-{tolerance:.0%}): {verdict}"
+    )
+    if measured < floor:
+        print(
+            "serial campaign throughput regressed beyond tolerance; "
+            "if intentional, regenerate BENCH_campaign.json via "
+            "bench_campaign.py and commit it with the change",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

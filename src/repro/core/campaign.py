@@ -275,10 +275,16 @@ class Campaign:
     ):
         if duration <= 0:
             raise ValueError("campaign run duration must be positive")
+        reset: _t.Optional[_t.Callable] = None
         if platform is not None:
             from ..platforms import registry
 
             bundle = registry.get_platform(platform)
+            if platform_factory is None:
+                # The warm-reuse reset hook belongs to the bundle's own
+                # factory; a caller-supplied factory may build something
+                # the hook does not know how to restore.
+                reset = bundle.reset
             platform_factory = platform_factory or bundle.factory
             observe = observe or bundle.observe
             classifier = classifier or bundle.classifier_factory()
@@ -290,6 +296,7 @@ class Campaign:
         self.platform_factory = platform_factory
         self.observe = observe
         self.classifier = classifier
+        self.reset = reset
         self.duration = duration
         self.seed = seed
         self.platform = platform
@@ -379,6 +386,7 @@ class Campaign:
         start_index: int,
         deadline_s: _t.Optional[float] = None,
         trace: _t.Optional[TraceConfig] = None,
+        reuse_platform: bool = True,
     ) -> _t.List[RunSpec]:
         """Freeze the next *count* runs into self-contained specs.
 
@@ -402,6 +410,7 @@ class Campaign:
                 golden=golden,
                 deadline_s=deadline_s,
                 trace=trace,
+                reuse_platform=reuse_platform,
             )
             for offset, scenario in enumerate(scenarios)
         ]
@@ -424,6 +433,8 @@ class Campaign:
         checkpoint: _t.Union[None, str, _t.Any] = None,
         trace: _t.Union[None, bool, str, TraceConfig] = None,
         telemetry: _t.Optional[CampaignTelemetry] = None,
+        reuse_platform: bool = True,
+        chunk_size: _t.Optional[int] = None,
     ) -> CampaignResult:
         """Execute *runs* iterations of the closed loop.
 
@@ -473,6 +484,15 @@ class Campaign:
         :class:`~repro.observe.CampaignTelemetry` observer of
         *execution* progress (throughput, retries, resumes) — wall
         clock, host-specific, and outside every determinism contract.
+
+        ``reuse_platform`` (default True) lets each worker keep one
+        warm platform per registry key and restore it between runs via
+        the bundle's ``reset`` hook instead of rebuilding — outcomes
+        are bit-for-bit identical either way (equivalence-tested), so
+        the knob exists only for A/B measurement and debugging.
+        ``chunk_size`` overrides the parallel executor's per-future
+        batch size (``None`` auto-tunes; serial ignores it).  Neither
+        knob is part of the checkpoint identity.
         """
         trace_config = resolve_trace(trace)
         if trace_config is not None:
@@ -497,6 +517,8 @@ class Campaign:
             workers=workers,
             retry=RetryPolicy(max_retries, retry_backoff_s),
             hard_timeout_s=hard_timeout_s,
+            reset=self.reset,
+            chunk_size=chunk_size,
         )
         if batch_size is None:
             batch_size = 1 if executor.workers == 1 else 2 * executor.workers
@@ -545,6 +567,7 @@ class Campaign:
                     strategy, rng, min(batch_size, runs - index), index,
                     deadline_s=run_timeout_s,
                     trace=trace_config,
+                    reuse_platform=reuse_platform,
                 )
                 index += len(specs)
                 if journal is not None:

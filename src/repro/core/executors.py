@@ -61,6 +61,7 @@ import typing as _t
 from .runspec import (
     RunOutcome,
     RunSpec,
+    execute_chunk_tolerant,
     execute_runspec,
     execute_runspec_tolerant,
     failure_outcome,
@@ -139,7 +140,10 @@ class SerialExecutor(Executor):
     """In-process execution — the reference backend.
 
     Built either from explicit callables (any campaign, including ones
-    whose factories are closures) or from a registry key.
+    whose factories are closures) or from a registry key.  ``reset``
+    is the platform bundle's warm-reset hook; when present, runs that
+    permit ``reuse_platform`` execute on one warm platform instead of
+    re-elaborating per run.
     """
 
     def __init__(
@@ -147,15 +151,18 @@ class SerialExecutor(Executor):
         factory: "_t.Callable[[Simulator], Module]",
         observe: "_t.Callable[[Module], RunObservation]",
         classifier: "Classifier",
+        reset: _t.Optional[_t.Callable] = None,
     ):
         self.factory = factory
         self.observe = observe
         self.classifier = classifier
+        self.reset = reset
 
     def _run_one(self, spec: RunSpec) -> RunOutcome:
         try:
             return execute_runspec(
-                spec, self.factory, self.observe, self.classifier
+                spec, self.factory, self.observe, self.classifier,
+                reset=self.reset,
             )
         except Exception as exc:  # noqa: BLE001 - degraded to a record
             return failure_outcome(
@@ -182,6 +189,21 @@ class ParallelExecutor(Executor):
     ``hard_timeout_s`` overrides the pool-level backstop timeout
     derived from the specs' deadlines (``None`` + no deadlines =
     wait forever, the legacy behavior).
+
+    ``chunk_size`` controls dispatch granularity: each future carries
+    a contiguous slice of that many specs (one
+    ``execute_chunk_tolerant`` call) instead of a single run, cutting
+    the submit/pickle/collect round-trips per batch by the chunk
+    factor.  ``None`` auto-tunes to roughly four chunks per worker;
+    ``1`` restores per-run dispatch exactly.  Chunks are an
+    *optimistic* fast path: any chunk whose future fails — worker
+    death, pool-level hang, pickling trouble — falls back to per-run
+    dispatch for precisely its specs, where the PR-2 crash/hang
+    attribution (FIFO pigeonholing, innocent re-runs, retry budgets)
+    is re-derived at run granularity.  The failed chunk attempt is
+    free reconnaissance: fallback runs start at the same attempt
+    number per-run dispatch would have used, so outcome records and
+    checkpoint journals are byte-identical either way.
     """
 
     def __init__(
@@ -190,11 +212,14 @@ class ParallelExecutor(Executor):
         workers: _t.Optional[int] = None,
         retry: _t.Optional[RetryPolicy] = None,
         hard_timeout_s: _t.Optional[float] = None,
+        chunk_size: _t.Optional[int] = None,
     ):
         if workers is not None and workers < 1:
             raise ValueError("need at least one worker")
         if hard_timeout_s is not None and hard_timeout_s <= 0:
             raise ValueError("hard timeout must be positive")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk size must be positive")
         if platform is not None:
             # Fail fast in the parent on unknown keys instead of
             # surfacing the KeyError from inside a worker.
@@ -205,9 +230,11 @@ class ParallelExecutor(Executor):
         self.workers = workers or default_worker_count()
         self.retry = retry or RetryPolicy()
         self.hard_timeout_s = hard_timeout_s
+        self.chunk_size = chunk_size
         self._pool = None
         #: Lifetime counters surfaced through CampaignResult.report().
         self.pool_rebuilds = 0
+        self.chunk_fallbacks = 0
 
     def _ensure_pool(self):
         if self._pool is None:
@@ -243,10 +270,89 @@ class ParallelExecutor(Executor):
         except Exception:  # noqa: BLE001 - broken pools may refuse
             pass
 
-    def run_batch(self, specs: _t.Sequence[RunSpec]) -> _t.List[RunOutcome]:
-        from concurrent.futures import TimeoutError as FutureTimeout
+    def _effective_chunk_size(self, batch_size: int) -> int:
+        """Chunk granularity for a batch of *batch_size* specs.
+
+        Auto mode targets ~4 chunks per worker: small enough that one
+        slow chunk cannot idle the pool for long, large enough that
+        dispatch overhead amortizes.
+        """
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(1, -(-batch_size // (self.workers * 4)))
+
+    def _chunk_timeout(
+        self, chunk: _t.Sequence[RunSpec]
+    ) -> _t.Optional[float]:
+        """Pool-level backstop for one chunk future (None = wait)."""
+        if self.hard_timeout_s is not None:
+            return self.hard_timeout_s * len(chunk)
+        deadlines = [s.deadline_s for s in chunk if s.deadline_s is not None]
+        if len(deadlines) < len(chunk):
+            # Any deadline-less run may legitimately take arbitrarily
+            # long; a finite chunk backstop would misfire.
+            return None
+        return (
+            max(deadlines) * HARD_TIMEOUT_FACTOR * len(chunk)
+            + HARD_TIMEOUT_GRACE
+        )
+
+    def _run_chunked(
+        self,
+        specs: _t.Sequence[RunSpec],
+        chunk_size: int,
+        done: _t.Dict[int, RunOutcome],
+    ) -> _t.List[RunSpec]:
+        """Optimistic chunked dispatch; returns specs needing fallback.
+
+        Clean chunks deposit their per-run outcomes into *done*.  A
+        chunk whose future fails in any way contributes its specs to
+        the returned fallback list — uncharged, since none of its
+        outcomes are kept — and poisons the pool, which is killed here
+        so the per-run phase starts on a fresh one.
+        """
         from concurrent.futures.process import BrokenProcessPool
 
+        chunks = [
+            list(specs[start : start + chunk_size])
+            for start in range(0, len(specs), chunk_size)
+        ]
+        fallback: _t.List[RunSpec] = []
+        submitted: _t.List[_t.Tuple[_t.List[RunSpec], _t.Any]] = []
+        poisoned = False
+        pool = self._ensure_pool()
+        for chunk in chunks:
+            try:
+                submitted.append(
+                    (chunk, pool.submit(execute_chunk_tolerant, chunk))
+                )
+            except (BrokenProcessPool, RuntimeError):
+                poisoned = True
+                fallback.extend(chunk)
+        for chunk, future in submitted:
+            if poisoned and future.cancel():
+                # Queued behind a failed chunk and never started; skip
+                # straight to per-run dispatch without burning another
+                # backstop window.
+                fallback.extend(chunk)
+                continue
+            try:
+                outcomes = future.result(timeout=self._chunk_timeout(chunk))
+            except Exception:  # noqa: BLE001 - FutureTimeout,
+                # BrokenProcessPool, unpicklable results: any chunk
+                # failure routes its specs to per-run dispatch, which
+                # re-derives exact attribution.
+                poisoned = True
+                fallback.extend(chunk)
+            else:
+                for outcome in outcomes:
+                    done[outcome.index] = outcome
+        if poisoned:
+            self.chunk_fallbacks += 1
+            self._kill_pool()
+        return fallback
+
+    def run_batch(self, specs: _t.Sequence[RunSpec]) -> _t.List[RunOutcome]:
         for spec in specs:
             if spec.platform is None:
                 raise ValueError(
@@ -254,11 +360,28 @@ class ParallelExecutor(Executor):
                     f"key; parallel execution requires a campaign "
                     f"built with platform=<name>"
                 )
+        done: _t.Dict[int, RunOutcome] = {}
+        remaining: _t.Sequence[RunSpec] = specs
+        chunk_size = self._effective_chunk_size(len(specs))
+        if chunk_size > 1:
+            remaining = self._run_chunked(specs, chunk_size, done)
+        if remaining:
+            self._run_per_run(remaining, done)
+        return [done[spec.index] for spec in specs]
+
+    def _run_per_run(
+        self,
+        specs: _t.Sequence[RunSpec],
+        done: _t.Dict[int, RunOutcome],
+    ) -> None:
+        """One future per run, with the full retry/attribution logic."""
+        from concurrent.futures import TimeoutError as FutureTimeout
+        from concurrent.futures.process import BrokenProcessPool
+
         hard_timeout = self._hard_timeout(specs)
         by_index = {spec.index: spec for spec in specs}
         #: spec index -> attempt number currently in flight (1-based).
         pending: _t.Dict[int, int] = {spec.index: 1 for spec in specs}
-        done: _t.Dict[int, RunOutcome] = {}
         rebuilds = 0
         while pending:
             pool = self._ensure_pool()
@@ -378,7 +501,6 @@ class ParallelExecutor(Executor):
                     backoff = self.retry.backoff_for(rebuilds)
                     if backoff:
                         time.sleep(backoff)
-        return [done[spec.index] for spec in specs]
 
     def close(self) -> None:
         """Idempotent shutdown that survives a broken pool.
@@ -410,19 +532,22 @@ def make_executor(
     workers: _t.Optional[int] = None,
     retry: _t.Optional[RetryPolicy] = None,
     hard_timeout_s: _t.Optional[float] = None,
+    reset=None,
+    chunk_size: _t.Optional[int] = None,
 ) -> _t.Tuple[Executor, bool]:
     """Resolve a backend selector to an executor.
 
     Returns ``(executor, owned)``: campaigns close executors they
     created but leave caller-provided instances open for reuse (a
-    passed-in instance also keeps its own retry/timeout configuration).
+    passed-in instance also keeps its own retry/timeout/chunking
+    configuration).
     """
     if isinstance(backend, Executor):
         return backend, False
     if backend == "serial":
         if factory is None or observe is None or classifier is None:
             raise ValueError("serial backend needs factory/observe/classifier")
-        return SerialExecutor(factory, observe, classifier), True
+        return SerialExecutor(factory, observe, classifier, reset=reset), True
     if backend == "parallel":
         if platform is None:
             raise ValueError(
@@ -436,6 +561,7 @@ def make_executor(
                 workers=workers,
                 retry=retry,
                 hard_timeout_s=hard_timeout_s,
+                chunk_size=chunk_size,
             ),
             True,
         )

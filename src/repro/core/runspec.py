@@ -65,6 +65,12 @@ class RunSpec:
     :class:`~repro.observe.digest.TraceDigest` to the outcome.  The
     campaign resolves it once (including the golden signal reference)
     and embeds it here so every worker traces identically.
+
+    ``reuse_platform`` lets the executing side keep a warm platform
+    between runs when the platform bundle opts in with a ``reset``
+    hook; ``False`` forces a fresh build for every run.  Reuse never
+    changes simulation content (that equivalence is test-pinned), so
+    the flag is not part of the checkpoint identity.
     """
 
     index: int
@@ -76,6 +82,7 @@ class RunSpec:
     deadline_s: _t.Optional[float] = None
     attempt: int = 0
     trace: _t.Optional[TraceConfig] = None
+    reuse_platform: bool = True
 
     def __post_init__(self):
         if self.duration <= 0:
@@ -232,6 +239,46 @@ def _resolve_trace_signals(
     return {}
 
 
+#: Per-process warm-platform cache: platform key -> (kernel, root).
+#: Workers keep one elaborated platform per key and return it to its
+#: power-on state with ``Simulator.reset()`` + the bundle ``reset``
+#: hook instead of re-running elaboration for every spec.
+_WARM_PLATFORMS: _t.Dict[str, _t.Tuple[Simulator, "Module"]] = {}
+
+
+def clear_warm_platforms() -> None:
+    """Drop every cached warm platform (tests, defensive teardown)."""
+    _WARM_PLATFORMS.clear()
+
+
+def _acquire_platform(
+    spec: RunSpec,
+    factory: "_t.Callable[[Simulator], Module]",
+    reset: _t.Optional[_t.Callable],
+) -> _t.Tuple[Simulator, "Module", bool]:
+    """``(sim, root, warm)`` to run *spec* on.
+
+    The warm path engages only when the spec allows reuse **and** the
+    caller supplied the bundle's ``reset`` hook: a cached platform is
+    restored to power-on state (kernel first, then module state), a
+    cache miss elaborates once and caches.  Everything else builds
+    fresh and is discarded after the run.
+    """
+    if reset is not None and spec.reuse_platform and spec.platform:
+        cached = _WARM_PLATFORMS.get(spec.platform)
+        if cached is not None:
+            sim, root = cached
+            sim.reset()
+            reset(root)
+            return sim, root, True
+        sim = Simulator()
+        root = factory(sim)
+        _WARM_PLATFORMS[spec.platform] = (sim, root)
+        return sim, root, True
+    sim = Simulator()
+    return sim, factory(sim), False
+
+
 def execute_runspec(
     spec: RunSpec,
     factory: "_t.Callable[[Simulator], Module]",
@@ -239,12 +286,19 @@ def execute_runspec(
     classifier: Classifier,
     golden: _t.Optional[RunObservation] = None,
     trace_signals: _t.Optional[_t.Callable] = None,
+    reset: _t.Optional[_t.Callable] = None,
 ) -> RunOutcome:
-    """Execute one spec on a fresh platform and classify the result.
+    """Execute one spec and classify the result.
 
     The golden reference is taken from the spec when present,
     otherwise from the *golden* argument; planners always embed it so
     executors need no shared state.
+
+    *reset* is the platform bundle's warm-reset hook; passing it (for
+    a spec that permits ``reuse_platform``) lets this routine keep the
+    elaborated platform between calls, resetting instead of
+    rebuilding.  Without it every call builds a fresh kernel and
+    platform — semantically identical, just slower.
 
     When ``spec.trace`` is set a :class:`~repro.observe.runtrace.RunTrace`
     is armed alongside the stressor — before simulation starts, so the
@@ -260,8 +314,7 @@ def execute_runspec(
             f"in the spec nor passed to execute_runspec)"
         )
     wall_start = time.perf_counter()
-    sim = Simulator()
-    root = factory(sim)
+    sim, root, warm = _acquire_platform(spec, factory, reset)
     stressor = Stressor(
         "stressor", parent=root, platform_root=root,
         rng=random.Random(spec.run_seed),
@@ -322,12 +375,28 @@ def execute_runspec(
             attempts=spec.attempt + 1,
             digest=digest,
         )
+    except BaseException:
+        # Unwinding with the platform in an unknown mid-run state
+        # (raising process body, observation/classification bug): drop
+        # the warm entry so the next run re-elaborates from scratch
+        # rather than trusting the reset protocol to repair it.
+        # Deadline timeouts do NOT take this path — they return a
+        # record above, and the reset protocol provably restores a
+        # merely-interrupted platform (equivalence-test pinned).
+        if warm:
+            _WARM_PLATFORMS.pop(spec.platform, None)
+        raise
     finally:
         # Raising runs reach here with the recorder still armed; the
         # caller (serial executor / tolerant worker wrapper) degrades
         # the exception to a terminal record with a planned digest.
         if run_trace is not None:
             run_trace.disarm()
+        if warm:
+            # Per-run scaffolding must not accumulate on the reused
+            # platform tree; its processes are reaped by the next
+            # Simulator.reset().
+            stressor.detach()
 
 
 def execute_runspec_from_registry(spec: RunSpec) -> RunOutcome:
@@ -348,7 +417,8 @@ def execute_runspec_from_registry(spec: RunSpec) -> RunOutcome:
     bundle = registry.get_platform(spec.platform)
     classifier = registry.get_classifier(spec.platform)
     return execute_runspec(
-        spec, bundle.factory, bundle.observe, classifier
+        spec, bundle.factory, bundle.observe, classifier,
+        reset=bundle.reset,
     )
 
 
@@ -374,3 +444,25 @@ def execute_runspec_tolerant(spec: RunSpec) -> RunOutcome:
             attempts=spec.attempt + 1,
             label=f"error:{type(exc).__name__}",
         )
+
+
+def execute_chunk_tolerant(
+    specs: _t.Sequence[RunSpec],
+) -> _t.List[RunOutcome]:
+    """Worker-side entry point for one contiguous chunk of specs.
+
+    Runs each spec through the tolerant per-run path in order, so a
+    chunk's records are byte-identical to the same specs dispatched
+    one future each — per-run deadlines, degradation labels, and
+    digests all come from the same code.  One pickled future per
+    *chunk* instead of per *run* is where the dispatch saving comes
+    from (and within a chunk, warm-platform reuse never pays the
+    pool's pickling round-trip between consecutive runs).
+
+    Worker death mid-chunk surfaces pool-side as a failure of the
+    whole chunk's future; the executor then falls back to per-run
+    dispatch for exactly these specs (see
+    ``ParallelExecutor.run_batch``), which re-derives the crash /
+    hang attribution at run granularity.
+    """
+    return [execute_runspec_tolerant(spec) for spec in specs]

@@ -43,6 +43,14 @@ class Squib(Module):
         self.tsock = TargetSocket(self, "tsock", self)
         self.fired_event = self.event("fired")
 
+    def warm_reset(self) -> None:
+        """Un-latch the (model of the) pyro charge for platform reuse."""
+        self.armed = False
+        self.fired = False
+        self.fire_time = None
+        self.arm_time = None
+        self.spurious_commands = 0
+
     def b_transport(self, payload: GenericPayload, delay: int) -> int:
         if payload.address % 4 or len(payload.data) != 4:
             payload.set_error(Response.BURST_ERROR)

@@ -25,10 +25,8 @@ _DATA_POSITIONS = tuple(
 _OVERALL_POSITION = _TOTAL_BITS  # appended overall parity for DED
 
 
-def hamming_encode(byte: int) -> int:
-    """Encode one data byte into a 13-bit SEC-DED codeword."""
-    if not 0 <= byte <= 0xFF:
-        raise ValueError(f"data byte out of range: {byte}")
+def _hamming_encode_ref(byte: int) -> int:
+    """Bit-level reference encoder (the spec the table is built from)."""
     bits = [0] * (_TOTAL_BITS + 1)  # 1-indexed
     for i, pos in enumerate(_DATA_POSITIONS):
         bits[pos] = (byte >> i) & 1
@@ -54,15 +52,8 @@ class DecodeResult(_t.NamedTuple):
     uncorrectable: bool  # a double-bit error was detected
 
 
-def hamming_decode(word: int) -> DecodeResult:
-    """Decode a 13-bit codeword, correcting single-bit errors.
-
-    For an uncorrectable (double) error the returned data is the best
-    effort extraction and must not be trusted — exactly like a real
-    SEC-DED memory, which flags the access instead.
-    """
-    if not 0 <= word < (1 << _TOTAL_BITS):
-        raise ValueError(f"codeword out of range: {word:#x}")
+def _hamming_decode_ref(word: int) -> DecodeResult:
+    """Bit-level reference decoder (the spec the table is built from)."""
     bits = [0] * (_TOTAL_BITS + 1)
     for pos in range(1, _TOTAL_BITS + 1):
         bits[pos] = (word >> (pos - 1)) & 1
@@ -93,6 +84,64 @@ def hamming_decode(word: int) -> DecodeResult:
     for i, pos in enumerate(_DATA_POSITIONS):
         data |= bits[pos] << i
     return DecodeResult(data, corrected, uncorrectable)
+
+
+# ----------------------------------------------------------------------
+# Table-driven fast paths.
+#
+# The ECC memory decodes every byte of every parameter read — in the
+# airbag campaign that is four decodes per 1 ms control cycle, which made
+# the bit-loop decoder the single hottest function of the whole stress
+# loop (~35% of serial run time).  The code spaces are tiny (256 data
+# bytes, 8192 codewords), so both directions are precomputed from the
+# bit-level reference above; the exhaustive table-vs-reference
+# consistency check lives in tests/hw/test_ecc.py.  Tables build lazily
+# on first use to keep worker-process import time flat.
+# ----------------------------------------------------------------------
+
+_ENCODE_TABLE: _t.Optional[_t.List[int]] = None
+_DECODE_TABLE: _t.Optional[_t.List[DecodeResult]] = None
+
+
+def _encode_table() -> _t.List[int]:
+    global _ENCODE_TABLE
+    if _ENCODE_TABLE is None:
+        _ENCODE_TABLE = [_hamming_encode_ref(b) for b in range(256)]
+    return _ENCODE_TABLE
+
+
+def _decode_table() -> _t.List[DecodeResult]:
+    global _DECODE_TABLE
+    if _DECODE_TABLE is None:
+        _DECODE_TABLE = [
+            _hamming_decode_ref(w) for w in range(1 << _TOTAL_BITS)
+        ]
+    return _DECODE_TABLE
+
+
+def hamming_encode(byte: int) -> int:
+    """Encode one data byte into a 13-bit SEC-DED codeword."""
+    table = _ENCODE_TABLE
+    if table is None:
+        table = _encode_table()
+    if not 0 <= byte <= 0xFF:
+        raise ValueError(f"data byte out of range: {byte}")
+    return table[byte]
+
+
+def hamming_decode(word: int) -> DecodeResult:
+    """Decode a 13-bit codeword, correcting single-bit errors.
+
+    For an uncorrectable (double) error the returned data is the best
+    effort extraction and must not be trusted — exactly like a real
+    SEC-DED memory, which flags the access instead.
+    """
+    table = _DECODE_TABLE
+    if table is None:
+        table = _decode_table()
+    if not 0 <= word < (1 << _TOTAL_BITS):
+        raise ValueError(f"codeword out of range: {word:#x}")
+    return table[word]
 
 
 def parity_bit(value: int, width: int = 8) -> int:

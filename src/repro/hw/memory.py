@@ -81,6 +81,12 @@ class Memory(Module):
             raise ValueError("load outside memory bounds")
         self.data[address : address + len(data)] = data
 
+    def warm_reset(self) -> None:
+        """Zero the array and counters (warm-platform reuse)."""
+        self.data[:] = bytes(self.size)
+        self.reads = 0
+        self.writes = 0
+
     def _peek(self, address: int) -> int:
         return self.data[address]
 
@@ -182,6 +188,19 @@ class EccMemory(Module):
         for i, byte in enumerate(data):
             self.codewords[address + i] = ecc.hamming_encode(byte)
 
+    def warm_reset(self) -> None:
+        """Re-encode the power-on image and clear counters (warm reuse).
+
+        The platform-level reset hook replays any elaboration-time
+        ``load()`` on top of this, so injected flips from the previous
+        run cannot leak into the next one.
+        """
+        self.codewords = [ecc.hamming_encode(0)] * self.size
+        self.corrected_errors = 0
+        self.detected_errors = 0
+        self.reads = 0
+        self.writes = 0
+
     def _peek(self, address: int) -> int:
         return ecc.hamming_decode(self.codewords[address]).data
 
@@ -202,8 +221,10 @@ class EccMemory(Module):
         start = payload.address
         if payload.command.value == "read":
             self.reads += 1
+            decode = ecc.hamming_decode
+            codewords = self.codewords
             for i in range(length):
-                result = ecc.hamming_decode(self.codewords[start + i])
+                result = decode(codewords[start + i])
                 if result.uncorrectable:
                     self.detected_errors += 1
                     emit_detection(self, "ecc", "uncorrectable")

@@ -124,11 +124,22 @@ class AdcSensor(Module):
             "output", self.quantize(source(0))
         )
         self.samples_taken = 0
+        # Clean-path cache: (physical value -> code) for the last sample
+        # while no analog fault is armed (see _sample_loop).
+        self._cached_physical: _t.Optional[float] = None
+        self._cached_code = 0
         self.register_injection_point(
             "frontend",
             AnalogInjectionPoint(f"{self.full_name}.frontend", self.fault),
         )
-        self.process(self._sample_loop(), name="sampler")
+        self.process(self._sample_loop, name="sampler")
+
+    def warm_reset(self) -> None:
+        """Restore power-on state (warm-platform reuse)."""
+        self.fault.clear()
+        self.samples_taken = 0
+        self._cached_physical = None
+        self._cached_code = 0
 
     # -- conversion ---------------------------------------------------------
 
@@ -164,8 +175,20 @@ class AdcSensor(Module):
         while True:
             yield self.period
             physical = self.source(self.sim.now)
-            conditioned = self._condition(physical)
-            self.output.write(self.quantize(conditioned))
+            if self.fault.active:
+                code = self.quantize(self._condition(physical))
+                self._cached_physical = None
+            elif physical == self._cached_physical:
+                # Fault-free front-end is the identity (gain 1, offset
+                # 0), so an unchanged physical value quantizes to the
+                # cached code — skips float clamp/scale/round on every
+                # steady-state sample.
+                code = self._cached_code
+            else:
+                code = self.quantize(self._condition(physical))
+                self._cached_physical = physical
+                self._cached_code = code
+            self.output.write(code)
             self.samples_taken += 1
 
 

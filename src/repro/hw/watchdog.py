@@ -62,7 +62,16 @@ class Watchdog(Module):
         self.timeout_latched = False
         self.bite_event = self.event("bite")
         self.tsock = TargetSocket(self, "tsock", self)
-        self.process(self._guard(), name="guard")
+        self.process(self._guard, name="guard")
+
+    def warm_reset(self) -> None:
+        """Restore power-on state (warm-platform reuse)."""
+        self.enabled = False
+        self.last_kick = None
+        self.timeouts = 0
+        self.early_kicks = 0
+        self.bad_key_kicks = 0
+        self.timeout_latched = False
 
     # -- TLM interface -------------------------------------------------------
 

@@ -88,9 +88,25 @@ class Module:
     def wire(self, name: str, initial: bool = False) -> Wire:
         return Wire(self.sim, f"{self.full_name}.{name}", initial)
 
-    def process(self, generator: _t.Generator, name: str = "proc") -> Process:
-        """Spawn *generator* as a process owned by this module."""
-        return self.sim.spawn(generator, name=f"{self.full_name}.{name}")
+    def process(self, behavior, name: str = "proc") -> Process:
+        """Spawn *behavior* as a process owned by this module.
+
+        *behavior* is a generator or a zero-argument factory returning
+        one; pass the factory (``self._run``, not ``self._run()``) when
+        the module should survive a warm :meth:`Simulator.reset`.
+        """
+        return self.sim.spawn(behavior, name=f"{self.full_name}.{name}")
+
+    def detach(self) -> None:
+        """Unlink this module from its parent (warm-platform teardown).
+
+        Per-run helpers built *onto* a reusable platform (the campaign
+        stressor) must not accumulate in ``children`` across runs; after
+        the run they detach, leaving the parent exactly as elaborated.
+        """
+        if self.parent is not None:
+            self.parent.children.remove(self)
+            self.parent = None
 
     # -- injection points ---------------------------------------------------
 

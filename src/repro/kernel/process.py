@@ -41,11 +41,47 @@ class Process:
     Not instantiated directly by user code; use
     :meth:`Simulator.spawn <repro.kernel.scheduler.Simulator.spawn>` or
     :meth:`Module.process <repro.kernel.module.Module.process>`.
+
+    ``behavior`` may be a generator (the classic spawn style) or a
+    zero-argument *factory* returning a fresh generator.  Factory-spawned
+    processes are **restartable**: :meth:`restart` rebuilds the
+    generator from scratch, which is what lets
+    :meth:`Simulator.reset <repro.kernel.scheduler.Simulator.reset>`
+    return a warm platform to its power-on state without re-running
+    elaboration.
     """
 
-    def __init__(self, sim: "Simulator", generator: _t.Generator, name: str):
+    __slots__ = (
+        "sim",
+        "generator",
+        "factory",
+        "name",
+        "state",
+        "finished",
+        "_resume_value",
+        "_waiting_on",
+        "_allof_remaining",
+        "exception",
+    )
+
+    def __init__(self, sim: "Simulator", behavior, name: str):
         self.sim = sim
-        self.generator = generator
+        if hasattr(behavior, "send"):
+            self.generator = behavior
+            self.factory: _t.Optional[_t.Callable] = None
+        elif callable(behavior):
+            self.factory = behavior
+            self.generator = behavior()
+            if not hasattr(self.generator, "send"):
+                raise TypeError(
+                    f"process factory for {name!r} returned "
+                    f"{self.generator!r}, not a generator"
+                )
+        else:
+            raise TypeError(
+                f"process {name!r} needs a generator or a zero-arg "
+                f"factory, got {behavior!r}"
+            )
         self.name = name
         self.state = CREATED
         #: Fired (delta) when the process terminates; enables join.
@@ -156,6 +192,27 @@ class Process:
         self.generator.close()
         self.state = KILLED
         self.finished.notify(0)
+
+    def restart(self) -> None:
+        """Rebuild the generator from the spawn factory (warm reset).
+
+        Only valid for factory-spawned processes; the kernel calls this
+        from :meth:`Simulator.reset` with every queue about to be
+        cleared, so no notification is emitted here.
+        """
+        if self.factory is None:
+            raise TypeError(
+                f"process {self.name!r} was spawned from a bare "
+                f"generator and cannot restart"
+            )
+        self._clear_waits()
+        self.generator.close()
+        self.generator = self.factory()
+        self.state = CREATED
+        self._resume_value = None
+        self.exception = None
+        self.finished._waiters.clear()
+        self.finished._pending_kind = None
 
     @property
     def alive(self) -> bool:

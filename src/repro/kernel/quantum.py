@@ -11,6 +11,7 @@ timing accuracy — the trade measured by ``bench_temporal_decoupling``.
 
 from __future__ import annotations
 
+import contextlib
 import typing as _t
 
 if _t.TYPE_CHECKING:  # pragma: no cover
@@ -31,6 +32,27 @@ class GlobalQuantum:
     @classmethod
     def get(cls) -> int:
         return cls._value
+
+    @classmethod
+    @contextlib.contextmanager
+    def scoped(cls, quantum: int) -> _t.Iterator[int]:
+        """Temporarily set the global quantum, restoring it on exit.
+
+        ``set()`` mutates process-wide state; a test or experiment that
+        forgets to restore it silently re-times every loosely-timed model
+        built afterwards.  ``scoped`` makes the mutation leak-proof::
+
+            with GlobalQuantum.scoped(simtime.us(50)):
+                cpu = Vp16Cpu(...)   # picks up the scoped quantum
+                sim.run(...)
+            # previous quantum restored, even on exceptions
+        """
+        previous = cls._value
+        cls.set(quantum)
+        try:
+            yield cls._value
+        finally:
+            cls._value = previous
 
 
 class QuantumKeeper:

@@ -24,6 +24,12 @@ import time
 import typing as _t
 from collections import deque
 
+# Bound at module level: the scheduler calls these once per timed
+# notification, and attribute lookups on ``heapq`` are measurable at
+# campaign scale.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 from . import simtime
 from .events import Event
 from .process import FINISHED, KILLED, Process, ProcessError
@@ -83,11 +89,18 @@ class Simulator:
         self.delta_cycles_total: int = 0
         self._runnable: deque = deque()
         self._wheel: list = []  # heap of (time, seq, kind, payload)
+        #: Zero-delay timed notifications land here instead of the heap:
+        #: they are due at the *current* time, and by the time any wheel
+        #: entry for ``now`` could fire, :meth:`_advance_time` has already
+        #: drained the wheel at that timestamp — so FIFO order on this
+        #: deque is exactly the seq order the heap would have produced.
+        self._timed_now: deque = deque()
         self._seq = 0
         self._delta_events: list = []  # events with pending delta notification
         self._delta_resumes: list = []  # processes to resume next delta
         self._update_queue: list = []  # signals with pending writes
         self._processes: list = []
+        self._signals: list = []  # every SignalBase born on this kernel
         self._stop_requested = False
         self._errors: list = []
         self._deadline_at: _t.Optional[float] = None
@@ -98,9 +111,15 @@ class Simulator:
     # Process management
     # ------------------------------------------------------------------
 
-    def spawn(self, generator: _t.Generator, name: str = "proc") -> Process:
-        """Register *generator* as a process, runnable at the current time."""
-        process = Process(self, generator, name)
+    def spawn(self, behavior, name: str = "proc") -> Process:
+        """Register *behavior* as a process, runnable at the current time.
+
+        *behavior* is a generator, or a zero-argument factory returning
+        one.  Factory-spawned processes survive :meth:`reset` (they are
+        rebuilt and rescheduled); bare-generator processes cannot rewind
+        and are killed by it.
+        """
+        process = Process(self, behavior, name)
         self._processes.append(process)
         self._runnable.append(process)
         return process
@@ -135,8 +154,11 @@ class Simulator:
             self._delta_events.append(event)
 
     def _notify_timed(self, event: Event, delay: int) -> None:
+        if delay == 0:
+            self._timed_now.append(("event", event))
+            return
         self._seq += 1
-        heapq.heappush(
+        _heappush(
             self._wheel, (self.now + delay, self._seq, "event", event)
         )
 
@@ -144,8 +166,11 @@ class Simulator:
         self._delta_resumes.append(process)
 
     def _schedule_timed_resume(self, process: Process, delay: int) -> None:
+        if delay == 0:
+            self._timed_now.append(("process", process))
+            return
         self._seq += 1
-        heapq.heappush(
+        _heappush(
             self._wheel, (self.now + delay, self._seq, "process", process)
         )
 
@@ -153,6 +178,9 @@ class Simulator:
         if not signal._update_pending:
             signal._update_pending = True
             self._update_queue.append(signal)
+
+    def _register_signal(self, signal: "SignalBase") -> None:
+        self._signals.append(signal)
 
     def _report_process_error(self, error: ProcessError) -> None:
         self._errors.append(error)
@@ -204,6 +232,9 @@ class Simulator:
                     break
                 if self._runnable or self._delta_resumes or self._delta_events:
                     continue
+                if self._timed_now:
+                    self._fire_timed_now()
+                    continue
                 if not self._advance_time(horizon):
                     break
         finally:
@@ -243,25 +274,49 @@ class Simulator:
             if self._stop_requested:
                 return
         # Update phase.
-        updates, self._update_queue = self._update_queue, []
-        for signal in updates:
-            signal._perform_update()
+        if self._update_queue:
+            updates, self._update_queue = self._update_queue, []
+            for signal in updates:
+                signal._perform_update()
         # Delta notification phase.
-        events, self._delta_events = self._delta_events, []
-        resumes, self._delta_resumes = self._delta_resumes, []
-        for event in events:
-            event._pending_kind = None
-            self.events_processed += 1
-            for process in event._take_waiters():
-                if process._event_fired(event):
+        if self._delta_events:
+            events, self._delta_events = self._delta_events, []
+            for event in events:
+                event._pending_kind = None
+                self.events_processed += 1
+                for process in event._take_waiters():
+                    if process._event_fired(event):
+                        self._runnable.append(process)
+        if self._delta_resumes:
+            resumes, self._delta_resumes = self._delta_resumes, []
+            for process in resumes:
+                if process.state not in (FINISHED, KILLED):
                     self._runnable.append(process)
-        for process in resumes:
-            if process.state not in (FINISHED, KILLED):
-                self._runnable.append(process)
         self.delta_count += 1
         self.delta_cycles_total += 1
-        for hook in self.delta_hooks:
-            hook(self)
+        if self.delta_hooks:
+            for hook in self.delta_hooks:
+                hook(self)
+
+    def _fire_timed_now(self) -> None:
+        """Deliver zero-delay timed notifications without touching the heap.
+
+        Semantically identical to :meth:`_advance_time` landing on the
+        current timestamp: time does not move, the delta counter restarts,
+        and payloads wake in scheduling (FIFO == seq) order.
+        """
+        self.delta_count = 0
+        fired, self._timed_now = self._timed_now, deque()
+        for kind, payload in fired:
+            self.events_processed += 1
+            if kind == "event":
+                payload._pending_kind = None
+                for process in payload._take_waiters():
+                    if process._event_fired(payload):
+                        self._runnable.append(process)
+            else:  # kind == "process"
+                if payload.state not in (FINISHED, KILLED):
+                    self._runnable.append(payload)
 
     def _advance_time(self, horizon: int) -> bool:
         """Pop the next timestamp from the wheel.  False when exhausted."""
@@ -277,7 +332,7 @@ class Simulator:
         self.now = when
         self.delta_count = 0
         while self._wheel and self._wheel[0][0] == when:
-            _when, _seq, kind, payload = heapq.heappop(self._wheel)
+            _when, _seq, kind, payload = _heappop(self._wheel)
             self.events_processed += 1
             if kind == "event":
                 payload._pending_kind = None
@@ -288,6 +343,62 @@ class Simulator:
                 if payload.state not in (FINISHED, KILLED):
                     self._runnable.append(payload)
         return True
+
+    # ------------------------------------------------------------------
+    # Warm reset
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Return the kernel to its power-on state, keeping the platform.
+
+        The warm-reuse protocol (see ``DESIGN.md`` · Campaign
+        performance): factory-spawned processes are rebuilt from their
+        factories and rescheduled in original spawn order — exactly the
+        order elaboration produced on a fresh kernel — while
+        bare-generator processes (per-run stressor injections, injector
+        reverts) are killed and dropped.  Every queue, counter, and
+        registered signal returns to its initial value, so a subsequent
+        :meth:`run` is bit-for-bit indistinguishable from one on a
+        freshly elaborated kernel.
+
+        Module-level state (memory contents, component counters) is the
+        platform's job — see the registry bundle ``reset`` hook.
+        """
+        # Rebuild/kill processes first: restart() and kill() clean their
+        # wait bookkeeping and may touch notification queues, which are
+        # cleared wholesale right after.
+        survivors = []
+        for process in self._processes:
+            if process.factory is None:
+                process.kill()
+            else:
+                process.restart()
+                survivors.append(process)
+        self._processes = survivors
+        self._runnable.clear()
+        self._wheel.clear()
+        self._timed_now.clear()
+        for event in self._delta_events:
+            event._pending_kind = None
+        self._delta_events.clear()
+        self._delta_resumes.clear()
+        for signal in self._update_queue:
+            signal._update_pending = False
+        self._update_queue.clear()
+        for signal in self._signals:
+            signal._warm_reset()
+        self.now = 0
+        self.delta_count = 0
+        self.events_processed = 0
+        self.processes_stepped = 0
+        self.delta_cycles_total = 0
+        self._seq = 0
+        self._stop_requested = False
+        self._errors = []
+        self._deadline_at = None
+        self.delta_hooks.clear()
+        for process in self._processes:
+            self._runnable.append(process)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -317,6 +428,7 @@ class Simulator:
             or self._delta_resumes
             or self._delta_events
             or self._update_queue
+            or self._timed_now
             or self._wheel
         )
 

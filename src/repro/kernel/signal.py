@@ -8,6 +8,20 @@ semantics, waking sensitive processes in the next delta cycle.
 
 :class:`Wire` adds edge events for boolean signals, which clocked models
 (gate-level DFFs, the watchdog) rely on.
+
+Hot-path notes (these classes dominate campaign profiles):
+
+* all channel classes carry ``__slots__`` — a campaign commits millions
+  of signal updates and dict-based attribute access is measurable;
+* :meth:`SignalBase._announce` only notifies an edge/changed event when
+  it has waiters.  This is sound because announcements happen in the
+  update phase (or under ``force`` during evaluation, for the process's
+  *own* delta), after which no process can add itself as a waiter before
+  the delta-notification phase that would consume the firing — an event
+  without waiters at announce time wakes nobody, so skipping the queue
+  round-trip is unobservable;
+* observers (the tracer hook) are guarded by a truthiness check — the
+  no-tracer branch pays one ``if`` instead of an empty loop setup.
 """
 
 from __future__ import annotations
@@ -25,9 +39,23 @@ T = _t.TypeVar("T")
 class SignalBase:
     """Shared staging/update machinery for primitive channels."""
 
+    __slots__ = (
+        "sim",
+        "name",
+        "_initial",
+        "_current",
+        "_next",
+        "_update_pending",
+        "changed",
+        "observers",
+        "change_count",
+    )
+
     def __init__(self, sim: "Simulator", name: str, initial: _t.Any):
         self.sim = sim
         self.name = name
+        #: Elaboration-time value; :meth:`_warm_reset` restores it.
+        self._initial = initial
         self._current = initial
         self._next = initial
         self._update_pending = False
@@ -37,6 +65,7 @@ class SignalBase:
         self.observers: list = []
         #: Number of committed value changes (activity metric).
         self.change_count = 0
+        sim._register_signal(self)
 
     # -- reading/writing ------------------------------------------------
 
@@ -83,9 +112,26 @@ class SignalBase:
 
     def _announce(self, old, new) -> None:
         self.change_count += 1
-        self.changed.notify(0)
-        for observer in self.observers:
-            observer(self, old, new)
+        changed = self.changed
+        if changed._waiters or changed._pending_kind:
+            changed.notify(0)
+        if self.observers:
+            for observer in self.observers:
+                observer(self, old, new)
+
+    def _warm_reset(self) -> None:
+        """Silently restore the elaboration-time value (kernel reset).
+
+        No announcement: the kernel calls this with every queue cleared
+        and every process about to restart from scratch, exactly as on a
+        fresh build where the initial value is never "written".
+        Observers are *not* cleared — their lifecycle (tracer attach and
+        detach) is owned by whoever installed them.
+        """
+        self._current = self._initial
+        self._next = self._initial
+        self._update_pending = False
+        self.change_count = 0
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"{type(self).__name__}({self.name!r}={self._current!r})"
@@ -94,6 +140,8 @@ class SignalBase:
 class Signal(SignalBase, _t.Generic[T]):
     """A typed value-holding signal (``sc_signal<T>`` equivalent)."""
 
+    __slots__ = ()
+
 
 class Wire(SignalBase):
     """A boolean signal with dedicated edge events.
@@ -101,6 +149,8 @@ class Wire(SignalBase):
     ``posedge`` / ``negedge`` fire (delta) when the committed value
     transitions 0→1 / 1→0 respectively.
     """
+
+    __slots__ = ("posedge", "negedge")
 
     def __init__(self, sim: "Simulator", name: str, initial: bool = False):
         super().__init__(sim, name, bool(initial))
@@ -113,17 +163,25 @@ class Wire(SignalBase):
     def _announce(self, old, new) -> None:
         super()._announce(old, new)
         if new and not old:
-            self.posedge.notify(0)
+            edge = self.posedge
+            if edge._waiters or edge._pending_kind:
+                edge.notify(0)
         elif old and not new:
-            self.negedge.notify(0)
+            edge = self.negedge
+            if edge._waiters or edge._pending_kind:
+                edge.notify(0)
 
 
 class Clock(Wire):
     """A free-running clock wire.
 
     The clock toggles with the given *period* (a 50% duty cycle), driven
-    by an internal process spawned on construction.
+    by an internal process spawned on construction.  The driver is
+    factory-spawned, so a :meth:`Simulator.reset` restarts it from the
+    initial phase.
     """
+
+    __slots__ = ("period", "_proc")
 
     def __init__(
         self,
@@ -136,7 +194,7 @@ class Clock(Wire):
             raise ValueError("clock period must be at least 2 time units")
         super().__init__(sim, name, start_high)
         self.period = period
-        self._proc = sim.spawn(self._toggle(), name=f"{name}.driver")
+        self._proc = sim.spawn(self._toggle, name=f"{name}.driver")
 
     def _toggle(self):
         half = self.period // 2

@@ -38,6 +38,7 @@ register_platform(
     description="CAPS airbag, normal operation (safety goal G1: "
     "no spurious deployment)",
     trace_signals=airbag.trace_signals,
+    reset=airbag.warm_reset,
 )
 register_platform(
     "airbag-crash",
@@ -47,6 +48,7 @@ register_platform(
     description="CAPS airbag, crash pulse at 50 ms (goal G2: deploy "
     "in time)",
     trace_signals=airbag.trace_signals,
+    reset=airbag.warm_reset,
 )
 register_platform(
     "acc",

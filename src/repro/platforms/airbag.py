@@ -79,7 +79,15 @@ class AirbagEcu(Module):
         self.debounce_counter = 0
         self.deploy_commanded_at: _t.Optional[int] = None
         self.cycles = 0
-        self.process(self._control(), name="control")
+        self.process(self._control, name="control")
+
+    def warm_reset(self) -> None:
+        """Restore power-on state (warm-platform reuse)."""
+        self.detected_errors = 0
+        self.plausibility_rejects = 0
+        self.debounce_counter = 0
+        self.deploy_commanded_at = None
+        self.cycles = 0
 
     def _read_threshold(self) -> _t.Optional[int]:
         payload = GenericPayload.read(0, 4)
@@ -192,6 +200,32 @@ class AirbagPlatform(Module):
             debounce_samples=debounce_samples,
             dual_channel=dual_channel,
         )
+
+
+    def warm_reset(self) -> None:
+        """Restore elaboration-time module state (warm-platform reuse).
+
+        Called by the registry bundle's ``reset`` hook after
+        :meth:`Simulator.reset` has already restored kernel state
+        (signals, processes, queues).  Replays exactly what
+        ``__init__`` established: zeroed ECC image plus the deploy
+        threshold, disarmed squib and watchdog, cleared counters.
+        """
+        self.sensor_a.warm_reset()
+        self.sensor_b.warm_reset()
+        self.param_mem.warm_reset()
+        if not isinstance(self.param_mem, EccMemory):
+            self.param_mem.corrected_errors = 0
+            self.param_mem.detected_errors = 0
+        self.param_mem.load(0, DEPLOY_THRESHOLD_CODE.to_bytes(4, "little"))
+        self.squib.warm_reset()
+        self.watchdog.warm_reset()
+        self.ecu.warm_reset()
+
+
+def warm_reset(root: AirbagPlatform) -> None:
+    """Registry ``reset`` hook for the airbag bundles."""
+    root.warm_reset()
 
 
 def build_normal_operation(sim: Simulator) -> AirbagPlatform:

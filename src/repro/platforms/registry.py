@@ -21,6 +21,16 @@ nominates the kernel signals the observability layer
 the platform knows which of its signals carry safety-relevant state;
 the trace machinery should not have to guess.
 
+An optional fifth callable, ``reset(root)``, opts the platform into
+**warm reuse**: after :meth:`Simulator.reset
+<repro.kernel.scheduler.Simulator.reset>` has restored the kernel,
+``reset(root)`` must restore every piece of module-level state
+(memory images, component counters, latched actuators) to its
+elaboration-time value, so that running the next spec on the reused
+platform is bit-for-bit identical to running it on a fresh build.
+Bundles without a ``reset`` hook (``resettable == False``) are rebuilt
+from scratch for every run — correct by construction, just slower.
+
 Registration must happen at **module import time** so that worker
 processes — which re-import the registering module under ``spawn``
 start methods — see the same catalogue as the parent.  The built-in
@@ -46,6 +56,14 @@ class PlatformBundle(_t.NamedTuple):
     description: str = ""
     #: Optional ``root -> {name: signal}``; ``None`` = nothing watched.
     trace_signals: _t.Optional[_t.Callable] = None
+    #: Optional ``root -> None`` restoring module-level state after a
+    #: kernel reset; ``None`` = not warm-reusable.
+    reset: _t.Optional[_t.Callable] = None
+
+    @property
+    def resettable(self) -> bool:
+        """True when the platform opts into warm reuse."""
+        return self.reset is not None
 
 
 _REGISTRY: _t.Dict[str, PlatformBundle] = {}
@@ -62,6 +80,7 @@ def register_platform(
     classifier_factory,
     description: str = "",
     trace_signals=None,
+    reset=None,
     replace: bool = False,
 ) -> PlatformBundle:
     """Register a platform bundle under *name*.
@@ -77,7 +96,7 @@ def register_platform(
         )
     bundle = PlatformBundle(
         name, factory, observe, classifier_factory, description,
-        trace_signals,
+        trace_signals, reset,
     )
     _REGISTRY[name] = bundle
     _CLASSIFIERS.pop(name, None)

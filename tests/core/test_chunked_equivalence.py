@@ -1,0 +1,264 @@
+"""Chunked dispatch must be invisible in campaign results.
+
+The parallel executor may ship contiguous slices of a batch as one
+future each (``execute_chunk_tolerant``) instead of one future per
+run.  Contract: outcomes, digests, and checkpoint journals are
+byte-identical to per-run dispatch (``chunk_size=1``) and to the
+serial backend — including when hostile runs crash workers or livelock
+mid-chunk, where the failed chunk falls back to per-run dispatch and
+the PR-2 attribution semantics are re-derived at run granularity.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core import Campaign
+from repro.core.executors import (
+    HARD_TIMEOUT_FACTOR,
+    HARD_TIMEOUT_GRACE,
+    ParallelExecutor,
+)
+from repro.core.runspec import RunSpec, clear_warm_platforms
+from repro.core.scenario import ErrorScenario, PlannedInjection
+from repro.core.strategies import Strategy
+from repro.platforms import hostile
+
+MULTI_CPU = (
+    (os.cpu_count() or 1) >= 2
+    or os.environ.get("REPRO_FORCE_POOL") == "1"
+)
+
+needs_multicore = pytest.mark.skipif(
+    not MULTI_CPU, reason="needs >= 2 CPUs for a meaningful pool"
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warm_cache():
+    clear_warm_platforms()
+    yield
+    clear_warm_platforms()
+
+
+def _spec(index, deadline_s=None):
+    return RunSpec(
+        index=index,
+        scenario=ErrorScenario(name=f"s{index}", injections=[]),
+        run_seed=index,
+        duration=hostile.DURATION,
+        platform="hostile-dut",
+        golden={},
+        deadline_s=deadline_s,
+    )
+
+
+class TestChunkSizing:
+    def test_explicit_chunk_size_wins(self):
+        executor = ParallelExecutor("hostile-dut", workers=2, chunk_size=5)
+        assert executor._effective_chunk_size(100) == 5
+        executor.close()
+
+    def test_auto_targets_four_chunks_per_worker(self):
+        executor = ParallelExecutor("hostile-dut", workers=2)
+        assert executor._effective_chunk_size(80) == 10  # 80 / (2*4)
+        assert executor._effective_chunk_size(81) == 11  # ceiling
+        assert executor._effective_chunk_size(3) == 1    # floor of 1
+        executor.close()
+
+    def test_rejects_non_positive_chunk_size(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor("hostile-dut", chunk_size=0)
+
+    def test_chunk_timeout_scales_with_chunk_length(self):
+        executor = ParallelExecutor("hostile-dut", workers=2)
+        chunk = [_spec(i, deadline_s=0.5) for i in range(4)]
+        expected = 0.5 * HARD_TIMEOUT_FACTOR * 4 + HARD_TIMEOUT_GRACE
+        assert executor._chunk_timeout(chunk) == pytest.approx(expected)
+        executor.close()
+
+    def test_chunk_timeout_none_when_any_run_lacks_a_deadline(self):
+        """A deadline-less run may legitimately take arbitrarily long;
+        the chunk carrying it must wait, exactly like per-run mode."""
+        executor = ParallelExecutor("hostile-dut", workers=2)
+        chunk = [_spec(0, deadline_s=0.5), _spec(1)]
+        assert executor._chunk_timeout(chunk) is None
+        assert executor._chunk_timeout([_spec(2)]) is None
+        executor.close()
+
+    def test_hard_timeout_override_scales_too(self):
+        executor = ParallelExecutor(
+            "hostile-dut", workers=2, hard_timeout_s=2.0
+        )
+        assert executor._chunk_timeout([_spec(i) for i in range(3)]) == 6.0
+        executor.close()
+
+
+class ScriptedStrategy(Strategy):
+    def __init__(self, scenarios):
+        self.scenarios = list(scenarios)
+        self.cursor = 0
+        self.faults_per_scenario = 1
+        self.space = None
+
+    def next_scenario(self, rng):
+        scenario = self.scenarios[self.cursor % len(self.scenarios)]
+        self.cursor += 1
+        return scenario
+
+
+def hostile_scripted(runs, hostility):
+    scenarios = []
+    for index in range(runs):
+        injections = []
+        descriptor = hostility.get(index)
+        if descriptor is not None:
+            injections.append(
+                PlannedInjection(
+                    time=3 * hostile.TICK,
+                    target_path=hostile.TRAP_PATH,
+                    descriptor=descriptor,
+                )
+            )
+        scenarios.append(
+            ErrorScenario(name=f"scripted_{index}", injections=injections)
+        )
+    return ScriptedStrategy(scenarios)
+
+
+def canonical_records(result):
+    rows = []
+    for record in result.records:
+        stats = dict(record.kernel_stats or {})
+        stats.pop("wall_s", None)
+        if record.failure == "timeout":
+            # Partial counters of a deadline-cut run measure how far
+            # the wall clock let it get — wall-clock-dependent by
+            # definition, like wall_s itself.
+            stats = {}
+        rows.append((
+            record.index,
+            record.outcome,
+            tuple(record.matched_rules),
+            tuple(sorted(record.observation.items())),
+            record.injections_applied,
+            tuple(sorted(stats.items())),
+            record.attempts,
+            record.failure,
+            record.digest.canonical() if record.digest else None,
+        ))
+    return rows
+
+
+def canonical_journal(path):
+    rows = []
+    for line in path.read_text().splitlines():
+        payload = json.loads(line)
+        if isinstance(payload, dict):
+            stats = payload.get("kernel_stats")
+            if isinstance(stats, dict):
+                stats.pop("wall_s", None)
+            if payload.get("failure") == "timeout":
+                payload["kernel_stats"] = {}
+        rows.append(payload)
+    return rows
+
+
+def run_hostile(hostility, chunk_size=None, backend="parallel",
+                checkpoint=None, runs=6, max_retries=2):
+    campaign = Campaign(
+        duration=hostile.DURATION, seed=11, platform="hostile-dut"
+    )
+    return campaign.run(
+        hostile_scripted(runs, hostility),
+        runs=runs,
+        backend=backend,
+        workers=2 if backend == "parallel" else None,
+        batch_size=runs,
+        run_timeout_s=0.5,
+        max_retries=max_retries,
+        retry_backoff_s=0.0,
+        trace=True,
+        chunk_size=chunk_size,
+        checkpoint=checkpoint,
+    )
+
+
+@needs_multicore
+class TestChunkedEquivalence:
+    def test_clean_batch_chunked_vs_per_run_vs_serial(self):
+        serial = run_hostile({}, backend="serial")
+        per_run = run_hostile({}, chunk_size=1)
+        chunked = run_hostile({}, chunk_size=3)
+        assert canonical_records(chunked) == canonical_records(per_run)
+        assert canonical_records(chunked) == canonical_records(serial)
+
+    def test_livelock_handled_inside_the_chunk(self):
+        """Worker-side deadlines fire inside ``execute_chunk_tolerant``
+        exactly as per-run: a livelocked run degrades to its
+        ``timeout:deadline`` record without failing the chunk."""
+        hostility = {1: hostile.LIVELOCK}
+        per_run = run_hostile(hostility, chunk_size=1)
+        chunked = run_hostile(hostility, chunk_size=3)
+        assert canonical_records(chunked) == canonical_records(per_run)
+        assert chunked.records[1].failure == "timeout"
+        assert chunked.records[1].matched_rules == ["timeout:deadline"]
+
+    def test_worker_crash_falls_back_to_per_run_byte_identical(self):
+        """A chunk whose worker dies falls back to per-run dispatch for
+        its specs; simulation content must match pure per-run mode.
+        Attempt counts on *innocent* co-batched runs are execution
+        history and timing-dependent in both modes (whether a run had
+        finished before the pool broke), so they sit outside the
+        byte-equality contract — exactly as in the PR-2 digest tests —
+        while the guilty run's retry ladder is deterministic."""
+        hostility = {2: hostile.CRASH}
+        per_run = run_hostile(hostility, chunk_size=1)
+        chunked = run_hostile(hostility, chunk_size=3)
+
+        def sans_attempts(rows):
+            return [row[:6] + row[7:] for row in rows]
+
+        assert sans_attempts(canonical_records(chunked)) == sans_attempts(
+            canonical_records(per_run)
+        )
+        terminal = chunked.records[2]
+        assert terminal.failure == "crash"
+        assert terminal.attempts == 3  # 1 + max_retries, chunk uncharged
+
+    def test_chunk_fallback_counter_increments(self):
+        executor = ParallelExecutor(
+            "hostile-dut", workers=2, chunk_size=3,
+        )
+        try:
+            campaign = Campaign(
+                duration=hostile.DURATION, seed=11, platform="hostile-dut"
+            )
+            campaign.run(
+                hostile_scripted(6, {2: hostile.CRASH}),
+                runs=6,
+                backend=executor,
+                batch_size=6,
+                run_timeout_s=0.5,
+            )
+            assert executor.chunk_fallbacks >= 1
+            assert executor.pool_rebuilds >= 1
+        finally:
+            executor.close()
+
+    def test_journals_chunked_vs_per_run(self, tmp_path):
+        chunked_path = tmp_path / "chunked.jsonl"
+        per_run_path = tmp_path / "per_run.jsonl"
+        run_hostile(
+            {1: hostile.LIVELOCK}, chunk_size=3,
+            checkpoint=str(chunked_path),
+        )
+        run_hostile(
+            {1: hostile.LIVELOCK}, chunk_size=1,
+            checkpoint=str(per_run_path),
+        )
+        assert (
+            canonical_journal(chunked_path)
+            == canonical_journal(per_run_path)
+        )

@@ -15,7 +15,7 @@ from repro.hw.cpu import (
     encode,
     sign_extend,
 )
-from repro.kernel import Module, Simulator
+from repro.kernel import GlobalQuantum, Module, Simulator
 from repro.tlm import Router
 
 
@@ -341,19 +341,22 @@ class TestIss:
 
     def test_quantum_affects_sync_count_not_result(self):
         def run(quantum):
-            sim, _, cpu, _ = make_platform(
-                """
-                    ldi r1, 0
-                    ldi r2, 50
-                loop:
-                    add r1, r1, r2
-                    addi r2, r2, -1
-                    bne r2, r0, loop
-                    halt
-                """,
-                quantum=quantum,
-            )
-            sim.run()
+            # Via the scoped global quantum rather than the per-CPU
+            # kwarg: the CPU's quantum keeper defaults to the global
+            # value, and scoped() guarantees no leak into later tests.
+            with GlobalQuantum.scoped(quantum):
+                sim, _, cpu, _ = make_platform(
+                    """
+                        ldi r1, 0
+                        ldi r2, 50
+                    loop:
+                        add r1, r1, r2
+                        addi r2, r2, -1
+                        bne r2, r0, loop
+                        halt
+                    """,
+                )
+                sim.run()
             return cpu.regs[1], cpu.qk.sync_count
 
         result_small, syncs_small = run(10)

@@ -109,3 +109,29 @@ class TestCrc8:
         corrupted = bytearray(payload)
         corrupted[index] ^= 1 << bit
         assert ecc.crc8(payload) != ecc.crc8(corrupted)
+
+
+class TestHammingTables:
+    """The table-driven fast path vs. the bitwise reference.
+
+    ``hamming_encode``/``hamming_decode`` answer from precomputed
+    lookup tables (they sit on the campaign hot path — one decode per
+    ECC-protected read); the bitwise implementations survive as
+    ``_hamming_encode_ref``/``_hamming_decode_ref``.  The spaces are
+    small enough to check *exhaustively*, so no table entry can drift
+    from the reference semantics unnoticed.
+    """
+
+    def test_encode_table_matches_reference_exhaustively(self):
+        for byte in range(256):
+            assert ecc.hamming_encode(byte) == ecc._hamming_encode_ref(byte)
+
+    def test_decode_table_matches_reference_exhaustively(self):
+        for word in range(1 << ecc._TOTAL_BITS):
+            assert ecc.hamming_decode(word) == ecc._hamming_decode_ref(word)
+
+    def test_tables_are_built_once(self):
+        ecc.hamming_encode(0)
+        ecc.hamming_decode(0)
+        assert ecc._ENCODE_TABLE is ecc._encode_table()
+        assert ecc._DECODE_TABLE is ecc._decode_table()

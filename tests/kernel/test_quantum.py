@@ -23,6 +23,35 @@ class TestGlobalQuantum:
         with pytest.raises(ValueError):
             GlobalQuantum.set(0)
 
+    def test_scoped_sets_and_restores(self):
+        before = GlobalQuantum.get()
+        with GlobalQuantum.scoped(777) as active:
+            assert active == 777
+            assert GlobalQuantum.get() == 777
+        assert GlobalQuantum.get() == before
+
+    def test_scoped_restores_on_exception(self):
+        before = GlobalQuantum.get()
+        with pytest.raises(RuntimeError):
+            with GlobalQuantum.scoped(333):
+                raise RuntimeError("boom")
+        assert GlobalQuantum.get() == before
+
+    def test_scoped_nests(self):
+        before = GlobalQuantum.get()
+        with GlobalQuantum.scoped(100):
+            with GlobalQuantum.scoped(200):
+                assert GlobalQuantum.get() == 200
+            assert GlobalQuantum.get() == 100
+        assert GlobalQuantum.get() == before
+
+    def test_scoped_rejects_non_positive(self):
+        before = GlobalQuantum.get()
+        with pytest.raises(ValueError):
+            with GlobalQuantum.scoped(0):
+                pass  # pragma: no cover
+        assert GlobalQuantum.get() == before
+
 
 class TestQuantumKeeper:
     def test_local_time_runs_ahead(self, sim):

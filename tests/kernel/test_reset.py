@@ -1,0 +1,166 @@
+"""Unit tests for :meth:`Simulator.reset` — the warm-reuse kernel half.
+
+The reset protocol (DESIGN.md · Campaign performance) promises that a
+reset kernel is *bit-for-bit* indistinguishable from a freshly built
+one: factory processes rebuilt and rescheduled in spawn order, every
+queue and counter zeroed, every registered signal back at its initial
+value.  These tests pin that promise at the kernel level; the
+platform-level half lives in ``tests/core/test_warm_equivalence.py``.
+"""
+
+import pytest
+
+from repro.kernel import Clock, Signal, Simulator, Wire
+
+
+def build_counter(sim):
+    """A tiny deterministic platform: clock, wire, edge counter."""
+    clk = Clock(sim, "clk", period=10)
+    out = Signal(sim, "count", initial=0)
+
+    def counter():
+        while True:
+            yield clk.posedge
+            out.write(out.read() + 1)
+
+    sim.spawn(counter, name="counter")
+    return clk, out
+
+
+def run_to(sim, out, until):
+    sim.run(until=until)
+    return out.read(), sim.now, sim.stats()
+
+
+class TestResetEquivalence:
+    def test_reset_run_matches_fresh_run(self):
+        fresh = Simulator()
+        _, fresh_out = build_counter(fresh)
+        fresh_final = run_to(fresh, fresh_out, 200)
+
+        warm = Simulator()
+        _, warm_out = build_counter(warm)
+        run_to(warm, warm_out, 200)  # dirty the kernel
+        warm.reset()
+        assert warm_out.read() == 0  # signals restored pre-run
+        assert warm.now == 0
+        warm_final = run_to(warm, warm_out, 200)
+
+        assert warm_final == fresh_final
+
+    def test_reset_after_interrupted_run_matches_fresh(self):
+        """A run stopped mid-flight (the deadline-timeout shape) leaves
+        pending wheel entries and runnable state; reset must still
+        restore power-on behavior exactly."""
+        fresh = Simulator()
+        _, fresh_out = build_counter(fresh)
+        fresh_final = run_to(fresh, fresh_out, 200)
+
+        warm = Simulator()
+        _, warm_out = build_counter(warm)
+        warm.run(until=73)  # interrupt at an odd time, mid-period
+        warm.reset()
+        warm_final = run_to(warm, warm_out, 200)
+
+        assert warm_final == fresh_final
+
+    def test_repeated_resets_stay_identical(self):
+        sim = Simulator()
+        _, out = build_counter(sim)
+        finals = []
+        for _ in range(4):
+            finals.append(run_to(sim, out, 150))
+            sim.reset()
+        assert finals.count(finals[0]) == 4
+
+
+class TestResetMechanics:
+    def test_bare_generator_processes_are_killed(self):
+        sim = Simulator()
+
+        def ticks():
+            while True:
+                yield 5
+
+        bare = sim.spawn(ticks(), name="bare")  # generator, no factory
+        factory = sim.spawn(ticks, name="factory")
+        sim.run(until=20)
+        sim.reset()
+        assert bare.state == "killed"
+        assert bare not in sim._processes
+        assert factory in sim._processes
+        assert factory.state == "created"
+
+    def test_counters_queues_and_signals_restored(self):
+        sim = Simulator()
+        sig = Signal(sim, "s", initial=7)
+        wire = Wire(sim, "w", initial=False)
+
+        def writer():
+            yield 3
+            sig.write(42)
+            wire.write(True)
+            yield 100  # leaves a wheel entry when interrupted
+
+        sim.spawn(writer, name="writer")
+        sim.run(until=10)
+        assert sig.read() == 42
+        sim.reset()
+        assert sig.read() == 7
+        assert wire.read() is False
+        assert sig.change_count == 0
+        assert sim.now == 0
+        assert sim.delta_count == 0
+        assert sim.stats() == {
+            "events": 0, "process_steps": 0, "delta_cycles": 0
+        }
+        assert not sim._wheel
+        assert not sim._timed_now
+        assert not sim._delta_events
+        assert not sim._update_queue
+
+    def test_delta_hooks_cleared(self):
+        sim = Simulator()
+        sim.delta_hooks.append(lambda s: None)
+        sim.reset()
+        assert sim.delta_hooks == []
+
+    def test_restart_requires_factory(self):
+        sim = Simulator()
+
+        def body():
+            yield 1
+
+        process = sim.spawn(body(), name="bare")
+        with pytest.raises(TypeError):
+            process.restart()
+
+    def test_zero_delay_notifications_survive_reset_cycle(self):
+        """The ``_timed_now`` fast path must behave identically on a
+        reset kernel — the deque is per-kernel state like the wheel."""
+
+        def build(sim):
+            log = []
+
+            def pinger():
+                for _ in range(3):
+                    yield 0
+                    log.append(sim.now)
+                yield 10
+                log.append(sim.now)
+
+            sim.spawn(pinger, name="pinger")
+            return log
+
+        fresh = Simulator()
+        fresh_log = build(fresh)
+        fresh.run()
+
+        warm = Simulator()
+        warm_log = build(warm)
+        warm.run()
+        warm.reset()
+        warm_log.clear()
+        warm.run()
+
+        assert warm_log == fresh_log == [0, 0, 0, 10]
