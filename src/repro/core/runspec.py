@@ -273,6 +273,11 @@ def _acquire_platform(
             return sim, root, True
         sim = Simulator()
         root = factory(sim)
+        # Pin the elaboration boundary before any per-run scaffolding
+        # (stressor, tracer) is armed: reset() replays exactly the
+        # pending notifications the factory left behind, so a warm
+        # kernel starts from the same state a fresh build would.
+        sim.snapshot_elaboration()
         _WARM_PLATFORMS[spec.platform] = (sim, root)
         return sim, root, True
     sim = Simulator()
@@ -394,8 +399,9 @@ def execute_runspec(
             run_trace.disarm()
         if warm:
             # Per-run scaffolding must not accumulate on the reused
-            # platform tree; its processes are reaped by the next
-            # Simulator.reset().
+            # platform: detach reaps the stressor subtree — kills its
+            # injection processes and unregisters anything it created
+            # from the kernel — so warm-kernel memory stays flat.
             stressor.detach()
 
 

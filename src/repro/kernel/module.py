@@ -16,7 +16,7 @@ import typing as _t
 from .events import Event
 from .process import Process
 from .scheduler import Simulator
-from .signal import Signal, Wire
+from .signal import Clock, Signal, Wire
 
 
 class Module:
@@ -42,6 +42,11 @@ class Module:
         self.sim: Simulator = sim if sim is not None else parent.sim
         self.children: list = []
         self._injection_points: dict = {}
+        # Kernel objects created through this module's helpers, so
+        # detach() can hand them back to the kernel (a warm simulator
+        # would otherwise accumulate per-run signals/processes forever).
+        self._owned_signals: list = []
+        self._owned_processes: list = []
         if parent is not None:
             parent.children.append(self)
 
@@ -83,10 +88,27 @@ class Module:
         return Event(self.sim, f"{self.full_name}.{name}")
 
     def signal(self, name: str, initial=None) -> Signal:
-        return Signal(self.sim, f"{self.full_name}.{name}", initial)
+        signal = Signal(self.sim, f"{self.full_name}.{name}", initial)
+        self._owned_signals.append(signal)
+        return signal
 
     def wire(self, name: str, initial: bool = False) -> Wire:
-        return Wire(self.sim, f"{self.full_name}.{name}", initial)
+        wire = Wire(self.sim, f"{self.full_name}.{name}", initial)
+        self._owned_signals.append(wire)
+        return wire
+
+    def clock(self, name: str, period: int, start_high: bool = False) -> Clock:
+        """A :class:`Clock` owned by this module (reclaimed on detach).
+
+        Per-run helpers on a warm platform must create clocks through
+        this helper rather than ``Clock(sim, ...)`` directly, so the
+        clock wire and its driver process are handed back to the kernel
+        when the helper detaches.
+        """
+        clk = Clock(self.sim, f"{self.full_name}.{name}", period, start_high)
+        self._owned_signals.append(clk)
+        self._owned_processes.append(clk._proc)
+        return clk
 
     def process(self, behavior, name: str = "proc") -> Process:
         """Spawn *behavior* as a process owned by this module.
@@ -95,18 +117,37 @@ class Module:
         one; pass the factory (``self._run``, not ``self._run()``) when
         the module should survive a warm :meth:`Simulator.reset`.
         """
-        return self.sim.spawn(behavior, name=f"{self.full_name}.{name}")
+        process = self.sim.spawn(behavior, name=f"{self.full_name}.{name}")
+        self._owned_processes.append(process)
+        return process
 
     def detach(self) -> None:
-        """Unlink this module from its parent (warm-platform teardown).
+        """Tear this subtree out of the platform (warm-platform teardown).
 
         Per-run helpers built *onto* a reusable platform (the campaign
-        stressor) must not accumulate in ``children`` across runs; after
-        the run they detach, leaving the parent exactly as elaborated.
+        stressor) must not accumulate across runs; after the run they
+        detach, leaving the parent — and the kernel — exactly as
+        elaborated: the subtree is unlinked from ``children``, its
+        processes are killed and unregistered, and its signals are
+        unregistered so a warm kernel's memory and reset cost stay
+        flat no matter how many runs it serves.  Only kernel objects
+        created through the module helpers (:meth:`signal`,
+        :meth:`wire`, :meth:`clock`, :meth:`process`) are reclaimed;
+        per-run code must not create channels via ``Signal(sim, ...)``
+        directly on a warm kernel.
         """
         if self.parent is not None:
             self.parent.children.remove(self)
             self.parent = None
+        sim = self.sim
+        for module in self.walk():
+            for process in module._owned_processes:
+                process.kill()
+                sim._unregister_process(process)
+            module._owned_processes.clear()
+            for signal in module._owned_signals:
+                sim._unregister_signal(signal)
+            module._owned_signals.clear()
 
     # -- injection points ---------------------------------------------------
 

@@ -33,6 +33,7 @@ _heappop = heapq.heappop
 from . import simtime
 from .events import Event
 from .process import FINISHED, KILLED, Process, ProcessError
+from .signal import pristine_copy
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from .signal import SignalBase
@@ -104,6 +105,9 @@ class Simulator:
         self._stop_requested = False
         self._errors: list = []
         self._deadline_at: _t.Optional[float] = None
+        #: Pending activity recorded at end of elaboration so
+        #: :meth:`reset` can replay it; see :meth:`snapshot_elaboration`.
+        self._elab_snapshot: _t.Optional[tuple] = None
         #: Hooks invoked as fn(sim) after every delta cycle (tracing).
         self.delta_hooks: list = []
 
@@ -182,6 +186,25 @@ class Simulator:
     def _register_signal(self, signal: "SignalBase") -> None:
         self._signals.append(signal)
 
+    def _unregister_signal(self, signal: "SignalBase") -> None:
+        """Forget *signal* (per-run scaffolding torn down via detach).
+
+        Without this, signals created by per-run helpers on a warm
+        kernel would accumulate in ``_signals`` forever, growing both
+        memory and :meth:`reset` cost with every run.
+        """
+        try:
+            self._signals.remove(signal)
+        except ValueError:
+            pass
+
+    def _unregister_process(self, process: Process) -> None:
+        """Forget *process* (per-run scaffolding torn down via detach)."""
+        try:
+            self._processes.remove(process)
+        except ValueError:
+            pass
+
     def _report_process_error(self, error: ProcessError) -> None:
         self._errors.append(error)
         self._stop_requested = True
@@ -217,6 +240,13 @@ class Simulator:
         Raises :class:`~repro.kernel.process.ProcessError` if any process
         body raised.
         """
+        if self._elab_snapshot is None:
+            # Anything scheduled before the first run() is elaboration
+            # output (timed events from platform factories, staged
+            # writes); pin it now so reset() can replay it.  Warm-reuse
+            # callers snapshot explicitly right after the factory runs,
+            # before any per-run scaffolding is armed.
+            self.snapshot_elaboration()
         horizon = simtime.TIME_MAX if until is None else until
         self._deadline_at = (
             None if deadline_s is None
@@ -348,6 +378,59 @@ class Simulator:
     # Warm reset
     # ------------------------------------------------------------------
 
+    def snapshot_elaboration(self) -> None:
+        """Record pending activity created by elaboration for replay.
+
+        A platform factory may leave notifications behind before the
+        first :meth:`run` — ``sim.timeout_event(delay)``,
+        ``event.notify(delay)``, ``event.notify(0)``, or a staged
+        ``signal.write`` — all of which a fresh build would deliver.
+        :meth:`reset` clears every queue wholesale, so without a
+        snapshot those elaboration-time notifications would exist on a
+        fresh platform but not on a warm one, silently breaking the
+        bit-for-bit reuse contract.
+
+        Called automatically at the top of the first :meth:`run`; the
+        warm-reuse executor calls it explicitly right after the platform
+        factory returns (before per-run scaffolding such as the
+        stressor arms), which is the precise elaboration boundary.
+        Calling it again later re-pins the boundary.
+        """
+        self._elab_snapshot = (
+            [
+                (when - self.now, kind, payload)
+                for when, _seq, kind, payload in sorted(self._wheel)
+            ],
+            list(self._timed_now),
+            list(self._delta_events),
+            [
+                (signal, pristine_copy(signal._next))
+                for signal in self._update_queue
+            ],
+        )
+
+    def _replay_elaboration(self) -> None:
+        """Re-issue the snapshotted elaboration-time notifications.
+
+        Pushed in (time, original-seq) order onto a fresh heap, so the
+        relative ordering a fresh elaboration would have produced is
+        preserved exactly.
+        """
+        wheel, timed_now, delta_events, staged = self._elab_snapshot
+        for delay, kind, payload in wheel:
+            self._seq += 1
+            _heappush(
+                self._wheel, (self.now + delay, self._seq, kind, payload)
+            )
+        self._timed_now.extend(timed_now)
+        for event in delta_events:
+            event._pending_kind = "delta"
+            self._delta_events.append(event)
+        for signal, staged_value in staged:
+            signal._next = pristine_copy(staged_value)
+            signal._update_pending = True
+            self._update_queue.append(signal)
+
     def reset(self) -> None:
         """Return the kernel to its power-on state, keeping the platform.
 
@@ -357,7 +440,10 @@ class Simulator:
         order elaboration produced on a fresh kernel — while
         bare-generator processes (per-run stressor injections, injector
         reverts) are killed and dropped.  Every queue, counter, and
-        registered signal returns to its initial value, so a subsequent
+        registered signal returns to its initial value, and pending
+        notifications recorded at elaboration time (timed events from
+        the platform factory, staged writes — see
+        :meth:`snapshot_elaboration`) are replayed, so a subsequent
         :meth:`run` is bit-for-bit indistinguishable from one on a
         freshly elaborated kernel.
 
@@ -397,6 +483,8 @@ class Simulator:
         self._errors = []
         self._deadline_at = None
         self.delta_hooks.clear()
+        if self._elab_snapshot is not None:
+            self._replay_elaboration()
         for process in self._processes:
             self._runnable.append(process)
 

@@ -14,18 +14,22 @@ Hot-path notes (these classes dominate campaign profiles):
 * all channel classes carry ``__slots__`` — a campaign commits millions
   of signal updates and dict-based attribute access is measurable;
 * :meth:`SignalBase._announce` only notifies an edge/changed event when
-  it has waiters.  This is sound because announcements happen in the
-  update phase (or under ``force`` during evaluation, for the process's
-  *own* delta), after which no process can add itself as a waiter before
-  the delta-notification phase that would consume the firing — an event
-  without waiters at announce time wakes nobody, so skipping the queue
-  round-trip is unobservable;
+  it has waiters — but **only for update-phase announcements**.  Those
+  happen after the evaluation phase drained, so no process can add
+  itself as a waiter before the delta-notification phase that would
+  consume the firing; an event without waiters at announce time wakes
+  nobody, and skipping the queue round-trip is unobservable.  The
+  :meth:`~SignalBase.force` path must *not* take this shortcut: it
+  fires mid-evaluation, and a process scheduled later in the same
+  phase may still arm a wait that the delta notification has to
+  satisfy — forced announcements therefore always notify;
 * observers (the tracer hook) are guarded by a truthiness check — the
   no-tracer branch pays one ``if`` instead of an empty loop setup.
 """
 
 from __future__ import annotations
 
+import copy as _copy
 import typing as _t
 
 from .events import Event
@@ -34,6 +38,19 @@ if _t.TYPE_CHECKING:  # pragma: no cover
     from .scheduler import Simulator
 
 T = _t.TypeVar("T")
+
+#: Value types that cannot be mutated in place; restoring them by
+#: reference on a warm reset is exact.  Anything else is deep-copied so
+#: a run that mutates a signal value in place cannot leak the mutation
+#: into the "initial" value the next warm run starts from.
+_ATOMIC_TYPES = (type(None), bool, int, float, complex, str, bytes, frozenset)
+
+
+def pristine_copy(value):
+    """*value* itself when immutable-atomic, a deep copy otherwise."""
+    if isinstance(value, _ATOMIC_TYPES):
+        return value
+    return _copy.deepcopy(value)
 
 
 class SignalBase:
@@ -55,7 +72,10 @@ class SignalBase:
         self.sim = sim
         self.name = name
         #: Elaboration-time value; :meth:`_warm_reset` restores it.
-        self._initial = initial
+        #: Kept as a pristine (deep) copy for mutable values: the live
+        #: ``_current`` may be mutated in place during a run, and a
+        #: warm reset must hand back what a fresh factory build would.
+        self._initial = pristine_copy(initial)
         self._current = initial
         self._next = initial
         self._update_pending = False
@@ -99,7 +119,10 @@ class SignalBase:
         self._current = value
         self._next = value
         if old != value:
-            self._announce(old, value)
+            # forced=True: this announcement happens mid-evaluation, so
+            # a process running later in the same phase may still arm a
+            # wait on the event — the no-waiter skip would lose it.
+            self._announce(old, value, forced=True)
 
     # -- kernel interface ------------------------------------------------
 
@@ -110,10 +133,10 @@ class SignalBase:
             self._current = self._next
             self._announce(old, self._current)
 
-    def _announce(self, old, new) -> None:
+    def _announce(self, old, new, forced: bool = False) -> None:
         self.change_count += 1
         changed = self.changed
-        if changed._waiters or changed._pending_kind:
+        if forced or changed._waiters or changed._pending_kind:
             changed.notify(0)
         if self.observers:
             for observer in self.observers:
@@ -128,8 +151,9 @@ class SignalBase:
         Observers are *not* cleared — their lifecycle (tracer attach and
         detach) is owned by whoever installed them.
         """
-        self._current = self._initial
-        self._next = self._initial
+        initial = pristine_copy(self._initial)
+        self._current = initial
+        self._next = initial
         self._update_pending = False
         self.change_count = 0
 
@@ -160,15 +184,15 @@ class Wire(SignalBase):
     def write(self, value) -> None:
         super().write(bool(value))
 
-    def _announce(self, old, new) -> None:
-        super()._announce(old, new)
+    def _announce(self, old, new, forced: bool = False) -> None:
+        super()._announce(old, new, forced)
         if new and not old:
             edge = self.posedge
-            if edge._waiters or edge._pending_kind:
+            if forced or edge._waiters or edge._pending_kind:
                 edge.notify(0)
         elif old and not new:
             edge = self.negedge
-            if edge._waiters or edge._pending_kind:
+            if forced or edge._waiters or edge._pending_kind:
                 edge.notify(0)
 
 

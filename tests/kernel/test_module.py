@@ -75,6 +75,51 @@ class TestConstructionHelpers:
         assert log == ["ran"]
 
 
+class TestDetach:
+    def test_detach_unlinks_from_parent(self, sim):
+        top, ecu, *_ = build_tree(sim)
+        ecu.detach()
+        assert top.children == []
+        assert ecu.parent is None
+
+    def test_detach_reaps_owned_signals_and_processes(self, sim):
+        """Per-run helpers on a warm kernel must not leak: detach hands
+        every signal/process the subtree created back to the kernel."""
+        top = Module("top", sim=sim)
+        baseline_signals = len(sim._signals)
+        baseline_processes = len(sim._processes)
+
+        for run in range(3):
+            helper = Module(f"helper{run}", parent=top)
+            child = Module("child", parent=helper)
+            helper.signal("s", 0)
+            child.wire("w")
+            child.clock("clk", period=10)
+
+            def body():
+                yield 1
+
+            helper.process(body(), name="worker")
+            sim.run(until=5)
+            helper.detach()
+            sim.reset()
+            assert len(sim._signals) == baseline_signals
+            assert len(sim._processes) == baseline_processes
+
+    def test_detach_kills_still_waiting_processes(self, sim):
+        top = Module("top", sim=sim)
+        helper = Module("helper", parent=top)
+
+        def body():
+            yield 1_000_000
+
+        proc = helper.process(body(), name="sleeper")
+        sim.run(until=5)
+        helper.detach()
+        assert proc.state == "killed"
+        assert proc not in sim._processes
+
+
 class TestInjectionPoints:
     def test_register_and_enumerate(self, sim):
         top, ecu, cpu, mem = build_tree(sim)

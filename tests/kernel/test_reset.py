@@ -135,6 +135,95 @@ class TestResetMechanics:
         with pytest.raises(TypeError):
             process.restart()
 
+    def test_elaboration_timed_event_replayed_after_reset(self):
+        """Timed notifications issued at elaboration time (a platform
+        factory calling ``sim.timeout_event`` / ``event.notify(delay)``)
+        must fire again after a reset, exactly as on a fresh build."""
+
+        def build(sim):
+            log = []
+            boot = sim.timeout_event(50, name="boot")
+
+            def waiter():
+                yield boot
+                log.append(sim.now)
+
+            sim.spawn(waiter, name="waiter")
+            return log
+
+        fresh = Simulator()
+        fresh_log = build(fresh)
+        fresh.run(until=200)
+
+        warm = Simulator()
+        warm_log = build(warm)
+        warm.run(until=200)
+        assert warm_log == [50]
+        warm.reset()
+        warm_log.clear()
+        warm.run(until=200)
+
+        assert warm_log == fresh_log == [50]
+
+    def test_elaboration_staged_write_and_delta_replayed_after_reset(self):
+        """Staged signal writes and delta notifications left behind by
+        elaboration are part of the power-on state too."""
+
+        def build(sim):
+            log = []
+            sig = Signal(sim, "s", initial=0)
+            kick = sim.event("kick")
+            sig.write(5)  # staged at elaboration, commits in delta 0
+            kick.notify(0)  # delta-pending at elaboration
+
+            def kick_watcher():
+                yield kick
+                log.append(("kick", sim.now, sig.read()))
+
+            def change_watcher():
+                yield sig.changed
+                log.append(("changed", sim.now, sig.read()))
+
+            sim.spawn(kick_watcher, name="kick_watcher")
+            sim.spawn(change_watcher, name="change_watcher")
+            return log
+
+        fresh = Simulator()
+        fresh_log = build(fresh)
+        fresh.run(until=10)
+        assert fresh_log == [("kick", 0, 5), ("changed", 0, 5)]
+
+        warm = Simulator()
+        warm_log = build(warm)
+        warm.run(until=10)
+        warm.reset()
+        warm_log.clear()
+        warm.run(until=10)
+
+        assert warm_log == fresh_log
+
+    def test_mutable_initial_value_restored_pristine(self):
+        """A run mutating a signal's (mutable) value in place must not
+        leak the mutation into the value a warm reset restores."""
+        sim = Simulator()
+        sig = Signal(sim, "buf", initial=[0, 0, 0])
+
+        def mutator():
+            yield 1
+            sig.read().append(99)
+            sig.read()[0] = 7
+
+        sim.spawn(mutator, name="mutator")
+        sim.run(until=10)
+        assert sig.read() == [7, 0, 0, 99]
+        sim.reset()
+        assert sig.read() == [0, 0, 0]
+        # A second dirty run must start from an equally pristine copy.
+        sim.run(until=10)
+        assert sig.read() == [7, 0, 0, 99]
+        sim.reset()
+        assert sig.read() == [0, 0, 0]
+
     def test_zero_delay_notifications_survive_reset_cycle(self):
         """The ``_timed_now`` fast path must behave identically on a
         reset kernel — the deque is per-kernel state like the wheel."""

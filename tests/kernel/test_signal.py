@@ -123,6 +123,65 @@ class TestSignalSemantics:
         sig.force(5)
         assert sig.change_count == 0
 
+    def test_force_wakes_wait_armed_later_in_same_phase(self, sim):
+        """force() fires mid-evaluation, so a process stepped *after*
+        the injector in the same phase may arm its wait only after the
+        announcement — the no-waiter fast path must not eat it."""
+        sig = Signal(sim, "s", 0)
+        log = []
+
+        def injector():
+            yield 10
+            sig.force(1)
+
+        def monitor():
+            yield 10  # wakes at the same timestamp, after the injector
+            yield sig.changed
+            log.append(sim.now)
+
+        sim.spawn(injector())  # spawned first: steps before the monitor
+        sim.spawn(monitor())
+        sim.run(until=50)
+        assert log == [10]
+
+
+class TestForceEdges:
+    def test_force_posedge_wakes_wait_armed_later_in_same_phase(self, sim):
+        wire = Wire(sim, "w", initial=False)
+        log = []
+
+        def injector():
+            yield 10
+            wire.force(True)
+
+        def monitor():
+            yield 10
+            yield wire.posedge
+            log.append(sim.now)
+
+        sim.spawn(injector())
+        sim.spawn(monitor())
+        sim.run(until=50)
+        assert log == [10]
+
+    def test_force_negedge_wakes_wait_armed_later_in_same_phase(self, sim):
+        wire = Wire(sim, "w", initial=True)
+        log = []
+
+        def injector():
+            yield 10
+            wire.force(False)
+
+        def monitor():
+            yield 10
+            yield wire.negedge
+            log.append(sim.now)
+
+        sim.spawn(injector())
+        sim.spawn(monitor())
+        sim.run(until=50)
+        assert log == [10]
+
 
 class TestWire:
     def test_posedge_and_negedge(self, sim):
