@@ -1,0 +1,125 @@
+"""E15 — pricing the delta-race sanitizer and order-seed probing.
+
+The sanitizer contract (DESIGN.md, "Static analysis & sanitizers")
+has two prices to keep honest:
+
+* **disabled** — the default ``Simulator()`` carries only one
+  ``is not None`` branch per staged write and per process step; the
+  campaign perf smoke (``perf_smoke.py``) already trips if that ever
+  becomes measurable.  This bench prices it directly anyway
+  (``off`` vs a kernel built before arming anything is the same code
+  path, so the entry is the baseline itself).
+* **enabled** — instrumentation cost on a write-heavy kernel.  Opt-in
+  diagnostics may cost real throughput, but the bench pins the factor
+  so a refactor that makes it pathological (per-write allocation,
+  quadratic window) fails loudly.
+
+Also asserted: the sanitizer is *observational* — enabling it must
+not change simulation content (same final signal values, same event
+counts); order-seed shuffling is the one mode allowed to change
+behavior, on racy platforms only.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.analyze import SanitizeConfig
+from repro.kernel import Module, Simulator
+
+SANITIZE_BENCH_PATH = pathlib.Path(__file__).parent / "BENCH_sanitize.json"
+
+WRITERS = 8
+DURATION = 8_000
+REPEATS = 3
+#: Tripwire, not a target: the recorder touches one dict per write, so
+#: anything beyond ~2.5x means the hot path grew something structural.
+ENABLED_OVERHEAD_BUDGET = 1.5
+
+
+class WriteStorm(Module):
+    """Race-free write-heavy workload: one signal per writer, one
+    write per writer per time unit."""
+
+    def __init__(self, sim, writers=WRITERS):
+        super().__init__("storm", sim=sim)
+        self.lanes = [
+            self.signal(f"lane{i}", 0) for i in range(writers)
+        ]
+        for i, lane in enumerate(self.lanes):
+            self.process(self._drive(lane, i + 1), name=f"drive{i}")
+
+    def _drive(self, lane, step):
+        while True:
+            lane.write(lane.read() + step)
+            yield 1
+
+
+def timed_run(**kernel_kwargs):
+    sim = Simulator(**kernel_kwargs)
+    storm = WriteStorm(sim)
+    start = time.perf_counter()
+    sim.run(until=DURATION)
+    wall = time.perf_counter() - start
+    finals = tuple(lane.read() for lane in storm.lanes)
+    return sim, finals, wall
+
+
+def best_of(**kernel_kwargs):
+    best_wall = None
+    sim = finals = None
+    for _ in range(REPEATS):
+        sim, finals, wall = timed_run(**kernel_kwargs)
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+    writes = WRITERS * DURATION
+    return sim, finals, writes / best_wall
+
+
+def test_sanitize_overhead_json():
+    _, base_finals, base_rate = best_of()
+    sim_on, on_finals, on_rate = best_of(sanitize=True)
+    _, order_finals, order_rate = best_of(order_seed=1)
+    _, both_finals, both_rate = best_of(
+        sanitize=SanitizeConfig(), order_seed=1
+    )
+
+    # Observational: the sanitizer changes nothing about the run.
+    assert on_finals == base_finals
+    assert sim_on.sanitizer.clean  # race-free workload stays clean
+    # A race-free platform is order-insensitive by construction, so
+    # even the shuffled queue converges to the same values.
+    assert order_finals == base_finals
+    assert both_finals == base_finals
+
+    def entry(mode, rate):
+        return {
+            "mode": mode,
+            "writes_per_s": round(rate, 1),
+            "overhead_vs_off": round(base_rate / rate - 1.0, 4),
+        }
+
+    payload = {
+        "experiment": "sanitize_overhead",
+        "workload": {
+            "platform": "write-storm",
+            "writers": WRITERS,
+            "duration": DURATION,
+            "writes": WRITERS * DURATION,
+        },
+        "budget_enabled_overhead": ENABLED_OVERHEAD_BUDGET,
+        "modes": [
+            entry("off", base_rate),
+            entry("sanitize", on_rate),
+            entry("order_seed", order_rate),
+            entry("sanitize+order_seed", both_rate),
+        ],
+    }
+    SANITIZE_BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    enabled_overhead = base_rate / on_rate - 1.0
+    assert enabled_overhead <= ENABLED_OVERHEAD_BUDGET, (
+        f"sanitizer costs {enabled_overhead:.1%} write throughput "
+        f"(budget {ENABLED_OVERHEAD_BUDGET:.0%}): off {base_rate:.0f}/s "
+        f"vs on {on_rate:.0f}/s"
+    )

@@ -56,7 +56,7 @@ def run_single(inject=None):
             yield time
             cpu.injection_points["arch"].flip_reg(reg, bit)
 
-        sim.spawn(injector())
+        sim.spawn(injector())  # vp-lint: disable=VP002 - throwaway sim, torn down after one run; warm reuse never applies
     sim.run(until=10_000_000)
     detected = cpu.trap_cause is not None
     corrupted = cpu.regs[1] != GOLDEN
@@ -78,7 +78,7 @@ def run_lockstep(inject=None):
             yield time
             pair.cores[0].injection_points["arch"].flip_reg(reg, bit)
 
-        sim.spawn(injector())
+        sim.spawn(injector())  # vp-lint: disable=VP002 - throwaway sim, torn down after one run; warm reuse never applies
     sim.run(until=10_000_000)
     detected = pair.halted_on_mismatch or any(
         core.trap_cause is not None for core in pair.cores

@@ -80,7 +80,7 @@ def make_classifier():
 # Registering the platform by name is what lets parallel workers
 # rebuild it in their own processes; registration must run at import
 # time so spawned workers see it too.
-register_platform(
+register_platform(  # vp-lint: disable=VP009 - tutorial platform, kept minimal; fresh build per run is the point being taught
     "quickstart-dma", build_platform, observe, make_classifier,
     description="ECC RAM -> plain RAM copier from the quickstart",
 )

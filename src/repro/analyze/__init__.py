@@ -1,0 +1,64 @@
+"""Correctness tooling for virtual-prototype platforms.
+
+Two complementary halves (see DESIGN.md, "Static analysis &
+sanitizers"):
+
+* **VP-lint** — an AST-based static analyzer whose rules (stable
+  codes ``VP001``…) encode the platform-soundness hazards this
+  codebase has already paid for: warm-reuse reclamation leaks,
+  determinism breakers (global RNG, wall-clock reads), private kernel
+  state access, swallowed ``DeadlineExceeded``, unpicklable run
+  specs.  Run it as ``python -m repro.analyze [paths]``.
+* **Sanitizers** — opt-in dynamic checks: the delta-race sanitizer
+  (``Simulator(sanitize=True)`` / ``REPRO_SANITIZE=1``) flags
+  same-delta write-write conflicts between distinct processes, and
+  :func:`check_order_sensitivity` re-runs a spec under seeded
+  permutations of the runnable queue, byte-diffing trace digests to
+  expose scheduler-order-dependent platforms.
+
+Together they turn the soundness contracts the kernel team enforced
+by review (PRs 2-4) into machine-checked gates every platform and
+every future PR passes through CI.
+"""
+
+from .findings import ERROR, WARNING, Finding
+from .linter import LintContext, iter_python_files, lint_file, lint_paths, lint_source
+from .ordercheck import (
+    OrderProbe,
+    OrderSensitivityReport,
+    check_order_sensitivity,
+)
+from .reporters import render_json, render_text, summarize
+from .rules import RULES, Rule, rule_table
+from .sanitizer import (
+    DeltaRace,
+    DeltaRaceError,
+    DeltaRaceSanitizer,
+    SanitizeConfig,
+    resolve_sanitize,
+)
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "Finding",
+    "LintContext",
+    "RULES",
+    "Rule",
+    "rule_table",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+    "summarize",
+    "DeltaRace",
+    "DeltaRaceError",
+    "DeltaRaceSanitizer",
+    "SanitizeConfig",
+    "resolve_sanitize",
+    "OrderProbe",
+    "OrderSensitivityReport",
+    "check_order_sensitivity",
+]

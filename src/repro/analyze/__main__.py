@@ -1,0 +1,16 @@
+"""Entry point for ``python -m repro.analyze``."""
+
+import os
+import sys
+
+from .cli import main
+
+try:
+    code = main()
+except BrokenPipeError:
+    # Downstream pager/head closed the pipe early; that is not a lint
+    # failure.  Redirect stdout to devnull so interpreter shutdown does
+    # not print a second traceback while flushing.
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    code = 0
+sys.exit(code)  # vp-lint: disable=VP010 - CLI entry point; the exit code is the contract

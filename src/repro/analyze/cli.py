@@ -1,0 +1,98 @@
+"""``python -m repro.analyze`` — the VP-lint command line.
+
+Exit codes: 0 clean, 1 findings at or above the severity threshold,
+2 usage error.  CI runs ``python -m repro.analyze src examples`` and
+gates merges on exit 0; the JSON report (``--json-output``) is
+uploaded as a build artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import typing as _t
+
+from .linter import lint_paths
+from .reporters import render_json, render_text
+from .rules import rule_table
+
+
+def _parse_codes(raw: _t.Optional[str]) -> _t.Optional[_t.List[str]]:
+    if raw is None:
+        return None
+    return [code.strip() for code in raw.split(",") if code.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze",
+        description=(
+            "VP-lint: static soundness checks for virtual-prototype "
+            "platform code (warm-reuse leaks, determinism hazards, "
+            "swallowed deadlines)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "examples"],
+        help="files or directories to lint (default: src examples)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format written to stdout (default: text)",
+    )
+    parser.add_argument(
+        "--json-output", metavar="FILE",
+        help="additionally write the JSON report to FILE (CI artifact)",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--min-severity", choices=("warning", "error"), default="warning",
+        help="drop findings below this severity (default: warning)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for row in rule_table():
+            print(
+                f"{row['code']}  {row['severity']:<7}  "
+                f"{row['name']}: {row['summary']}"
+            )
+        return 0
+    try:
+        findings, files_checked = lint_paths(
+            args.paths,
+            select=_parse_codes(args.select),
+            ignore=_parse_codes(args.ignore),
+            min_severity=args.min_severity,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        parser.exit(2, f"vp-lint: error: {exc}\n")
+    if args.json_output:
+        pathlib.Path(args.json_output).write_text(
+            render_json(findings, files_checked) + "\n", encoding="utf-8"
+        )
+    if args.format == "json":
+        print(render_json(findings, files_checked))
+    else:
+        print(render_text(findings, files_checked))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())  # vp-lint: disable=VP010 - CLI entry point; the exit code is the contract

@@ -1,0 +1,153 @@
+"""VP-lint driver: parse, run rules, apply pragmas.
+
+The linter is a single AST walk per file; every registered rule sees
+every node and yields :class:`~repro.analyze.findings.Finding`s, which
+are then filtered through the file's pragma index.  Files inside the
+kernel package (``repro/kernel/``) skip the rules marked
+``kernel_internal_ok`` — the kernel implements the abstractions those
+rules protect.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import typing as _t
+
+from .findings import ERROR, Finding, severity_rank
+from .pragmas import PragmaIndex
+from .rules import RULES, Rule, collect_mutable_globals
+
+#: Consecutive path components marking kernel-internal sources.
+_KERNEL_PARTS = ("repro", "kernel")
+
+
+class LintContext:
+    """Per-file state shared by every rule during one walk."""
+
+    def __init__(
+        self,
+        path: str,
+        tree: ast.Module,
+        source: str,
+        kernel_internal: bool,
+    ):
+        self.path = path
+        self.tree = tree
+        self.source = source
+        self.kernel_internal = kernel_internal
+        self.mutable_globals = collect_mutable_globals(tree)
+
+
+def _is_kernel_internal(path: str) -> bool:
+    parts = pathlib.PurePath(path).parts
+    return any(
+        parts[i: i + 2] == _KERNEL_PARTS for i in range(len(parts) - 1)
+    )
+
+
+def _select_rules(
+    select: _t.Optional[_t.Iterable[str]] = None,
+    ignore: _t.Optional[_t.Iterable[str]] = None,
+) -> _t.List[Rule]:
+    codes = set(RULES)
+    if select is not None:
+        wanted = {code.upper() for code in select}
+        unknown = wanted - codes
+        if unknown:
+            raise ValueError(
+                f"unknown rule code(s): {', '.join(sorted(unknown))}"
+            )
+        codes &= wanted
+    if ignore is not None:
+        codes -= {code.upper() for code in ignore}
+    return [RULES[code] for code in sorted(codes)]
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: _t.Optional[_t.Iterable[str]] = None,
+    ignore: _t.Optional[_t.Iterable[str]] = None,
+) -> _t.List[Finding]:
+    """Lint one source text.  Returns findings sorted by location."""
+    rules = _select_rules(select, ignore)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                code="VP000",
+                message=f"syntax error: {exc.msg}",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) or 1,
+                severity=ERROR,
+                rule="parse-error",
+            )
+        ]
+    kernel_internal = _is_kernel_internal(path)
+    ctx = LintContext(path, tree, source, kernel_internal)
+    pragmas = PragmaIndex(source)
+    active = [
+        r for r in rules
+        if not (kernel_internal and r.kernel_internal_ok)
+    ]
+    findings: _t.List[Finding] = []
+    for node in ast.walk(tree):
+        for r in active:
+            for finding in r.check_node(node, ctx):
+                if not pragmas.suppressed(finding.code, finding.line):
+                    findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def lint_file(
+    path: _t.Union[str, pathlib.Path],
+    select: _t.Optional[_t.Iterable[str]] = None,
+    ignore: _t.Optional[_t.Iterable[str]] = None,
+) -> _t.List[Finding]:
+    file_path = pathlib.Path(path)
+    source = file_path.read_text(encoding="utf-8", errors="replace")
+    return lint_source(source, str(file_path), select=select, ignore=ignore)
+
+
+def iter_python_files(
+    paths: _t.Iterable[_t.Union[str, pathlib.Path]],
+) -> _t.List[pathlib.Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: _t.Dict[pathlib.Path, None] = {}
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                seen.setdefault(sub, None)
+        elif path.suffix == ".py" or path.is_file():
+            seen.setdefault(path, None)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return list(seen)
+
+
+def lint_paths(
+    paths: _t.Iterable[_t.Union[str, pathlib.Path]],
+    select: _t.Optional[_t.Iterable[str]] = None,
+    ignore: _t.Optional[_t.Iterable[str]] = None,
+    min_severity: str = "warning",
+) -> _t.Tuple[_t.List[Finding], int]:
+    """Lint every ``*.py`` under *paths*.
+
+    Returns ``(findings, files_checked)``; findings below
+    *min_severity* are dropped.
+    """
+    threshold = severity_rank(min_severity)
+    findings: _t.List[Finding] = []
+    files = iter_python_files(paths)
+    for file_path in files:
+        findings.extend(
+            f for f in lint_file(file_path, select=select, ignore=ignore)
+            if severity_rank(f.severity) >= threshold
+        )
+    findings.sort(key=Finding.sort_key)
+    return findings, len(files)

@@ -1,0 +1,171 @@
+"""Scheduler-order sensitivity checking.
+
+The kernel's evaluation phase is deterministic (FIFO within a phase),
+but — like SystemC — the *specification* says a well-formed platform
+must not depend on the order runnable processes execute within one
+delta.  A platform that does is one refactor away from changing
+behavior with no test failing, because every run reproduces the same
+(accidental) order.
+
+This checker makes the dependence visible: it executes the same
+:class:`~repro.core.runspec.RunSpec` once under the default FIFO
+order and then under *seeded permutations* of the runnable queue
+(``Simulator(order_seed=...)`` shuffles the queue at each delta-cycle
+boundary, deterministically per seed), and byte-compares the
+resulting :meth:`TraceDigest.canonical()
+<repro.observe.digest.TraceDigest.canonical>` encodings.  Any
+divergence names the platform scheduler-order-dependent — the dynamic
+counterpart of the static delta-race rule, and the test that catches
+races the write-write detector cannot see (read-write ordering through
+immediate notifications, for example).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import typing as _t
+
+from ..core.runspec import RunSpec, execute_runspec
+from ..core.scenario import ErrorScenario
+from ..kernel import Simulator
+from ..observe.config import TraceConfig
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..platforms.registry import PlatformBundle
+
+
+@dataclasses.dataclass(frozen=True)
+class OrderProbe:
+    """One permuted execution: which seed, what digest bytes."""
+
+    order_seed: _t.Optional[int]
+    canonical: str
+    outcome: str
+
+    @property
+    def digest_size(self) -> int:
+        return len(self.canonical)
+
+
+@dataclasses.dataclass(frozen=True)
+class OrderSensitivityReport:
+    """Baseline digest vs. seeded-permutation digests for one spec."""
+
+    platform: str
+    scenario: str
+    permutations: int
+    baseline: OrderProbe
+    probes: _t.Tuple[OrderProbe, ...]
+
+    @property
+    def divergent(self) -> _t.Tuple[int, ...]:
+        """Order seeds whose digest bytes differ from the baseline."""
+        return tuple(
+            probe.order_seed for probe in self.probes
+            if probe.canonical != self.baseline.canonical
+        )
+
+    @property
+    def order_sensitive(self) -> bool:
+        return bool(self.divergent)
+
+    def render(self) -> str:
+        if not self.order_sensitive:
+            return (
+                f"order-check {self.platform}/{self.scenario}: "
+                f"{self.permutations} permutation(s) byte-identical"
+            )
+        return (
+            f"order-check {self.platform}/{self.scenario}: digest "
+            f"diverged under order seed(s) "
+            f"{', '.join(map(str, self.divergent))} — platform behavior "
+            f"depends on process scheduling order"
+        )
+
+
+def _resolve_bundle(
+    platform: _t.Union[str, "PlatformBundle"],
+) -> _t.Tuple["PlatformBundle", _t.Any, _t.Optional[str]]:
+    """``(bundle, classifier, registry_key)`` for *platform*."""
+    if isinstance(platform, str):
+        from ..platforms import registry
+
+        return (
+            registry.get_platform(platform),
+            registry.get_classifier(platform),
+            platform,
+        )
+    return platform, platform.classifier_factory(), None
+
+
+def check_order_sensitivity(
+    platform: _t.Union[str, "PlatformBundle"],
+    scenario: _t.Optional[ErrorScenario] = None,
+    duration: int = 1,
+    run_seed: int = 0,
+    permutations: int = 3,
+    order_seed_base: int = 1000,
+    trace: _t.Optional[TraceConfig] = None,
+) -> OrderSensitivityReport:
+    """Probe *platform* for scheduler-order dependence.
+
+    *platform* is a registry key or a
+    :class:`~repro.platforms.registry.PlatformBundle`; *scenario*
+    defaults to a fault-free run (order sensitivity in nominal
+    behavior is already a finding — injections only widen the net).
+    Every execution builds a fresh kernel (warm reuse is disabled), so
+    permuted runs cannot contaminate worker caches.
+    """
+    if permutations < 1:
+        raise ValueError("permutations must be positive")
+    bundle, classifier, key = _resolve_bundle(platform)
+    if scenario is None:
+        scenario = ErrorScenario("order-check", [])
+    # Golden reference: one fresh fault-free run under default order.
+    golden_sim = Simulator()
+    golden_root = bundle.factory(golden_sim)
+    golden_sim.run(until=duration)
+    golden = bundle.observe(golden_root)
+    spec = RunSpec(
+        index=0,
+        scenario=scenario,
+        run_seed=run_seed,
+        duration=duration,
+        platform=key,
+        golden=golden,
+        trace=trace or TraceConfig(),
+        reuse_platform=False,
+    )
+
+    def probe(order_seed: _t.Optional[int]) -> OrderProbe:
+        kernel_factory = (
+            None if order_seed is None
+            else functools.partial(Simulator, order_seed=order_seed)
+        )
+        outcome = execute_runspec(
+            spec,
+            bundle.factory,
+            bundle.observe,
+            classifier,
+            trace_signals=bundle.trace_signals,
+            kernel_factory=kernel_factory,
+        )
+        assert outcome.digest is not None  # spec.trace is always set
+        return OrderProbe(
+            order_seed=order_seed,
+            canonical=outcome.digest.canonical(),
+            outcome=outcome.outcome.name,
+        )
+
+    baseline = probe(None)
+    probes = tuple(
+        probe(order_seed_base + k) for k in range(permutations)
+    )
+    return OrderSensitivityReport(
+        platform=key or getattr(bundle, "name", "<bundle>"),
+        scenario=scenario.name,
+        permutations=permutations,
+        baseline=baseline,
+        probes=probes,
+    )

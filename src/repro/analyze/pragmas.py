@@ -1,0 +1,61 @@
+"""``# vp-lint:`` suppression pragmas.
+
+Two scopes:
+
+* line — ``some_code()  # vp-lint: disable=VP004`` suppresses the
+  listed codes (or ``all``) for findings anchored to that physical
+  line.  For multi-line statements the anchor is the statement's
+  *first* line (the AST node's ``lineno``).
+* file — ``# vp-lint: disable-file=VP005`` anywhere in the file
+  (conventionally in the module docstring block or right below the
+  imports) suppresses the codes for the whole file.
+
+A pragma is an *allowlist entry*, not an escape hatch: the convention
+(enforced by review, demonstrated throughout this repo) is that every
+pragma line carries a short rationale comment explaining why the
+flagged construct is intentional.
+"""
+
+from __future__ import annotations
+
+import re
+import typing as _t
+
+_PRAGMA_RE = re.compile(
+    r"#\s*vp-lint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<codes>[A-Za-z0-9_,\s]+)"
+)
+
+#: Sentinel meaning "every rule code".
+ALL = "all"
+
+
+class PragmaIndex:
+    """Per-file index of suppression pragmas, built from the source."""
+
+    def __init__(self, source: str):
+        self.file_codes: _t.Set[str] = set()
+        self.line_codes: _t.Dict[int, _t.Set[str]] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            if "vp-lint" not in text:
+                continue
+            match = _PRAGMA_RE.search(text)
+            if match is None:
+                continue
+            codes = {
+                code.strip().upper() if code.strip() != ALL else ALL
+                for code in match.group("codes").split(",")
+                if code.strip()
+            }
+            if match.group("kind") == "disable-file":
+                self.file_codes |= codes
+            else:
+                self.line_codes.setdefault(lineno, set()).update(codes)
+
+    def suppressed(self, code: str, line: int) -> bool:
+        if ALL in self.file_codes or code in self.file_codes:
+            return True
+        at_line = self.line_codes.get(line)
+        if at_line is None:
+            return False
+        return ALL in at_line or code in at_line

@@ -1,0 +1,63 @@
+"""Finding reporters: human-readable text and machine-readable JSON.
+
+The JSON layout is schema-versioned because CI uploads it as an
+artifact and downstream tooling (dashboards, PR annotations) parses
+it; bump ``REPORT_SCHEMA_VERSION`` on incompatible changes.
+"""
+
+from __future__ import annotations
+
+import json
+import typing as _t
+
+from .findings import Finding
+from .rules import rule_table
+
+REPORT_SCHEMA_VERSION = 1
+
+
+def summarize(findings: _t.Sequence[Finding]) -> _t.Dict[str, _t.Any]:
+    by_code: _t.Dict[str, int] = {}
+    by_severity: _t.Dict[str, int] = {}
+    for finding in findings:
+        by_code[finding.code] = by_code.get(finding.code, 0) + 1
+        by_severity[finding.severity] = (
+            by_severity.get(finding.severity, 0) + 1
+        )
+    return {
+        "total": len(findings),
+        "by_code": dict(sorted(by_code.items())),
+        "by_severity": dict(sorted(by_severity.items())),
+    }
+
+
+def render_text(
+    findings: _t.Sequence[Finding], files_checked: int
+) -> str:
+    lines = [finding.render() for finding in findings]
+    counts = summarize(findings)
+    if findings:
+        per_code = ", ".join(
+            f"{code}: {n}" for code, n in counts["by_code"].items()
+        )
+        lines.append(
+            f"vp-lint: {counts['total']} finding(s) in "
+            f"{files_checked} file(s) ({per_code})"
+        )
+    else:
+        lines.append(f"vp-lint: {files_checked} file(s) clean")
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: _t.Sequence[Finding], files_checked: int
+) -> str:
+    payload = {
+        "schema": REPORT_SCHEMA_VERSION,
+        "tool": "vp-lint",
+        "files_checked": files_checked,
+        "summary": summarize(findings),
+        "findings": [finding.to_jsonable() for finding in findings],
+        "rules": rule_table(),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

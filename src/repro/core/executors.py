@@ -164,7 +164,7 @@ class SerialExecutor(Executor):
                 spec, self.factory, self.observe, self.classifier,
                 reset=self.reset,
             )
-        except Exception as exc:  # noqa: BLE001 - degraded to a record
+        except Exception as exc:  # noqa: BLE001 - degraded to a record  # vp-lint: disable=VP007 - deadlines degrade to TIMEOUT inside execute_runspec; nothing to re-raise here
             return failure_outcome(
                 spec,
                 failure="error",
@@ -263,11 +263,11 @@ class ParallelExecutor(Executor):
         for process in list((getattr(pool, "_processes", None) or {}).values()):
             try:
                 process.terminate()
-            except Exception:  # noqa: BLE001 - already-dead workers
+            except Exception:  # noqa: BLE001 - already-dead workers  # vp-lint: disable=VP007 - pool teardown; deadlines are worker-side
                 pass
         try:
             pool.shutdown(wait=False, cancel_futures=True)
-        except Exception:  # noqa: BLE001 - broken pools may refuse
+        except Exception:  # noqa: BLE001 - broken pools may refuse  # vp-lint: disable=VP007 - pool teardown; deadlines are worker-side
             pass
 
     def _effective_chunk_size(self, batch_size: int) -> int:
@@ -338,7 +338,7 @@ class ParallelExecutor(Executor):
                 continue
             try:
                 outcomes = future.result(timeout=self._chunk_timeout(chunk))
-            except Exception:  # noqa: BLE001 - FutureTimeout,
+            except Exception:  # noqa: BLE001 - FutureTimeout,  # vp-lint: disable=VP007 - pool-side plumbing; deadlines are worker-side
                 # BrokenProcessPool, unpicklable results: any chunk
                 # failure routes its specs to per-run dispatch, which
                 # re-derives exact attribution.
@@ -452,7 +452,7 @@ class ParallelExecutor(Executor):
                 except BrokenProcessPool:
                     crashed.append(index)
                     poisoned = True
-                except Exception as exc:  # noqa: BLE001 - pickling edge
+                except Exception as exc:  # noqa: BLE001 - pickling edge  # vp-lint: disable=VP007 - pool-side plumbing; deadlines are worker-side
                     done[index] = failure_outcome(
                         by_index[index],
                         failure="error",
@@ -514,11 +514,11 @@ class ParallelExecutor(Executor):
             return
         try:
             pool.shutdown(wait=True, cancel_futures=True)
-        except Exception:  # noqa: BLE001 - broken-pool shutdown
+        except Exception:  # noqa: BLE001 - broken-pool shutdown  # vp-lint: disable=VP007 - pool teardown; deadlines are worker-side
             for process in list((getattr(pool, "_processes", None) or {}).values()):
                 try:
                     process.terminate()
-                except Exception:  # noqa: BLE001
+                except Exception:  # noqa: BLE001  # vp-lint: disable=VP007 - pool teardown; deadlines are worker-side
                     pass
 
 

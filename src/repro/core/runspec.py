@@ -255,6 +255,7 @@ def _acquire_platform(
     spec: RunSpec,
     factory: "_t.Callable[[Simulator], Module]",
     reset: _t.Optional[_t.Callable],
+    kernel_factory: _t.Optional[_t.Callable[[], Simulator]] = None,
 ) -> _t.Tuple[Simulator, "Module", bool]:
     """``(sim, root, warm)`` to run *spec* on.
 
@@ -263,8 +264,18 @@ def _acquire_platform(
     restored to power-on state (kernel first, then module state), a
     cache miss elaborates once and caches.  Everything else builds
     fresh and is discarded after the run.
+
+    A non-default *kernel_factory* (instrumented kernels: the
+    order-sensitivity checker's shuffled scheduler) forces the fresh
+    path — an instrumented kernel must never be cached as a warm
+    platform other runs would silently inherit.
     """
-    if reset is not None and spec.reuse_platform and spec.platform:
+    if (
+        kernel_factory is None
+        and reset is not None
+        and spec.reuse_platform
+        and spec.platform
+    ):
         cached = _WARM_PLATFORMS.get(spec.platform)
         if cached is not None:
             sim, root = cached
@@ -280,7 +291,7 @@ def _acquire_platform(
         sim.snapshot_elaboration()
         _WARM_PLATFORMS[spec.platform] = (sim, root)
         return sim, root, True
-    sim = Simulator()
+    sim = Simulator() if kernel_factory is None else kernel_factory()
     return sim, factory(sim), False
 
 
@@ -292,8 +303,15 @@ def execute_runspec(
     golden: _t.Optional[RunObservation] = None,
     trace_signals: _t.Optional[_t.Callable] = None,
     reset: _t.Optional[_t.Callable] = None,
+    kernel_factory: _t.Optional[_t.Callable[[], Simulator]] = None,
 ) -> RunOutcome:
     """Execute one spec and classify the result.
+
+    *kernel_factory* (default: plain :class:`Simulator`) builds the
+    kernel for the fresh path — diagnostic harnesses pass an
+    instrumented one (e.g. ``Simulator(order_seed=...)`` from the
+    order-sensitivity checker); supplying it disables warm reuse for
+    this call.
 
     The golden reference is taken from the spec when present,
     otherwise from the *golden* argument; planners always embed it so
@@ -318,8 +336,8 @@ def execute_runspec(
             f"run {spec.index}: no golden reference (neither embedded "
             f"in the spec nor passed to execute_runspec)"
         )
-    wall_start = time.perf_counter()
-    sim, root, warm = _acquire_platform(spec, factory, reset)
+    wall_start = time.perf_counter()  # vp-lint: disable=VP005 - wall_s accounting, not model behavior
+    sim, root, warm = _acquire_platform(spec, factory, reset, kernel_factory)
     stressor = Stressor(
         "stressor", parent=root, platform_root=root,
         rng=random.Random(spec.run_seed),
@@ -340,7 +358,7 @@ def execute_runspec(
             # and the trace recorded up to the hang survives as a
             # partial digest — the hung-run post-mortem evidence.
             kernel_stats = sim.stats()
-            kernel_stats["wall_s"] = time.perf_counter() - wall_start
+            kernel_stats["wall_s"] = time.perf_counter() - wall_start  # vp-lint: disable=VP005 - wall_s accounting, not model behavior
             digest = None
             if run_trace is not None:
                 digest = run_trace.finalize(
@@ -368,7 +386,7 @@ def execute_runspec(
                 outcome=outcome.name,
             )
         kernel_stats = sim.stats()
-        kernel_stats["wall_s"] = time.perf_counter() - wall_start
+        kernel_stats["wall_s"] = time.perf_counter() - wall_start  # vp-lint: disable=VP005 - wall_s accounting, not model behavior
         return RunOutcome(
             index=spec.index,
             outcome=outcome,
@@ -442,7 +460,7 @@ def execute_runspec_tolerant(spec: RunSpec) -> RunOutcome:
     """
     try:
         return execute_runspec_from_registry(spec)
-    except Exception as exc:  # noqa: BLE001 - degraded to a record
+    except Exception as exc:  # noqa: BLE001 - degraded to a record  # vp-lint: disable=VP007 - deadlines degrade to TIMEOUT inside execute_runspec; anything that escapes must become a record, never kill the worker
         return failure_outcome(
             spec,
             failure="error",

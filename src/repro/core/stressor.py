@@ -13,7 +13,7 @@ from __future__ import annotations
 import random
 import typing as _t
 
-from ..kernel import Module
+from ..kernel import DeadlineExceeded, Module
 from .injector import AppliedInjection, apply_fault
 from .scenario import ErrorScenario
 
@@ -85,6 +85,10 @@ class Stressor(Module):
                 self.sim,
                 self.rng,
             )
+        except DeadlineExceeded:
+            # Never degrade a wall-clock abort into an injection error:
+            # the run must end, not limp on with one fault missing.
+            raise
         except Exception as exc:  # noqa: BLE001 - recorded, not fatal
             self.errors.append(
                 f"{planned.target_path}/{planned.descriptor.name}: {exc}"

@@ -106,7 +106,7 @@ class Process:
         except StopIteration:
             self._finish()
             return
-        except BaseException as exc:  # noqa: BLE001 - reported to sim
+        except BaseException as exc:  # noqa: BLE001 - reported to sim  # vp-lint: disable=VP007 - recorded as ProcessError and re-raised by Simulator.run; nothing is swallowed
             self.exception = exc
             self._finish()
             self.sim._report_process_error(ProcessError(self, exc))

@@ -20,6 +20,8 @@ fault-injection campaigns must replay exactly under a fixed seed.
 from __future__ import annotations
 
 import heapq
+import os
+import random
 import time
 import typing as _t
 from collections import deque
@@ -76,9 +78,20 @@ class Simulator:
 
         sim.spawn(blinker(), name="blinker")
         sim.run(until=100)
+
+    ``sanitize`` arms the delta-race sanitizer
+    (:mod:`repro.analyze.sanitizer`): ``True``, a ``SanitizeConfig``,
+    or a shared ``DeltaRaceSanitizer`` instance; ``None`` defers to
+    the ``REPRO_SANITIZE`` environment variable (any value except
+    ``""``/``"0"`` enables it).  ``order_seed`` deterministically
+    shuffles the runnable queue at every delta-cycle boundary — an
+    intentional perturbation of the (otherwise guaranteed) FIFO order
+    used by the order-sensitivity checker
+    (:func:`repro.analyze.check_order_sensitivity`) to expose
+    platforms whose behavior depends on process scheduling order.
     """
 
-    def __init__(self):
+    def __init__(self, sanitize=None, order_seed: _t.Optional[int] = None):
         #: Current simulation time in kernel units.
         self.now: int = 0
         #: Delta-cycle counter within the current timestamp (diagnostics).
@@ -110,6 +123,25 @@ class Simulator:
         self._elab_snapshot: _t.Optional[tuple] = None
         #: Hooks invoked as fn(sim) after every delta cycle (tracing).
         self.delta_hooks: list = []
+        #: The process currently being stepped (sanitizer attribution;
+        #: only maintained while a sanitizer is armed).
+        self._current_process: _t.Optional[Process] = None
+        if sanitize is None and os.environ.get("REPRO_SANITIZE", "0") not in (
+            "", "0"
+        ):
+            sanitize = True
+        if sanitize:
+            # Lazy import: the sanitizer lives in the analysis layer,
+            # which imports the kernel; resolving it here (only when
+            # armed) keeps the packages acyclic at import time.
+            from ..analyze.sanitizer import resolve_sanitize
+
+            self._sanitizer = resolve_sanitize(sanitize)
+        else:
+            self._sanitizer = None
+        self._order_rng = (
+            None if order_seed is None else random.Random(order_seed)
+        )
 
     # ------------------------------------------------------------------
     # Process management
@@ -179,6 +211,13 @@ class Simulator:
         )
 
     def _request_update(self, signal: "SignalBase") -> None:
+        if self._sanitizer is not None:
+            # Every staged write, not just the first per delta: the
+            # *second* write to an already-pending signal is exactly
+            # the write-write conflict the sanitizer exists to see.
+            self._sanitizer.on_write(
+                signal, self._current_process, self.now, self.delta_count
+            )
         if not signal._update_pending:
             signal._update_pending = True
             self._update_queue.append(signal)
@@ -250,7 +289,7 @@ class Simulator:
         horizon = simtime.TIME_MAX if until is None else until
         self._deadline_at = (
             None if deadline_s is None
-            else time.perf_counter() + deadline_s
+            else time.perf_counter() + deadline_s  # vp-lint: disable=VP005 - the deadline budget is wall-clock by definition
         )
         self._deadline_s = deadline_s
         try:
@@ -282,10 +321,19 @@ class Simulator:
         return self.now
 
     def _check_deadline(self) -> None:
-        if time.perf_counter() >= self._deadline_at:
+        if time.perf_counter() >= self._deadline_at:  # vp-lint: disable=VP005 - the deadline budget is wall-clock by definition
             raise DeadlineExceeded(self._deadline_s, self.now)
 
     def _delta_cycle(self) -> None:
+        sanitizer = self._sanitizer
+        if self._order_rng is not None and len(self._runnable) > 1:
+            # Order-sensitivity probing: permute the evaluation order
+            # deterministically per seed.  A sound platform produces
+            # byte-identical digests under any permutation.
+            shuffled = list(self._runnable)
+            self._order_rng.shuffle(shuffled)
+            self._runnable.clear()
+            self._runnable.extend(shuffled)
         # Evaluation phase.
         while self._runnable:
             process = self._runnable.popleft()
@@ -300,9 +348,13 @@ class Simulator:
                 and not (self.processes_stepped & 0xFF)
             ):
                 self._check_deadline()
+            if sanitizer is not None:
+                self._current_process = process
             process._step()
             if self._stop_requested:
                 return
+        if sanitizer is not None:
+            self._current_process = None
         # Update phase.
         if self._update_queue:
             updates, self._update_queue = self._update_queue, []
@@ -324,6 +376,10 @@ class Simulator:
                     self._runnable.append(process)
         self.delta_count += 1
         self.delta_cycles_total += 1
+        if sanitizer is not None:
+            # Close the same-delta conflict window: writes staged in
+            # different delta cycles are ordinary sequencing.
+            sanitizer.end_delta()
         if self.delta_hooks:
             for hook in self.delta_hooks:
                 hook(self)
@@ -483,6 +539,9 @@ class Simulator:
         self._errors = []
         self._deadline_at = None
         self.delta_hooks.clear()
+        self._current_process = None
+        if self._sanitizer is not None:
+            self._sanitizer.on_reset()
         if self._elab_snapshot is not None:
             self._replay_elaboration()
         for process in self._processes:
@@ -491,6 +550,11 @@ class Simulator:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+
+    @property
+    def sanitizer(self):
+        """The armed delta-race sanitizer, or ``None`` when disabled."""
+        return self._sanitizer
 
     def stats(self) -> _t.Dict[str, int]:
         """Lifetime scheduling counters for this kernel instance.

@@ -98,6 +98,17 @@ class SignalBase:
         self._next = value
         self.sim._request_update(self)
 
+    @property
+    def staged(self):
+        """The value staged for the next update phase.
+
+        Equal to :meth:`read` when no write is pending.  Public so
+        diagnostic layers (the delta-race sanitizer) can report what a
+        conflicting write staged without reaching into kernel-private
+        state.
+        """
+        return self._next
+
     #: ``signal.value`` is sugar for read/write.
     @property
     def value(self):

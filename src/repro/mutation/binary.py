@@ -29,6 +29,7 @@ from ..hw.cpu.isa import (
     decode,
     encode,
 )
+from ..kernel import DeadlineExceeded
 
 #: ISA-level operator swaps (binary AOR/ROR analogue).
 _OP_SWAPS: _t.Dict[Op, _t.Tuple[Op, ...]] = {
@@ -196,5 +197,9 @@ class BinaryMutationEngine:
     def _detects(self, image: bytes) -> bool:
         try:
             return bool(self.testbench(image))
+        except DeadlineExceeded:
+            # Deadline aborts belong to the campaign's budget machinery;
+            # treating one as "detected" would hide the timeout.
+            raise
         except Exception:  # noqa: BLE001 - crash counts as detection
             return True

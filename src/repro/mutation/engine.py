@@ -23,6 +23,7 @@ import inspect
 import textwrap
 import typing as _t
 
+from ..kernel import DeadlineExceeded
 from .operators import (
     DEFAULT_OPERATORS,
     MutationSite,
@@ -170,6 +171,11 @@ def _detects(testbench: Testbench, fn: _t.Callable) -> bool:
         return bool(testbench(fn))
     except AssertionError:
         return True
+    except DeadlineExceeded:
+        # The wall-clock budget is the campaign's, not the mutant's:
+        # swallowing it as "killed" would silently eat the deadline and
+        # let a hung qualification run to completion.
+        raise
     except Exception:
         # A crashing DUT is conspicuously broken: counts as killed.
         return True

@@ -97,7 +97,7 @@ class HostileDut(Module):
                     "injected firmware runaway (mode=raise)"
                 )
             if self.mode == "die":
-                os._exit(17)  # hard worker kill, bypasses all handlers
+                os._exit(17)  # hard worker kill, bypasses all handlers  # vp-lint: disable=VP010 - crashing the worker is this platform's purpose
             self.cycles += 1
 
 

@@ -1,0 +1,134 @@
+"""Regression tests: DeadlineExceeded must re-raise through the three
+formerly-broad handlers (mutation engine, binary engine, stressor).
+
+Before this PR each of these swallowed ``DeadlineExceeded`` into its
+local failure bookkeeping ("mutant killed", "injection error"), so a
+run that blew its wall-clock budget kept executing instead of
+degrading to the TIMEOUT record the fault-tolerance layer expects.
+"""
+
+import types
+
+import pytest
+
+from repro.core.scenario import ErrorScenario
+from repro.core.stressor import Stressor
+from repro.kernel import DeadlineExceeded, Module, ProcessError, Simulator
+from repro.mutation.binary import BinaryMutationEngine
+from repro.mutation.engine import _detects
+
+DEADLINE = DeadlineExceeded(0.25, 1234)
+
+
+# ---------------------------------------------------------------------------
+# repro.mutation.engine._detects
+# ---------------------------------------------------------------------------
+
+def test_engine_detects_reraises_deadline():
+    def testbench(fn):
+        raise DeadlineExceeded(0.25, 99)
+
+    with pytest.raises(DeadlineExceeded):
+        _detects(testbench, lambda: None)
+
+
+def test_engine_detects_still_counts_crash_and_assert_as_killed():
+    def crashing(fn):
+        raise RuntimeError("dut exploded")
+
+    def asserting(fn):
+        raise AssertionError("mismatch")
+
+    assert _detects(crashing, lambda: None) is True
+    assert _detects(asserting, lambda: None) is True
+    assert _detects(lambda fn: False, lambda: None) is False
+
+
+# ---------------------------------------------------------------------------
+# repro.mutation.binary.BinaryMutationEngine._detects
+# ---------------------------------------------------------------------------
+
+def _binary_detects(testbench):
+    stub = types.SimpleNamespace(testbench=testbench)
+    return BinaryMutationEngine._detects(stub, b"\x00\x00")
+
+
+def test_binary_detects_reraises_deadline():
+    def testbench(image):
+        raise DeadlineExceeded(0.25, 99)
+
+    with pytest.raises(DeadlineExceeded):
+        _binary_detects(testbench)
+
+
+def test_binary_detects_still_counts_crash_as_detection():
+    def crashing(image):
+        raise ValueError("trap")
+
+    assert _binary_detects(crashing) is True
+    assert _binary_detects(lambda image: True) is True
+
+
+# ---------------------------------------------------------------------------
+# repro.core.stressor.Stressor._inject_at
+# ---------------------------------------------------------------------------
+
+def _armed_stressor(monkeypatch, exc):
+    def failing_apply_fault(descriptor, target_path, point, sim, rng):
+        raise exc
+
+    monkeypatch.setattr(
+        "repro.core.stressor.apply_fault", failing_apply_fault
+    )
+    sim = Simulator()
+    top = Module("top", sim=sim)
+    return sim, Stressor("stressor", parent=top, platform_root=top)
+
+
+def test_stressor_reraises_deadline(monkeypatch):
+    sim, stressor = _armed_stressor(monkeypatch, DEADLINE)
+    planned = types.SimpleNamespace(
+        time=0,
+        descriptor=types.SimpleNamespace(name="bitflip"),
+        target_path="top.mem",
+    )
+    gen = stressor._inject_at(planned, point=None)
+    with pytest.raises(DeadlineExceeded):
+        next(gen)
+    # Nothing was recorded: the abort is not an "injection error".
+    assert stressor.errors == []
+    assert stressor.applied == []
+
+
+def test_stressor_deadline_aborts_the_run(monkeypatch):
+    """End to end through the kernel: the injection process dies with
+    DeadlineExceeded and the run surfaces it, instead of limping on."""
+    sim, stressor = _armed_stressor(monkeypatch, DEADLINE)
+    planned = types.SimpleNamespace(
+        time=2,
+        descriptor=types.SimpleNamespace(name="bitflip"),
+        target_path="top.mem",
+    )
+    sim.spawn(stressor._inject_at(planned, point=None))  # vp-lint: disable=VP002 - throwaway test kernel
+    with pytest.raises(ProcessError) as exc:
+        sim.run(until=10)
+    assert isinstance(exc.value.original, DeadlineExceeded)
+    assert stressor.errors == []
+
+
+def test_stressor_ordinary_errors_stay_recorded(monkeypatch):
+    """The narrowing must not change the tolerant path: mundane
+    injection failures are still recorded, never fatal."""
+    sim, stressor = _armed_stressor(monkeypatch, KeyError("no such target"))
+    scenario = ErrorScenario("broken", [])
+    stressor.arm(scenario)
+    planned = types.SimpleNamespace(
+        time=0,
+        descriptor=types.SimpleNamespace(name="bitflip"),
+        target_path="top.mem",
+    )
+    gen = stressor._inject_at(planned, point=None)
+    with pytest.raises(StopIteration):
+        next(gen)
+    assert len(stressor.errors) == 1
+    assert "top.mem/bitflip" in stressor.errors[0]
