@@ -30,9 +30,12 @@ from _workloads import (
     emit_campaign_bench,
     skipped_entry,
     timed_campaign,
+    timed_fork_campaign,
 )
 
 THROUGHPUT_RUNS = 60
+FORK_RUNS = 128
+FORK_BATCH = 64
 SPEEDUP_RUNS = 160
 SPEEDUP_WORKERS = 4
 PARALLEL_WORKERS = min(4, max(2, CPUS))
@@ -71,8 +74,49 @@ def test_campaign_backend_throughput_json():
         )
     else:
         entries.append(skipped_entry("parallel", "single-cpu"))
+    # Fork rows: the prefix-heavy workload (one shared injection time,
+    # >= 80% fault-free prefix) with snapshot-fork off and on.  The
+    # fork entry's speedup is precomputed against its own serial
+    # baseline — the workloads differ, so the generic vs-"serial"
+    # ratio would compare apples to oranges.
+    prefix, prefix_wall = timed_fork_campaign(
+        FORK_RUNS, fork=False, batch_size=FORK_BATCH
+    )
+    forked, forked_wall = timed_fork_campaign(
+        FORK_RUNS, fork=True, batch_size=FORK_BATCH
+    )
+    assert forked.outcome_histogram() == prefix.outcome_histogram()
+    prefix_entry = campaign_bench_entry(
+        "serial-prefix", prefix, prefix_wall, 1
+    )
+    fork_entry = campaign_bench_entry("fork", forked, forked_wall, 1)
+    fork_entry["speedup_vs_serial"] = round(
+        fork_entry["runs_per_s"] / prefix_entry["runs_per_s"], 2
+    )
+    entries.extend([prefix_entry, fork_entry])
     path = emit_campaign_bench(entries)
     assert path.exists()
+
+
+def test_campaign_fork_speedup_acceptance():
+    """>= 3x runs/sec from snapshot-fork on a >= 80%-prefix workload,
+    identical results run for run."""
+    prefix, prefix_wall = timed_fork_campaign(
+        FORK_RUNS, fork=False, batch_size=FORK_BATCH
+    )
+    forked, forked_wall = timed_fork_campaign(
+        FORK_RUNS, fork=True, batch_size=FORK_BATCH
+    )
+    assert forked.outcome_histogram() == prefix.outcome_histogram()
+    assert [r.matched_rules for r in forked.records] == [
+        r.matched_rules for r in prefix.records
+    ]
+    prefix_rate = FORK_RUNS / prefix_wall
+    forked_rate = FORK_RUNS / forked_wall
+    assert forked_rate >= 3.0 * prefix_rate, (
+        f"fork {forked_rate:.1f} runs/s vs per-run "
+        f"{prefix_rate:.1f} runs/s"
+    )
 
 
 def test_campaign_warm_reuse_is_not_slower():

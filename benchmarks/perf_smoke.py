@@ -25,7 +25,7 @@ import os
 import subprocess
 import sys
 
-from _workloads import CAMPAIGN_BENCH_PATH, timed_campaign
+from _workloads import CAMPAIGN_BENCH_PATH, timed_campaign, timed_fork_campaign
 
 
 def committed_baseline_text() -> str:
@@ -62,6 +62,24 @@ def committed_serial_rate() -> float:
     )
 
 
+def committed_fork_speedup() -> float:
+    """The committed ``fork`` row's speedup over its serial baseline.
+
+    ``None``-safe by construction: a baseline without a fork row (or
+    with the row skipped) fails loudly — the row is part of the bench
+    contract once fork execution exists."""
+    payload = json.loads(committed_baseline_text())
+    for entry in payload["entries"]:
+        if entry.get("backend") == "fork" and not entry.get("skipped"):
+            speedup = entry.get("speedup_vs_serial")
+            if speedup:
+                return float(speedup)
+    raise SystemExit(
+        f"no measured fork entry in {CAMPAIGN_BENCH_PATH}; "
+        f"regenerate it with bench_campaign.py"
+    )
+
+
 def main() -> int:
     runs = int(os.environ.get("REPRO_PERF_SMOKE_RUNS", "40"))
     tolerance = float(os.environ.get("REPRO_PERF_TOLERANCE", "0.30"))
@@ -84,6 +102,34 @@ def main() -> int:
     if measured < floor:
         print(
             "serial campaign throughput regressed beyond tolerance; "
+            "if intentional, regenerate BENCH_campaign.json via "
+            "bench_campaign.py and commit it with the change",
+            file=sys.stderr,
+        )
+        return 1
+
+    # Snapshot-fork guard: the *speedup ratio* of the prefix-heavy
+    # workload, not an absolute rate — ratios transfer across hosts,
+    # so the same tolerance applies.  A fork path that silently fell
+    # back to per-run execution measures ~1.0 and fails here.
+    fork_baseline = committed_fork_speedup()
+    prefix, prefix_wall = timed_fork_campaign(
+        runs, fork=False, batch_size=runs
+    )
+    forked, forked_wall = timed_fork_campaign(
+        runs, fork=True, batch_size=runs
+    )
+    fork_speedup = prefix_wall / forked_wall
+    fork_floor = fork_baseline * (1.0 - tolerance)
+    fork_verdict = "ok" if fork_speedup >= fork_floor else "REGRESSION"
+    print(
+        f"perf-smoke: fork speedup {fork_speedup:.2f}x over "
+        f"{forked.runs} runs (committed {fork_baseline:.2f}x, floor "
+        f"{fork_floor:.2f}x at -{tolerance:.0%}): {fork_verdict}"
+    )
+    if fork_speedup < fork_floor:
+        print(
+            "snapshot-fork speedup regressed beyond tolerance; "
             "if intentional, regenerate BENCH_campaign.json via "
             "bench_campaign.py and commit it with the change",
             file=sys.stderr,

@@ -506,6 +506,54 @@ class UnresettableRegistration(Rule):
 
 
 @rule
+class ForklessWarmRegistration(Rule):
+    """A platform registered with a ``reset`` hook but no
+    ``capture_state``/``restore_state`` pair supports warm reuse but
+    not snapshot-fork execution: every fork-enabled campaign silently
+    falls back to per-run simulation for it.  A module whose state a
+    ``reset`` hook can rebuild can almost always be deep-captured too
+    — declare the choice either way."""
+
+    code = "VP011"
+    name = "forkless-warm-registration"
+    severity = WARNING
+    summary = (
+        "register_platform(...) with reset= but no capture_state=; "
+        "platform silently forfeits snapshot-fork execution"
+    )
+
+    #: capture_state is the 8th positional parameter of
+    #: register_platform (after reset).
+    _CAPTURE_POSITION = 8
+
+    def check_node(self, node, ctx):
+        if not isinstance(node, ast.Call):
+            return
+        if _call_name(node) != "register_platform":
+            return
+        has_reset = (
+            len(node.args) >= UnresettableRegistration._RESET_POSITION
+            or any(kw.arg == "reset" for kw in node.keywords)
+        )
+        if not has_reset:
+            return
+        has_capture = (
+            len(node.args) >= self._CAPTURE_POSITION
+            or any(kw.arg == "capture_state" for kw in node.keywords)
+        )
+        if has_capture:
+            return
+        yield self.finding(
+            node, ctx,
+            "register_platform(...) declares reset= but no "
+            "capture_state=/restore_state= — fork-enabled campaigns "
+            "silently fall back to per-run simulation; add snapshot "
+            "hooks, or pragma this line with why mid-run capture is "
+            "unsupported",
+        )
+
+
+@rule
 class ProcessExitInModel(Rule):
     """``os._exit``/``sys.exit`` in platform code kills the executing
     process — in a serial campaign that is the campaign itself.  Only

@@ -276,6 +276,8 @@ class Campaign:
         if duration <= 0:
             raise ValueError("campaign run duration must be positive")
         reset: _t.Optional[_t.Callable] = None
+        capture_state: _t.Optional[_t.Callable] = None
+        restore_state: _t.Optional[_t.Callable] = None
         if platform is not None:
             from ..platforms import registry
 
@@ -283,8 +285,11 @@ class Campaign:
             if platform_factory is None:
                 # The warm-reuse reset hook belongs to the bundle's own
                 # factory; a caller-supplied factory may build something
-                # the hook does not know how to restore.
+                # the hook does not know how to restore.  Same for the
+                # snapshot-fork hooks.
                 reset = bundle.reset
+                capture_state = bundle.capture_state
+                restore_state = bundle.restore_state
             platform_factory = platform_factory or bundle.factory
             observe = observe or bundle.observe
             classifier = classifier or bundle.classifier_factory()
@@ -297,6 +302,8 @@ class Campaign:
         self.observe = observe
         self.classifier = classifier
         self.reset = reset
+        self.capture_state = capture_state
+        self.restore_state = restore_state
         self.duration = duration
         self.seed = seed
         self.platform = platform
@@ -387,6 +394,7 @@ class Campaign:
         deadline_s: _t.Optional[float] = None,
         trace: _t.Optional[TraceConfig] = None,
         reuse_platform: bool = True,
+        fork: bool = False,
     ) -> _t.List[RunSpec]:
         """Freeze the next *count* runs into self-contained specs.
 
@@ -411,6 +419,7 @@ class Campaign:
                 deadline_s=deadline_s,
                 trace=trace,
                 reuse_platform=reuse_platform,
+                fork=fork,
             )
             for offset, scenario in enumerate(scenarios)
         ]
@@ -435,6 +444,7 @@ class Campaign:
         telemetry: _t.Optional[CampaignTelemetry] = None,
         reuse_platform: bool = True,
         chunk_size: _t.Optional[int] = None,
+        fork: bool = False,
     ) -> CampaignResult:
         """Execute *runs* iterations of the closed loop.
 
@@ -493,6 +503,19 @@ class Campaign:
         ``chunk_size`` overrides the parallel executor's per-future
         batch size (``None`` auto-tunes; serial ignores it).  Neither
         knob is part of the checkpoint identity.
+
+        ``fork`` (default False) opts the campaign into snapshot-fork
+        execution: runs sharing a platform and earliest injection time
+        are grouped *within each batch*, their fault-free prefix is
+        simulated once, and every run in the group forks from a
+        mid-run kernel snapshot (:meth:`Simulator.snapshot`).  Requires
+        the platform bundle's ``capture_state``/``restore_state``
+        hooks; anything ineligible silently takes the per-run path.
+        Outcomes are bit-for-bit identical either way
+        (equivalence-tested), so like ``reuse_platform`` the knob is
+        excluded from the checkpoint identity.  Note the serial
+        default ``batch_size=1`` leaves nothing to group — pass an
+        explicit batch size to see fork-mode speedups.
         """
         trace_config = resolve_trace(trace)
         if trace_config is not None:
@@ -518,6 +541,8 @@ class Campaign:
             retry=RetryPolicy(max_retries, retry_backoff_s),
             hard_timeout_s=hard_timeout_s,
             reset=self.reset,
+            capture_state=self.capture_state,
+            restore_state=self.restore_state,
             chunk_size=chunk_size,
         )
         if batch_size is None:
@@ -568,6 +593,7 @@ class Campaign:
                     deadline_s=run_timeout_s,
                     trace=trace_config,
                     reuse_platform=reuse_platform,
+                    fork=fork,
                 )
                 index += len(specs)
                 if journal is not None:

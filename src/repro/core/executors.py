@@ -59,12 +59,15 @@ import time
 import typing as _t
 
 from .runspec import (
+    ForkUnsupported,
     RunOutcome,
     RunSpec,
     execute_chunk_tolerant,
+    execute_fork_group,
     execute_runspec,
     execute_runspec_tolerant,
     failure_outcome,
+    fork_groups,
 )
 
 if _t.TYPE_CHECKING:  # pragma: no cover
@@ -143,7 +146,11 @@ class SerialExecutor(Executor):
     whose factories are closures) or from a registry key.  ``reset``
     is the platform bundle's warm-reset hook; when present, runs that
     permit ``reuse_platform`` execute on one warm platform instead of
-    re-elaborating per run.
+    re-elaborating per run.  ``capture_state``/``restore_state`` are
+    the bundle's snapshot hooks; fork-mode specs (``RunSpec.fork``)
+    sharing a platform and injection time then run as snapshot-fork
+    groups — one shared prefix, N forked suffixes — with per-run
+    fallback whenever a group cannot fork.
     """
 
     def __init__(
@@ -152,11 +159,15 @@ class SerialExecutor(Executor):
         observe: "_t.Callable[[Module], RunObservation]",
         classifier: "Classifier",
         reset: _t.Optional[_t.Callable] = None,
+        capture_state: _t.Optional[_t.Callable] = None,
+        restore_state: _t.Optional[_t.Callable] = None,
     ):
         self.factory = factory
         self.observe = observe
         self.classifier = classifier
         self.reset = reset
+        self.capture_state = capture_state
+        self.restore_state = restore_state
 
     def _run_one(self, spec: RunSpec) -> RunOutcome:
         try:
@@ -174,7 +185,24 @@ class SerialExecutor(Executor):
             )
 
     def run_batch(self, specs: _t.Sequence[RunSpec]) -> _t.List[RunOutcome]:
-        return [self._run_one(spec) for spec in specs]
+        groups, singles = fork_groups(specs)
+        if not groups:
+            return [self._run_one(spec) for spec in specs]
+        done: _t.Dict[int, RunOutcome] = {}
+        for _key, members in groups:
+            try:
+                results = execute_fork_group(
+                    members, self.factory, self.observe, self.classifier,
+                    capture_state=self.capture_state,
+                    restore_state=self.restore_state,
+                )
+            except ForkUnsupported:
+                results = [self._run_one(spec) for spec in members]
+            for spec, outcome in zip(members, results):
+                done[spec.index] = outcome
+        for spec in singles:
+            done[spec.index] = self._run_one(spec)
+        return [done[spec.index] for spec in specs]
 
 
 class ParallelExecutor(Executor):
@@ -533,6 +561,8 @@ def make_executor(
     retry: _t.Optional[RetryPolicy] = None,
     hard_timeout_s: _t.Optional[float] = None,
     reset=None,
+    capture_state=None,
+    restore_state=None,
     chunk_size: _t.Optional[int] = None,
 ) -> _t.Tuple[Executor, bool]:
     """Resolve a backend selector to an executor.
@@ -547,7 +577,13 @@ def make_executor(
     if backend == "serial":
         if factory is None or observe is None or classifier is None:
             raise ValueError("serial backend needs factory/observe/classifier")
-        return SerialExecutor(factory, observe, classifier, reset=reset), True
+        return (
+            SerialExecutor(
+                factory, observe, classifier, reset=reset,
+                capture_state=capture_state, restore_state=restore_state,
+            ),
+            True,
+        )
     if backend == "parallel":
         if platform is None:
             raise ValueError(

@@ -25,10 +25,11 @@ import random
 import time
 import typing as _t
 
-from ..kernel import DeadlineExceeded, Simulator
+from ..kernel import DeadlineExceeded, Simulator, SnapshotUnsupported
+from ..observe import hooks
 from ..observe.config import TraceConfig
 from ..observe.digest import TraceDigest
-from ..observe.runtrace import RunTrace, planned_digest
+from ..observe.runtrace import PrefixDetectionSink, RunTrace, planned_digest
 from .classification import Classifier, Outcome, RunObservation
 from .scenario import ErrorScenario
 from .stressor import Stressor
@@ -71,6 +72,17 @@ class RunSpec:
     hook; ``False`` forces a fresh build for every run.  Reuse never
     changes simulation content (that equivalence is test-pinned), so
     the flag is not part of the checkpoint identity.
+
+    ``fork`` opts the run into **snapshot-fork execution**: the
+    executing side may group specs sharing a platform and earliest
+    injection time, simulate the fault-free prefix once, snapshot the
+    kernel (:meth:`Simulator.snapshot`), and fork every run in the
+    group from the captured state.  Like ``reuse_platform`` it is an
+    execution strategy, not simulation content — fork-vs-fresh
+    equivalence is test-pinned — so it is likewise excluded from the
+    checkpoint identity.  Platforms opt in through the registry
+    bundle's ``capture_state``/``restore_state`` hooks; anything else
+    silently falls back to per-run execution.
     """
 
     index: int
@@ -83,6 +95,7 @@ class RunSpec:
     attempt: int = 0
     trace: _t.Optional[TraceConfig] = None
     reuse_platform: bool = True
+    fork: bool = False
 
     def __post_init__(self):
         if self.duration <= 0:
@@ -446,6 +459,275 @@ def execute_runspec_from_registry(spec: RunSpec) -> RunOutcome:
     )
 
 
+# -- snapshot-fork execution -------------------------------------------------
+
+
+class ForkUnsupported(RuntimeError):
+    """This group cannot run fork-mode; callers fall back to per-run
+    execution (which is always semantically equivalent, just slower)."""
+
+
+def fork_time(spec: RunSpec) -> _t.Optional[int]:
+    """The pre-injection fork point of *spec*, or ``None``.
+
+    A spec can fork when it opted in, carries a platform key, and its
+    scenario's earliest injection lands strictly inside the run window
+    (``1 <= t1 <= duration``) — the shared prefix is then ``[0, t1-1]``
+    and every injector's anchor wait (see ``Stressor._inject_at``)
+    crosses the fork boundary identically on forked and fresh runs.
+    """
+    if not spec.fork or spec.platform is None:
+        return None
+    if not spec.scenario.injections:
+        return None
+    t1 = min(planned.time for planned in spec.scenario.injections)
+    if t1 < 1 or t1 > spec.duration:
+        return None
+    return t1
+
+
+def fork_groups(
+    specs: _t.Sequence[RunSpec],
+) -> _t.Tuple[
+    _t.List[_t.Tuple[_t.Tuple[str, int], _t.List[RunSpec]]],
+    _t.List[RunSpec],
+]:
+    """Partition *specs* into ``(groups, singles)``.
+
+    A group keys on ``(platform, fork_time)`` — the prefix those specs
+    share.  Groups of one fall back to ``singles`` (a one-run "group"
+    pays the snapshot without amortizing it).  Order within a group and
+    among singles follows the input; callers reassemble results by
+    spec index.
+    """
+    buckets: _t.Dict[_t.Tuple[str, int], _t.List[RunSpec]] = {}
+    order: _t.List[_t.Tuple[str, int]] = []
+    singles: _t.List[RunSpec] = []
+    for spec in specs:
+        t1 = fork_time(spec)
+        if t1 is None:
+            singles.append(spec)
+            continue
+        key = (spec.platform, t1)
+        if key not in buckets:
+            buckets[key] = []
+            order.append(key)
+        buckets[key].append(spec)
+    groups = []
+    for key in order:
+        members = buckets[key]
+        if len(members) == 1:
+            singles.append(members[0])
+        else:
+            groups.append((key, members))
+    return groups, singles
+
+
+def execute_fork_group(
+    specs: _t.Sequence[RunSpec],
+    factory: "_t.Callable[[Simulator], Module]",
+    observe: "_t.Callable[[Module], RunObservation]",
+    classifier: Classifier,
+    golden: _t.Optional[RunObservation] = None,
+    trace_signals: _t.Optional[_t.Callable] = None,
+    capture_state: _t.Optional[_t.Callable] = None,
+    restore_state: _t.Optional[_t.Callable] = None,
+) -> _t.List[RunOutcome]:
+    """Execute a fork group: one shared prefix, N forked runs.
+
+    All *specs* must share a platform and fork time (as produced by
+    :func:`fork_groups`).  The fault-free prefix ``[0, t1-1]`` is
+    simulated once on a fresh build; :meth:`Simulator.snapshot` plus
+    the platform's ``capture_state`` hook then pin the boundary, and
+    each spec runs the suffix from a restore of that capture.  Every
+    result record — outcome, observation, kernel counters (minus
+    wall clock), digest — is byte-identical to per-run execution;
+    that equivalence is property-test pinned.
+
+    Raises :class:`ForkUnsupported` when the platform lacks snapshot
+    hooks, holds bare-generator processes, or the prefix itself fails —
+    callers fall back to per-run execution, which reproduces any
+    prefix failure verbatim in each run's own record.
+    """
+    if capture_state is None or restore_state is None:
+        raise ForkUnsupported(
+            "platform has no capture_state/restore_state hooks"
+        )
+    t1 = fork_time(specs[0])
+    if t1 is None:
+        raise ForkUnsupported("lead spec has no fork point")
+    for spec in specs:
+        if fork_time(spec) != t1 or spec.platform != specs[0].platform:
+            raise ValueError(
+                "execute_fork_group requires specs sharing one "
+                "(platform, fork_time); use fork_groups() to partition"
+            )
+
+    sim = Simulator()
+    root = factory(sim)
+
+    # Probe the tie-break counter at the end of delta cycle 0: on a
+    # fresh run the stressor's injectors step *last* in that cycle (the
+    # stressor is built after the platform), so their wheel entries
+    # take the sequence numbers just above this value.  arm_forked
+    # re-arms them at fractional offsets above the same base, which
+    # reproduces the fresh ordering exactly (see Stressor.arm_forked).
+    seq_box: _t.List[int] = []
+
+    def _seq_probe(_sim):
+        if not seq_box:
+            seq_box.append(sim._seq)
+
+    sim.delta_hooks.append(_seq_probe)
+
+    # Detections fired during the prefix (a watchdog absorbing a glitch,
+    # ECC scrubbing) belong to every forked run's trace, exactly as a
+    # fresh run's recorder — armed from time zero — would see them.
+    prefix_sink: _t.Optional[PrefixDetectionSink] = None
+    if any(spec.trace is not None for spec in specs):
+        prefix_sink = PrefixDetectionSink()
+        hooks.push_sink(prefix_sink)
+    try:
+        try:
+            sim.run(until=t1 - 1, deadline_s=specs[0].deadline_s)
+        except Exception as exc:  # vp-lint: disable=VP007 - prefix failure aborts fork mode; the per-run fallback re-raises identically inside each run's own record
+            raise ForkUnsupported(
+                f"prefix failed: {type(exc).__name__}: {exc}"
+            ) from exc
+    finally:
+        if prefix_sink is not None:
+            hooks.pop_sink(prefix_sink)
+        sim.delta_hooks.remove(_seq_probe)
+    if not seq_box:
+        raise ForkUnsupported("prefix executed no delta cycle")
+    seq_base = seq_box[0]
+
+    try:
+        kernel_state = sim.snapshot()
+    except SnapshotUnsupported as exc:
+        raise ForkUnsupported(str(exc)) from exc
+    module_state = capture_state(root)
+
+    def platform_restore():
+        restore_state(root, module_state)
+
+    outcomes: _t.List[RunOutcome] = []
+    for position, spec in enumerate(specs):
+        wall_start = time.perf_counter()  # vp-lint: disable=VP005 - wall_s accounting, not model behavior
+        run_trace: _t.Optional[RunTrace] = None
+        stressor = None
+        try:
+            reference = spec.golden if spec.golden is not None else golden
+            if reference is None:
+                raise ValueError(
+                    f"run {spec.index}: no golden reference (neither "
+                    f"embedded in the spec nor passed to "
+                    f"execute_fork_group)"
+                )
+            if position > 0:
+                sim.restore(kernel_state, platform_restore=platform_restore)
+            # Boundary compensation: resuming run() at t1-1 executes one
+            # empty delta cycle a continuous run would not; undo it so
+            # forked kernel counters equal fresh ones byte-for-byte.
+            sim.delta_cycles_total -= 1
+            stressor = Stressor(
+                "stressor", parent=root, platform_root=root,
+                rng=random.Random(spec.run_seed),
+            )
+            stressor.arm_forked(spec.scenario, seq_base)
+            if spec.trace is not None:
+                run_trace = RunTrace(spec.trace, spec.index, spec.run_seed)
+                if prefix_sink is not None:
+                    run_trace.preload_detections(prefix_sink.detections)
+                run_trace.arm(
+                    sim, _resolve_trace_signals(spec, root, trace_signals)
+                )
+            try:
+                sim.run(until=spec.duration, deadline_s=spec.deadline_s)
+            except DeadlineExceeded as exc:
+                kernel_stats = sim.stats()
+                kernel_stats["wall_s"] = time.perf_counter() - wall_start  # vp-lint: disable=VP005 - wall_s accounting, not model behavior
+                digest = None
+                if run_trace is not None:
+                    digest = run_trace.finalize(
+                        stressor=stressor,
+                        outcome=Outcome.TIMEOUT.name,
+                        partial=True,
+                    )
+                outcomes.append(failure_outcome(
+                    spec,
+                    failure="timeout",
+                    error=str(exc),
+                    attempts=spec.attempt + 1,
+                    kernel_stats=kernel_stats,
+                    label="timeout:deadline",
+                    digest=digest,
+                ))
+                continue
+            observation = observe(root)
+            outcome, matched = classifier.classify(observation, reference)
+            digest = None
+            if run_trace is not None:
+                digest = run_trace.finalize(
+                    stressor=stressor,
+                    observation=observation,
+                    golden=reference,
+                    outcome=outcome.name,
+                )
+            kernel_stats = sim.stats()
+            kernel_stats["wall_s"] = time.perf_counter() - wall_start  # vp-lint: disable=VP005 - wall_s accounting, not model behavior
+            outcomes.append(RunOutcome(
+                index=spec.index,
+                outcome=outcome,
+                matched_rules=tuple(matched),
+                observation=observation,
+                injections_applied=len(stressor.applied),
+                kernel_stats=kernel_stats,
+                stressor_errors=tuple(stressor.errors),
+                attempts=spec.attempt + 1,
+                digest=digest,
+            ))
+        except Exception as exc:  # vp-lint: disable=VP007 - degraded to the same terminal record the tolerant per-run path emits; the next iteration restores the snapshot regardless
+            outcomes.append(failure_outcome(
+                spec,
+                failure="error",
+                error=f"{type(exc).__name__}: {exc}",
+                attempts=spec.attempt + 1,
+                label=f"error:{type(exc).__name__}",
+            ))
+        finally:
+            if run_trace is not None:
+                run_trace.disarm()
+            if stressor is not None:
+                # Reap this run's scaffolding before the next restore:
+                # detached processes stay dead through restore (the
+                # capture predates them), and the parent must not
+                # accumulate same-named stressor children.
+                stressor.detach()
+    return outcomes
+
+
+def execute_fork_group_from_registry(
+    specs: _t.Sequence[RunSpec],
+) -> _t.List[RunOutcome]:
+    """Worker-side fork-group entry point (picklable by reference)."""
+    spec = specs[0]
+    if spec.platform is None:
+        raise ValueError(
+            f"run {spec.index}: spec carries no platform key — only "
+            f"registry-backed campaigns can execute out of process"
+        )
+    from ..platforms import registry
+
+    bundle = registry.get_platform(spec.platform)
+    classifier = registry.get_classifier(spec.platform)
+    return execute_fork_group(
+        specs, bundle.factory, bundle.observe, classifier,
+        capture_state=bundle.capture_state,
+        restore_state=bundle.restore_state,
+    )
+
+
 def execute_runspec_tolerant(spec: RunSpec) -> RunOutcome:
     """Worker-side entry point that never raises back across the pool.
 
@@ -488,5 +770,21 @@ def execute_chunk_tolerant(
     dispatch for exactly these specs (see
     ``ParallelExecutor.run_batch``), which re-derives the crash /
     hang attribution at run granularity.
+
+    Fork-mode specs are grouped *within* the chunk: specs sharing a
+    platform and fork time run as one snapshot-fork group, anything
+    else (and any group the platform cannot fork) takes the per-run
+    path.  Records come back in spec order either way.
     """
-    return [execute_runspec_tolerant(spec) for spec in specs]
+    groups, singles = fork_groups(specs)
+    done: _t.Dict[int, RunOutcome] = {}
+    for _key, members in groups:
+        try:
+            results = execute_fork_group_from_registry(members)
+        except ForkUnsupported:
+            results = [execute_runspec_tolerant(spec) for spec in members]
+        for spec, outcome in zip(members, results):
+            done[spec.index] = outcome
+    for spec in singles:
+        done[spec.index] = execute_runspec_tolerant(spec)
+    return [done[spec.index] for spec in specs]

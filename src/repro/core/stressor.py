@@ -52,6 +52,20 @@ class Stressor(Module):
         self.errors: _t.List[str] = []
         self.scenario: _t.Optional[ErrorScenario] = None
 
+    def _resolve(self, scenario: ErrorScenario) -> list:
+        """(planned, point) pairs for *scenario*, or KeyError."""
+        points = self.platform_root.all_injection_points()
+        resolved = []
+        for planned in scenario.injections:
+            point = points.get(planned.target_path)
+            if point is None:
+                raise KeyError(
+                    f"scenario {scenario.name!r} targets unknown "
+                    f"injection point {planned.target_path!r}"
+                )
+            resolved.append((planned, point))
+        return resolved
+
     def arm(self, scenario: ErrorScenario) -> None:
         """Schedule every injection of *scenario*.
 
@@ -60,20 +74,54 @@ class Stressor(Module):
         may overlap injections arbitrarily.
         """
         self.scenario = scenario
-        points = self.platform_root.all_injection_points()
-        for index, planned in enumerate(scenario.injections):
-            point = points.get(planned.target_path)
-            if point is None:
-                raise KeyError(
-                    f"scenario {scenario.name!r} targets unknown "
-                    f"injection point {planned.target_path!r}"
-                )
+        resolved = self._resolve(scenario)
+        anchor = (
+            min(planned.time for planned, _point in resolved)
+            if resolved else None
+        )
+        for index, (planned, point) in enumerate(resolved):
             self.process(
-                self._inject_at(planned, point),
+                self._inject_at(planned, point, anchor),
                 name=f"inject{index}",
             )
 
-    def _inject_at(self, planned, point):
+    def arm_forked(self, scenario: ErrorScenario, seq_base: int) -> None:
+        """Arm *scenario* on a kernel restored from a mid-run snapshot.
+
+        Snapshot-fork execution (see ``execute_fork_group``) resumes
+        the simulation one time unit before the scenario's earliest
+        injection time — the fork point every injector's first wait
+        anchors to.  On a fresh run those injector processes step once
+        during delta cycle 0 and park on the wheel with the *last*
+        sequence numbers issued in that cycle; here they are primed
+        directly and pushed with fractional sequence numbers just
+        above *seq_base* (the prefix kernel's counter at end of its
+        cycle 0), which reproduces the fresh tie-break order exactly.
+        """
+        self.scenario = scenario
+        resolved = self._resolve(scenario)
+        anchor = min(planned.time for planned, _point in resolved)
+        count = len(resolved)
+        for index, (planned, point) in enumerate(resolved):
+            process = self.process(
+                self._inject_at(planned, point, anchor),
+                name=f"inject{index}",
+            )
+            self.sim._arm_forked_process(
+                process, seq_base + (index + 1) / (count + 1)
+            )
+
+    def _inject_at(self, planned, point, anchor=None):
+        # The anchor wait is the pre-injection fork point: every
+        # injector of a scenario first waits to the scenario's earliest
+        # injection time, so a forked run (resuming at anchor-1) and a
+        # fresh run produce identical wait sequences from the anchor
+        # on.  For the earliest injection the anchor wait IS its
+        # injection wait, so single-injection scenarios are unchanged.
+        if anchor is not None:
+            anchor_delay = anchor - self.sim.now
+            if anchor_delay > 0:
+                yield anchor_delay
         delay = planned.time - self.sim.now
         if delay > 0:
             yield delay

@@ -51,6 +51,18 @@ class Squib(Module):
         self.arm_time = None
         self.spurious_commands = 0
 
+    def capture_state(self) -> tuple:
+        """Deep-capture the interlock state (snapshot-fork support)."""
+        return (
+            self.armed, self.fired, self.fire_time, self.arm_time,
+            self.spurious_commands,
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        """Re-seed from a capture (repeatable)."""
+        (self.armed, self.fired, self.fire_time, self.arm_time,
+         self.spurious_commands) = state
+
     def b_transport(self, payload: GenericPayload, delay: int) -> int:
         if payload.address % 4 or len(payload.data) != 4:
             payload.set_error(Response.BURST_ERROR)
@@ -130,7 +142,21 @@ class ServoMotor(Module):
         self.overcurrent_fault = False
         self.position_log: _t.List[_t.Tuple[int, float]] = []
         self.tsock = TargetSocket(self, "tsock", self)
-        self.process(self._track(), name="servo")
+        self.process(self._track, name="servo")
+
+    def capture_state(self) -> tuple:
+        """Deep-capture the servo's run state (snapshot-fork support)."""
+        return (
+            self.command, self.position, self.external_load,
+            self.stall_periods, self.overcurrent_fault,
+            list(self.position_log),
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        """Re-seed from a capture (fresh log copy per restore)."""
+        (self.command, self.position, self.external_load,
+         self.stall_periods, self.overcurrent_fault, log) = state
+        self.position_log = list(log)
 
     def b_transport(self, payload: GenericPayload, delay: int) -> int:
         if payload.address % 4 or len(payload.data) != 4:
@@ -195,7 +221,16 @@ class BrakeActuator(Module):
         self.pressure = 0.0
         self.demand_log: _t.List[_t.Tuple[int, float]] = []
         self.tsock = TargetSocket(self, "tsock", self)
-        self.process(self._track(), name="hydraulics")
+        self.process(self._track, name="hydraulics")
+
+    def capture_state(self) -> tuple:
+        """Deep-capture the actuator's run state (snapshot-fork support)."""
+        return (self.demand, self.pressure, list(self.demand_log))
+
+    def restore_state(self, state: tuple) -> None:
+        """Re-seed from a capture (fresh log copy per restore)."""
+        self.demand, self.pressure, log = state
+        self.demand_log = list(log)
 
     def b_transport(self, payload: GenericPayload, delay: int) -> int:
         if payload.command.value == "write" and payload.address == 0x0:

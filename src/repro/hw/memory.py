@@ -87,6 +87,18 @@ class Memory(Module):
         self.reads = 0
         self.writes = 0
 
+    def capture_state(self) -> _t.Tuple[bytes, int, int]:
+        """Deep-capture the array image (snapshot-fork support)."""
+        return (bytes(self.data), self.reads, self.writes)
+
+    def restore_state(self, state: _t.Tuple[bytes, int, int]) -> None:
+        """Re-seed from a capture.  In place: DMI regions alias
+        ``self.data``, so the bytearray object must survive."""
+        data, reads, writes = state
+        self.data[:] = data
+        self.reads = reads
+        self.writes = writes
+
     def _peek(self, address: int) -> int:
         return self.data[address]
 
@@ -200,6 +212,27 @@ class EccMemory(Module):
         self.detected_errors = 0
         self.reads = 0
         self.writes = 0
+
+    def capture_state(self) -> _t.Tuple[_t.List[int], int, int, int, int]:
+        """Deep-capture the codeword image (snapshot-fork support)."""
+        return (
+            list(self.codewords),
+            self.corrected_errors,
+            self.detected_errors,
+            self.reads,
+            self.writes,
+        )
+
+    def restore_state(
+        self, state: _t.Tuple[_t.List[int], int, int, int, int]
+    ) -> None:
+        """Re-seed from a capture (fresh list per restore)."""
+        codewords, corrected, detected, reads, writes = state
+        self.codewords = list(codewords)
+        self.corrected_errors = corrected
+        self.detected_errors = detected
+        self.reads = reads
+        self.writes = writes
 
     def _peek(self, address: int) -> int:
         return ecc.hamming_decode(self.codewords[address]).data

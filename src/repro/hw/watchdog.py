@@ -73,6 +73,18 @@ class Watchdog(Module):
         self.bad_key_kicks = 0
         self.timeout_latched = False
 
+    def capture_state(self) -> tuple:
+        """Deep-capture the guard state (snapshot-fork support)."""
+        return (
+            self.enabled, self.last_kick, self.timeouts, self.early_kicks,
+            self.bad_key_kicks, self.timeout_latched,
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        """Re-seed from a capture (repeatable)."""
+        (self.enabled, self.last_kick, self.timeouts, self.early_kicks,
+         self.bad_key_kicks, self.timeout_latched) = state
+
     # -- TLM interface -------------------------------------------------------
 
     def b_transport(self, payload: GenericPayload, delay: int) -> int:

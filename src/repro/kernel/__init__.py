@@ -13,6 +13,7 @@ from .process import Process, ProcessError
 from .quantum import GlobalQuantum, QuantumKeeper
 from .scheduler import DeadlineExceeded, Simulator
 from .signal import Clock, Signal, SignalBase, Wire
+from .state import KernelState, SnapshotRestoreError, SnapshotUnsupported
 from .trace import Change, Tracer
 
 __all__ = [
@@ -28,6 +29,9 @@ __all__ = [
     "GlobalQuantum",
     "QuantumKeeper",
     "Simulator",
+    "KernelState",
+    "SnapshotRestoreError",
+    "SnapshotUnsupported",
     "Clock",
     "Signal",
     "SignalBase",

@@ -34,8 +34,13 @@ _heappop = heapq.heappop
 
 from . import simtime
 from .events import Event
-from .process import FINISHED, KILLED, Process, ProcessError
-from .signal import pristine_copy
+from .process import FINISHED, KILLED, WAITING, Process, ProcessError
+from .state import (
+    KernelState,
+    SnapshotRestoreError,
+    capture_kernel_state,
+    restore_kernel_state,
+)
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from .signal import SignalBase
@@ -118,9 +123,9 @@ class Simulator:
         self._stop_requested = False
         self._errors: list = []
         self._deadline_at: _t.Optional[float] = None
-        #: Pending activity recorded at end of elaboration so
-        #: :meth:`reset` can replay it; see :meth:`snapshot_elaboration`.
-        self._elab_snapshot: _t.Optional[tuple] = None
+        #: Kernel state captured at end of elaboration so :meth:`reset`
+        #: can restore it; see :meth:`snapshot_elaboration`.
+        self._elab_snapshot: _t.Optional[KernelState] = None
         #: Hooks invoked as fn(sim) after every delta cycle (tracing).
         self.delta_hooks: list = []
         #: The process currently being stepped (sanitizer attribution;
@@ -431,121 +436,126 @@ class Simulator:
         return True
 
     # ------------------------------------------------------------------
-    # Warm reset
+    # Snapshot / restore (and warm reset on top of it)
     # ------------------------------------------------------------------
 
+    def snapshot(self, strict: bool = True) -> KernelState:
+        """Capture the kernel's state at the current scheduling boundary.
+
+        Call between :meth:`run` calls (or before the first): every
+        queue except the timing wheel is empty there, and the capture is
+        exact.  The returned :class:`~repro.kernel.state.KernelState`
+        deep-copies every mutable value, so any number of later
+        :meth:`restore` calls replay from the same baseline.
+
+        ``strict=True`` refuses kernels with alive bare-generator
+        processes (:class:`~repro.kernel.state.SnapshotUnsupported`) —
+        their continuations cannot be rebuilt.  ``strict=False``
+        captures them as non-restorable; restore kills and drops them,
+        which is what the elaboration snapshot behind :meth:`reset`
+        relies on.
+
+        Module-level state (memory images, component counters) is NOT
+        captured — that is the platform's job, via the registry bundle
+        ``capture_state`` hook.
+        """
+        return capture_kernel_state(self, strict=strict)
+
+    def restore(
+        self,
+        state: KernelState,
+        platform_restore: _t.Optional[_t.Callable[[], None]] = None,
+    ) -> None:
+        """Return the kernel to a captured boundary (see :meth:`snapshot`).
+
+        Factory-spawned processes are rebuilt, primed to their first
+        yield, and re-armed with their recorded wait-sets; every queue,
+        signal, and counter is re-seeded from the capture's pristine
+        masters.  ``platform_restore`` restores module-level state and
+        is invoked twice (before and after process priming — see
+        :func:`~repro.kernel.state.restore_kernel_state`).
+        """
+        restore_kernel_state(self, state, platform_restore)
+
+    def _arm_forked_process(
+        self, process: Process, seq: float
+    ) -> None:
+        """Arm a freshly spawned injection process on a forked kernel.
+
+        Snapshot-fork execution spawns per-run injector processes
+        *after* restoring a mid-run snapshot.  On a fresh run those
+        injectors were stepped during delta cycle 0 and parked on the
+        wheel with sequence numbers interleaved at their spawn
+        position; here the prefix already ran, so the process is
+        primed immediately (consuming its first yielded delay) and
+        pushed with the caller-chosen *seq* — fractional seq values
+        slot the entry between the prefix's cycle-0 pushes and
+        everything later, reproducing the fresh tie-break order
+        exactly (see DESIGN.md · Mid-run snapshots).
+        """
+        try:
+            self._runnable.remove(process)
+        except ValueError:
+            pass
+        try:
+            condition = process.generator.send(None)
+        except StopIteration:
+            raise SnapshotRestoreError(
+                f"fork injection process {process.name!r} finished "
+                f"without yielding a delay"
+            ) from None
+        if not isinstance(condition, int) or condition <= 0:
+            raise SnapshotRestoreError(
+                f"fork injection process {process.name!r} yielded "
+                f"{condition!r}; expected a positive delay"
+            )
+        self.processes_stepped += 1
+        process.state = WAITING
+        _heappush(
+            self._wheel, (self.now + condition, seq, "process", process)
+        )
+
     def snapshot_elaboration(self) -> None:
-        """Record pending activity created by elaboration for replay.
+        """Pin the elaboration boundary for :meth:`reset` to restore.
 
         A platform factory may leave notifications behind before the
         first :meth:`run` — ``sim.timeout_event(delay)``,
         ``event.notify(delay)``, ``event.notify(0)``, or a staged
         ``signal.write`` — all of which a fresh build would deliver.
-        :meth:`reset` clears every queue wholesale, so without a
-        snapshot those elaboration-time notifications would exist on a
-        fresh platform but not on a warm one, silently breaking the
-        bit-for-bit reuse contract.
+        Without a pinned capture those elaboration-time notifications
+        would exist on a fresh platform but not on a warm one,
+        silently breaking the bit-for-bit reuse contract.
 
         Called automatically at the top of the first :meth:`run`; the
         warm-reuse executor calls it explicitly right after the platform
         factory returns (before per-run scaffolding such as the
         stressor arms), which is the precise elaboration boundary.
-        Calling it again later re-pins the boundary.
+        Calling it again later re-pins the boundary.  This is simply
+        :meth:`snapshot` in lenient mode, retained by the kernel.
         """
-        self._elab_snapshot = (
-            [
-                (when - self.now, kind, payload)
-                for when, _seq, kind, payload in sorted(self._wheel)
-            ],
-            list(self._timed_now),
-            list(self._delta_events),
-            [
-                (signal, pristine_copy(signal._next))
-                for signal in self._update_queue
-            ],
-        )
-
-    def _replay_elaboration(self) -> None:
-        """Re-issue the snapshotted elaboration-time notifications.
-
-        Pushed in (time, original-seq) order onto a fresh heap, so the
-        relative ordering a fresh elaboration would have produced is
-        preserved exactly.
-        """
-        wheel, timed_now, delta_events, staged = self._elab_snapshot
-        for delay, kind, payload in wheel:
-            self._seq += 1
-            _heappush(
-                self._wheel, (self.now + delay, self._seq, kind, payload)
-            )
-        self._timed_now.extend(timed_now)
-        for event in delta_events:
-            event._pending_kind = "delta"
-            self._delta_events.append(event)
-        for signal, staged_value in staged:
-            signal._next = pristine_copy(staged_value)
-            signal._update_pending = True
-            self._update_queue.append(signal)
+        self._elab_snapshot = self.snapshot(strict=False)
 
     def reset(self) -> None:
         """Return the kernel to its power-on state, keeping the platform.
 
         The warm-reuse protocol (see ``DESIGN.md`` · Campaign
-        performance): factory-spawned processes are rebuilt from their
-        factories and rescheduled in original spawn order — exactly the
-        order elaboration produced on a fresh kernel — while
-        bare-generator processes (per-run stressor injections, injector
-        reverts) are killed and dropped.  Every queue, counter, and
-        registered signal returns to its initial value, and pending
-        notifications recorded at elaboration time (timed events from
-        the platform factory, staged writes — see
-        :meth:`snapshot_elaboration`) are replayed, so a subsequent
-        :meth:`run` is bit-for-bit indistinguishable from one on a
-        freshly elaborated kernel.
+        performance), now a thin wrapper over :meth:`restore` with the
+        elaboration snapshot: factory-spawned processes are rebuilt and
+        rescheduled in original spawn order, bare-generator processes
+        (per-run stressor injections) are killed and dropped, and every
+        queue, counter, and registered signal returns to its
+        elaboration-time value — so a subsequent :meth:`run` is
+        bit-for-bit indistinguishable from one on a freshly elaborated
+        kernel.  Delta hooks are an explicit exception: tracing hooks
+        are per-run scaffolding, so reset always clears them.
 
         Module-level state (memory contents, component counters) is the
         platform's job — see the registry bundle ``reset`` hook.
         """
-        # Rebuild/kill processes first: restart() and kill() clean their
-        # wait bookkeeping and may touch notification queues, which are
-        # cleared wholesale right after.
-        survivors = []
-        for process in self._processes:
-            if process.factory is None:
-                process.kill()
-            else:
-                process.restart()
-                survivors.append(process)
-        self._processes = survivors
-        self._runnable.clear()
-        self._wheel.clear()
-        self._timed_now.clear()
-        for event in self._delta_events:
-            event._pending_kind = None
-        self._delta_events.clear()
-        self._delta_resumes.clear()
-        for signal in self._update_queue:
-            signal._update_pending = False
-        self._update_queue.clear()
-        for signal in self._signals:
-            signal._warm_reset()
-        self.now = 0
-        self.delta_count = 0
-        self.events_processed = 0
-        self.processes_stepped = 0
-        self.delta_cycles_total = 0
-        self._seq = 0
-        self._stop_requested = False
-        self._errors = []
-        self._deadline_at = None
+        if self._elab_snapshot is None:
+            self.snapshot_elaboration()
+        self.restore(self._elab_snapshot)
         self.delta_hooks.clear()
-        self._current_process = None
-        if self._sanitizer is not None:
-            self._sanitizer.on_reset()
-        if self._elab_snapshot is not None:
-            self._replay_elaboration()
-        for process in self._processes:
-            self._runnable.append(process)
 
     # ------------------------------------------------------------------
     # Introspection

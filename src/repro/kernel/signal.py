@@ -232,12 +232,18 @@ class Clock(Wire):
         self._proc = sim.spawn(self._toggle, name=f"{name}.driver")
 
     def _toggle(self):
+        # Single yield site with the phase derived from the wire itself:
+        # a snapshot restore rebuilds this generator and re-arms it at
+        # the recorded wait, so the delay for the *next* edge must be
+        # computable from restorable state alone.  ``staged`` equals the
+        # committed value at any scheduling boundary, and ``_initial``
+        # is the immutable phase reference: the wire sits at its initial
+        # level exactly during the first half-period of each cycle.
         half = self.period // 2
         other = self.period - half
+        initial = self._initial
         while True:
-            yield half
-            self.write(not self.read())
-            yield other
+            yield half if self.staged == initial else other
             self.write(not self.read())
 
     def stop(self) -> None:

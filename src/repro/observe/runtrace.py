@@ -84,6 +84,21 @@ class RunTrace:
         full_label = f"{mechanism}:{label}" if label else mechanism
         self._detections.append(TraceEvent(time, DETECTION, source, full_label))
 
+    def preload_detections(
+        self, detections: _t.Iterable[_t.Tuple[int, str, str, str]]
+    ) -> None:
+        """Replay detections recorded *before* this trace was armed.
+
+        Snapshot-fork execution simulates the shared pre-injection
+        prefix once, with a :class:`PrefixDetectionSink` on the hook
+        bus; each forked run replays the collected prefix detections
+        through :meth:`record_detection` before arming, so the event
+        budget and ordering behave exactly as if this recorder had been
+        listening from time zero (as it is on a fresh run).
+        """
+        for time, source, mechanism, label in detections:
+            self.record_detection(time, source, mechanism, label)
+
     # -- digest assembly ----------------------------------------------------
 
     def finalize(
@@ -240,6 +255,25 @@ class RunTrace:
                     )
                     + "\n"
                 )
+
+
+class PrefixDetectionSink:
+    """Hook-bus sink that buffers raw detections for later replay.
+
+    Armed around the shared prefix of a snapshot-fork group; the
+    collected tuples seed every forked run's :class:`RunTrace` via
+    :meth:`RunTrace.preload_detections`.  Unbounded on purpose — the
+    per-run event budget is applied at replay time, where it matches
+    the fresh-run accounting.
+    """
+
+    def __init__(self):
+        self.detections: _t.List[_t.Tuple[int, str, str, str]] = []
+
+    def record_detection(
+        self, time: int, source: str, mechanism: str, label: str = ""
+    ) -> None:
+        self.detections.append((time, source, mechanism, label))
 
 
 def _jsonable_value(value):

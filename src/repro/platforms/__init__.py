@@ -39,6 +39,8 @@ register_platform(
     "no spurious deployment)",
     trace_signals=airbag.trace_signals,
     reset=airbag.warm_reset,
+    capture_state=airbag.capture_state,
+    restore_state=airbag.restore_state,
 )
 register_platform(
     "airbag-crash",
@@ -49,6 +51,8 @@ register_platform(
     "in time)",
     trace_signals=airbag.trace_signals,
     reset=airbag.warm_reset,
+    capture_state=airbag.capture_state,
+    restore_state=airbag.restore_state,
 )
 register_platform(  # vp-lint: disable=VP009 - distributed CAN state is rebuilt fresh; warm reset unproven for it
     "acc",
@@ -63,6 +67,8 @@ register_platform(  # vp-lint: disable=VP009 - servo factory closes over tuned c
     steering.observe,
     steering.steering_classifier,
     description="electric power steering servo, nominal load",
+    capture_state=steering.capture_state,
+    restore_state=steering.restore_state,
 )
 register_platform(  # vp-lint: disable=VP009 - deliberately crashes/livelocks; must never be reused warm
     "hostile-dut",

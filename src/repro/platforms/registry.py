@@ -59,11 +59,24 @@ class PlatformBundle(_t.NamedTuple):
     #: Optional ``root -> None`` restoring module-level state after a
     #: kernel reset; ``None`` = not warm-reusable.
     reset: _t.Optional[_t.Callable] = None
+    #: Optional ``root -> state`` deep-capturing module-level state at a
+    #: scheduling boundary; pairs with ``restore_state`` to opt the
+    #: platform into snapshot-fork execution.  ``None`` = not forkable.
+    capture_state: _t.Optional[_t.Callable] = None
+    #: Optional ``(root, state) -> None`` re-seeding module-level state
+    #: from a ``capture_state`` capture.  Must tolerate being applied
+    #: repeatedly from the same capture (fresh copies every call).
+    restore_state: _t.Optional[_t.Callable] = None
 
     @property
     def resettable(self) -> bool:
         """True when the platform opts into warm reuse."""
         return self.reset is not None
+
+    @property
+    def forkable(self) -> bool:
+        """True when the platform opts into snapshot-fork execution."""
+        return self.capture_state is not None and self.restore_state is not None
 
 
 _REGISTRY: _t.Dict[str, PlatformBundle] = {}
@@ -81,6 +94,8 @@ def register_platform(
     description: str = "",
     trace_signals=None,
     reset=None,
+    capture_state=None,
+    restore_state=None,
     replace: bool = False,
 ) -> PlatformBundle:
     """Register a platform bundle under *name*.
@@ -94,9 +109,14 @@ def register_platform(
             f"platform {name!r} is already registered; "
             f"pass replace=True to override"
         )
+    if (capture_state is None) != (restore_state is None):
+        raise ValueError(
+            f"platform {name!r}: capture_state and restore_state must "
+            f"be provided together"
+        )
     bundle = PlatformBundle(
         name, factory, observe, classifier_factory, description,
-        trace_signals, reset,
+        trace_signals, reset, capture_state, restore_state,
     )
     _REGISTRY[name] = bundle
     _CLASSIFIERS.pop(name, None)

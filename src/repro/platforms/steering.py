@@ -63,7 +63,7 @@ class SteeringController(Module):
         self.degraded_cycles = 0
         self.tracking_error_sum = 0.0
         self.cycles = 0
-        self.process(self._control(), name="control")
+        self.process(self._control, name="control")
 
     def _measured_position(self) -> float:
         code = self.position_sensor.output.read()
@@ -126,6 +126,38 @@ class SteeringPlatform(Module):
             servo=self.servo,
         )
 
+    def capture_state(self) -> dict:
+        """Deep-capture mutable module state (snapshot-fork support)."""
+        controller = self.controller
+        checker = controller.rate_checker
+        return {
+            "servo": self.servo.capture_state(),
+            "position_sensor": self.position_sensor.capture_state(),
+            "controller": (
+                controller.detected_errors,
+                controller.degraded_cycles,
+                controller.tracking_error_sum,
+                controller.cycles,
+            ),
+            "rate_checker": (
+                checker.previous, checker.checks, checker.violations,
+            ),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Re-seed from a :meth:`capture_state` capture (repeatable)."""
+        controller = self.controller
+        checker = controller.rate_checker
+        self.servo.restore_state(state["servo"])
+        self.position_sensor.restore_state(state["position_sensor"])
+        (controller.detected_errors, controller.degraded_cycles,
+         controller.tracking_error_sum, controller.cycles) = (
+            state["controller"]
+        )
+        (checker.previous, checker.checks, checker.violations) = (
+            state["rate_checker"]
+        )
+
 
 DEFAULT_DURATION = simtime.ms(400)
 
@@ -149,6 +181,16 @@ def build_steering(
         )
 
     return factory
+
+
+def capture_state(root: SteeringPlatform) -> dict:
+    """Registry ``capture_state`` hook for the steering bundle."""
+    return root.capture_state()
+
+
+def restore_state(root: SteeringPlatform, state: dict) -> None:
+    """Registry ``restore_state`` hook for the steering bundle."""
+    root.restore_state(state)
 
 
 def observe(root: Module) -> dict:

@@ -70,3 +70,12 @@ def register_without_reset(factory, observe, classifier_factory):
 
 def bail_out_of_the_campaign():
     sys.exit(3)  # VP010
+
+
+def register_without_snapshot_hooks(
+    factory, observe, classifier_factory, reset
+):
+    register_platform(  # VP011: reset= without capture_state=
+        "corpus-forkless", factory, observe, classifier_factory,
+        reset=reset,
+    )
