@@ -8,6 +8,7 @@ for the mapping to the paper.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pathlib
@@ -301,3 +302,119 @@ def adder_vectors(circuit) -> _t.Callable[[random.Random], dict]:
         return inputs
 
     return source
+
+
+# -- gate-level fault-campaign workloads (E17, BENCH_gate.json) -------------
+
+GATE_BENCH_PATH = pathlib.Path(__file__).parent / "BENCH_gate.json"
+
+#: The enumeration workloads of the vector-engine acceptance: every
+#: (net, kind) site of the two headline circuits, all three fault
+#: kinds, shared stimulus vectors.
+GATE_CIRCUITS: _t.Dict[str, _t.Callable[[], _t.Any]] = {}
+
+
+def _gate_circuits() -> _t.Dict[str, _t.Any]:
+    from repro.gate import alu, registered_adder
+
+    if not GATE_CIRCUITS:
+        GATE_CIRCUITS["alu8"] = alu(8)
+        GATE_CIRCUITS["registered_adder8"] = registered_adder(8)
+    return GATE_CIRCUITS
+
+
+def timed_gate_campaign(
+    engine: str,
+    circuit_name: str = "alu8",
+    runs_per_site: int = 4,
+    seed: int = 17,
+):
+    """One full fault-enumeration campaign; returns (profile, outcomes,
+    sites, wall_s).
+
+    The workload is the acceptance one: every net x (seu, stuck0,
+    stuck1) site of the named circuit, ``runs_per_site`` shared
+    vectors, golden-vs-faulty word comparison on the output bus.
+    """
+    from repro.gate import enumerate_sites, run_campaign
+    from repro.gate.faults import FAULT_KINDS
+
+    circuit = _gate_circuits()[circuit_name]
+    sites = enumerate_sites(circuit, FAULT_KINDS)
+    start = time.perf_counter()
+    # vector_source=None: uniform random bits on *every* primary input
+    # (including the ALU opcode lines, so the MUX tree gets exercised).
+    profile, outcomes = run_campaign(
+        circuit,
+        "out",
+        None,
+        sites=sites,
+        runs_per_site=runs_per_site,
+        seed=seed,
+        engine=engine,
+    )
+    return profile, outcomes, sites, time.perf_counter() - start
+
+
+def gate_bench_entry(
+    circuit_name: str,
+    engine: str,
+    profile,
+    sites,
+    runs_per_site: int,
+    wall_s: float,
+) -> dict:
+    """One engine measurement for ``BENCH_gate.json``.
+
+    ``runs`` counts golden-vs-faulty comparisons (sites x vectors) —
+    the unit the scalar engine pays one full simulator run for."""
+    runs = profile.total
+    return {
+        "circuit": circuit_name,
+        "engine": engine,
+        "sites": len(sites),
+        "runs_per_site": runs_per_site,
+        "runs": runs,
+        "wall_s": round(wall_s, 4),
+        "runs_per_s": round(runs / wall_s, 1) if wall_s else None,
+        "masking_rate": round(profile.masking_rate, 4),
+        "multi_bit_fraction": round(profile.multi_bit_fraction, 4),
+        "profile_sha": hashlib.sha256(profile.canonical()).hexdigest()[:16],
+    }
+
+
+def emit_gate_bench(
+    entries: _t.Sequence[dict], min_speedup: float = 20.0
+) -> pathlib.Path:
+    """Write ``BENCH_gate.json``: per-circuit scalar/vector rows plus
+    the speedup-vs-scalar acceptance.
+
+    Every vector entry gains ``speedup_vs_scalar`` against the scalar
+    row of the same circuit; the acceptance block records the worst
+    per-circuit speedup against *min_speedup* so the CI guard
+    (``perf_smoke.py``) has a committed baseline ratio to compare to.
+    """
+    entries = [dict(entry) for entry in entries]
+    scalar_by_circuit = {
+        e["circuit"]: e for e in entries if e["engine"] == "scalar"
+    }
+    speedups = []
+    for entry in entries:
+        if entry["engine"] != "vector":
+            continue
+        scalar = scalar_by_circuit.get(entry["circuit"])
+        if scalar and entry["wall_s"]:
+            speedup = round(scalar["wall_s"] / entry["wall_s"], 1)
+            entry["speedup_vs_scalar"] = speedup
+            speedups.append(speedup)
+    payload = {
+        "campaign": "gate-fault-enumeration",
+        "entries": entries,
+        "acceptance": {
+            "min_speedup": min_speedup,
+            "worst_speedup": min(speedups) if speedups else None,
+            "met": bool(speedups) and min(speedups) >= min_speedup,
+        },
+    }
+    GATE_BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return GATE_BENCH_PATH

@@ -10,13 +10,17 @@ summing 256 bytes out of a memory — is executed at four levels:
 3. **TLM-LT** — loosely-timed transactions against the memory model;
 4. **TLM-LT + DMI** — direct memory interface, the fastest legal path.
 
+A ``gate_vector`` row runs the same netlist on the bit-parallel
+vector engine (E17) at one lane, pricing the engine swap alone; the
+shape assertions compare only the four abstraction levels.
+
 The benchmark table is the result: the same computation, descending
 orders of magnitude of cost as abstraction rises.
 """
 
 import pytest
 
-from repro.gate import GateSimulator, registered_adder
+from repro.gate import GateSimulator, VectorGateSimulator, registered_adder
 from repro.hw import Memory, Vp16Cpu, assemble
 from repro.kernel import Module, Simulator
 from repro.tlm import GenericPayload, InitiatorSocket, Router
@@ -39,6 +43,31 @@ def gate_level_sum() -> int:
         sim.step(inputs)   # latch sum
         outputs = sim.evaluate(inputs)
         accumulator = GateSimulator.unpack(circuit.buses["out"], outputs)
+    return accumulator
+
+
+# -- level 1b: gate, bit-parallel vector engine -----------------------------
+
+def gate_vector_sum() -> int:
+    """The same serial summation on the vector engine, one lane.
+
+    The sum is a dependent chain, so lanes cannot parallelize it —
+    this row prices the *engine swap alone* at the same abstraction
+    level (numpy sweeps vs per-gate Python dispatch).  The engine's
+    real payoff, 64+ fault scenarios per sweep, is measured by
+    ``bench_gate_vector.py`` / E17.
+    """
+    circuit = registered_adder(8)
+    sim = VectorGateSimulator(circuit.netlist, lanes=1)
+    accumulator = 0
+    for byte in DATA:
+        inputs = {}
+        inputs.update(sim.pack(circuit.buses["a"], accumulator))
+        inputs.update(sim.pack(circuit.buses["b"], byte))
+        sim.step(inputs)   # latch inputs
+        sim.step(inputs)   # latch sum
+        outputs = sim.evaluate(inputs)
+        accumulator = sim.unpack_lane(circuit.buses["out"], outputs)
     return accumulator
 
 
@@ -117,6 +146,7 @@ def tlm_dmi_sum() -> int:
 
 LEVELS = {
     "gate": gate_level_sum,
+    "gate_vector": gate_vector_sum,
     "iss": iss_sum,
     "tlm_lt": tlm_lt_sum,
     "tlm_dmi": tlm_dmi_sum,

@@ -1,0 +1,88 @@
+"""E17 — bit-parallel gate-level fault simulation: the
+``BENCH_gate.json`` emitter.
+
+ROADMAP item 2a: compile ``repro.gate`` netlists to vectorized numpy
+bitwise ops so one sweep evaluates 64+ fault scenarios per machine
+word.  This suite measures the classic parallel-pattern payoff on the
+acceptance workload — full (net x kind) fault enumeration of the
+8-bit ALU and the registered adder, all three fault kinds, shared
+stimulus vectors — and re-checks the soundness side in the same
+breath: the vector profile must be *byte-identical* to the scalar
+ground truth before its throughput means anything.
+
+Acceptance: vector >= 20x scalar on both circuits.  ``perf_smoke.py``
+re-measures the ratio per push against the committed JSON.
+"""
+
+import pytest
+
+from _workloads import (
+    emit_gate_bench,
+    gate_bench_entry,
+    timed_gate_campaign,
+)
+
+RUNS_PER_SITE = 4
+MIN_SPEEDUP = 20.0
+CIRCUITS = ("alu8", "registered_adder8")
+
+
+def measure(circuit_name, runs_per_site=RUNS_PER_SITE):
+    scalar_profile, scalar_outcomes, sites, scalar_wall = (
+        timed_gate_campaign("scalar", circuit_name, runs_per_site)
+    )
+    vector_profile, vector_outcomes, _, vector_wall = (
+        timed_gate_campaign("vector", circuit_name, runs_per_site)
+    )
+    # Soundness before speed: a fast wrong engine must never emit a row.
+    assert scalar_profile.canonical() == vector_profile.canonical()
+    assert scalar_outcomes == vector_outcomes
+    return (
+        gate_bench_entry(
+            circuit_name, "scalar", scalar_profile, sites,
+            runs_per_site, scalar_wall,
+        ),
+        gate_bench_entry(
+            circuit_name, "vector", vector_profile, sites,
+            runs_per_site, vector_wall,
+        ),
+    )
+
+
+def test_gate_vector_bench_json():
+    """Emit BENCH_gate.json: scalar/vector rows for both circuits."""
+    entries = []
+    for circuit_name in CIRCUITS:
+        entries.extend(measure(circuit_name))
+    path = emit_gate_bench(entries, min_speedup=MIN_SPEEDUP)
+    assert path.exists()
+
+
+def test_gate_vector_speedup_acceptance():
+    """The ISSUE 7 acceptance row: >= 20x fault-campaign throughput on
+    the alu/registered_adder enumeration workload (best of 2 to shave
+    interpreter warm-up noise; the committed JSON carries the same
+    measurement)."""
+    for circuit_name in CIRCUITS:
+        best = 0.0
+        for _ in range(2):
+            scalar_entry, vector_entry = measure(circuit_name)
+            best = max(
+                best, scalar_entry["wall_s"] / vector_entry["wall_s"]
+            )
+        assert best >= MIN_SPEEDUP, (
+            f"{circuit_name}: vector engine only {best:.1f}x over scalar "
+            f"(acceptance {MIN_SPEEDUP}x)"
+        )
+
+
+@pytest.mark.parametrize("circuit_name", CIRCUITS)
+def test_gate_campaign_throughput(benchmark, circuit_name):
+    """Headline series: vector-engine comparisons per second."""
+    def run():
+        profile, _, _, _ = timed_gate_campaign("vector", circuit_name)
+        return profile
+
+    profile = benchmark(run)
+    benchmark.extra_info["comparisons"] = profile.total
+    assert profile.total > 0

@@ -5,7 +5,10 @@ compares the measured runs/sec against the ``"serial"`` entry of the
 *committed* ``BENCH_campaign.json``.  Exits non-zero when throughput
 regressed by more than the tolerance (default 30%), so a PR that
 quietly loses the warm-reuse / scheduler fast paths fails CI instead
-of shipping.
+of shipping.  Two further *ratio* guards ride along (ratios transfer
+across hosts): the snapshot-fork speedup on the prefix-heavy workload
+and the gate vector-engine speedup on the alu8 fault enumeration,
+both against their committed JSON rows.
 
 Environment knobs:
 
@@ -25,28 +28,38 @@ import os
 import subprocess
 import sys
 
-from _workloads import CAMPAIGN_BENCH_PATH, timed_campaign, timed_fork_campaign
+from _workloads import (
+    CAMPAIGN_BENCH_PATH,
+    GATE_BENCH_PATH,
+    timed_campaign,
+    timed_fork_campaign,
+    timed_gate_campaign,
+)
 
 
-def committed_baseline_text() -> str:
+def committed_text(path) -> str:
     """The committed JSON, not the working-tree file.
 
     A bench run earlier in the same CI job may already have rewritten
-    ``BENCH_campaign.json`` with this runner's own numbers — comparing
-    against those would make the smoke test compare a measurement with
-    itself.  ``git show HEAD:`` pins the committed baseline; the
-    working-tree file is only a fallback outside a git checkout.
+    the JSON with this runner's own numbers — comparing against those
+    would make the smoke test compare a measurement with itself.
+    ``git show HEAD:`` pins the committed baseline; the working-tree
+    file is only a fallback outside a git checkout.
     """
     try:
         return subprocess.run(
-            ["git", "show", f"HEAD:benchmarks/{CAMPAIGN_BENCH_PATH.name}"],
-            cwd=CAMPAIGN_BENCH_PATH.parent,
+            ["git", "show", f"HEAD:benchmarks/{path.name}"],
+            cwd=path.parent,
             capture_output=True,
             text=True,
             check=True,
         ).stdout
     except (OSError, subprocess.CalledProcessError):
-        return CAMPAIGN_BENCH_PATH.read_text()
+        return path.read_text()
+
+
+def committed_baseline_text() -> str:
+    return committed_text(CAMPAIGN_BENCH_PATH)
 
 
 def committed_serial_rate() -> float:
@@ -78,6 +91,54 @@ def committed_fork_speedup() -> float:
         f"no measured fork entry in {CAMPAIGN_BENCH_PATH}; "
         f"regenerate it with bench_campaign.py"
     )
+
+
+def committed_gate_speedup() -> float:
+    """The committed worst-circuit vector-vs-scalar speedup.
+
+    The acceptance block is part of the ``BENCH_gate.json`` contract;
+    a baseline without it fails loudly rather than skipping the guard.
+    """
+    payload = json.loads(committed_text(GATE_BENCH_PATH))
+    speedup = payload.get("acceptance", {}).get("worst_speedup")
+    if speedup:
+        return float(speedup)
+    raise SystemExit(
+        f"no acceptance speedup in {GATE_BENCH_PATH}; "
+        f"regenerate it with bench_gate_vector.py"
+    )
+
+
+def gate_vector_guard(tolerance: float) -> int:
+    """Guard the gate engine's speedup *ratio* — ratios transfer
+    across hosts.  A vector path that quietly degenerated to per-site
+    scalar execution measures ~1x and fails here."""
+    baseline = committed_gate_speedup()
+    # Warm-up absorbs numpy import and program-compile costs.
+    timed_gate_campaign("vector", "alu8", runs_per_site=1)
+    _, _, _, scalar_wall = timed_gate_campaign(
+        "scalar", "alu8", runs_per_site=2
+    )
+    _, _, _, vector_wall = timed_gate_campaign(
+        "vector", "alu8", runs_per_site=2
+    )
+    speedup = scalar_wall / vector_wall
+    floor = baseline * (1.0 - tolerance)
+    verdict = "ok" if speedup >= floor else "REGRESSION"
+    print(
+        f"perf-smoke: gate vector speedup {speedup:.1f}x on the alu8 "
+        f"enumeration (committed {baseline:.1f}x, floor {floor:.1f}x "
+        f"at -{tolerance:.0%}): {verdict}"
+    )
+    if speedup < floor:
+        print(
+            "gate vector-engine speedup regressed beyond tolerance; "
+            "if intentional, regenerate BENCH_gate.json via "
+            "bench_gate_vector.py and commit it with the change",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def main() -> int:
@@ -135,7 +196,9 @@ def main() -> int:
             file=sys.stderr,
         )
         return 1
-    return 0
+
+    # Gate vector-engine guard (ISSUE 7): same ratio logic as fork.
+    return gate_vector_guard(tolerance)
 
 
 if __name__ == "__main__":

@@ -44,6 +44,7 @@ from .runspec import (
 from .crosslayer import (
     derived_descriptor,
     error_pattern_outcomes,
+    measure_word_error_profile,
     naive_descriptor,
     normalize_counts,
     pattern_histogram,
@@ -123,6 +124,7 @@ __all__ = [
     "failure_outcome",
     "derived_descriptor",
     "error_pattern_outcomes",
+    "measure_word_error_profile",
     "naive_descriptor",
     "normalize_counts",
     "pattern_histogram",

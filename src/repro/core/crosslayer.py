@@ -27,10 +27,50 @@ model tracks the gate-level truth.
 from __future__ import annotations
 
 import collections
+import random as _random
 import typing as _t
 
 from ..faults import FaultDescriptor, FaultKind, Persistence
-from ..gate.faults import WordErrorProfile
+from ..gate.builder import Circuit
+from ..gate.faults import WordErrorProfile, run_campaign
+
+
+def measure_word_error_profile(
+    circuit: Circuit,
+    output_bus: str,
+    *,
+    kinds: _t.Sequence[str] = ("seu",),
+    runs_per_site: int = 4,
+    settle_cycles: int = 2,
+    seed: int = 0,
+    rng: _t.Optional[_random.Random] = None,
+    engine: str = "vector",
+    vector_source: _t.Optional[
+        _t.Callable[[_random.Random], _t.Dict[str, int]]
+    ] = None,
+) -> WordErrorProfile:
+    """Step 1 of the Sec. 3.4 pipeline: measure the gate-level truth.
+
+    Enumerates every (net, kind) fault site of *circuit* and runs the
+    golden-vs-faulty campaign, returning the measured
+    :class:`WordErrorProfile` ready for :func:`derived_descriptor`.
+    Defaults to the bit-parallel vector engine — byte-identical to the
+    scalar ground truth (pinned by the differential fuzz harness) at a
+    fraction of the cost, which is what makes E6-style derivation
+    cheap enough to re-run per netlist revision.
+    """
+    profile, _ = run_campaign(
+        circuit,
+        output_bus,
+        vector_source,
+        kinds=kinds,
+        runs_per_site=runs_per_site,
+        settle_cycles=settle_cycles,
+        seed=seed,
+        rng=rng,
+        engine=engine,
+    )
+    return profile
 
 
 def derived_descriptor(

@@ -6,18 +6,23 @@ from .builder import (
     comparator,
     full_adder,
     majority_voter,
+    mux_chain,
     registered_adder,
     ripple_adder,
 )
 from .faults import (
+    FAULT_KINDS,
     FaultSite,
     InjectionOutcome,
     WordErrorProfile,
     enumerate_sites,
+    random_vector_source,
+    run_campaign,
     run_seu_campaign,
 )
 from .netlist import Gate, GateType, Netlist
 from .simulator import GateSimulator
+from .vector import GateProgram, VectorGateSimulator
 
 __all__ = [
     "Circuit",
@@ -25,15 +30,21 @@ __all__ = [
     "comparator",
     "full_adder",
     "majority_voter",
+    "mux_chain",
     "registered_adder",
     "ripple_adder",
+    "FAULT_KINDS",
     "FaultSite",
     "InjectionOutcome",
     "WordErrorProfile",
     "enumerate_sites",
+    "random_vector_source",
+    "run_campaign",
     "run_seu_campaign",
     "Gate",
     "GateType",
     "Netlist",
     "GateSimulator",
+    "GateProgram",
+    "VectorGateSimulator",
 ]

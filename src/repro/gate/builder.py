@@ -107,6 +107,27 @@ def alu(width: int, name: str = "alu") -> Circuit:
     return Circuit(netlist, {"a": a, "b": b, "op": op, "out": out})
 
 
+def mux_chain(depth: int, name: str = "muxchain") -> Circuit:
+    """A *depth*-deep 2:1 MUX chain.
+
+    Each stage selects between the running value and a fresh data
+    input: ``out = d[depth] if s[depth-1] else (... if s[0] else d[0])``.
+    Select-line faults steer whole subtrees at once, making this the
+    structurally nasty select-path case of the vector-engine
+    regression corpus (and a pure test of MUX vectorization).
+    """
+    if depth < 1:
+        raise ValueError("depth must be positive")
+    netlist = Netlist(name)
+    select = netlist.add_inputs("s", depth)
+    data = netlist.add_inputs("d", depth + 1)
+    value = data[0]
+    for i in range(depth):
+        value = netlist.MUX(select[i], value, data[i + 1])
+    netlist.mark_output(value)
+    return Circuit(netlist, {"s": select, "d": data, "out": [value]})
+
+
 def registered_adder(width: int, name: str = "regadder") -> Circuit:
     """Adder with input and output registers (a 3-stage datapath).
 

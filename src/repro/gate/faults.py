@@ -12,12 +12,16 @@ propagated to higher levels of abstraction", Sec. 3.4).
 from __future__ import annotations
 
 import collections
+import json
 import typing as _t
 
 import random
 
 from .builder import Circuit
 from .simulator import GateSimulator
+
+#: The fault kinds every engine (scalar and vector) understands.
+FAULT_KINDS = ("seu", "stuck0", "stuck1")
 
 
 class FaultSite(_t.NamedTuple):
@@ -27,17 +31,26 @@ class FaultSite(_t.NamedTuple):
     kind: str  # "seu" | "stuck0" | "stuck1"
 
 
+def _check_kinds(kinds: _t.Iterable[str]) -> None:
+    for kind in kinds:
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}")
+
+
 def enumerate_sites(
     circuit: Circuit, kinds: _t.Sequence[str] = ("seu",)
 ) -> _t.List[FaultSite]:
-    """All (net, kind) pairs for the netlist's internal and state nets."""
-    sites: _t.List[FaultSite] = []
-    for net in circuit.netlist.nets:
-        for kind in kinds:
-            if kind not in ("seu", "stuck0", "stuck1"):
-                raise ValueError(f"unknown fault kind {kind!r}")
-            sites.append(FaultSite(net, kind))
-    return sites
+    """All (net, kind) pairs for the netlist's internal and state nets.
+
+    Kinds are validated up front — an unknown kind raises before any
+    site is produced, not partway through the net list.
+    """
+    _check_kinds(kinds)
+    return [
+        FaultSite(net, kind)
+        for net in circuit.netlist.nets
+        for kind in kinds
+    ]
 
 
 class InjectionOutcome(_t.NamedTuple):
@@ -100,6 +113,45 @@ class WordErrorProfile:
             remaining -= count
         raise AssertionError("unreachable")  # pragma: no cover
 
+    def canonical(self) -> bytes:
+        """Stable byte serialization — the engine-equivalence currency.
+
+        Two profiles are byte-identical iff they recorded the same
+        masked/manifest totals and the same pattern multiset; campaign
+        equivalence suites compare these bytes directly.
+        """
+        payload = {
+            "total": self.total,
+            "masked": self.masked,
+            "patterns": sorted(self.pattern_counts.items()),
+        }
+        return json.dumps(payload, separators=(",", ":")).encode()
+
+
+def random_vector_source(
+    circuit: Circuit,
+) -> _t.Callable[[random.Random], _t.Dict[str, int]]:
+    """Uniform random bit per primary input, drawn from the campaign rng."""
+    inputs = list(circuit.netlist.inputs)
+
+    def source(rng: random.Random) -> _t.Dict[str, int]:
+        return {net: rng.randrange(2) for net in inputs}
+
+    return source
+
+
+def _resolve_rng(
+    seed: int, rng: _t.Optional[random.Random]
+) -> random.Random:
+    """Campaign randomness is always an explicit instance.
+
+    Callers either pass their own ``random.Random`` (threading one rng
+    through a larger experiment) or a seed from which a private
+    instance is built — the process-global ``random.*`` stream is
+    never consulted.
+    """
+    return rng if rng is not None else random.Random(seed)
+
 
 def run_seu_campaign(
     circuit: Circuit,
@@ -109,6 +161,7 @@ def run_seu_campaign(
     runs_per_site: int = 4,
     settle_cycles: int = 2,
     seed: int = 0,
+    rng: _t.Optional[random.Random] = None,
 ) -> _t.Tuple[WordErrorProfile, _t.List[InjectionOutcome]]:
     """Golden/faulty SEU campaign over *circuit*.
 
@@ -116,9 +169,10 @@ def run_seu_campaign(
     run a golden pass and a faulty pass (SEU on the site during the
     final evaluation) and compare the outputs on *output_bus*.
     Sequential circuits are clocked ``settle_cycles`` times so register
-    faults propagate.
+    faults propagate.  Passing *rng* overrides *seed*; vectors are
+    drawn per (site, run), so each site sees its own stimulus stream.
     """
-    rng = random.Random(seed)
+    rng = _resolve_rng(seed, rng)
     if sites is None:
         sites = enumerate_sites(circuit)
     bus = circuit.buses[output_bus]
@@ -163,3 +217,87 @@ def _run_once(
     if circuit.netlist.flops:
         outputs = sim.evaluate(vector)
     return outputs
+
+
+def run_campaign(
+    circuit: Circuit,
+    output_bus: str,
+    vector_source: _t.Optional[
+        _t.Callable[[random.Random], _t.Dict[str, int]]
+    ] = None,
+    *,
+    sites: _t.Optional[_t.Sequence[FaultSite]] = None,
+    kinds: _t.Sequence[str] = ("seu",),
+    runs_per_site: int = 4,
+    settle_cycles: int = 2,
+    seed: int = 0,
+    rng: _t.Optional[random.Random] = None,
+    engine: str = "scalar",
+) -> _t.Tuple[WordErrorProfile, _t.List[InjectionOutcome]]:
+    """Fault-enumeration campaign with a selectable execution engine.
+
+    ``runs_per_site`` input vectors are drawn up front from the
+    campaign rng and *shared across every site*, which is what lets
+    the vector engine pack all sites of one stimulus into bit-lanes.
+    Both engines follow the same schedule as :func:`run_seu_campaign`'s
+    per-run loop (stuck-ats armed from cycle 0, SEUs injected before
+    the final settle evaluation, one extra evaluation for netlists
+    with flops) and iterate (vector-major, site-minor), so
+
+    * ``engine="scalar"`` — one :class:`GateSimulator` run per
+      (vector, site) pair: the ground truth;
+    * ``engine="vector"`` — one bit-lane per site, 64 sites per
+      ``uint64`` word (multi-word rows beyond 64), one sweep per
+      vector via :class:`~repro.gate.vector.VectorGateSimulator`;
+
+    produce byte-identical profiles (``WordErrorProfile.canonical()``)
+    and element-identical outcome lists.  Passing *rng* overrides
+    *seed*.
+    """
+    rng = _resolve_rng(seed, rng)
+    if sites is None:
+        sites = enumerate_sites(circuit, kinds)
+    else:
+        _check_kinds(site.kind for site in sites)
+    if vector_source is None:
+        vector_source = random_vector_source(circuit)
+    vectors = [vector_source(rng) for _ in range(runs_per_site)]
+    bus = circuit.buses[output_bus]
+
+    if engine == "scalar":
+        triples = _scalar_outcomes(circuit, bus, vectors, sites, settle_cycles)
+    elif engine == "vector":
+        from .vector import run_vector_outcomes
+
+        triples = run_vector_outcomes(
+            circuit, bus, vectors, sites, settle_cycles
+        )
+    else:
+        raise ValueError(f"unknown campaign engine {engine!r}")
+
+    profile = WordErrorProfile()
+    outcomes: _t.List[InjectionOutcome] = []
+    for site, vector, pattern in triples:
+        outcome = InjectionOutcome(site, vector, pattern, masked=pattern == 0)
+        profile.record(outcome)
+        outcomes.append(outcome)
+    return profile, outcomes
+
+
+def _scalar_outcomes(
+    circuit: Circuit,
+    bus: _t.Sequence[str],
+    vectors: _t.Sequence[_t.Dict[str, int]],
+    sites: _t.Sequence[FaultSite],
+    settle_cycles: int,
+) -> _t.List[_t.Tuple[FaultSite, _t.Dict[str, int], int]]:
+    """One scalar golden pass per vector, one faulty pass per site."""
+    results: _t.List[_t.Tuple[FaultSite, _t.Dict[str, int], int]] = []
+    for vector in vectors:
+        golden = _run_once(circuit, vector, settle_cycles, None)
+        golden_word = GateSimulator.unpack(bus, golden)
+        for site in sites:
+            faulty = _run_once(circuit, vector, settle_cycles, site)
+            faulty_word = GateSimulator.unpack(bus, faulty)
+            results.append((site, vector, golden_word ^ faulty_word))
+    return results

@@ -1,0 +1,530 @@
+"""Bit-parallel vectorized gate-level fault simulation.
+
+Classic parallel-pattern fault simulation (ROADMAP item 2a): a
+levelized :class:`~repro.gate.netlist.Netlist` is compiled *once* into
+a flat opcode program, and every net value becomes a row of ``uint64``
+words instead of a single bit.  Bit-lane ``l`` of every row is an
+independent simulation scenario — 64 scenarios per machine word, a
+whole fault-enumeration campaign in a handful of numpy sweeps — so one
+pass over the program evaluates all lanes at machine-word width.
+
+Lane-packing layout
+-------------------
+
+Lane ``l`` lives in word ``l >> 6``, bit ``l & 63`` of each row
+(little-endian lanes).  A simulator built with ``lanes=N`` allocates
+``ceil(N / 64)`` words per net; bits at or above ``N`` are kept zero
+("canonical" rows), so inverting gates mask with ``lane_mask`` and
+unpacking never sees garbage.
+
+Fault-mask semantics
+--------------------
+
+Faults are per-lane masks on the faulted net's row, applied in exactly
+the order of the scalar :class:`~repro.gate.simulator.GateSimulator`'s
+``_apply_net_faults`` (pending SEU first, stuck-at override second)::
+
+    value = ((raw ^ seu_xor) & stuck_and) | stuck_or
+
+* **stuck-at** — lane bit cleared in ``stuck_and`` and set to the
+  stuck level in ``stuck_or``; persists until cleared.
+* **SEU on a combinational net** — lane bit OR-ed into a pending XOR
+  row (idempotent, mirroring the scalar pending *set*), applied during
+  the next :meth:`VectorGateSimulator.evaluate` and then cleared.
+* **SEU on a flip-flop output** — the stored state row is XOR-flipped
+  in place immediately (repeated injection toggles, mirroring the
+  scalar ``state[net] ^= 1``).
+
+Equivalence contract
+--------------------
+
+For every netlist, input sequence, and fault program, lane ``l`` of
+the vector engine is bit-for-bit identical to a scalar
+``GateSimulator`` run with lane ``l``'s faults — pinned by the
+differential fuzz harness in ``tests/property/
+test_gate_vector_properties.py`` and the campaign byte-equivalence
+suite (``run_campaign(engine="vector")`` vs ``engine="scalar"``).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+from .netlist import GateType, Netlist
+
+LANES_PER_WORD = 64
+
+# Opcodes of the compiled program (combinational gates only; DFFs are
+# handled by the state arrays).
+_OP_AND = 0
+_OP_OR = 1
+_OP_NOT = 2
+_OP_XOR = 3
+_OP_NAND = 4
+_OP_NOR = 5
+_OP_XNOR = 6
+_OP_BUF = 7
+_OP_MUX = 8
+
+_OPCODES: _t.Dict[GateType, int] = {
+    GateType.AND: _OP_AND,
+    GateType.OR: _OP_OR,
+    GateType.NOT: _OP_NOT,
+    GateType.XOR: _OP_XOR,
+    GateType.NAND: _OP_NAND,
+    GateType.NOR: _OP_NOR,
+    GateType.XNOR: _OP_XNOR,
+    GateType.BUF: _OP_BUF,
+    GateType.MUX: _OP_MUX,
+}
+
+#: Opcodes whose raw result can set bits outside the lane range and
+#: therefore must be masked back to canonical form.
+_INVERTING = frozenset((_OP_NOT, _OP_NAND, _OP_NOR, _OP_XNOR))
+
+
+class GateProgram:
+    """A netlist levelized and compiled to a flat opcode program.
+
+    Compile once, instantiate any number of
+    :class:`VectorGateSimulator`\\ s (golden and faulty engines of a
+    campaign share one program).
+    """
+
+    __slots__ = (
+        "netlist",
+        "index",
+        "num_nets",
+        "input_nets",
+        "output_indices",
+        "flop_out_indices",
+        "flop_d_indices",
+        "flop_row_of",
+        "ops",
+    )
+
+    def __init__(self, netlist: Netlist):
+        netlist.validate()
+        self.netlist = netlist
+        nets = netlist.nets
+        self.index: _t.Dict[str, int] = {net: i for i, net in enumerate(nets)}
+        self.num_nets = len(nets)
+        self.input_nets: _t.List[_t.Tuple[str, int]] = [
+            (net, self.index[net]) for net in netlist.inputs
+        ]
+        self.output_indices: _t.List[_t.Tuple[str, int]] = [
+            (net, self.index[net]) for net in netlist.outputs
+        ]
+        flops = netlist.flops
+        self.flop_out_indices = np.array(
+            [self.index[f.output] for f in flops], dtype=np.intp
+        )
+        self.flop_d_indices = np.array(
+            [self.index[f.inputs[0]] for f in flops], dtype=np.intp
+        )
+        #: net index -> row position in the state array.
+        self.flop_row_of: _t.Dict[int, int] = {
+            self.index[f.output]: row for row, f in enumerate(flops)
+        }
+        self.ops: _t.List[_t.Tuple[int, int, _t.Tuple[int, ...]]] = [
+            (
+                _OPCODES[gate.gate_type],
+                self.index[gate.output],
+                tuple(self.index[net] for net in gate.inputs),
+            )
+            for gate in netlist.levelize()
+        ]
+
+
+class VectorGateSimulator:
+    """Evaluate ``lanes`` independent scenarios of one netlist per sweep.
+
+    Mirrors the scalar :class:`~repro.gate.simulator.GateSimulator`
+    API (``evaluate``/``clock``/``step``/``reset``, ``set_stuck``/
+    ``clear_stuck``/``inject_seu``) with an extra per-call ``lanes``
+    selector on the fault hooks; omitted, a fault applies to every
+    lane, which degenerates to the scalar semantics broadcast N-wide.
+    """
+
+    def __init__(
+        self,
+        netlist: _t.Union[Netlist, GateProgram],
+        lanes: int = LANES_PER_WORD,
+    ):
+        if lanes < 1:
+            raise ValueError("lanes must be positive")
+        program = (
+            netlist
+            if isinstance(netlist, GateProgram)
+            else GateProgram(netlist)
+        )
+        self.program = program
+        self.netlist = program.netlist
+        self.lanes = lanes
+        self.words = -(-lanes // LANES_PER_WORD)
+        #: Canonical-row mask: bits for lanes [0, lanes), zero above.
+        self.lane_mask = self._full_mask(lanes, self.words)
+        self._zeros = np.zeros(self.words, dtype=np.uint64)
+        #: Per-net value rows (num_nets x words).
+        self.values = np.zeros((program.num_nets, self.words), dtype=np.uint64)
+        #: DFF state rows, ordered like ``netlist.flops``.
+        self.state = np.zeros(
+            (len(program.flop_row_of), self.words), dtype=np.uint64
+        )
+        # Sparse fault storage keyed by net index.
+        self._stuck: _t.Dict[int, _t.List[np.ndarray]] = {}
+        self._pending_seu: _t.Dict[int, np.ndarray] = {}
+        self.cycles = 0
+        #: Gate sweeps (one program pass evaluates every gate once).
+        self.evaluations = 0
+        #: Scalar-equivalent work: gate evaluations times lanes.
+        self.lane_evaluations = 0
+
+    # -- lane plumbing -----------------------------------------------------
+
+    @staticmethod
+    def _full_mask(lanes: int, words: int) -> np.ndarray:
+        mask = np.zeros(words, dtype=np.uint64)
+        full, rem = divmod(lanes, LANES_PER_WORD)
+        mask[:full] = np.uint64(0xFFFFFFFFFFFFFFFF)
+        if rem:
+            mask[full] = np.uint64((1 << rem) - 1)
+        return mask
+
+    def _lane_rows(
+        self, lanes: _t.Optional[_t.Iterable[int]]
+    ) -> np.ndarray:
+        """A mask row with the selected lanes' bits set (all when None)."""
+        if lanes is None:
+            return self.lane_mask.copy()
+        mask = np.zeros(self.words, dtype=np.uint64)
+        for lane in lanes:
+            if not 0 <= lane < self.lanes:
+                raise IndexError(
+                    f"lane {lane} out of range for {self.lanes} lanes"
+                )
+            mask[lane >> 6] |= np.uint64(1 << (lane & 63))
+        return mask
+
+    def broadcast(self, bit: int) -> np.ndarray:
+        """A canonical row with every lane set to *bit*."""
+        return self.lane_mask.copy() if bit & 1 else self._zeros.copy()
+
+    def pack_lanes(self, bits: _t.Sequence[int]) -> np.ndarray:
+        """Per-lane bit sequence -> one canonical row."""
+        if len(bits) != self.lanes:
+            raise ValueError(
+                f"expected {self.lanes} per-lane bits, got {len(bits)}"
+            )
+        row = np.zeros(self.words, dtype=np.uint64)
+        for lane, bit in enumerate(bits):
+            if bit & 1:
+                row[lane >> 6] |= np.uint64(1 << (lane & 63))
+        return row
+
+    def _coerce(self, value: _t.Any) -> np.ndarray:
+        """An input value -> canonical row.
+
+        Accepts a plain 0/1 int (broadcast to every lane), a
+        per-lane bit sequence, or a prepacked word row.
+        """
+        if isinstance(value, (int, np.integer)):
+            return self.broadcast(int(value))
+        arr = np.asarray(value)
+        if arr.dtype == np.uint64 and arr.shape == (self.words,):
+            return arr & self.lane_mask
+        return self.pack_lanes(list(arr))
+
+    # -- fault control ------------------------------------------------------
+
+    def _net_index(self, net: str) -> int:
+        idx = self.program.index.get(net)
+        if idx is None:
+            raise KeyError(f"unknown net {net!r}")
+        return idx
+
+    def set_stuck(
+        self,
+        net: str,
+        level: int,
+        lanes: _t.Optional[_t.Iterable[int]] = None,
+    ) -> None:
+        """Arm a stuck-at fault on *net* for the selected lanes."""
+        idx = self._net_index(net)
+        mask = self._lane_rows(lanes)
+        entry = self._stuck.get(idx)
+        if entry is None:
+            entry = [self.lane_mask.copy(), np.zeros(self.words, np.uint64)]
+            self._stuck[idx] = entry
+        and_row, or_row = entry
+        and_row &= ~mask
+        if level:
+            or_row |= mask
+        else:
+            or_row &= ~mask
+
+    def clear_stuck(
+        self,
+        net: _t.Optional[str] = None,
+        lanes: _t.Optional[_t.Iterable[int]] = None,
+    ) -> None:
+        """Disarm stuck-at faults (all nets when *net* is None; all
+        lanes when *lanes* is None)."""
+        if net is None and lanes is None:
+            self._stuck.clear()
+            return
+        targets = (
+            list(self._stuck) if net is None else [self._net_index(net)]
+        )
+        mask = self._lane_rows(lanes)
+        for idx in targets:
+            entry = self._stuck.get(idx)
+            if entry is None:
+                continue
+            and_row, or_row = entry
+            and_row |= mask
+            or_row &= ~mask
+            if bool(np.all(and_row == self.lane_mask)):
+                del self._stuck[idx]
+
+    def inject_seu(
+        self, net: str, lanes: _t.Optional[_t.Iterable[int]] = None
+    ) -> None:
+        """Schedule a single-event upset on *net* for the selected lanes.
+
+        Flip-flop state flips in place immediately; a combinational
+        lane flip is pending until the next :meth:`evaluate`.
+        """
+        idx = self._net_index(net)
+        mask = self._lane_rows(lanes)
+        flop_row = self.program.flop_row_of.get(idx)
+        if flop_row is not None:
+            self.state[flop_row] ^= mask
+        else:
+            pending = self._pending_seu.get(idx)
+            if pending is None:
+                self._pending_seu[idx] = mask
+            else:
+                # OR, not XOR: the scalar engine's pending set makes
+                # repeated pre-evaluate injection idempotent.
+                pending |= mask
+
+    def clear_faults(self) -> None:
+        """Drop every stuck-at mask and pending SEU (state untouched)."""
+        self._stuck.clear()
+        self._pending_seu.clear()
+
+    def _apply_net_faults(self, idx: int, row: np.ndarray) -> np.ndarray:
+        pending = self._pending_seu.get(idx)
+        if pending is not None:
+            row = row ^ pending
+        entry = self._stuck.get(idx)
+        if entry is not None:
+            row = (row & entry[0]) | entry[1]
+        return row
+
+    # -- evaluation ---------------------------------------------------------
+
+    def evaluate(
+        self, inputs: _t.Mapping[str, _t.Any]
+    ) -> _t.Dict[str, np.ndarray]:
+        """Settle the combinational logic for the given primary inputs.
+
+        Input values follow :meth:`_coerce` (ints broadcast, per-lane
+        sequences and word rows pass through).  Returns a dict of
+        primary output rows.  DFF state is *not* advanced — call
+        :meth:`clock` for that.
+        """
+        program = self.program
+        values = self.values
+        stuck = self._stuck
+        pending = self._pending_seu
+        faulted = stuck.keys() | pending.keys()
+        for net, idx in program.input_nets:
+            row = self._coerce(inputs.get(net, 0))
+            if idx in faulted:
+                row = self._apply_net_faults(idx, row)
+            values[idx] = row
+        if len(self.state):
+            values[program.flop_out_indices] = self.state
+            for idx in faulted:
+                if idx in program.flop_row_of:
+                    values[idx] = self._apply_net_faults(idx, values[idx])
+        lane_mask = self.lane_mask
+        for code, out, ins in program.ops:
+            if code == _OP_AND:
+                row = values[ins[0]] & values[ins[1]]
+                for extra in ins[2:]:
+                    row = row & values[extra]
+            elif code == _OP_OR:
+                row = values[ins[0]] | values[ins[1]]
+                for extra in ins[2:]:
+                    row = row | values[extra]
+            elif code == _OP_XOR:
+                row = values[ins[0]] ^ values[ins[1]]
+                for extra in ins[2:]:
+                    row = row ^ values[extra]
+            elif code == _OP_NOT or code == _OP_BUF:
+                row = values[ins[0]]
+            elif code == _OP_MUX:
+                select = values[ins[0]]
+                row = (select & values[ins[2]]) | (~select & values[ins[1]])
+                row = row & lane_mask
+            elif code == _OP_NAND:
+                row = values[ins[0]] & values[ins[1]]
+                for extra in ins[2:]:
+                    row = row & values[extra]
+            elif code == _OP_NOR:
+                row = values[ins[0]] | values[ins[1]]
+                for extra in ins[2:]:
+                    row = row | values[extra]
+            else:  # _OP_XNOR
+                row = values[ins[0]] ^ values[ins[1]]
+                for extra in ins[2:]:
+                    row = row ^ values[extra]
+            if code in _INVERTING:
+                row = ~row & lane_mask
+            if out in faulted:
+                row = self._apply_net_faults(out, row)
+            values[out] = row
+        self.evaluations += len(program.ops)
+        self.lane_evaluations += len(program.ops) * self.lanes
+        pending.clear()
+        return {
+            net: values[idx].copy() for net, idx in program.output_indices
+        }
+
+    def clock(self) -> None:
+        """Latch every DFF's input row into its state (rising edge)."""
+        if len(self.state):
+            self.state[:] = self.values[self.program.flop_d_indices]
+        self.cycles += 1
+
+    def step(self, inputs: _t.Mapping[str, _t.Any]) -> _t.Dict[str, np.ndarray]:
+        """One full cycle: evaluate then clock (Mealy view)."""
+        outputs = self.evaluate(inputs)
+        self.clock()
+        return outputs
+
+    def reset(self) -> None:
+        """Zero state and values; pending SEUs drop, stuck-ats persist
+        (mirrors the scalar engine's :meth:`GateSimulator.reset`)."""
+        self.state[:] = 0
+        self.values[:] = 0
+        self._pending_seu.clear()
+
+    # -- bus helpers --------------------------------------------------------
+
+    def pack(
+        self, bus: _t.Sequence[str], value: _t.Union[int, _t.Sequence[int]]
+    ) -> _t.Dict[str, _t.Any]:
+        """Spread integer word(s) over a little-endian bus.
+
+        *value* may be one int (broadcast to every lane) or a per-lane
+        sequence of ints.
+        """
+        if isinstance(value, (int, np.integer)):
+            return {net: (int(value) >> i) & 1 for i, net in enumerate(bus)}
+        if len(value) != self.lanes:
+            raise ValueError(
+                f"expected {self.lanes} per-lane words, got {len(value)}"
+            )
+        return {
+            net: self.pack_lanes([(int(v) >> i) & 1 for v in value])
+            for i, net in enumerate(bus)
+        }
+
+    def unpack_lane(
+        self,
+        bus: _t.Sequence[str],
+        values: _t.Mapping[str, np.ndarray],
+        lane: int = 0,
+    ) -> int:
+        """Collect one lane of a little-endian bus back into an integer."""
+        word_idx, bit = lane >> 6, np.uint64(lane & 63)
+        one = np.uint64(1)
+        word = 0
+        for i, net in enumerate(bus):
+            word |= int((values[net][word_idx] >> bit) & one) << i
+        return word
+
+    def unpack_lanes(
+        self,
+        bus: _t.Sequence[str],
+        values: _t.Mapping[str, np.ndarray],
+    ) -> _t.List[int]:
+        """Collect every lane of a bus: one integer per lane."""
+        rows = np.stack([np.asarray(values[net]) for net in bus])
+        lanes = np.arange(self.lanes)
+        shifts = (lanes & 63).astype(np.uint64)
+        bits = (rows[:, lanes >> 6] >> shifts) & np.uint64(1)  # (bus, lanes)
+        if len(bus) <= LANES_PER_WORD:
+            weights = np.uint64(1) << np.arange(len(bus), dtype=np.uint64)
+            words = (bits.T * weights).sum(axis=1, dtype=np.uint64)
+            return [int(w) for w in words]
+        # Buses wider than a machine word assemble as Python bignums.
+        out = [0] * self.lanes
+        for i in range(len(bus)):
+            for lane in np.flatnonzero(bits[i]):
+                out[lane] |= 1 << i
+        return out
+
+
+def run_vector_outcomes(
+    circuit: _t.Any,
+    bus: _t.Sequence[str],
+    vectors: _t.Sequence[_t.Dict[str, int]],
+    sites: _t.Sequence[_t.Any],
+    settle_cycles: int,
+) -> _t.List[_t.Tuple[_t.Any, _t.Dict[str, int], int]]:
+    """Fault-parallel campaign core: one lane per fault site.
+
+    For each input vector, runs a 1-lane golden sweep and one
+    ``len(sites)``-lane faulty sweep (64 sites per word, multi-word
+    beyond that), reproducing the scalar ``_run_once`` schedule:
+    stuck-ats armed from cycle 0, SEUs injected before the final
+    settle evaluation, plus one post-clock evaluation when the netlist
+    has flops.  Returns ``(site, vector, faulty_word XOR golden_word)``
+    triples in (vector-major, site-minor) order.
+    """
+    program = GateProgram(circuit.netlist)
+    cycles = max(settle_cycles, 1)
+    has_flops = bool(len(program.flop_row_of))
+    golden_sim = VectorGateSimulator(program, lanes=1)
+    sim = VectorGateSimulator(program, lanes=max(len(sites), 1))
+    seu_lanes: _t.List[_t.Tuple[str, int]] = []
+    for lane, site in enumerate(sites):
+        if site.kind == "stuck0":
+            sim.set_stuck(site.net, 0, lanes=(lane,))
+        elif site.kind == "stuck1":
+            sim.set_stuck(site.net, 1, lanes=(lane,))
+        else:
+            seu_lanes.append((site.net, lane))
+
+    results: _t.List[_t.Tuple[_t.Any, _t.Dict[str, int], int]] = []
+    for vector in vectors:
+        golden_sim.reset()
+        for cycle in range(cycles):
+            golden_outputs = golden_sim.evaluate(vector)
+            golden_sim.clock()
+        if has_flops:
+            golden_outputs = golden_sim.evaluate(vector)
+        golden_word = golden_sim.unpack_lane(bus, golden_outputs)
+
+        if not sites:
+            continue
+        sim.reset()
+        for cycle in range(cycles):
+            if cycle == cycles - 1:
+                for net, lane in seu_lanes:
+                    sim.inject_seu(net, lanes=(lane,))
+            outputs = sim.evaluate(vector)
+            sim.clock()
+        if has_flops:
+            outputs = sim.evaluate(vector)
+        faulty_words = sim.unpack_lanes(bus, outputs)
+        for lane, site in enumerate(sites):
+            results.append((site, vector, golden_word ^ faulty_words[lane]))
+    return results

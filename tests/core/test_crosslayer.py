@@ -7,12 +7,14 @@ import pytest
 from repro.core import (
     derived_descriptor,
     error_pattern_outcomes,
+    measure_word_error_profile,
     naive_descriptor,
     normalize_counts,
     pattern_histogram,
     total_variation_distance,
 )
 from repro.faults import FaultKind
+from repro.gate.builder import ripple_adder
 from repro.gate.faults import WordErrorProfile
 
 
@@ -115,3 +117,35 @@ class TestSampling:
                 assert pattern in support
         # Masked share is 10/20: draws should reflect it roughly.
         assert 60 <= masked_draws <= 140
+
+
+class TestMeasureWordErrorProfile:
+    """The crosslayer entry point into the gate fault campaign."""
+
+    def test_engines_byte_identical(self):
+        circuit = ripple_adder(3)
+        profiles = {
+            engine: measure_word_error_profile(
+                circuit, "sum",
+                kinds=("seu", "stuck0", "stuck1"),
+                runs_per_site=2,
+                seed=11,
+                engine=engine,
+            )
+            for engine in ("scalar", "vector")
+        }
+        assert (
+            profiles["scalar"].canonical() == profiles["vector"].canonical()
+        )
+        assert profiles["vector"].total > 0
+
+    def test_derivable_from_measured_profile(self):
+        profile = measure_word_error_profile(
+            ripple_adder(4), "sum", runs_per_site=2, seed=3
+        )
+        descriptor = derived_descriptor("measured", profile)
+        shape = pattern_histogram(profile)
+        assert descriptor.params["profile"] is profile
+        assert shape["masked"] + shape["single_bit"] + shape["multi_bit"] == (
+            pytest.approx(1.0)
+        )

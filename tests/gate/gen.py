@@ -1,0 +1,194 @@
+"""Seeded random-netlist generation for the differential fuzz harness.
+
+The vector engine's correctness currency is bit-for-bit equivalence
+with the scalar :class:`~repro.gate.simulator.GateSimulator`, and that
+claim is only as strong as the netlist population it is checked
+against.  This module provides:
+
+* :func:`random_circuit` — a seeded generator of arbitrary acyclic
+  netlists (all gate types, DFFs, shared fanout, multi-output buses)
+  used by the hypothesis properties in
+  ``tests/property/test_gate_vector_properties.py``;
+* :data:`CORPUS` — a committed regression corpus of structurally
+  nasty shapes (deep MUX chains, fanout through flops, flop feedback
+  loops, inverter towers) that either previously diverged during
+  development or exercise the engine's edge paths deliberately.
+
+Everything is driven by an explicit ``random.Random`` — same seed,
+same netlist, on every host.
+"""
+
+from __future__ import annotations
+
+import random
+import typing as _t
+
+from repro.gate import Circuit, GateType, Netlist, mux_chain
+
+#: Gate types the generator draws from, with rough weights: variadic
+#: gates dominate, inverters and MUXes stay common enough to matter,
+#: DFFs appear often enough that sequential paths are routine.
+_GATE_CHOICES = (
+    [GateType.AND] * 3
+    + [GateType.OR] * 3
+    + [GateType.XOR] * 3
+    + [GateType.NAND] * 2
+    + [GateType.NOR] * 2
+    + [GateType.XNOR] * 2
+    + [GateType.NOT] * 2
+    + [GateType.BUF]
+    + [GateType.MUX] * 3
+    + [GateType.DFF] * 2
+)
+
+
+def random_circuit(
+    rng: random.Random,
+    *,
+    max_inputs: int = 5,
+    max_gates: int = 18,
+    max_outputs: int = 8,
+) -> Circuit:
+    """A random acyclic netlist with at least one primary output.
+
+    Every gate reads only already-created nets, so the combinational
+    part is acyclic by construction; DFF outputs re-enter the pool and
+    give fanout *through* flops.  The output bus ``"out"`` is a random
+    sample of nets (little-endian), so campaigns can compare words.
+    """
+    netlist = Netlist("fuzz")
+    inputs = [
+        netlist.add_input(f"i{k}")
+        for k in range(rng.randint(1, max_inputs))
+    ]
+    pool: _t.List[str] = list(inputs)
+    for _ in range(rng.randint(1, max_gates)):
+        gate_type = rng.choice(_GATE_CHOICES)
+        if gate_type in (GateType.NOT, GateType.BUF, GateType.DFF):
+            chosen = [rng.choice(pool)]
+        elif gate_type is GateType.MUX:
+            chosen = [rng.choice(pool) for _ in range(3)]
+        else:
+            chosen = [rng.choice(pool) for _ in range(rng.randint(2, 3))]
+        pool.append(netlist.add_gate(gate_type, chosen))
+    width = min(len(pool), rng.randint(1, max_outputs))
+    bus = rng.sample(pool, width)
+    for net in bus:
+        netlist.mark_output(net)
+    return Circuit(netlist, {"in": inputs, "out": bus})
+
+
+def random_vector(
+    rng: random.Random, circuit: Circuit
+) -> _t.Dict[str, int]:
+    """One uniform random bit per primary input."""
+    return {net: rng.randrange(2) for net in circuit.netlist.inputs}
+
+
+# -- committed regression corpus -------------------------------------------
+
+
+def deep_mux_chain() -> Circuit:
+    """A 12-deep select chain: one select-line fault steers a whole
+    subtree, the pure stress test of MUX vectorization."""
+    return mux_chain(12, name="corpus-muxchain")
+
+
+def flop_fanout() -> Circuit:
+    """One flop fanning out into reconvergent combinational cones.
+
+    A single state bit feeds four gates whose outputs reconverge; an
+    SEU on the flop must corrupt every cone in the same cycle, and a
+    stuck-at on one branch must not leak into the others.
+    """
+    netlist = Netlist("corpus-flop-fanout")
+    a, b = netlist.add_input("a"), netlist.add_input("b")
+    q = netlist.DFF(netlist.XOR(a, b), "q")
+    x1 = netlist.AND(q, a)
+    x2 = netlist.OR(q, b)
+    x3 = netlist.XOR(q, a, b)
+    x4 = netlist.add_gate(GateType.NAND, (q, x1))
+    recon = netlist.XOR(netlist.OR(x1, x2), netlist.AND(x3, x4))
+    for net in (x1, x2, x3, x4, recon):
+        netlist.mark_output(net)
+    return Circuit(netlist, {"in": [a, b], "out": [x1, x2, x3, x4, recon]})
+
+
+def toggle_feedback() -> Circuit:
+    """Flops closing feedback loops through combinational logic.
+
+    ``q0`` toggles itself through an inverter; ``q1`` accumulates
+    ``q0 XOR enable``.  State evolves every cycle even under constant
+    inputs, so any engine disagreement about clocking order or SEU
+    timing shows up within a few cycles.
+    """
+    netlist = Netlist("corpus-toggle")
+    enable = netlist.add_input("en")
+    # The flop is created reading a net that is only driven afterwards —
+    # legal (validate() checks the finished netlist) and the canonical
+    # way to close a feedback loop in this builder API.
+    q0 = netlist.DFF("q0_next", "q0")
+    netlist.add_gate(GateType.NOT, (q0,), output="q0_next")
+    q1 = netlist.DFF("q1_next", "q1")
+    netlist.add_gate(GateType.XOR, (q1, q0, enable), output="q1_next")
+    out = netlist.AND(q1, netlist.OR(q0, enable))
+    for net in (q0, q1, out):
+        netlist.mark_output(net)
+    return Circuit(netlist, {"in": [enable], "out": [q0, q1, out]})
+
+
+def inverter_tower() -> Circuit:
+    """A 16-high tower of alternating NOT/NAND/NOR/XNOR gates.
+
+    Every level inverts, so any engine that forgets to mask inverted
+    rows back to the lane range corrupts the next level's inputs —
+    the exact bug class the canonical-row contract exists to stop.
+    """
+    netlist = Netlist("corpus-invtower")
+    a, b = netlist.add_input("a"), netlist.add_input("b")
+    value = a
+    taps: _t.List[str] = []
+    for level in range(16):
+        kind = (GateType.NOT, GateType.NAND, GateType.NOR, GateType.XNOR)[
+            level % 4
+        ]
+        if kind is GateType.NOT:
+            value = netlist.add_gate(kind, (value,))
+        else:
+            value = netlist.add_gate(kind, (value, b))
+        if level % 5 == 0:
+            taps.append(value)
+    outputs = taps + [value]
+    for net in outputs:
+        netlist.mark_output(net)
+    return Circuit(netlist, {"in": [a, b], "out": outputs})
+
+
+def registered_mux_pipe() -> Circuit:
+    """MUX chain with pipeline registers between stages.
+
+    Combines the two nasty shapes: select-path steering *and* state
+    elements mid-path, so SEU-on-flop timing interacts with MUX
+    select faults across cycles.
+    """
+    netlist = Netlist("corpus-regmux")
+    select = netlist.add_inputs("s", 3)
+    data = netlist.add_inputs("d", 4)
+    value = data[0]
+    for i in range(3):
+        value = netlist.DFF(netlist.MUX(select[i], value, data[i + 1]))
+    netlist.mark_output(value)
+    return Circuit(
+        netlist, {"s": select, "d": data, "out": [value]}
+    )
+
+
+#: name -> builder; every entry is swept by the corpus differential test
+#: over every fault kind and both engines.
+CORPUS: _t.Dict[str, _t.Callable[[], Circuit]] = {
+    "deep_mux_chain": deep_mux_chain,
+    "flop_fanout": flop_fanout,
+    "toggle_feedback": toggle_feedback,
+    "inverter_tower": inverter_tower,
+    "registered_mux_pipe": registered_mux_pipe,
+}

@@ -6,13 +6,17 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.gate import (
+    Gate,
     GateSimulator,
+    GateType,
     alu,
     comparator,
     enumerate_sites,
     majority_voter,
+    mux_chain,
     registered_adder,
     ripple_adder,
+    run_campaign,
     run_seu_campaign,
 )
 from repro.gate.faults import FaultSite
@@ -152,6 +156,99 @@ class TestFaultInjection:
         with pytest.raises(KeyError):
             sim.set_stuck("ghost", 1)
 
+    def test_seu_on_flop_flips_before_next_evaluate(self):
+        """Flop SEUs hit the stored state immediately; the corruption
+        is visible on the very next evaluate without a clock edge."""
+        circuit = registered_adder(4)
+        sim = GateSimulator(circuit.netlist)
+        inputs = {net: 0 for net in circuit.netlist.inputs}
+        sim.step(inputs)
+        sim.inject_seu("areg0")
+        assert sim.state["areg0"] == 1  # flipped in place, pre-evaluate
+        outputs = sim.evaluate(inputs)
+        # areg0 feeds the adder cloud: sum bit 0 corrupts this cycle,
+        # but the *output register* still holds the clean value.
+        assert outputs == {net: 0 for net in circuit.buses["out"]}
+        assert sim.values["sreg0"] == 0 and sim.values[circuit.buses["sum"][0]] == 1
+
+    def test_seu_on_combinational_waits_for_evaluate(self):
+        """Combinational SEUs are pending: nothing changes until the
+        next evaluate applies (and then clears) the flip."""
+        circuit = ripple_adder(4)
+        sim = GateSimulator(circuit.netlist)
+        net = circuit.buses["sum"][2]
+        sim.inject_seu(net)
+        assert sim.values[net] == 0  # still untouched
+        assert net in sim._pending_seu
+        inputs = {n: 0 for n in circuit.netlist.inputs}
+        outputs = sim.evaluate(inputs)
+        assert outputs[net] == 1
+        assert net not in sim._pending_seu
+
+    def test_clear_stuck_none_clears_all_nets(self):
+        circuit = ripple_adder(4)
+        sim = GateSimulator(circuit.netlist)
+        sim.set_stuck("a0", 1)
+        sim.set_stuck("b1", 1)
+        sim.clear_stuck("a0")  # per-net: b1 stays armed
+        inputs = {n: 0 for n in circuit.netlist.inputs}
+        outputs = sim.evaluate(inputs)
+        assert GateSimulator.unpack(circuit.buses["sum"], outputs) == 0b0010
+        sim.set_stuck("a0", 1)
+        sim.clear_stuck(None)  # everything disarmed at once
+        outputs = sim.evaluate(inputs)
+        assert GateSimulator.unpack(circuit.buses["sum"], outputs) == 0
+        assert sim._stuck == {}
+
+    def test_clear_stuck_unknown_net_is_noop(self):
+        circuit = ripple_adder(2)
+        sim = GateSimulator(circuit.netlist)
+        sim.set_stuck("a0", 1)
+        sim.clear_stuck("never-armed-net")
+        assert sim._stuck == {"a0": 1}
+
+
+class TestMuxEvaluation:
+    def test_mux_truth_table(self):
+        gate = Gate(GateType.MUX, ("s", "a", "b"), "y")
+        # inputs ordered (select, a, b): b when select else a.
+        assert gate.evaluate([0, 0, 1]) == 0
+        assert gate.evaluate([0, 1, 0]) == 1
+        assert gate.evaluate([1, 0, 1]) == 1
+        assert gate.evaluate([1, 1, 0]) == 0
+
+    def test_mux_arity_enforced(self):
+        with pytest.raises(ValueError):
+            Gate(GateType.MUX, ("s", "a"), "y")
+
+    @given(st.integers(0, 2**6 - 1), st.integers(0, 2**7 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_mux_chain_selects_expected_leaf(self, selects, data):
+        """The chain output equals the reference fold of its inputs."""
+        depth = 6
+        circuit = mux_chain(depth)
+        sim = GateSimulator(circuit.netlist)
+        inputs = {}
+        inputs.update(GateSimulator.pack(circuit.buses["s"], selects))
+        inputs.update(GateSimulator.pack(circuit.buses["d"], data))
+        outputs = sim.evaluate(inputs)
+        value = (data >> 0) & 1
+        for i in range(depth):
+            if (selects >> i) & 1:
+                value = (data >> (i + 1)) & 1
+        assert outputs[circuit.buses["out"][0]] == value
+
+    def test_mux_select_stuck_steers_chain(self):
+        """A stuck select forces the late-stage data leg regardless of
+        the driven select value."""
+        circuit = mux_chain(3)
+        sim = GateSimulator(circuit.netlist)
+        inputs = {net: 0 for net in circuit.netlist.inputs}
+        inputs["d3"] = 1
+        assert sim.evaluate(inputs)[circuit.buses["out"][0]] == 0
+        sim.set_stuck("s2", 1)
+        assert sim.evaluate(inputs)[circuit.buses["out"][0]] == 1
+
 
 class TestCampaign:
     @staticmethod
@@ -177,6 +274,92 @@ class TestCampaign:
         circuit = ripple_adder(2)
         with pytest.raises(ValueError):
             enumerate_sites(circuit, kinds=("meteor",))
+
+    def test_enumerate_validates_kinds_before_yielding_sites(self):
+        """Kind validation is hoisted: a bad kind mixed with good ones
+        raises up front, producing no partial site list."""
+        circuit = ripple_adder(4)
+        with pytest.raises(ValueError, match="meteor"):
+            enumerate_sites(circuit, kinds=("seu", "stuck0", "meteor"))
+        # The same vocabulary guards campaign-supplied site lists.
+        with pytest.raises(ValueError, match="meteor"):
+            run_campaign(
+                circuit, "sum", sites=[FaultSite("a0", "meteor")]
+            )
+
+    def test_stuck0_campaign_kind(self):
+        """stuck0 manifests iff the golden run drives the net to 1."""
+        circuit = ripple_adder(4)
+        profile, outcomes = run_campaign(
+            circuit,
+            "sum",
+            self._vectors(circuit),
+            sites=[FaultSite("a1", "stuck0")],
+            runs_per_site=16,
+            seed=6,
+        )
+        for outcome in outcomes:
+            a1_driven = outcome.input_vector.get("a1", 0)
+            if not a1_driven:
+                assert outcome.masked, outcome
+        assert any(not o.masked for o in outcomes)
+        assert profile.total == 16
+
+    def test_stuck1_campaign_kind(self):
+        """stuck1 on a carry input perturbs exactly the +1 column."""
+        circuit = ripple_adder(4)
+        profile, outcomes = run_campaign(
+            circuit,
+            "sum",
+            self._vectors(circuit),
+            sites=[FaultSite("cin", "stuck1")],
+            runs_per_site=16,
+            seed=6,
+        )
+        # cin is never driven by _vectors, so every run adds exactly 1:
+        # the error pattern is the ripple pattern of value+1 vs value.
+        for outcome in outcomes:
+            a = GateSimulator.unpack(
+                circuit.buses["a"], outcome.input_vector
+            )
+            b = GateSimulator.unpack(
+                circuit.buses["b"], outcome.input_vector
+            )
+            expected = ((a + b) & 0xF) ^ ((a + b + 1) & 0xF)
+            assert outcome.error_pattern == expected
+        assert profile.masking_rate == 0.0
+
+    def test_mixed_kind_enumeration_campaign(self):
+        """A full (seu, stuck0, stuck1) enumeration records one outcome
+        per (site, run) and keeps site identity on each outcome."""
+        circuit = ripple_adder(2)
+        sites = enumerate_sites(circuit, ("seu", "stuck0", "stuck1"))
+        profile, outcomes = run_campaign(
+            circuit,
+            "sum",
+            self._vectors(circuit),
+            sites=sites,
+            runs_per_site=2,
+            seed=9,
+        )
+        assert profile.total == len(outcomes) == 2 * len(sites)
+        assert {o.site.kind for o in outcomes} == {
+            "seu", "stuck0", "stuck1"
+        }
+
+    def test_campaign_rng_overrides_seed(self):
+        circuit = ripple_adder(4)
+        kwargs = dict(
+            output_bus="sum",
+            vector_source=self._vectors(circuit),
+            runs_per_site=2,
+        )
+        by_seed, _ = run_seu_campaign(circuit, seed=11, **kwargs)
+        by_rng, _ = run_seu_campaign(
+            circuit, seed=999, rng=random.Random(11), **kwargs
+        )
+        assert by_seed.pattern_counts == by_rng.pattern_counts
+        assert by_seed.canonical() == by_rng.canonical()
 
     def test_campaign_produces_profile(self):
         circuit = registered_adder(8)

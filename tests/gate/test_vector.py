@@ -1,0 +1,379 @@
+"""Unit tests for the bit-parallel vector gate engine.
+
+The scalar :class:`GateSimulator` is the ground truth; everything here
+checks that the vector engine's lanes are bit-for-bit scalar runs —
+per-lane fault masks, SEU timing, lane-packing edges, and the
+campaign-level byte-equivalence acceptance on every built-in circuit.
+The randomized population lives in
+``tests/property/test_gate_vector_properties.py``; this file pins the
+deterministic contracts.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.gate import (
+    GateProgram,
+    GateSimulator,
+    VectorGateSimulator,
+    alu,
+    comparator,
+    enumerate_sites,
+    majority_voter,
+    mux_chain,
+    registered_adder,
+    ripple_adder,
+    run_campaign,
+)
+
+BUILTINS = {
+    "full_adder": lambda: ripple_adder(1, name="fa"),
+    "ripple_adder": lambda: ripple_adder(8),
+    "comparator": lambda: comparator(4),
+    "majority_voter": lambda: majority_voter(8),
+    "alu": lambda: alu(8),
+    "registered_adder": lambda: registered_adder(8),
+    "mux_chain": lambda: mux_chain(6),
+}
+
+
+def output_bus(circuit):
+    for name in ("out", "sum", "eq"):
+        if name in circuit.buses:
+            return name
+    raise AssertionError("no known output bus")
+
+
+def scalar_lane_run(circuit, vectors, faults, cycles):
+    """Reference: one scalar simulator driven like a single lane.
+
+    *faults* is a list of ("stuck", net, level) armed up front and
+    ("seu", net, at_cycle) injected before that cycle's evaluate.
+    Returns the output-net values after each evaluate.
+    """
+    sim = GateSimulator(circuit.netlist)
+    for fault in faults:
+        if fault[0] == "stuck":
+            sim.set_stuck(fault[1], fault[2])
+    history = []
+    for cycle, vector in enumerate(vectors):
+        for fault in faults:
+            if fault[0] == "seu" and fault[2] == cycle:
+                sim.inject_seu(fault[1])
+        outputs = sim.evaluate(vector)
+        history.append(dict(outputs))
+        if cycle < cycles - 1:
+            sim.clock()
+    return history
+
+
+class TestEvaluateParity:
+    @pytest.mark.parametrize("name", sorted(BUILTINS))
+    def test_broadcast_matches_scalar(self, name):
+        """Fault-free, every lane must equal the one scalar run."""
+        circuit = BUILTINS[name]()
+        rng = random.Random(42)
+        scalar = GateSimulator(circuit.netlist)
+        vec = VectorGateSimulator(circuit.netlist, lanes=70)
+        for cycle in range(4):
+            vector = {
+                net: rng.randrange(2) for net in circuit.netlist.inputs
+            }
+            expected = scalar.evaluate(vector)
+            rows = vec.evaluate(vector)
+            for net, value in expected.items():
+                want = vec.broadcast(value)
+                assert np.array_equal(rows[net], want), (name, cycle, net)
+            scalar.clock()
+            vec.clock()
+
+    def test_per_lane_inputs(self):
+        """Each lane can carry its own stimulus word."""
+        circuit = ripple_adder(8)
+        lanes = 65
+        rng = random.Random(7)
+        pairs = [
+            (rng.randrange(256), rng.randrange(256)) for _ in range(lanes)
+        ]
+        vec = VectorGateSimulator(circuit.netlist, lanes=lanes)
+        inputs = {}
+        inputs.update(vec.pack(circuit.buses["a"], [a for a, _ in pairs]))
+        inputs.update(vec.pack(circuit.buses["b"], [b for _, b in pairs]))
+        rows = vec.evaluate(inputs)
+        sums = vec.unpack_lanes(circuit.buses["sum"], rows)
+        couts = vec.unpack_lanes(circuit.buses["cout"], rows)
+        for lane, (a, b) in enumerate(pairs):
+            assert sums[lane] == (a + b) & 0xFF
+            assert couts[lane] == (a + b) >> 8
+
+    def test_shared_program_instances(self):
+        circuit = alu(8)
+        program = GateProgram(circuit.netlist)
+        one = VectorGateSimulator(program, lanes=1)
+        many = VectorGateSimulator(program, lanes=64)
+        assert one.program is many.program
+        vector = {net: 1 for net in circuit.netlist.inputs}
+        a = one.evaluate(vector)
+        b = many.evaluate(vector)
+        for net in a:
+            assert int(a[net][0]) & 1 == int(b[net][0]) & 1
+
+
+class TestLanePacking:
+    @pytest.mark.parametrize("lanes", [1, 2, 63, 64, 65, 100, 128, 130])
+    def test_word_allocation_and_masks(self, lanes):
+        circuit = ripple_adder(2)
+        vec = VectorGateSimulator(circuit.netlist, lanes=lanes)
+        assert vec.words == -(-lanes // 64)
+        # lane_mask has exactly `lanes` bits set.
+        assert sum(int(w).bit_count() for w in vec.lane_mask) == lanes
+        # Inverted rows stay canonical: no bits above the lane range.
+        rows = vec.evaluate({net: 0 for net in circuit.netlist.inputs})
+        for row in rows.values():
+            assert np.array_equal(row & ~vec.lane_mask, np.zeros_like(row))
+
+    def test_lane_out_of_range_rejected(self):
+        vec = VectorGateSimulator(ripple_adder(2).netlist, lanes=4)
+        with pytest.raises(IndexError):
+            vec.set_stuck("a0", 1, lanes=(4,))
+        with pytest.raises(IndexError):
+            vec.inject_seu("a0", lanes=(-1,))
+
+    def test_invalid_lane_count_rejected(self):
+        with pytest.raises(ValueError):
+            VectorGateSimulator(ripple_adder(2).netlist, lanes=0)
+
+    def test_pack_lanes_length_checked(self):
+        vec = VectorGateSimulator(ripple_adder(2).netlist, lanes=3)
+        with pytest.raises(ValueError):
+            vec.pack_lanes([1, 0])
+        with pytest.raises(ValueError):
+            vec.pack(["a0"], [1, 0])
+
+
+class TestFaultMasks:
+    def test_stuck_applies_only_to_selected_lanes(self):
+        circuit = ripple_adder(4)
+        vec = VectorGateSimulator(circuit.netlist, lanes=66)
+        vec.set_stuck("a0", 1, lanes=(0, 65))
+        inputs = {}
+        inputs.update(vec.pack(circuit.buses["a"], 0))
+        inputs.update(vec.pack(circuit.buses["b"], 0))
+        inputs["cin"] = 0
+        sums = vec.unpack_lanes(circuit.buses["sum"], vec.evaluate(inputs))
+        assert sums[0] == 1 and sums[65] == 1
+        assert all(s == 0 for lane, s in enumerate(sums) if lane not in (0, 65))
+
+    def test_stuck_rearm_overwrites_level(self):
+        """stuck0 then stuck1 on the same lane must read 1, like scalar."""
+        circuit = ripple_adder(2)
+        scalar = GateSimulator(circuit.netlist)
+        scalar.set_stuck("a0", 0)
+        scalar.set_stuck("a0", 1)
+        vec = VectorGateSimulator(circuit.netlist, lanes=2)
+        vec.set_stuck("a0", 0, lanes=(1,))
+        vec.set_stuck("a0", 1, lanes=(1,))
+        inputs = {net: 0 for net in circuit.netlist.inputs}
+        want = scalar.evaluate(inputs)
+        rows = vec.evaluate(inputs)
+        got = vec.unpack_lanes(circuit.buses["sum"], rows)
+        assert got[1] == GateSimulator.unpack(circuit.buses["sum"], want)
+        assert got[0] == 0  # untouched lane
+
+    def test_clear_stuck_per_lane_per_net_and_all(self):
+        circuit = ripple_adder(2)
+        vec = VectorGateSimulator(circuit.netlist, lanes=3)
+        vec.set_stuck("a0", 1)
+        vec.set_stuck("b0", 1)
+        vec.clear_stuck("a0", lanes=(1,))
+        inputs = {net: 0 for net in circuit.netlist.inputs}
+        sums = vec.unpack_lanes(circuit.buses["sum"], vec.evaluate(inputs))
+        assert sums == [0b10, 0b01, 0b10]  # a0+b0 stuck, lane1 a0 cleared
+        vec.clear_stuck("b0")
+        sums = vec.unpack_lanes(circuit.buses["sum"], vec.evaluate(inputs))
+        assert sums == [1, 0, 1]
+        vec.clear_stuck()
+        sums = vec.unpack_lanes(circuit.buses["sum"], vec.evaluate(inputs))
+        assert sums == [0, 0, 0]
+        assert not vec._stuck  # fully-cleared entries are dropped
+
+    def test_pending_seu_is_idempotent_like_scalar_set(self):
+        circuit = ripple_adder(4)
+        scalar = GateSimulator(circuit.netlist)
+        net = circuit.buses["sum"][0]
+        scalar.inject_seu(net)
+        scalar.inject_seu(net)  # set semantics: still one flip
+        vec = VectorGateSimulator(circuit.netlist, lanes=1)
+        vec.inject_seu(net)
+        vec.inject_seu(net)
+        inputs = {n: 0 for n in circuit.netlist.inputs}
+        want = scalar.evaluate(inputs)
+        rows = vec.evaluate(inputs)
+        assert vec.unpack_lane(circuit.buses["sum"], rows) == \
+            GateSimulator.unpack(circuit.buses["sum"], want) == 1
+        # And transient: the next evaluate is clean in both engines.
+        assert GateSimulator.unpack(
+            circuit.buses["sum"], scalar.evaluate(inputs)
+        ) == 0
+        assert vec.unpack_lane(
+            circuit.buses["sum"], vec.evaluate(inputs)
+        ) == 0
+
+    def test_flop_seu_toggles_like_scalar_state_flip(self):
+        circuit = registered_adder(4)
+        scalar = GateSimulator(circuit.netlist)
+        scalar.inject_seu("areg1")
+        scalar.inject_seu("areg1")  # state ^= 1 twice: back to 0
+        vec = VectorGateSimulator(circuit.netlist, lanes=1)
+        vec.inject_seu("areg1")
+        vec.inject_seu("areg1")
+        assert scalar.state["areg1"] == 0
+        assert int(vec.state[vec.program.flop_row_of[vec.program.index["areg1"]]][0]) == 0
+
+    def test_unknown_net_rejected(self):
+        vec = VectorGateSimulator(ripple_adder(2).netlist, lanes=1)
+        with pytest.raises(KeyError):
+            vec.inject_seu("ghost")
+        with pytest.raises(KeyError):
+            vec.set_stuck("ghost", 1)
+        with pytest.raises(KeyError):
+            vec.clear_stuck("ghost")
+
+    def test_reset_keeps_stuck_drops_pending(self):
+        """Mirrors GateSimulator.reset: state/values/pending cleared,
+        stuck-at masks survive."""
+        circuit = registered_adder(4)
+        scalar = GateSimulator(circuit.netlist)
+        vec = VectorGateSimulator(circuit.netlist, lanes=1)
+        for sim in (scalar, vec):
+            sim.set_stuck("areg0", 1)
+            sim.inject_seu(circuit.buses["sum"][0])
+            sim.reset()
+        inputs = {net: 0 for net in circuit.netlist.inputs}
+        want = scalar.evaluate(inputs)
+        rows = vec.evaluate(inputs)
+        for net, value in want.items():
+            assert int(rows[net][0]) == value
+
+
+class TestLaneVsScalarSequences:
+    @pytest.mark.parametrize("name", ["registered_adder", "mux_chain", "alu"])
+    def test_mixed_faults_over_cycles(self, name):
+        """Three faulted lanes + golden lane vs four scalar runs."""
+        circuit = BUILTINS[name]()
+        nets = circuit.netlist.nets
+        rng = random.Random(9)
+        cycles = 3
+        vectors = [
+            {net: rng.randrange(2) for net in circuit.netlist.inputs}
+            for _ in range(cycles)
+        ]
+        lane_faults = [
+            [],
+            [("stuck", nets[rng.randrange(len(nets))], 1)],
+            [("stuck", nets[rng.randrange(len(nets))], 0)],
+            [("seu", nets[rng.randrange(len(nets))], 1)],
+        ]
+        vec = VectorGateSimulator(circuit.netlist, lanes=len(lane_faults))
+        for lane, faults in enumerate(lane_faults):
+            for fault in faults:
+                if fault[0] == "stuck":
+                    vec.set_stuck(fault[1], fault[2], lanes=(lane,))
+        bus = circuit.buses[output_bus(circuit)]
+        scalar_words = []
+        for faults in lane_faults:
+            history = scalar_lane_run(circuit, vectors, faults, cycles)
+            scalar_words.append(
+                [GateSimulator.unpack(bus, h) for h in history]
+            )
+        for cycle, vector in enumerate(vectors):
+            for lane, faults in enumerate(lane_faults):
+                for fault in faults:
+                    if fault[0] == "seu" and fault[2] == cycle:
+                        vec.inject_seu(fault[1], lanes=(lane,))
+            rows = vec.evaluate(vector)
+            words = vec.unpack_lanes(bus, rows)
+            for lane in range(len(lane_faults)):
+                assert words[lane] == scalar_words[lane][cycle], (
+                    name, lane, cycle
+                )
+            if cycle < cycles - 1:
+                vec.clock()
+
+
+class TestCampaignEquivalence:
+    """The acceptance criterion: byte-identical WordErrorProfiles on
+    every built-in circuit, both engines, all fault kinds."""
+
+    @pytest.mark.parametrize("name", sorted(BUILTINS))
+    def test_builtin_profiles_byte_identical(self, name):
+        circuit = BUILTINS[name]()
+        bus = output_bus(circuit)
+        kwargs = dict(
+            kinds=("seu", "stuck0", "stuck1"),
+            runs_per_site=2,
+            seed=23,
+        )
+        scalar_profile, scalar_outcomes = run_campaign(
+            circuit, bus, engine="scalar", **kwargs
+        )
+        vector_profile, vector_outcomes = run_campaign(
+            circuit, bus, engine="vector", **kwargs
+        )
+        assert scalar_profile.canonical() == vector_profile.canonical()
+        assert scalar_outcomes == vector_outcomes
+        assert scalar_profile.total == 2 * len(
+            enumerate_sites(circuit, ("seu", "stuck0", "stuck1"))
+        )
+
+    def test_explicit_rng_matches_seed(self):
+        circuit = ripple_adder(4)
+        by_seed, _ = run_campaign(circuit, "sum", seed=5, engine="vector")
+        by_rng, _ = run_campaign(
+            circuit, "sum", rng=random.Random(5), engine="vector"
+        )
+        assert by_seed.canonical() == by_rng.canonical()
+
+    def test_lane_edge_site_counts(self):
+        """1, exactly 64, and 65 sites pack into 1, 1, and 2 words."""
+        circuit = alu(8)
+        all_sites = enumerate_sites(circuit, ("seu",))
+        for count in (1, 64, 65):
+            sites = all_sites[:count]
+            scalar, s_out = run_campaign(
+                circuit, "out", sites=sites, runs_per_site=1,
+                seed=2, engine="scalar",
+            )
+            vector, v_out = run_campaign(
+                circuit, "out", sites=sites, runs_per_site=1,
+                seed=2, engine="vector",
+            )
+            assert scalar.canonical() == vector.canonical()
+            assert s_out == v_out
+
+    def test_empty_sites_and_zero_runs(self):
+        circuit = ripple_adder(2)
+        for engine in ("scalar", "vector"):
+            profile, outcomes = run_campaign(
+                circuit, "sum", sites=[], runs_per_site=2, engine=engine
+            )
+            assert profile.total == 0 and outcomes == []
+            profile, outcomes = run_campaign(
+                circuit, "sum", runs_per_site=0, engine=engine
+            )
+            assert profile.total == 0 and outcomes == []
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            run_campaign(ripple_adder(2), "sum", engine="quantum")
+
+    def test_provided_sites_validated(self):
+        from repro.gate.faults import FaultSite
+
+        with pytest.raises(ValueError):
+            run_campaign(
+                ripple_adder(2), "sum",
+                sites=[FaultSite("a0", "meteor")],
+            )

@@ -1,0 +1,200 @@
+"""Differential fuzzing: vector engine vs scalar ground truth.
+
+The soundness anchor of the bit-parallel gate engine.  Hypothesis
+drives seeded random netlists (``tests/gate/gen.py``) through both
+engines — random input patterns, random fault-site subsets of every
+kind, random cycle counts, lane-packing edge cases — and demands
+bit-for-bit agreement everywhere.  The committed regression corpus of
+structurally nasty netlists (deep MUX chains, fanout through flops,
+feedback, inverter towers) is swept exhaustively on every run.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gate import (
+    GateSimulator,
+    VectorGateSimulator,
+    enumerate_sites,
+    run_campaign,
+)
+from repro.gate.faults import FAULT_KINDS
+
+from tests.gate.gen import CORPUS, random_circuit, random_vector
+
+
+def sample_sites(rng, circuit, max_sites):
+    """A random site subset covering every fault kind."""
+    pool = enumerate_sites(circuit, FAULT_KINDS)
+    count = rng.randint(1, min(max_sites, len(pool)))
+    return rng.sample(pool, count)
+
+
+# -- the main differential property (the >= 200 example acceptance) --------
+
+
+@given(seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=200, deadline=None)
+def test_random_netlist_campaign_equivalence(seed):
+    """Scalar and vector campaigns agree byte-for-byte on random
+    netlists x input patterns x fault sites x cycle counts."""
+    rng = random.Random(seed)
+    circuit = random_circuit(rng)
+    sites = sample_sites(rng, circuit, max_sites=8)
+    runs_per_site = rng.randint(1, 2)
+    settle_cycles = rng.randint(1, 3)
+    campaign_seed = rng.randrange(2**31)
+    results = {}
+    for engine in ("scalar", "vector"):
+        results[engine] = run_campaign(
+            circuit,
+            "out",
+            sites=sites,
+            runs_per_site=runs_per_site,
+            settle_cycles=settle_cycles,
+            seed=campaign_seed,
+            engine=engine,
+        )
+    scalar_profile, scalar_outcomes = results["scalar"]
+    vector_profile, vector_outcomes = results["vector"]
+    assert scalar_profile.canonical() == vector_profile.canonical()
+    assert scalar_outcomes == vector_outcomes
+
+
+# -- lane-level equivalence on free-form stimulus sequences -----------------
+
+
+@given(seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=60, deadline=None)
+def test_random_netlist_lane_equivalence(seed):
+    """Each vector lane replays an independent scalar run exactly —
+    including mid-sequence SEUs and per-lane stuck-ats — across every
+    evaluate of a multi-cycle stimulus sequence."""
+    rng = random.Random(seed)
+    circuit = random_circuit(rng)
+    nets = circuit.netlist.nets
+    cycles = rng.randint(1, 4)
+    vectors = [random_vector(rng, circuit) for _ in range(cycles)]
+    lanes = rng.choice([1, 2, 63, 64, 65])
+    lane_faults = []
+    for _ in range(lanes):
+        faults = []
+        for _ in range(rng.randint(0, 2)):
+            net = rng.choice(nets)
+            if rng.random() < 0.5:
+                faults.append(("stuck", net, rng.randrange(2)))
+            else:
+                faults.append(("seu", net, rng.randrange(cycles)))
+        lane_faults.append(faults)
+
+    vec = VectorGateSimulator(circuit.netlist, lanes=lanes)
+    scalars = [GateSimulator(circuit.netlist) for _ in range(lanes)]
+    for lane, faults in enumerate(lane_faults):
+        for fault in faults:
+            if fault[0] == "stuck":
+                vec.set_stuck(fault[1], fault[2], lanes=(lane,))
+                scalars[lane].set_stuck(fault[1], fault[2])
+
+    for cycle, vector in enumerate(vectors):
+        for lane, faults in enumerate(lane_faults):
+            for fault in faults:
+                if fault[0] == "seu" and fault[2] == cycle:
+                    # Injection order within a cycle is irrelevant for
+                    # distinct nets and idempotent for equal comb nets;
+                    # flop nets toggle identically in both engines.
+                    vec.inject_seu(fault[1], lanes=(lane,))
+                    scalars[lane].inject_seu(fault[1])
+        rows = vec.evaluate(vector)
+        words = vec.unpack_lanes(circuit.buses["out"], rows)
+        for lane, scalar in enumerate(scalars):
+            outputs = scalar.evaluate(vector)
+            assert words[lane] == GateSimulator.unpack(
+                circuit.buses["out"], outputs
+            ), (lane, cycle)
+            scalar.clock()
+        vec.clock()
+
+
+# -- lane-packing edges on a fixed circuit ----------------------------------
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    lanes=st.sampled_from([1, 63, 64, 65, 127, 128, 130]),
+)
+@settings(max_examples=40, deadline=None)
+def test_lane_packing_edges_stay_canonical(seed, lanes):
+    """Any lane count: inverted rows never leak bits above the lane
+    range, and every lane decodes to a scalar-consistent word."""
+    rng = random.Random(seed)
+    circuit = random_circuit(rng)
+    vec = VectorGateSimulator(circuit.netlist, lanes=lanes)
+    scalar = GateSimulator(circuit.netlist)
+    for _ in range(2):
+        vector = random_vector(rng, circuit)
+        rows = vec.evaluate(vector)
+        expected = scalar.evaluate(vector)
+        scalar.clock()
+        vec.clock()
+        for net, row in rows.items():
+            assert not (row & ~vec.lane_mask).any(), net
+        words = vec.unpack_lanes(circuit.buses["out"], rows)
+        want = GateSimulator.unpack(circuit.buses["out"], expected)
+        assert words == [want] * lanes
+
+
+# -- committed regression corpus --------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(CORPUS))
+def test_corpus_campaign_equivalence(name):
+    """Every corpus netlist, every fault kind, both engines."""
+    circuit = CORPUS[name]()
+    kwargs = dict(
+        kinds=FAULT_KINDS,
+        runs_per_site=2,
+        settle_cycles=3,
+        seed=29,
+    )
+    scalar_profile, scalar_outcomes = run_campaign(
+        circuit, "out", engine="scalar", **kwargs
+    )
+    vector_profile, vector_outcomes = run_campaign(
+        circuit, "out", engine="vector", **kwargs
+    )
+    assert scalar_profile.canonical() == vector_profile.canonical()
+    assert scalar_outcomes == vector_outcomes
+    assert scalar_profile.total > 0
+
+
+@pytest.mark.parametrize("name", sorted(CORPUS))
+def test_corpus_fault_free_parity(name):
+    """Corpus netlists settle identically over a long fault-free run
+    (feedback circuits evolve state every cycle)."""
+    circuit = CORPUS[name]()
+    rng = random.Random(3)
+    scalar = GateSimulator(circuit.netlist)
+    vec = VectorGateSimulator(circuit.netlist, lanes=65)
+    for cycle in range(8):
+        vector = random_vector(rng, circuit)
+        expected = scalar.evaluate(vector)
+        rows = vec.evaluate(vector)
+        want = GateSimulator.unpack(circuit.buses["out"], expected)
+        assert vec.unpack_lanes(circuit.buses["out"], rows) == [want] * 65, (
+            name, cycle
+        )
+        scalar.clock()
+        vec.clock()
+
+
+def test_generator_is_seed_deterministic():
+    """Same seed, same netlist — the fuzz population is reproducible."""
+    a = random_circuit(random.Random(1234))
+    b = random_circuit(random.Random(1234))
+    assert [g.name for g in a.netlist.gates] == [
+        g.name for g in b.netlist.gates
+    ]
+    assert a.netlist.inputs == b.netlist.inputs
+    assert a.buses["out"] == b.buses["out"]
