@@ -291,6 +291,89 @@ def emit_campaign_bench(entries: _t.Sequence[dict]) -> pathlib.Path:
     return CAMPAIGN_BENCH_PATH
 
 
+# -- risk-engine workloads (E18, BENCH_risk.json) ---------------------------
+
+RISK_BENCH_PATH = pathlib.Path(__file__).parent / "BENCH_risk.json"
+
+
+def timed_risk_campaign(
+    runs: int,
+    fork: bool = False,
+    backend: str = "serial",
+    workers: _t.Optional[int] = None,
+    batch_size: int = 64,
+    seed: int = 7,
+    sampler_seed: int = 11,
+):
+    """One seeded mission-sampled CAPS campaign; returns
+    ``(report, result, campaign_wall_s, report_wall_s)``.
+
+    The strategy draws correlated environment trajectories per run and
+    re-derives the stressor spec per sample (the per-sample Fig. 2
+    loop), with the injection time pinned to the prefix-heavy instant
+    so ``fork=True`` amortizes the shared fault-free prefix exactly as
+    in the plain fork workload.  The report fold is timed separately —
+    it is pure post-processing and must not pollute the backend
+    comparison.
+    """
+    from repro.mission import standard_passenger_car_profile
+    from repro.risk import RiskReport, SampledScenarioStrategy, StressSampler
+
+    campaign = airbag_campaign(seed=seed)
+    campaign.golden()
+    strategy = SampledScenarioStrategy(
+        airbag_space(),
+        StressSampler(standard_passenger_car_profile(), seed=sampler_seed),
+        injection_time=FORK_INJECT_TIME,
+    )
+    start = time.perf_counter()
+    result = campaign.run(
+        strategy, runs=runs, backend=backend, workers=workers,
+        batch_size=batch_size, fork=fork,
+    )
+    campaign_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    report = RiskReport.from_campaign(result, strategy)
+    report_wall = time.perf_counter() - start
+    return report, result, campaign_wall, report_wall
+
+
+def emit_risk_bench(
+    entries: _t.Sequence[dict], report_sha: str
+) -> pathlib.Path:
+    """Write ``BENCH_risk.json``: per-backend rows plus the canonical
+    report fingerprint.
+
+    The sha pins the *content* side of the contract in the same file
+    as the throughput numbers: every measured backend in the emission
+    produced a byte-identical ``RiskReport.canonical()``, so a reader
+    comparing trajectories across PRs can also see at a glance whether
+    the sampled campaign itself changed."""
+    entries = [dict(entry) for entry in entries]
+    serial = next(
+        (
+            e for e in entries
+            if e["backend"] == "serial" and not e.get("skipped")
+        ),
+        None,
+    )
+    if serial and serial.get("runs_per_s"):
+        for entry in entries:
+            if entry is serial or entry.get("skipped"):
+                continue
+            if entry.get("runs_per_s") and "speedup_vs_serial" not in entry:
+                entry["speedup_vs_serial"] = round(
+                    entry["runs_per_s"] / serial["runs_per_s"], 2
+                )
+    payload = {
+        "campaign": "risk-engine-sampled-airbag",
+        "entries": entries,
+        "report_sha": report_sha,
+    }
+    RISK_BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return RISK_BENCH_PATH
+
+
 def adder_vectors(circuit) -> _t.Callable[[random.Random], dict]:
     """Random input vectors for an 8-bit adder-style circuit."""
     from repro.gate import GateSimulator

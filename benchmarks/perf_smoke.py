@@ -31,9 +31,11 @@ import sys
 from _workloads import (
     CAMPAIGN_BENCH_PATH,
     GATE_BENCH_PATH,
+    RISK_BENCH_PATH,
     timed_campaign,
     timed_fork_campaign,
     timed_gate_campaign,
+    timed_risk_campaign,
 )
 
 
@@ -107,6 +109,53 @@ def committed_gate_speedup() -> float:
         f"no acceptance speedup in {GATE_BENCH_PATH}; "
         f"regenerate it with bench_gate_vector.py"
     )
+
+
+def committed_risk_speedup() -> float:
+    """The committed risk-engine ``fork`` row's speedup over serial.
+
+    Part of the ``BENCH_risk.json`` contract once the risk engine
+    exists; a baseline without the row fails loudly."""
+    payload = json.loads(committed_text(RISK_BENCH_PATH))
+    for entry in payload["entries"]:
+        if entry.get("backend") == "fork" and not entry.get("skipped"):
+            speedup = entry.get("speedup_vs_serial")
+            if speedup:
+                return float(speedup)
+    raise SystemExit(
+        f"no measured fork entry in {RISK_BENCH_PATH}; "
+        f"regenerate it with bench_risk_engine.py"
+    )
+
+
+def risk_engine_guard(tolerance: float, runs: int) -> int:
+    """Guard the sampled-campaign fork speedup *ratio*.
+
+    The risk strategy adds per-sample environment drawing and stressor
+    re-derivation to every planned run; if that planning work quietly
+    became O(catalog) slower — or fork grouping stopped recognizing
+    the pinned injection time — the measured ratio collapses toward
+    1x and fails here, on any host."""
+    baseline = committed_risk_speedup()
+    _, _, serial_wall, _ = timed_risk_campaign(runs, fork=False)
+    _, _, fork_wall, _ = timed_risk_campaign(runs, fork=True)
+    speedup = serial_wall / fork_wall
+    floor = baseline * (1.0 - tolerance)
+    verdict = "ok" if speedup >= floor else "REGRESSION"
+    print(
+        f"perf-smoke: risk fork speedup {speedup:.2f}x over {runs} "
+        f"sampled runs (committed {baseline:.2f}x, floor {floor:.2f}x "
+        f"at -{tolerance:.0%}): {verdict}"
+    )
+    if speedup < floor:
+        print(
+            "risk-engine fork speedup regressed beyond tolerance; "
+            "if intentional, regenerate BENCH_risk.json via "
+            "bench_risk_engine.py and commit it with the change",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def gate_vector_guard(tolerance: float) -> int:
@@ -197,7 +246,12 @@ def main() -> int:
         )
         return 1
 
-    # Gate vector-engine guard (ISSUE 7): same ratio logic as fork.
+    # Risk-engine guard: the sampled campaign's fork ratio — catches
+    # per-sample planning work swamping execution.
+    if risk_engine_guard(tolerance, runs=max(runs, 64)):
+        return 1
+
+    # Gate vector-engine guard: same ratio logic as fork.
     return gate_vector_guard(tolerance)
 
 

@@ -22,6 +22,7 @@ Subpackages
 ``repro.stats``     campaign statistics
 ``repro.observe``   propagation observability: traces, digests, graphs
 ``repro.core``      the error-effect simulation framework (Fig. 3)
+``repro.risk``      mission-profile Monte Carlo risk engine
 """
 
 __version__ = "1.0.0"

@@ -583,6 +583,92 @@ class ProcessExitInModel(Rule):
             )
 
 
+#: Draw/state functions on numpy's module-level legacy RNG.  Like the
+#: stdlib set above, ``seed``/state calls are included: seeding the
+#: *shared* generator is exactly the cross-run leak being banned.
+_NUMPY_GLOBAL_RNG_FUNCS = {
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "uniform", "normal",
+    "standard_normal", "lognormal", "exponential", "poisson", "beta",
+    "gamma", "binomial", "multinomial", "multivariate_normal",
+    "triangular", "weibull", "pareto", "bytes", "seed", "get_state",
+    "set_state",
+}
+
+_NUMPY_MODULE_NAMES = {"numpy", "np"}
+
+
+@rule
+class UnseededNumpyRandomness(Rule):
+    """VP004's numpy sibling.  ``numpy.random.*`` draws from the
+    process-global legacy RNG and ``default_rng()`` without a seed
+    falls back to OS entropy — both break byte-reproducibility the
+    moment the vector engine or the risk sampler runs in a different
+    worker order.  Model and strategy code must hold an explicitly
+    seeded ``numpy.random.Generator``."""
+
+    code = "VP012"
+    name = "unseeded-numpy-randomness"
+    severity = ERROR
+    summary = (
+        "numpy.random.* global-RNG call or seedless default_rng(); "
+        "use an explicitly seeded numpy Generator"
+    )
+
+    def _unseeded(self, node: ast.Call) -> bool:
+        return not node.args and not node.keywords
+
+    def check_node(self, node, ctx):
+        if not isinstance(node, ast.Call):
+            return
+        func = node.func
+        # Bare call imported via `from numpy.random import default_rng`.
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "default_rng"
+            and self._unseeded(node)
+        ):
+            yield self.finding(
+                node, ctx,
+                "default_rng() without a seed falls back to OS entropy "
+                "— pass the run seed explicitly",
+            )
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        value = func.value
+        # numpy.random.<fn>(...) / np.random.<fn>(...)
+        via_module = (
+            isinstance(value, ast.Attribute)
+            and value.attr == "random"
+            and isinstance(value.value, ast.Name)
+            and value.value.id in _NUMPY_MODULE_NAMES
+        )
+        # random.<fn>(...) where `from numpy import random` — the
+        # global-draw names below don't collide with the stdlib set
+        # VP004 owns, so only default_rng is claimed here.
+        via_bare = _attr_base_name(func) == "random"
+        if via_module and func.attr in _NUMPY_GLOBAL_RNG_FUNCS:
+            yield self.finding(
+                node, ctx,
+                f"numpy.random.{func.attr}() draws from the "
+                f"process-global numpy RNG — worker execution order "
+                f"leaks into results; use a seeded "
+                f"numpy.random.Generator (e.g. "
+                f"Generator(PCG64(run_seed)))",
+            )
+        elif (
+            (via_module or via_bare)
+            and func.attr == "default_rng"
+            and self._unseeded(node)
+        ):
+            yield self.finding(
+                node, ctx,
+                "default_rng() without a seed falls back to OS entropy "
+                "— pass the run seed explicitly",
+            )
+
+
 def rule_table() -> _t.List[_t.Dict[str, str]]:
     """Stable-ordered rule metadata (docs, --list-rules)."""
     return [

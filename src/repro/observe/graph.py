@@ -205,6 +205,38 @@ class PropagationGraph:
             if latencies
         }
 
+    def detection_latency_percentiles(
+        self, percentiles: _t.Sequence[float] = (50.0, 90.0, 99.0)
+    ) -> _t.Dict[str, _t.Dict[str, float]]:
+        """Fault-to-detection latency percentiles per mechanism.
+
+        Deterministic nearest-rank-with-interpolation quantiles (the
+        same linear rule as ``statistics.quantiles(method=...)`` at the
+        requested points) over each mechanism's sim-time latency list —
+        the "p99 detection latency" row a risk report needs.  Keys are
+        ``"p50"``-style labels; mechanisms with no samples are absent.
+        """
+        result: _t.Dict[str, _t.Dict[str, float]] = {}
+        for mechanism, latencies in sorted(self.detection_latencies.items()):
+            if not latencies:
+                continue
+            ordered = sorted(latencies)
+            row: _t.Dict[str, float] = {}
+            for p in percentiles:
+                if not 0.0 <= p <= 100.0:
+                    raise ValueError(f"percentile {p} out of [0, 100]")
+                rank = (len(ordered) - 1) * p / 100.0
+                low = int(rank)
+                high = min(low + 1, len(ordered) - 1)
+                fraction = rank - low
+                value = (
+                    ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+                )
+                label = f"p{p:g}"
+                row[label] = float(value)
+            result[mechanism] = row
+        return result
+
     def top_fault_sites(
         self, at_least: str = "HAZARDOUS", limit: int = 5
     ) -> _t.List[_t.Tuple[str, int]]:

@@ -1,0 +1,177 @@
+"""ASIL acceptance gates: measured coverage pushed through the FMEDA.
+
+The paper's promise (Sec. 2.1, 3.4) is that error-effect simulation
+replaces the FMEDA's *expert-estimated* diagnostic coverage with a
+*measured* one.  This module closes that loop for a sampled risk
+campaign:
+
+1. :func:`fmeda_from_spec` synthesizes a worksheet from the derived
+   :class:`~repro.mission.StressorSpec` — one failure-mode row per
+   fault descriptor, carrying its mission-scaled rate;
+2. the campaign's
+   :meth:`~repro.core.campaign.CampaignResult.diagnostic_coverage_by_descriptor`
+   (and the measured safe fraction — injections that provably had no
+   effect) are pushed into the worksheet via
+   :meth:`~repro.safety.Fmeda.set_measured_coverage`;
+3. :func:`evaluate_gates` checks ``meets(asil)`` per requested target
+   and reports the SPFM / LFM / PMHF triple next to its targets as a
+   pass/fail :class:`AsilVerdict`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from ..core.classification import Outcome
+from ..mission import StressorSpec, derive_stressor_spec
+from ..safety import ASIL_TARGETS, Asil, FailureMode, Fmeda
+
+
+def fmeda_from_spec(
+    spec: StressorSpec,
+    latent_coverage: float = 0.9,
+) -> Fmeda:
+    """One FMEDA row per derived fault descriptor.
+
+    Rates are the spec's mission-scaled per-hour rates; diagnostic
+    coverage starts at zero (pessimistic) until measurement replaces
+    it.  ``latent_coverage`` is the classical expert input for the
+    multiple-point test regime — injection campaigns measure the
+    *detection* side, not the periodic-test side.
+    """
+    fmeda = Fmeda(spec.profile_name)
+    for descriptor in spec.descriptors:
+        fmeda.add(
+            FailureMode(
+                component=spec.profile_name,
+                mode=descriptor.name,
+                rate_per_hour=descriptor.rate_per_hour,
+                diagnostic_coverage=0.0,
+                latent_coverage=latent_coverage,
+            )
+        )
+    return fmeda
+
+
+def measured_safe_fraction(result) -> _t.Dict[str, float]:
+    """Per-descriptor fraction of classified runs with *no* effect.
+
+    The FMEDA's ``safe_fraction`` analog of measured diagnostic
+    coverage: injections of a mode that demonstrably cannot perturb
+    the system reduce its dangerous rate share.  Timeouts are
+    inconclusive and excluded, mirroring
+    ``diagnostic_coverage_by_descriptor``.
+    """
+    runs: _t.Dict[str, int] = {}
+    safe: _t.Dict[str, int] = {}
+    for record in result.records:
+        if record.outcome is Outcome.TIMEOUT:
+            continue
+        for name in {
+            inj.descriptor.name for inj in record.scenario.injections
+        }:
+            runs[name] = runs.get(name, 0) + 1
+            if record.outcome is Outcome.NO_EFFECT:
+                safe[name] = safe.get(name, 0) + 1
+    return {
+        name: safe.get(name, 0) / count for name, count in runs.items()
+    }
+
+
+def apply_measured_coverage(fmeda: Fmeda, result) -> _t.Dict[str, float]:
+    """Push the campaign's measured DC and safe fractions into *fmeda*.
+
+    Returns the applied coverage map (descriptor name -> measured DC).
+    Descriptors the campaign never exercised keep their pessimistic
+    defaults — an unmeasured mode must not silently pass.
+    """
+    by_mode = {mode.mode: mode for mode in fmeda.modes}
+    applied: _t.Dict[str, float] = {}
+    for name, coverage in sorted(
+        result.diagnostic_coverage_by_descriptor().items()
+    ):
+        mode = by_mode.get(name)
+        if mode is not None:
+            fmeda.set_measured_coverage(mode.key, coverage)
+            applied[name] = coverage
+    for name, fraction in sorted(measured_safe_fraction(result).items()):
+        mode = by_mode.get(name)
+        if mode is not None:
+            mode.safe_fraction = fraction
+    return applied
+
+
+@dataclasses.dataclass(frozen=True)
+class AsilVerdict:
+    """Pass/fail of one ASIL target with the numbers behind it."""
+
+    asil: Asil
+    passed: bool
+    spfm: float
+    lfm: float
+    pmhf_per_hour: float
+    spfm_target: float
+    lfm_target: float
+    pmhf_target: float
+    measured_coverage: _t.Mapping[str, float]
+
+    def to_jsonable(self) -> _t.Dict[str, _t.Any]:
+        return {
+            "asil": self.asil.name,
+            "passed": self.passed,
+            "spfm": round(self.spfm, 9),
+            "lfm": round(self.lfm, 9),
+            "pmhf_per_hour": round(self.pmhf_per_hour, 15),
+            "targets": {
+                "spfm": self.spfm_target,
+                "lfm": self.lfm_target,
+                "pmhf_per_hour": self.pmhf_target,
+            },
+            "measured_coverage": {
+                name: round(value, 9)
+                for name, value in sorted(self.measured_coverage.items())
+            },
+        }
+
+
+def evaluate_gates(
+    result,
+    strategy,
+    asil_targets: _t.Sequence[Asil] = (Asil.B, Asil.C, Asil.D),
+    latent_coverage: float = 0.9,
+) -> _t.List[AsilVerdict]:
+    """The acceptance verdicts of one sampled campaign.
+
+    Gate rates come from the *base* mission profile's derivation (the
+    fleet-level contract), not the per-sample tilts — those exist to
+    explore the space, and their importance corrections already landed
+    in the probability estimates.
+    """
+    spec = derive_stressor_spec(
+        strategy.sampler.profile,
+        strategy.catalog,
+        target_kinds=strategy._target_kinds,
+        special_boost=max(1.0, strategy.special_boost),
+    )
+    fmeda = fmeda_from_spec(spec, latent_coverage=latent_coverage)
+    applied = apply_measured_coverage(fmeda, result)
+    verdicts = []
+    for asil in asil_targets:
+        spfm_target, lfm_target, pmhf_target = ASIL_TARGETS.get(
+            asil, (0.0, 0.0, float("inf"))
+        )
+        verdicts.append(
+            AsilVerdict(
+                asil=asil,
+                passed=fmeda.meets(asil),
+                spfm=fmeda.spfm,
+                lfm=fmeda.lfm,
+                pmhf_per_hour=fmeda.pmhf,
+                spfm_target=spfm_target,
+                lfm_target=lfm_target,
+                pmhf_target=pmhf_target,
+                measured_coverage=dict(applied),
+            )
+        )
+    return verdicts

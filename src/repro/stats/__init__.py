@@ -7,6 +7,7 @@ from .estimators import (
     failure_rate_per_hour,
     required_runs,
     rule_of_three,
+    wilson,
 )
 
 __all__ = [
@@ -16,4 +17,5 @@ __all__ = [
     "failure_rate_per_hour",
     "required_runs",
     "rule_of_three",
+    "wilson",
 ]

@@ -54,6 +54,39 @@ def clopper_pearson(
     return ConfidenceInterval(float(low), float(high), confidence)
 
 
+def wilson(
+    successes: int, trials: int, confidence: float = 0.95
+) -> ConfidenceInterval:
+    """Wilson score interval on a proportion.
+
+    The standard companion to :func:`clopper_pearson`: approximate
+    rather than exact, but with better average coverage (Clopper–
+    Pearson is conservative) and well-behaved at the p=0 and p=1
+    boundaries — the regime a safety campaign with zero observed
+    hazards lives in.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes out of range")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence out of (0,1)")
+    z = float(_scipy_stats.norm.ppf(0.5 + confidence / 2))
+    p = successes / trials
+    denominator = 1.0 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denominator
+    spread = (
+        z
+        * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+        / denominator
+    )
+    # Exact boundary cases: at p=0 (p=1) the score interval's lower
+    # (upper) end is identically 0 (1); clamp away float residue.
+    low = 0.0 if successes == 0 else max(center - spread, 0.0)
+    high = 1.0 if successes == trials else min(center + spread, 1.0)
+    return ConfidenceInterval(low, high, confidence)
+
+
 def rule_of_three(trials: int, confidence: float = 0.95) -> float:
     """Upper bound on p when zero failures were observed in N trials."""
     if trials <= 0:

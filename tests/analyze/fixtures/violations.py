@@ -14,6 +14,8 @@ import random
 import sys
 import time
 
+import numpy as np
+
 from repro.core.runspec import RunSpec
 from repro.kernel import Signal
 from repro.platforms.registry import register_platform
@@ -79,3 +81,9 @@ def register_without_snapshot_hooks(
         "corpus-forkless", factory, observe, classifier_factory,
         reset=reset,
     )
+
+
+def numpy_global_draws():
+    noise = np.random.normal(0.0, 1.0)  # VP012 (global numpy RNG)
+    generator = np.random.default_rng()  # VP012 (seedless Generator)
+    return noise, generator

@@ -179,6 +179,36 @@ def test_vp011_registration_without_snapshot_hooks():
     ))
 
 
+def test_vp012_numpy_global_rng():
+    assert codes(lint_snippet("x = np.random.normal(0, 1)\n")) == ["VP012"]
+    assert codes(
+        lint_snippet("x = numpy.random.standard_normal(4)\n")
+    ) == ["VP012"]
+    assert codes(lint_snippet("np.random.seed(7)\n")) == ["VP012"]
+
+
+def test_vp012_seedless_default_rng():
+    for snippet in (
+        "rng = np.random.default_rng()\n",
+        "rng = numpy.random.default_rng()\n",
+        "rng = default_rng()\n",  # from numpy.random import default_rng
+        "rng = random.default_rng()\n",  # from numpy import random
+    ):
+        assert codes(lint_snippet(snippet)) == ["VP012"], snippet
+
+
+def test_vp012_seeded_generators_are_clean():
+    # The sanctioned patterns: explicit seeds, explicit bit generators,
+    # and drawing from a held Generator instance.
+    assert lint_snippet("rng = np.random.default_rng(7)\n") == []
+    assert lint_snippet(
+        "rng = np.random.Generator(np.random.PCG64(7))\n"
+    ) == []
+    assert lint_snippet(
+        "rng = np.random.default_rng(seed)\nx = rng.normal(0, 1)\n"
+    ) == []
+
+
 def test_syntax_error_reports_vp000():
     findings = lint_snippet("def broken(:\n")
     assert codes(findings) == ["VP000"]

@@ -169,7 +169,7 @@ def test_cli_select_and_ignore(capsys):
     out = capsys.readouterr().out
     assert "VP010" in out and "VP001" not in out
     assert main([str(CORPUS), "--ignore", ",".join(
-        f"VP{n:03d}" for n in range(1, 12)
+        f"VP{n:03d}" for n in range(1, 13)
     )]) == 0
     capsys.readouterr()
 
@@ -191,7 +191,7 @@ def test_cli_usage_error_on_unknown_code(capsys):
 def test_cli_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for code in (f"VP{n:03d}" for n in range(1, 12)):
+    for code in (f"VP{n:03d}" for n in range(1, 13)):
         assert code in out
 
 

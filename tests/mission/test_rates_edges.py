@@ -1,0 +1,180 @@
+"""Edge cases of the rate models and the supply-chain refinement."""
+
+import math
+
+import pytest
+
+from repro.mission import (
+    MissionProfile,
+    ProfileTransfer,
+    SupplyChainLevel,
+    TemperatureProfile,
+    standard_passenger_car_profile,
+)
+from repro.mission.rates import (
+    expected_events,
+    probability_of_at_least_one,
+    temperature_factor,
+)
+
+
+# ---------------------------------------------------------------------------
+# Zero-hours missions
+# ---------------------------------------------------------------------------
+
+def test_zero_hours_mean_zero_events():
+    assert expected_events(1e-3, 0.0) == 0.0
+    assert probability_of_at_least_one(1e-3, 0.0) == 0.0
+
+
+def test_zero_rate_means_zero_probability_at_any_exposure():
+    assert probability_of_at_least_one(0.0, 1e9) == 0.0
+
+
+def test_zero_operating_hours_profile_is_valid():
+    base = standard_passenger_car_profile()
+    parked = MissionProfile(
+        name="museum_exhibit",
+        level=base.level,
+        lifetime_hours=base.lifetime_hours,
+        operating_hours=0.0,
+        temperature=base.temperature,
+        vibration=base.vibration,
+        emi=base.emi,
+        states=base.states,
+    )
+    assert parked.hours_in("city_driving") == 0.0
+
+
+def test_negative_rate_and_exposure_rejected():
+    with pytest.raises(ValueError):
+        expected_events(-1e-6, 10.0)
+    with pytest.raises(ValueError):
+        expected_events(1e-6, -10.0)
+    with pytest.raises(ValueError):
+        probability_of_at_least_one(-1e-6, 10.0)
+
+
+# ---------------------------------------------------------------------------
+# Empty temperature histograms
+# ---------------------------------------------------------------------------
+
+def test_empty_temperature_histogram_rejected():
+    # An empty histogram sums to zero, not one — the constructor guard
+    # refuses it before a silent zero acceleration factor can leak
+    # into the derivation.
+    with pytest.raises(ValueError):
+        TemperatureProfile({})
+
+
+def test_partial_temperature_histogram_rejected():
+    with pytest.raises(ValueError):
+        TemperatureProfile({23.0: 0.5})
+
+
+def test_single_bin_histogram_matches_point_factor():
+    profile = TemperatureProfile({55.0: 1.0})
+    # At the reference temperature the Arrhenius factor is exactly 1.
+    assert temperature_factor(profile) == pytest.approx(1.0)
+
+
+# ---------------------------------------------------------------------------
+# Saturation at large rate × hours
+# ---------------------------------------------------------------------------
+
+def test_probability_saturates_at_one_without_overflow():
+    assert probability_of_at_least_one(1e6, 1e6) == 1.0
+    assert probability_of_at_least_one(1e300, 1e5) == 1.0
+
+
+def test_probability_monotone_in_exposure():
+    previous = -1.0
+    for hours in (0.0, 1.0, 1e2, 1e4, 1e6, 1e8):
+        current = probability_of_at_least_one(1e-4, hours)
+        assert 0.0 <= current <= 1.0
+        assert current >= previous
+        previous = current
+
+
+def test_small_rate_matches_linear_approximation():
+    rate, hours = 1e-9, 10.0
+    probability = probability_of_at_least_one(rate, hours)
+    assert probability == pytest.approx(rate * hours, rel=1e-6)
+    assert math.isfinite(probability)
+
+
+# ---------------------------------------------------------------------------
+# ProfileTransfer round trip across all three supply-chain levels
+# ---------------------------------------------------------------------------
+
+TIER1 = ProfileTransfer(
+    component_name="ecu",
+    temperature_rise_c=25.0,
+    vibration_amplification=2.5,
+    emi_shielding=0.7,
+    duty_cycle=0.8,
+)
+CHIP = ProfileTransfer(
+    component_name="mcu",
+    temperature_rise_c=15.0,
+    vibration_amplification=1.0,
+    emi_shielding=0.5,
+)
+
+
+def test_refinement_walks_every_level_exactly_once():
+    oem = standard_passenger_car_profile()
+    assert oem.level is SupplyChainLevel.OEM
+    tier1 = oem.refine(TIER1)
+    assert tier1.level is SupplyChainLevel.TIER1
+    chip = tier1.refine(CHIP)
+    assert chip.level is SupplyChainLevel.SEMICONDUCTOR
+    # The semiconductor level is the end of the Fig. 2 chain.
+    with pytest.raises(ValueError):
+        chip.refine(CHIP)
+
+
+def test_refinement_composes_stress_transforms():
+    oem = standard_passenger_car_profile()
+    chip = oem.refine(TIER1).refine(CHIP)
+    # Temperature shifts add, vibration/EMI factors multiply, duty
+    # cycles multiply — refinement is the composition of its transfers.
+    assert chip.temperature.mean == pytest.approx(
+        oem.temperature.mean
+        + TIER1.temperature_rise_c + CHIP.temperature_rise_c
+    )
+    assert chip.vibration.grms == pytest.approx(
+        oem.vibration.grms
+        * TIER1.vibration_amplification * CHIP.vibration_amplification
+    )
+    assert chip.emi.field_v_per_m == pytest.approx(
+        oem.emi.field_v_per_m * TIER1.emi_shielding * CHIP.emi_shielding
+    )
+    assert chip.operating_hours == pytest.approx(
+        oem.operating_hours * TIER1.duty_cycle * CHIP.duty_cycle
+    )
+    # Operating states pass through the chain untouched: scenario
+    # selection uses the same state fractions at every level.
+    assert chip.states == oem.states
+    assert chip.name == "passenger_car/ecu/mcu"
+
+
+def test_identity_transfer_round_trip_preserves_stresses():
+    oem = standard_passenger_car_profile()
+    tier1 = oem.refine(TIER1)
+    # Undoing the tier-1 stress transform at the next level restores
+    # every OEM stress figure (levels still advance — the chain is a
+    # one-way street, only the physics is invertible).
+    inverse = ProfileTransfer(
+        component_name="inverse",
+        temperature_rise_c=-TIER1.temperature_rise_c,
+        vibration_amplification=1.0 / TIER1.vibration_amplification,
+        emi_shielding=1.0 / TIER1.emi_shielding,
+    )
+    restored = tier1.refine(inverse)
+    assert restored.level is SupplyChainLevel.SEMICONDUCTOR
+    assert restored.temperature.mean == pytest.approx(oem.temperature.mean)
+    assert restored.vibration.grms == pytest.approx(oem.vibration.grms)
+    assert restored.emi.field_v_per_m == pytest.approx(
+        oem.emi.field_v_per_m
+    )

@@ -128,6 +128,42 @@ class TestLatencyMetrics:
         graph = PropagationGraph.from_digests([detected_run()])
         assert graph.failure_latencies == {}
 
+    def test_detection_latency_percentiles(self):
+        runs = []
+        for index, delay in enumerate([10, 20, 30, 40, 50]):
+            runs.append(
+                digest(
+                    [
+                        TraceEvent(100, INJECTION, "m", "seu"),
+                        TraceEvent(100 + delay, DETECTION, "m", "ecc:fix"),
+                    ],
+                    index=index,
+                    outcome="DETECTED_SAFE",
+                )
+            )
+        graph = PropagationGraph.from_digests(runs)
+        rows = graph.detection_latency_percentiles((0.0, 50.0, 90.0, 100.0))
+        assert rows["ecc"]["p0"] == 10.0
+        assert rows["ecc"]["p50"] == 30.0
+        # Linear interpolation between the 4th and 5th order statistics.
+        assert rows["ecc"]["p90"] == 46.0
+        assert rows["ecc"]["p100"] == 50.0
+
+    def test_detection_latency_percentiles_single_sample(self):
+        graph = PropagationGraph.from_digests([detected_run()])
+        rows = graph.detection_latency_percentiles()
+        assert rows == {"ecc": {"p50": 80.0, "p90": 80.0, "p99": 80.0}}
+
+    def test_detection_latency_percentiles_empty_graph(self):
+        assert PropagationGraph().detection_latency_percentiles() == {}
+
+    def test_detection_latency_percentile_validation(self):
+        import pytest
+
+        graph = PropagationGraph.from_digests([detected_run()])
+        with pytest.raises(ValueError):
+            graph.detection_latency_percentiles((101.0,))
+
 
 class TestSiteRanking:
     def test_top_fault_sites_by_severity_threshold(self):

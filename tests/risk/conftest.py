@@ -1,0 +1,47 @@
+"""Shared fixtures for the risk-engine suite: the airbag platform
+wired for sampled campaigns."""
+
+import pytest
+
+from repro.core import Campaign, FaultSpace
+from repro.faults import (
+    SRAM_SEU,
+    FaultDescriptor,
+    FaultKind,
+    Persistence,
+)
+from repro.kernel import Simulator, simtime
+from repro.mission import standard_passenger_car_profile
+from repro.platforms import airbag
+
+DURATION = simtime.ms(60)
+
+STUCK_HIGH = FaultDescriptor(
+    name="sensor_stuck_high",
+    kind=FaultKind.STUCK_VALUE,
+    persistence=Persistence.PERMANENT,
+    params={"value": 4.5},
+    rate_per_hour=2e-7,
+)
+
+
+@pytest.fixture
+def profile():
+    return standard_passenger_car_profile()
+
+
+@pytest.fixture
+def space():
+    probe = Simulator()
+    return FaultSpace(
+        airbag.build_normal_operation(probe),
+        [SRAM_SEU.with_rate(5e-7), STUCK_HIGH],
+        window_start=simtime.ms(5),
+        window_end=simtime.ms(30),
+        time_bins=2,
+    )
+
+
+@pytest.fixture
+def campaign():
+    return Campaign(duration=DURATION, seed=7, platform="airbag-normal")

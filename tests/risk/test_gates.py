@@ -1,0 +1,121 @@
+"""ASIL acceptance gates: measured coverage through the FMEDA."""
+
+import pytest
+
+from repro.faults import STANDARD_CATALOG
+from repro.mission import derive_stressor_spec
+from repro.risk import (
+    SampledScenarioStrategy,
+    StressSampler,
+    apply_measured_coverage,
+    evaluate_gates,
+    fmeda_from_spec,
+    measured_safe_fraction,
+)
+from repro.safety import Asil
+
+
+@pytest.fixture
+def spec(profile):
+    return derive_stressor_spec(profile, STANDARD_CATALOG)
+
+
+class TestFmedaFromSpec:
+    def test_one_row_per_descriptor(self, spec):
+        fmeda = fmeda_from_spec(spec)
+        assert len(fmeda.modes) == len(spec.descriptors)
+        by_mode = {mode.mode: mode for mode in fmeda.modes}
+        for descriptor in spec.descriptors:
+            assert by_mode[descriptor.name].rate_per_hour == (
+                descriptor.rate_per_hour
+            )
+
+    def test_pessimistic_until_measured(self, spec):
+        fmeda = fmeda_from_spec(spec)
+        for mode in fmeda.modes:
+            assert mode.diagnostic_coverage == 0.0
+
+    def test_latent_coverage_applied(self, spec):
+        fmeda = fmeda_from_spec(spec, latent_coverage=0.5)
+        assert all(m.latent_coverage == 0.5 for m in fmeda.modes)
+
+
+def run_campaign(campaign, space, profile, runs=40):
+    strategy = SampledScenarioStrategy(
+        space, StressSampler(profile, seed=11)
+    )
+    result = campaign.run(
+        strategy, runs=runs, backend="serial", batch_size=8
+    )
+    return result, strategy
+
+
+class TestMeasuredCoverage:
+    def test_safe_fraction_in_unit_interval(
+        self, campaign, space, profile
+    ):
+        result, _ = run_campaign(campaign, space, profile)
+        fractions = measured_safe_fraction(result)
+        assert fractions
+        for value in fractions.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_apply_pushes_measured_dc(self, campaign, space, profile):
+        result, strategy = run_campaign(campaign, space, profile)
+        base_spec = derive_stressor_spec(
+            profile, strategy.catalog, target_kinds=strategy._target_kinds
+        )
+        fmeda = fmeda_from_spec(base_spec)
+        applied = apply_measured_coverage(fmeda, result)
+        measured = result.diagnostic_coverage_by_descriptor()
+        by_mode = {mode.mode: mode for mode in fmeda.modes}
+        for name, coverage in applied.items():
+            assert by_mode[name].diagnostic_coverage == coverage
+            assert measured[name] == coverage
+
+    def test_unexercised_modes_stay_pessimistic(
+        self, campaign, space, profile
+    ):
+        result, strategy = run_campaign(campaign, space, profile)
+        base_spec = derive_stressor_spec(
+            profile, strategy.catalog, target_kinds=strategy._target_kinds
+        )
+        fmeda = fmeda_from_spec(base_spec)
+        applied = apply_measured_coverage(fmeda, result)
+        for mode in fmeda.modes:
+            if mode.mode not in applied:
+                assert mode.diagnostic_coverage == 0.0
+
+
+class TestEvaluateGates:
+    def test_verdict_per_requested_target(self, campaign, space, profile):
+        result, strategy = run_campaign(campaign, space, profile)
+        verdicts = evaluate_gates(
+            result, strategy, asil_targets=(Asil.B, Asil.D)
+        )
+        assert [v.asil for v in verdicts] == [Asil.B, Asil.D]
+        for verdict in verdicts:
+            assert isinstance(verdict.passed, bool)
+            assert 0.0 <= verdict.spfm <= 1.0
+            assert 0.0 <= verdict.lfm <= 1.0
+            assert verdict.pmhf_per_hour >= 0.0
+
+    def test_targets_match_iso_table(self, campaign, space, profile):
+        result, strategy = run_campaign(campaign, space, profile)
+        verdict, = evaluate_gates(result, strategy, asil_targets=(Asil.D,))
+        assert verdict.spfm_target == 0.99
+        assert verdict.lfm_target == 0.90
+        assert verdict.pmhf_target == 1e-8
+
+    def test_jsonable_round_trip(self, campaign, space, profile):
+        result, strategy = run_campaign(campaign, space, profile)
+        verdict, = evaluate_gates(result, strategy, asil_targets=(Asil.C,))
+        payload = verdict.to_jsonable()
+        assert payload["asil"] == "C"
+        assert set(payload["targets"]) == {"spfm", "lfm", "pmhf_per_hour"}
+        assert isinstance(payload["measured_coverage"], dict)
+
+    def test_qm_target_trivially_passes(self, campaign, space, profile):
+        result, strategy = run_campaign(campaign, space, profile)
+        verdict, = evaluate_gates(result, strategy, asil_targets=(Asil.QM,))
+        assert verdict.passed

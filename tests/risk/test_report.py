@@ -1,0 +1,181 @@
+"""RiskReport: tail metrics, interval pairs, attribution, canonical."""
+
+import json
+import random
+
+import pytest
+
+from repro.risk import (
+    SEVERITY_LOSS,
+    HazardEstimate,
+    RiskReport,
+    SampledScenarioStrategy,
+    StressSampler,
+    TailMetrics,
+)
+from repro.stats import clopper_pearson, wilson
+
+
+class TestTailMetrics:
+    def test_var_is_the_level_quantile(self):
+        losses = [0.0] * 95 + [1.0] * 5
+        metrics = TailMetrics.of(losses, 0.95)
+        # 95th percentile of 100 sorted points interpolates between
+        # order statistics 94 and 95 (0.0 and 1.0).
+        assert 0.0 <= metrics.var <= 1.0
+        assert metrics.cvar >= metrics.var
+
+    def test_uniform_losses(self):
+        losses = [i / 99 for i in range(100)]
+        metrics = TailMetrics.of(losses, 0.90)
+        assert metrics.var == pytest.approx(0.9, abs=0.02)
+        # CVaR averages the tail beyond VaR.
+        assert metrics.cvar == pytest.approx(0.95, abs=0.02)
+
+    def test_all_zero_losses(self):
+        metrics = TailMetrics.of([0.0] * 50, 0.99)
+        assert metrics.var == 0.0
+        assert metrics.cvar == 0.0
+
+    def test_level_validation(self):
+        with pytest.raises(ValueError):
+            TailMetrics.of([0.0], 1.0)
+        with pytest.raises(ValueError):
+            TailMetrics.of([0.0], 0.0)
+
+    def test_empty_losses_rejected(self):
+        with pytest.raises(ValueError):
+            TailMetrics.of([], 0.95)
+
+
+class TestHazardEstimate:
+    def test_interval_pair_matches_estimators(self):
+        estimate = HazardEstimate.of(3, 100, 0.028, 0.95)
+        exact = clopper_pearson(3, 100, 0.95)
+        score = wilson(3, 100, 0.95)
+        assert estimate.clopper_pearson_low == exact.low
+        assert estimate.clopper_pearson_high == exact.high
+        assert estimate.wilson_low == score.low
+        assert estimate.wilson_high == score.high
+
+    def test_jsonable_shape(self):
+        payload = HazardEstimate.of(0, 10, 0.0, 0.95).to_jsonable()
+        assert payload["count"] == 0
+        assert payload["clopper_pearson"][0] == 0.0
+        assert payload["wilson"][0] == 0.0
+
+
+def run_report(campaign, space, profile, runs=30, trace=True, **kwargs):
+    strategy = SampledScenarioStrategy(
+        space, StressSampler(profile, seed=11), **kwargs
+    )
+    result = campaign.run(
+        strategy, runs=runs, backend="serial", batch_size=8, trace=trace
+    )
+    return RiskReport.from_campaign(result, strategy), result, strategy
+
+
+class TestFromCampaign:
+    def test_core_fields(self, campaign, space, profile):
+        report, result, _ = run_report(campaign, space, profile)
+        assert report.runs == result.runs == 30
+        assert sum(report.outcome_histogram.values()) == 30
+        assert report.hazardous.runs == 30
+        assert report.dangerous.count >= report.hazardous.count
+        assert report.profile_name == profile.name
+
+    def test_tail_metrics_cover_requested_levels(
+        self, campaign, space, profile
+    ):
+        report, _, _ = run_report(campaign, space, profile)
+        assert [t.level for t in report.tail] == [0.95, 0.99]
+        for metrics in report.tail:
+            assert 0.0 <= metrics.var <= metrics.cvar <= 1.0
+
+    def test_tail_by_mechanism_keys_are_descriptors(
+        self, campaign, space, profile
+    ):
+        report, result, _ = run_report(campaign, space, profile)
+        injected = {
+            inj.descriptor.name
+            for record in result.records
+            for inj in record.scenario.injections
+        }
+        assert set(report.tail_by_mechanism) == injected
+
+    def test_event_attribution_covers_every_run(
+        self, campaign, space, profile
+    ):
+        report, _, strategy = run_report(campaign, space, profile)
+        # Each run lands in >= 1 attribution row (nominal or events).
+        assert sum(
+            row["runs"] for row in report.event_attribution.values()
+        ) >= report.runs
+        assert "nominal" in report.event_attribution or any(
+            s.events for s in strategy.samples
+        )
+
+    def test_latency_percentiles_present_when_traced(
+        self, campaign, space, profile
+    ):
+        report, _, _ = run_report(campaign, space, profile, trace=True)
+        for row in report.detection_latency_percentiles.values():
+            assert set(row) == {"p50", "p90", "p99"}
+            assert row["p50"] <= row["p99"]
+
+    def test_untraced_campaign_has_empty_latency(
+        self, campaign, space, profile
+    ):
+        report, _, _ = run_report(campaign, space, profile, trace=False)
+        assert report.detection_latency_percentiles == {}
+
+    def test_gates_present_per_target(self, campaign, space, profile):
+        report, _, _ = run_report(campaign, space, profile)
+        assert [gate.asil.name for gate in report.gates] == ["B", "C", "D"]
+
+    def test_empty_campaign_rejected(self, campaign, space, profile):
+        strategy = SampledScenarioStrategy(
+            space, StressSampler(profile, seed=11)
+        )
+        from repro.core.campaign import CampaignResult
+
+        with pytest.raises(ValueError, match="no runs"):
+            RiskReport.from_campaign(CampaignResult(duration=1), strategy)
+
+
+class TestCanonical:
+    def test_canonical_is_valid_sorted_json(self, campaign, space, profile):
+        report, _, _ = run_report(campaign, space, profile)
+        payload = json.loads(report.canonical())
+        assert payload["runs"] == 30
+        assert report.canonical() == json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        )
+
+    def test_canonical_stable_across_rebuilds(self, campaign, space, profile):
+        report, result, strategy = run_report(campaign, space, profile)
+        again = RiskReport.from_campaign(result, strategy)
+        assert report.canonical() == again.canonical()
+
+    def test_summary_mentions_verdicts(self, campaign, space, profile):
+        report, _, _ = run_report(campaign, space, profile)
+        text = report.summary()
+        assert "hazardous" in text
+        assert "VaR95%" in text
+        assert "ASIL-D" in text
+
+
+class TestSeverityScale:
+    def test_loss_scale_monotone_in_severity(self):
+        from repro.core.classification import Outcome
+
+        assert SEVERITY_LOSS[Outcome.NO_EFFECT] == 0.0
+        assert SEVERITY_LOSS[Outcome.HAZARDOUS] == 1.0
+        assert (
+            SEVERITY_LOSS[Outcome.MASKED]
+            <= SEVERITY_LOSS[Outcome.DETECTED_SAFE]
+            < SEVERITY_LOSS[Outcome.TIMING_FAILURE]
+            < SEVERITY_LOSS[Outcome.SDC]
+            < SEVERITY_LOSS[Outcome.HAZARDOUS]
+        )
+        assert set(SEVERITY_LOSS) == set(Outcome)

@@ -1,0 +1,242 @@
+"""StressSampler: validation, determinism, marginals, black swans."""
+
+import random
+
+import pytest
+
+from repro.risk import (
+    CHANNELS,
+    DEFAULT_CORRELATION,
+    BlackSwanEvent,
+    CorrelationError,
+    CorrelationMatrix,
+    StressSampler,
+)
+
+
+class TestCorrelationMatrix:
+    def test_identity_is_valid(self):
+        matrix = CorrelationMatrix.identity()
+        assert matrix.values[0][0] == 1.0
+        assert matrix.values[0][1] == 0.0
+
+    def test_default_is_valid(self):
+        assert DEFAULT_CORRELATION.cholesky().shape == (
+            len(CHANNELS), len(CHANNELS)
+        )
+
+    def test_from_pairs(self):
+        matrix = CorrelationMatrix.from_pairs(
+            temperature_load=0.6, vibration_emi=0.2
+        )
+        index = {name: i for i, name in enumerate(CHANNELS)}
+        assert matrix.values[index["temperature"]][index["load"]] == 0.6
+        assert matrix.values[index["load"]][index["temperature"]] == 0.6
+        assert matrix.values[index["vibration"]][index["emi"]] == 0.2
+
+    def test_from_pairs_unknown_channel(self):
+        with pytest.raises(CorrelationError, match="unknown channel pair"):
+            CorrelationMatrix.from_pairs(temperature_humidity=0.5)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(CorrelationError, match="4x4"):
+            CorrelationMatrix(((1.0, 0.0), (0.0, 1.0)))
+
+    def test_asymmetric_rejected(self):
+        with pytest.raises(CorrelationError, match="symmetric"):
+            CorrelationMatrix((
+                (1.0, 0.5, 0.0, 0.0),
+                (0.2, 1.0, 0.0, 0.0),
+                (0.0, 0.0, 1.0, 0.0),
+                (0.0, 0.0, 0.0, 1.0),
+            ))
+
+    def test_non_unit_diagonal_rejected(self):
+        with pytest.raises(CorrelationError, match="diagonal"):
+            CorrelationMatrix((
+                (2.0, 0.0, 0.0, 0.0),
+                (0.0, 1.0, 0.0, 0.0),
+                (0.0, 0.0, 1.0, 0.0),
+                (0.0, 0.0, 0.0, 1.0),
+            ))
+
+    def test_out_of_range_entry_rejected(self):
+        with pytest.raises(CorrelationError, match=r"\[-1, 1\]"):
+            CorrelationMatrix.from_pairs(temperature_load=1.5)
+
+    def test_non_psd_rejected_with_clear_error(self):
+        # Pairwise "correlations" that are jointly impossible: three
+        # variables each strongly anti-correlated with the others.
+        with pytest.raises(
+            CorrelationError, match="not positive semi-definite"
+        ):
+            CorrelationMatrix((
+                (1.0, -0.9, -0.9, 0.0),
+                (-0.9, 1.0, -0.9, 0.0),
+                (-0.9, -0.9, 1.0, 0.0),
+                (0.0, 0.0, 0.0, 1.0),
+            ))
+
+    def test_singular_but_psd_accepted(self):
+        # Two perfectly correlated channels: PSD with a zero
+        # eigenvalue — valid, and the ridged Cholesky must not fail.
+        matrix = CorrelationMatrix((
+            (1.0, 1.0, 0.0, 0.0),
+            (1.0, 1.0, 0.0, 0.0),
+            (0.0, 0.0, 1.0, 0.0),
+            (0.0, 0.0, 0.0, 1.0),
+        ))
+        assert matrix.cholesky() is not None
+
+
+class TestBlackSwanEvent:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError, match="negative hazard rate"):
+            BlackSwanEvent("x", rate_per_hour=-1.0)
+
+    def test_span_fraction_bounds(self):
+        with pytest.raises(ValueError, match="span_fraction"):
+            BlackSwanEvent("x", rate_per_hour=0.0, span_fraction=0.0)
+        with pytest.raises(ValueError, match="span_fraction"):
+            BlackSwanEvent("x", rate_per_hour=0.0, span_fraction=1.5)
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ValueError, match="emi_factor"):
+            BlackSwanEvent("x", rate_per_hour=0.0, emi_factor=-2.0)
+
+
+class TestSamplerDeterminism:
+    def test_same_seed_same_trajectories(self, profile):
+        first = StressSampler(profile, seed=42).draw_many(10)
+        second = StressSampler(profile, seed=42).draw_many(10)
+        assert [e.to_jsonable() for e in first] == [
+            e.to_jsonable() for e in second
+        ]
+
+    def test_rng_overrides_seed(self, profile):
+        via_seed = StressSampler(profile, seed=42).draw_many(5)
+        via_rng = StressSampler(
+            profile, seed=999, rng=random.Random(42)
+        ).draw_many(5)
+        assert [e.to_jsonable() for e in via_seed] == [
+            e.to_jsonable() for e in via_rng
+        ]
+
+    def test_different_seeds_differ(self, profile):
+        a = StressSampler(profile, seed=1).draw()
+        b = StressSampler(profile, seed=2).draw()
+        assert a.to_jsonable() != b.to_jsonable()
+
+    def test_indices_count_up(self, profile):
+        sampler = StressSampler(profile, seed=0)
+        assert [e.index for e in sampler.draw_many(4)] == [0, 1, 2, 3]
+
+
+class TestMarginals:
+    def test_temperature_stays_in_histogram_support(self, profile):
+        sampler = StressSampler(profile, seed=3, events=())
+        support = set(profile.temperature.histogram)
+        for env in sampler.draw_many(50):
+            assert set(env.temperature_c) <= support
+
+    def test_multiplicative_channels_positive(self, profile):
+        sampler = StressSampler(profile, seed=3, events=())
+        for env in sampler.draw_many(20):
+            assert all(g > 0 for g in env.vibration_grms)
+            assert all(e > 0 for e in env.emi_v_per_m)
+            assert all(f > 0 for f in env.load_factor)
+
+    def test_vibration_mean_tracks_profile(self, profile):
+        # Mean-preserving log-normal: the long-run sample mean of the
+        # vibration channel approaches the profile grms.
+        sampler = StressSampler(
+            profile, seed=5, events=(), persistence=0.0
+        )
+        values = [
+            g for env in sampler.draw_many(400) for g in env.vibration_grms
+        ]
+        mean = sum(values) / len(values)
+        assert mean == pytest.approx(profile.vibration.grms, rel=0.05)
+
+    def test_segment_count(self, profile):
+        env = StressSampler(profile, seed=0, segments=12).draw()
+        assert env.segments == 12
+        assert len(env.vibration_grms) == 12
+
+
+class TestBlackSwans:
+    def test_certain_event_always_overlays(self, profile):
+        storm = BlackSwanEvent(
+            "storm", rate_per_hour=1e6, emi_factor=100.0, span_fraction=1.0
+        )
+        sampler = StressSampler(profile, seed=1, events=(storm,))
+        env = sampler.draw()
+        assert env.events == ("storm",)
+        baseline = StressSampler(
+            profile, seed=1, events=()
+        ).draw()
+        # Full-span factor-100 overlay: every segment's EMI is far
+        # above anything the nominal marginal produces.
+        assert min(env.emi_v_per_m) > max(baseline.emi_v_per_m)
+
+    def test_impossible_event_never_occurs(self, profile):
+        never = BlackSwanEvent("never", rate_per_hour=0.0)
+        sampler = StressSampler(profile, seed=1, events=(never,))
+        for env in sampler.draw_many(20):
+            assert env.events == ()
+
+    def test_temperature_delta_applied(self, profile):
+        freeze = BlackSwanEvent(
+            "freeze", rate_per_hour=1e6,
+            temperature_delta_c=-100.0, span_fraction=1.0,
+        )
+        env = StressSampler(profile, seed=2, events=(freeze,)).draw()
+        support_min = min(profile.temperature.histogram)
+        assert max(env.temperature_c) <= support_min - 100.0 + (
+            max(profile.temperature.histogram)
+            - min(profile.temperature.histogram)
+        )
+        assert min(env.temperature_c) < support_min
+
+    def test_duplicate_event_names_rejected(self, profile):
+        event = BlackSwanEvent("dup", rate_per_hour=0.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            StressSampler(profile, events=(event, event))
+
+
+class TestEffectiveProfile:
+    def test_histogram_sums_to_one(self, profile):
+        env = StressSampler(profile, seed=9).draw()
+        effective = env.effective_profile(profile)
+        assert sum(
+            effective.temperature.histogram.values()
+        ) == pytest.approx(1.0)
+
+    def test_folds_rms_and_peak(self, profile):
+        env = StressSampler(profile, seed=9, events=()).draw()
+        effective = env.effective_profile(profile)
+        assert effective.emi.field_v_per_m == max(env.emi_v_per_m)
+        assert effective.vibration.grms <= max(env.vibration_grms)
+        assert effective.vibration.grms >= min(env.vibration_grms)
+
+    def test_states_preserved(self, profile):
+        env = StressSampler(profile, seed=9).draw()
+        assert env.effective_profile(profile).states == profile.states
+
+
+class TestValidation:
+    def test_bad_segments(self, profile):
+        with pytest.raises(ValueError, match="segment"):
+            StressSampler(profile, segments=0)
+
+    def test_bad_persistence(self, profile):
+        with pytest.raises(ValueError, match="persistence"):
+            StressSampler(profile, persistence=1.0)
+
+    def test_negative_sigma(self, profile):
+        with pytest.raises(ValueError, match="sigma"):
+            StressSampler(profile, sigma=(-0.1, 0.2, 0.2))
+
+    def test_negative_exposure(self, profile):
+        with pytest.raises(ValueError, match="exposure"):
+            StressSampler(profile, hours_per_sample=-1.0)

@@ -11,6 +11,7 @@ from repro.stats import (
     failure_rate_per_hour,
     required_runs,
     rule_of_three,
+    wilson,
 )
 
 
@@ -48,6 +49,42 @@ class TestClopperPearson:
             clopper_pearson(5, 3)
         with pytest.raises(ValueError):
             clopper_pearson(1, 10, confidence=1.5)
+
+
+class TestWilson:
+    def test_bounds_stay_in_unit_interval(self):
+        for successes in (0, 1, 50, 99, 100):
+            interval = wilson(successes, 100)
+            assert 0.0 <= interval.low <= interval.high <= 1.0
+
+    def test_zero_successes_has_nonzero_upper_bound(self):
+        interval = wilson(0, 100)
+        assert interval.low == 0.0
+        assert 0.0 < interval.high < 0.05
+
+    def test_contains_point_estimate(self):
+        interval = wilson(30, 200)
+        assert interval.low < 30 / 200 < interval.high
+
+    def test_tighter_than_clopper_pearson_on_average(self):
+        # Wilson is approximate but less conservative; for a mid-range
+        # proportion its interval is narrower than the exact one.
+        exact = clopper_pearson(30, 200)
+        score = wilson(30, 200)
+        assert (score.high - score.low) < (exact.high - exact.low)
+
+    def test_narrows_with_more_trials(self):
+        wide = wilson(5, 50)
+        narrow = wilson(100, 1000)
+        assert (narrow.high - narrow.low) < (wide.high - wide.low)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson(1, 0)
+        with pytest.raises(ValueError):
+            wilson(5, 3)
+        with pytest.raises(ValueError):
+            wilson(1, 10, confidence=0.0)
 
 
 class TestRuleOfThree:

@@ -23,6 +23,7 @@ def test_all_examples_enumerated():
         "steering_servo.py",
         "testbench_qualification.py",
         "lockstep_qualification.py",
+        "risk_report.py",
     }
 
 
