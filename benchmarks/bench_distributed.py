@@ -1,0 +1,88 @@
+"""Distributed-backend throughput — the ``BENCH_distributed.json``
+emitter (E19).
+
+The loopback :class:`~repro.distributed.LocalCluster` runs the exact
+coordinator/worker protocol a multi-host fleet would, so its
+runs-per-second row is the honest lower bound on what distribution
+buys: real subprocesses, real sockets, JSON frames, per-worker shard
+journals.  Two rows:
+
+* ``serial`` — the in-process reference loop on the same spec stream;
+* ``distributed`` — a 4-worker loopback cluster, attempted when the
+  host can make it meaningful (>= 2 CPUs or ``REPRO_FORCE_POOL=1``)
+  and recorded as an explicit ``skipped: single-cpu`` row otherwise.
+
+Content before cost, as everywhere in this suite: the distributed
+histogram and matched-rule stream must equal serial's before a
+throughput number is recorded.  ``REPRO_DIST_BENCH_RUNS`` shrinks the
+campaign for CI smoke runs.
+"""
+
+import os
+
+import pytest
+
+from _workloads import (
+    CPUS,
+    POOL_OK,
+    campaign_bench_entry,
+    emit_distributed_bench,
+    skipped_entry,
+    timed_campaign,
+    timed_distributed_campaign,
+)
+
+DIST_RUNS = int(os.environ.get("REPRO_DIST_BENCH_RUNS", "240"))
+DIST_WORKERS = 4
+ACCEPT_RUNS = 480
+
+
+def test_distributed_backend_throughput_json():
+    """Emit BENCH_distributed.json: serial vs 4-worker loopback."""
+    serial, serial_wall = timed_campaign(
+        "serial", runs=DIST_RUNS, batch_size=DIST_RUNS
+    )
+    entries = [campaign_bench_entry("serial", serial, serial_wall, 1)]
+    assert entries[0]["robustness"]["completed"] == serial.runs
+    if POOL_OK:
+        distributed, dist_wall = timed_distributed_campaign(
+            DIST_RUNS, workers=DIST_WORKERS
+        )
+        assert distributed.outcome_histogram() == serial.outcome_histogram()
+        assert [r.matched_rules for r in distributed.records] == [
+            r.matched_rules for r in serial.records
+        ]
+        entries.append(
+            campaign_bench_entry(
+                "distributed", distributed, dist_wall, DIST_WORKERS
+            )
+        )
+    else:
+        entries.append(skipped_entry("distributed", "single-cpu"))
+    path = emit_distributed_bench(entries)
+    assert path.exists()
+
+
+@pytest.mark.skipif(
+    CPUS < DIST_WORKERS,
+    reason=f"speedup acceptance needs >= {DIST_WORKERS} CPUs",
+)
+def test_distributed_speedup_acceptance():
+    """>= 2x runs/sec on a 4-worker loopback cluster, identical
+    results run for run."""
+    serial, serial_wall = timed_campaign(
+        "serial", runs=ACCEPT_RUNS, batch_size=ACCEPT_RUNS
+    )
+    distributed, dist_wall = timed_distributed_campaign(
+        ACCEPT_RUNS, workers=DIST_WORKERS
+    )
+    assert distributed.outcome_histogram() == serial.outcome_histogram()
+    assert [r.matched_rules for r in distributed.records] == [
+        r.matched_rules for r in serial.records
+    ]
+    serial_rate = ACCEPT_RUNS / serial_wall
+    dist_rate = ACCEPT_RUNS / dist_wall
+    assert dist_rate >= 2.0 * serial_rate, (
+        f"distributed {dist_rate:.1f} runs/s vs serial "
+        f"{serial_rate:.1f} runs/s"
+    )

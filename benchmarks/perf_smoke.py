@@ -30,9 +30,12 @@ import sys
 
 from _workloads import (
     CAMPAIGN_BENCH_PATH,
+    DIST_BENCH_PATH,
     GATE_BENCH_PATH,
+    POOL_OK,
     RISK_BENCH_PATH,
     timed_campaign,
+    timed_distributed_campaign,
     timed_fork_campaign,
     timed_gate_campaign,
     timed_risk_campaign,
@@ -126,6 +129,63 @@ def committed_risk_speedup() -> float:
         f"no measured fork entry in {RISK_BENCH_PATH}; "
         f"regenerate it with bench_risk_engine.py"
     )
+
+
+def distributed_guard(tolerance: float, runs: int) -> int:
+    """Guard the loopback-cluster speedup *ratio* over serial.
+
+    A scheduling regression — steal quantum stuck at the full chunk,
+    leases serialized behind one worker, frame churn on the hot path —
+    collapses the measured ratio toward (or below) 1x and fails here.
+    Explicitly skipped, not silent, when either side cannot measure:
+    a single-CPU host, or a committed baseline whose distributed row
+    is itself a ``skipped`` entry (the BENCH_risk convention)."""
+    payload = json.loads(committed_text(DIST_BENCH_PATH))
+    entry = next(
+        (
+            e for e in payload.get("entries", [])
+            if e.get("backend") == "distributed"
+        ),
+        None,
+    )
+    if entry is None:
+        raise SystemExit(
+            f"no distributed entry in {DIST_BENCH_PATH}; "
+            f"regenerate it with bench_distributed.py"
+        )
+    if entry.get("skipped"):
+        print(
+            f"perf-smoke: distributed speedup guard skipped "
+            f"(committed baseline row skipped: {entry['skipped']})"
+        )
+        return 0
+    if not POOL_OK:
+        print(
+            "perf-smoke: distributed speedup guard skipped (single-cpu "
+            "host; set REPRO_FORCE_POOL=1 to force)"
+        )
+        return 0
+    baseline = float(entry["speedup_vs_serial"])
+    _, serial_wall = timed_campaign("serial", runs=runs, batch_size=runs)
+    _, dist_wall = timed_distributed_campaign(runs, workers=4)
+    speedup = serial_wall / dist_wall
+    floor = baseline * (1.0 - tolerance)
+    verdict = "ok" if speedup >= floor else "REGRESSION"
+    print(
+        f"perf-smoke: distributed speedup {speedup:.2f}x over {runs} "
+        f"runs on a 4-worker loopback cluster (committed "
+        f"{baseline:.2f}x, floor {floor:.2f}x at -{tolerance:.0%}): "
+        f"{verdict}"
+    )
+    if speedup < floor:
+        print(
+            "distributed-backend speedup regressed beyond tolerance; "
+            "if intentional, regenerate BENCH_distributed.json via "
+            "bench_distributed.py and commit it with the change",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def risk_engine_guard(tolerance: float, runs: int) -> int:
@@ -249,6 +309,10 @@ def main() -> int:
     # Risk-engine guard: the sampled campaign's fork ratio — catches
     # per-sample planning work swamping execution.
     if risk_engine_guard(tolerance, runs=max(runs, 64)):
+        return 1
+
+    # Distributed-backend guard: the loopback-cluster speedup ratio.
+    if distributed_guard(tolerance, runs=max(runs, 160)):
         return 1
 
     # Gate vector-engine guard: same ratio logic as fork.

@@ -18,6 +18,7 @@ rationale.
 from __future__ import annotations
 
 import ast
+import pathlib
 import typing as _t
 
 from .findings import ERROR, WARNING, Finding
@@ -666,6 +667,91 @@ class UnseededNumpyRandomness(Rule):
                 node, ctx,
                 "default_rng() without a seed falls back to OS entropy "
                 "— pass the run seed explicitly",
+            )
+
+
+_POOL_CLASSES = {"ProcessPoolExecutor", "ThreadPoolExecutor"}
+_SOCKET_FACTORIES = {"socket", "create_connection", "create_server"}
+
+#: Consecutive path components of the sanctioned execution layers —
+#: the modules that *implement* make_executor backends may of course
+#: construct pools, threads, and sockets.
+_EXECUTION_LAYER_PARTS = (
+    ("repro", "distributed"),
+    ("repro", "core", "executors.py"),
+)
+
+
+def _in_execution_layer(path: str) -> bool:
+    parts = pathlib.PurePath(path).parts
+    for marker in _EXECUTION_LAYER_PARTS:
+        width = len(marker)
+        if any(
+            parts[i: i + width] == marker
+            for i in range(len(parts) - width + 1)
+        ):
+            return True
+    return False
+
+
+@rule
+class DirectConcurrencyConstruction(Rule):
+    """Campaign/model code constructing its own pools, threads, or
+    sockets bypasses the executor registry: such runs escape the
+    RetryPolicy/timeout accounting, journal checkpointing, and the
+    serial-equivalence contract that ``make_executor`` backends (and
+    ``repro.distributed``) provide.  The execution layers themselves
+    are exempt — they implement that contract."""
+
+    code = "VP013"
+    name = "direct-concurrency-construction"
+    severity = WARNING
+    summary = (
+        "ProcessPoolExecutor/Thread/socket constructed directly; route "
+        "execution through make_executor or repro.distributed"
+    )
+
+    def check_node(self, node, ctx):
+        if not isinstance(node, ast.Call):
+            return
+        if _in_execution_layer(ctx.path):
+            return
+        func = node.func
+        name = _call_name(node)
+        if name in _POOL_CLASSES:
+            yield self.finding(
+                node, ctx,
+                f"{name}(...) constructed directly — pool runs bypass "
+                f"RetryPolicy/timeout accounting and journaling; use "
+                f"make_executor(backend='parallel') instead",
+            )
+            return
+        if name == "Thread" and (
+            isinstance(func, ast.Name)
+            or _attr_base_name(func) == "threading"
+        ):
+            yield self.finding(
+                node, ctx,
+                "threading.Thread(...) constructed directly — "
+                "hand-rolled worker threads escape the executor "
+                "contract; use make_executor or repro.distributed",
+            )
+            return
+        # Only the module-level factories: `socket.socket(...)` /
+        # `socket.create_*(...)`.  Attribute *access* named `socket`
+        # (e.g. a TLM endpoint `entry.socket.deliver(...)`) is not a
+        # construction and must not fire.
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _SOCKET_FACTORIES
+            and _attr_base_name(func) == "socket"
+        ):
+            yield self.finding(
+                node, ctx,
+                f"socket.{func.attr}(...) opens a raw socket — "
+                f"distributed execution belongs behind "
+                f"repro.distributed's coordinator/worker protocol, not "
+                f"ad-hoc connections in campaign code",
             )
 
 

@@ -450,8 +450,14 @@ class Campaign:
 
         ``backend`` selects the executor: ``"serial"`` (default, the
         historical in-process loop), ``"parallel"`` (process pool over
-        ``workers`` workers; requires a registry-backed campaign), or
-        a pre-built :class:`Executor` instance.  ``batch_size`` sets
+        ``workers`` workers; requires a registry-backed campaign),
+        ``"distributed"`` (a :mod:`repro.distributed` coordinator
+        serving ``workers`` auto-spawned loopback worker processes;
+        attach remote hosts by building a
+        :class:`~repro.distributed.DistributedExecutor` yourself), any
+        other name in the executor backend registry (see
+        :func:`~repro.core.executors.register_backend`), or a
+        pre-built :class:`Executor` instance.  ``batch_size`` sets
         how many runs are planned between feedback points — the
         default is 1 for serial (legacy-identical) and twice the
         worker count for parallel.  Adaptive strategies receive their
@@ -544,11 +550,26 @@ class Campaign:
             capture_state=self.capture_state,
             restore_state=self.restore_state,
             chunk_size=chunk_size,
+            telemetry=telemetry,
         )
         if batch_size is None:
             batch_size = 1 if executor.workers == 1 else 2 * executor.workers
         if batch_size < 1:
             raise ValueError("batch size must be positive")
+        if hasattr(executor, "bind_campaign_key"):
+            # Shard-journaling backends (repro.distributed) stamp each
+            # worker's shard with the same identity the campaign-level
+            # journal carries, so merged shards are interchangeable
+            # with — and byte-identical to — a serial journal.
+            executor.bind_campaign_key(
+                campaign_key(
+                    self,
+                    strategy,
+                    batch_size=batch_size,
+                    run_timeout_s=run_timeout_s,
+                    trace=trace_config,
+                )
+            )
         journal: _t.Optional[CampaignCheckpoint] = None
         if checkpoint is not None:
             journal = (

@@ -272,3 +272,86 @@ class CampaignCheckpoint:
 
     def __len__(self) -> int:
         return len(self.outcomes)
+
+
+# -- shard namespaces and deterministic merge --------------------------------
+#
+# The distributed backend journals each worker's results into its own
+# *shard* — a perfectly ordinary CampaignCheckpoint file named
+# ``shard-<worker>.jsonl`` under one shard directory, carrying the
+# same campaign-key header the serial journal would.  Shards exist
+# because N workers appending to one file would interleave
+# nondeterministically (and on separate hosts, not at all); the merge
+# below restores the single-journal world deterministically.
+
+
+def shard_paths_in(
+    shard_dir: _t.Union[str, os.PathLike]
+) -> _t.List[pathlib.Path]:
+    """The shard journals under *shard_dir*, sorted by filename.
+
+    Sorted-by-name is the merge's tie-break order, so it is part of
+    the determinism contract: two merges of the same directory always
+    see shards in the same sequence.
+    """
+    return sorted(pathlib.Path(shard_dir).glob("shard-*.jsonl"))
+
+
+def merge_shards(
+    target: _t.Union[str, os.PathLike],
+    shards: _t.Iterable[_t.Union[str, os.PathLike]],
+    key: dict,
+) -> _t.Dict[str, int]:
+    """Fold per-worker shard journals into one canonical journal.
+
+    Every shard is opened as a full :class:`CampaignCheckpoint` —
+    header validated against *key* (a shard from a different campaign
+    raises :class:`CheckpointKeyMismatch`), unterminated tails
+    repaired, undecodable lines dropped — then the union of records is
+    deduplicated **by run index** and written to *target* in ascending
+    index order.  Deduplication keeps the first occurrence in
+    sorted-shard order; duplicates are legitimate (a worker declared
+    dead on a stale heartbeat may still deliver its result while the
+    redispatched copy also completes) and both copies describe the
+    same deterministic simulation.
+
+    The result is byte-identical to the journal a serial run of the
+    same campaign writes — same header, same compact sorted-key record
+    encoding, same order — modulo each record's wall-clock ``wall_s``
+    counter, which is execution history, not simulation content.
+    ``target`` is itself a valid checkpoint: handing it to
+    ``Campaign.run(checkpoint=...)`` resumes the campaign, including
+    from a *partial* merge covering only some workers' shards.
+
+    Returns merge statistics: ``shards``, ``records`` (written),
+    ``duplicates`` (discarded), ``dropped_lines`` (unparseable).
+    """
+    merged: _t.Dict[int, RunOutcome] = {}
+    stats = {"shards": 0, "records": 0, "duplicates": 0, "dropped_lines": 0}
+    for path in sorted(pathlib.Path(p) for p in shards):
+        shard = CampaignCheckpoint(path)
+        shard.open(key)
+        shard.close()
+        stats["shards"] += 1
+        stats["dropped_lines"] += shard.dropped_lines
+        for index in sorted(shard.outcomes):
+            if index in merged:
+                stats["duplicates"] += 1
+            else:
+                merged[index] = shard.outcomes[index]
+    target_path = pathlib.Path(target)
+    if target_path.exists():
+        # Re-merging (e.g. after more shards arrived) must not append
+        # onto a stale merge: the merge is a pure function of its
+        # inputs, so the target is rewritten from scratch.
+        target_path.unlink()
+    journal = CampaignCheckpoint(target_path)
+    journal.open(key)
+    try:
+        journal.record_batch(
+            merged[index] for index in sorted(merged)
+        )
+    finally:
+        journal.close()
+    stats["records"] = len(merged)
+    return stats

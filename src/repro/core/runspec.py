@@ -107,6 +107,178 @@ class RunSpec:
         if self.attempt < 0:
             raise ValueError("attempt count must be non-negative")
 
+    def to_jsonable(self) -> _t.Dict[str, _t.Any]:
+        """A JSON-serializable dict — the wire form of one run.
+
+        The distributed backend ships specs to remote workers as JSON
+        frames (see :mod:`repro.distributed.protocol`), where pickling
+        is off the table: frames must be inspectable, versioned, and
+        safe to receive from another host.  Everything a spec carries
+        is JSON-native already (the golden observation is by the same
+        contract the checkpoint journal relies on) except the scenario
+        tree and the trace config, which get explicit codecs below.
+        """
+        return {
+            "index": self.index,
+            "scenario": _scenario_to_jsonable(self.scenario),
+            "run_seed": self.run_seed,
+            "duration": self.duration,
+            "platform": self.platform,
+            "golden": dict(self.golden) if self.golden is not None else None,
+            "deadline_s": self.deadline_s,
+            "attempt": self.attempt,
+            "trace": (
+                _trace_to_jsonable(self.trace)
+                if self.trace is not None else None
+            ),
+            "reuse_platform": self.reuse_platform,
+            "fork": self.fork,
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: _t.Mapping[str, _t.Any]) -> "RunSpec":
+        return cls(
+            index=payload["index"],
+            scenario=_scenario_from_jsonable(payload["scenario"]),
+            run_seed=payload["run_seed"],
+            duration=payload["duration"],
+            platform=payload.get("platform"),
+            golden=(
+                dict(payload["golden"])
+                if payload.get("golden") is not None else None
+            ),
+            deadline_s=payload.get("deadline_s"),
+            attempt=payload.get("attempt", 0),
+            trace=(
+                _trace_from_jsonable(payload["trace"])
+                if payload.get("trace") is not None else None
+            ),
+            reuse_platform=payload.get("reuse_platform", True),
+            fork=payload.get("fork", False),
+        )
+
+
+# -- RunSpec wire codec ------------------------------------------------------
+#
+# The scenario tree (scenario -> planned injections -> fault
+# descriptors, plus the optional operating state) and the trace config
+# are plain frozen dataclasses of JSON-native fields; these helpers
+# flatten them for the distributed protocol and rebuild them verbatim.
+# Enum members travel by value, tuples are restored as tuples, and a
+# non-JSON-native descriptor param fails at *encode* time with the run
+# named — not as an opaque json.dumps error deep inside a socket write.
+
+
+def _descriptor_to_jsonable(descriptor) -> _t.Dict[str, _t.Any]:
+    params = dict(descriptor.params)
+    try:
+        import json as _json
+
+        _json.dumps(params)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(
+            f"fault descriptor {descriptor.name!r} has non-JSON-native "
+            f"params and cannot cross the distributed wire: {exc}"
+        ) from None
+    return {
+        "name": descriptor.name,
+        "kind": descriptor.kind.value,
+        "persistence": descriptor.persistence.value,
+        "duration": descriptor.duration,
+        "params": params,
+        "rate_per_hour": descriptor.rate_per_hour,
+    }
+
+
+def _descriptor_from_jsonable(payload: _t.Mapping[str, _t.Any]):
+    from ..faults.models import FaultDescriptor, FaultKind, Persistence
+
+    return FaultDescriptor(
+        name=payload["name"],
+        kind=FaultKind(payload["kind"]),
+        persistence=Persistence(payload["persistence"]),
+        duration=payload["duration"],
+        params=dict(payload["params"]),
+        rate_per_hour=payload["rate_per_hour"],
+    )
+
+
+def _scenario_to_jsonable(scenario: ErrorScenario) -> _t.Dict[str, _t.Any]:
+    state = scenario.operating_state
+    return {
+        "name": scenario.name,
+        "injections": [
+            {
+                "time": planned.time,
+                "target_path": planned.target_path,
+                "descriptor": _descriptor_to_jsonable(planned.descriptor),
+            }
+            for planned in scenario.injections
+        ],
+        "operating_state": (
+            {
+                "name": state.name,
+                "fraction": state.fraction,
+                "loads": dict(state.loads),
+                "special": state.special,
+            }
+            if state is not None else None
+        ),
+        "sampling_weight": scenario.sampling_weight,
+    }
+
+
+def _scenario_from_jsonable(payload: _t.Mapping[str, _t.Any]) -> ErrorScenario:
+    from ..mission.profile import OperatingState
+    from .scenario import PlannedInjection
+
+    state_payload = payload.get("operating_state")
+    state = None
+    if state_payload is not None:
+        state = OperatingState(
+            name=state_payload["name"],
+            fraction=state_payload["fraction"],
+            loads=dict(state_payload["loads"]),
+            special=state_payload["special"],
+        )
+    return ErrorScenario(
+        name=payload["name"],
+        injections=tuple(
+            PlannedInjection(
+                time=planned["time"],
+                target_path=planned["target_path"],
+                descriptor=_descriptor_from_jsonable(planned["descriptor"]),
+            )
+            for planned in payload["injections"]
+        ),
+        operating_state=state,
+        sampling_weight=payload.get("sampling_weight", 1.0),
+    )
+
+
+def _trace_to_jsonable(trace: TraceConfig) -> _t.Dict[str, _t.Any]:
+    return {
+        "mode": trace.mode,
+        "ring_capacity": trace.ring_capacity,
+        "max_events": trace.max_events,
+        "spill_dir": trace.spill_dir,
+        "golden_signals": [
+            [name, value] for name, value in trace.golden_signals
+        ],
+    }
+
+
+def _trace_from_jsonable(payload: _t.Mapping[str, _t.Any]) -> TraceConfig:
+    return TraceConfig(
+        mode=payload["mode"],
+        ring_capacity=payload["ring_capacity"],
+        max_events=payload["max_events"],
+        spill_dir=payload.get("spill_dir"),
+        golden_signals=tuple(
+            (name, value) for name, value in payload["golden_signals"]
+        ),
+    )
+
 
 @dataclasses.dataclass(frozen=True)
 class RunOutcome:

@@ -1,0 +1,67 @@
+"""Distributed campaign execution: coordinator, workers, wire protocol.
+
+The step from "one host's cores" (:class:`~repro.core.executors
+.ParallelExecutor`) to "as many hosts as you can attach": a
+:class:`Coordinator` serves :class:`~repro.core.runspec.RunSpec`
+leases over TCP, worker agents (``python -m repro.distributed.worker``)
+pull work-stealing style and stream
+:class:`~repro.core.runspec.RunOutcome` frames back, and per-worker
+shard journals merge (:func:`repro.core.checkpoint.merge_shards`) into
+a checkpoint byte-identical to a serial run's.  Selected like any
+other backend::
+
+    campaign.run(strategy, runs=10_000, backend="distributed",
+                 workers=4)
+
+which auto-spawns a loopback :class:`LocalCluster`; pass an
+:class:`DistributedExecutor` built with ``spawn_local=False`` to serve
+remote workers instead.
+"""
+
+from .coordinator import Coordinator, DistributedExecutor, LocalCluster
+from .discovery import (
+    DEFAULT_ENDPOINT_FILE,
+    ENDPOINT_ENV,
+    DiscoveryError,
+    read_endpoint,
+    resolve_endpoint,
+    write_endpoint,
+)
+from .protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    PeerGone,
+    ProtocolError,
+    recv_frame,
+    send_frame,
+)
+
+
+def __getattr__(name):
+    # Lazy: .worker doubles as the ``python -m repro.distributed.worker``
+    # entry point; importing it here eagerly would trip runpy's
+    # "found in sys.modules" warning in every spawned agent.
+    if name == "run_worker":
+        from .worker import run_worker
+
+        return run_worker
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "Coordinator",
+    "DistributedExecutor",
+    "LocalCluster",
+    "run_worker",
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "PeerGone",
+    "send_frame",
+    "recv_frame",
+    "ENDPOINT_ENV",
+    "DEFAULT_ENDPOINT_FILE",
+    "DiscoveryError",
+    "read_endpoint",
+    "write_endpoint",
+    "resolve_endpoint",
+]

@@ -1,0 +1,93 @@
+"""How workers find their coordinator.
+
+Three mechanisms, in precedence order:
+
+1. an explicit ``HOST:PORT`` (the ``--connect`` flag);
+2. the ``REPRO_COORDINATOR`` environment variable — the natural fit
+   for batch schedulers that template job environments;
+3. an **endpoint file** (default ``.repro-coordinator``): one
+   ``host:port`` line the coordinator writes via
+   :meth:`Coordinator.announce`, which workers sharing a filesystem
+   (or receiving the file out of band) read back.
+
+Deliberately no multicast/zeroconf: campaign fleets run on lab
+networks and CI runners where "a file and an env var" is the whole
+discovery problem.
+"""
+
+from __future__ import annotations
+
+import os
+import typing as _t
+
+#: Environment variable naming the coordinator endpoint (``host:port``).
+ENDPOINT_ENV = "REPRO_COORDINATOR"
+
+#: Default endpoint-file name, resolved against the working directory.
+DEFAULT_ENDPOINT_FILE = ".repro-coordinator"
+
+
+class DiscoveryError(RuntimeError):
+    """No coordinator endpoint could be resolved."""
+
+
+def parse_endpoint(text: str) -> _t.Tuple[str, int]:
+    """Split ``host:port`` (IPv6 hosts may be bracketed)."""
+    text = text.strip()
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise DiscoveryError(f"malformed endpoint {text!r}; want host:port")
+    try:
+        number = int(port)
+    except ValueError:
+        raise DiscoveryError(
+            f"malformed endpoint {text!r}; port is not an integer"
+        ) from None
+    if not 0 < number < 65536:
+        raise DiscoveryError(f"endpoint {text!r}: port out of range")
+    return host.strip("[]"), number
+
+
+def write_endpoint(
+    path: _t.Union[str, os.PathLike], host: str, port: int
+) -> None:
+    """Atomically publish ``host:port`` at *path*.
+
+    Write-then-rename so a worker polling for the file never reads a
+    half-written endpoint.
+    """
+    final = os.fspath(path)
+    staging = f"{final}.tmp.{os.getpid()}"
+    with open(staging, "w", encoding="utf-8") as fh:
+        fh.write(f"{host}:{port}\n")
+    os.replace(staging, final)
+
+
+def read_endpoint(path: _t.Union[str, os.PathLike]) -> _t.Tuple[str, int]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return parse_endpoint(fh.readline())
+    except OSError as exc:
+        raise DiscoveryError(
+            f"cannot read endpoint file {os.fspath(path)!r}: {exc}"
+        ) from None
+
+
+def resolve_endpoint(
+    explicit: _t.Optional[str] = None,
+    path: _t.Union[None, str, os.PathLike] = None,
+) -> _t.Tuple[str, int]:
+    """Resolve the coordinator endpoint by the precedence above."""
+    if explicit:
+        return parse_endpoint(explicit)
+    env = os.environ.get(ENDPOINT_ENV)
+    if env:
+        return parse_endpoint(env)
+    candidate = DEFAULT_ENDPOINT_FILE if path is None else path
+    if os.path.exists(candidate):
+        return read_endpoint(candidate)
+    raise DiscoveryError(
+        f"no coordinator endpoint: pass --connect HOST:PORT, set "
+        f"${ENDPOINT_ENV}, or provide an endpoint file at "
+        f"{os.fspath(candidate)!r}"
+    )

@@ -50,6 +50,24 @@ class CampaignTelemetry:
     def on_campaign_end(self, info: _t.Dict[str, _t.Any]) -> None:
         """Campaign finished (normally or not); final counters."""
 
+    # -- distributed execution (repro.distributed) ----------------------
+
+    def on_worker_join(self, info: _t.Dict[str, _t.Any]) -> None:
+        """A distributed worker registered with the coordinator."""
+
+    def on_worker_leave(self, info: _t.Dict[str, _t.Any]) -> None:
+        """A distributed worker said a clean goodbye."""
+
+    def on_worker_dead(self, info: _t.Dict[str, _t.Any]) -> None:
+        """A distributed worker was declared dead (EOF, stale
+        heartbeat, or hung lease); ``info`` carries the reason and how
+        many leased runs were requeued."""
+
+    def on_worker_result(self, worker: str, outcome) -> None:
+        """A RunOutcome arrived from a named distributed worker — the
+        per-worker attribution stream (which worker executed which
+        run), distinct from :meth:`on_run_end`'s campaign-order view."""
+
 
 class JsonlTelemetry(CampaignTelemetry):
     """Append telemetry as JSON lines to *path*.
@@ -68,7 +86,11 @@ class JsonlTelemetry(CampaignTelemetry):
             "terminal_failures": 0,
             "resumed": 0,
             "batches": 0,
+            "workers_joined": 0,
+            "workers_lost": 0,
         }
+        #: Runs completed per distributed worker name (attribution).
+        self.worker_runs: _t.Dict[str, int] = {}
 
     def _emit(self, kind: str, payload: _t.Dict[str, _t.Any]) -> None:
         record = {"t": self._clock(), "event": kind}
@@ -127,9 +149,36 @@ class JsonlTelemetry(CampaignTelemetry):
         self._emit("batch_end", stats)
         self._handle.flush()
 
+    def on_worker_join(self, info):
+        self.counters["workers_joined"] += 1
+        self._emit("worker_join", dict(info))
+        self._handle.flush()
+
+    def on_worker_leave(self, info):
+        self._emit("worker_leave", dict(info))
+        self._handle.flush()
+
+    def on_worker_dead(self, info):
+        self.counters["workers_lost"] += 1
+        self._emit("worker_dead", dict(info))
+        self._handle.flush()
+
+    def on_worker_result(self, worker, outcome):
+        self.worker_runs[worker] = self.worker_runs.get(worker, 0) + 1
+        self._emit(
+            "worker_result",
+            {
+                "worker": worker,
+                "index": outcome.index,
+                "outcome": outcome.outcome.name,
+            },
+        )
+
     def on_campaign_end(self, info):
         payload = dict(info)
         payload["counters"] = dict(self.counters)
+        if self.worker_runs:
+            payload["worker_runs"] = dict(sorted(self.worker_runs.items()))
         self._emit("campaign_end", payload)
         self._handle.flush()
 

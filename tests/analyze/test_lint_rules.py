@@ -209,6 +209,52 @@ def test_vp012_seeded_generators_are_clean():
     ) == []
 
 
+def test_vp013_direct_concurrency_construction():
+    findings = lint_snippet("pool = ProcessPoolExecutor(4)\n")
+    assert codes(findings) == ["VP013"]
+    assert findings[0].severity == WARNING
+    assert codes(
+        lint_snippet("pool = futures.ThreadPoolExecutor(2)\n")
+    ) == ["VP013"]
+    assert codes(
+        lint_snippet("agent = threading.Thread(target=serve)\n")
+    ) == ["VP013"]
+    assert codes(lint_snippet("agent = Thread(target=serve)\n")) == ["VP013"]
+    for factory in ("socket", "create_connection", "create_server"):
+        assert codes(
+            lint_snippet(f"link = socket.{factory}(endpoint)\n")
+        ) == ["VP013"], factory
+    # The sanctioned path does not fire.
+    assert lint_snippet(
+        "ex, owned = make_executor('parallel', workers=4)\n"
+    ) == []
+
+
+def test_vp013_ignores_tlm_socket_attribute_access():
+    # A TLM endpoint named `socket` is attribute access, not a raw
+    # socket construction.
+    assert lint_snippet("entry.socket.deliver(payload)\n") == []
+    assert lint_snippet("status = entry.socket.poll()\n") == []
+
+
+def test_vp013_execution_layers_are_exempt():
+    snippet = (
+        "server = socket.create_server((host, 0))\n"
+        "agent = threading.Thread(target=serve)\n"
+        "pool = ProcessPoolExecutor(4)\n"
+    )
+    for exempt in (
+        "src/repro/distributed/coordinator.py",
+        "src/repro/distributed/worker.py",
+        "src/repro/core/executors.py",
+    ):
+        assert lint_source(snippet, path=exempt) == [], exempt
+    # Anywhere else — campaign code, platforms, strategies — fires.
+    assert codes(
+        lint_source(snippet, path="src/repro/core/campaign.py")
+    ) == ["VP013", "VP013", "VP013"]
+
+
 def test_syntax_error_reports_vp000():
     findings = lint_snippet("def broken(:\n")
     assert codes(findings) == ["VP000"]

@@ -169,7 +169,7 @@ def test_cli_select_and_ignore(capsys):
     out = capsys.readouterr().out
     assert "VP010" in out and "VP001" not in out
     assert main([str(CORPUS), "--ignore", ",".join(
-        f"VP{n:03d}" for n in range(1, 13)
+        f"VP{n:03d}" for n in range(1, 14)
     )]) == 0
     capsys.readouterr()
 

@@ -106,6 +106,62 @@ class TestMakeExecutor:
         resolved, owned = make_executor(executor)
         assert resolved is executor and owned is False
 
+    def test_unknown_backend_error_lists_registered_backends(self):
+        from repro.core.executors import registered_backends
+
+        with pytest.raises(ValueError) as excinfo:
+            make_executor("warp-drive", platform="airbag-normal")
+        message = str(excinfo.value)
+        assert "warp-drive" in message
+        for name in registered_backends():
+            assert repr(name) in message
+
+    def test_builtin_backends_are_registered(self):
+        from repro.core.executors import registered_backends
+
+        assert {"serial", "parallel", "distributed"} <= set(
+            registered_backends()
+        )
+
+    def test_non_string_backend_is_a_type_error(self):
+        with pytest.raises(TypeError, match="name or an Executor"):
+            make_executor(42)
+
+    def test_register_backend_round_trip(self):
+        from repro.core.executors import (
+            _BACKEND_BUILDERS,
+            register_backend,
+            registered_backends,
+        )
+
+        built = {}
+
+        def builder(**kwargs):
+            built.update(kwargs)
+            return SerialExecutor(
+                airbag.build_normal_operation, airbag.observe,
+                airbag.normal_operation_classifier(),
+            )
+
+        register_backend("test-backend", builder)
+        try:
+            assert "test-backend" in registered_backends()
+            executor, owned = make_executor(
+                "test-backend", platform="airbag-normal", workers=3
+            )
+            assert owned is True
+            assert built["platform"] == "airbag-normal"
+            assert built["workers"] == 3
+            executor.close()
+        finally:
+            del _BACKEND_BUILDERS["test-backend"]
+
+    def test_register_backend_rejects_bad_names(self):
+        from repro.core.executors import register_backend
+
+        with pytest.raises(ValueError):
+            register_backend("", lambda **kwargs: None)
+
     def test_parallel_validates_key_eagerly(self):
         with pytest.raises(KeyError, match="registered"):
             ParallelExecutor("no-such-platform")

@@ -1,0 +1,227 @@
+"""Shard-journal merge edge cases — all serial, no cluster required.
+
+``merge_shards`` must be a pure, deterministic function of its inputs:
+duplicate run indices across shards collapse to one record, a
+kill-during-write tail in one shard is repaired or dropped exactly as
+a single journal's would be, and a *partially* merged journal is a
+valid checkpoint a campaign can resume from.  Every case is pinned
+against the journal a serial run of the same campaign writes.
+"""
+
+import json
+
+import pytest
+
+from repro.core import Campaign, FaultSpace, RandomStrategy
+from repro.core.checkpoint import (
+    CampaignCheckpoint,
+    CheckpointKeyMismatch,
+    merge_shards,
+    shard_paths_in,
+)
+from repro.faults import SRAM_SEU
+from repro.kernel import Simulator, simtime
+from repro.platforms import airbag
+
+DURATION = simtime.ms(60)
+RUNS = 12
+
+
+def airbag_space():
+    probe = Simulator()
+    return FaultSpace(
+        airbag.build_normal_operation(probe),
+        [SRAM_SEU.with_rate(5e-7)],
+        window_start=simtime.ms(5),
+        window_end=simtime.ms(30),
+        time_bins=2,
+    )
+
+
+def run_serial(checkpoint=None):
+    campaign = Campaign(duration=DURATION, seed=7, platform="airbag-normal")
+    strategy = RandomStrategy(airbag_space(), faults_per_scenario=2)
+    return campaign.run(
+        strategy, runs=RUNS, batch_size=4, checkpoint=checkpoint
+    )
+
+
+@pytest.fixture(scope="module")
+def serial(tmp_path_factory):
+    """One serial reference run: its result, journal, and key."""
+    path = tmp_path_factory.mktemp("reference") / "serial.jsonl"
+    result = run_serial(checkpoint=str(path))
+    key = json.loads(path.read_text().splitlines()[0])["key"]
+    return result, path, key
+
+
+def write_shard(path, key, outcomes):
+    shard = CampaignCheckpoint(path)
+    shard.open(key)
+    try:
+        shard.record_batch(outcomes)
+    finally:
+        shard.close()
+
+
+def split_into_shards(shard_dir, journal_path, key, overlap=()):
+    """Rebuild *journal_path* as two shards (even/odd indices); indices
+    in *overlap* are written to both — the duplicate case."""
+    journal = CampaignCheckpoint(journal_path)
+    journal.open(key)
+    journal.close()
+    outcomes = journal.outcomes
+    shard_dir.mkdir(exist_ok=True)
+    write_shard(
+        shard_dir / "shard-a.jsonl", key,
+        [outcomes[i] for i in sorted(outcomes)
+         if i % 2 == 0 or i in overlap],
+    )
+    write_shard(
+        shard_dir / "shard-b.jsonl", key,
+        [outcomes[i] for i in sorted(outcomes)
+         if i % 2 == 1 or i in overlap],
+    )
+    return outcomes
+
+
+def canonical_journal(path):
+    rows = []
+    for line in path.read_text().splitlines():
+        payload = json.loads(line)
+        if isinstance(payload, dict):
+            stats = payload.get("kernel_stats")
+            if isinstance(stats, dict):
+                stats.pop("wall_s", None)
+        rows.append(payload)
+    return rows
+
+
+class TestDeterministicMerge:
+    def test_merge_reconstructs_the_serial_journal_exactly(
+        self, serial, tmp_path
+    ):
+        _result, journal_path, key = serial
+        split_into_shards(tmp_path / "shards", journal_path, key)
+        merged = tmp_path / "merged.jsonl"
+        stats = merge_shards(
+            merged, shard_paths_in(tmp_path / "shards"), key
+        )
+        # Same outcomes, re-serialized with the same encoding: the
+        # merged file is byte-for-byte the serial journal.
+        assert merged.read_text() == journal_path.read_text()
+        assert stats == {
+            "shards": 2, "records": RUNS, "duplicates": 0,
+            "dropped_lines": 0,
+        }
+
+    def test_duplicate_indices_across_shards_collapse(
+        self, serial, tmp_path
+    ):
+        """Duplicates are legitimate (a worker declared dead on a stale
+        heartbeat may deliver anyway while the redispatch also lands);
+        the merge keeps one copy per index."""
+        _result, journal_path, key = serial
+        split_into_shards(
+            tmp_path / "shards", journal_path, key, overlap=(3, 8)
+        )
+        merged = tmp_path / "merged.jsonl"
+        stats = merge_shards(
+            merged, shard_paths_in(tmp_path / "shards"), key
+        )
+        assert stats["duplicates"] == 2
+        assert stats["records"] == RUNS
+        assert merged.read_text() == journal_path.read_text()
+
+    def test_remerge_overwrites_rather_than_appends(self, serial, tmp_path):
+        _result, journal_path, key = serial
+        split_into_shards(tmp_path / "shards", journal_path, key)
+        merged = tmp_path / "merged.jsonl"
+        for _ in range(2):
+            merge_shards(merged, shard_paths_in(tmp_path / "shards"), key)
+        assert merged.read_text() == journal_path.read_text()
+
+    def test_key_mismatch_refuses_to_merge(self, serial, tmp_path):
+        _result, journal_path, key = serial
+        split_into_shards(tmp_path / "shards", journal_path, key)
+        with pytest.raises(CheckpointKeyMismatch):
+            merge_shards(
+                tmp_path / "merged.jsonl",
+                shard_paths_in(tmp_path / "shards"),
+                dict(key, seed=99),
+            )
+
+
+class TestTailDamage:
+    def test_newline_only_tail_damage_is_repaired(self, serial, tmp_path):
+        """A kill that cost only the final newline: the record still
+        parses, so the merge keeps it (PR-2 tail repair semantics)."""
+        _result, journal_path, key = serial
+        split_into_shards(tmp_path / "shards", journal_path, key)
+        victim = tmp_path / "shards" / "shard-a.jsonl"
+        victim.write_bytes(victim.read_bytes().rstrip(b"\n"))
+        merged = tmp_path / "merged.jsonl"
+        stats = merge_shards(
+            merged, shard_paths_in(tmp_path / "shards"), key
+        )
+        assert stats["records"] == RUNS
+        assert stats["dropped_lines"] == 0
+        assert merged.read_text() == journal_path.read_text()
+
+    def test_unterminated_garbage_tail_is_dropped(self, serial, tmp_path):
+        """A kill mid-write leaves a half-record: the fragment is
+        dropped and counted, every intact record survives."""
+        _result, journal_path, key = serial
+        split_into_shards(tmp_path / "shards", journal_path, key)
+        victim = tmp_path / "shards" / "shard-b.jsonl"
+        with open(victim, "ab") as fh:
+            fh.write(b'{"index": 99, "outcome": "MAS')
+        merged = tmp_path / "merged.jsonl"
+        stats = merge_shards(
+            merged, shard_paths_in(tmp_path / "shards"), key
+        )
+        assert stats["dropped_lines"] == 1
+        assert stats["records"] == RUNS
+        assert merged.read_text() == journal_path.read_text()
+
+
+class TestResumeFromPartialMerge:
+    def test_partial_merge_resumes_to_the_serial_result(
+        self, serial, tmp_path
+    ):
+        """Merging only *some* shards yields a valid checkpoint; a
+        campaign resumed from it replays the merged prefix and
+        re-executes the rest, landing on the serial result — and on a
+        journal byte-identical to the serial one modulo the re-executed
+        records' wall-clock counters."""
+        result, journal_path, key = serial
+        prefix = tmp_path / "shards" / "shard-prefix.jsonl"
+        journal = CampaignCheckpoint(journal_path)
+        journal.open(key)
+        journal.close()
+        (tmp_path / "shards").mkdir()
+        write_shard(
+            prefix, key,
+            [journal.outcomes[i] for i in range(RUNS // 2)],
+        )
+        merged = tmp_path / "merged.jsonl"
+        stats = merge_shards(merged, [prefix], key)
+        assert stats["records"] == RUNS // 2
+        resumed = run_serial(checkpoint=str(merged))
+        assert resumed.report()["robustness"]["resumed"] == RUNS // 2
+
+        def canonical(records):
+            rows = []
+            for record in records:
+                stats = dict(record.kernel_stats or {})
+                stats.pop("wall_s", None)
+                rows.append((
+                    record.index, record.outcome,
+                    tuple(record.matched_rules),
+                    tuple(sorted(record.observation.items())),
+                    tuple(sorted(stats.items())),
+                ))
+            return rows
+
+        assert canonical(resumed.records) == canonical(result.records)
+        assert canonical_journal(merged) == canonical_journal(journal_path)
