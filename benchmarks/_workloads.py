@@ -5,6 +5,7 @@ of the paper; the builders here keep the platforms consistent across
 them.  See DESIGN.md's experiment index (E1-E10) and EXPERIMENTS.md
 for the mapping to the paper.
 """
+# vp-lint: disable-file=VP005 - benchmark: wall-clock timing is the measurement, not model behavior
 
 from __future__ import annotations
 

@@ -17,6 +17,7 @@ shape assertions compare only the four abstraction levels.
 The benchmark table is the result: the same computation, descending
 orders of magnitude of cost as abstraction rises.
 """
+# vp-lint: disable-file=VP005 - benchmark: wall-clock timing is the measurement, not model behavior
 
 import pytest
 

@@ -59,7 +59,7 @@ def run_single_core(inject) -> str:
         yield time
         cpu.injection_points["arch"].flip_reg(reg, bit)
 
-    sim.spawn(injector())
+    sim.spawn(injector())  # vp-lint: disable=VP002 - one-shot bench kernel, never warm-reused
     sim.run(until=10_000_000)
     if cpu.trap_cause is not None:
         return "detected"
@@ -84,7 +84,7 @@ def run_lockstep(inject, common_mode: bool = False) -> str:
         for core in targets:
             core.injection_points["arch"].flip_reg(reg, bit)
 
-    sim.spawn(injector())
+    sim.spawn(injector())  # vp-lint: disable=VP002 - one-shot bench kernel, never warm-reused
     sim.run(until=10_000_000)
     if pair.halted_on_mismatch or any(
         core.trap_cause is not None for core in pair.cores

@@ -19,6 +19,7 @@ not change simulation content (same final signal values, same event
 counts); order-seed shuffling is the one mode allowed to change
 behavior, on racy platforms only.
 """
+# vp-lint: disable-file=VP005 - benchmark: wall-clock timing is the measurement, not model behavior
 
 import json
 import pathlib

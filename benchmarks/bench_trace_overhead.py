@@ -13,6 +13,7 @@ CAPS campaign:
 Every run emits ``BENCH_trace.json`` so the overhead trajectory is
 tracked across PRs alongside ``BENCH_campaign.json``.
 """
+# vp-lint: disable-file=VP005 - benchmark: wall-clock timing is the measurement, not model behavior
 
 import json
 import pathlib

@@ -9,6 +9,13 @@ sanitizers"):
   determinism breakers (global RNG, wall-clock reads), private kernel
   state access, swallowed ``DeadlineExceeded``, unpicklable run
   specs.  Run it as ``python -m repro.analyze [paths]``.
+* **Reach** — static fault-propagation reachability
+  (:mod:`repro.analyze.reach`): extracts the structural dataflow
+  graph of an elaborated platform, computes forward cones from every
+  fault site to every detector and output, audits detector coverage
+  (:class:`CoverageAuditReport`), and prunes provably-unobservable
+  injections from campaigns (``Campaign.run(prune=...)``).  Run it as
+  ``python -m repro.analyze reach --platform <name>``.
 * **Sanitizers** — opt-in dynamic checks: the delta-race sanitizer
   (``Simulator(sanitize=True)`` / ``REPRO_SANITIZE=1``) flags
   same-delta write-write conflicts between distinct processes, and
@@ -28,7 +35,18 @@ from .ordercheck import (
     OrderSensitivityReport,
     check_order_sensitivity,
 )
-from .reporters import render_json, render_text, summarize
+from .reach import (
+    CoverageAuditReport,
+    GateReachability,
+    ModelGraph,
+    ReachabilityPruner,
+    ReachReport,
+    SiteReach,
+    analyze_platform,
+    analyze_root,
+    extract_graph,
+)
+from .reporters import render_json, render_sarif, render_text, summarize
 from .rules import RULES, Rule, rule_table
 from .sanitizer import (
     DeltaRace,
@@ -51,8 +69,18 @@ __all__ = [
     "lint_paths",
     "lint_source",
     "render_json",
+    "render_sarif",
     "render_text",
     "summarize",
+    "CoverageAuditReport",
+    "GateReachability",
+    "ModelGraph",
+    "ReachReport",
+    "ReachabilityPruner",
+    "SiteReach",
+    "analyze_platform",
+    "analyze_root",
+    "extract_graph",
     "DeltaRace",
     "DeltaRaceError",
     "DeltaRaceSanitizer",

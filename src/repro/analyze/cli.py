@@ -1,20 +1,29 @@
-"""``python -m repro.analyze`` — the VP-lint command line.
+"""``python -m repro.analyze`` — the VP-lint and reach command line.
 
-Exit codes: 0 clean, 1 findings at or above the severity threshold,
-2 usage error.  CI runs ``python -m repro.analyze src examples`` and
-gates merges on exit 0; the JSON report (``--json-output``) is
-uploaded as a build artifact.
+Two drivers behind one entry point:
+
+* ``python -m repro.analyze [paths...]`` — VP-lint (the default, so
+  the CI invocation predating the subcommand keeps working).  Exit
+  codes: 0 clean, 1 findings at or above the severity threshold, 2
+  usage error.  CI runs it over ``src examples benchmarks`` and gates
+  merges on exit 0; the JSON report (``--json-output``) and SARIF
+  report (``--sarif-output``) are uploaded as build artifacts.
+* ``python -m repro.analyze reach --platform <name>`` — the static
+  fault-propagation reachability audit (:mod:`repro.analyze.reach`).
+  Exit codes: 0 analyzed, 1 coverage gaps found *and*
+  ``--fail-on-gaps`` given, 2 usage error.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 import typing as _t
 
 from .linter import lint_paths
-from .reporters import render_json, render_text
+from .reporters import render_json, render_sarif, render_text
 from .rules import rule_table
 
 
@@ -38,12 +47,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src examples)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format written to stdout (default: text)",
     )
     parser.add_argument(
         "--json-output", metavar="FILE",
         help="additionally write the JSON report to FILE (CI artifact)",
+    )
+    parser.add_argument(
+        "--sarif-output", metavar="FILE",
+        help="additionally write a SARIF 2.1.0 report to FILE "
+        "(GitHub code-scanning upload)",
     )
     parser.add_argument(
         "--select", metavar="CODES",
@@ -64,7 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
+def lint_main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list_rules:
@@ -87,11 +101,86 @@ def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
         pathlib.Path(args.json_output).write_text(
             render_json(findings, files_checked) + "\n", encoding="utf-8"
         )
+    if args.sarif_output:
+        pathlib.Path(args.sarif_output).write_text(
+            render_sarif(findings, files_checked) + "\n", encoding="utf-8"
+        )
     if args.format == "json":
         print(render_json(findings, files_checked))
+    elif args.format == "sarif":
+        print(render_sarif(findings, files_checked))
     else:
         print(render_text(findings, files_checked))
     return 1 if findings else 0
+
+
+def build_reach_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze reach",
+        description=(
+            "Static fault-propagation reachability audit: which fault "
+            "sites can structurally reach which detectors and outputs."
+        ),
+    )
+    parser.add_argument(
+        "--platform", metavar="NAME", action="append", dest="platforms",
+        help="registered platform key to analyze (repeatable; "
+        "default: every registered platform)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format written to stdout (default: text)",
+    )
+    parser.add_argument(
+        "--json-output", metavar="FILE",
+        help="additionally write the JSON report to FILE",
+    )
+    parser.add_argument(
+        "--fail-on-gaps", action="store_true",
+        help="exit 1 when any audited platform has dead or "
+        "undetectable-but-hazardous fault sites",
+    )
+    return parser
+
+
+def reach_main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
+    parser = build_reach_parser()
+    args = parser.parse_args(argv)
+    from ..platforms import registry  # built-ins register on import
+    from .reach import analyze_platform
+
+    names = args.platforms or list(registry.available_platforms())
+    audits = []
+    for name in names:
+        try:
+            audits.append(analyze_platform(name).audit())
+        except KeyError as exc:
+            parser.exit(2, f"vp-reach: error: {exc.args[0]}\n")
+    payload = {
+        "tool": "vp-reach",
+        "platforms": [audit.to_jsonable() for audit in audits],
+    }
+    rendered_json = json.dumps(payload, indent=2, sort_keys=True)
+    if args.json_output:
+        pathlib.Path(args.json_output).write_text(
+            rendered_json + "\n", encoding="utf-8"
+        )
+    if args.format == "json":
+        print(rendered_json)
+    else:
+        print("\n\n".join(audit.render_text() for audit in audits))
+    gaps = any(
+        audit.dead_sites() or audit.undetectable_hazardous()
+        for audit in audits
+    )
+    return 1 if (gaps and args.fail_on_gaps) else 0
+
+
+def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["reach"]:
+        return reach_main(argv[1:])
+    return lint_main(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover

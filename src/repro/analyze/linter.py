@@ -53,15 +53,25 @@ def _select_rules(
     codes = set(RULES)
     if select is not None:
         wanted = {code.upper() for code in select}
-        unknown = wanted - codes
-        if unknown:
-            raise ValueError(
-                f"unknown rule code(s): {', '.join(sorted(unknown))}"
-            )
+        _reject_unknown(wanted, "--select")
         codes &= wanted
     if ignore is not None:
-        codes -= {code.upper() for code in ignore}
+        dropped = {code.upper() for code in ignore}
+        # An unknown --ignore code used to silently no-op, which hid
+        # typos: "--ignore VP0009" ignored nothing and nobody noticed.
+        _reject_unknown(dropped, "--ignore")
+        codes -= dropped
     return [RULES[code] for code in sorted(codes)]
+
+
+def _reject_unknown(codes: _t.Set[str], flag: str) -> None:
+    unknown = codes - set(RULES)
+    if unknown:
+        raise ValueError(
+            f"unknown rule code(s) in {flag}: "
+            f"{', '.join(sorted(unknown))}; "
+            f"known codes: {', '.join(sorted(RULES))}"
+        )
 
 
 def lint_source(

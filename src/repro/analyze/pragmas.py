@@ -1,11 +1,15 @@
 """``# vp-lint:`` suppression pragmas.
 
-Two scopes:
+Three scopes:
 
 * line — ``some_code()  # vp-lint: disable=VP004`` suppresses the
   listed codes (or ``all``) for findings anchored to that physical
   line.  For multi-line statements the anchor is the statement's
   *first* line (the AST node's ``lineno``).
+* next line — ``# vp-lint: disable-next-line=VP004`` on a line of its
+  own suppresses the codes for the *following* physical line.  Same
+  effect as the line scope, for statements too long to share a line
+  with their pragma comment.
 * file — ``# vp-lint: disable-file=VP005`` anywhere in the file
   (conventionally in the module docstring block or right below the
   imports) suppresses the codes for the whole file.
@@ -22,7 +26,7 @@ import re
 import typing as _t
 
 _PRAGMA_RE = re.compile(
-    r"#\s*vp-lint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"#\s*vp-lint:\s*(?P<kind>disable(?:-file|-next-line)?)\s*=\s*"
     r"(?P<codes>[A-Za-z0-9_,\s]+)"
 )
 
@@ -47,8 +51,14 @@ class PragmaIndex:
                 for code in match.group("codes").split(",")
                 if code.strip()
             }
-            if match.group("kind") == "disable-file":
+            kind = match.group("kind")
+            if kind == "disable-file":
                 self.file_codes |= codes
+            elif kind == "disable-next-line":
+                # Registers under lineno+1, so it composes with a
+                # same-line pragma there (codes union) and anchors
+                # exactly like the line scope would.
+                self.line_codes.setdefault(lineno + 1, set()).update(codes)
             else:
                 self.line_codes.setdefault(lineno, set()).update(codes)
 

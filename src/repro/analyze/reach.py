@@ -1,0 +1,702 @@
+"""Static fault-propagation reachability analysis.
+
+The paper's Sec. 3.4 argument — brute-force fault injection wastes
+most of its budget on injections that cannot matter — asks for an
+analysis that knows, *before* running a single scenario, which fault
+sites can structurally reach which detection mechanisms and outputs.
+This module computes exactly that from an **elaborated** platform:
+
+* a :class:`ModelGraph` — the structural dataflow graph whose nodes
+  are modules, signals, fault sites, detectors, and outputs;
+* forward **reachability cones** from every injection site to every
+  detector (the watchdog/ECC/TMR/lockstep mechanism vocabulary of
+  :mod:`repro.observe.hooks`) and every declared output;
+* a :class:`CoverageAuditReport` (``canonical()`` bytes) listing dead
+  sites, undetectable-but-hazardous sites, and per-mechanism
+  structural coverage;
+* a :class:`ReachabilityPruner` that campaign execution uses to skip
+  statically-dead injections (see ``Campaign.run(prune=...)``) and to
+  pre-score guided strategies by static distance-to-detector;
+* :class:`GateReachability` — *exact* net-level fanout cones for
+  gate-level circuits, straight from the levelized
+  :class:`~repro.gate.vector.GateProgram` structure.
+
+Soundness model
+---------------
+
+The behavioral graph is a deliberate **over-approximation**: an edge
+means "data *may* flow here", absence of a path means "data *cannot*
+flow here".  Edges come from three observable facts about an
+elaborated module tree:
+
+* **ownership** — a module is connected to every signal it created and
+  every process it spawned;
+* **references** — a module is connected to every module/signal an
+  attribute, closure cell, bound-method receiver, or one of its plain
+  container/objects (lists, dicts, helper objects like RTOS tasks)
+  refers to.  Python code addresses collaborators through exactly
+  these channels, so a subtree that nothing references cannot be read
+  or written by any process body;
+* **wait registrations** — a process suspended on a signal's
+  ``changed`` event connects the signal to the process's owner module.
+
+Module↔module and module↔signal edges are kept *bidirectional*
+(holding a reference allows both reading and writing), which keeps the
+cone sound at the cost of precision; gate-level cones from
+:class:`GateReachability` are exact and directed.  The one analyzability
+caveat: a module addressed only via ``find()``/``children`` traversal
+at runtime escapes the reference scan — none of the shipped platforms
+do that, and the soundness gate in CI (dynamic
+:class:`~repro.observe.graph.PropagationGraph` detection edges ⊆ static
+cone on every built-in platform) pins the contract.
+
+A site is only ever called **dead** when the platform declares its
+observation surface (registry ``reach_surface`` metadata): without
+knowing what ``observe()`` reads, "no path to anything observed" is
+not computable, so analysis degrades to "nothing prunable" instead of
+guessing.
+"""
+
+from __future__ import annotations
+
+import json
+import typing as _t
+
+from ..kernel import Module, Simulator
+from ..kernel.process import Process
+from ..kernel.signal import SignalBase
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..core.scenario import ErrorScenario, FaultSpace
+
+#: Bump when the audit payload layout changes shape.
+REACH_SCHEMA_VERSION = 1
+
+#: Attributes that express tree *structure*, not dataflow: following
+#: them would short-circuit every cone through the hierarchy root.
+#: (Attribute references to child modules are still followed — `self.x
+#: = AdcSensor(...)` is how a parent's process body reaches the child —
+#: this set only excludes the kernel's own bookkeeping.)
+_STRUCTURAL_ATTRS = frozenset({
+    "parent",
+    "children",
+    "sim",
+    "basename",
+    "_owned_signals",
+    "_owned_processes",
+    "_injection_points",
+})
+
+#: Terminal value types the reference scan never descends into.
+_ATOMIC_TYPES = (
+    str, bytes, bytearray, int, float, complex, bool, type(None),
+)
+
+#: How deep the reference scan follows plain helper objects (RTOS task
+#: lists, TLM sockets, payload structs).  Two container hops below a
+#: module attribute covers every idiom in the shipped platforms; the
+#: limit exists so cyclic helper structures terminate.
+_SCAN_DEPTH = 4
+
+
+class ModelGraph:
+    """A small directed graph over string node ids.
+
+    Node id conventions (mirroring the dynamic
+    :class:`~repro.observe.graph.PropagationGraph` vocabulary):
+    ``mod:<full_name>``, ``sig:<signal name>``, ``site:<path>``,
+    ``detect:<module>:<mechanism>``, ``out:<name>``.
+    """
+
+    def __init__(self) -> None:
+        self.kinds: _t.Dict[str, str] = {}
+        self._succ: _t.Dict[str, _t.Set[str]] = {}
+
+    def add_node(self, node: str, kind: str) -> None:
+        self.kinds.setdefault(node, kind)
+        self._succ.setdefault(node, set())
+
+    def add_edge(self, src: str, dst: str) -> None:
+        """One directed may-flow edge."""
+        self.add_node(src, self.kinds.get(src, "?"))
+        self.add_node(dst, self.kinds.get(dst, "?"))
+        self._succ[src].add(dst)
+
+    def link(self, a: str, b: str) -> None:
+        """A bidirectional (read *and* write capable) connection."""
+        self.add_edge(a, b)
+        self.add_edge(b, a)
+
+    def successors(self, node: str) -> _t.FrozenSet[str]:
+        return frozenset(self._succ.get(node, ()))
+
+    @property
+    def nodes(self) -> _t.Tuple[str, ...]:
+        return tuple(sorted(self.kinds))
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(dsts) for dsts in self._succ.values())
+
+    def distances(self, start: str) -> _t.Dict[str, int]:
+        """BFS hop counts from *start* to every reachable node."""
+        if start not in self.kinds:
+            return {}
+        dist = {start: 0}
+        frontier = [start]
+        while frontier:
+            nxt: _t.List[str] = []
+            for node in frontier:
+                for succ in self._succ.get(node, ()):
+                    if succ not in dist:
+                        dist[succ] = dist[node] + 1
+                        nxt.append(succ)
+            frontier = nxt
+        return dist
+
+    def reachable(self, start: str) -> _t.FrozenSet[str]:
+        return frozenset(self.distances(start))
+
+
+def _collect_refs(value: _t.Any, depth: int, seen: _t.Set[int],
+                  out: _t.List[_t.Any]) -> None:
+    """Gather Module/SignalBase objects reachable from *value* through
+    containers, closures, bound methods, and plain helper objects."""
+    if isinstance(value, _ATOMIC_TYPES) or isinstance(value, type):
+        return
+    if isinstance(value, (Module, SignalBase)):
+        out.append(value)
+        return
+    if isinstance(value, (Simulator, Process)):
+        # Descending into the kernel would connect everything to
+        # everything through its global registries — a helper holding
+        # `sim` is addressing the scheduler, not another component.
+        return
+    if depth <= 0 or id(value) in seen:
+        return
+    seen.add(id(value))
+    # Bound methods carry their receiver; plain functions may close
+    # over modules/signals (sensor `source=lambda now: ...self.servo...`).
+    receiver = getattr(value, "__self__", None)
+    if receiver is not None:
+        _collect_refs(receiver, depth - 1, seen, out)
+    func = getattr(value, "__func__", value)
+    closure = getattr(func, "__closure__", None)
+    if closure:
+        for cell in closure:
+            try:
+                _collect_refs(cell.cell_contents, depth - 1, seen, out)
+            except ValueError:  # pragma: no cover - empty cell
+                continue
+    if isinstance(value, dict):
+        for item in value.values():
+            _collect_refs(item, depth - 1, seen, out)
+        return
+    if isinstance(value, (list, tuple, set, frozenset)):
+        for item in value:
+            _collect_refs(item, depth - 1, seen, out)
+        return
+    inner = getattr(value, "__dict__", None)
+    if isinstance(inner, dict):
+        for item in inner.values():
+            _collect_refs(item, depth - 1, seen, out)
+
+
+def _module_node(module: Module) -> str:
+    return f"mod:{module.full_name}"
+
+
+def _signal_node(signal: SignalBase) -> str:
+    return f"sig:{signal.name}"
+
+
+class SiteReach(_t.NamedTuple):
+    """The forward cone of one fault site, projected onto sinks."""
+
+    path: str
+    #: Detector mechanisms with at least one reachable instance.
+    mechanisms: _t.Tuple[str, ...]
+    #: Reachable ``detect:<module>:<mechanism>`` node ids.
+    detectors: _t.Tuple[str, ...]
+    #: Reachable declared-output names.
+    outputs: _t.Tuple[str, ...]
+    #: BFS hops to the nearest detector (``None`` = unreachable).
+    detector_distance: _t.Optional[int]
+
+
+class CoverageAuditReport:
+    """The detector-coverage audit over one platform's fault sites."""
+
+    def __init__(
+        self,
+        platform: _t.Optional[str],
+        sites: _t.Mapping[str, SiteReach],
+        detectors: _t.Mapping[str, _t.Tuple[str, ...]],
+        outputs: _t.Tuple[str, ...],
+        surface_known: bool,
+    ):
+        self.platform = platform
+        self.sites = dict(sites)
+        self.detectors = {m: tuple(v) for m, v in sorted(detectors.items())}
+        self.outputs = tuple(outputs)
+        self.surface_known = surface_known
+
+    # -- the three audit questions ------------------------------------
+
+    def dead_sites(self) -> _t.Tuple[str, ...]:
+        """Sites with no path to any detector *or* output — injection
+        provably silent.  Always empty when the platform did not
+        declare its observation surface (we cannot know what "output"
+        means, so nothing may be called dead)."""
+        if not self.surface_known:
+            return ()
+        return tuple(
+            path for path, reach in sorted(self.sites.items())
+            if not reach.mechanisms and not reach.outputs
+        )
+
+    def undetectable_hazardous(self) -> _t.Tuple[str, ...]:
+        """Sites that reach an output but no detection mechanism: a
+        fault there can corrupt observable behavior with nothing armed
+        to catch it — the structural coverage gaps a safety argument
+        has to explain."""
+        return tuple(
+            path for path, reach in sorted(self.sites.items())
+            if reach.outputs and not reach.mechanisms
+        )
+
+    def mechanism_coverage(self) -> _t.Dict[str, float]:
+        """Per mechanism: the fraction of fault sites whose cone holds
+        at least one detector of that mechanism."""
+        if not self.sites:
+            return {m: 0.0 for m in self.detectors}
+        total = len(self.sites)
+        return {
+            mechanism: sum(
+                1 for reach in self.sites.values()
+                if mechanism in reach.mechanisms
+            ) / total
+            for mechanism in self.detectors
+        }
+
+    # -- serialization --------------------------------------------------
+
+    def to_jsonable(self) -> _t.Dict[str, _t.Any]:
+        return {
+            "schema": REACH_SCHEMA_VERSION,
+            "tool": "vp-reach",
+            "platform": self.platform,
+            "surface_known": self.surface_known,
+            "site_count": len(self.sites),
+            "detectors": {m: list(v) for m, v in self.detectors.items()},
+            "outputs": list(self.outputs),
+            "dead_sites": list(self.dead_sites()),
+            "undetectable_hazardous": list(self.undetectable_hazardous()),
+            "mechanism_coverage": {
+                m: round(cov, 6)
+                for m, cov in sorted(self.mechanism_coverage().items())
+            },
+            "sites": {
+                path: {
+                    "mechanisms": list(reach.mechanisms),
+                    "outputs": list(reach.outputs),
+                    "detector_distance": reach.detector_distance,
+                }
+                for path, reach in sorted(self.sites.items())
+            },
+        }
+
+    def canonical(self) -> bytes:
+        """Canonical audit bytes — the comparison/citation currency,
+        same contract as ``WordErrorProfile.canonical()``."""
+        return json.dumps(
+            self.to_jsonable(), sort_keys=True, separators=(",", ":")
+        ).encode()
+
+    def render_text(self) -> str:
+        name = self.platform or "<anonymous>"
+        lines = [
+            f"reach audit: {name} — {len(self.sites)} fault site(s), "
+            f"{sum(len(v) for v in self.detectors.values())} detector(s), "
+            f"{len(self.outputs)} output(s)"
+            + ("" if self.surface_known else " [surface unknown]"),
+        ]
+        for mechanism, coverage in sorted(self.mechanism_coverage().items()):
+            lines.append(f"  coverage[{mechanism}]: {coverage:.1%}")
+        dead = self.dead_sites()
+        lines.append(f"  dead sites: {len(dead)}")
+        lines.extend(f"    {path}" for path in dead)
+        gaps = self.undetectable_hazardous()
+        lines.append(f"  undetectable-but-hazardous sites: {len(gaps)}")
+        lines.extend(f"    {path}" for path in gaps)
+        return "\n".join(lines)
+
+
+class ReachReport:
+    """The full analysis product: graph + per-site cones + audit."""
+
+    def __init__(
+        self,
+        graph: ModelGraph,
+        sites: _t.Dict[str, SiteReach],
+        detectors: _t.Dict[str, _t.Tuple[str, ...]],
+        outputs: _t.Tuple[str, ...],
+        surface_known: bool,
+        platform: _t.Optional[str] = None,
+    ):
+        self.graph = graph
+        self.sites = sites
+        self.detectors = detectors
+        self.outputs = outputs
+        self.surface_known = surface_known
+        self.platform = platform
+
+    def site_mechanisms(self, path: str) -> _t.FrozenSet[str]:
+        """Detector mechanisms statically reachable from *path*.
+
+        Unknown paths get the universe-of-discourse answer (every
+        mechanism): claiming anything about a site we never analyzed
+        would be exactly the unsoundness this module exists to avoid.
+        """
+        reach = self.sites.get(path)
+        if reach is None:
+            return frozenset(self.detectors)
+        return frozenset(reach.mechanisms)
+
+    def audit(self) -> CoverageAuditReport:
+        return CoverageAuditReport(
+            self.platform, self.sites, self.detectors, self.outputs,
+            self.surface_known,
+        )
+
+    def dead_sites(self) -> _t.FrozenSet[str]:
+        return frozenset(self.audit().dead_sites())
+
+    def distance_hints(
+        self, space: "FaultSpace", scale: float = 1.0
+    ) -> _t.Dict[_t.Tuple[str, str], float]:
+        """Static priors for guided search, keyed like
+        ``WeakSpotStrategy(static_hints=...)`` expects.
+
+        Sites *near* a detector score low (the mechanism will likely
+        catch them), sites far from every detector score high (if they
+        reach outputs at all, nothing stands in the way) — the static
+        analogue of hunting for weak spots.  Dead sites score 0.
+        """
+        distances = [
+            reach.detector_distance
+            for reach in self.sites.values()
+            if reach.detector_distance is not None
+        ]
+        horizon = (max(distances) + 1) if distances else 1
+        hints: _t.Dict[_t.Tuple[str, str], float] = {}
+        for path, descriptor in space.pairs:
+            reach = self.sites.get(path)
+            if reach is None:
+                continue  # unknown site: leave the strategy's default
+            if not reach.mechanisms and not reach.outputs \
+                    and self.surface_known:
+                score = 0.0
+            elif reach.detector_distance is None:
+                score = scale  # reaches outputs, no detector in the way
+            else:
+                score = scale * reach.detector_distance / horizon
+            hints[(path, descriptor.name)] = score
+        return hints
+
+
+def extract_graph(
+    root: Module,
+    sim: _t.Optional[Simulator] = None,
+    surface: _t.Optional[_t.Mapping[str, _t.Any]] = None,
+    extra_outputs: _t.Optional[_t.Mapping[str, SignalBase]] = None,
+) -> _t.Tuple[ModelGraph, _t.Dict[str, _t.Tuple[str, ...]],
+              _t.Tuple[str, ...]]:
+    """Build the structural dataflow graph of an elaborated tree.
+
+    Returns ``(graph, detectors, outputs)`` where *detectors* maps
+    mechanism → sorted detector-node ids and *outputs* is the sorted
+    tuple of declared-output names.  *surface* is the registry
+    ``reach_surface`` payload; *extra_outputs* the bundle's
+    ``trace_signals`` mapping (traced signals are outputs by
+    definition — deviation events are observed on them).
+    """
+    graph = ModelGraph()
+    owner_of_process: _t.Dict[int, Module] = {}
+    modules = list(root.walk())
+    for module in modules:
+        mod_node = _module_node(module)
+        graph.add_node(mod_node, "module")
+        for signal in module.owned_signals:
+            if isinstance(signal, SignalBase):
+                graph.add_node(_signal_node(signal), "signal")
+                graph.link(mod_node, _signal_node(signal))
+        for process in module.owned_processes:
+            owner_of_process[id(process)] = module
+    # Reference edges: attributes, closures, callbacks, helper objects.
+    for module in modules:
+        mod_node = _module_node(module)
+        for attr, value in vars(module).items():
+            if attr in _STRUCTURAL_ATTRS:
+                continue
+            refs: _t.List[_t.Any] = []
+            _collect_refs(value, _SCAN_DEPTH, set(), refs)
+            for ref in refs:
+                if ref is module:
+                    continue
+                if isinstance(ref, Module):
+                    graph.link(mod_node, _module_node(ref))
+                else:
+                    graph.add_node(_signal_node(ref), "signal")
+                    graph.link(mod_node, _signal_node(ref))
+    # Wait registrations: signal -> process owner (kernel read-only
+    # introspection; populated for whatever has already suspended).
+    if sim is not None:
+        for signal in sim.signals:
+            sig_node = _signal_node(signal)
+            for process in signal.changed.waiters:
+                owner = owner_of_process.get(id(process))
+                if owner is not None:
+                    graph.add_node(sig_node, "signal")
+                    graph.add_edge(sig_node, _module_node(owner))
+    # Injection sites: directed into the owning module plus whatever
+    # the point object itself references (CAN wire points hold the bus).
+    by_full_name = {module.full_name: module for module in modules}
+    for path, point in root.all_injection_points().items():
+        site_node = f"site:{path}"
+        graph.add_node(site_node, "site")
+        owner = by_full_name.get(path.rsplit(".", 1)[0])
+        if owner is not None:
+            graph.add_edge(site_node, _module_node(owner))
+        refs: _t.List[_t.Any] = []
+        _collect_refs(point, _SCAN_DEPTH, set(), refs)
+        for ref in refs:
+            if isinstance(ref, Module):
+                graph.add_edge(site_node, _module_node(ref))
+            else:
+                graph.add_node(_signal_node(ref), "signal")
+                graph.add_edge(site_node, _signal_node(ref))
+    # Detectors: DETECTION_MECHANISMS class declarations + surface extras.
+    detectors: _t.Dict[str, _t.Set[str]] = {}
+    for module in modules:
+        for mechanism in getattr(type(module), "DETECTION_MECHANISMS", ()):
+            node = f"detect:{module.full_name}:{mechanism}"
+            graph.add_node(node, "detector")
+            graph.add_edge(_module_node(module), node)
+            detectors.setdefault(mechanism, set()).add(node)
+    surface = surface or {}
+    for mechanism, extras in (surface.get("detectors") or {}).items():
+        for module in extras:
+            node = f"detect:{module.full_name}:{mechanism}"
+            graph.add_node(node, "detector")
+            graph.add_edge(_module_node(module), node)
+            detectors.setdefault(mechanism, set()).add(node)
+    # Outputs: the declared observation surface + traced signals.
+    outputs: _t.Set[str] = set()
+    for sink in surface.get("outputs") or ():
+        if isinstance(sink, Module):
+            name, src = sink.full_name, _module_node(sink)
+        else:
+            name, src = sink.name, _signal_node(sink)
+            graph.add_node(src, "signal")
+        node = f"out:{name}"
+        graph.add_node(node, "output")
+        graph.add_edge(src, node)
+        outputs.add(name)
+    for name, signal in (extra_outputs or {}).items():
+        node = f"out:{name}"
+        graph.add_node(_signal_node(signal), "signal")
+        graph.add_node(node, "output")
+        graph.add_edge(_signal_node(signal), node)
+        outputs.add(name)
+    return (
+        graph,
+        {m: tuple(sorted(nodes)) for m, nodes in sorted(detectors.items())},
+        tuple(sorted(outputs)),
+    )
+
+
+def analyze_root(
+    root: Module,
+    sim: _t.Optional[Simulator] = None,
+    surface: _t.Optional[_t.Mapping[str, _t.Any]] = None,
+    extra_outputs: _t.Optional[_t.Mapping[str, SignalBase]] = None,
+    surface_known: _t.Optional[bool] = None,
+    platform: _t.Optional[str] = None,
+) -> ReachReport:
+    """Analyze an already-elaborated module tree."""
+    graph, detectors, outputs = extract_graph(
+        root, sim=sim, surface=surface, extra_outputs=extra_outputs
+    )
+    if surface_known is None:
+        surface_known = surface is not None
+    mechanism_of = {
+        node: mechanism
+        for mechanism, nodes in detectors.items()
+        for node in nodes
+    }
+    output_names = {f"out:{name}": name for name in outputs}
+    sites: _t.Dict[str, SiteReach] = {}
+    for path in sorted(root.all_injection_points()):
+        distances = graph.distances(f"site:{path}")
+        hit_detectors = sorted(
+            node for node in distances if node in mechanism_of
+        )
+        hit_outputs = sorted(
+            output_names[node] for node in distances if node in output_names
+        )
+        detector_distance = min(
+            (distances[node] for node in hit_detectors), default=None
+        )
+        sites[path] = SiteReach(
+            path=path,
+            mechanisms=tuple(sorted({
+                mechanism_of[node] for node in hit_detectors
+            })),
+            detectors=tuple(hit_detectors),
+            outputs=tuple(hit_outputs),
+            detector_distance=detector_distance,
+        )
+    return ReachReport(
+        graph, sites, dict(detectors), outputs, surface_known, platform
+    )
+
+
+def analyze_platform(name: str, settle: int = 1) -> ReachReport:
+    """Analyze a registered platform by key.
+
+    Builds a throwaway instance, lets it settle *settle* time units so
+    elaboration-time wait registrations are armed (processes park on
+    their first ``yield`` — pure structure, no faults injected), then
+    extracts the graph.  The instance is discarded afterwards.
+    """
+    from ..platforms import registry
+
+    bundle = registry.get_platform(name)
+    sim = Simulator()
+    root = bundle.factory(sim)
+    if settle > 0:
+        sim.run(until=settle)
+    surface = (
+        bundle.reach_surface(root)
+        if bundle.reach_surface is not None else None
+    )
+    extra_outputs = (
+        bundle.trace_signals(root)
+        if bundle.trace_signals is not None else None
+    )
+    return analyze_root(
+        root, sim=sim, surface=surface, extra_outputs=extra_outputs,
+        surface_known=bundle.reach_surface is not None, platform=name,
+    )
+
+
+class ReachabilityPruner:
+    """Execution-level filter over statically-dead injections.
+
+    Passed to ``Campaign.run(prune=...)``: the campaign plans the
+    *identical* spec stream either way (same RNG draws, seeds, and
+    indices — the planner never sees the pruner), then skips execution
+    of any fresh spec whose injections all target dead sites.  Skips
+    become explicit ``pruned:unreachable`` records, never silent
+    drops, and are excluded from the checkpoint journal so resuming
+    re-derives them from the same static analysis.
+    """
+
+    def __init__(self, report: ReachReport):
+        self.report = report
+        self.dead = report.dead_sites()
+
+    @classmethod
+    def for_platform(cls, name: str) -> "ReachabilityPruner":
+        return cls(analyze_platform(name))
+
+    def is_dead(self, scenario: "ErrorScenario") -> bool:
+        """True when *every* injection of the scenario targets a
+        provably-dead site (multi-injection scenarios stay live if any
+        single site might matter)."""
+        injections = scenario.injections
+        if not injections or not self.dead:
+            return False
+        return all(
+            injection.target_path in self.dead for injection in injections
+        )
+
+    def static_hints(
+        self, space: "FaultSpace", scale: float = 1.0
+    ) -> _t.Dict[_t.Tuple[str, str], float]:
+        """Distance-to-detector priors for ``WeakSpotStrategy``."""
+        return self.report.distance_hints(space, scale=scale)
+
+
+class GateReachability:
+    """Exact directed net-level reachability of a gate circuit.
+
+    Built from the levelized :class:`~repro.gate.vector.GateProgram`
+    structure: combinational edges follow gate input→output indices,
+    sequential edges follow flop D→Q (next cycle).  Unlike the
+    behavioral :class:`ModelGraph` this is not an approximation — the
+    netlist *is* the dataflow.
+    """
+
+    def __init__(self, program) -> None:
+        if not hasattr(program, "ops"):  # accept a Netlist too
+            from ..gate.vector import GateProgram
+
+            program = GateProgram(program)
+        self.program = program
+        self._net_of = {idx: net for net, idx in program.index.items()}
+        self._succ: _t.Dict[int, _t.Set[int]] = {}
+        for _opcode, out_idx, in_idxs in program.ops:
+            for in_idx in in_idxs:
+                self._succ.setdefault(in_idx, set()).add(out_idx)
+        for d_idx, q_idx in zip(
+            program.flop_d_indices.tolist(),
+            program.flop_out_indices.tolist(),
+        ):
+            self._succ.setdefault(d_idx, set()).add(q_idx)
+        self._outputs = frozenset(
+            idx for _net, idx in program.output_indices
+        )
+
+    def cone(self, net: str) -> _t.FrozenSet[str]:
+        """Every net name the fault effect at *net* can propagate to
+        (including *net* itself)."""
+        start = self.program.index[net]
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            nxt: _t.List[int] = []
+            for idx in frontier:
+                for succ in self._succ.get(idx, ()):
+                    if succ not in seen:
+                        seen.add(succ)
+                        nxt.append(succ)
+            frontier = nxt
+        return frozenset(self._net_of[idx] for idx in seen)
+
+    def reaches_output(self, net: str) -> bool:
+        start = self.program.index[net]
+        if start in self._outputs:
+            return True
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            nxt: _t.List[int] = []
+            for idx in frontier:
+                for succ in self._succ.get(idx, ()):
+                    if succ in self._outputs:
+                        return True
+                    if succ not in seen:
+                        seen.add(succ)
+                        nxt.append(succ)
+            frontier = nxt
+        return False
+
+    def dead_nets(self) -> _t.Tuple[str, ...]:
+        """Nets whose fault effects cannot reach any circuit output —
+        the gate-level analogue of dead fault sites."""
+        return tuple(sorted(
+            net for net in self.program.index
+            if not self.reaches_output(net)
+        ))

@@ -61,3 +61,68 @@ def render_json(
         "rules": rule_table(),
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+#: SARIF severity levels for VP-lint's two-tier model.
+_SARIF_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def render_sarif(
+    findings: _t.Sequence[Finding], files_checked: int
+) -> str:
+    """SARIF 2.1.0 — the interchange format GitHub code scanning
+    ingests, so VP-lint findings annotate PR diffs the same way
+    CodeQL's do.  One run, one driver (``vp-lint``), the rule table as
+    the driver's rule catalogue; ``VP000`` parse errors appear as
+    results without a catalogue entry, which SARIF permits.
+    """
+    rules = [
+        {
+            "id": row["code"],
+            "name": row["name"],
+            "shortDescription": {"text": row["summary"]},
+            "defaultConfiguration": {
+                "level": _SARIF_LEVELS.get(row["severity"], "warning"),
+            },
+        }
+        for row in rule_table()
+    ]
+    results = [
+        {
+            "ruleId": finding.code,
+            "level": _SARIF_LEVELS.get(finding.severity, "warning"),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": max(finding.col, 1),
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    payload = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "vp-lint",
+                        "version": str(REPORT_SCHEMA_VERSION),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

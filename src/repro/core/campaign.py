@@ -55,6 +55,25 @@ ObserveFn = _t.Callable[[Module], RunObservation]
 KERNEL_COUNTER_KEYS = ("events", "process_steps", "delta_cycles", "wall_s")
 
 
+def _pruned_outcome(spec: RunSpec) -> RunOutcome:
+    """The explicit skip record for a statically-dead injection.
+
+    ``NO_EFFECT`` is not a guess: the pruner only fires on scenarios
+    whose every injection targets a site with no structural path to
+    any detector or observed output, so the run's observation provably
+    equals the golden reference.  The ``pruned:unreachable`` tag keeps
+    the skip auditable in every record stream (never a silent drop).
+    """
+    return RunOutcome(
+        index=spec.index,
+        outcome=Outcome.NO_EFFECT,
+        matched_rules=("pruned:unreachable",),
+        observation=spec.golden,
+        injections_applied=0,
+        kernel_stats={},
+    )
+
+
 class RunRecord(_t.NamedTuple):
     """Everything retained about one campaign run.
 
@@ -101,6 +120,9 @@ class CampaignResult:
         self.retried = 0
         #: Runs restored from a checkpoint journal instead of executed.
         self.resumed = 0
+        #: Runs skipped by static reachability pruning (explicit
+        #: ``pruned:unreachable`` records, never executed).
+        self.pruned = 0
 
     def append(self, record: RunRecord) -> None:
         self.records.append(record)
@@ -224,6 +246,13 @@ class CampaignResult:
                 "terminally_failed": self.terminally_failed,
                 "retried": self.retried,
                 "resumed": self.resumed,
+            }
+        if self.pruned:
+            # Present only when a pruner actually skipped something,
+            # same conditional-section contract as "robustness".
+            report["pruning"] = {
+                "pruned": self.pruned,
+                "executed": self.runs - self.pruned - self.resumed,
             }
         digests = self.digests()
         if digests:
@@ -445,6 +474,7 @@ class Campaign:
         reuse_platform: bool = True,
         chunk_size: _t.Optional[int] = None,
         fork: bool = False,
+        prune: _t.Optional[_t.Any] = None,
     ) -> CampaignResult:
         """Execute *runs* iterations of the closed loop.
 
@@ -522,6 +552,20 @@ class Campaign:
         excluded from the checkpoint identity.  Note the serial
         default ``batch_size=1`` leaves nothing to group — pass an
         explicit batch size to see fork-mode speedups.
+
+        ``prune`` (default None) accepts a
+        :class:`~repro.analyze.reach.ReachabilityPruner`: planning is
+        untouched (identical spec stream, RNG draws, and run seeds),
+        but specs whose injections all target statically-dead fault
+        sites are never executed — each becomes an explicit
+        ``Outcome.NO_EFFECT`` record tagged ``pruned:unreachable``
+        (sound because a dead site provably cannot reach any detector
+        or observed output).  Pruned records are excluded from the
+        checkpoint journal and from the checkpoint identity — resume
+        re-derives them from the same static analysis — so every
+        non-pruned record and journal line is byte-identical (modulo
+        ``wall_s``) to the unpruned campaign's.  The decision is
+        visible in ``report()["pruning"]`` (pruned/executed counters).
         """
         trace_config = resolve_trace(trace)
         if trace_config is not None:
@@ -629,6 +673,17 @@ class Campaign:
                     ]
                 else:
                     cached, fresh = [], specs
+                if prune is not None:
+                    skipped = [
+                        _pruned_outcome(spec) for spec in fresh
+                        if prune.is_dead(spec.scenario)
+                    ]
+                    fresh = [
+                        spec for spec in fresh
+                        if not prune.is_dead(spec.scenario)
+                    ]
+                else:
+                    skipped = []
                 if telemetry is not None:
                     for spec in fresh:
                         telemetry.on_run_start(spec)
@@ -636,6 +691,7 @@ class Campaign:
                 if journal is not None and executed:
                     journal.record_batch(executed)
                 result.resumed += len(cached)
+                result.pruned += len(skipped)
                 if telemetry is not None:
                     for outcome in executed:
                         if outcome.attempts > 1:
@@ -644,8 +700,8 @@ class Campaign:
                     for outcome in cached:
                         telemetry.on_resume(outcome)
                 stopped = self._aggregate_batch(
-                    result, specs, executed + cached, strategy, coverage,
-                    stop_on,
+                    result, specs, executed + cached + skipped, strategy,
+                    coverage, stop_on,
                 )
                 if telemetry is not None:
                     batch_wall = time.perf_counter() - batch_start  # vp-lint: disable=VP005 - campaign throughput accounting, not model behavior

@@ -161,6 +161,9 @@ class EccMemory(Module):
     *detected* failure in the classification lattice.
     """
 
+    #: See :data:`repro.hw.watchdog.Watchdog.DETECTION_MECHANISMS`.
+    DETECTION_MECHANISMS = ("ecc",)
+
     def __init__(
         self,
         name: str,

@@ -24,6 +24,9 @@ class TmrVoter(Module):
     common hardware fallback of channel A priority).
     """
 
+    #: See :data:`repro.hw.watchdog.Watchdog.DETECTION_MECHANISMS`.
+    DETECTION_MECHANISMS = ("tmr",)
+
     def __init__(
         self,
         name: str,
@@ -62,6 +65,9 @@ class LockstepChecker(Module):
     detection mechanism in the library, with the classic blind spot of
     common-mode faults (the same corruption in both channels passes).
     """
+
+    #: See :data:`repro.hw.watchdog.Watchdog.DETECTION_MECHANISMS`.
+    DETECTION_MECHANISMS = ("lockstep",)
 
     def __init__(self, name: str, parent: Module):
         super().__init__(name, parent=parent)

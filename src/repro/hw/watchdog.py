@@ -38,6 +38,12 @@ class Watchdog(Module):
         ``fn()`` invoked on every bite (e.g. platform reset hook).
     """
 
+    #: Mechanism vocabulary this component reports through
+    #: :func:`repro.observe.hooks.emit_detection`; the static
+    #: reachability analyzer (`repro.analyze.reach`) discovers
+    #: detectors from this declaration.
+    DETECTION_MECHANISMS = ("watchdog",)
+
     def __init__(
         self,
         name: str,

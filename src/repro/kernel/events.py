@@ -61,6 +61,13 @@ class Event:
         else:
             raise ValueError(f"negative notify delay: {delay}")
 
+    @property
+    def waiters(self) -> tuple:
+        """The processes currently suspended on this event (read-only
+        view; analysis layers map signal→process wait registrations
+        from it without reaching into kernel-private lists)."""
+        return tuple(self._waiters)
+
     def _add_waiter(self, process) -> None:
         self._waiters.append(process)
 

@@ -169,6 +169,22 @@ class Module:
         """Mapping of locally registered injection-point names."""
         return dict(self._injection_points)
 
+    @property
+    def owned_signals(self) -> tuple:
+        """The signals/wires created through this module's helpers.
+
+        Read-only view for analysis layers (the static reachability
+        analyzer maps signal ownership without touching bookkeeping
+        lists whose lifecycle belongs to the kernel).
+        """
+        return tuple(self._owned_signals)
+
+    @property
+    def owned_processes(self) -> tuple:
+        """The factory-spawned processes owned by this module
+        (read-only view, same contract as :attr:`owned_signals`)."""
+        return tuple(self._owned_processes)
+
     def all_injection_points(self) -> dict:
         """All injection points in this subtree, keyed by full path."""
         points: dict = {}

@@ -566,6 +566,19 @@ class Simulator:
         """The armed delta-race sanitizer, or ``None`` when disabled."""
         return self._sanitizer
 
+    @property
+    def signals(self) -> tuple:
+        """Every registered signal, in registration order (read-only
+        view; the static reachability analyzer walks it so it never
+        needs to poke kernel-private registries)."""
+        return tuple(self._signals)
+
+    @property
+    def processes(self) -> tuple:
+        """Every live process, in spawn order (read-only view, same
+        contract as :attr:`signals`)."""
+        return tuple(self._processes)
+
     def stats(self) -> _t.Dict[str, int]:
         """Lifetime scheduling counters for this kernel instance.
 

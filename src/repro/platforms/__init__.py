@@ -41,6 +41,7 @@ register_platform(
     reset=airbag.warm_reset,
     capture_state=airbag.capture_state,
     restore_state=airbag.restore_state,
+    reach_surface=airbag.reach_surface,
 )
 register_platform(
     "airbag-crash",
@@ -53,6 +54,7 @@ register_platform(
     reset=airbag.warm_reset,
     capture_state=airbag.capture_state,
     restore_state=airbag.restore_state,
+    reach_surface=airbag.reach_surface,
 )
 register_platform(  # vp-lint: disable=VP009 - distributed CAN state is rebuilt fresh; warm reset unproven for it
     "acc",

@@ -336,6 +336,29 @@ def trace_signals(root: Module) -> dict:
     }
 
 
+def reach_surface(root: Module) -> dict:
+    """Observation surface for static reachability analysis.
+
+    ``outputs`` must name every module whose state :func:`observe`
+    reads — a fault site with no structural path to any of them (nor
+    to a detector) provably cannot change the classification, which is
+    the licence :mod:`repro.analyze.reach` needs before it may call a
+    site dead.  Detector components (watchdog, ECC memory) are
+    auto-discovered from their ``DETECTION_MECHANISMS`` declarations,
+    so ``detectors`` carries no extras here.
+    """
+    platform = root
+    return {
+        "detectors": {},
+        "outputs": [
+            platform.squib,
+            platform.param_mem,
+            platform.watchdog,
+            platform.ecu,
+        ],
+    }
+
+
 def normal_operation_classifier():
     """G1: any deployment is hazardous."""
     return build_standard_classifier(

@@ -67,6 +67,16 @@ class PlatformBundle(_t.NamedTuple):
     #: from a ``capture_state`` capture.  Must tolerate being applied
     #: repeatedly from the same capture (fresh copies every call).
     restore_state: _t.Optional[_t.Callable] = None
+    #: Optional ``root -> {"detectors": {mechanism: [module]},
+    #: "outputs": [module-or-signal]}`` declaring the platform's
+    #: *observation surface* for static reachability analysis
+    #: (:mod:`repro.analyze.reach`): the detector components beyond
+    #: the auto-discovered ``DETECTION_MECHANISMS`` declarations, and
+    #: every module/signal the ``observe`` probe or the classifier
+    #: reads.  ``None`` = surface unknown — the analyzer then refuses
+    #: to call any fault site dead, so pruning degrades to a no-op
+    #: instead of silently skipping live injections.
+    reach_surface: _t.Optional[_t.Callable] = None
 
     @property
     def resettable(self) -> bool:
@@ -96,6 +106,7 @@ def register_platform(
     reset=None,
     capture_state=None,
     restore_state=None,
+    reach_surface=None,
     replace: bool = False,
 ) -> PlatformBundle:
     """Register a platform bundle under *name*.
@@ -117,6 +128,7 @@ def register_platform(
     bundle = PlatformBundle(
         name, factory, observe, classifier_factory, description,
         trace_signals, reset, capture_state, restore_state,
+        reach_surface,
     )
     _REGISTRY[name] = bundle
     _CLASSIFIERS.pop(name, None)

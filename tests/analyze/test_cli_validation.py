@@ -1,0 +1,105 @@
+"""CLI input validation: unknown rule codes fail loudly, and the
+``reach`` subcommand's exit-code/reporting contract."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analyze.cli import main
+from repro.analyze.linter import lint_source
+from repro.analyze.rules import RULES
+
+CORPUS = pathlib.Path(__file__).parent / "fixtures" / "violations.py"
+
+
+# ---------------------------------------------------------------------------
+# --select / --ignore validation
+# ---------------------------------------------------------------------------
+
+def test_unknown_select_exits_2_and_lists_known_codes(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main([str(CORPUS), "--select", "VP999"])
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert "unknown rule code(s) in --select: VP999" in err
+    for code in RULES:
+        assert code in err  # the full known-code list is printed
+
+
+def test_unknown_ignore_exits_2(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main([str(CORPUS), "--ignore", "VP0009"])
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert "unknown rule code(s) in --ignore: VP0009" in err
+
+
+def test_mixed_known_and_unknown_codes_still_rejected(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main([str(CORPUS), "--ignore", "VP001,VP998,VP997"])
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert "VP997, VP998" in err and "VP001," not in err.split(";")[0]
+
+
+def test_api_level_unknown_ignore_raises():
+    # The old behavior silently no-opped, hiding typos.
+    with pytest.raises(ValueError, match="VP999"):
+        lint_source("x = 1\n", ignore=["VP999"])
+
+
+def test_known_codes_are_case_insensitive():
+    assert lint_source("t = time.time()\n", ignore=["vp005"]) == []
+
+
+# ---------------------------------------------------------------------------
+# reach subcommand
+# ---------------------------------------------------------------------------
+
+def test_reach_text_report(capsys):
+    assert main(["reach", "--platform", "airbag-normal"]) == 0
+    out = capsys.readouterr().out
+    assert "airbag-normal" in out
+    assert "coverage[" in out
+
+
+def test_reach_defaults_to_every_registered_platform(capsys):
+    assert main(["reach"]) == 0
+    out = capsys.readouterr().out
+    for name in ("airbag-normal", "airbag-crash", "acc", "steering"):
+        assert name in out
+
+
+def test_reach_json_format(capsys):
+    assert main(["reach", "--platform", "airbag-normal",
+                 "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["tool"] == "vp-reach"
+    (audit,) = payload["platforms"]
+    assert audit["platform"] == "airbag-normal"
+    assert audit["surface_known"] is True
+    assert audit["dead_sites"] == []
+
+
+def test_reach_json_output_artifact(tmp_path, capsys):
+    artifact = tmp_path / "reach.json"
+    assert main(["reach", "--platform", "acc",
+                 "--json-output", str(artifact)]) == 0
+    capsys.readouterr()
+    payload = json.loads(artifact.read_text(encoding="utf-8"))
+    assert payload["platforms"][0]["surface_known"] is False
+
+
+def test_reach_unknown_platform_exits_2(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["reach", "--platform", "no-such-platform"])
+    assert exc.value.code == 2
+    assert "vp-reach: error" in capsys.readouterr().err
+
+
+def test_reach_fail_on_gaps_is_clean_for_builtins(capsys):
+    # The built-in platforms must stay gap-free: this is the same
+    # check CI runs as a merge gate.
+    assert main(["reach", "--fail-on-gaps"]) == 0
+    capsys.readouterr()

@@ -71,6 +71,88 @@ def test_file_pragma_suppresses_everywhere():
     ) == []
 
 
+def test_next_line_pragma_suppresses_following_line():
+    assert lint_snippet(
+        """
+        # vp-lint: disable-next-line=VP005 - stopwatch fixture
+        t = time.time()
+        """
+    ) == []
+
+
+def test_next_line_pragma_covers_only_the_next_line():
+    findings = lint_snippet(
+        """
+        # vp-lint: disable-next-line=VP005
+        a = time.time()
+        b = time.time()
+        """
+    )
+    assert [f.line for f in findings] == [4]
+
+
+def test_next_line_pragma_wrong_code_does_not_suppress():
+    findings = lint_snippet(
+        """
+        # vp-lint: disable-next-line=VP004
+        t = time.time()
+        """
+    )
+    assert [f.code for f in findings] == ["VP005"]
+
+
+def test_next_line_pragma_composes_with_line_pragma():
+    # Both scopes anchor on the same physical line: their code sets
+    # union, so each can cover a different rule.
+    assert lint_snippet(
+        """
+        # vp-lint: disable-next-line=VP005
+        t = time.time(); s = Signal(sim, 'x', 0)  # vp-lint: disable=VP001
+        """
+    ) == []
+
+
+def test_next_line_pragma_does_not_leak_into_file_scope():
+    findings = lint_snippet(
+        """
+        # vp-lint: disable-next-line=all
+        a = time.time()
+
+        def later():
+            return time.perf_counter()
+        """
+    )
+    assert [f.line for f in findings] == [6]
+
+
+def test_next_line_pragma_supports_all_and_multiple_codes():
+    assert lint_snippet(
+        """
+        # vp-lint: disable-next-line=VP001,VP005
+        t = time.time(); s = Signal(sim, 'x', 0)
+        """
+    ) == []
+    assert lint_snippet(
+        """
+        # vp-lint: disable-next-line=all
+        t = time.time(); s = Signal(sim, 'x', 0)
+        """
+    ) == []
+
+
+def test_next_line_pragma_before_multiline_statement():
+    # The anchor is the statement's *first* physical line, exactly as
+    # the line scope would see it.
+    assert lint_snippet(
+        """
+        # vp-lint: disable-next-line=VP009 - fresh by design
+        register_platform(
+            "p", build, observe, classify,
+        )
+        """
+    ) == []
+
+
 def test_multiline_statement_pragma_anchors_on_first_line():
     assert lint_snippet(
         """

@@ -1,0 +1,272 @@
+"""Static reachability analysis: graph extraction, cones, the
+coverage audit, pruner semantics, and exact gate-level fanout.
+
+The fixture platforms are built to make connectivity *decidable by
+eye*: a protected pipeline whose every site reaches the ECC detector,
+an unprotected sensor whose site reaches outputs but no mechanism,
+and provisioned-but-unwired spare memories that nothing references —
+the canonical dead sites.
+"""
+
+import pytest
+
+from repro.analyze.reach import (
+    CoverageAuditReport,
+    GateReachability,
+    ModelGraph,
+    ReachabilityPruner,
+    analyze_platform,
+    analyze_root,
+)
+from repro.core.scenario import ErrorScenario, FaultSpace, PlannedInjection
+from repro.faults import SRAM_SEU
+from repro.gate.netlist import GateType, Netlist
+from repro.hw.memory import EccMemory, Memory
+from repro.kernel import Module, Simulator
+
+
+class ProtectedPipeline(Module):
+    """A core that reads an ECC memory and drives an output signal;
+    two spare memories are parented but never referenced."""
+
+    def __init__(self, sim, spares=2):
+        super().__init__("dut", sim=sim)
+        self.mem = EccMemory("mem", parent=self, size=8)
+        self.out = self.signal("out", 0)
+        self.core = Core("core", parent=self, mem=self.mem, out=self.out)
+        for i in range(spares):
+            # Deliberately not stored on an attribute: provisioned
+            # spare banks that no code path can address.
+            Memory(f"spare{i}", parent=self, size=8)
+
+    def surface(self):
+        return {"detectors": {}, "outputs": [self.core]}
+
+
+class Core(Module):
+    def __init__(self, name, parent, mem, out):
+        super().__init__(name, parent=parent)
+        self.mem = mem
+        self.out = out
+        self.reads = 0
+
+    # No process needed: the reference structure is what reach reads.
+
+
+class BareSensor(Module):
+    """An observed component with no detection mechanism anywhere."""
+
+    def __init__(self, sim):
+        super().__init__("bare", sim=sim)
+        self.mem = Memory("mem", parent=self, size=4)
+
+    def surface(self):
+        return {"detectors": {}, "outputs": [self.mem]}
+
+
+def protected_report(spares=2):
+    sim = Simulator()
+    root = ProtectedPipeline(sim, spares=spares)
+    return analyze_root(root, sim=sim, surface=root.surface()), root
+
+
+class TestModelGraph:
+    def test_directed_edges_and_distances(self):
+        graph = ModelGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        assert graph.distances("a") == {"a": 0, "b": 1, "c": 2}
+        assert graph.distances("c") == {"c": 0}
+
+    def test_link_is_bidirectional(self):
+        graph = ModelGraph()
+        graph.link("a", "b")
+        assert "a" in graph.reachable("b")
+        assert "b" in graph.reachable("a")
+
+    def test_unknown_start_is_empty(self):
+        assert ModelGraph().distances("nope") == {}
+
+
+class TestAudit:
+    def test_unreferenced_spares_are_dead(self):
+        report, _root = protected_report()
+        audit = report.audit()
+        assert audit.dead_sites() == (
+            "dut.spare0.array", "dut.spare1.array",
+        )
+
+    def test_protected_site_reaches_ecc(self):
+        report, _root = protected_report()
+        reach = report.sites["dut.mem.codewords"]
+        assert "ecc" in reach.mechanisms
+        assert reach.detector_distance is not None
+        assert "dut.core" in reach.outputs
+
+    def test_mechanism_coverage_fraction(self):
+        report, _root = protected_report(spares=3)
+        # 1 live site out of 4 reaches the ECC detector.
+        assert report.audit().mechanism_coverage() == {"ecc": 0.25}
+
+    def test_undetectable_but_hazardous(self):
+        sim = Simulator()
+        root = BareSensor(sim)
+        report = analyze_root(root, sim=sim, surface=root.surface())
+        audit = report.audit()
+        assert audit.dead_sites() == ()
+        assert audit.undetectable_hazardous() == ("bare.mem.array",)
+
+    def test_no_surface_means_no_dead_sites(self):
+        sim = Simulator()
+        root = ProtectedPipeline(sim)
+        report = analyze_root(root, sim=sim)  # surface withheld
+        assert not report.surface_known
+        assert report.audit().dead_sites() == ()
+
+    def test_canonical_bytes_are_deterministic(self):
+        first, _ = protected_report()
+        second, _ = protected_report()
+        assert first.audit().canonical() == second.audit().canonical()
+        assert isinstance(first.audit().canonical(), bytes)
+
+    def test_render_text_lists_gaps(self):
+        report, _root = protected_report()
+        text = report.audit().render_text()
+        assert "dead sites: 2" in text
+        assert "dut.spare0.array" in text
+        assert "coverage[ecc]" in text
+
+    def test_jsonable_roundtrip_shape(self):
+        report, _root = protected_report()
+        payload = report.audit().to_jsonable()
+        assert payload["tool"] == "vp-reach"
+        assert payload["site_count"] == len(report.sites)
+        assert set(payload["sites"]) == set(report.sites)
+
+
+class TestBuiltinPlatforms:
+    def test_airbag_sites_fully_covered(self):
+        report = analyze_platform("airbag-normal")
+        assert report.surface_known
+        audit = report.audit()
+        assert audit.dead_sites() == ()
+        assert audit.undetectable_hazardous() == ()
+        coverage = audit.mechanism_coverage()
+        assert coverage["ecc"] == 1.0
+        assert coverage["watchdog"] == 1.0
+
+    def test_airbag_traced_signals_are_outputs(self):
+        report = analyze_platform("airbag-normal")
+        assert any("sensor_a" in name for name in report.outputs)
+
+    def test_surfaceless_platform_prunes_nothing(self):
+        # acc declares no reach_surface: the analyzer must refuse to
+        # call anything dead rather than guess at the observe() probes.
+        report = analyze_platform("acc")
+        assert not report.surface_known
+        assert report.audit().dead_sites() == ()
+
+    def test_unknown_site_gets_every_mechanism(self):
+        report = analyze_platform("airbag-normal")
+        assert report.site_mechanisms("not.a.site") == frozenset(
+            report.detectors
+        )
+
+    def test_unknown_platform_raises(self):
+        with pytest.raises(KeyError):
+            analyze_platform("no-such-platform")
+
+
+def scenario_for(path, descriptor=SRAM_SEU, time=100):
+    return ErrorScenario(
+        name=f"inj:{path}",
+        injections=(PlannedInjection(time, path, descriptor),),
+    )
+
+
+class TestPruner:
+    def test_dead_scenarios_are_pruned(self):
+        report, _root = protected_report()
+        pruner = ReachabilityPruner(report)
+        assert pruner.is_dead(scenario_for("dut.spare0.array"))
+        assert not pruner.is_dead(scenario_for("dut.mem.codewords"))
+
+    def test_mixed_scenarios_stay_live(self):
+        report, _root = protected_report()
+        pruner = ReachabilityPruner(report)
+        mixed = ErrorScenario(
+            name="mixed",
+            injections=(
+                PlannedInjection(100, "dut.spare0.array", SRAM_SEU),
+                PlannedInjection(200, "dut.mem.codewords", SRAM_SEU),
+            ),
+        )
+        assert not pruner.is_dead(mixed)
+
+    def test_fault_free_scenario_never_pruned(self):
+        report, _root = protected_report()
+        pruner = ReachabilityPruner(report)
+        assert not pruner.is_dead(ErrorScenario(name="golden", injections=()))
+
+    def test_surfaceless_pruner_is_noop(self):
+        pruner = ReachabilityPruner.for_platform("acc")
+        assert not pruner.dead
+        assert not pruner.is_dead(scenario_for("acc.can0.wire"))
+
+    def test_static_hints_rank_by_detector_distance(self):
+        report, root = protected_report()
+        space = FaultSpace(
+            root, [SRAM_SEU.with_rate(5e-7)],
+            window_start=0, window_end=1000,
+        )
+        hints = ReachabilityPruner(report).static_hints(space)
+        dead_key = ("dut.spare0.array", "sram_seu")
+        live_key = ("dut.mem.codewords", "sram_seu")
+        assert hints[dead_key] == 0.0
+        assert 0.0 <= hints[live_key] < 1.0
+
+
+def diamond_with_dangling():
+    """a,b -> XOR -> DFF q -> two fanout gates; one AND is dangling
+    (never marked output) and one input feeds only the dangling gate."""
+    netlist = Netlist("reach-fixture")
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    c = netlist.add_input("c")  # feeds only dead logic
+    q = netlist.DFF(netlist.XOR(a, b), "q")
+    out1 = netlist.add_gate(GateType.AND, (q, a), "out1")
+    netlist.mark_output(out1)
+    netlist.add_gate(GateType.AND, (c, q), "deadgate")  # no output mark
+    return netlist
+
+
+class TestGateReachability:
+    def test_cone_crosses_flop_boundary(self):
+        reach = GateReachability(diamond_with_dangling())
+        cone = reach.cone("a")
+        assert "q" in cone     # through XOR and the DFF D->Q edge
+        assert "out1" in cone
+
+    def test_output_net_reaches_itself(self):
+        reach = GateReachability(diamond_with_dangling())
+        assert reach.reaches_output("out1")
+
+    def test_dangling_input_is_dead(self):
+        reach = GateReachability(diamond_with_dangling())
+        assert not reach.reaches_output("c")
+        assert set(reach.dead_nets()) == {"c", "deadgate"}
+
+    def test_cone_is_exact_not_conservative(self):
+        reach = GateReachability(diamond_with_dangling())
+        # c feeds only the dead gate: its cone must NOT contain out1.
+        assert "out1" not in reach.cone("c")
+
+
+class TestCoverageAuditReportUnit:
+    def test_empty_report_coverage(self):
+        audit = CoverageAuditReport(
+            platform=None, sites={}, detectors={"ecc": ("d",)},
+            outputs=(), surface_known=True,
+        )
+        assert audit.mechanism_coverage() == {"ecc": 0.0}
+        assert audit.dead_sites() == ()

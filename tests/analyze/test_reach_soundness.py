@@ -1,0 +1,90 @@
+"""Soundness gate: the static cone over-approximates dynamic truth.
+
+For every built-in platform we run a seeded traced campaign and check
+that every fault→detection edge the dynamic :class:`PropagationGraph`
+observed is *predicted* by the static reach analysis: the detecting
+mechanism must be in ``site_mechanisms(path)`` for the injected site.
+A single escape — a dynamic detection the cone ruled out — would make
+reachability pruning unsound, so this suite runs in CI as a merge
+gate.
+
+The airbag campaign is additionally required to be non-vacuous (it
+must actually produce detection paths); the other platforms have no
+hook-bus detectors, so their check holds trivially — which is itself
+worth pinning, since a future detector added to those platforms will
+immediately fall under the gate.
+"""
+
+import pytest
+
+from repro.analyze.reach import analyze_platform
+from repro.core import Campaign, RandomStrategy
+from repro.core.scenario import FaultSpace
+from repro.faults import STANDARD_CATALOG
+from repro.kernel import Simulator, simtime
+from repro.platforms import hostile
+from repro.platforms.registry import get_platform
+
+#: Per-platform campaign shape: (duration, window, runs, extra
+#: descriptors beyond the standard catalogue).  Run counts are sized
+#: to keep the gate under a few seconds while still exercising every
+#: injection-point kind the platform exposes.
+CONFIGS = {
+    "airbag-normal": (simtime.ms(60), (simtime.ms(5), simtime.ms(30)), 40, ()),
+    "airbag-crash": (simtime.ms(150), (simtime.ms(5), simtime.ms(60)), 12, ()),
+    "acc": (simtime.ms(600), (simtime.ms(10), simtime.ms(400)), 6, ()),
+    "steering": (simtime.ms(400), (simtime.ms(10), simtime.ms(300)), 6, ()),
+    # CRASH/LIVELOCK are deliberately absent: they exist to kill or
+    # hang workers, which is the fault-tolerance suite's business.
+    "hostile-dut": (
+        hostile.DURATION, (2 * hostile.TICK, 20 * hostile.TICK), 6,
+        (hostile.RAISE,),
+    ),
+}
+
+
+def traced_result(name, seed=7):
+    duration, (start, end), runs, extra = CONFIGS[name]
+    campaign = Campaign(duration=duration, seed=seed, platform=name)
+    root = get_platform(name).factory(Simulator())
+    space = FaultSpace(
+        root,
+        list(STANDARD_CATALOG) + list(extra),
+        window_start=start,
+        window_end=end,
+        time_bins=2,
+    )
+    strategy = RandomStrategy(space, faults_per_scenario=1)
+    return campaign.run(strategy, runs=runs, trace=True)
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_every_dynamic_detection_is_in_the_static_cone(name):
+    report = analyze_platform(name)
+    result = traced_result(name)
+    escapes = []
+    for site, mechanism, _latency in result.propagation().detection_paths:
+        # Dynamic sites are "<target_path>:<descriptor_name>".
+        path = site.rsplit(":", 1)[0]
+        if mechanism not in report.site_mechanisms(path):
+            escapes.append((path, mechanism))
+    assert not escapes, (
+        f"{name}: dynamic detections escaped the static cone: {escapes}"
+    )
+
+
+def test_airbag_gate_is_not_vacuous():
+    # The soundness check only means something if the dynamic side
+    # produces detection edges to compare against.
+    result = traced_result("airbag-normal")
+    assert result.propagation().detection_paths
+
+
+def test_static_detectors_cover_dynamic_mechanisms():
+    # Every mechanism the dynamic graph ever names must be a mechanism
+    # the static analysis knows a detector for — otherwise
+    # site_mechanisms() could never have predicted it.
+    report = analyze_platform("airbag-normal")
+    result = traced_result("airbag-normal")
+    dynamic = {m for _, m, _ in result.propagation().detection_paths}
+    assert dynamic <= set(report.detectors)

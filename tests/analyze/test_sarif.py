@@ -1,0 +1,95 @@
+"""SARIF 2.1.0 reporter: schema shape, levels, locations, CLI wiring."""
+
+import json
+import pathlib
+import textwrap
+
+from repro.analyze import lint_source, render_sarif
+from repro.analyze.cli import main
+from repro.analyze.rules import RULES
+
+CORPUS = pathlib.Path(__file__).parent / "fixtures" / "violations.py"
+
+
+def findings_for(snippet, path="platform.py"):
+    return lint_source(textwrap.dedent(snippet), path=path)
+
+
+def sarif_for(snippet, **kwargs):
+    return json.loads(render_sarif(findings_for(snippet, **kwargs), 1))
+
+
+def test_envelope_is_sarif_2_1_0():
+    payload = sarif_for("t = time.time()\n")
+    assert payload["version"] == "2.1.0"
+    assert payload["$schema"].endswith("sarif-2.1.0.json")
+    (run,) = payload["runs"]
+    assert run["tool"]["driver"]["name"] == "vp-lint"
+
+
+def test_driver_rules_catalogue_matches_registry():
+    payload = sarif_for("x = 1\n")
+    rules = payload["runs"][0]["tool"]["driver"]["rules"]
+    assert {rule["id"] for rule in rules} == set(RULES)
+    for rule in rules:
+        assert rule["shortDescription"]["text"]
+        assert rule["defaultConfiguration"]["level"] in ("error", "warning")
+
+
+def test_result_carries_rule_level_and_location():
+    payload = sarif_for("t = time.time()\n")
+    (result,) = payload["runs"][0]["results"]
+    assert result["ruleId"] == "VP005"
+    assert result["level"] == "error"
+    assert result["message"]["text"]
+    (location,) = result["locations"]
+    physical = location["physicalLocation"]
+    assert physical["artifactLocation"]["uri"] == "platform.py"
+    assert physical["artifactLocation"]["uriBaseId"] == "%SRCROOT%"
+    assert physical["region"]["startLine"] == 1
+    assert physical["region"]["startColumn"] >= 1
+
+
+def test_windows_paths_use_forward_slashes():
+    payload = sarif_for(
+        "t = time.time()\n", path="src\\repro\\platform.py"
+    )
+    (result,) = payload["runs"][0]["results"]
+    uri = result["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+    assert "\\" not in uri and uri.endswith("platform.py")
+
+
+def test_clean_tree_yields_empty_results():
+    payload = json.loads(render_sarif([], 5))
+    assert payload["runs"][0]["results"] == []
+
+
+def test_parse_error_result_has_no_catalogue_entry():
+    payload = sarif_for("def broken(:\n")
+    (result,) = payload["runs"][0]["results"]
+    assert result["ruleId"] == "VP000"
+    rules = payload["runs"][0]["tool"]["driver"]["rules"]
+    assert "VP000" not in {rule["id"] for rule in rules}
+
+
+def test_cli_format_sarif_prints_payload(capsys):
+    assert main([str(CORPUS), "--format", "sarif"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == "2.1.0"
+    assert payload["runs"][0]["results"]
+
+
+def test_cli_sarif_output_artifact(tmp_path, capsys):
+    artifact = tmp_path / "vp-lint.sarif"
+    code = main([
+        str(CORPUS), "--format", "json", "--sarif-output", str(artifact),
+    ])
+    assert code == 1
+    stdout_payload = json.loads(capsys.readouterr().out)
+    assert stdout_payload["tool"] == "vp-lint"  # stdout stays JSON
+    file_payload = json.loads(artifact.read_text(encoding="utf-8"))
+    assert file_payload["version"] == "2.1.0"
+    # Same findings in both reports, different envelopes.
+    assert len(file_payload["runs"][0]["results"]) == len(
+        stdout_payload["findings"]
+    )
